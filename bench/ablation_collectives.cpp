@@ -1,0 +1,107 @@
+// A2 — ablation of collective/fabric design choices: virtual all-to-all
+// cost vs rank count and block size, with and without port-contention
+// modeling, plus barrier/allreduce scaling. Reported as google-
+// benchmark counters (simulated seconds, not wall time).
+#include <benchmark/benchmark.h>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace {
+
+using namespace pas;
+
+sim::ClusterConfig cluster(bool contention) {
+  sim::ClusterConfig cfg = sim::ClusterConfig::paper_testbed(16);
+  cfg.network.model_port_contention = contention;
+  return cfg;
+}
+
+void run_alltoall(benchmark::State& state, bool contention) {
+  const int nranks = static_cast<int>(state.range(0));
+  const std::size_t doubles = static_cast<std::size_t>(state.range(1));
+  mpi::Runtime rt(cluster(contention));
+  double virtual_seconds = 0.0;
+  for (auto _ : state) {
+    const mpi::RunResult r = rt.run(nranks, 1000, [&](mpi::Comm& comm) {
+      std::vector<mpi::Payload> blocks(
+          static_cast<std::size_t>(comm.size()), mpi::Payload(doubles, 1.0));
+      comm.alltoall(blocks);
+    });
+    virtual_seconds = r.makespan;
+  }
+  state.counters["sim_seconds"] = virtual_seconds;
+}
+
+void BM_AlltoallWithContention(benchmark::State& state) {
+  run_alltoall(state, true);
+}
+BENCHMARK(BM_AlltoallWithContention)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
+    ->Args({16, 1024})
+    ->Args({16, 128})
+    ->Args({16, 8192});
+
+void BM_AlltoallNoContention(benchmark::State& state) {
+  run_alltoall(state, false);
+}
+BENCHMARK(BM_AlltoallNoContention)->Args({16, 1024});
+
+// Incast (linear gather at a root) is where receiver-port contention
+// actually bites; pairwise alltoall has one message per port per round,
+// so its contention on/off numbers coincide by design.
+void run_gather(benchmark::State& state, bool contention) {
+  const int nranks = static_cast<int>(state.range(0));
+  mpi::Runtime rt(cluster(contention));
+  double virtual_seconds = 0.0;
+  for (auto _ : state) {
+    const mpi::RunResult r = rt.run(nranks, 1000, [](mpi::Comm& comm) {
+      comm.gather(mpi::Payload(2048, 1.0), 0);
+    });
+    virtual_seconds = r.makespan;
+  }
+  state.counters["sim_seconds"] = virtual_seconds;
+}
+
+void BM_GatherIncastWithContention(benchmark::State& state) {
+  run_gather(state, true);
+}
+BENCHMARK(BM_GatherIncastWithContention)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GatherIncastNoContention(benchmark::State& state) {
+  run_gather(state, false);
+}
+BENCHMARK(BM_GatherIncastNoContention)->Arg(16);
+
+void BM_AllreduceScaling(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  mpi::Runtime rt(cluster(true));
+  double virtual_seconds = 0.0;
+  for (auto _ : state) {
+    const mpi::RunResult r = rt.run(nranks, 1000, [](mpi::Comm& comm) {
+      for (int i = 0; i < 8; ++i) comm.allreduce_sum(1.0);
+    });
+    virtual_seconds = r.makespan;
+  }
+  state.counters["sim_seconds"] = virtual_seconds;
+}
+BENCHMARK(BM_AllreduceScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BarrierScaling(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  mpi::Runtime rt(cluster(true));
+  double virtual_seconds = 0.0;
+  for (auto _ : state) {
+    const mpi::RunResult r = rt.run(nranks, 1000, [](mpi::Comm& comm) {
+      for (int i = 0; i < 8; ++i) comm.barrier();
+    });
+    virtual_seconds = r.makespan;
+  }
+  state.counters["sim_seconds"] = virtual_seconds;
+}
+BENCHMARK(BM_BarrierScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

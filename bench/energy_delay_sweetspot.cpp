@@ -1,0 +1,88 @@
+// E1 — the energy-delay coupling the paper motivates in §2 and §7:
+// evaluate measured and SP-predicted (time, energy) over every (N, f)
+// configuration for EP, FT and LU, and report the sweet spot under
+// delay / energy / EDP / ED2P.
+#include <cstdio>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/core/sweet_spot.hpp"
+#include "pas/util/cli.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const util::Cli cli(argc, argv);
+  const bool small = cli.get_bool("small", false);
+  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
+                                      : analysis::ExperimentEnv::paper();
+  const analysis::Scale scale =
+      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
+
+  for (const char* name : {"EP", "FT", "LU"}) {
+    const auto kernel = analysis::make_kernel(name, scale);
+    analysis::RunMatrix matrix(env.cluster);
+    const analysis::MatrixResult measured =
+        matrix.sweep(*kernel, env.nodes, env.freqs_mhz);
+
+    std::vector<power::MetricPoint> points;
+    for (const analysis::RunRecord& rec : measured.records) {
+      points.push_back(power::MetricPoint{.nodes = rec.nodes,
+                                          .frequency_mhz = rec.frequency_mhz,
+                                          .time_s = rec.seconds,
+                                          .energy_j = rec.energy.total_j()});
+    }
+
+    util::TextTable t(util::strf("%s: measured (time, energy) surface", name));
+    std::vector<std::string> header{"N"};
+    for (double f : env.freqs_mhz) header.push_back(util::strf("%.0fMHz", f));
+    t.set_header(header);
+    for (int n : env.nodes) {
+      std::vector<std::string> row{util::strf("%d", n)};
+      for (double f : env.freqs_mhz) {
+        const auto& rec = measured.at(n, f);
+        row.push_back(util::strf("%.3fs/%.0fJ", rec.seconds,
+                                 rec.energy.total_j()));
+      }
+      t.add_row(row);
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+
+    for (power::Objective obj :
+         {power::Objective::kDelay, power::Objective::kEnergy,
+          power::Objective::kEnergyDelay,
+          power::Objective::kEnergyDelaySquared}) {
+      const power::MetricPoint best = power::best(points, obj);
+      std::printf("  measured sweet spot [%s]: %s\n", objective_name(obj),
+                  best.to_string().c_str());
+    }
+
+    // Predicted sweet spot from SP (no measurements at off-base
+    // combinations needed).
+    const core::SimplifiedParameterization sp =
+        analysis::parameterize_simplified(*kernel, env);
+    const core::SweetSpotFinder finder(power::PowerModel(),
+                                       env.cluster.operating_points);
+    const auto predicted = finder.evaluate(
+        env.nodes, env.freqs_mhz,
+        [&](int n, double f) { return sp.predict_time(n, f); },
+        [&](int n, double f) {
+          (void)f;
+          return n > 1 ? sp.overhead_seconds(n) : 0.0;
+        });
+    const power::MetricPoint sp_edp =
+        power::best(predicted, power::Objective::kEnergyDelay);
+    const power::MetricPoint ms_edp =
+        power::best(points, power::Objective::kEnergyDelay);
+    std::printf(
+        "  SP-predicted EDP sweet spot: N=%d @ %.0f MHz (measured: N=%d @ "
+        "%.0f MHz) -> %s\n\n",
+        sp_edp.nodes, sp_edp.frequency_mhz, ms_edp.nodes,
+        ms_edp.frequency_mhz,
+        (sp_edp.nodes == ms_edp.nodes &&
+         sp_edp.frequency_mhz == ms_edp.frequency_mhz)
+            ? "MATCH"
+            : "different (check EDP flatness)");
+  }
+  return 0;
+}

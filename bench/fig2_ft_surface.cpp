@@ -1,0 +1,54 @@
+// Figure 2 — FT execution time (2a) and two-dimensional speedup
+// surface (2b).
+//
+// Expected shape (paper): execution time *rises* from 1 to 2 nodes
+// (all-to-all overhead), then falls sub-linearly; the 1-processor
+// frequency speedup is sub-linear (paper: 1.6 at 1400 MHz); the
+// benefit of frequency scaling shrinks as nodes are added.
+#include <cstdio>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/figures.hpp"
+#include "pas/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const util::Cli cli(argc, argv);
+  const bool small = cli.get_bool("small", false);
+  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
+                                      : analysis::ExperimentEnv::paper();
+
+  const auto ft = analysis::make_kernel(
+      "FT", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
+  analysis::RunMatrix matrix(env.cluster);
+  const analysis::MatrixResult measured =
+      matrix.sweep(*ft, env.nodes, env.freqs_mhz);
+
+  const auto fig_a = analysis::execution_time_table(
+      measured.times, env.nodes, env.freqs_mhz,
+      "Fig 2a: FT execution time (seconds)");
+  std::fputs(fig_a.to_string().c_str(), stdout);
+
+  const auto fig_b = analysis::speedup_surface(
+      measured.times, env.nodes, env.freqs_mhz, env.base_f_mhz,
+      "Fig 2b: FT two-dimensional speedup (base 1 node @ 600 MHz)");
+  std::fputs(fig_b.to_string().c_str(), stdout);
+
+  const double t1 = measured.times.at(1, env.base_f_mhz);
+  const double t2 = measured.times.at(2, env.base_f_mhz);
+  std::printf("shape: T(2) > T(1) at 600 MHz -> %s (%.3fs vs %.3fs)\n",
+              t2 > t1 ? "OK" : "MISMATCH", t2, t1);
+  const double fgain1 =
+      measured.times.at(1, env.base_f_mhz) /
+      measured.times.at(1, env.freqs_mhz.back());
+  const double fgainN =
+      measured.times.at(env.nodes.back(), env.base_f_mhz) /
+      measured.times.at(env.nodes.back(), env.freqs_mhz.back());
+  std::printf(
+      "shape: frequency gain shrinks with N -> %s (x%.2f at N=1, x%.2f at "
+      "N=%d); sequential frequency speedup %.2f (paper: 1.6, sub-linear)\n",
+      fgain1 > fgainN ? "OK" : "MISMATCH", fgain1, fgainN, env.nodes.back(),
+      fgain1);
+  if (cli.has("csv")) fig_b.write_csv(cli.get("csv", "fig2b.csv"));
+  return 0;
+}

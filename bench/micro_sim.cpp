@@ -1,0 +1,85 @@
+// M1 — google-benchmark microbenchmarks of the substrate: cache-sim
+// throughput, CPU-model pricing, network booking, collectives, and a
+// whole small kernel run.
+#include <benchmark/benchmark.h>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/sim/cache_sim.hpp"
+
+namespace {
+
+using namespace pas;
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  sim::CacheHierarchySim caches(sim::MemoryHierarchyConfig::pentium_m());
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caches.access(addr));
+    addr += 64;
+    addr &= (8u << 20) - 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_CpuModelPricing(benchmark::State& state) {
+  const sim::CpuModel cpu = sim::CpuModel::pentium_m();
+  const sim::InstructionMix mix{
+      .reg_ops = 1e3, .l1_ops = 2e3, .l2_ops = 50, .mem_ops = 10};
+  for (auto _ : state) benchmark::DoNotOptimize(cpu.time_for(mix));
+}
+BENCHMARK(BM_CpuModelPricing);
+
+void BM_Classify(benchmark::State& state) {
+  const sim::MemoryHierarchyConfig cfg = sim::MemoryHierarchyConfig::pentium_m();
+  const sim::AccessPattern pat{.working_set_bytes = 4u << 20,
+                               .stride_bytes = 16,
+                               .temporal_reuse = 2.0};
+  for (auto _ : state) benchmark::DoNotOptimize(sim::classify(cfg, pat));
+}
+BENCHMARK(BM_Classify);
+
+void BM_FabricTransfer(benchmark::State& state) {
+  sim::NetworkFabric fabric(16, sim::NetworkConfig::fast_ethernet());
+  int src = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    const auto tr = fabric.transfer(src, (src + 1) % 16, 1024, t);
+    benchmark::DoNotOptimize(tr);
+    t = tr.tx_end;
+    src = (src + 1) % 16;
+  }
+}
+BENCHMARK(BM_FabricTransfer);
+
+void BM_RuntimeBarrier(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  for (auto _ : state) {
+    rt.run(nranks, 1000, [](mpi::Comm& comm) {
+      for (int i = 0; i < 10; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_RuntimeBarrier)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_EpSmallRun(benchmark::State& state) {
+  const auto ep = analysis::make_kernel("EP", analysis::Scale::kSmall);
+  analysis::RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(matrix.run_one(*ep, 4, 1400).seconds);
+}
+BENCHMARK(BM_EpSmallRun);
+
+void BM_SpPrediction(benchmark::State& state) {
+  core::SimplifiedParameterization sp(600);
+  for (double f : {600.0, 800.0, 1000.0, 1200.0, 1400.0})
+    sp.add_sequential(f, 6000.0 / f);
+  for (int n : {2, 4, 8, 16}) sp.add_parallel_base(n, 10.0 / n + 0.2 * n);
+  for (auto _ : state) benchmark::DoNotOptimize(sp.predict_time(8, 1200));
+}
+BENCHMARK(BM_SpPrediction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

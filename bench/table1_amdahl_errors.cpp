@@ -1,0 +1,50 @@
+// Table 1 — prediction errors of the generalized Amdahl product form
+// (Eq 3, e = 2 enhancements) for FT across (N, f), relative to the
+// measured speedup with base (1 node, 600 MHz).
+//
+// Expected shape (paper): 600 MHz column exact by construction; errors
+// grow into tens of percent at higher frequencies and node counts
+// (paper: up to 78 %, average 45 %).
+#include <cstdio>
+
+#include "pas/analysis/error_table.hpp"
+#include "pas/analysis/experiment.hpp"
+#include "pas/core/baseline_models.hpp"
+#include "pas/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const util::Cli cli(argc, argv);
+  analysis::ExperimentEnv env = cli.get_bool("small", false)
+                                    ? analysis::ExperimentEnv::small()
+                                    : analysis::ExperimentEnv::paper();
+
+  const auto ft = analysis::make_kernel(
+      "FT", cli.get_bool("small", false) ? analysis::Scale::kSmall
+                                         : analysis::Scale::kPaper);
+  analysis::RunMatrix matrix(env.cluster);
+  const analysis::MatrixResult measured =
+      matrix.sweep(*ft, env.nodes, env.freqs_mhz);
+
+  const analysis::ErrorTable errors = analysis::speedup_error_table(
+      measured.times,
+      [&](int n, double f) {
+        return core::eq3_product_prediction(measured.times, n, f, 1,
+                                            env.base_f_mhz);
+      },
+      env.parallel_nodes, env.freqs_mhz, 1, env.base_f_mhz);
+
+  const auto table = errors.render(
+      "Table 1: FT speedup prediction error of the Eq 3 product form "
+      "(base: 1 node @ 600 MHz)");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("max error %.1f%%, mean error %.1f%%\n",
+              errors.max_error() * 100.0, errors.mean_error() * 100.0);
+  std::printf("paper shape check: errors grow with frequency -> %s\n",
+              errors.at(env.parallel_nodes.back(), env.freqs_mhz.back()) >
+                      errors.at(env.parallel_nodes.back(), env.base_f_mhz)
+                  ? "OK"
+                  : "MISMATCH");
+  if (cli.has("csv")) table.write_csv(cli.get("csv", "table1.csv"));
+  return 0;
+}

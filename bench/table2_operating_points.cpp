@@ -1,0 +1,29 @@
+// Table 2 — the operating points (frequency / supply voltage) of the
+// simulated Pentium M 1.4 GHz node, with the derived per-point CPU and
+// node power of the substitute power model (DESIGN.md §2).
+#include <cstdio>
+
+#include "pas/power/power_model.hpp"
+#include "pas/util/table.hpp"
+#include "pas/util/format.hpp"
+
+int main() {
+  using namespace pas;
+  const sim::OperatingPointTable points =
+      sim::OperatingPointTable::pentium_m_1400();
+  const power::PowerModel model;
+
+  util::TextTable t(
+      "Table 2: Pentium M 1.4 GHz operating points (+ modeled power)");
+  t.set_header({"Frequency", "Supply voltage", "CPU power", "Node power"});
+  for (std::size_t i = points.size(); i-- > 0;) {
+    const sim::OperatingPoint& p = points[i];
+    t.add_row({util::strf("%.1f GHz", p.frequency_hz / 1e9),
+               util::strf("%.3f V", p.voltage_v),
+               util::strf("%.1f W", model.cpu_power_w(p)),
+               util::strf("%.1f W",
+                          model.node_power_w(sim::Activity::kCpu, p))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

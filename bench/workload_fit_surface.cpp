@@ -1,0 +1,69 @@
+// R2 — workload estimation from timings (the paper's stated future
+// work: estimating DOP / w_1 directly). Fits the four-parameter
+// surface T(N,f) = A(f0/f) + B(f0/f)/N + C + D/N to a *subset* of measured
+// configurations for each kernel, reports the recovered decomposition
+// (serial fraction, frequency-blind overhead), and scores predictions
+// on the full grid.
+//
+// Expected shape: EP -> serial fraction ~0, overhead terms ~0, near-perfect
+// R^2; FT -> large frequency-blind overhead terms (the all-to-all);
+// LU/CG/MG -> small serial fractions with visible overhead.
+#include <cstdio>
+
+#include "pas/analysis/error_table.hpp"
+#include "pas/analysis/experiment.hpp"
+#include "pas/core/workload_fit.hpp"
+#include "pas/util/cli.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const util::Cli cli(argc, argv);
+  const bool small = cli.get_bool("small", false);
+  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
+                                      : analysis::ExperimentEnv::paper();
+  const analysis::Scale scale =
+      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
+
+  util::TextTable t(
+      "Workload fit T(N,f) = A(f0/f) + B(f0/f)/N + C + D/N");
+  t.set_header({"kernel", "A serial (s)", "B parallel (s)", "C invariant (s)",
+                "D per-N (s)", "serial frac", "R^2", "max err (full grid)"});
+
+  for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
+    const auto kernel = analysis::make_kernel(name, scale);
+    analysis::RunMatrix matrix(env.cluster);
+    const analysis::MatrixResult full =
+        matrix.sweep(*kernel, env.nodes, env.freqs_mhz);
+
+    // Fit from the base row/column plus a few off-base anchors
+    // (11 of 25 samples).
+    core::TimingMatrix subset;
+    for (int n : env.nodes) subset.add(n, env.base_f_mhz,
+                                       full.times.at(n, env.base_f_mhz));
+    for (double f : env.freqs_mhz) subset.add(1, f, full.times.at(1, f));
+    const double f_top = env.freqs_mhz.back();
+    const double f_mid = env.freqs_mhz[env.freqs_mhz.size() / 2];
+    subset.add(env.nodes.back(), f_top, full.times.at(env.nodes.back(), f_top));
+    subset.add(2, f_top, full.times.at(2, f_top));
+    if (env.nodes.size() > 2)
+      subset.add(env.nodes[2], f_mid, full.times.at(env.nodes[2], f_mid));
+
+    const core::WorkloadFit fit = core::fit_workload(subset, env.base_f_mhz);
+    const analysis::ErrorTable err = analysis::time_error_table(
+        full.times, [&](int n, double f) { return fit.predict_time(n, f); },
+        env.nodes, env.freqs_mhz);
+
+    t.add_row({name, util::strf("%.4f", fit.serial_s),
+               util::strf("%.4f", fit.parallel_s),
+               util::strf("%.4f", fit.invariant_s),
+               util::strf("%.4f", fit.overhead_per_n_s),
+               util::percent(fit.serial_fraction(), 1),
+               util::strf("%.4f", fit.r2),
+               util::percent(err.max_error(), 1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  if (cli.has("csv")) t.write_csv(cli.get("csv", "workload_fit.csv"));
+  return 0;
+}

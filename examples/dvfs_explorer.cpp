@@ -1,0 +1,62 @@
+// DVFS explorer — reproduces the paper's measurement methodology on
+// one kernel: full (N, f) sweep with per-activity time breakdown and
+// energy, the three workload classes side by side if asked.
+//
+//   ./examples/dvfs_explorer --kernel LU --nodes 1,2,4 --freqs 600,1400
+#include <cstdio>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/figures.hpp"
+#include "pas/util/cli.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const util::Cli cli(argc, argv);
+  const std::string name = cli.get("kernel", "LU");
+
+  analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
+  std::vector<int> nodes;
+  for (long n : cli.get_int_list("nodes", {1, 2, 4, 8}))
+    nodes.push_back(static_cast<int>(n));
+  std::vector<double> freqs;
+  for (long f : cli.get_int_list("freqs", {600, 1000, 1400}))
+    freqs.push_back(static_cast<double>(f));
+
+  const auto kernel = analysis::make_kernel(name, analysis::Scale::kPaper);
+  analysis::RunMatrix matrix(env.cluster);
+  const analysis::MatrixResult sweep = matrix.sweep(*kernel, nodes, freqs);
+
+  util::TextTable t(util::strf(
+      "%s: time / ON-chip / OFF-chip / overhead / energy per configuration",
+      name.c_str()));
+  t.set_header({"N", "f (MHz)", "T (s)", "cpu (s)", "mem (s)", "net (s)",
+                "E (J)", "verified"});
+  for (const analysis::RunRecord& rec : sweep.records) {
+    t.add_row({util::strf("%d", rec.nodes),
+               util::strf("%.0f", rec.frequency_mhz),
+               util::strf("%.4f", rec.seconds),
+               util::strf("%.4f", rec.mean_cpu_s),
+               util::strf("%.4f", rec.mean_memory_s),
+               util::strf("%.4f", rec.mean_overhead_s),
+               util::strf("%.1f", rec.energy.total_j()),
+               rec.verified ? "yes" : "NO"});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  const auto surface = analysis::speedup_surface(
+      sweep.times, nodes, freqs, env.base_f_mhz,
+      util::strf("%s: power-aware speedup surface (base 1 node @ %.0f MHz)",
+                 name.c_str(), env.base_f_mhz));
+  std::fputs(surface.to_string().c_str(), stdout);
+
+  // The paper's decomposition message: how the overhead share moves.
+  std::puts("overhead share of execution time:");
+  for (int n : nodes) {
+    const auto& rec = sweep.at(n, freqs.front());
+    std::printf("  N=%2d: %.1f%%\n", n,
+                rec.mean_overhead_s / rec.seconds * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Model playground — the analytic side of the paper without any
+// simulation: build DOP + ON/OFF-chip workloads by hand, evaluate
+// power-aware speedup (Eq 10/11), and compare against the classic
+// models (Amdahl, generalized Amdahl, Gustafson, Sun-Ni, Karp-Flatt).
+//
+//   ./examples/model_playground --onchip 6e8 --offchip 1e6
+//       --overhead-off 2e6 --dop 16   (one command line)
+#include <cstdio>
+
+#include "pas/core/baseline_models.hpp"
+#include "pas/core/power_aware_speedup.hpp"
+#include "pas/util/cli.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const util::Cli cli(argc, argv);
+
+  core::Work app;
+  app.on_chip = cli.get_double("onchip", 6e8);
+  app.off_chip = cli.get_double("offchip", 1e6);
+  const int dop = static_cast<int>(cli.get_int("dop", 16));
+  core::DopWorkload w = core::DopWorkload::perfectly_parallel(app, dop);
+  w.overhead.on_chip = cli.get_double("overhead-on", 0.0);
+  w.overhead.off_chip = cli.get_double("overhead-off", 2e6);
+
+  const core::MachineRates rates;  // Pentium-M-like defaults
+  const core::PowerAwareModel model(w, rates, 600);
+  std::printf("%s\n\n", model.to_string().c_str());
+
+  const std::vector<int> nodes{1, 2, 4, 8, 16};
+  const std::vector<double> freqs{600, 800, 1000, 1200, 1400};
+
+  util::TextTable t("Power-aware speedup S_N(w, f), base (1, 600 MHz)");
+  std::vector<std::string> header{"N"};
+  for (double f : freqs) header.push_back(util::strf("%.0f MHz", f));
+  t.set_header(header);
+  for (int n : nodes) {
+    std::vector<std::string> row{util::strf("%d", n)};
+    for (double f : freqs) row.push_back(util::strf("%.2f", model.speedup(n, f)));
+    t.add_row(row);
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  // What the independent-enhancement product form (Eq 3) would claim,
+  // and how far off it is at the corner configuration.
+  const double measured_like = model.speedup(16, 1400);
+  const double product =
+      model.speedup(16, 600) * model.speedup(1, 1400);
+  std::printf(
+      "\ncorner (N=16, 1400 MHz): power-aware %.2f vs Eq 3 product %.2f "
+      "(over-prediction %.1f%%)\n",
+      measured_like, product,
+      (product / measured_like - 1.0) * 100.0);
+
+  // Classic models at the same-frequency slice.
+  const double serial = w.serial_fraction();
+  util::TextTable c("Classic models at fixed frequency (for contrast)");
+  c.set_header({"N", "this model", "Amdahl", "Gustafson", "Sun-Ni g=N"});
+  for (int n : nodes) {
+    c.add_row({util::strf("%d", n),
+               util::strf("%.2f", model.same_frequency_speedup(n, 600)),
+               util::strf("%.2f", core::amdahl_speedup(1.0 - serial, n)),
+               util::strf("%.2f", core::gustafson_speedup(serial, n)),
+               util::strf("%.2f", core::sun_ni_speedup(
+                                      serial, n, static_cast<double>(n)))});
+  }
+  std::fputs(c.to_string().c_str(), stdout);
+
+  const double s8 = model.same_frequency_speedup(8, 600);
+  std::printf("\nKarp-Flatt experimental serial fraction at N=8: %.4f\n",
+              core::karp_flatt_serial_fraction(s8, 8));
+  return 0;
+}

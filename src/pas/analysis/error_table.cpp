@@ -1,0 +1,93 @@
+#include "pas/analysis/error_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+#include "pas/util/stats.hpp"
+
+namespace pas::analysis {
+namespace {
+
+ErrorTable build(const std::vector<int>& nodes,
+                 const std::vector<double>& freqs_mhz,
+                 const std::function<double(int, double)>& error_at) {
+  ErrorTable t;
+  t.nodes = nodes;
+  t.freqs_mhz = freqs_mhz;
+  t.errors.reserve(nodes.size());
+  for (int n : nodes) {
+    std::vector<double> row;
+    row.reserve(freqs_mhz.size());
+    for (double f : freqs_mhz) row.push_back(error_at(n, f));
+    t.errors.push_back(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace
+
+double ErrorTable::max_error() const {
+  double m = 0.0;
+  for (const auto& row : errors)
+    for (double e : row) m = std::fmax(m, e);
+  return m;
+}
+
+double ErrorTable::mean_error() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& row : errors) {
+    for (double e : row) {
+      sum += e;
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double ErrorTable::at(int nodes_value, double f_mhz) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] != nodes_value) continue;
+    for (std::size_t j = 0; j < freqs_mhz.size(); ++j) {
+      if (std::fabs(freqs_mhz[j] - f_mhz) < 0.5) return errors[i][j];
+    }
+  }
+  throw std::out_of_range(pas::util::strf("ErrorTable: no entry (%d, %.0f)",
+                                          nodes_value, f_mhz));
+}
+
+util::TextTable ErrorTable::render(const std::string& title) const {
+  util::TextTable t(title);
+  std::vector<std::string> header{"N"};
+  for (double f : freqs_mhz) header.push_back(util::strf("%.0f MHz", f));
+  t.set_header(std::move(header));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<std::string> row{util::strf("%d", nodes[i])};
+    for (double e : errors[i]) row.push_back(util::percent(e, 1));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+ErrorTable speedup_error_table(const core::TimingMatrix& measured,
+                               const Predictor& predicted_speedup,
+                               const std::vector<int>& nodes,
+                               const std::vector<double>& freqs_mhz,
+                               int base_nodes, double base_f_mhz) {
+  return build(nodes, freqs_mhz, [&](int n, double f) {
+    const double m = measured.speedup(n, f, base_nodes, base_f_mhz);
+    return util::relative_error(m, predicted_speedup(n, f));
+  });
+}
+
+ErrorTable time_error_table(const core::TimingMatrix& measured,
+                            const Predictor& predicted_time,
+                            const std::vector<int>& nodes,
+                            const std::vector<double>& freqs_mhz) {
+  return build(nodes, freqs_mhz, [&](int n, double f) {
+    return util::relative_error(measured.at(n, f), predicted_time(n, f));
+  });
+}
+
+}  // namespace pas::analysis

@@ -1,0 +1,45 @@
+// Paper-style prediction-error matrices (Tables 1, 3 and 7): rows are
+// processor counts, columns are frequencies, entries are
+// |measured - predicted| / measured.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pas/core/measurement.hpp"
+#include "pas/util/table.hpp"
+
+namespace pas::analysis {
+
+/// predicted value at (nodes, frequency_mhz).
+using Predictor = std::function<double(int nodes, double f_mhz)>;
+
+struct ErrorTable {
+  std::vector<int> nodes;
+  std::vector<double> freqs_mhz;
+  /// errors[row][col]: relative error at (nodes[row], freqs[col]).
+  std::vector<std::vector<double>> errors;
+
+  double max_error() const;
+  double mean_error() const;
+  double at(int nodes_value, double f_mhz) const;
+
+  /// Renders like the paper: one row per node count, "x.y%" entries.
+  util::TextTable render(const std::string& title) const;
+};
+
+/// Compares predicted speedup (relative to (base_nodes, base_f))
+/// against measured speedup from the timing matrix.
+ErrorTable speedup_error_table(const core::TimingMatrix& measured,
+                               const Predictor& predicted_speedup,
+                               const std::vector<int>& nodes,
+                               const std::vector<double>& freqs_mhz,
+                               int base_nodes, double base_f_mhz);
+
+/// Compares predicted execution time against measured time.
+ErrorTable time_error_table(const core::TimingMatrix& measured,
+                            const Predictor& predicted_time,
+                            const std::vector<int>& nodes,
+                            const std::vector<double>& freqs_mhz);
+
+}  // namespace pas::analysis

@@ -1,0 +1,139 @@
+#include "pas/analysis/experiment.hpp"
+
+#include <stdexcept>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::analysis {
+
+ExperimentEnv ExperimentEnv::paper() { return ExperimentEnv{}; }
+
+ExperimentEnv ExperimentEnv::small() {
+  ExperimentEnv env;
+  env.cluster = sim::ClusterConfig::paper_testbed(4);
+  env.nodes = {1, 2, 4};
+  env.parallel_nodes = {2, 4};
+  env.freqs_mhz = {600.0, 1000.0, 1400.0};
+  return env;
+}
+
+std::unique_ptr<npb::Kernel> make_kernel(const std::string& name,
+                                         Scale scale) {
+  if (name == "EP") {
+    npb::EpConfig cfg;
+    if (scale == Scale::kSmall) cfg.log2_pairs = 15;
+    return std::make_unique<npb::EpKernel>(cfg);
+  }
+  if (name == "FT") {
+    npb::FtConfig cfg;
+    if (scale == Scale::kSmall) {
+      cfg.nx = cfg.ny = cfg.nz = 16;
+      cfg.niter = 2;
+    }
+    return std::make_unique<npb::FtKernel>(cfg);
+  }
+  if (name == "LU") {
+    npb::LuConfig cfg;
+    if (scale == Scale::kSmall) {
+      cfg.n = 16;
+      cfg.iterations = 3;
+    }
+    return std::make_unique<npb::LuKernel>(cfg);
+  }
+  if (name == "CG") {
+    npb::CgConfig cfg;
+    if (scale == Scale::kSmall) {
+      cfg.n = 16;
+      cfg.iterations = 8;
+    }
+    return std::make_unique<npb::CgKernel>(cfg);
+  }
+  if (name == "MG") {
+    npb::MgConfig cfg;
+    if (scale == Scale::kSmall) {
+      cfg.n = 16;
+      cfg.levels = 2;
+      cfg.cycles = 2;
+    }
+    return std::make_unique<npb::MgKernel>(cfg);
+  }
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+core::LevelWorkload to_level_workload(
+    const counters::WorkloadDecomposition& d) {
+  core::LevelWorkload w;
+  w.reg_ins = d.reg_ins;
+  w.l1_ins = d.l1_ins;
+  w.l2_ins = d.l2_ins;
+  w.mem_ins = d.mem_ins;
+  return w;
+}
+
+core::LevelSeconds to_level_seconds(const tools::LevelTimes& t) {
+  core::LevelSeconds s;
+  s.reg_s = t.reg_s;
+  s.l1_s = t.l1_s;
+  s.l2_s = t.l2_s;
+  s.mem_s = t.mem_s;
+  return s;
+}
+
+counters::CounterSet measure_counters(const npb::Kernel& kernel,
+                                      const ExperimentEnv& env) {
+  mpi::Runtime runtime(env.cluster);
+  const mpi::RunResult run = runtime.run(
+      1, env.base_f_mhz, [&](mpi::Comm& comm) { (void)kernel.run(comm); });
+  counters::CounterSet set;
+  set.record_mix(run.ranks.at(0).executed);
+  return set;
+}
+
+core::SimplifiedParameterization parameterize_simplified(
+    const npb::Kernel& kernel, const ExperimentEnv& env) {
+  core::SimplifiedParameterization sp(env.base_f_mhz);
+  RunMatrix matrix(env.cluster);
+  // Step 3: sequential runs at each frequency (includes the base).
+  for (double f : env.freqs_mhz)
+    sp.add_sequential(f, matrix.run_one(kernel, 1, f).seconds);
+  // Step 1: parallel runs at the base frequency.
+  for (int n : env.parallel_nodes)
+    sp.add_parallel_base(n, matrix.run_one(kernel, n, env.base_f_mhz).seconds);
+  return sp;
+}
+
+core::FineGrainParameterization parameterize_fine_grain(
+    const npb::Kernel& kernel, const ExperimentEnv& env) {
+  // Step 1: workload distribution from the counters.
+  const counters::CounterSet set = measure_counters(kernel, env);
+  core::FineGrainParameterization fp(to_level_workload(set.decompose()),
+                                     env.base_f_mhz);
+
+  // Step 2a: per-level seconds-per-instruction from the memory probe.
+  tools::MemBench membench(
+      sim::CpuModel(env.cluster.cpu, env.cluster.memory,
+                    env.cluster.operating_points));
+  for (double f : env.freqs_mhz)
+    fp.set_level_seconds(f, to_level_seconds(membench.probe(f)));
+
+  // Step 2b: communication profile (one profiling run per node count at
+  // the base frequency) priced by the message probe per frequency.
+  RunMatrix matrix(env.cluster);
+  tools::MsgBench msgbench(env.cluster);
+  for (int n : env.parallel_nodes) {
+    const RunRecord rec = matrix.run_one(kernel, n, env.base_f_mhz);
+    const auto doubles =
+        static_cast<std::size_t>(std::max(1.0, rec.doubles_per_message));
+    for (double f : env.freqs_mhz) {
+      // One ping-pong leg prices one boundary exchange: the sender
+      // blocks for its serialization and the receiver waits out the
+      // store-and-forward delivery — exactly a message's share of
+      // w_PO under blocking-send semantics (§5.2 step 2).
+      const double per_msg = msgbench.pingpong_seconds(doubles, f);
+      fp.set_comm(n, rec.messages_per_rank, f, per_msg);
+    }
+  }
+  return fp;
+}
+
+}  // namespace pas::analysis

@@ -1,0 +1,71 @@
+// Experiment orchestration shared by the bench binaries: the paper's
+// configuration grid, kernel factories, and the glue that turns
+// substrate measurements (counters, MemBench, MsgBench, profiled runs)
+// into fully parameterized SP / FP predictors.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/core/fine_grain_param.hpp"
+#include "pas/core/simplified_param.hpp"
+#include "pas/counters/counter_set.hpp"
+#include "pas/npb/cg.hpp"
+#include "pas/npb/ep.hpp"
+#include "pas/npb/ft.hpp"
+#include "pas/npb/lu.hpp"
+#include "pas/npb/mg.hpp"
+#include "pas/tools/membench.hpp"
+#include "pas/tools/msgbench.hpp"
+
+namespace pas::analysis {
+
+/// The paper's experimental grid (§4.1): 16 Pentium-M nodes, N in
+/// {1, 2, 4, 8, 16}, f in {600..1400} MHz, base (1 node, 600 MHz).
+struct ExperimentEnv {
+  sim::ClusterConfig cluster = sim::ClusterConfig::paper_testbed();
+  std::vector<int> nodes{1, 2, 4, 8, 16};
+  std::vector<int> parallel_nodes{2, 4, 8, 16};
+  std::vector<double> freqs_mhz{600.0, 800.0, 1000.0, 1200.0, 1400.0};
+  double base_f_mhz = 600.0;
+
+  static ExperimentEnv paper();
+  /// Reduced grid (N <= 4, 3 frequencies) for quick runs and tests.
+  static ExperimentEnv small();
+};
+
+/// Problem-size presets.
+enum class Scale {
+  kPaper,  ///< full evaluation sizes
+  kSmall,  ///< unit/integration-test sizes
+};
+
+/// "EP", "FT", "LU", "CG" or "MG" at the given scale; throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<npb::Kernel> make_kernel(const std::string& name, Scale scale);
+
+/// Adapters between substrate outputs and core-model inputs (the core
+/// library deliberately does not link against counters/tools).
+core::LevelWorkload to_level_workload(
+    const counters::WorkloadDecomposition& d);
+core::LevelSeconds to_level_seconds(const tools::LevelTimes& t);
+
+/// §5.1: measures T_1(f) for every frequency and T_N(f0) for every
+/// node count, and returns the ready SP predictor.
+core::SimplifiedParameterization parameterize_simplified(
+    const npb::Kernel& kernel, const ExperimentEnv& env);
+
+/// §5.2: counter-derived workload distribution (1-processor run),
+/// MemBench level times per frequency, and per-node-count
+/// communication profiles priced by MsgBench. Returns the ready FP
+/// predictor.
+core::FineGrainParameterization parameterize_fine_grain(
+    const npb::Kernel& kernel, const ExperimentEnv& env);
+
+/// The counter measurement of §5.2 step 1 on its own: runs the kernel
+/// on one processor and returns the PAPI-style event set.
+counters::CounterSet measure_counters(const npb::Kernel& kernel,
+                                      const ExperimentEnv& env);
+
+}  // namespace pas::analysis

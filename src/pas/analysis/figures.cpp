@@ -1,0 +1,60 @@
+#include "pas/analysis/figures.hpp"
+
+#include "pas/util/format.hpp"
+
+namespace pas::analysis {
+
+util::TextTable execution_time_table(const core::TimingMatrix& times,
+                                     const std::vector<int>& nodes,
+                                     const std::vector<double>& freqs_mhz,
+                                     const std::string& title) {
+  util::TextTable t(title);
+  std::vector<std::string> header{"N \\ f"};
+  for (double f : freqs_mhz) header.push_back(util::strf("%.0f MHz", f));
+  t.set_header(std::move(header));
+  for (int n : nodes) {
+    std::vector<std::string> row{util::strf("%d", n)};
+    for (double f : freqs_mhz)
+      row.push_back(util::strf("%.4f s", times.at(n, f)));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+util::TextTable speedup_surface(const core::TimingMatrix& times,
+                                const std::vector<int>& nodes,
+                                const std::vector<double>& freqs_mhz,
+                                double base_f_mhz, const std::string& title) {
+  util::TextTable t(title);
+  std::vector<std::string> header{"N \\ f"};
+  for (double f : freqs_mhz) header.push_back(util::strf("%.0f MHz", f));
+  t.set_header(std::move(header));
+  for (int n : nodes) {
+    std::vector<std::string> row{util::strf("%d", n)};
+    for (double f : freqs_mhz)
+      row.push_back(util::strf("%.2f", times.speedup(n, f, 1, base_f_mhz)));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::vector<double> speedup_row(const core::TimingMatrix& times, int nodes,
+                                const std::vector<double>& freqs_mhz,
+                                double base_f_mhz) {
+  std::vector<double> out;
+  out.reserve(freqs_mhz.size());
+  for (double f : freqs_mhz)
+    out.push_back(times.speedup(nodes, f, 1, base_f_mhz));
+  return out;
+}
+
+std::vector<double> speedup_column(const core::TimingMatrix& times,
+                                   const std::vector<int>& nodes,
+                                   double f_mhz, double base_f_mhz) {
+  std::vector<double> out;
+  out.reserve(nodes.size());
+  for (int n : nodes) out.push_back(times.speedup(n, f_mhz, 1, base_f_mhz));
+  return out;
+}
+
+}  // namespace pas::analysis

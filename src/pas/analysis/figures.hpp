@@ -1,0 +1,38 @@
+// Figure-series rendering for the paper's plots (Fig 1a/1b, 2a/2b):
+// execution time vs processor count per frequency, and the
+// two-dimensional speedup surface over (frequency, processor count).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pas/core/measurement.hpp"
+#include "pas/util/table.hpp"
+
+namespace pas::analysis {
+
+/// Fig 1a / 2a: one row per node count, one column per frequency,
+/// entries are execution times in seconds.
+util::TextTable execution_time_table(const core::TimingMatrix& times,
+                                     const std::vector<int>& nodes,
+                                     const std::vector<double>& freqs_mhz,
+                                     const std::string& title);
+
+/// Fig 1b / 2b: the 2-D speedup surface relative to (1, base_f).
+util::TextTable speedup_surface(const core::TimingMatrix& times,
+                                const std::vector<int>& nodes,
+                                const std::vector<double>& freqs_mhz,
+                                double base_f_mhz, const std::string& title);
+
+/// The speedup values of one surface row (fixed node count), used by
+/// tests asserting figure shapes.
+std::vector<double> speedup_row(const core::TimingMatrix& times, int nodes,
+                                const std::vector<double>& freqs_mhz,
+                                double base_f_mhz);
+
+/// The speedup values of one surface column (fixed frequency).
+std::vector<double> speedup_column(const core::TimingMatrix& times,
+                                   const std::vector<int>& nodes,
+                                   double f_mhz, double base_f_mhz);
+
+}  // namespace pas::analysis

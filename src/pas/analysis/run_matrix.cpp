@@ -1,0 +1,115 @@
+#include "pas/analysis/run_matrix.hpp"
+
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+#include "pas/util/log.hpp"
+
+namespace pas::analysis {
+
+const RunRecord& MatrixResult::at(int nodes, double frequency_mhz) const {
+  for (const RunRecord& r : records) {
+    if (r.nodes == nodes &&
+        std::abs(r.frequency_mhz - frequency_mhz) < 0.5)
+      return r;
+  }
+  throw std::out_of_range(pas::util::strf(
+      "MatrixResult: no record at N=%d f=%.0f MHz", nodes, frequency_mhz));
+}
+
+std::vector<power::ActivityProfile> activity_profiles(
+    const mpi::RunResult& result) {
+  std::vector<power::ActivityProfile> profiles;
+  profiles.reserve(result.ranks.size());
+  for (const mpi::RankReport& r : result.ranks) {
+    power::ActivityProfile p;
+    p.cpu_s = r.cpu_seconds;
+    p.memory_s = r.memory_seconds;
+    p.network_s = r.network_seconds;
+    p.idle_s = r.idle_seconds;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+RunMatrix::RunMatrix(sim::ClusterConfig cluster, power::PowerModel power)
+    : cluster_(std::move(cluster)), meter_(std::move(power)) {}
+
+RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
+                             double frequency_mhz, double comm_dvfs_mhz) {
+  mpi::Runtime runtime(cluster_);
+  npb::KernelResult root_result;
+  const mpi::RunResult run =
+      runtime.run(nodes, frequency_mhz, [&](mpi::Comm& comm) {
+        if (comm_dvfs_mhz != 0.0) comm.set_comm_dvfs_mhz(comm_dvfs_mhz);
+        npb::KernelResult r = kernel.run(comm);
+        if (comm.rank() == 0) root_result = std::move(r);
+      });
+
+  RunRecord rec;
+  rec.nodes = nodes;
+  rec.frequency_mhz = frequency_mhz;
+  rec.seconds = run.makespan;
+  rec.verified = root_result.verified;
+  const double n = static_cast<double>(nodes);
+  rec.mean_overhead_s = run.mean_network_seconds();
+  rec.mean_cpu_s = run.total_cpu_seconds() / n;
+  rec.mean_memory_s = run.total_memory_seconds() / n;
+
+  // Energy from per-operating-point slices (exact under per-phase
+  // DVFS; equivalent to single-point metering without it).
+  for (const mpi::RankReport& r : run.ranks) {
+    std::vector<power::FrequencySlice> slices;
+    slices.reserve(r.activity_by_fkey.size());
+    for (const auto& [fkey, seconds] : r.activity_by_fkey) {
+      power::FrequencySlice slice;
+      slice.frequency_mhz = static_cast<double>(fkey) / 10.0;
+      slice.activity.cpu_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kCpu)];
+      slice.activity.memory_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kMemory)];
+      slice.activity.network_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kNetwork)];
+      slice.activity.idle_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kIdle)];
+      slices.push_back(slice);
+    }
+    rec.energy += meter_.measure_node_slices(
+        slices, cluster_.operating_points, run.makespan, frequency_mhz);
+  }
+
+  double messages = 0.0;
+  double doubles = 0.0;
+  for (const mpi::RankReport& r : run.ranks) {
+    messages += static_cast<double>(r.comm.messages_sent);
+    doubles += r.comm.avg_doubles_per_message();
+  }
+  rec.messages_per_rank = messages / n;
+  rec.doubles_per_message = doubles / n;
+
+  for (const mpi::RankReport& r : run.ranks) rec.executed_per_rank += r.executed;
+  rec.executed_per_rank = rec.executed_per_rank * (1.0 / n);
+
+  pas::util::log_info(pas::util::strf(
+      "%s N=%d f=%.0fMHz: T=%.4fs, overhead=%.4fs, E=%.1fJ, verified=%d",
+      kernel.name().c_str(), nodes, frequency_mhz, rec.seconds,
+      rec.mean_overhead_s, rec.energy.total_j(), rec.verified ? 1 : 0));
+  return rec;
+}
+
+MatrixResult RunMatrix::sweep(const npb::Kernel& kernel,
+                              const std::vector<int>& node_counts,
+                              const std::vector<double>& freqs_mhz,
+                              double comm_dvfs_mhz) {
+  MatrixResult result;
+  for (int n : node_counts) {
+    for (double f : freqs_mhz) {
+      RunRecord rec = run_one(kernel, n, f, comm_dvfs_mhz);
+      result.times.add(n, f, rec.seconds);
+      result.records.push_back(std::move(rec));
+    }
+  }
+  return result;
+}
+
+}  // namespace pas::analysis

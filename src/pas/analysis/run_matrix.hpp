@@ -1,0 +1,66 @@
+// RunMatrix — executes a kernel across the (processor count, frequency)
+// configuration grid and collects what the paper's measurement
+// apparatus would: execution times, per-rank overhead time, node
+// energy, and communication profiles.
+#pragma once
+
+#include <vector>
+
+#include "pas/core/measurement.hpp"
+#include "pas/mpi/runtime.hpp"
+#include "pas/npb/kernel.hpp"
+#include "pas/power/energy_meter.hpp"
+
+namespace pas::analysis {
+
+/// Everything measured about one run.
+struct RunRecord {
+  int nodes = 0;
+  double frequency_mhz = 0.0;
+  double seconds = 0.0;          ///< T_N(w, f): the makespan
+  double mean_overhead_s = 0.0;  ///< mean per-rank network time
+  double mean_cpu_s = 0.0;       ///< mean per-rank ON-chip time
+  double mean_memory_s = 0.0;    ///< mean per-rank OFF-chip time
+  bool verified = false;
+  power::EnergyBreakdown energy;
+  double messages_per_rank = 0.0;
+  double doubles_per_message = 0.0;
+  sim::InstructionMix executed_per_rank;  ///< mean executed mix
+};
+
+struct MatrixResult {
+  std::vector<RunRecord> records;
+  core::TimingMatrix times;
+
+  const RunRecord& at(int nodes, double frequency_mhz) const;
+};
+
+/// Converts a run report into per-node activity profiles for the
+/// energy meter.
+std::vector<power::ActivityProfile> activity_profiles(
+    const mpi::RunResult& result);
+
+class RunMatrix {
+ public:
+  explicit RunMatrix(sim::ClusterConfig cluster,
+                     power::PowerModel power = power::PowerModel());
+
+  const sim::ClusterConfig& cluster() const { return cluster_; }
+
+  /// One configuration. `comm_dvfs_mhz` != 0 enables communication-
+  /// phase DVFS at that operating point (paper §1 / refs [14, 15]).
+  RunRecord run_one(const npb::Kernel& kernel, int nodes,
+                    double frequency_mhz, double comm_dvfs_mhz = 0.0);
+
+  /// The full grid.
+  MatrixResult sweep(const npb::Kernel& kernel,
+                     const std::vector<int>& node_counts,
+                     const std::vector<double>& freqs_mhz,
+                     double comm_dvfs_mhz = 0.0);
+
+ private:
+  sim::ClusterConfig cluster_;
+  power::EnergyMeter meter_;
+};
+
+}  // namespace pas::analysis

@@ -1,0 +1,73 @@
+#include "pas/core/baseline_models.hpp"
+
+#include <stdexcept>
+
+namespace pas::core {
+
+double amdahl_enhancement_speedup(double enhanced_fraction,
+                                  double enhancement_speedup) {
+  if (enhanced_fraction < 0.0 || enhanced_fraction > 1.0)
+    throw std::invalid_argument("enhanced_fraction must be in [0, 1]");
+  if (enhancement_speedup <= 0.0)
+    throw std::invalid_argument("enhancement_speedup must be > 0");
+  return 1.0 /
+         ((1.0 - enhanced_fraction) + enhanced_fraction / enhancement_speedup);
+}
+
+double amdahl_speedup(double parallel_fraction, int processors) {
+  if (processors < 1) throw std::invalid_argument("processors must be >= 1");
+  return amdahl_enhancement_speedup(parallel_fraction,
+                                    static_cast<double>(processors));
+}
+
+double generalized_amdahl_speedup(std::span<const Enhancement> enhancements) {
+  double product = 1.0;
+  for (const Enhancement& e : enhancements)
+    product *= amdahl_enhancement_speedup(e.enhanced_fraction,
+                                          e.speedup_factor);
+  return product;
+}
+
+double eq3_product_prediction(const TimingMatrix& measured, int nodes,
+                              double frequency_mhz, int base_nodes,
+                              double base_frequency_mhz) {
+  const double parallel_speedup =
+      measured.speedup(nodes, base_frequency_mhz, base_nodes,
+                       base_frequency_mhz);
+  const double frequency_speedup =
+      measured.speedup(base_nodes, frequency_mhz, base_nodes,
+                       base_frequency_mhz);
+  return parallel_speedup * frequency_speedup;
+}
+
+double gustafson_speedup(double serial_fraction, int processors) {
+  if (processors < 1) throw std::invalid_argument("processors must be >= 1");
+  if (serial_fraction < 0.0 || serial_fraction > 1.0)
+    throw std::invalid_argument("serial_fraction must be in [0, 1]");
+  const double n = static_cast<double>(processors);
+  return n - serial_fraction * (n - 1.0);
+}
+
+double sun_ni_speedup(double serial_fraction, int processors, double growth) {
+  if (processors < 1) throw std::invalid_argument("processors must be >= 1");
+  if (growth <= 0.0) throw std::invalid_argument("growth must be > 0");
+  const double n = static_cast<double>(processors);
+  const double par = 1.0 - serial_fraction;
+  return (serial_fraction + par * growth) /
+         (serial_fraction + par * growth / n);
+}
+
+double karp_flatt_serial_fraction(double speedup, int processors) {
+  if (processors < 2)
+    throw std::invalid_argument("Karp-Flatt needs >= 2 processors");
+  if (speedup <= 0.0) throw std::invalid_argument("speedup must be > 0");
+  const double n = static_cast<double>(processors);
+  return (1.0 / speedup - 1.0 / n) / (1.0 - 1.0 / n);
+}
+
+double parallel_efficiency(double speedup, int processors) {
+  if (processors < 1) throw std::invalid_argument("processors must be >= 1");
+  return speedup / static_cast<double>(processors);
+}
+
+}  // namespace pas::core

@@ -1,0 +1,55 @@
+// Baseline speedup models the paper positions itself against (§2 and
+// §6): Amdahl's Law, its multi-enhancement generalization (Equations
+// 2-3 — the model whose Table 1 failure motivates the paper), plus
+// Gustafson fixed-time, Sun-Ni memory-bounded, Karp-Flatt experimental
+// serial fraction, and Grama isoefficiency helpers.
+#pragma once
+
+#include <span>
+
+#include "pas/core/measurement.hpp"
+
+namespace pas::core {
+
+/// Eq 2: S = 1 / ((1-FE) + FE/SE) for a single enhancement applied to
+/// a fraction FE of the workload with speedup factor SE.
+double amdahl_enhancement_speedup(double enhanced_fraction,
+                                  double enhancement_speedup);
+
+/// Classic Amdahl with N processors over a parallel fraction.
+double amdahl_speedup(double parallel_fraction, int processors);
+
+/// Eq 3: the product form for e simultaneous enhancements, which
+/// assumes their effects are independent.
+struct Enhancement {
+  double enhanced_fraction = 0.0;  ///< FE_e
+  double speedup_factor = 1.0;     ///< SE_e
+};
+double generalized_amdahl_speedup(std::span<const Enhancement> enhancements);
+
+/// The Table 1 predictor: estimate S(N, f) as the product of the two
+/// measured single-enhancement speedups,
+///   S_pred(N, f) = [T(1,f0)/T(N,f0)] * [T(1,f0)/T(1,f)],
+/// exactly how Eq 3 is applied to a power-aware cluster with e = 2.
+/// Over-predicts whenever parallel overhead couples the enhancements.
+double eq3_product_prediction(const TimingMatrix& measured, int nodes,
+                              double frequency_mhz, int base_nodes,
+                              double base_frequency_mhz);
+
+/// Gustafson's fixed-time scaled speedup: S = N - alpha * (N - 1),
+/// alpha the serial fraction of the *scaled* run.
+double gustafson_speedup(double serial_fraction, int processors);
+
+/// Sun-Ni memory-bounded speedup:
+///   S = (alpha + (1 - alpha) * g) / (alpha + (1 - alpha) * g / N),
+/// where g = G(N) is the workload-growth factor allowed by memory.
+double sun_ni_speedup(double serial_fraction, int processors, double growth);
+
+/// Karp-Flatt experimentally determined serial fraction:
+///   e = (1/S - 1/N) / (1 - 1/N).
+double karp_flatt_serial_fraction(double speedup, int processors);
+
+/// Isoefficiency helper: parallel efficiency E = S / N.
+double parallel_efficiency(double speedup, int processors);
+
+}  // namespace pas::core

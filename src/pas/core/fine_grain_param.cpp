@@ -1,0 +1,84 @@
+#include "pas/core/fine_grain_param.hpp"
+
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::core {
+
+FineGrainParameterization::FineGrainParameterization(LevelWorkload workload,
+                                                     double base_frequency_mhz)
+    : workload_(workload), base_f_mhz_(base_frequency_mhz) {
+  if (base_f_mhz_ <= 0.0)
+    throw std::invalid_argument("base frequency must be > 0");
+  if (workload_.total() <= 0.0)
+    throw std::invalid_argument("empty workload");
+}
+
+void FineGrainParameterization::set_level_seconds(double f_mhz,
+                                                  const LevelSeconds& t) {
+  level_seconds_[fkey(f_mhz)] = t;
+}
+
+void FineGrainParameterization::set_comm(int nodes, double messages,
+                                         double f_mhz,
+                                         double seconds_per_message) {
+  CommEntry& entry = comm_[nodes];
+  entry.messages = messages;
+  entry.seconds_per_message[fkey(f_mhz)] = seconds_per_message;
+}
+
+const LevelSeconds& FineGrainParameterization::level_seconds(
+    double f_mhz) const {
+  auto it = level_seconds_.find(fkey(f_mhz));
+  if (it == level_seconds_.end())
+    throw std::out_of_range(
+        pas::util::strf("no level times at %.1f MHz", f_mhz));
+  return it->second;
+}
+
+double FineGrainParameterization::on_chip_seconds_per_ins(
+    double f_mhz) const {
+  const LevelSeconds& t = level_seconds(f_mhz);
+  const double on = workload_.on_chip();
+  if (on <= 0.0) return 0.0;
+  return (workload_.reg_ins * t.reg_s + workload_.l1_ins * t.l1_s +
+          workload_.l2_ins * t.l2_s) /
+         on;
+}
+
+double FineGrainParameterization::predict_sequential(double f_mhz) const {
+  const LevelSeconds& t = level_seconds(f_mhz);
+  return workload_.reg_ins * t.reg_s + workload_.l1_ins * t.l1_s +
+         workload_.l2_ins * t.l2_s + workload_.mem_ins * t.mem_s;
+}
+
+double FineGrainParameterization::predict_overhead(int nodes,
+                                                   double f_mhz) const {
+  if (nodes <= 1) return 0.0;
+  auto it = comm_.find(nodes);
+  if (it == comm_.end())
+    throw std::out_of_range(
+        pas::util::strf("no communication profile for %d nodes", nodes));
+  const auto& per_msg = it->second.seconds_per_message;
+  auto jt = per_msg.find(fkey(f_mhz));
+  if (jt == per_msg.end())
+    throw std::out_of_range(pas::util::strf(
+        "no message time for %d nodes at %.1f MHz", nodes, f_mhz));
+  return it->second.messages * jt->second;
+}
+
+double FineGrainParameterization::predict_parallel(int nodes,
+                                                   double f_mhz) const {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  const double t1 = predict_sequential(f_mhz);
+  if (nodes == 1) return t1;
+  return t1 / static_cast<double>(nodes) + predict_overhead(nodes, f_mhz);
+}
+
+double FineGrainParameterization::predict_speedup(int nodes,
+                                                  double f_mhz) const {
+  return predict_sequential(base_f_mhz_) / predict_parallel(nodes, f_mhz);
+}
+
+}  // namespace pas::core

@@ -1,0 +1,90 @@
+// Fine-grain parameterization (FP) — paper §5.2.
+//
+// Three steps, all driven by measurements:
+//   Step 1 (workload distribution): instruction counts by memory level
+//     from hardware counters (Table 5; pas::counters supplies them on
+//     the simulated node).
+//   Step 2 (workload time): seconds-per-instruction for each level per
+//     frequency from an LMBENCH-like probe, and seconds-per-message
+//     from an MPPTEST-like probe (Table 6).
+//   Step 3 (prediction): Eq 14 for sequential time, Eq 15 for parallel
+//     time = T_1(w,f)/N + T(w_PO, f), with T(w_PO) = messages * message
+//     time.
+//
+// Unlike SP, FP separates ON- and OFF-chip workloads explicitly and
+// needs no end-to-end timing runs — only probes and counters.
+#pragma once
+
+#include <map>
+
+#include "pas/core/measurement.hpp"
+
+namespace pas::core {
+
+/// Step 1 input: instructions by serving level (counter-derived).
+struct LevelWorkload {
+  double reg_ins = 0.0;
+  double l1_ins = 0.0;
+  double l2_ins = 0.0;
+  double mem_ins = 0.0;
+
+  double total() const { return reg_ins + l1_ins + l2_ins + mem_ins; }
+  double on_chip() const { return reg_ins + l1_ins + l2_ins; }
+};
+
+/// Step 2 input: seconds per instruction at one frequency.
+struct LevelSeconds {
+  double reg_s = 0.0;
+  double l1_s = 0.0;
+  double l2_s = 0.0;
+  double mem_s = 0.0;
+};
+
+class FineGrainParameterization {
+ public:
+  FineGrainParameterization(LevelWorkload workload,
+                            double base_frequency_mhz);
+
+  double base_frequency_mhz() const { return base_f_mhz_; }
+  const LevelWorkload& workload() const { return workload_; }
+
+  /// Step 2: level times measured at `f_mhz`.
+  void set_level_seconds(double f_mhz, const LevelSeconds& t);
+
+  /// Step 2: communication profile at `nodes` — messages per run and
+  /// the measured per-message time at `f_mhz`.
+  void set_comm(int nodes, double messages, double f_mhz,
+                double seconds_per_message);
+
+  /// Weighted ON-chip seconds per instruction at `f_mhz` (the paper's
+  /// CPI_ON / f_ON with the Step 1 weights).
+  double on_chip_seconds_per_ins(double f_mhz) const;
+
+  /// Eq 14 — predicted sequential time.
+  double predict_sequential(double f_mhz) const;
+
+  /// T(w_PO, f) — predicted overhead time (0 for one node).
+  double predict_overhead(int nodes, double f_mhz) const;
+
+  /// Eq 15 — predicted parallel time (Assumption 1: workload fully
+  /// parallelizable).
+  double predict_parallel(int nodes, double f_mhz) const;
+
+  /// Predicted power-aware speedup relative to (1, f0).
+  double predict_speedup(int nodes, double f_mhz) const;
+
+ private:
+  static long fkey(double mhz) { return static_cast<long>(mhz * 10.0 + 0.5); }
+  const LevelSeconds& level_seconds(double f_mhz) const;
+
+  LevelWorkload workload_;
+  double base_f_mhz_;
+  std::map<long, LevelSeconds> level_seconds_;
+  struct CommEntry {
+    double messages = 0.0;
+    std::map<long, double> seconds_per_message;  ///< by frequency
+  };
+  std::map<int, CommEntry> comm_;
+};
+
+}  // namespace pas::core

@@ -1,0 +1,64 @@
+#include "pas/core/isoefficiency.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pas::core {
+
+double fitted_efficiency(const WorkloadFit& fit, int nodes) {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  const double t1 = fit.serial_s + fit.parallel_s;
+  const double tn = fit.serial_s +
+                    fit.parallel_s / static_cast<double>(nodes) +
+                    fit.overhead_seconds(nodes);
+  if (tn <= 0.0) return 0.0;
+  return t1 / (static_cast<double>(nodes) * tn);
+}
+
+double iso_workload_factor(const WorkloadFit& fit, int nodes,
+                           double target_efficiency) {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  if (target_efficiency <= 0.0 || target_efficiency > 1.0)
+    throw std::invalid_argument("target efficiency must be in (0, 1]");
+  const double n = static_cast<double>(nodes);
+  const double a = fit.serial_s;
+  const double b = fit.parallel_s;
+  const double e = target_efficiency;
+  // Scaling the frequency-scaled work by k while the overhead stays:
+  //   E = k (A + B) / (N (kA + kB/N + C + D/N))
+  // => k [(A + B) - E (N A + B)] = E (N C + D).
+  const double denom = (a + b) - e * (n * a + b);
+  const double overhead_budget =
+      e * (n * fit.invariant_s + fit.overhead_per_n_s);
+  if (denom <= 0.0) {
+    // Amdahl ceiling: the serial part alone caps E below the target.
+    // With zero overhead and E exactly at the ceiling, any k works.
+    return overhead_budget <= 0.0 && denom == 0.0
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
+  // Negative budgets (fit noise can make C or D slightly negative)
+  // mean the target is already exceeded at any workload.
+  return std::max(0.0, overhead_budget / denom);
+}
+
+std::vector<IsoPoint> isoefficiency_curve(const WorkloadFit& fit,
+                                          const std::vector<int>& node_counts,
+                                          double target_efficiency) {
+  std::vector<IsoPoint> out;
+  out.reserve(node_counts.size());
+  for (int n : node_counts)
+    out.push_back(IsoPoint{n, iso_workload_factor(fit, n, target_efficiency)});
+  return out;
+}
+
+bool is_scalable(const WorkloadFit& fit, const std::vector<int>& node_counts,
+                 double target_efficiency) {
+  for (int n : node_counts) {
+    const double k = iso_workload_factor(fit, n, target_efficiency);
+    if (!(k < std::numeric_limits<double>::infinity())) return false;
+  }
+  return true;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,48 @@
+// Isoefficiency analysis (Grama, Gupta & Kumar — ref [18] of the
+// paper's related work): how fast must the workload grow with the
+// processor count to hold parallel efficiency constant?
+//
+// Built on the fitted workload surface (workload_fit.hpp): with
+// T(N) = A + B/N + C + D/N at a fixed frequency, scaling the
+// frequency-scaled work by k scales A and B while the overhead terms
+// stay; the efficiency of the scaled run is
+//
+//   E(N, k) = k (A + B) / (N * T_scaled(N, k)).
+//
+// iso_workload_factor solves for the k that achieves a target
+// efficiency; the growth of k with N is the isoefficiency function.
+#pragma once
+
+#include <vector>
+
+#include "pas/core/workload_fit.hpp"
+
+namespace pas::core {
+
+/// Parallel efficiency of the *fitted* surface at (nodes, f0), i.e.
+/// T(1) / (N * T(N)).
+double fitted_efficiency(const WorkloadFit& fit, int nodes);
+
+/// The workload scale factor k >= 0 that makes the scaled run hit
+/// `target_efficiency` on `nodes` processors at the base frequency.
+/// Returns +inf when the target is unreachable (overhead alone already
+/// exceeds the allowed budget). Throws std::invalid_argument for a
+/// target outside (0, 1] or nodes < 1.
+double iso_workload_factor(const WorkloadFit& fit, int nodes,
+                           double target_efficiency);
+
+/// The isoefficiency curve over a set of node counts.
+struct IsoPoint {
+  int nodes = 0;
+  double workload_factor = 0.0;
+};
+std::vector<IsoPoint> isoefficiency_curve(const WorkloadFit& fit,
+                                          const std::vector<int>& node_counts,
+                                          double target_efficiency);
+
+/// True if the workload (per the fit) is scalable in the isoefficiency
+/// sense: a finite workload factor exists for every requested count.
+bool is_scalable(const WorkloadFit& fit, const std::vector<int>& node_counts,
+                 double target_efficiency);
+
+}  // namespace pas::core

@@ -1,0 +1,52 @@
+#include "pas/core/measurement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::core {
+
+void TimingMatrix::add(int nodes, double frequency_mhz, double seconds) {
+  samples_[{nodes, fkey(frequency_mhz)}] = seconds;
+}
+
+bool TimingMatrix::has(int nodes, double frequency_mhz) const {
+  return samples_.count({nodes, fkey(frequency_mhz)}) != 0;
+}
+
+double TimingMatrix::at(int nodes, double frequency_mhz) const {
+  auto it = samples_.find({nodes, fkey(frequency_mhz)});
+  if (it == samples_.end())
+    throw std::out_of_range(pas::util::strf(
+        "TimingMatrix: no sample at N=%d f=%.1f MHz", nodes, frequency_mhz));
+  return it->second;
+}
+
+double TimingMatrix::speedup(int nodes, double frequency_mhz, int base_nodes,
+                             double base_f) const {
+  return at(base_nodes, base_f) / at(nodes, frequency_mhz);
+}
+
+std::vector<int> TimingMatrix::node_counts() const {
+  std::vector<int> out;
+  for (const auto& [key, value] : samples_) {
+    if (out.empty() || out.back() != key.first) out.push_back(key.first);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> TimingMatrix::frequencies_mhz() const {
+  std::vector<long> keys;
+  for (const auto& [key, value] : samples_) keys.push_back(key.second);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<double> out;
+  out.reserve(keys.size());
+  for (long k : keys) out.push_back(static_cast<double>(k) / 10.0);
+  return out;
+}
+
+}  // namespace pas::core

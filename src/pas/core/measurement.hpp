@@ -1,0 +1,55 @@
+// Measurement records — the only things the predictors are allowed to
+// see (DESIGN.md decision 2: the predictor/measurement firewall).
+// These are what a stopwatch, PAPI, LMBENCH and MPPTEST would give you
+// on the real cluster.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pas::core {
+
+/// One timed run at a system configuration.
+struct TimingSample {
+  int nodes = 0;
+  double frequency_mhz = 0.0;
+  double seconds = 0.0;
+};
+
+/// A (nodes, frequency) -> execution-time table.
+class TimingMatrix {
+ public:
+  void add(int nodes, double frequency_mhz, double seconds);
+  void add(const TimingSample& s) { add(s.nodes, s.frequency_mhz, s.seconds); }
+
+  bool has(int nodes, double frequency_mhz) const;
+  /// Throws std::out_of_range when the entry is missing.
+  double at(int nodes, double frequency_mhz) const;
+
+  /// Measured speedup relative to (base_nodes, base_f).
+  double speedup(int nodes, double frequency_mhz, int base_nodes,
+                 double base_f) const;
+
+  std::vector<int> node_counts() const;
+  std::vector<double> frequencies_mhz() const;
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  /// Frequencies keyed to 0.1 MHz to avoid float-key surprises.
+  static long fkey(double mhz) { return static_cast<long>(mhz * 10.0 + 0.5); }
+  std::map<std::pair<int, long>, double> samples_;
+};
+
+/// Communication profile of a kernel at a node count (§5.2 step 2:
+/// "the product of number of messages and message time").
+struct CommProfile {
+  int nodes = 0;
+  /// Messages per run on one rank's critical path.
+  double messages = 0.0;
+  /// Representative payload size (doubles per message).
+  double doubles_per_message = 0.0;
+};
+
+}  // namespace pas::core

@@ -1,0 +1,71 @@
+#include "pas/core/power_aware_speedup.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::core {
+
+PowerAwareModel::PowerAwareModel(DopWorkload workload, MachineRates rates,
+                                 double base_frequency_mhz)
+    : workload_(std::move(workload)),
+      rates_(rates),
+      base_f_mhz_(base_frequency_mhz) {
+  if (base_f_mhz_ <= 0.0)
+    throw std::invalid_argument("base frequency must be > 0");
+  for (const auto& [dop, w] : workload_.by_dop) {
+    if (dop < 1) throw std::invalid_argument("DOP must be >= 1");
+    (void)w;
+  }
+}
+
+double PowerAwareModel::sequential_time(double f_mhz) const {
+  const Work w = workload_.application_work();
+  return w.on_chip * rates_.sec_per_on_op(f_mhz) +
+         w.off_chip * rates_.off_op_seconds(f_mhz);
+}
+
+double PowerAwareModel::overhead_time(double f_mhz) const {
+  return workload_.overhead.on_chip * rates_.sec_per_on_op(f_mhz) +
+         workload_.overhead.off_chip * rates_.off_op_seconds(f_mhz);
+}
+
+double PowerAwareModel::dop_term_time(const Work& w, int dop, int nodes,
+                                      double f_mhz) const {
+  // With i <= N the term runs i-wide: w_i / i per processor. With
+  // i > N the footnote's ceil(i/N) factor serializes the surplus.
+  const double i = static_cast<double>(dop);
+  const double waves = std::ceil(i / static_cast<double>(nodes));
+  const double scale = waves / i;
+  return w.on_chip * scale * rates_.sec_per_on_op(f_mhz) +
+         w.off_chip * scale * rates_.off_op_seconds(f_mhz);
+}
+
+double PowerAwareModel::parallel_time(int nodes, double f_mhz) const {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  double t = 0.0;
+  for (const auto& [dop, w] : workload_.by_dop)
+    t += dop_term_time(w, dop, nodes, f_mhz);
+  if (nodes > 1) t += overhead_time(f_mhz);
+  return t;
+}
+
+double PowerAwareModel::speedup(int nodes, double f_mhz) const {
+  return sequential_time(base_f_mhz_) / parallel_time(nodes, f_mhz);
+}
+
+double PowerAwareModel::same_frequency_speedup(int nodes,
+                                               double f_mhz) const {
+  return sequential_time(f_mhz) / parallel_time(nodes, f_mhz);
+}
+
+std::string PowerAwareModel::to_string() const {
+  return pas::util::strf(
+      "PowerAwareModel{%s; CPI_ON=%.3f, off=%.0fns/%.0fns, f0=%.0fMHz}",
+      workload_.to_string().c_str(), rates_.cpi_on,
+      rates_.sec_per_off_op * 1e9, rates_.sec_per_off_op_slow * 1e9,
+      base_f_mhz_);
+}
+
+}  // namespace pas::core

@@ -1,0 +1,84 @@
+// Power-aware speedup — the paper's primary contribution (§3,
+// Equations 4-11).
+//
+// Given a DOP + ON-/OFF-chip workload decomposition and machine rates
+// (CPI_ON, CPI_OFF and the two clocks), the model produces:
+//
+//   T_1(w, f)   = w_ON * CPI_ON/f_ON + w_OFF * CPI_OFF/f_OFF      (Eq 6)
+//   T_N(w, f)   = sum_i [ w_i^ON/i * CPI_ON/f_ON
+//                        + w_i^OFF/i * CPI_OFF/f_OFF ]
+//                 + T(w_PO^ON, f) + T(w_PO^OFF, f)                (Eq 9)
+//   S_N(w, f)   = T_1(w, f0) / T_N(w, f)                        (Eq 4/10)
+//
+// For m > N the footnote's ceil(i/N) factor limits achievable
+// parallelism to the available processors.
+#pragma once
+
+#include <string>
+
+#include "pas/core/workload.hpp"
+
+namespace pas::core {
+
+/// Machine rates in the model's terms. `cpi_on` is the weighted
+/// ON-chip cycles per instruction; `sec_per_off_op(f)` covers the
+/// optional bus-slowdown step at low CPU clocks (Table 6).
+struct MachineRates {
+  double cpi_on = 2.19;
+  /// Seconds per OFF-chip workload at full bus speed (CPI_OFF/f_OFF).
+  double sec_per_off_op = 110e-9;
+  /// Seconds per OFF-chip workload when the CPU clock sits below
+  /// `bus_slowdown_below_mhz` (0 disables the step).
+  double sec_per_off_op_slow = 140e-9;
+  double bus_slowdown_below_mhz = 900.0;
+
+  double sec_per_on_op(double f_mhz) const {
+    return cpi_on / (f_mhz * 1e6);
+  }
+  double off_op_seconds(double f_mhz) const {
+    if (bus_slowdown_below_mhz > 0.0 && f_mhz < bus_slowdown_below_mhz)
+      return sec_per_off_op_slow;
+    return sec_per_off_op;
+  }
+};
+
+/// The analytic model: workload + rates + base frequency.
+class PowerAwareModel {
+ public:
+  PowerAwareModel(DopWorkload workload, MachineRates rates,
+                  double base_frequency_mhz);
+
+  const DopWorkload& workload() const { return workload_; }
+  const MachineRates& rates() const { return rates_; }
+  double base_frequency_mhz() const { return base_f_mhz_; }
+
+  /// Eq 6 — sequential execution time at frequency `f_mhz` (overhead
+  /// excluded: one processor incurs no parallel overhead).
+  double sequential_time(double f_mhz) const;
+
+  /// Execution time of the overhead term T(w_PO, f) (Eq 8's additive
+  /// terms). w_PO^ON is paced by the CPU clock, w_PO^OFF is not.
+  double overhead_time(double f_mhz) const;
+
+  /// Eq 9 — parallel execution time on `nodes` processors at `f_mhz`.
+  double parallel_time(int nodes, double f_mhz) const;
+
+  /// Eq 4/10 — power-aware speedup relative to (1 processor, base f0).
+  double speedup(int nodes, double f_mhz) const;
+
+  /// Traditional same-frequency speedup T_1(f)/T_N(f) for comparison.
+  double same_frequency_speedup(int nodes, double f_mhz) const;
+
+  std::string to_string() const;
+
+ private:
+  /// Time for one Work term with DOP i on `nodes` processors.
+  double dop_term_time(const Work& w, int dop, int nodes,
+                       double f_mhz) const;
+
+  DopWorkload workload_;
+  MachineRates rates_;
+  double base_f_mhz_;
+};
+
+}  // namespace pas::core

@@ -1,0 +1,60 @@
+#include "pas/core/simplified_param.hpp"
+
+#include <stdexcept>
+
+namespace pas::core {
+
+SimplifiedParameterization::SimplifiedParameterization(
+    double base_frequency_mhz)
+    : base_f_mhz_(base_frequency_mhz) {
+  if (base_f_mhz_ <= 0.0)
+    throw std::invalid_argument("base frequency must be > 0");
+}
+
+void SimplifiedParameterization::add_sequential(double f_mhz, double seconds) {
+  sequential_.add(1, f_mhz, seconds);
+}
+
+void SimplifiedParameterization::add_parallel_base(int nodes, double seconds) {
+  parallel_base_.add(nodes, base_f_mhz_, seconds);
+}
+
+void SimplifiedParameterization::ingest(const TimingMatrix& measured) {
+  for (double f : measured.frequencies_mhz()) {
+    if (measured.has(1, f)) add_sequential(f, measured.at(1, f));
+  }
+  for (int n : measured.node_counts()) {
+    if (measured.has(n, base_f_mhz_))
+      add_parallel_base(n, measured.at(n, base_f_mhz_));
+  }
+}
+
+bool SimplifiedParameterization::ready() const {
+  return sequential_.has(1, base_f_mhz_);
+}
+
+double SimplifiedParameterization::overhead_seconds(int nodes) const {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  if (nodes == 1) return 0.0;
+  const double t1_base = sequential_.at(1, base_f_mhz_);
+  const double tn_base = parallel_base_.at(nodes, base_f_mhz_);
+  // Eq 17. Can come out slightly negative for super-linear regions;
+  // keep the raw value — the prediction formula is linear in it and a
+  // clamp would bias Eq 18.
+  return tn_base - t1_base / static_cast<double>(nodes);
+}
+
+double SimplifiedParameterization::predict_time(int nodes,
+                                                double f_mhz) const {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  const double t1 = sequential_.at(1, f_mhz);
+  if (nodes == 1) return t1;
+  return t1 / static_cast<double>(nodes) + overhead_seconds(nodes);
+}
+
+double SimplifiedParameterization::predict_speedup(int nodes,
+                                                   double f_mhz) const {
+  return sequential_.at(1, base_f_mhz_) / predict_time(nodes, f_mhz);
+}
+
+}  // namespace pas::core

@@ -1,0 +1,52 @@
+// Simplified parameterization (SP) — paper §5.1.
+//
+// Inputs (measurements only):
+//   Step 1: T_N(w, f0) for each processor count at the base frequency.
+//   Step 3: T_1(w, f) for each frequency on one processor.
+// Derivation:
+//   Step 2 (Eq 17): T(w_PO)_N = T_N(w, f0) - T_1(w, f0) / N.
+//   Step 4 (Eq 18): T_N(w, f) = T_1(w, f) / N + T(w_PO)_N.
+//
+// Assumptions (the documented error sources):
+//   1. the workload is perfectly parallelizable (w = w_N), and
+//   2. parallel overhead is frequency-independent (w_PO^ON = 0).
+#pragma once
+
+#include "pas/core/measurement.hpp"
+
+namespace pas::core {
+
+class SimplifiedParameterization {
+ public:
+  explicit SimplifiedParameterization(double base_frequency_mhz);
+
+  double base_frequency_mhz() const { return base_f_mhz_; }
+
+  /// Step 3 (and Step 1's N=1 entry): sequential time at `f_mhz`.
+  void add_sequential(double f_mhz, double seconds);
+
+  /// Step 1: parallel time at the base frequency for `nodes`.
+  void add_parallel_base(int nodes, double seconds);
+
+  /// Ingests every (1, f) and (N, f0) sample of a measured matrix.
+  void ingest(const TimingMatrix& measured);
+
+  /// Eq 17 — derived overhead time for `nodes` (0 for nodes == 1).
+  double overhead_seconds(int nodes) const;
+
+  /// Eq 18 — predicted execution time at (nodes, f_mhz).
+  double predict_time(int nodes, double f_mhz) const;
+
+  /// Predicted power-aware speedup relative to (1, f0).
+  double predict_speedup(int nodes, double f_mhz) const;
+
+  /// True once the base sequential time is available.
+  bool ready() const;
+
+ private:
+  double base_f_mhz_;
+  TimingMatrix sequential_;     ///< (1, f) samples
+  TimingMatrix parallel_base_;  ///< (N, f0) samples
+};
+
+}  // namespace pas::core

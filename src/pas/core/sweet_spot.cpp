@@ -1,0 +1,50 @@
+#include "pas/core/sweet_spot.hpp"
+
+#include <algorithm>
+
+namespace pas::core {
+
+SweetSpotFinder::SweetSpotFinder(power::PowerModel model,
+                                 sim::OperatingPointTable points)
+    : model_(std::move(model)), points_(std::move(points)) {}
+
+double SweetSpotFinder::predict_energy(int nodes, double f_mhz, double time_s,
+                                       double overhead_s) const {
+  const sim::OperatingPoint& p = points_.at_mhz(f_mhz);
+  const double comm = std::clamp(overhead_s, 0.0, time_s);
+  const double busy = time_s - comm;
+  const double per_node =
+      busy * model_.node_power_w(sim::Activity::kCpu, p) +
+      comm * model_.node_power_w(sim::Activity::kNetwork, p);
+  return static_cast<double>(nodes) * per_node;
+}
+
+std::vector<power::MetricPoint> SweetSpotFinder::evaluate(
+    const std::vector<int>& node_counts, const std::vector<double>& freqs_mhz,
+    const TimeFn& time, const OverheadFn& overhead) const {
+  std::vector<power::MetricPoint> points;
+  points.reserve(node_counts.size() * freqs_mhz.size());
+  for (int n : node_counts) {
+    for (double f : freqs_mhz) {
+      power::MetricPoint p;
+      p.nodes = n;
+      p.frequency_mhz = f;
+      p.time_s = time(n, f);
+      const double ov = overhead ? overhead(n, f) : 0.0;
+      p.energy_j = predict_energy(n, f, p.time_s, ov);
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+power::MetricPoint SweetSpotFinder::find(const std::vector<int>& node_counts,
+                                         const std::vector<double>& freqs_mhz,
+                                         const TimeFn& time,
+                                         power::Objective objective,
+                                         const OverheadFn& overhead) const {
+  return power::best(evaluate(node_counts, freqs_mhz, time, overhead),
+                     objective);
+}
+
+}  // namespace pas::core

@@ -1,0 +1,52 @@
+// Sweet-spot search (paper §2: "identify 'sweet spot' system
+// configurations of processor count and frequency" and §7: "Coupled
+// with an energy-delay metric, this new speedup model can predict both
+// the performance and the energy/power consumption").
+//
+// Couples any execution-time predictor (SP, FP, or the analytic model)
+// with the node power model to produce predicted MetricPoints over a
+// configuration grid, then ranks them under a chosen objective.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pas/power/energy_delay.hpp"
+#include "pas/power/power_model.hpp"
+
+namespace pas::core {
+
+class SweetSpotFinder {
+ public:
+  /// Predicted execution time at a configuration (seconds).
+  using TimeFn = std::function<double(int nodes, double f_mhz)>;
+  /// Predicted communication/overhead time within that run (seconds);
+  /// pass nullptr-equivalent (empty) to treat runs as all-compute.
+  using OverheadFn = std::function<double(int nodes, double f_mhz)>;
+
+  SweetSpotFinder(power::PowerModel model, sim::OperatingPointTable points);
+
+  /// Predicted energy of one configuration: `nodes` nodes drawing
+  /// compute power for (time - overhead) and network power for the
+  /// overhead portion.
+  double predict_energy(int nodes, double f_mhz, double time_s,
+                        double overhead_s) const;
+
+  /// Evaluates the whole grid.
+  std::vector<power::MetricPoint> evaluate(
+      const std::vector<int>& node_counts,
+      const std::vector<double>& freqs_mhz, const TimeFn& time,
+      const OverheadFn& overhead = {}) const;
+
+  /// Convenience: evaluate + pick the optimum under `objective`.
+  power::MetricPoint find(const std::vector<int>& node_counts,
+                          const std::vector<double>& freqs_mhz,
+                          const TimeFn& time, power::Objective objective,
+                          const OverheadFn& overhead = {}) const;
+
+ private:
+  power::PowerModel model_;
+  sim::OperatingPointTable points_;
+};
+
+}  // namespace pas::core

@@ -1,0 +1,51 @@
+#include "pas/core/workload.hpp"
+
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::core {
+
+int DopWorkload::max_dop() const {
+  return by_dop.empty() ? 0 : by_dop.rbegin()->first;
+}
+
+Work DopWorkload::application_work() const {
+  Work total;
+  for (const auto& [dop, w] : by_dop) total += w;
+  return total;
+}
+
+double DopWorkload::serial_fraction() const {
+  const double total = application_work().total();
+  if (total <= 0.0) return 0.0;
+  auto it = by_dop.find(1);
+  return it == by_dop.end() ? 0.0 : it->second.total() / total;
+}
+
+DopWorkload DopWorkload::perfectly_parallel(Work w, int dop) {
+  if (dop < 1) throw std::invalid_argument("dop must be >= 1");
+  DopWorkload out;
+  out.by_dop[dop] = w;
+  return out;
+}
+
+DopWorkload DopWorkload::serial_plus_parallel(Work w1, Work wn, int dop) {
+  if (dop < 1) throw std::invalid_argument("dop must be >= 1");
+  DopWorkload out;
+  if (w1.total() > 0.0) out.by_dop[1] = w1;
+  out.by_dop[dop] += wn;
+  return out;
+}
+
+std::string DopWorkload::to_string() const {
+  std::string out;
+  for (const auto& [dop, w] : by_dop)
+    out += pas::util::strf("w[%d]=(on %.3g, off %.3g) ", dop, w.on_chip,
+                           w.off_chip);
+  out += pas::util::strf("wPO=(on %.3g, off %.3g)", overhead.on_chip,
+                         overhead.off_chip);
+  return out;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,70 @@
+// Workload decomposition vocabulary of the power-aware speedup model
+// (paper §3).
+//
+// A workload w is decomposed two ways simultaneously:
+//   * ON-chip vs OFF-chip (does the work scale with the DVFS clock
+//     f_ON, or with the bus clock f_OFF?), and
+//   * by degree of parallelism (DOP i: w_i can use at most i
+//     processors at once),
+// plus a parallel-overhead term w_PO (communication/synchronization),
+// itself ON/OFF-chip split.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace pas::core {
+
+/// An amount of work (instructions) split into the part paced by the
+/// CPU clock and the part paced by the bus.
+struct Work {
+  double on_chip = 0.0;
+  double off_chip = 0.0;
+
+  double total() const { return on_chip + off_chip; }
+
+  Work& operator+=(const Work& o) {
+    on_chip += o.on_chip;
+    off_chip += o.off_chip;
+    return *this;
+  }
+  friend Work operator+(Work a, const Work& b) {
+    a += b;
+    return a;
+  }
+  friend Work operator*(Work w, double k) {
+    w.on_chip *= k;
+    w.off_chip *= k;
+    return w;
+  }
+};
+
+/// The full decomposition: w = sum_i w_i (1 <= i <= m) plus overhead.
+struct DopWorkload {
+  /// w_i by degree of parallelism i (i >= 1).
+  std::map<int, Work> by_dop;
+  /// Parallel overhead w_PO. The paper assumes it cannot be
+  /// parallelized; for message-passing codes w_PO^ON ~ 0 (§4.3).
+  Work overhead;
+
+  /// Maximum DOP m.
+  int max_dop() const;
+
+  /// Total application work (excluding overhead).
+  Work application_work() const;
+
+  /// Serial fraction: w_1 / total (the Amdahl bottleneck).
+  double serial_fraction() const;
+
+  /// Convenience: perfectly parallelizable workload (w = w_m, m = dop),
+  /// the paper's Assumption 1.
+  static DopWorkload perfectly_parallel(Work w, int dop);
+
+  /// Amdahl-style two-piece workload: serial part w1 + parallel part
+  /// w_N with DOP = dop.
+  static DopWorkload serial_plus_parallel(Work w1, Work wn, int dop);
+
+  std::string to_string() const;
+};
+
+}  // namespace pas::core

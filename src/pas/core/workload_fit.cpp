@@ -1,0 +1,127 @@
+#include "pas/core/workload_fit.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace pas::core {
+namespace {
+
+constexpr int kBasis = 4;
+using Row = std::array<double, kBasis>;
+using Matrix = std::array<Row, kBasis>;
+
+/// Basis phi(N, f) = {g, g/N, [N>1], [N>1]/N} with g = f0/f. The
+/// serial run carries no overhead terms, matching the model's T_1
+/// (Eq 6) having no w_PO contribution.
+Row basis(int n, double g) {
+  const double par = n > 1 ? 1.0 : 0.0;
+  return Row{g, g / static_cast<double>(n), par,
+             par / static_cast<double>(n)};
+}
+
+/// Solves M x = b by Gaussian elimination with partial pivoting.
+/// Throws on a (near-)singular system.
+std::array<double, kBasis> solve(Matrix m, Row b) {
+  for (int col = 0; col < kBasis; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < kBasis; ++row) {
+      if (std::fabs(m[row][col]) > std::fabs(m[pivot][col])) pivot = row;
+    }
+    if (std::fabs(m[pivot][col]) < 1e-25)
+      throw std::invalid_argument(
+          "fit_workload: singular system (need variation in both N and f)");
+    std::swap(m[col], m[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int row = col + 1; row < kBasis; ++row) {
+      const double factor = m[row][col] / m[col][col];
+      for (int k = col; k < kBasis; ++k) m[row][k] -= factor * m[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::array<double, kBasis> x{};
+  for (int row = kBasis - 1; row >= 0; --row) {
+    double sum = b[row];
+    for (int k = row + 1; k < kBasis; ++k) sum -= m[row][k] * x[k];
+    x[row] = sum / m[row][row];
+  }
+  return x;
+}
+
+}  // namespace
+
+double WorkloadFit::serial_fraction() const {
+  const double total = serial_s + parallel_s;
+  return total > 0.0 ? serial_s / total : 0.0;
+}
+
+double WorkloadFit::overhead_seconds(int nodes) const {
+  if (nodes <= 1) return 0.0;
+  return invariant_s + overhead_per_n_s / static_cast<double>(nodes);
+}
+
+double WorkloadFit::predict_time(int nodes, double f_mhz) const {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  const double g = base_f_mhz / f_mhz;
+  return serial_s * g + parallel_s * g / static_cast<double>(nodes) +
+         overhead_seconds(nodes);
+}
+
+double WorkloadFit::predict_speedup(int nodes, double f_mhz) const {
+  return predict_time(1, base_f_mhz) / predict_time(nodes, f_mhz);
+}
+
+WorkloadFit fit_workload(const TimingMatrix& measured, double base_f_mhz) {
+  if (base_f_mhz <= 0.0)
+    throw std::invalid_argument("base frequency must be > 0");
+  if (measured.size() < static_cast<std::size_t>(kBasis))
+    throw std::invalid_argument("fit_workload: need >= 4 samples");
+
+  Matrix m{};
+  Row rhs{};
+  double sum_t = 0.0;
+  std::size_t count = 0;
+  for (int n : measured.node_counts()) {
+    for (double f : measured.frequencies_mhz()) {
+      if (!measured.has(n, f)) continue;
+      const double t = measured.at(n, f);
+      const Row phi = basis(n, base_f_mhz / f);
+      for (int i = 0; i < kBasis; ++i) {
+        rhs[static_cast<std::size_t>(i)] +=
+            phi[static_cast<std::size_t>(i)] * t;
+        for (int j = 0; j < kBasis; ++j)
+          m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+              phi[static_cast<std::size_t>(i)] *
+              phi[static_cast<std::size_t>(j)];
+      }
+      sum_t += t;
+      ++count;
+    }
+  }
+
+  const std::array<double, kBasis> coeff = solve(m, rhs);
+  WorkloadFit fit;
+  fit.base_f_mhz = base_f_mhz;
+  fit.serial_s = coeff[0];
+  fit.parallel_s = coeff[1];
+  fit.invariant_s = coeff[2];
+  fit.overhead_per_n_s = coeff[3];
+
+  // R^2 over all samples.
+  const double mean_t = sum_t / static_cast<double>(count);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (int n : measured.node_counts()) {
+    for (double f : measured.frequencies_mhz()) {
+      if (!measured.has(n, f)) continue;
+      const double t = measured.at(n, f);
+      const double p = fit.predict_time(n, f);
+      ss_res += (t - p) * (t - p);
+      ss_tot += (t - mean_t) * (t - mean_t);
+    }
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace pas::core

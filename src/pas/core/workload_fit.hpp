@@ -1,0 +1,55 @@
+// Workload estimation from timing measurements — the direction the
+// paper names as future work ("we are working presently to obtain
+// better estimates of DOP" and "exploring ways to measure w_1
+// directly", §5.2 / footnote 5).
+//
+// Model fitted by linear least squares over a measured (N, f) matrix
+// (parallel configurations only carry the overhead terms):
+//
+//   T(N, f) = A * (f0/f) + B * (f0/f) / N + C + D / N
+//
+//   A — serial, frequency-scaled time (w_1's ON-chip work at f0),
+//   B — parallelizable, frequency-scaled time (w_N at f0),
+//   C — frequency- and parallelism-blind overhead (per-rank latency
+//       floor: barriers, collective depth),
+//   D — frequency-blind overhead that shrinks with N (per-rank data
+//       volume: FT's all-to-all moves ~1/N of the grid per rank).
+//
+// The decomposition separates exactly the quantities the power-aware
+// speedup model needs but SP/FP must assume: the serial fraction
+// (Assumption 1) and the frequency sensitivity of the remainder
+// (Assumption 2).
+#pragma once
+
+#include "pas/core/measurement.hpp"
+
+namespace pas::core {
+
+struct WorkloadFit {
+  double base_f_mhz = 0.0;
+  double serial_s = 0.0;        ///< A at the base frequency
+  double parallel_s = 0.0;      ///< B at the base frequency
+  double invariant_s = 0.0;     ///< C
+  double overhead_per_n_s = 0.0;  ///< D
+  double r2 = 0.0;              ///< coefficient of determination
+
+  /// w_1 / (w_1 + w_N) in time-at-base terms.
+  double serial_fraction() const;
+
+  /// Total frequency-blind overhead at a node count (C + D/N).
+  double overhead_seconds(int nodes) const;
+
+  /// The fitted surface evaluated at a configuration.
+  double predict_time(int nodes, double f_mhz) const;
+
+  /// Predicted power-aware speedup relative to (1 node, base f).
+  double predict_speedup(int nodes, double f_mhz) const;
+};
+
+/// Fits the three-parameter surface to all samples of `measured`.
+/// Requires at least 3 samples spanning more than one N and more than
+/// one f (otherwise the system is singular); throws
+/// std::invalid_argument in that case.
+WorkloadFit fit_workload(const TimingMatrix& measured, double base_f_mhz);
+
+}  // namespace pas::core

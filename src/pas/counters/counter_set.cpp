@@ -1,0 +1,106 @@
+#include "pas/counters/counter_set.hpp"
+
+#include <algorithm>
+
+#include "pas/util/format.hpp"
+
+namespace pas::counters {
+
+double WorkloadDecomposition::on_chip_fraction() const {
+  const double t = total();
+  return t > 0.0 ? on_chip() / t : 0.0;
+}
+
+double WorkloadDecomposition::reg_weight() const {
+  const double on = on_chip();
+  return on > 0.0 ? reg_ins / on : 0.0;
+}
+
+double WorkloadDecomposition::l1_weight() const {
+  const double on = on_chip();
+  return on > 0.0 ? l1_ins / on : 0.0;
+}
+
+double WorkloadDecomposition::l2_weight() const {
+  const double on = on_chip();
+  return on > 0.0 ? l2_ins / on : 0.0;
+}
+
+sim::InstructionMix WorkloadDecomposition::to_mix() const {
+  sim::InstructionMix mix;
+  mix.reg_ops = reg_ins;
+  mix.l1_ops = l1_ins;
+  mix.l2_ops = l2_ins;
+  mix.mem_ops = mem_ins;
+  return mix;
+}
+
+std::string WorkloadDecomposition::to_string() const {
+  return pas::util::strf(
+      "reg %.3g, L1 %.3g, L2 %.3g, mem %.3g (ON-chip %.1f%%)", reg_ins,
+      l1_ins, l2_ins, mem_ins, on_chip_fraction() * 100.0);
+}
+
+void CounterSet::reset() { counts_.fill(0.0); }
+
+void CounterSet::record_mix(const sim::InstructionMix& mix) {
+  auto& c = counts_;
+  c[static_cast<std::size_t>(Event::kTotalInstructions)] += mix.total();
+  const double dca = mix.l1_ops + mix.l2_ops + mix.mem_ops;
+  c[static_cast<std::size_t>(Event::kL1DataAccesses)] += dca;
+  const double l1_miss = mix.l2_ops + mix.mem_ops;
+  c[static_cast<std::size_t>(Event::kL1DataMisses)] += l1_miss;
+  c[static_cast<std::size_t>(Event::kL2TotalAccesses)] += l1_miss;
+  c[static_cast<std::size_t>(Event::kL2TotalMisses)] += mix.mem_ops;
+}
+
+void CounterSet::record_access(sim::MemoryLevel level) {
+  sim::InstructionMix mix;
+  switch (level) {
+    case sim::MemoryLevel::kRegister:
+      mix.reg_ops = 1.0;
+      break;
+    case sim::MemoryLevel::kL1:
+      mix.l1_ops = 1.0;
+      break;
+    case sim::MemoryLevel::kL2:
+      mix.l2_ops = 1.0;
+      break;
+    case sim::MemoryLevel::kMemory:
+      mix.mem_ops = 1.0;
+      break;
+  }
+  record_mix(mix);
+}
+
+void CounterSet::record_register_ops(double n) {
+  sim::InstructionMix mix;
+  mix.reg_ops = n;
+  record_mix(mix);
+}
+
+WorkloadDecomposition CounterSet::decompose() const {
+  WorkloadDecomposition d;
+  const double tot = count(Event::kTotalInstructions);
+  const double dca = count(Event::kL1DataAccesses);
+  const double dcm = count(Event::kL1DataMisses);
+  const double tca = count(Event::kL2TotalAccesses);
+  const double tcm = count(Event::kL2TotalMisses);
+  // Table 5 of the paper, clamped so counter noise cannot go negative.
+  d.reg_ins = std::max(0.0, tot - dca);
+  d.l1_ins = std::max(0.0, dca - dcm);
+  d.l2_ins = std::max(0.0, tca - tcm);
+  d.mem_ins = std::max(0.0, tcm);
+  return d;
+}
+
+std::string CounterSet::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    out += pas::util::strf("%s=%.6g ", event_name(static_cast<Event>(i)),
+                           counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace pas::counters

@@ -1,0 +1,76 @@
+// CounterSet — the simulated-node analogue of a PAPI event set, plus
+// the paper's Table 5 workload-decomposition derivation.
+//
+// Events can be fed two ways:
+//  * record_mix() — from the instruction mix a rank actually executed
+//    (what Comm::compute() accumulates into NodeState::executed);
+//  * record_access() — from a CacheHierarchySim replay (ground-truth
+//    cache behaviour for validation and the membench probe).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "pas/counters/events.hpp"
+#include "pas/sim/cache_sim.hpp"
+#include "pas/sim/cpu_model.hpp"
+
+namespace pas::counters {
+
+/// Table 5 output: instructions by the memory level serving their data.
+struct WorkloadDecomposition {
+  double reg_ins = 0.0;  ///< CPU/Register
+  double l1_ins = 0.0;
+  double l2_ins = 0.0;
+  double mem_ins = 0.0;  ///< OFF-chip (main memory)
+
+  double total() const { return reg_ins + l1_ins + l2_ins + mem_ins; }
+  double on_chip() const { return reg_ins + l1_ins + l2_ins; }
+
+  /// ON-chip fraction of the total workload (paper: 98.8 % for LU).
+  double on_chip_fraction() const;
+
+  /// Within-ON-chip weights used to compute the weighted CPI_ON
+  /// (paper: 44.66 % reg, 53.89 % L1, 1.45 % L2 for LU).
+  double reg_weight() const;
+  double l1_weight() const;
+  double l2_weight() const;
+
+  /// As an InstructionMix (for feeding the CPU model / predictors).
+  sim::InstructionMix to_mix() const;
+
+  std::string to_string() const;
+};
+
+class CounterSet {
+ public:
+  void reset();
+
+  /// Accumulates the PAPI events implied by an executed mix: register
+  /// ops issue no data-cache access; L1/L2/memory-served ops access L1;
+  /// L2/memory-served ops miss L1 and access L2; memory-served ops
+  /// miss L2.
+  void record_mix(const sim::InstructionMix& mix);
+
+  /// Accumulates one data access served by `level` (plus the implied
+  /// instruction), as a cache-simulator replay produces.
+  void record_access(sim::MemoryLevel level);
+
+  /// Accumulates `n` register-only instructions.
+  void record_register_ops(double n);
+
+  double count(Event e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+
+  /// Applies the Table 5 formulas to the current counts.
+  WorkloadDecomposition decompose() const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kNumEvents> counts_{};
+};
+
+}  // namespace pas::counters

@@ -1,0 +1,21 @@
+#include "pas/counters/events.hpp"
+
+namespace pas::counters {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kTotalInstructions:
+      return "PAPI_TOT_INS";
+    case Event::kL1DataAccesses:
+      return "PAPI_L1_DCA";
+    case Event::kL1DataMisses:
+      return "PAPI_L1_DCM";
+    case Event::kL2TotalAccesses:
+      return "PAPI_L2_TCA";
+    case Event::kL2TotalMisses:
+      return "PAPI_L2_TCM";
+  }
+  return "PAPI_?";
+}
+
+}  // namespace pas::counters

@@ -1,0 +1,29 @@
+// PAPI-like hardware event definitions.
+//
+// The paper (§5.2, Table 5) derives the workload decomposition from
+// five PAPI presets. We reproduce the same event vocabulary over the
+// simulated node so the Table 5 derivation formulas apply verbatim:
+//
+//   CPU/Register = PAPI_TOT_INS - PAPI_L1_DCA
+//   L1 Cache     = PAPI_L1_DCA  - PAPI_L1_DCM
+//   L2 Cache     = PAPI_L2_TCA  - PAPI_L2_TCM
+//   Main Memory  = PAPI_L2_TCM
+#pragma once
+
+#include <cstddef>
+
+namespace pas::counters {
+
+enum class Event : std::size_t {
+  kTotalInstructions = 0,  ///< PAPI_TOT_INS
+  kL1DataAccesses = 1,     ///< PAPI_L1_DCA
+  kL1DataMisses = 2,       ///< PAPI_L1_DCM
+  kL2TotalAccesses = 3,    ///< PAPI_L2_TCA
+  kL2TotalMisses = 4,      ///< PAPI_L2_TCM
+};
+inline constexpr std::size_t kNumEvents = 5;
+
+/// PAPI preset name, e.g. "PAPI_TOT_INS".
+const char* event_name(Event e);
+
+}  // namespace pas::counters

@@ -1,0 +1,281 @@
+// Collective algorithms for simmpi.
+//
+// The algorithm choices mirror what an MPICH-era implementation does on
+// a Fast Ethernet cluster and are the mechanism behind the paper's
+// parallel-overhead scaling:
+//   Barrier   — dissemination, ceil(log2 N) rounds.
+//   Bcast     — binomial tree.
+//   Reduce    — binomial tree (element-wise op).
+//   Allreduce — recursive doubling (power-of-two), else reduce+bcast.
+//   Alltoall  — pairwise exchange (XOR partners for power-of-two), the
+//               pattern that dominates FT's parallel overhead; each
+//               rank moves (N-1) blocks per call, so per-rank overhead
+//               grows with N while per-message wire time is independent
+//               of the CPU frequency.
+//   Gather/Scatter — linear rooted.
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "pas/mpi/communicator.hpp"
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::mpi {
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+void apply_op(Payload& acc, const Payload& other, ReduceOp op) {
+  if (acc.size() != other.size())
+    throw std::invalid_argument("reduce: mismatched payload sizes");
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], other[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], other[i]);
+      break;
+  }
+}
+
+/// Approximate local memcpy bandwidth for same-rank block moves.
+constexpr double kMemcpyBytesPerSecond = 2e9;
+
+}  // namespace
+
+void Comm::barrier() {
+  if (size_ == 1) return;
+  const int tag = next_collective_tag();
+  int round = 0;
+  for (int k = 1; k < size_; k <<= 1, ++round) {
+    const int to = (rank_ + k) % size_;
+    const int from = (rank_ - k + size_) % size_;
+    send_bytes(to, tag + round, 1);
+    recv_bytes(from, tag + round);
+  }
+}
+
+void Comm::bcast(Payload& data, int root) {
+  if (size_ == 1) return;
+  const int tag = next_collective_tag();
+  const int relative = (rank_ - root + size_) % size_;
+
+  int mask = 1;
+  while (mask < size_) {
+    if (relative & mask) {
+      const int src = (rank_ - mask + size_) % size_;
+      data = recv(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size_) {
+      const int dst = (rank_ + mask) % size_;
+      send(dst, tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+
+Payload binomial_reduce(Comm& comm, int rank, int size, int root, int tag,
+                        Payload partial, ReduceOp op) {
+  const int relative = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int dst = (rank - mask + size) % size;
+      comm.send(dst, tag, std::move(partial));
+      return {};
+    }
+    if (relative + mask < size) {
+      const int src = (rank + mask) % size;
+      Payload other = comm.recv(src, tag);
+      apply_op(partial, other, op);
+    }
+    mask <<= 1;
+  }
+  return partial;  // only the root reaches here with data
+}
+
+Payload allreduce_impl(Comm& comm, int rank, int size, int tag, Payload mine,
+                       ReduceOp op) {
+  if (size == 1) return mine;
+  if (is_power_of_two(size)) {
+    int round = 0;
+    for (int mask = 1; mask < size; mask <<= 1, ++round) {
+      const int partner = rank ^ mask;
+      Payload other = comm.sendrecv(partner, partner, tag + round, mine);
+      apply_op(mine, other, op);
+    }
+    return mine;
+  }
+  // General case: rooted reduce then broadcast (re-uses this phase's
+  // tag block: rounds 512+ for the bcast half).
+  Payload reduced = binomial_reduce(comm, rank, size, /*root=*/0, tag,
+                                    std::move(mine), op);
+  // Broadcast from root using the same tag block, offset to avoid the
+  // reduce rounds.
+  const int bcast_tag = tag + 512;
+  const int relative = rank;  // root is 0
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int src = (rank - mask + size) % size;
+      reduced = comm.recv(src, bcast_tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size) {
+      const int dst = (rank + mask) % size;
+      comm.send(dst, bcast_tag, reduced);
+    }
+    mask >>= 1;
+  }
+  return reduced;
+}
+
+}  // namespace
+
+double Comm::reduce_sum(double x, int root) {
+  if (size_ == 1) return x;
+  const int tag = next_collective_tag();
+  Payload result = binomial_reduce(*this, rank_, size_, root, tag,
+                                   Payload{x}, ReduceOp::kSum);
+  return rank_ == root && !result.empty() ? result[0] : 0.0;
+}
+
+double Comm::allreduce_sum(double x) {
+  const int tag = next_collective_tag();
+  Payload out = allreduce_impl(*this, rank_, size_, tag, Payload{x},
+                               ReduceOp::kSum);
+  return out[0];
+}
+
+std::vector<double> Comm::allreduce_sum(std::vector<double> xs) {
+  const int tag = next_collective_tag();
+  return allreduce_impl(*this, rank_, size_, tag, std::move(xs),
+                        ReduceOp::kSum);
+}
+
+double Comm::allreduce_max(double x) {
+  const int tag = next_collective_tag();
+  Payload out = allreduce_impl(*this, rank_, size_, tag, Payload{x},
+                               ReduceOp::kMax);
+  return out[0];
+}
+
+double Comm::allreduce_min(double x) {
+  const int tag = next_collective_tag();
+  Payload out = allreduce_impl(*this, rank_, size_, tag, Payload{x},
+                               ReduceOp::kMin);
+  return out[0];
+}
+
+std::vector<Payload> Comm::alltoall(const std::vector<Payload>& send_blocks) {
+  if (static_cast<int>(send_blocks.size()) != size_)
+    throw std::invalid_argument("alltoall: need one block per rank");
+  const int tag = next_collective_tag();
+  std::vector<Payload> result(static_cast<std::size_t>(size_));
+
+  // Local block: a memcpy, not a network message.
+  result[static_cast<std::size_t>(rank_)] = send_blocks[static_cast<std::size_t>(rank_)];
+  const double copy_bytes =
+      static_cast<double>(result[static_cast<std::size_t>(rank_)].size()) *
+      sizeof(double);
+  compute_seconds(copy_bytes / kMemcpyBytesPerSecond, sim::Activity::kMemory);
+
+  if (size_ == 1) return result;
+
+  if (is_power_of_two(size_)) {
+    // Pairwise exchange: in round `step` everyone exchanges with
+    // rank^step — each port carries exactly one message per round.
+    for (int step = 1; step < size_; ++step) {
+      const int partner = rank_ ^ step;
+      result[static_cast<std::size_t>(partner)] = sendrecv(
+          partner, partner, tag + step, send_blocks[static_cast<std::size_t>(partner)]);
+    }
+  } else {
+    for (int step = 1; step < size_; ++step) {
+      const int dst = (rank_ + step) % size_;
+      const int src = (rank_ - step + size_) % size_;
+      send(dst, tag + step, send_blocks[static_cast<std::size_t>(dst)]);
+      result[static_cast<std::size_t>(src)] = recv(src, tag + step);
+    }
+  }
+  return result;
+}
+
+std::vector<Payload> Comm::gather(Payload local, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ != root) {
+    send(root, tag, std::move(local));
+    return {};
+  }
+  std::vector<Payload> out(static_cast<std::size_t>(size_));
+  out[static_cast<std::size_t>(root)] = std::move(local);
+  for (int r = 0; r < size_; ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] = recv(r, tag);
+  }
+  return out;
+}
+
+std::vector<Payload> Comm::allgather(Payload local) {
+  const int tag = next_collective_tag();
+  std::vector<Payload> out(static_cast<std::size_t>(size_));
+  out[static_cast<std::size_t>(rank_)] = std::move(local);
+  if (size_ == 1) return out;
+  // Ring: in step s, forward the block that originated s hops back.
+  const int right = (rank_ + 1) % size_;
+  const int left = (rank_ - 1 + size_) % size_;
+  for (int step = 0; step < size_ - 1; ++step) {
+    const int send_origin = (rank_ - step + size_) % size_;
+    const int recv_origin = (rank_ - step - 1 + size_) % size_;
+    out[static_cast<std::size_t>(recv_origin)] =
+        sendrecv(right, left, tag + step,
+                 out[static_cast<std::size_t>(send_origin)]);
+  }
+  return out;
+}
+
+double Comm::scan_sum(double x) {
+  const int tag = next_collective_tag();
+  if (size_ == 1) return x;
+  double prefix = x;
+  if (rank_ > 0) {
+    const Payload upstream = recv(rank_ - 1, tag);
+    prefix += upstream[0];
+  }
+  if (rank_ + 1 < size_) send(rank_ + 1, tag, Payload{prefix});
+  return prefix;
+}
+
+Payload Comm::scatter(const std::vector<Payload>& blocks, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    if (static_cast<int>(blocks.size()) != size_)
+      throw std::invalid_argument("scatter: root needs one block per rank");
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      send(r, tag, blocks[static_cast<std::size_t>(r)]);
+    }
+    return blocks[static_cast<std::size_t>(root)];
+  }
+  return recv(root, tag);
+}
+
+}  // namespace pas::mpi

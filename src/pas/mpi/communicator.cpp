@@ -1,0 +1,245 @@
+#include "pas/mpi/communicator.hpp"
+
+#include <stdexcept>
+
+#include "pas/mpi/runtime.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::mpi {
+
+Comm::Comm(Runtime& runtime, int rank, int size)
+    : runtime_(runtime), rank_(rank), size_(size) {}
+
+double Comm::now() const { return runtime_.cluster().node(rank_).clock.now(); }
+
+sim::VirtualClock& Comm::clock() { return runtime_.cluster().node(rank_).clock; }
+
+sim::CpuModel& Comm::cpu() { return runtime_.cluster().node(rank_).cpu; }
+
+sim::NodeState& Comm::node() { return runtime_.cluster().node(rank_); }
+
+void Comm::compute(const sim::InstructionMix& mix) {
+  exit_comm_phase();
+  sim::NodeState& n = node();
+  const double t0 = n.clock.now();
+  const sim::CpuModel::TimeSplit split = n.cpu.time_split(mix);
+  n.spend(split.on_chip_s, sim::Activity::kCpu);
+  n.spend(split.off_chip_s, sim::Activity::kMemory);
+  n.executed += mix;
+  sim::Tracer& tracer = runtime_.tracer();
+  if (tracer.enabled())
+    tracer.record(rank_, t0, n.clock.now() - t0, sim::Activity::kCpu,
+                  "compute");
+}
+
+void Comm::compute_seconds(double s, sim::Activity act) {
+  exit_comm_phase();
+  node().spend(s, act);
+}
+
+void Comm::set_comm_dvfs_mhz(double mhz) {
+  if (mhz != 0.0 && !cpu().operating_points().has_mhz(mhz))
+    throw std::out_of_range(
+        pas::util::strf("no operating point at %.1f MHz", mhz));
+  if (mhz == 0.0) exit_comm_phase();
+  comm_dvfs_mhz_ = mhz;
+}
+
+void Comm::enter_comm_phase() {
+  if (comm_dvfs_mhz_ <= 0.0 || in_comm_phase_) return;
+  sim::NodeState& n = node();
+  app_mhz_ = n.cpu.current().frequency_mhz();
+  in_comm_phase_ = true;
+  if (sim::NodeState::fkey(app_mhz_) == sim::NodeState::fkey(comm_dvfs_mhz_))
+    return;  // already at the comm point: nothing to switch
+  n.spend(runtime_.config().dvfs_transition_s, sim::Activity::kCpu);
+  n.cpu.set_frequency_mhz(comm_dvfs_mhz_);
+}
+
+void Comm::exit_comm_phase() {
+  if (!in_comm_phase_) return;
+  in_comm_phase_ = false;
+  sim::NodeState& n = node();
+  if (sim::NodeState::fkey(n.cpu.current().frequency_mhz()) ==
+      sim::NodeState::fkey(app_mhz_))
+    return;
+  n.cpu.set_frequency_mhz(app_mhz_);
+  n.spend(runtime_.config().dvfs_transition_s, sim::Activity::kCpu);
+}
+
+double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
+                  bool blocking) {
+  if (dst < 0 || dst >= size_)
+    throw std::out_of_range(pas::util::strf("send to bad rank %d", dst));
+  sim::NodeState& n = node();
+  const std::size_t wire_bytes = payload_bytes + kHeaderBytes;
+  const double trace_t0 = n.clock.now();
+
+  // Communication region: a per-phase DVFS schedule drops the clock here.
+  enter_comm_phase();
+
+  // Sender-side CPU cost (stack + copy), paced by this node's DVFS
+  // frequency — the mechanism that makes large-message overhead mildly
+  // frequency-sensitive (Table 6).
+  const double o_send = runtime_.cluster().fabric().config().cpu_overhead_s(
+      wire_bytes, n.cpu.frequency_hz());
+  n.spend(o_send, sim::Activity::kNetwork);
+
+  const sim::NetworkFabric::Transfer t =
+      runtime_.cluster().fabric().transfer(rank_, dst, wire_bytes, n.clock.now());
+
+  // Blocking-send semantics (MPICH over TCP on Fast Ethernet): the
+  // sender stays in the stack while its NIC serializes the message, so
+  // it pays the wire time inline. This is what makes "number of
+  // messages x per-message time" (the paper's w_PO model, §5.2 step 2)
+  // an accurate account of communication cost. Nonblocking sends skip
+  // the inline wait and settle up in wait().
+  if (blocking) n.spend_until(t.tx_end, sim::Activity::kNetwork);
+
+  Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.bytes = wire_bytes;
+  msg.at_switch = t.at_switch;
+  msg.rx_ser_s = t.rx_ser_s;
+  msg.data = std::move(data);
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += wire_bytes;
+
+  runtime_.mailbox(dst).deliver(std::move(msg));
+
+  sim::Tracer& tracer = runtime_.tracer();
+  if (tracer.enabled())
+    tracer.record(rank_, trace_t0, n.clock.now() - trace_t0,
+                  sim::Activity::kNetwork,
+                  pas::util::strf("send->%d tag %d (%zuB)", dst, tag,
+                                  wire_bytes));
+  return t.tx_end;
+}
+
+void Comm::send(int dst, int tag, Payload data) {
+  const std::size_t payload_bytes = data.size() * sizeof(double);
+  post(dst, tag, payload_bytes, std::move(data));
+}
+
+Comm::Request Comm::isend(int dst, int tag, Payload data) {
+  const std::size_t payload_bytes = data.size() * sizeof(double);
+  Request req;
+  req.kind_ = Request::Kind::kSend;
+  req.peer_ = dst;
+  req.tag_ = tag;
+  req.tx_end_ =
+      post(dst, tag, payload_bytes, std::move(data), /*blocking=*/false);
+  return req;
+}
+
+Comm::Request Comm::irecv(int src, int tag) {
+  if (src < 0 || src >= size_)
+    throw std::out_of_range(pas::util::strf("irecv from bad rank %d", src));
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.peer_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+Payload Comm::wait(Request& request) {
+  switch (request.kind_) {
+    case Request::Kind::kNone:
+      throw std::logic_error("wait() on an invalid request");
+    case Request::Kind::kSend: {
+      // The link may still be draining the message; the sender's clock
+      // only advances if it got ahead of its own NIC.
+      node().spend_until(request.tx_end_, sim::Activity::kNetwork);
+      request.kind_ = Request::Kind::kNone;
+      return {};
+    }
+    case Request::Kind::kRecv: {
+      Payload data = recv(request.peer_, request.tag_);
+      request.kind_ = Request::Kind::kNone;
+      return data;
+    }
+  }
+  return {};
+}
+
+void Comm::waitall(std::vector<Request>& requests) {
+  for (Request& r : requests) {
+    if (r.valid()) (void)wait(r);
+  }
+}
+
+void Comm::send_bytes(int dst, int tag, std::size_t bytes) {
+  post(dst, tag, bytes, Payload{});
+}
+
+void Comm::complete_recv(const Message& msg) {
+  sim::NodeState& n = node();
+  // Communication region: a per-phase DVFS schedule drops the clock here.
+  enter_comm_phase();
+  // Book our receiver port in match order (deterministic: only this
+  // thread touches rx_busy_), wait until the last byte is in, then pay
+  // the receiver-side CPU overhead.
+  const sim::NetworkConfig& net = runtime_.cluster().fabric().config();
+  double arrival = msg.at_switch + msg.rx_ser_s;
+  if (net.model_port_contention && msg.src != rank_) {
+    const double rx_begin = std::max(msg.at_switch, rx_busy_);
+    arrival = rx_begin + msg.rx_ser_s;
+    rx_busy_ = arrival;
+  }
+  const double trace_t0 = n.clock.now();
+  n.spend_until(arrival, sim::Activity::kNetwork);
+  const double o_recv = net.cpu_overhead_s(msg.bytes, n.cpu.frequency_hz());
+  n.spend(o_recv, sim::Activity::kNetwork);
+  ++stats_.messages_received;
+  stats_.bytes_received += msg.bytes;
+
+  sim::Tracer& tracer = runtime_.tracer();
+  if (tracer.enabled())
+    tracer.record(rank_, trace_t0, n.clock.now() - trace_t0,
+                  sim::Activity::kNetwork,
+                  pas::util::strf("recv<-%d tag %d (%zuB)", msg.src, msg.tag,
+                                  msg.bytes));
+}
+
+Payload Comm::recv(int src, int tag) {
+  Message msg = runtime_.mailbox(rank_).receive(src, tag);
+  complete_recv(msg);
+  return std::move(msg.data);
+}
+
+std::size_t Comm::recv_bytes(int src, int tag) {
+  Message msg = runtime_.mailbox(rank_).receive(src, tag);
+  complete_recv(msg);
+  return msg.bytes;
+}
+
+Payload Comm::sendrecv(int dst, int src, int tag, Payload data) {
+  send(dst, tag, std::move(data));
+  return recv(src, tag);
+}
+
+int Comm::next_collective_tag() {
+  // Collectives are called in the same order on every rank, so the
+  // per-rank sequence numbers advance in lockstep and act as a shared
+  // phase id. Each phase owns a block of 1024 tags for its internal
+  // rounds; the modulus keeps tags within the reserved range while
+  // leaving 8192 in-flight phases distinguishable.
+  const int tag = kCollectiveTagBase + (collective_seq_ % (1 << 13)) * (1 << 10);
+  ++collective_seq_;
+  ++stats_.collective_calls;
+  return tag;
+}
+
+std::string Comm::describe() const {
+  return pas::util::strf(
+      "rank %d/%d: sent %llu msgs (%llu B), recv %llu msgs, %llu collectives",
+      rank_, size_, static_cast<unsigned long long>(stats_.messages_sent),
+      static_cast<unsigned long long>(stats_.bytes_sent),
+      static_cast<unsigned long long>(stats_.messages_received),
+      static_cast<unsigned long long>(stats_.collective_calls));
+}
+
+}  // namespace pas::mpi

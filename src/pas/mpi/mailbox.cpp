@@ -1,0 +1,45 @@
+#include "pas/mpi/mailbox.hpp"
+
+#include <algorithm>
+
+namespace pas::mpi {
+namespace {
+
+auto matcher(int src, int tag) {
+  return [src, tag](const Message& m) { return m.src == src && m.tag == tag; };
+}
+
+}  // namespace
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), matcher(src, tag));
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int src, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), matcher(src, tag));
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pas::mpi

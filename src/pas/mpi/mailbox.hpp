@@ -1,0 +1,39 @@
+// Per-rank mailbox with (source, tag) matching.
+//
+// Senders deliver eagerly (buffered sends — no rendezvous in wall-clock
+// time, which makes send-then-recv exchange patterns deadlock-free);
+// receivers block until a matching message exists. Matching is exact on
+// (src, tag), FIFO within a (src, tag) channel — message order from one
+// sender follows its program order, so matching is deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "pas/mpi/message.hpp"
+
+namespace pas::mpi {
+
+class Mailbox {
+ public:
+  /// Thread-safe delivery; wakes blocked receivers.
+  void deliver(Message msg);
+
+  /// Blocks until a message with exactly (src, tag) is available and
+  /// removes it from the queue.
+  Message receive(int src, int tag);
+
+  /// Non-blocking: true if a matching message is queued.
+  bool probe(int src, int tag) const;
+
+  /// Number of queued (undelivered-to-application) messages.
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace pas::mpi

@@ -1,0 +1,5 @@
+#include "pas/mpi/message.hpp"
+
+// Message is a plain aggregate; this TU exists so the library has a
+// stable archive member for the header's constants.
+namespace pas::mpi {}

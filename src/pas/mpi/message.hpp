@@ -1,0 +1,35 @@
+// Message representation for the simulated message-passing layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pas::mpi {
+
+/// All kernel traffic carries doubles (complex values travel as pairs).
+using Payload = std::vector<double>;
+
+/// Fixed per-message envelope size added to the modeled wire size.
+inline constexpr std::size_t kHeaderBytes = 64;
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  /// Modeled wire size (payload + envelope, or explicit for
+  /// timing-only messages).
+  std::size_t bytes = 0;
+  /// Virtual time at which the switch begins forwarding toward the
+  /// receiver port (store-and-forward schedule from the fabric).
+  double at_switch = 0.0;
+  /// Receiver-port serialization length; the receiver books its own
+  /// port occupancy when matching the message.
+  double rx_ser_s = 0.0;
+  Payload data;
+};
+
+/// Tags >= kCollectiveTagBase are reserved for internal collective
+/// traffic; user point-to-point tags must stay below it.
+inline constexpr int kCollectiveTagBase = 1 << 24;
+
+}  // namespace pas::mpi

@@ -1,0 +1,87 @@
+// Runtime — owns the simulated cluster, one mailbox per rank, and the
+// rank threads of one parallel execution.
+//
+//   pas::mpi::Runtime rt(sim::ClusterConfig::paper_testbed());
+//   auto result = rt.run(8, 1200.0, [](pas::mpi::Comm& comm) { ... });
+//   result.makespan  // the "measured" parallel execution time T_N(w,f)
+//
+// Every run starts from a reset cluster (clocks at zero, fabric idle),
+// so results are a function of (body, nranks, frequency) only.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pas/mpi/communicator.hpp"
+#include "pas/sim/cluster.hpp"
+#include "pas/sim/trace.hpp"
+
+namespace pas::mpi {
+
+/// What one rank did during a run.
+struct RankReport {
+  int rank = 0;
+  double finish_time = 0.0;
+  double cpu_seconds = 0.0;      ///< ON-chip compute time
+  double memory_seconds = 0.0;   ///< OFF-chip stall time
+  double network_seconds = 0.0;  ///< communication overhead + waits
+  double idle_seconds = 0.0;
+  sim::InstructionMix executed;
+  CommStats comm;
+  /// Activity seconds by operating point (key: 0.1 MHz units) — one
+  /// entry under static DVFS, several under per-phase scheduling.
+  std::map<long, sim::ActivitySeconds> activity_by_fkey;
+};
+
+struct RunResult {
+  int nranks = 0;
+  double frequency_mhz = 0.0;
+  /// Parallel execution time: max over ranks of finish time.
+  double makespan = 0.0;
+  std::vector<RankReport> ranks;
+  std::size_t fabric_bytes = 0;
+  std::size_t fabric_messages = 0;
+
+  /// Aggregates over ranks.
+  double total_cpu_seconds() const;
+  double total_memory_seconds() const;
+  double total_network_seconds() const;
+  double total_busy_seconds() const;
+  /// Mean network (overhead) seconds per rank — the measured T(w_PO).
+  double mean_network_seconds() const;
+
+  std::string to_string() const;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(sim::ClusterConfig cfg);
+
+  const sim::ClusterConfig& config() const { return cfg_; }
+  sim::Cluster& cluster() { return cluster_; }
+
+  /// Virtual-time execution tracing (disabled by default). Enable
+  /// before run(); events accumulate across runs until clear().
+  sim::Tracer& tracer() { return tracer_; }
+
+  using RankBody = std::function<void(Comm&)>;
+
+  /// Executes `body` on `nranks` ranks (1 <= nranks <= cluster size) at
+  /// the given DVFS point. Blocks until all ranks finish; rethrows the
+  /// first rank exception, if any.
+  RunResult run(int nranks, double frequency_mhz, const RankBody& body);
+
+ private:
+  friend class Comm;
+
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+
+  sim::ClusterConfig cfg_;
+  sim::Cluster cluster_;
+  sim::Tracer tracer_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace pas::mpi

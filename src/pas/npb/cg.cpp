@@ -1,0 +1,228 @@
+#include "pas/npb/cg.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "pas/util/format.hpp"
+
+namespace pas::npb {
+namespace {
+
+constexpr int kTagHaloUp = 21;    // toward higher z
+constexpr int kTagHaloDown = 22;  // toward lower z
+
+/// Slab geometry: z-planes [z0, z0+lz) of an n^3 grid, padded by one
+/// ghost layer in every direction.
+struct Slab {
+  int n;        ///< interior points per dimension
+  int lz;       ///< local interior z-planes
+  int z0;       ///< first global interior z-plane (0-based)
+  int rank, nranks;
+
+  int stride_y() const { return n + 2; }
+  int stride_z() const { return (n + 2) * (n + 2); }
+  std::size_t size() const {
+    return static_cast<std::size_t>(lz + 2) * stride_z();
+  }
+  /// Local index; z in [-1, lz], y/x in [-1, n].
+  std::size_t idx(int z, int y, int x) const {
+    return (static_cast<std::size_t>(z + 1) * (n + 2) +
+            static_cast<std::size_t>(y + 1)) *
+               (n + 2) +
+           static_cast<std::size_t>(x + 1);
+  }
+};
+
+using Vec = std::vector<double>;
+
+/// Charges one stencil pass over the slab.
+void charge_stencil(mpi::Comm& comm, const Slab& s) {
+  const double pts = static_cast<double>(s.n) * s.n * s.lz;
+  charged_compute(comm, 8.0 * pts,
+                  sim::AccessPattern{
+                      .working_set_bytes =
+                          static_cast<std::size_t>(3 * (s.n + 2)) * 8,
+                      .stride_bytes = 8,
+                      .temporal_reuse = 2.0},
+                  8.0 * pts);
+  charged_compute(comm, 2.0 * pts,
+                  sim::AccessPattern{.working_set_bytes = s.size() * 8,
+                                     .stride_bytes = 8,
+                                     .temporal_reuse = 1.0});
+}
+
+/// Charges one streaming vector pass (dot / axpy).
+void charge_vector_pass(mpi::Comm& comm, const Slab& s, double refs_per_pt,
+                        double reg_per_pt) {
+  const double pts = static_cast<double>(s.n) * s.n * s.lz;
+  charged_compute(comm, refs_per_pt * pts,
+                  sim::AccessPattern{.working_set_bytes = s.size() * 8,
+                                     .stride_bytes = 8,
+                                     .temporal_reuse = 1.0},
+                  reg_per_pt * pts);
+}
+
+/// Exchanges ghost planes of `v` with the z-neighbours.
+void halo_exchange(mpi::Comm& comm, const Slab& s, Vec& v) {
+  auto pack_plane = [&](int z) {
+    mpi::Payload out;
+    out.reserve(static_cast<std::size_t>(s.n) * s.n);
+    for (int y = 0; y < s.n; ++y)
+      for (int x = 0; x < s.n; ++x) out.push_back(v[s.idx(z, y, x)]);
+    return out;
+  };
+  auto unpack_plane = [&](int z, const mpi::Payload& data) {
+    std::size_t i = 0;
+    for (int y = 0; y < s.n; ++y)
+      for (int x = 0; x < s.n; ++x) v[s.idx(z, y, x)] = data[i++];
+  };
+  const bool has_down = s.rank > 0;
+  const bool has_up = s.rank + 1 < s.nranks;
+  if (has_up) comm.send(s.rank + 1, kTagHaloUp, pack_plane(s.lz - 1));
+  if (has_down) comm.send(s.rank - 1, kTagHaloDown, pack_plane(0));
+  if (has_down) unpack_plane(-1, comm.recv(s.rank - 1, kTagHaloUp));
+  if (has_up) unpack_plane(s.lz, comm.recv(s.rank + 1, kTagHaloDown));
+}
+
+/// q = A v with A the (unscaled) 7-point Laplacian, Dirichlet zero
+/// boundary (ghosts outside the global domain stay 0).
+void matvec(mpi::Comm& comm, const Slab& s, Vec& v, Vec& q) {
+  halo_exchange(comm, s, v);
+  for (int z = 0; z < s.lz; ++z) {
+    for (int y = 0; y < s.n; ++y) {
+      for (int x = 0; x < s.n; ++x) {
+        q[s.idx(z, y, x)] =
+            6.0 * v[s.idx(z, y, x)] - v[s.idx(z - 1, y, x)] -
+            v[s.idx(z + 1, y, x)] - v[s.idx(z, y - 1, x)] -
+            v[s.idx(z, y + 1, x)] - v[s.idx(z, y, x - 1)] -
+            v[s.idx(z, y, x + 1)];
+      }
+    }
+  }
+  charge_stencil(comm, s);
+}
+
+/// Local (unsummed) dot product over the interior.
+double local_dot(const Slab& s, const Vec& a, const Vec& b) {
+  double sum = 0.0;
+  for (int z = 0; z < s.lz; ++z)
+    for (int y = 0; y < s.n; ++y)
+      for (int x = 0; x < s.n; ++x)
+        sum += a[s.idx(z, y, x)] * b[s.idx(z, y, x)];
+  return sum;
+}
+
+}  // namespace
+
+CgKernel::CgKernel(CgConfig cfg) : cfg_(cfg) {
+  if (cfg_.n < 2) throw std::invalid_argument("CG: n too small");
+  if (cfg_.iterations < 1) throw std::invalid_argument("CG: iterations >= 1");
+}
+
+KernelResult CgKernel::run(mpi::Comm& comm) const {
+  Slab s;
+  s.n = cfg_.n;
+  s.nranks = comm.size();
+  s.rank = comm.rank();
+  if (cfg_.n % s.nranks != 0)
+    throw std::invalid_argument(pas::util::strf(
+        "CG: %d ranks must divide n=%d", s.nranks, cfg_.n));
+  s.lz = cfg_.n / s.nranks;
+  s.z0 = s.rank * s.lz;
+
+  const double pi = std::numbers::pi;
+  const double h = 1.0 / static_cast<double>(cfg_.n + 1);
+  auto exact = [&](int gx, int gy, int gz) {
+    return std::sin(pi * (gx + 1) * h) * std::sin(pi * (gy + 1) * h) *
+           std::sin(pi * (gz + 1) * h);
+  };
+
+  // Manufacture b = A u* from the analytic solution (ghosts analytic).
+  Vec ustar(s.size(), 0.0);
+  for (int z = -1; z <= s.lz; ++z) {
+    const int gz = s.z0 + z;
+    if (gz < 0 || gz >= cfg_.n) continue;
+    for (int y = 0; y < s.n; ++y)
+      for (int x = 0; x < s.n; ++x)
+        ustar[s.idx(z, y, x)] = exact(x, y, gz);
+  }
+  Vec b(s.size(), 0.0);
+  for (int z = 0; z < s.lz; ++z) {
+    for (int y = 0; y < s.n; ++y) {
+      for (int x = 0; x < s.n; ++x) {
+        b[s.idx(z, y, x)] =
+            6.0 * ustar[s.idx(z, y, x)] - ustar[s.idx(z - 1, y, x)] -
+            ustar[s.idx(z + 1, y, x)] - ustar[s.idx(z, y - 1, x)] -
+            ustar[s.idx(z, y + 1, x)] - ustar[s.idx(z, y, x - 1)] -
+            ustar[s.idx(z, y, x + 1)];
+      }
+    }
+  }
+  charge_stencil(comm, s);
+
+  // CG with x0 = 0: r = b, p = r.
+  Vec x(s.size(), 0.0);
+  Vec r = b;
+  Vec p = r;
+  Vec q(s.size(), 0.0);
+
+  double rho = comm.allreduce_sum(local_dot(s, r, r));
+  charge_vector_pass(comm, s, 2.0, 2.0);
+
+  KernelResult result;
+  result.name = name();
+  std::vector<double> residuals{std::sqrt(rho)};
+  result.values["residual_0"] = residuals[0];
+
+  for (int it = 1; it <= cfg_.iterations; ++it) {
+    matvec(comm, s, p, q);
+    const double pq = comm.allreduce_sum(local_dot(s, p, q));
+    charge_vector_pass(comm, s, 2.0, 2.0);
+    const double alpha = rho / pq;
+    for (int z = 0; z < s.lz; ++z) {
+      for (int y = 0; y < s.n; ++y) {
+        for (int x2 = 0; x2 < s.n; ++x2) {
+          const std::size_t i = s.idx(z, y, x2);
+          x[i] += alpha * p[i];
+          r[i] -= alpha * q[i];
+        }
+      }
+    }
+    charge_vector_pass(comm, s, 4.0, 4.0);
+    const double rho_new = comm.allreduce_sum(local_dot(s, r, r));
+    charge_vector_pass(comm, s, 2.0, 2.0);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (int z = 0; z < s.lz; ++z)
+      for (int y = 0; y < s.n; ++y)
+        for (int x2 = 0; x2 < s.n; ++x2) {
+          const std::size_t i = s.idx(z, y, x2);
+          p[i] = r[i] + beta * p[i];
+        }
+    charge_vector_pass(comm, s, 3.0, 2.0);
+
+    residuals.push_back(std::sqrt(rho));
+    result.values[pas::util::strf("residual_%d", it)] = residuals.back();
+  }
+
+  double err_inf = 0.0;
+  for (int z = 0; z < s.lz; ++z)
+    for (int y = 0; y < s.n; ++y)
+      for (int x2 = 0; x2 < s.n; ++x2)
+        err_inf = std::fmax(
+            err_inf, std::fabs(x[s.idx(z, y, x2)] - ustar[s.idx(z, y, x2)]));
+  result.values["error_inf"] = comm.allreduce_max(err_inf);
+
+  if (comm.rank() == 0) {
+    const bool converged = residuals.back() < 0.5 * residuals.front();
+    result.verified = converged;
+    result.note = pas::util::strf("CG residual %.3g -> %.3g over %d iters",
+                                  residuals.front(), residuals.back(),
+                                  cfg_.iterations);
+  }
+  return result;
+}
+
+}  // namespace pas::npb

@@ -1,0 +1,80 @@
+// In-place iterative radix-2 complex FFT (Cooley-Tukey, decimation in
+// time) used by the FT kernel. Power-of-two lengths only.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pas::npb {
+
+using Complex = std::complex<double>;
+
+inline bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Precomputed twiddle factors for a fixed length (shared across rows).
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n) : n_(n) {
+    if (!is_pow2(n)) throw std::invalid_argument("FftPlan: n must be 2^k");
+    twiddles_.reserve(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double theta =
+          -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+      twiddles_.emplace_back(std::cos(theta), std::sin(theta));
+    }
+  }
+
+  std::size_t length() const { return n_; }
+
+  /// Forward transform (sign -1), in place.
+  void forward(std::span<Complex> data) const { transform(data, false); }
+
+  /// Inverse transform including the 1/n scaling, in place.
+  void inverse(std::span<Complex> data) const {
+    transform(data, true);
+    const double inv = 1.0 / static_cast<double>(n_);
+    for (Complex& c : data) c *= inv;
+  }
+
+  /// log2(n) — the number of butterfly stages.
+  std::size_t stages() const {
+    std::size_t s = 0;
+    for (std::size_t m = n_; m > 1; m >>= 1) ++s;
+    return s;
+  }
+
+ private:
+  void transform(std::span<Complex> data, bool invert) const {
+    if (data.size() != n_) throw std::invalid_argument("FFT: bad length");
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n_; ++i) {
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) std::swap(data[i], data[j]);
+    }
+    // Butterflies.
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+      const std::size_t step = n_ / len;
+      for (std::size_t i = 0; i < n_; i += len) {
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          Complex w = twiddles_[k * step];
+          if (invert) w = std::conj(w);
+          const Complex u = data[i + k];
+          const Complex v = data[i + k + len / 2] * w;
+          data[i + k] = u + v;
+          data[i + k + len / 2] = u - v;
+        }
+      }
+    }
+  }
+
+  std::size_t n_;
+  std::vector<Complex> twiddles_;
+};
+
+}  // namespace pas::npb

@@ -1,0 +1,20 @@
+#include "pas/npb/kernel.hpp"
+
+#include <stdexcept>
+
+namespace pas::npb {
+
+double KernelResult::value(const std::string& key) const {
+  auto it = values.find(key);
+  if (it == values.end())
+    throw std::out_of_range("KernelResult: no value named " + key);
+  return it->second;
+}
+
+void charged_compute(mpi::Comm& comm, double data_refs,
+                     const sim::AccessPattern& pattern, double reg_ops) {
+  const sim::LevelMix mix = sim::classify(comm.cpu().memory(), pattern);
+  comm.compute(sim::InstructionMix::from_level_mix(data_refs, mix, reg_ops));
+}
+
+}  // namespace pas::npb

@@ -1,0 +1,48 @@
+// Common kernel interface for the NPB-like workloads.
+//
+// Kernels perform *real* computation (random-number streams, FFTs,
+// SSOR sweeps) so results are verifiable, and charge their work to the
+// simulated node through charged_compute(): each block of real work is
+// described by its data-reference count, its access pattern (working
+// set / stride / reuse — classified onto the memory hierarchy), and
+// its register-only instruction count. Virtual time, counters and the
+// paper's ON-/OFF-chip decomposition all flow from these charges.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pas/mpi/communicator.hpp"
+#include "pas/sim/memory_hierarchy.hpp"
+
+namespace pas::npb {
+
+struct KernelResult {
+  std::string name;
+  bool verified = false;
+  std::string note;
+  /// Named scalar outputs (checksums, residuals, counts...).
+  std::map<std::string, double> values;
+
+  double value(const std::string& key) const;
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Executes this rank's part of the kernel. Every rank returns a
+  /// result; rank 0's carries the verification verdict.
+  virtual KernelResult run(mpi::Comm& comm) const = 0;
+};
+
+/// Charges `data_refs` data-referencing instructions with access
+/// pattern `pattern` plus `reg_ops` register-only instructions to the
+/// rank's node, advancing its virtual clock.
+void charged_compute(mpi::Comm& comm, double data_refs,
+                     const sim::AccessPattern& pattern, double reg_ops = 0.0);
+
+}  // namespace pas::npb

@@ -1,0 +1,4 @@
+#include "pas/npb/npb_rng.hpp"
+
+// Header-only implementation; this TU anchors the library archive.
+namespace pas::npb {}

@@ -1,0 +1,66 @@
+// The NAS Parallel Benchmarks linear congruential generator:
+//
+//   x_{k+1} = a * x_k  mod 2^46,   a = 5^13,   randlc = x * 2^-46
+//
+// with O(log n) skip-ahead (a^n mod 2^46 by binary exponentiation) so
+// each rank can jump directly to its slice of the global stream — the
+// property EP relies on to stay embarrassingly parallel.
+#pragma once
+
+#include <cstdint>
+
+namespace pas::npb {
+
+class NpbRng {
+ public:
+  static constexpr std::uint64_t kMultiplier = 1220703125ULL;  // 5^13
+  static constexpr std::uint64_t kModMask = (1ULL << 46) - 1;
+  static constexpr double kScale = 1.0 / static_cast<double>(1ULL << 46);
+
+  explicit NpbRng(std::uint64_t seed = 271828183ULL)
+      : state_(seed & kModMask) {}
+
+  /// Next uniform deviate in (0, 1) — NPB's randlc.
+  double next() {
+    state_ = mul_mod(kMultiplier, state_);
+    return static_cast<double>(state_) * kScale;
+  }
+
+  std::uint64_t state() const { return state_; }
+
+  /// Advances the stream by `n` steps in O(log n).
+  void skip(std::uint64_t n) {
+    state_ = mul_mod(pow_mod(kMultiplier, n), state_);
+  }
+
+  /// A generator positioned `n` steps after `seed` (NPB's vranlc
+  /// partitioning idiom).
+  static NpbRng at(std::uint64_t seed, std::uint64_t n) {
+    NpbRng rng(seed);
+    rng.skip(n);
+    return rng;
+  }
+
+ private:
+  /// (a * b) mod 2^46 without overflow.
+  static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) & kModMask);
+  }
+
+  /// a^n mod 2^46.
+  static std::uint64_t pow_mod(std::uint64_t a, std::uint64_t n) {
+    std::uint64_t result = 1;
+    std::uint64_t base = a & kModMask;
+    while (n > 0) {
+      if (n & 1) result = mul_mod(result, base);
+      base = mul_mod(base, base);
+      n >>= 1;
+    }
+    return result;
+  }
+
+  std::uint64_t state_;
+};
+
+}  // namespace pas::npb

@@ -1,0 +1,62 @@
+#include "pas/power/energy_delay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::power {
+
+std::string MetricPoint::to_string() const {
+  return pas::util::strf(
+      "N=%d f=%.0fMHz: T=%.3fs E=%.1fJ EDP=%.1f ED2P=%.1f", nodes,
+      frequency_mhz, time_s, energy_j, edp(), ed2p());
+}
+
+const char* objective_name(Objective o) {
+  switch (o) {
+    case Objective::kDelay:
+      return "delay";
+    case Objective::kEnergy:
+      return "energy";
+    case Objective::kEnergyDelay:
+      return "energy-delay (EDP)";
+    case Objective::kEnergyDelaySquared:
+      return "energy-delay^2 (ED2P)";
+  }
+  return "?";
+}
+
+double objective_value(const MetricPoint& p, Objective o) {
+  switch (o) {
+    case Objective::kDelay:
+      return p.time_s;
+    case Objective::kEnergy:
+      return p.energy_j;
+    case Objective::kEnergyDelay:
+      return p.edp();
+    case Objective::kEnergyDelaySquared:
+      return p.ed2p();
+  }
+  return p.time_s;
+}
+
+MetricPoint best(const std::vector<MetricPoint>& points, Objective o) {
+  if (points.empty())
+    throw std::invalid_argument("best(): empty point set");
+  return *std::min_element(points.begin(), points.end(),
+                           [o](const MetricPoint& a, const MetricPoint& b) {
+                             return objective_value(a, o) <
+                                    objective_value(b, o);
+                           });
+}
+
+std::vector<MetricPoint> ranked(std::vector<MetricPoint> points, Objective o) {
+  std::stable_sort(points.begin(), points.end(),
+                   [o](const MetricPoint& a, const MetricPoint& b) {
+                     return objective_value(a, o) < objective_value(b, o);
+                   });
+  return points;
+}
+
+}  // namespace pas::power

@@ -1,0 +1,38 @@
+// Energy-delay metrics (Brooks et al. [3] in the paper) and the
+// "sweet spot" search the paper motivates in §2: pick the system
+// configuration (N, f) optimizing delay, energy, EDP or ED²P.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pas::power {
+
+/// One evaluated system configuration.
+struct MetricPoint {
+  int nodes = 0;
+  double frequency_mhz = 0.0;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+
+  double edp() const { return energy_j * time_s; }
+  double ed2p() const { return energy_j * time_s * time_s; }
+
+  std::string to_string() const;
+};
+
+enum class Objective { kDelay, kEnergy, kEnergyDelay, kEnergyDelaySquared };
+
+const char* objective_name(Objective o);
+
+/// Value of `p` under objective `o` (smaller is better).
+double objective_value(const MetricPoint& p, Objective o);
+
+/// Returns the best point under `o`; throws std::invalid_argument on an
+/// empty set.
+MetricPoint best(const std::vector<MetricPoint>& points, Objective o);
+
+/// Ranks all points ascending by objective value.
+std::vector<MetricPoint> ranked(std::vector<MetricPoint> points, Objective o);
+
+}  // namespace pas::power

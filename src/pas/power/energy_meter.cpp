@@ -1,0 +1,71 @@
+#include "pas/power/energy_meter.hpp"
+
+#include <algorithm>
+
+#include "pas/util/format.hpp"
+
+namespace pas::power {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) {
+  cpu_j += o.cpu_j;
+  memory_j += o.memory_j;
+  network_j += o.network_j;
+  idle_j += o.idle_j;
+  return *this;
+}
+
+std::string EnergyBreakdown::to_string() const {
+  return pas::util::strf("E=%.1f J (cpu %.1f, mem %.1f, net %.1f, idle %.1f)",
+                         total_j(), cpu_j, memory_j, network_j, idle_j);
+}
+
+EnergyMeter::EnergyMeter(PowerModel model) : model_(std::move(model)) {}
+
+EnergyBreakdown EnergyMeter::measure_node(const ActivityProfile& profile,
+                                          const sim::OperatingPoint& p,
+                                          double makespan) const {
+  EnergyBreakdown e;
+  e.cpu_j = profile.cpu_s * model_.node_power_w(sim::Activity::kCpu, p);
+  e.memory_j =
+      profile.memory_s * model_.node_power_w(sim::Activity::kMemory, p);
+  e.network_j =
+      profile.network_s * model_.node_power_w(sim::Activity::kNetwork, p);
+  const double pad = std::max(0.0, makespan - profile.total());
+  e.idle_j = (profile.idle_s + pad) *
+             model_.node_power_w(sim::Activity::kIdle, p);
+  return e;
+}
+
+EnergyBreakdown EnergyMeter::measure_node_slices(
+    std::span<const FrequencySlice> slices,
+    const sim::OperatingPointTable& points, double makespan,
+    double idle_mhz) const {
+  EnergyBreakdown e;
+  double covered = 0.0;
+  for (const FrequencySlice& s : slices) {
+    const sim::OperatingPoint& p = points.at_mhz(s.frequency_mhz);
+    e.cpu_j += s.activity.cpu_s * model_.node_power_w(sim::Activity::kCpu, p);
+    e.memory_j +=
+        s.activity.memory_s * model_.node_power_w(sim::Activity::kMemory, p);
+    e.network_j += s.activity.network_s *
+                   model_.node_power_w(sim::Activity::kNetwork, p);
+    e.idle_j +=
+        s.activity.idle_s * model_.node_power_w(sim::Activity::kIdle, p);
+    covered += s.activity.total();
+  }
+  const double pad = std::max(0.0, makespan - covered);
+  e.idle_j += pad * model_.node_power_w(sim::Activity::kIdle,
+                                        points.at_mhz(idle_mhz));
+  return e;
+}
+
+EnergyBreakdown EnergyMeter::measure(std::span<const ActivityProfile> profiles,
+                                     const sim::OperatingPoint& p,
+                                     double makespan) const {
+  EnergyBreakdown total;
+  for (const ActivityProfile& profile : profiles)
+    total += measure_node(profile, p, makespan);
+  return total;
+}
+
+}  // namespace pas::power

@@ -1,0 +1,80 @@
+// Energy accounting over a simulated run.
+//
+// Consumes per-node activity profiles (seconds spent computing,
+// stalled on memory, communicating, idle) — the quantities a wall-plug
+// meter per node would integrate — and produces per-activity energy.
+// Kept independent of the message-passing layer: callers convert their
+// run reports into ActivityProfile records (see
+// pas/analysis/run_matrix.hpp).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pas/power/power_model.hpp"
+
+namespace pas::power {
+
+/// One node's activity over a run. `makespan` padding: if the node
+/// finished before the run's makespan it idles until the end (the
+/// cluster is only "done" when the slowest node is).
+struct ActivityProfile {
+  double cpu_s = 0.0;
+  double memory_s = 0.0;
+  double network_s = 0.0;
+  double idle_s = 0.0;
+
+  double total() const { return cpu_s + memory_s + network_s + idle_s; }
+};
+
+struct EnergyBreakdown {
+  double cpu_j = 0.0;
+  double memory_j = 0.0;
+  double network_j = 0.0;
+  double idle_j = 0.0;
+
+  double total_j() const { return cpu_j + memory_j + network_j + idle_j; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o);
+  std::string to_string() const;
+};
+
+/// One node's activity at one operating point. A static-DVFS run has a
+/// single slice per node; a per-phase schedule produces several.
+struct FrequencySlice {
+  double frequency_mhz = 0.0;
+  ActivityProfile activity;
+};
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(PowerModel model = PowerModel());
+
+  const PowerModel& model() const { return model_; }
+
+  /// Energy of one node's profile at operating point `p`, padding idle
+  /// time up to `makespan` if the profile ends early.
+  EnergyBreakdown measure_node(const ActivityProfile& profile,
+                               const sim::OperatingPoint& p,
+                               double makespan) const;
+
+  /// Cluster energy: sum over the participating nodes' profiles.
+  EnergyBreakdown measure(std::span<const ActivityProfile> profiles,
+                          const sim::OperatingPoint& p,
+                          double makespan) const;
+
+  /// Energy of one node whose run is split across operating points
+  /// (per-phase DVFS). Idle padding up to `makespan` is billed at the
+  /// point `idle_mhz` (the application's nominal point). Frequencies
+  /// are resolved against `points`; throws std::out_of_range for an
+  /// unknown point.
+  EnergyBreakdown measure_node_slices(std::span<const FrequencySlice> slices,
+                                      const sim::OperatingPointTable& points,
+                                      double makespan, double idle_mhz) const;
+
+ private:
+  PowerModel model_;
+};
+
+}  // namespace pas::power

@@ -1,0 +1,42 @@
+#include "pas/power/power_model.hpp"
+
+#include "pas/util/format.hpp"
+
+namespace pas::power {
+
+PowerModel::PowerModel(PowerModelConfig cfg) : cfg_(cfg) {}
+
+double PowerModel::cpu_power_w(const sim::OperatingPoint& p) const {
+  const double dynamic = cfg_.c_eff_farad * p.voltage_v * p.voltage_v *
+                         p.frequency_hz;
+  const double leakage = cfg_.leakage_w_per_v * p.voltage_v;
+  return dynamic + leakage;
+}
+
+double PowerModel::node_power_w(sim::Activity activity,
+                                const sim::OperatingPoint& p) const {
+  const double cpu_full = cpu_power_w(p);
+  switch (activity) {
+    case sim::Activity::kCpu:
+      return cfg_.base_w + cpu_full;
+    case sim::Activity::kMemory:
+      // The core stalls (little switching) but DRAM is hot.
+      return cfg_.base_w + cfg_.idle_cpu_factor * cpu_full +
+             cfg_.memory_active_w;
+    case sim::Activity::kNetwork:
+      return cfg_.base_w + cfg_.network_cpu_factor * cpu_full +
+             cfg_.network_active_w;
+    case sim::Activity::kIdle:
+      return cfg_.base_w + cfg_.idle_cpu_factor * cpu_full;
+  }
+  return cfg_.base_w;
+}
+
+std::string PowerModel::to_string() const {
+  return pas::util::strf(
+      "C_eff=%.2g F, leak=%.2g W/V, base=%.1f W, mem+%.1f W, net+%.1f W",
+      cfg_.c_eff_farad, cfg_.leakage_w_per_v, cfg_.base_w,
+      cfg_.memory_active_w, cfg_.network_active_w);
+}
+
+}  // namespace pas::power

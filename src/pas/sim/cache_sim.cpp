@@ -1,0 +1,98 @@
+#include "pas/sim/cache_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pas::sim {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg)
+    : cfg_(cfg), num_sets_(cfg.num_sets()) {
+  if (cfg_.line_bytes == 0 || cfg_.associativity == 0 || num_sets_ == 0)
+    throw std::invalid_argument("degenerate CacheConfig");
+  ways_.resize(num_sets_ * cfg_.associativity);
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  ++accesses_;
+  ++tick_;
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  Way* base = &ways_[set * cfg_.associativity];
+
+  Way* victim = base;
+  for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  const Way* base = &ways_[set * cfg_.associativity];
+  for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = 0;
+  accesses_ = 0;
+  hits_ = 0;
+}
+
+CacheHierarchySim::CacheHierarchySim(const MemoryHierarchyConfig& cfg)
+    : l1_(cfg.l1), l2_(cfg.l2) {}
+
+MemoryLevel CacheHierarchySim::access(std::uint64_t addr) {
+  if (l1_.access(addr)) {
+    ++served_[static_cast<std::size_t>(MemoryLevel::kL1)];
+    return MemoryLevel::kL1;
+  }
+  if (l2_.access(addr)) {
+    ++served_[static_cast<std::size_t>(MemoryLevel::kL2)];
+    return MemoryLevel::kL2;
+  }
+  ++served_[static_cast<std::size_t>(MemoryLevel::kMemory)];
+  return MemoryLevel::kMemory;
+}
+
+void CacheHierarchySim::flush() {
+  l1_.flush();
+  l2_.flush();
+  std::fill(std::begin(served_), std::end(served_), 0);
+}
+
+std::uint64_t CacheHierarchySim::served_by(MemoryLevel level) const {
+  return served_[static_cast<std::size_t>(level)];
+}
+
+LevelMix CacheHierarchySim::observed_mix() const {
+  LevelMix mix;
+  const double n = static_cast<double>(total_accesses());
+  if (n == 0.0) return mix;
+  mix.l1 = static_cast<double>(served_by(MemoryLevel::kL1)) / n;
+  mix.l2 = static_cast<double>(served_by(MemoryLevel::kL2)) / n;
+  mix.memory = static_cast<double>(served_by(MemoryLevel::kMemory)) / n;
+  return mix;
+}
+
+}  // namespace pas::sim

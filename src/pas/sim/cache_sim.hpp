@@ -1,0 +1,84 @@
+// Set-associative LRU cache simulator.
+//
+// Used by the LMBENCH-like memory probe (Table 6) to realize per-level
+// latencies with a real cache, by the PAPI-like counter tests, and to
+// validate the analytic working-set classifier in
+// memory_hierarchy.hpp against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pas/sim/memory_hierarchy.hpp"
+
+namespace pas::sim {
+
+/// One set-associative cache with true-LRU replacement.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Looks up the line containing `addr`; installs it on a miss.
+  /// Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Hit test without installing (no state change).
+  bool contains(std::uint64_t addr) const;
+
+  void flush();
+
+  const CacheConfig& config() const { return cfg_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return accesses_ - hits_; }
+  double miss_rate() const {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(misses()) /
+                                static_cast<double>(accesses_);
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  ///< larger = more recently used
+  };
+
+  std::uint64_t line_of(std::uint64_t addr) const { return addr / cfg_.line_bytes; }
+
+  CacheConfig cfg_;
+  std::size_t num_sets_;
+  std::vector<Way> ways_;  ///< num_sets_ * associativity, set-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+/// Two-level inclusive hierarchy: classifies each access by the level
+/// that serves it, maintaining both caches.
+class CacheHierarchySim {
+ public:
+  explicit CacheHierarchySim(const MemoryHierarchyConfig& cfg);
+
+  /// Simulates a data access; returns the serving level (kL1, kL2 or
+  /// kMemory — never kRegister).
+  MemoryLevel access(std::uint64_t addr);
+
+  void flush();
+
+  const SetAssocCache& l1() const { return l1_; }
+  const SetAssocCache& l2() const { return l2_; }
+
+  std::uint64_t served_by(MemoryLevel level) const;
+  std::uint64_t total_accesses() const { return l1_.accesses(); }
+
+  /// Observed fraction of accesses served by each level.
+  LevelMix observed_mix() const;
+
+ private:
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  std::uint64_t served_[kNumMemoryLevels] = {};
+};
+
+}  // namespace pas::sim

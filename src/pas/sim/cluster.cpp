@@ -1,0 +1,65 @@
+#include "pas/sim/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::sim {
+
+void NodeState::spend(double dt, Activity activity) {
+  if (dt <= 0.0) return;
+  clock.advance(dt, activity);
+  activity_by_fkey[fkey(cpu.current().frequency_mhz())]
+                  [static_cast<std::size_t>(activity)] += dt;
+}
+
+void NodeState::spend_until(double t, Activity activity) {
+  spend(t - clock.now(), activity);
+}
+
+ClusterConfig ClusterConfig::paper_testbed(int num_nodes) {
+  ClusterConfig cfg;
+  cfg.num_nodes = num_nodes;
+  return cfg;
+}
+
+std::string ClusterConfig::to_string() const {
+  return pas::util::strf("%d nodes; mem: %s; net: %s", num_nodes,
+                         memory.to_string().c_str(),
+                         network.to_string().c_str());
+}
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), fabric_(cfg_.num_nodes, cfg_.network) {
+  if (cfg_.num_nodes <= 0)
+    throw std::invalid_argument("ClusterConfig.num_nodes must be > 0");
+  nodes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
+  for (int i = 0; i < cfg_.num_nodes; ++i)
+    nodes_.push_back(std::make_unique<NodeState>(cfg_));
+}
+
+void Cluster::set_frequency_mhz(double mhz) {
+  for (auto& n : nodes_) n->cpu.set_frequency_mhz(mhz);
+}
+
+double Cluster::frequency_mhz() const {
+  return nodes_.front()->cpu.current().frequency_mhz();
+}
+
+double Cluster::makespan() const {
+  double t = 0.0;
+  for (const auto& n : nodes_) t = std::max(t, n->clock.now());
+  return t;
+}
+
+void Cluster::reset() {
+  for (auto& n : nodes_) {
+    n->clock.reset();
+    n->executed = InstructionMix{};
+    n->activity_by_fkey.clear();
+  }
+  fabric_.reset();
+}
+
+}  // namespace pas::sim

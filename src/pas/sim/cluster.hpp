@@ -1,0 +1,94 @@
+// The simulated power-aware cluster: N homogeneous DVFS-capable nodes
+// behind one switch. Reproduces the paper's testbed (16 Dell Inspiron
+// 8600 / Pentium M 1.4 GHz, Fast Ethernet) by default.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pas/sim/cpu_model.hpp"
+#include "pas/sim/network.hpp"
+#include "pas/sim/virtual_clock.hpp"
+
+namespace pas::sim {
+
+struct ClusterConfig {
+  int num_nodes = 16;
+  CpuConfig cpu = CpuConfig::pentium_m();
+  MemoryHierarchyConfig memory = MemoryHierarchyConfig::pentium_m();
+  OperatingPointTable operating_points = OperatingPointTable::pentium_m_1400();
+  NetworkConfig network = NetworkConfig::fast_ethernet();
+  /// Latency of one DVFS operating-point transition (SpeedStep-era
+  /// voltage ramp). Charged whenever a per-phase schedule switches.
+  double dvfs_transition_s = 10e-6;
+
+  /// The paper's 16-node power-aware cluster (section 4.1).
+  static ClusterConfig paper_testbed(int num_nodes = 16);
+
+  std::string to_string() const;
+};
+
+/// Activity seconds at one operating point — the granularity a
+/// per-phase DVFS schedule needs for energy accounting.
+using ActivitySeconds = std::array<double, kNumActivities>;
+
+/// Per-node simulation state.
+struct NodeState {
+  explicit NodeState(const ClusterConfig& cfg)
+      : cpu(cfg.cpu, cfg.memory, cfg.operating_points) {}
+
+  CpuModel cpu;
+  VirtualClock clock;
+  /// Everything this node has executed, for counter derivation.
+  InstructionMix executed;
+  /// Activity time resolved by the operating point it ran at (key:
+  /// frequency in 0.1 MHz units). With static DVFS there is a single
+  /// entry; per-phase scheduling spreads time across points.
+  std::map<long, ActivitySeconds> activity_by_fkey;
+
+  static long fkey(double mhz) { return static_cast<long>(mhz * 10.0 + 0.5); }
+
+  /// Advances the clock by `dt` of `activity` and attributes it to the
+  /// node's current operating point.
+  void spend(double dt, Activity activity);
+
+  /// advance_to + per-point attribution.
+  void spend_until(double t, Activity activity);
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  const ClusterConfig& config() const { return cfg_; }
+  int size() const { return cfg_.num_nodes; }
+
+  NodeState& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  const NodeState& node(int i) const {
+    return *nodes_.at(static_cast<std::size_t>(i));
+  }
+
+  NetworkFabric& fabric() { return fabric_; }
+  const NetworkFabric& fabric() const { return fabric_; }
+
+  /// Sets every node's DVFS point (cluster-wide static scheduling, as
+  /// in the paper's per-configuration runs).
+  void set_frequency_mhz(double mhz);
+  double frequency_mhz() const;
+
+  /// Virtual time at which the last node finished (max over clocks).
+  double makespan() const;
+
+  /// Resets clocks, executed-work accounting and network state.
+  void reset();
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  NetworkFabric fabric_;
+};
+
+}  // namespace pas::sim

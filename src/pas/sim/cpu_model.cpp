@@ -1,0 +1,68 @@
+#include "pas/sim/cpu_model.hpp"
+
+#include "pas/util/format.hpp"
+
+namespace pas::sim {
+
+InstructionMix& InstructionMix::operator+=(const InstructionMix& o) {
+  reg_ops += o.reg_ops;
+  l1_ops += o.l1_ops;
+  l2_ops += o.l2_ops;
+  mem_ops += o.mem_ops;
+  return *this;
+}
+
+InstructionMix InstructionMix::from_level_mix(double ops, const LevelMix& mix,
+                                              double reg) {
+  InstructionMix m;
+  m.reg_ops = reg;
+  m.l1_ops = ops * mix.l1;
+  m.l2_ops = ops * mix.l2;
+  m.mem_ops = ops * mix.memory;
+  return m;
+}
+
+std::string InstructionMix::to_string() const {
+  return pas::util::strf("reg=%.3g l1=%.3g l2=%.3g mem=%.3g", reg_ops, l1_ops,
+                         l2_ops, mem_ops);
+}
+
+CpuModel::CpuModel(CpuConfig cfg, MemoryHierarchyConfig mem,
+                   OperatingPointTable opts)
+    : cfg_(cfg), mem_(mem), opts_(std::move(opts)), current_(opts_.highest()) {}
+
+CpuModel CpuModel::pentium_m() {
+  return CpuModel(CpuConfig::pentium_m(), MemoryHierarchyConfig::pentium_m(),
+                  OperatingPointTable::pentium_m_1400());
+}
+
+void CpuModel::set_frequency_mhz(double mhz) { current_ = opts_.at_mhz(mhz); }
+
+double CpuModel::on_chip_cycles(const InstructionMix& mix) const {
+  const double per_ins_overhead = cfg_.issue_overhead_cpi * mix.total();
+  return mix.reg_ops * cfg_.reg_cpi + mix.l1_ops * cfg_.l1_cpi +
+         mix.l2_ops * cfg_.l2_cpi + per_ins_overhead;
+}
+
+CpuModel::TimeSplit CpuModel::time_split(const InstructionMix& mix) const {
+  TimeSplit split;
+  split.on_chip_s = on_chip_cycles(mix) / current_.frequency_hz;
+  split.off_chip_s = mix.mem_ops * mem_.dram_latency(current_.frequency_hz);
+  return split;
+}
+
+double CpuModel::time_for(const InstructionMix& mix) const {
+  return time_split(mix).total();
+}
+
+double CpuModel::cpi_on(const InstructionMix& mix) const {
+  const double on = mix.on_chip();
+  if (on <= 0.0) return 0.0;
+  return on_chip_cycles(mix) / on;
+}
+
+double CpuModel::seconds_per_mem_op() const {
+  return mem_.dram_latency(current_.frequency_hz);
+}
+
+}  // namespace pas::sim

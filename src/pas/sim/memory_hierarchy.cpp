@@ -1,0 +1,96 @@
+#include "pas/sim/memory_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pas/util/format.hpp"
+
+namespace pas::sim {
+
+const char* memory_level_name(MemoryLevel level) {
+  switch (level) {
+    case MemoryLevel::kRegister:
+      return "CPU/Register";
+    case MemoryLevel::kL1:
+      return "L1 Cache";
+    case MemoryLevel::kL2:
+      return "L2 Cache";
+    case MemoryLevel::kMemory:
+      return "Main Memory";
+  }
+  return "?";
+}
+
+MemoryHierarchyConfig MemoryHierarchyConfig::pentium_m() {
+  MemoryHierarchyConfig cfg;
+  cfg.l1 = CacheConfig{.capacity_bytes = 32 * 1024,
+                       .line_bytes = 64,
+                       .associativity = 8,
+                       .access_cycles = 3.0};
+  cfg.l2 = CacheConfig{.capacity_bytes = 1024 * 1024,
+                       .line_bytes = 64,
+                       .associativity = 8,
+                       .access_cycles = 10.0};
+  cfg.dram_latency_s = 110e-9;
+  cfg.bus_slowdown_at_low_freq = true;
+  cfg.slow_dram_latency_s = 140e-9;
+  cfg.bus_slowdown_threshold_hz = 900e6;
+  return cfg;
+}
+
+double MemoryHierarchyConfig::dram_latency(double cpu_frequency_hz) const {
+  if (bus_slowdown_at_low_freq && cpu_frequency_hz < bus_slowdown_threshold_hz)
+    return slow_dram_latency_s;
+  return dram_latency_s;
+}
+
+std::string MemoryHierarchyConfig::to_string() const {
+  return pas::util::strf(
+      "L1 %zuKB/%zu-way/%.0fcy, L2 %zuKB/%zu-way/%.0fcy, DRAM %.0fns"
+      " (%.0fns below %.0fMHz)",
+      l1.capacity_bytes / 1024, l1.associativity, l1.access_cycles,
+      l2.capacity_bytes / 1024, l2.associativity, l2.access_cycles,
+      dram_latency_s * 1e9,
+      bus_slowdown_at_low_freq ? slow_dram_latency_s * 1e9 : dram_latency_s * 1e9,
+      bus_slowdown_threshold_hz / 1e6);
+}
+
+LevelMix classify(const MemoryHierarchyConfig& cfg,
+                  const AccessPattern& pattern) {
+  LevelMix mix;
+  const double ws = static_cast<double>(pattern.working_set_bytes);
+  const double l1_cap = static_cast<double>(cfg.l1.capacity_bytes);
+  const double l2_cap = static_cast<double>(cfg.l2.capacity_bytes);
+
+  // Fraction of the working set resident in each level. A soft
+  // occupancy curve (cap/ws clipped to 1) approximates LRU behaviour on
+  // a scanning workload: once the set exceeds a level, the resident
+  // fraction of any given traversal decays as cap/ws.
+  const double fit_l1 = ws <= l1_cap ? 1.0 : l1_cap / ws;
+  const double fit_l2 = ws <= l2_cap ? 1.0 : l2_cap / ws;
+
+  // Spatial reuse: with stride s and line L, only ceil(s/L)^-1 ... i.e.
+  // one miss per line; the other L/s references on the line hit L1.
+  const double line = static_cast<double>(cfg.l1.line_bytes);
+  const double stride = std::max<double>(1.0, static_cast<double>(pattern.stride_bytes));
+  const double refs_per_line = std::max(1.0, line / stride);
+
+  // Temporal reuse keeps re-references in L1 while resident.
+  const double reuse = std::max(1.0, pattern.temporal_reuse);
+
+  // First-touch misses per traversal: 1/refs_per_line of references go
+  // past L1 when the set does not fit; re-references (reuse-1 of reuse)
+  // hit L1 while resident.
+  const double first_touch = 1.0 / (refs_per_line * reuse);
+
+  // References that must come from beyond L1 / beyond L2.
+  const double beyond_l1 = first_touch * (1.0 - fit_l1);
+  const double beyond_l2 = first_touch * (1.0 - fit_l2);
+
+  mix.memory = std::clamp(beyond_l2, 0.0, 1.0);
+  mix.l2 = std::clamp(beyond_l1 - beyond_l2, 0.0, 1.0 - mix.memory);
+  mix.l1 = 1.0 - mix.l2 - mix.memory;
+  return mix;
+}
+
+}  // namespace pas::sim

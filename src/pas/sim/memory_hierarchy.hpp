@@ -1,0 +1,93 @@
+// Memory-hierarchy parameters and the ON-/OFF-chip timing split.
+//
+// The paper's model divides every workload into ON-chip work (data in
+// CPU registers, L1 or L2 — latency counted in CPU cycles, so it scales
+// with the DVFS frequency f_ON) and OFF-chip work (main memory — paced
+// by the bus clock f_OFF, unaffected by DVFS). This module defines the
+// level parameters for the simulated Pentium M node and the analytic
+// working-set classifier the NPB kernels use to derive the memory-level
+// mix of their inner loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pas::sim {
+
+/// Memory levels in the paper's Table 5 decomposition.
+enum class MemoryLevel : std::size_t {
+  kRegister = 0,  ///< CPU/register (no data-cache access)
+  kL1 = 1,
+  kL2 = 2,
+  kMemory = 3,  ///< OFF-chip (DRAM)
+};
+inline constexpr std::size_t kNumMemoryLevels = 4;
+
+const char* memory_level_name(MemoryLevel level);
+
+/// Geometry + latency of one cache level.
+struct CacheConfig {
+  std::size_t capacity_bytes = 0;
+  std::size_t line_bytes = 64;
+  std::size_t associativity = 8;
+  double access_cycles = 1.0;  ///< hit latency in CPU cycles
+
+  std::size_t num_sets() const {
+    return capacity_bytes / (line_bytes * associativity);
+  }
+};
+
+/// Whole-hierarchy parameters for one node.
+struct MemoryHierarchyConfig {
+  CacheConfig l1;
+  CacheConfig l2;
+  /// DRAM access latency (seconds) when the front-side bus runs at full
+  /// speed. Independent of CPU frequency — this is the paper's f_OFF.
+  double dram_latency_s = 110e-9;
+  /// Table 6 of the paper observed a system-specific slowdown of the
+  /// bus when the CPU clock drops to 800 MHz or below (140 ns vs
+  /// 110 ns per OFF-chip workload). Modeled as a step, optional.
+  bool bus_slowdown_at_low_freq = true;
+  double slow_dram_latency_s = 140e-9;
+  double bus_slowdown_threshold_hz = 900e6;  ///< below this: slow DRAM
+
+  /// Pentium M 1.4 GHz (Dell Inspiron 8600 node of the paper's cluster):
+  /// 32 KB 8-way L1D, 1 MB 8-way L2, 64-byte lines.
+  static MemoryHierarchyConfig pentium_m();
+
+  /// Effective DRAM latency in seconds given the CPU clock.
+  double dram_latency(double cpu_frequency_hz) const;
+
+  std::string to_string() const;
+};
+
+/// Analytic working-set classifier.
+///
+/// Given the footprint of a loop's working set and its reuse pattern,
+/// estimates the fraction of data references served by each level.
+/// The NPB kernels use this to attach a memory-level mix to each block
+/// of real computation (DESIGN.md, decision 5).
+struct AccessPattern {
+  std::size_t working_set_bytes = 0;  ///< bytes touched per traversal
+  std::size_t stride_bytes = 8;       ///< distance between references
+  double temporal_reuse = 1.0;  ///< avg times each element is re-referenced
+                                ///< while it is still resident
+};
+
+struct LevelMix {
+  /// Fractions over data references; sums to 1.
+  double l1 = 0.0;
+  double l2 = 0.0;
+  double memory = 0.0;
+
+  double on_chip() const { return l1 + l2; }
+};
+
+/// Estimates where the data references of `pattern` are served, for a
+/// hierarchy `cfg`. Monotone: larger working sets push references down
+/// the hierarchy; unit-stride streaming gets line-grain spatial reuse.
+LevelMix classify(const MemoryHierarchyConfig& cfg,
+                  const AccessPattern& pattern);
+
+}  // namespace pas::sim

@@ -1,0 +1,70 @@
+#include "pas/sim/operating_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::sim {
+
+OperatingPointTable::OperatingPointTable(std::vector<OperatingPoint> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              return a.frequency_hz < b.frequency_hz;
+            });
+}
+
+OperatingPointTable OperatingPointTable::pentium_m_1400() {
+  return OperatingPointTable({
+      {600e6, 0.956},
+      {800e6, 1.180},
+      {1000e6, 1.308},
+      {1200e6, 1.436},
+      {1400e6, 1.484},
+  });
+}
+
+const OperatingPoint& OperatingPointTable::lowest() const {
+  if (points_.empty()) throw std::out_of_range("empty OperatingPointTable");
+  return points_.front();
+}
+
+const OperatingPoint& OperatingPointTable::highest() const {
+  if (points_.empty()) throw std::out_of_range("empty OperatingPointTable");
+  return points_.back();
+}
+
+const OperatingPoint& OperatingPointTable::at_mhz(double mhz) const {
+  for (const OperatingPoint& p : points_) {
+    if (std::fabs(p.frequency_mhz() - mhz) < 0.5) return p;
+  }
+  throw std::out_of_range(
+      pas::util::strf("no operating point at %.1f MHz", mhz));
+}
+
+bool OperatingPointTable::has_mhz(double mhz) const {
+  for (const OperatingPoint& p : points_) {
+    if (std::fabs(p.frequency_mhz() - mhz) < 0.5) return true;
+  }
+  return false;
+}
+
+std::vector<double> OperatingPointTable::frequencies_mhz() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const OperatingPoint& p : points_) out.push_back(p.frequency_mhz());
+  return out;
+}
+
+std::string OperatingPointTable::to_string() const {
+  std::string out;
+  for (const OperatingPoint& p : points_) {
+    out += pas::util::strf("%.0f MHz @ %.3f V\n", p.frequency_mhz(),
+                           p.voltage_v);
+  }
+  return out;
+}
+
+}  // namespace pas::sim

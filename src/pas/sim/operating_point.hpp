@@ -1,0 +1,55 @@
+// DVFS operating points (frequency / supply-voltage pairs).
+//
+// The default table reproduces Table 2 of the paper: the five Enhanced
+// SpeedStep points of the Pentium M 1.4 GHz used in the 16-node
+// power-aware cluster.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pas::sim {
+
+/// One DVFS operating point.
+struct OperatingPoint {
+  double frequency_hz = 0.0;  ///< CPU core clock (f_ON in the paper)
+  double voltage_v = 0.0;     ///< supply voltage at this point
+
+  double frequency_mhz() const { return frequency_hz / 1e6; }
+};
+
+/// An ordered set of operating points (ascending frequency).
+class OperatingPointTable {
+ public:
+  OperatingPointTable() = default;
+  explicit OperatingPointTable(std::vector<OperatingPoint> points);
+
+  /// Table 2 of the paper: Pentium M 1.4 GHz SpeedStep points.
+  ///   1.4 GHz/1.484 V, 1.2/1.436, 1.0/1.308, 0.8/1.180, 0.6/0.956.
+  static OperatingPointTable pentium_m_1400();
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const OperatingPoint& operator[](std::size_t i) const { return points_[i]; }
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+  /// Lowest available frequency — the paper's base f0 for speedup.
+  const OperatingPoint& lowest() const;
+  const OperatingPoint& highest() const;
+
+  /// Finds the point whose frequency matches `mhz` within 0.5 MHz.
+  /// Throws std::out_of_range if absent.
+  const OperatingPoint& at_mhz(double mhz) const;
+  bool has_mhz(double mhz) const;
+
+  /// All frequencies in MHz, ascending (convenience for sweep loops).
+  std::vector<double> frequencies_mhz() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace pas::sim

@@ -1,0 +1,74 @@
+#include "pas/sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "pas/util/format.hpp"
+
+namespace pas::sim {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::record(int node, double start_s, double duration_s,
+                    Activity activity, std::string label) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{node, start_s, duration_s, activity,
+                               std::move(label)});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<TraceEvent> sorted = events();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.start_s < b.start_s;
+            });
+  std::string out = "[\n";
+  bool first = true;
+  for (const TraceEvent& e : sorted) {
+    if (!first) out += ",\n";
+    first = false;
+    out += pas::util::strf(
+        R"({"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d})",
+        json_escape(e.label).c_str(), activity_name(e.activity),
+        e.start_s * 1e6, e.duration_s * 1e6, e.node);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace pas::sim

@@ -1,0 +1,57 @@
+// Execution tracing for the simulated cluster.
+//
+// When enabled on a Runtime, every compute block, send and receive is
+// recorded as a (node, start, duration, activity, label) interval in
+// *virtual* time. Traces export to the Chrome trace-event JSON format
+// (load in chrome://tracing or Perfetto) with one row per node — the
+// quickest way to see a kernel's communication structure, pipeline
+// fill, or a DVFS schedule's phase boundaries.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pas/sim/virtual_clock.hpp"
+
+namespace pas::sim {
+
+struct TraceEvent {
+  int node = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  Activity activity = Activity::kCpu;
+  std::string label;
+};
+
+/// Thread-safe event sink. Disabled by default; recording while
+/// disabled is a cheap no-op.
+class Tracer {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(int node, double start_s, double duration_s, Activity activity,
+              std::string label);
+
+  /// Snapshot of all recorded events (copy; safe after the run).
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond
+  /// timestamps, tid = node, category = activity).
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pas::sim

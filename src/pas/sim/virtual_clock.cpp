@@ -1,0 +1,54 @@
+#include "pas/sim/virtual_clock.hpp"
+
+#include <cassert>
+
+#include "pas/util/format.hpp"
+
+namespace pas::sim {
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kCpu:
+      return "cpu";
+    case Activity::kMemory:
+      return "memory";
+    case Activity::kNetwork:
+      return "network";
+    case Activity::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+void VirtualClock::advance(double dt, Activity activity) {
+  assert(dt >= 0.0);
+  if (dt <= 0.0) return;
+  now_ += dt;
+  by_activity_[static_cast<std::size_t>(activity)] += dt;
+}
+
+void VirtualClock::advance_to(double t, Activity activity) {
+  if (t > now_) advance(t - now_, activity);
+}
+
+double VirtualClock::seconds_in(Activity activity) const {
+  return by_activity_[static_cast<std::size_t>(activity)];
+}
+
+double VirtualClock::busy_seconds() const {
+  return seconds_in(Activity::kCpu) + seconds_in(Activity::kMemory);
+}
+
+void VirtualClock::reset() {
+  now_ = 0.0;
+  by_activity_.fill(0.0);
+}
+
+std::string VirtualClock::to_string() const {
+  return pas::util::strf(
+      "t=%.6fs (cpu %.6f, mem %.6f, net %.6f, idle %.6f)", now_,
+      seconds_in(Activity::kCpu), seconds_in(Activity::kMemory),
+      seconds_in(Activity::kNetwork), seconds_in(Activity::kIdle));
+}
+
+}  // namespace pas::sim

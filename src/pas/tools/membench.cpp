@@ -1,0 +1,86 @@
+#include "pas/tools/membench.hpp"
+
+#include <stdexcept>
+
+namespace pas::tools {
+
+double LevelTimes::at(sim::MemoryLevel level) const {
+  switch (level) {
+    case sim::MemoryLevel::kRegister:
+      return reg_s;
+    case sim::MemoryLevel::kL1:
+      return l1_s;
+    case sim::MemoryLevel::kL2:
+      return l2_s;
+    case sim::MemoryLevel::kMemory:
+      return mem_s;
+  }
+  return 0.0;
+}
+
+MemBench::MemBench(sim::CpuModel cpu) : cpu_(std::move(cpu)) {}
+
+double MemBench::latency_at(std::size_t bytes, double f_mhz,
+                            std::size_t stride, std::size_t accesses) {
+  if (bytes == 0) throw std::invalid_argument("latency_at: empty buffer");
+  cpu_.set_frequency_mhz(f_mhz);
+
+  sim::CacheHierarchySim caches(cpu_.memory());
+  const std::size_t steps = std::max<std::size_t>(1, bytes / stride);
+
+  // Warm-up traversal fills the caches with the working set.
+  for (std::size_t i = 0; i < steps; ++i)
+    caches.access(static_cast<std::uint64_t>(i * stride));
+
+  // Measured traversal: every access is one data-referencing
+  // instruction served by whichever level holds the line.
+  sim::InstructionMix mix;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < accesses; ++i) {
+    const sim::MemoryLevel level =
+        caches.access(static_cast<std::uint64_t>(pos * stride));
+    switch (level) {
+      case sim::MemoryLevel::kRegister:
+        mix.reg_ops += 1.0;
+        break;
+      case sim::MemoryLevel::kL1:
+        mix.l1_ops += 1.0;
+        break;
+      case sim::MemoryLevel::kL2:
+        mix.l2_ops += 1.0;
+        break;
+      case sim::MemoryLevel::kMemory:
+        mix.mem_ops += 1.0;
+        break;
+    }
+    pos = (pos + 1) % steps;
+  }
+  return cpu_.time_for(mix) / static_cast<double>(accesses);
+}
+
+LevelTimes MemBench::probe(double f_mhz) {
+  cpu_.set_frequency_mhz(f_mhz);
+  LevelTimes t;
+  t.frequency_mhz = f_mhz;
+  t.reg_s = cpu_.config().reg_cpi / cpu_.frequency_hz();
+
+  const auto& mem = cpu_.memory();
+  // Working sets comfortably inside each level (half capacity), and
+  // well beyond L2 for main memory.
+  t.l1_s = latency_at(mem.l1.capacity_bytes / 2, f_mhz);
+  t.l2_s = latency_at((mem.l1.capacity_bytes + mem.l2.capacity_bytes) / 2,
+                      f_mhz);
+  t.mem_s = latency_at(mem.l2.capacity_bytes * 8, f_mhz);
+  return t;
+}
+
+std::vector<MemBench::CurvePoint> MemBench::latency_curve(
+    double f_mhz, const std::vector<std::size_t>& sizes) {
+  std::vector<CurvePoint> curve;
+  curve.reserve(sizes.size());
+  for (std::size_t bytes : sizes)
+    curve.push_back(CurvePoint{bytes, latency_at(bytes, f_mhz)});
+  return curve;
+}
+
+}  // namespace pas::tools

@@ -1,0 +1,57 @@
+// MemBench — an LMBENCH-like memory-latency probe over the simulated
+// node (paper §5.2, step 2: "We use the LMBENCH toolset as it enables
+// us to isolate the latency for each of these workload types").
+//
+// Probes run a pointer-chase access stream over a working set sized to
+// target one level, replay it through the *real* cache simulator
+// (SetAssocCache hierarchy), classify each access by serving level, and
+// price the run with the CPU model at a chosen DVFS point. The result
+// is seconds-per-workload for each level — Table 6's CPI/f rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pas/sim/cache_sim.hpp"
+#include "pas/sim/cpu_model.hpp"
+
+namespace pas::tools {
+
+/// Seconds per instruction for each workload type at one frequency.
+struct LevelTimes {
+  double frequency_mhz = 0.0;
+  double reg_s = 0.0;
+  double l1_s = 0.0;
+  double l2_s = 0.0;
+  double mem_s = 0.0;
+
+  double at(sim::MemoryLevel level) const;
+};
+
+class MemBench {
+ public:
+  explicit MemBench(sim::CpuModel cpu);
+
+  /// Seconds per access for a stride-`stride` chase over `bytes` of
+  /// memory at DVFS point `f_mhz` (measured through the cache sim
+  /// after a warm-up traversal).
+  double latency_at(std::size_t bytes, double f_mhz,
+                    std::size_t stride = 64, std::size_t accesses = 20000);
+
+  /// Per-level probe: register latency from the CPU config, cache and
+  /// memory latencies from chases sized inside each level.
+  LevelTimes probe(double f_mhz);
+
+  /// lat_mem_rd-style curve: latency for each working-set size.
+  struct CurvePoint {
+    std::size_t bytes = 0;
+    double seconds = 0.0;
+  };
+  std::vector<CurvePoint> latency_curve(double f_mhz,
+                                        const std::vector<std::size_t>& sizes);
+
+ private:
+  sim::CpuModel cpu_;
+};
+
+}  // namespace pas::tools

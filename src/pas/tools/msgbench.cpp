@@ -1,0 +1,76 @@
+#include "pas/tools/msgbench.hpp"
+
+#include <stdexcept>
+
+namespace pas::tools {
+
+MsgBench::MsgBench(sim::ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.num_nodes < 2)
+    throw std::invalid_argument("MsgBench needs >= 2 nodes");
+}
+
+double MsgBench::pingpong_seconds(std::size_t doubles, double f_mhz,
+                                  int reps) {
+  mpi::Runtime rt(cfg_);
+  const mpi::RunResult result =
+      rt.run(2, f_mhz, [doubles, reps](mpi::Comm& comm) {
+        mpi::Payload ball(doubles, 1.0);
+        for (int i = 0; i < reps; ++i) {
+          if (comm.rank() == 0) {
+            comm.send(1, 7, ball);
+            ball = comm.recv(1, 8);
+          } else {
+            ball = comm.recv(0, 7);
+            comm.send(0, 8, ball);
+          }
+        }
+      });
+  return result.makespan / (2.0 * static_cast<double>(reps));
+}
+
+double MsgBench::exchange_seconds(std::size_t doubles, double f_mhz,
+                                  int nodes, int reps) {
+  if (nodes < 2 || nodes > cfg_.num_nodes)
+    throw std::invalid_argument("exchange_seconds: bad node count");
+  mpi::Runtime rt(cfg_);
+  const mpi::RunResult result =
+      rt.run(nodes, f_mhz, [doubles, reps, nodes](mpi::Comm& comm) {
+        mpi::Payload block(doubles, 1.0);
+        const int right = (comm.rank() + 1) % nodes;
+        const int left = (comm.rank() - 1 + nodes) % nodes;
+        for (int i = 0; i < reps; ++i)
+          block = comm.sendrecv(right, left, 9, block);
+      });
+  // Every rank moved one message per round.
+  return result.makespan / static_cast<double>(reps);
+}
+
+double MsgBench::streaming_seconds(std::size_t doubles, double f_mhz,
+                                   int count) {
+  if (count < 1) throw std::invalid_argument("streaming_seconds: count >= 1");
+  mpi::Runtime rt(cfg_);
+  const mpi::RunResult result =
+      rt.run(2, f_mhz, [doubles, count](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          for (int i = 0; i < count; ++i)
+            comm.send(1, 11, mpi::Payload(doubles, 1.0));
+        } else {
+          for (int i = 0; i < count; ++i) comm.recv(0, 11);
+        }
+      });
+  return result.makespan / static_cast<double>(count);
+}
+
+std::vector<MsgTime> MsgBench::sweep(const std::vector<std::size_t>& sizes,
+                                     const std::vector<double>& freqs_mhz) {
+  std::vector<MsgTime> out;
+  out.reserve(sizes.size() * freqs_mhz.size());
+  for (std::size_t doubles : sizes) {
+    for (double f : freqs_mhz) {
+      out.push_back(MsgTime{doubles, f, pingpong_seconds(doubles, f)});
+    }
+  }
+  return out;
+}
+
+}  // namespace pas::tools

@@ -1,0 +1,56 @@
+// MsgBench — an MPPTEST-like message-timing probe (paper §5.2, step 2:
+// "we measure the seconds per communication for different message
+// sizes using the MPPTEST toolset").
+//
+// Runs real ping-pong / exchange traffic through the simulated cluster
+// and reports seconds per message. Because the sender/receiver CPU
+// overheads are paced by the DVFS clock while wire time is not, the
+// probe reproduces Table 6's observation: large messages slow slightly
+// at the lowest frequency, small messages do not move.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::tools {
+
+struct MsgTime {
+  std::size_t doubles = 0;     ///< payload size in doubles
+  double frequency_mhz = 0.0;
+  double seconds_per_message = 0.0;
+};
+
+class MsgBench {
+ public:
+  explicit MsgBench(sim::ClusterConfig cfg);
+
+  /// One-way time per message of `doubles` doubles between two nodes at
+  /// DVFS point `f_mhz` (half the mean ping-pong round trip).
+  double pingpong_seconds(std::size_t doubles, double f_mhz, int reps = 20);
+
+  /// Per-message time during a simultaneous neighbour exchange among
+  /// `nodes` nodes (each node sends and receives every round) —
+  /// matches how LU's boundary exchanges stress the fabric.
+  double exchange_seconds(std::size_t doubles, double f_mhz, int nodes,
+                          int reps = 20);
+
+  /// Marginal per-message time of a pipelined one-directional stream
+  /// (MPPTEST's overlap mode): `count` back-to-back messages, makespan
+  /// divided by count. Serialization-dominated — the right price for
+  /// overlapped patterns (LU's pipelined boundary messages, FT's
+  /// full-duplex transpose rounds), and what the fine-grain
+  /// parameterization uses for T(w_PO).
+  double streaming_seconds(std::size_t doubles, double f_mhz,
+                           int count = 32);
+
+  /// Table 6-style sweep: per-message time for each (size, frequency).
+  std::vector<MsgTime> sweep(const std::vector<std::size_t>& sizes,
+                             const std::vector<double>& freqs_mhz);
+
+ private:
+  sim::ClusterConfig cfg_;
+};
+
+}  // namespace pas::tools

@@ -1,0 +1,75 @@
+#include "pas/util/cli.hpp"
+
+#include <cstdlib>
+
+namespace pas::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself an option;
+    // otherwise a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1" ||
+      it->second == "yes" || it->second == "on")
+    return true;
+  return false;
+}
+
+std::vector<long> Cli::get_int_list(const std::string& name,
+                                    std::vector<long> fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  std::vector<long> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtol(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace pas::util

@@ -1,0 +1,38 @@
+// Tiny command-line option parser for the example and bench binaries.
+// Supports "--name value", "--name=value" and boolean "--flag".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pas::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. --nodes 1,2,4,8,16.
+  std::vector<long> get_int_list(const std::string& name,
+                                 std::vector<long> fallback) const;
+
+  /// Positional arguments (everything not consumed as an option).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pas::util

@@ -1,0 +1,86 @@
+#include "pas/util/format.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace pas::util {
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<std::size_t>(n));
+  }
+  va_end(args);
+  return out;
+}
+
+std::string fixed(double v, int digits) { return strf("%.*f", digits, v); }
+
+std::string eng(double v, int digits) {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {1e12, " T"}, {1e9, " G"}, {1e6, " M"}, {1e3, " k"},
+      {1.0, " "},   {1e-3, " m"}, {1e-6, " u"}, {1e-9, " n"},
+  };
+  const double mag = std::fabs(v);
+  if (mag == 0.0 || !std::isfinite(v)) return strf("%.*f ", digits, v);
+  for (const Unit& u : kUnits) {
+    if (mag >= u.scale) return strf("%.*f%s", digits, v / u.scale, u.suffix);
+  }
+  return strf("%.*f p", digits, v / 1e-12);
+}
+
+std::string percent(double fraction, int digits) {
+  return strf("%.*f%%", digits, fraction * 100.0);
+}
+
+std::string seconds(double s, int digits) {
+  const double mag = std::fabs(s);
+  if (!std::isfinite(s)) return strf("%f s", s);
+  if (mag >= 1.0) return strf("%.*f s", digits, s);
+  if (mag >= 1e-3) return strf("%.*f ms", digits, s * 1e3);
+  if (mag >= 1e-6) return strf("%.*f us", digits, s * 1e6);
+  return strf("%.*f ns", digits, s * 1e9);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out;
+  if (s.size() < width) out.assign(width - s.size(), ' ');
+  out.append(s);
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+bool approx_equal(double a, double b, double rel_tol) {
+  if (a == b) return true;
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace pas::util

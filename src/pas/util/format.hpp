@@ -1,0 +1,40 @@
+// Small string-formatting helpers (libstdc++ 12 lacks <format>).
+//
+// All helpers return std::string and never throw on formatting itself;
+// they are intended for tables, logs and error messages.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pas::util {
+
+/// printf-style formatting into a std::string.
+/// Example: strf("%.2f MHz", 600.0) -> "600.00 MHz".
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point with `digits` fractional digits.
+std::string fixed(double v, int digits = 3);
+
+/// Human-friendly engineering notation: 1.5e9 -> "1.50 G", 2e-6 -> "2.00 u".
+std::string eng(double v, int digits = 2);
+
+/// Percentage with `digits` fractional digits: 0.123 -> "12.3%".
+std::string percent(double fraction, int digits = 1);
+
+/// Seconds pretty-printer: 0.000153 -> "153.0 us".
+std::string seconds(double s, int digits = 1);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Left/right padding to a given width (no truncation).
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// True if `a` and `b` agree to within `rel_tol` relative tolerance,
+/// using max(|a|,|b|) as the scale; exact for both zero.
+bool approx_equal(double a, double b, double rel_tol = 1e-9);
+
+}  // namespace pas::util

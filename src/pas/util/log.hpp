@@ -1,0 +1,22 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output; level is a
+// process-wide atomic so benches can silence the substrate.
+#pragma once
+
+#include <string>
+
+namespace pas::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits "[level] message\n" to stderr if `level` >= the global level.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace pas::util

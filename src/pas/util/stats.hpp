@@ -1,0 +1,44 @@
+// Descriptive statistics and error metrics used throughout the
+// experiment harnesses (relative prediction error, summaries of error
+// matrices, linear fits for trend checks).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pas::util {
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+Summary summarize(std::span<const double> xs);
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  ///< requires all xs > 0
+double median(std::vector<double> xs);       ///< by value: sorts a copy
+
+/// |measured - predicted| / |measured|; 0 when both are 0.
+double relative_error(double measured, double predicted);
+
+/// Signed (predicted - measured) / measured.
+double signed_relative_error(double measured, double predicted);
+
+/// Least-squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace pas::util

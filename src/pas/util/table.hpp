@@ -1,0 +1,52 @@
+// ASCII table rendering + CSV export used by the bench harnesses to
+// print paper-style tables (Table 1, 3, 5, 6, 7) and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pas::util {
+
+/// A rectangular text table with a header row. Rows may be ragged while
+/// building; rendering pads to the widest row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Replaces the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: append a row of already-formatted cells.
+  template <typename... Cells>
+  void add(Cells&&... cells) {
+    add_row(std::vector<std::string>{std::string(std::forward<Cells>(cells))...});
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const;
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders with column alignment (numbers right-aligned heuristically).
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace pas::util

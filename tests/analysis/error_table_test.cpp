@@ -1,0 +1,70 @@
+#include "pas/analysis/error_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::analysis {
+namespace {
+
+core::TimingMatrix matrix() {
+  core::TimingMatrix m;
+  for (int n : {1, 2, 4}) {
+    for (double f : {600.0, 1200.0}) m.add(n, f, 12.0 / (n * f / 600.0));
+  }
+  return m;
+}
+
+TEST(ErrorTable, PerfectPredictorGivesZeroError) {
+  const core::TimingMatrix m = matrix();
+  const ErrorTable t = time_error_table(
+      m, [&](int n, double f) { return m.at(n, f); }, {1, 2, 4},
+      {600.0, 1200.0});
+  EXPECT_DOUBLE_EQ(t.max_error(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_error(), 0.0);
+}
+
+TEST(ErrorTable, KnownBias) {
+  const core::TimingMatrix m = matrix();
+  const ErrorTable t = time_error_table(
+      m, [&](int n, double f) { return 1.1 * m.at(n, f); }, {1, 2},
+      {600.0});
+  EXPECT_NEAR(t.max_error(), 0.1, 1e-12);
+  EXPECT_NEAR(t.at(2, 600), 0.1, 1e-12);
+}
+
+TEST(ErrorTable, SpeedupErrors) {
+  const core::TimingMatrix m = matrix();
+  const ErrorTable t = speedup_error_table(
+      m, [&](int n, double f) { return 2.0 * m.speedup(n, f, 1, 600); },
+      {2, 4}, {600.0, 1200.0}, 1, 600);
+  EXPECT_NEAR(t.mean_error(), 1.0, 1e-12);  // 2x over-prediction = 100 %
+}
+
+TEST(ErrorTable, AtMissingThrows) {
+  const core::TimingMatrix m = matrix();
+  const ErrorTable t = time_error_table(
+      m, [&](int n, double f) { return m.at(n, f); }, {1}, {600.0});
+  EXPECT_THROW(t.at(2, 600), std::out_of_range);
+  EXPECT_THROW(t.at(1, 800), std::out_of_range);
+}
+
+TEST(ErrorTable, RenderLooksLikeThePaper) {
+  const core::TimingMatrix m = matrix();
+  const ErrorTable t = time_error_table(
+      m, [&](int n, double f) { return m.at(n, f) * 1.05; }, {1, 2, 4},
+      {600.0, 1200.0});
+  const std::string s = t.render("Table X").to_string();
+  EXPECT_NE(s.find("Table X"), std::string::npos);
+  EXPECT_NE(s.find("600 MHz"), std::string::npos);
+  EXPECT_NE(s.find("5.0%"), std::string::npos);
+}
+
+TEST(ErrorTable, EmptyGridSafe) {
+  const core::TimingMatrix m = matrix();
+  const ErrorTable t =
+      time_error_table(m, [&](int n, double f) { return m.at(n, f); }, {}, {});
+  EXPECT_DOUBLE_EQ(t.max_error(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace pas::analysis

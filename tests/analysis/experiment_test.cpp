@@ -1,0 +1,78 @@
+#include "pas/analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::analysis {
+namespace {
+
+TEST(Experiment, PaperEnvMatchesSection41) {
+  const ExperimentEnv env = ExperimentEnv::paper();
+  EXPECT_EQ(env.cluster.num_nodes, 16);
+  const std::vector<int> nodes{1, 2, 4, 8, 16};
+  EXPECT_EQ(env.nodes, nodes);
+  EXPECT_EQ(env.freqs_mhz.size(), 5u);
+  EXPECT_DOUBLE_EQ(env.base_f_mhz, 600.0);
+}
+
+TEST(Experiment, KernelFactory) {
+  EXPECT_EQ(make_kernel("EP", Scale::kSmall)->name(), "EP");
+  EXPECT_EQ(make_kernel("FT", Scale::kSmall)->name(), "FT");
+  EXPECT_EQ(make_kernel("LU", Scale::kSmall)->name(), "LU");
+  EXPECT_EQ(make_kernel("CG", Scale::kSmall)->name(), "CG");
+  EXPECT_EQ(make_kernel("MG", Scale::kSmall)->name(), "MG");
+  EXPECT_THROW(make_kernel("BT", Scale::kSmall), std::invalid_argument);
+}
+
+TEST(Experiment, Converters) {
+  counters::WorkloadDecomposition d;
+  d.reg_ins = 1;
+  d.l1_ins = 2;
+  d.l2_ins = 3;
+  d.mem_ins = 4;
+  const core::LevelWorkload w = to_level_workload(d);
+  EXPECT_DOUBLE_EQ(w.total(), 10.0);
+  tools::LevelTimes t;
+  t.reg_s = 0.5;
+  t.mem_s = 2.0;
+  const core::LevelSeconds s = to_level_seconds(t);
+  EXPECT_DOUBLE_EQ(s.reg_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.mem_s, 2.0);
+}
+
+TEST(Experiment, MeasureCountersProducesPlausibleDecomposition) {
+  const ExperimentEnv env = ExperimentEnv::small();
+  const auto kernel = make_kernel("LU", Scale::kSmall);
+  const counters::CounterSet set = measure_counters(*kernel, env);
+  const auto d = set.decompose();
+  EXPECT_GT(d.total(), 0.0);
+  EXPECT_GT(d.on_chip_fraction(), 0.8);  // LU is ON-chip dominant
+}
+
+TEST(Experiment, SimplifiedParameterizationEndToEnd) {
+  const ExperimentEnv env = ExperimentEnv::small();
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const core::SimplifiedParameterization sp =
+      parameterize_simplified(*kernel, env);
+  EXPECT_TRUE(sp.ready());
+  // EP at a fixed frequency should predict near-linear scaling.
+  const double s4 = sp.predict_speedup(4, env.base_f_mhz);
+  EXPECT_GT(s4, 3.0);
+  EXPECT_LT(s4, 4.2);
+}
+
+TEST(Experiment, FineGrainParameterizationEndToEnd) {
+  const ExperimentEnv env = ExperimentEnv::small();
+  const auto kernel = make_kernel("LU", Scale::kSmall);
+  const core::FineGrainParameterization fp =
+      parameterize_fine_grain(*kernel, env);
+  for (double f : env.freqs_mhz) {
+    EXPECT_GT(fp.predict_sequential(f), 0.0);
+    for (int n : env.parallel_nodes)
+      EXPECT_GT(fp.predict_parallel(n, f), 0.0);
+  }
+  // Sequential time shrinks with frequency for an ON-chip kernel.
+  EXPECT_GT(fp.predict_sequential(600), fp.predict_sequential(1400));
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -1,0 +1,55 @@
+#include "pas/analysis/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::analysis {
+namespace {
+
+core::TimingMatrix matrix() {
+  core::TimingMatrix m;
+  for (int n : {1, 2, 4}) {
+    for (double f : {600.0, 1000.0, 1400.0})
+      m.add(n, f, 10.0 / (n * f / 600.0));
+  }
+  return m;
+}
+
+TEST(Figures, ExecutionTimeTableContainsEntries) {
+  const auto t = execution_time_table(matrix(), {1, 2, 4},
+                                      {600.0, 1000.0, 1400.0}, "Fig a");
+  EXPECT_EQ(t.num_rows(), 3u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Fig a"), std::string::npos);
+  EXPECT_NE(s.find("10.0000 s"), std::string::npos);
+}
+
+TEST(Figures, SpeedupSurfaceBaseIsOne) {
+  const auto t = speedup_surface(matrix(), {1, 2, 4},
+                                 {600.0, 1000.0, 1400.0}, 600, "Fig b");
+  EXPECT_EQ(t.rows()[0][1], "1.00");  // N=1 @ 600 MHz
+}
+
+TEST(Figures, SpeedupRowTracksFrequency) {
+  const auto row = speedup_row(matrix(), 1, {600.0, 1000.0, 1400.0}, 600);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_NEAR(row[2], 1400.0 / 600.0, 1e-9);
+}
+
+TEST(Figures, SpeedupColumnTracksNodes) {
+  const auto col = speedup_column(matrix(), {1, 2, 4}, 600, 600);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 1.0);
+  EXPECT_NEAR(col[1], 2.0, 1e-9);
+  EXPECT_NEAR(col[2], 4.0, 1e-9);
+}
+
+TEST(Figures, CsvExportHasHeaderAndRows) {
+  const auto t = execution_time_table(matrix(), {1, 2}, {600.0}, "x");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("N \\ f"), std::string::npos);
+  EXPECT_NE(csv.find("\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pas::analysis

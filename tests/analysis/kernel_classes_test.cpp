@@ -1,0 +1,95 @@
+// Behavioural-class assertions across the whole kernel suite: each
+// kernel must sit where DESIGN.md places it on the compute/
+// communication spectrum, because the model experiments interpret them
+// that way.
+#include <gtest/gtest.h>
+
+#include "pas/analysis/experiment.hpp"
+
+namespace pas::analysis {
+namespace {
+
+struct ClassProfile {
+  double overhead_share;  ///< mean network time / makespan at (4, 1000)
+  double on_chip_fraction;
+  bool verified;
+};
+
+ClassProfile profile_of(const std::string& name) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  const auto kernel = make_kernel(name, Scale::kSmall);
+  const RunRecord rec = matrix.run_one(*kernel, 4, 1000);
+  ClassProfile p;
+  p.overhead_share = rec.mean_overhead_s / rec.seconds;
+  p.on_chip_fraction =
+      rec.executed_per_rank.on_chip() / rec.executed_per_rank.total();
+  p.verified = rec.verified;
+  return p;
+}
+
+TEST(KernelClasses, AllKernelsVerifyAtSmallScale) {
+  for (const char* name : {"EP", "FT", "LU", "CG", "MG"})
+    EXPECT_TRUE(profile_of(name).verified) << name;
+}
+
+TEST(KernelClasses, EpIsTheComputeBoundExtreme) {
+  // EP's class property holds in the limit of real problem sizes (the
+  // toy size used elsewhere leaves the final allreduce visible).
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  npb::EpConfig cfg;
+  cfg.log2_pairs = 20;
+  const RunRecord rec = matrix.run_one(npb::EpKernel(cfg), 4, 1000);
+  EXPECT_LT(rec.mean_overhead_s / rec.seconds, 0.02);
+  EXPECT_GT(rec.executed_per_rank.on_chip() / rec.executed_per_rank.total(),
+            0.99);
+}
+
+TEST(KernelClasses, CommunicationKernelsAllOverheadHeavyAtSmallScale) {
+  // At toy problem sizes on 4 nodes, every non-EP kernel is dominated
+  // by its communication structure.
+  for (const char* name : {"FT", "LU", "CG", "MG"}) {
+    EXPECT_GT(profile_of(name).overhead_share, 0.2) << name;
+  }
+  EXPECT_GT(profile_of("FT").overhead_share, profile_of("EP").overhead_share);
+}
+
+TEST(KernelClasses, AllKernelsSweepCleanlyOverTheSmallGrid) {
+  const ExperimentEnv env = ExperimentEnv::small();
+  RunMatrix matrix(env.cluster);
+  for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
+    const auto kernel = make_kernel(name, Scale::kSmall);
+    const MatrixResult m = matrix.sweep(*kernel, env.nodes, env.freqs_mhz);
+    for (const RunRecord& rec : m.records) {
+      EXPECT_TRUE(rec.verified)
+          << name << " N=" << rec.nodes << " f=" << rec.frequency_mhz;
+      EXPECT_GT(rec.seconds, 0.0);
+      EXPECT_GT(rec.energy.total_j(), 0.0);
+    }
+    // Sequential time falls with frequency for every kernel.
+    EXPECT_GT(m.times.at(1, 600), m.times.at(1, 1400)) << name;
+  }
+}
+
+TEST(KernelClasses, SequentialRunsHaveNoOverhead) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(2));
+  for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
+    const auto kernel = make_kernel(name, Scale::kSmall);
+    const RunRecord rec = matrix.run_one(*kernel, 1, 1000);
+    EXPECT_DOUBLE_EQ(rec.mean_overhead_s, 0.0) << name;
+    EXPECT_DOUBLE_EQ(rec.messages_per_rank, 0.0) << name;
+  }
+}
+
+TEST(KernelClasses, DeterministicMeasurementsAcrossRepeats) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  for (const char* name : {"FT", "LU", "CG", "MG"}) {
+    const auto kernel = make_kernel(name, Scale::kSmall);
+    const RunRecord a = matrix.run_one(*kernel, 4, 1400);
+    const RunRecord b = matrix.run_one(*kernel, 4, 1400);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << name;
+    EXPECT_DOUBLE_EQ(a.energy.total_j(), b.energy.total_j()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -1,0 +1,61 @@
+#include "pas/analysis/run_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pas/analysis/experiment.hpp"
+
+namespace pas::analysis {
+namespace {
+
+TEST(RunMatrix, RunOneCollectsEverything) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const RunRecord rec = matrix.run_one(*kernel, 2, 1000);
+  EXPECT_EQ(rec.nodes, 2);
+  EXPECT_DOUBLE_EQ(rec.frequency_mhz, 1000.0);
+  EXPECT_GT(rec.seconds, 0.0);
+  EXPECT_TRUE(rec.verified);
+  EXPECT_GT(rec.energy.total_j(), 0.0);
+  EXPECT_GT(rec.mean_cpu_s, 0.0);
+  EXPECT_GT(rec.executed_per_rank.total(), 0.0);
+}
+
+TEST(RunMatrix, SweepFillsTimingMatrix) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const MatrixResult result = matrix.sweep(*kernel, {1, 2}, {600, 1400});
+  EXPECT_EQ(result.records.size(), 4u);
+  EXPECT_TRUE(result.times.has(1, 600));
+  EXPECT_TRUE(result.times.has(2, 1400));
+  EXPECT_GT(result.times.at(1, 600), result.times.at(2, 1400));
+}
+
+TEST(RunMatrix, AtFindsRecordOrThrows) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(2));
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const MatrixResult result = matrix.sweep(*kernel, {1}, {600});
+  EXPECT_EQ(result.at(1, 600).nodes, 1);
+  EXPECT_THROW(result.at(2, 600), std::out_of_range);
+}
+
+TEST(RunMatrix, ActivityProfilesMirrorRanks) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(2));
+  const mpi::RunResult run = rt.run(2, 600, [](mpi::Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+  });
+  const auto profiles = activity_profiles(run);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_DOUBLE_EQ(profiles[0].cpu_s, run.ranks[0].cpu_seconds);
+}
+
+TEST(RunMatrix, EnergyGrowsWithNodesForFixedTimeScaleWork) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  const RunRecord one = matrix.run_one(*kernel, 1, 1400);
+  const RunRecord four = matrix.run_one(*kernel, 4, 1400);
+  // FT at 4 small nodes is overhead-bound: energy should not drop 4x.
+  EXPECT_GT(four.energy.total_j(), 0.4 * one.energy.total_j());
+}
+
+}  // namespace
+}  // namespace pas::analysis

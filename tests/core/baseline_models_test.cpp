@@ -1,0 +1,127 @@
+#include "pas/core/baseline_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace pas::core {
+namespace {
+
+TEST(Amdahl, SingleEnhancement) {
+  // Half the workload sped up 2x -> overall 1/(0.5 + 0.25) = 4/3.
+  EXPECT_NEAR(amdahl_enhancement_speedup(0.5, 2.0), 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(amdahl_enhancement_speedup(0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(amdahl_enhancement_speedup(1.0, 10.0), 10.0);
+}
+
+TEST(Amdahl, ClassicLimits) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 64), 1.0);
+  EXPECT_NEAR(amdahl_speedup(1.0, 64), 64.0, 1e-12);
+  // 95 % parallel: the famous ceiling of 20.
+  EXPECT_LT(amdahl_speedup(0.95, 1 << 20), 20.0);
+  EXPECT_GT(amdahl_speedup(0.95, 1 << 20), 19.5);
+}
+
+TEST(Amdahl, MonotoneInProcessors) {
+  double prev = 0.0;
+  for (int n = 1; n <= 128; n *= 2) {
+    const double s = amdahl_speedup(0.9, n);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Amdahl, InvalidInputsThrow) {
+  EXPECT_THROW(amdahl_enhancement_speedup(-0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(amdahl_enhancement_speedup(1.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(amdahl_enhancement_speedup(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(amdahl_speedup(0.5, 0), std::invalid_argument);
+}
+
+TEST(GeneralizedAmdahl, ProductOfIndependentEnhancements) {
+  const std::array<Enhancement, 2> es{
+      Enhancement{.enhanced_fraction = 1.0, .speedup_factor = 4.0},
+      Enhancement{.enhanced_fraction = 1.0, .speedup_factor = 2.0}};
+  EXPECT_NEAR(generalized_amdahl_speedup(es), 8.0, 1e-12);
+}
+
+TEST(GeneralizedAmdahl, EmptyIsUnity) {
+  EXPECT_DOUBLE_EQ(generalized_amdahl_speedup({}), 1.0);
+}
+
+TEST(Eq3Prediction, ExactWhenEffectsIndependent) {
+  // Construct a perfectly separable timing surface T = 10 / (N * f/600):
+  // Eq 3's product form must be exact.
+  TimingMatrix m;
+  for (int n : {1, 2, 4}) {
+    for (double f : {600.0, 1200.0}) {
+      m.add(n, f, 10.0 / (n * (f / 600.0)));
+    }
+  }
+  EXPECT_NEAR(eq3_product_prediction(m, 4, 1200, 1, 600),
+              m.speedup(4, 1200, 1, 600), 1e-12);
+}
+
+TEST(Eq3Prediction, OverPredictsWithCoupledOverhead) {
+  // Add a fixed parallel overhead: the product form over-predicts the
+  // combined speedup (the paper's Table 1 failure mode).
+  TimingMatrix m;
+  const double overhead = 2.0;
+  for (int n : {1, 2, 4}) {
+    for (double f : {600.0, 1200.0}) {
+      const double compute = 10.0 / (n * (f / 600.0));
+      m.add(n, f, compute + (n > 1 ? overhead : 0.0));
+    }
+  }
+  const double predicted = eq3_product_prediction(m, 4, 1200, 1, 600);
+  const double measured = m.speedup(4, 1200, 1, 600);
+  EXPECT_GT(predicted, measured * 1.1);
+}
+
+TEST(Gustafson, ScaledSpeedup) {
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.0, 16), 16.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(1.0, 16), 1.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.25, 5), 4.0);
+  EXPECT_THROW(gustafson_speedup(2.0, 4), std::invalid_argument);
+}
+
+TEST(GustafsonVsAmdahl, GustafsonMoreOptimistic) {
+  // For the same serial fraction, fixed-time scaling beats fixed-size.
+  EXPECT_GT(gustafson_speedup(0.1, 64), amdahl_speedup(0.9, 64));
+}
+
+TEST(SunNi, ReducesToAmdahlAndGustafson) {
+  // growth = 1 -> Amdahl; growth = N -> Gustafson.
+  const double alpha = 0.2;
+  const int n = 8;
+  EXPECT_NEAR(sun_ni_speedup(alpha, n, 1.0), amdahl_speedup(1.0 - alpha, n),
+              1e-12);
+  EXPECT_NEAR(sun_ni_speedup(alpha, n, static_cast<double>(n)),
+              gustafson_speedup(alpha, n), 1e-9);
+}
+
+TEST(SunNi, GrowthBeyondNExceedsGustafson) {
+  EXPECT_GT(sun_ni_speedup(0.2, 8, 64.0), gustafson_speedup(0.2, 8));
+  EXPECT_THROW(sun_ni_speedup(0.2, 8, 0.0), std::invalid_argument);
+}
+
+TEST(KarpFlatt, RecoversSerialFraction) {
+  // If S follows Amdahl exactly, Karp-Flatt recovers the serial part.
+  const double serial = 0.1;
+  const int n = 16;
+  const double s = amdahl_speedup(1.0 - serial, n);
+  EXPECT_NEAR(karp_flatt_serial_fraction(s, n), serial, 1e-12);
+}
+
+TEST(KarpFlatt, PerfectSpeedupGivesZero) {
+  EXPECT_NEAR(karp_flatt_serial_fraction(8.0, 8), 0.0, 1e-12);
+  EXPECT_THROW(karp_flatt_serial_fraction(2.0, 1), std::invalid_argument);
+}
+
+TEST(Efficiency, Basics) {
+  EXPECT_DOUBLE_EQ(parallel_efficiency(8.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(parallel_efficiency(4.0, 8), 0.5);
+}
+
+}  // namespace
+}  // namespace pas::core

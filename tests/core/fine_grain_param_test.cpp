@@ -1,0 +1,100 @@
+#include "pas/core/fine_grain_param.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+LevelWorkload paper_lu_workload() {
+  // Table 5 of the paper (x1e9 instructions).
+  return LevelWorkload{
+      .reg_ins = 145e9, .l1_ins = 175e9, .l2_ins = 4.71e9, .mem_ins = 3.97e9};
+}
+
+LevelSeconds times_at(double f_mhz) {
+  // ON-chip: per-level CPI / f; OFF-chip: Table 6's bus step.
+  LevelSeconds t;
+  const double f = f_mhz * 1e6;
+  t.reg_s = 1.35 / f;
+  t.l1_s = 2.8 / f;
+  t.l2_s = 10.0 / f;
+  t.mem_s = f_mhz < 900 ? 140e-9 : 110e-9;
+  return t;
+}
+
+FineGrainParameterization fitted() {
+  FineGrainParameterization fp(paper_lu_workload(), 600);
+  for (double f : {600.0, 800.0, 1000.0, 1200.0, 1400.0})
+    fp.set_level_seconds(f, times_at(f));
+  for (int n : {2, 4, 8}) {
+    for (double f : {600.0, 800.0, 1000.0, 1200.0, 1400.0})
+      fp.set_comm(n, 1000.0 * n, f, 100e-6);
+  }
+  return fp;
+}
+
+TEST(FineGrainParam, SequentialTimeEq14) {
+  const FineGrainParameterization fp = fitted();
+  const LevelWorkload w = paper_lu_workload();
+  const LevelSeconds t = times_at(600);
+  const double expected = w.reg_ins * t.reg_s + w.l1_ins * t.l1_s +
+                          w.l2_ins * t.l2_s + w.mem_ins * t.mem_s;
+  EXPECT_NEAR(fp.predict_sequential(600), expected, expected * 1e-12);
+}
+
+TEST(FineGrainParam, WeightedOnChipTimeNearPaperCpi) {
+  // The weighted CPI_ON implied by Table 5's weights is ~2.19 cycles
+  // (Table 6): seconds * f should land there.
+  const FineGrainParameterization fp = fitted();
+  const double sec = fp.on_chip_seconds_per_ins(600);
+  EXPECT_NEAR(sec * 600e6, 2.19, 0.15);
+}
+
+TEST(FineGrainParam, ParallelTimeEq15) {
+  const FineGrainParameterization fp = fitted();
+  const double t1 = fp.predict_sequential(1000);
+  EXPECT_NEAR(fp.predict_parallel(4, 1000), t1 / 4 + 4000 * 100e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(fp.predict_parallel(1, 1000), t1);
+}
+
+TEST(FineGrainParam, OverheadZeroOnOneNode) {
+  const FineGrainParameterization fp = fitted();
+  EXPECT_DOUBLE_EQ(fp.predict_overhead(1, 600), 0.0);
+}
+
+TEST(FineGrainParam, SpeedupAgainstBase) {
+  const FineGrainParameterization fp = fitted();
+  EXPECT_NEAR(fp.predict_speedup(1, 600), 1.0, 1e-12);
+  EXPECT_GT(fp.predict_speedup(8, 1400), fp.predict_speedup(8, 600) * 0.99);
+}
+
+TEST(FineGrainParam, OnChipDominatedWorkloadScalesNearlyWithF) {
+  // LU is ~98.8 % ON-chip by instruction count, but the OFF-chip 1.2 %
+  // carries a ~50x latency penalty, so time scales sub-linearly with f:
+  // well above the no-benefit floor of 1, below the full 2.33x ratio.
+  const FineGrainParameterization fp = fitted();
+  const double ratio = fp.predict_sequential(600) / fp.predict_sequential(1400);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 1400.0 / 600.0 + 1e-9);
+}
+
+TEST(FineGrainParam, MissingInputsThrow) {
+  FineGrainParameterization fp(paper_lu_workload(), 600);
+  EXPECT_THROW(fp.predict_sequential(600), std::out_of_range);
+  fp.set_level_seconds(600, times_at(600));
+  EXPECT_NO_THROW(fp.predict_sequential(600));
+  EXPECT_THROW(fp.predict_parallel(2, 600), std::out_of_range);
+  fp.set_comm(2, 100, 600, 1e-4);
+  EXPECT_NO_THROW(fp.predict_parallel(2, 600));
+  EXPECT_THROW(fp.predict_parallel(2, 800), std::out_of_range);
+}
+
+TEST(FineGrainParam, InvalidConstructionThrows) {
+  EXPECT_THROW(FineGrainParameterization(LevelWorkload{}, 600),
+               std::invalid_argument);
+  EXPECT_THROW(FineGrainParameterization(paper_lu_workload(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,87 @@
+#include "pas/core/isoefficiency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pas::core {
+namespace {
+
+WorkloadFit make_fit(double a, double b, double c, double d) {
+  WorkloadFit fit;
+  fit.base_f_mhz = 600;
+  fit.serial_s = a;
+  fit.parallel_s = b;
+  fit.invariant_s = c;
+  fit.overhead_per_n_s = d;
+  return fit;
+}
+
+TEST(Isoefficiency, PerfectWorkloadHasUnitEfficiency) {
+  const WorkloadFit fit = make_fit(0.0, 10.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(fitted_efficiency(fit, 1), 1.0);
+  EXPECT_DOUBLE_EQ(fitted_efficiency(fit, 16), 1.0);
+  EXPECT_DOUBLE_EQ(iso_workload_factor(fit, 16, 0.9), 0.0);
+}
+
+TEST(Isoefficiency, OverheadLowersEfficiency) {
+  const WorkloadFit fit = make_fit(0.0, 10.0, 1.0, 0.0);
+  EXPECT_LT(fitted_efficiency(fit, 8), 1.0);
+  EXPECT_LT(fitted_efficiency(fit, 16), fitted_efficiency(fit, 2));
+}
+
+TEST(Isoefficiency, FactorRestoresTargetEfficiency) {
+  const WorkloadFit fit = make_fit(0.0, 10.0, 1.0, 0.0);
+  const double target = 0.8;
+  for (int n : {2, 4, 8, 16}) {
+    const double k = iso_workload_factor(fit, n, target);
+    ASSERT_TRUE(std::isfinite(k));
+    // Re-evaluate the scaled system's efficiency directly.
+    const double t1 = k * (fit.serial_s + fit.parallel_s);
+    const double tn = k * fit.serial_s + k * fit.parallel_s / n +
+                      fit.overhead_seconds(n);
+    EXPECT_NEAR(t1 / (n * tn), target, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Isoefficiency, CurveGrowsWithNodeCount) {
+  // Constant per-rank overhead: the isoefficiency function must grow
+  // (linearly, here) with N.
+  const WorkloadFit fit = make_fit(0.0, 10.0, 0.5, 0.0);
+  const auto curve = isoefficiency_curve(fit, {2, 4, 8, 16}, 0.75);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GT(curve[i].workload_factor, curve[i - 1].workload_factor);
+  // Linear growth: k(16)/k(2) ~ close to (16 budget)/(2 budget) = 8
+  // against the same denominator.
+  EXPECT_NEAR(curve[3].workload_factor / curve[0].workload_factor, 8.0,
+              0.01);
+}
+
+TEST(Isoefficiency, SerialFractionMakesTargetsUnreachable) {
+  // 20 % serial: Amdahl ceiling at N=16 is (A+B)/(16A+B) ~ 0.238.
+  const WorkloadFit fit = make_fit(2.0, 8.0, 0.1, 0.0);
+  EXPECT_TRUE(std::isinf(iso_workload_factor(fit, 16, 0.5)));
+  EXPECT_TRUE(std::isfinite(iso_workload_factor(fit, 16, 0.2)));
+  EXPECT_FALSE(is_scalable(fit, {2, 4, 16}, 0.5));
+  EXPECT_TRUE(is_scalable(fit, {2, 4}, 0.5));
+}
+
+TEST(Isoefficiency, PerNOverheadNeedsLessGrowthThanConstant) {
+  // D/N overhead shrinks with N, so it demands a flatter isoefficiency
+  // curve than the same magnitude of constant overhead.
+  const WorkloadFit constant = make_fit(0.0, 10.0, 0.5, 0.0);
+  const WorkloadFit vanishing = make_fit(0.0, 10.0, 0.0, 0.5);
+  EXPECT_LT(iso_workload_factor(vanishing, 16, 0.8),
+            iso_workload_factor(constant, 16, 0.8));
+}
+
+TEST(Isoefficiency, InvalidInputsThrow) {
+  const WorkloadFit fit = make_fit(0.0, 10.0, 0.5, 0.0);
+  EXPECT_THROW(iso_workload_factor(fit, 0, 0.8), std::invalid_argument);
+  EXPECT_THROW(iso_workload_factor(fit, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(iso_workload_factor(fit, 4, 1.5), std::invalid_argument);
+  EXPECT_THROW(fitted_efficiency(fit, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,60 @@
+#include "pas/core/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+TEST(TimingMatrix, AddAndLookup) {
+  TimingMatrix m;
+  m.add(1, 600, 10.0);
+  m.add(TimingSample{.nodes = 4, .frequency_mhz = 1400, .seconds = 2.0});
+  EXPECT_TRUE(m.has(1, 600));
+  EXPECT_FALSE(m.has(2, 600));
+  EXPECT_DOUBLE_EQ(m.at(1, 600), 10.0);
+  EXPECT_DOUBLE_EQ(m.at(4, 1400), 2.0);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(TimingMatrix, MissingEntryThrows) {
+  TimingMatrix m;
+  EXPECT_THROW(m.at(1, 600), std::out_of_range);
+}
+
+TEST(TimingMatrix, OverwriteKeepsLatest) {
+  TimingMatrix m;
+  m.add(1, 600, 10.0);
+  m.add(1, 600, 12.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 600), 12.0);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(TimingMatrix, Speedup) {
+  TimingMatrix m;
+  m.add(1, 600, 10.0);
+  m.add(8, 1400, 0.5);
+  EXPECT_DOUBLE_EQ(m.speedup(8, 1400, 1, 600), 20.0);
+  EXPECT_DOUBLE_EQ(m.speedup(1, 600, 1, 600), 1.0);
+}
+
+TEST(TimingMatrix, AxesSortedAndDeduped) {
+  TimingMatrix m;
+  m.add(8, 1400, 1.0);
+  m.add(1, 600, 1.0);
+  m.add(8, 600, 1.0);
+  m.add(2, 1000, 1.0);
+  const std::vector<int> nodes{1, 2, 8};
+  EXPECT_EQ(m.node_counts(), nodes);
+  const std::vector<double> freqs{600, 1000, 1400};
+  EXPECT_EQ(m.frequencies_mhz(), freqs);
+}
+
+TEST(TimingMatrix, FrequencyKeyRobustToFloatNoise) {
+  TimingMatrix m;
+  m.add(1, 600.0000001, 5.0);
+  EXPECT_TRUE(m.has(1, 600.0));
+  EXPECT_DOUBLE_EQ(m.at(1, 599.99999), 5.0);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,147 @@
+// Property-style sweeps over the power-aware speedup model: invariants
+// that must hold for every workload shape, not just the paper's
+// examples.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pas/core/power_aware_speedup.hpp"
+#include "pas/util/rng.hpp"
+
+namespace pas::core {
+namespace {
+
+MachineRates rates() {
+  MachineRates r;
+  r.cpi_on = 2.19;
+  return r;
+}
+
+/// (serial share out of 10, overhead share out of 10, off-chip share
+/// out of 10) — swept over a coarse lattice.
+using Shape = std::tuple<int, int, int>;
+
+class ModelProperty : public ::testing::TestWithParam<Shape> {
+ protected:
+  PowerAwareModel make_model() const {
+    const auto [serial10, overhead10, off10] = GetParam();
+    const double total_ops = 6e8;
+    const double serial = total_ops * serial10 / 10.0;
+    const double parallel = total_ops - serial;
+    const double off_frac = off10 / 10.0;
+    DopWorkload w = DopWorkload::serial_plus_parallel(
+        Work{.on_chip = serial * (1 - off_frac),
+             .off_chip = serial * off_frac * 1e-2},
+        Work{.on_chip = parallel * (1 - off_frac),
+             .off_chip = parallel * off_frac * 1e-2},
+        64);
+    w.overhead.off_chip = total_ops * 1e-2 * overhead10 / 10.0;
+    return PowerAwareModel(w, rates(), 600);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ModelProperty,
+    ::testing::Combine(::testing::Values(0, 1, 3), ::testing::Values(0, 2, 5),
+                       ::testing::Values(0, 2, 5)));
+
+TEST_P(ModelProperty, ParallelTimeNonIncreasingInNodes) {
+  const PowerAwareModel m = make_model();
+  for (double f : {600.0, 1000.0, 1400.0}) {
+    double prev = m.parallel_time(2, f);
+    for (int n : {4, 8, 16, 32, 64}) {
+      const double t = m.parallel_time(n, f);
+      EXPECT_LE(t, prev * (1 + 1e-12)) << "N=" << n << " f=" << f;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(ModelProperty, TimeNonIncreasingInFrequency) {
+  const PowerAwareModel m = make_model();
+  for (int n : {1, 4, 16}) {
+    double prev = m.parallel_time(n, 600);
+    for (double f : {800.0, 1000.0, 1200.0, 1400.0}) {
+      const double t = m.parallel_time(n, f);
+      EXPECT_LE(t, prev * (1 + 1e-12)) << "N=" << n << " f=" << f;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(ModelProperty, SpeedupBoundedByIdealProduct) {
+  // S(N, f) can never beat N * f/f0 — and only a bus-slowdown step
+  // could make the frequency leg super-linear (disabled here).
+  PowerAwareModel m = make_model();
+  for (int n : {1, 2, 8, 64}) {
+    for (double f : {600.0, 1000.0, 1400.0}) {
+      EXPECT_LE(m.speedup(n, f), n * f / 600.0 * (1 + 1e-9))
+          << "N=" << n << " f=" << f;
+      EXPECT_GT(m.speedup(n, f), 0.0);
+    }
+  }
+}
+
+TEST_P(ModelProperty, BaseConfigurationHasUnitSpeedup) {
+  EXPECT_NEAR(make_model().speedup(1, 600), 1.0, 1e-12);
+}
+
+TEST_P(ModelProperty, OverheadGivesFiniteAsymptote) {
+  const PowerAwareModel m = make_model();
+  const double overhead = m.overhead_time(1400);
+  if (overhead > 0.0) {
+    // Speedup cannot exceed T1(f0) / overhead however many nodes.
+    const double ceiling = m.sequential_time(600) / overhead;
+    EXPECT_LE(m.speedup(1 << 20, 1400), ceiling * (1 + 1e-9));
+  }
+}
+
+TEST_P(ModelProperty, SameFrequencySpeedupAtMostPowerAware) {
+  // Raising f from the base can only help relative to the f0 baseline.
+  const PowerAwareModel m = make_model();
+  for (int n : {2, 8, 32}) {
+    EXPECT_GE(m.speedup(n, 1400),
+              m.same_frequency_speedup(n, 1400) * (1 - 1e-12));
+  }
+}
+
+TEST(ModelRandomized, SequentialTimeMatchesHandComputation) {
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    Work w{.on_chip = 1e6 + rng.next_double() * 1e9,
+           .off_chip = rng.next_double() * 1e7};
+    const PowerAwareModel m(DopWorkload::perfectly_parallel(w, 16), rates(),
+                            600);
+    for (double f : {600.0, 1400.0}) {
+      const double expected = w.on_chip * 2.19 / (f * 1e6) +
+                              w.off_chip * (f < 900 ? 140e-9 : 110e-9);
+      ASSERT_NEAR(m.sequential_time(f), expected, expected * 1e-12);
+    }
+  }
+}
+
+TEST(ModelRandomized, ParallelPlusOverheadDecomposesExactly) {
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    DopWorkload w = DopWorkload::perfectly_parallel(
+        Work{.on_chip = 1e6 + rng.next_double() * 1e9,
+             .off_chip = rng.next_double() * 1e6},
+        32);
+    w.overhead = Work{.on_chip = rng.next_double() * 1e6,
+                      .off_chip = rng.next_double() * 1e6};
+    const PowerAwareModel m(w, rates(), 600);
+    // Power-of-two counts divide the DOP, so no ceil() waves appear.
+    const int n = 1 << rng.next_below(6);
+    const double f = 1000;
+    if (n == 1) {
+      ASSERT_NEAR(m.parallel_time(1, f), m.sequential_time(f), 1e-15);
+    } else {
+      ASSERT_NEAR(m.parallel_time(n, f),
+                  m.sequential_time(f) / n + m.overhead_time(f),
+                  m.parallel_time(n, f) * 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pas::core

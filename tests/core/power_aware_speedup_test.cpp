@@ -1,0 +1,125 @@
+#include "pas/core/power_aware_speedup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+MachineRates rates() {
+  MachineRates r;
+  r.cpi_on = 2.0;
+  r.sec_per_off_op = 100e-9;
+  r.sec_per_off_op_slow = 100e-9;  // disable the bus step unless wanted
+  r.bus_slowdown_below_mhz = 0.0;
+  return r;
+}
+
+TEST(PowerAwareModel, SequentialTimeEq6) {
+  // T1 = w_ON * CPI_ON/f + w_OFF * t_off.
+  const PowerAwareModel model(
+      DopWorkload::perfectly_parallel({.on_chip = 6e8, .off_chip = 1e6}, 16),
+      rates(), 600);
+  const double expected = 6e8 * 2.0 / 600e6 + 1e6 * 100e-9;
+  EXPECT_NEAR(model.sequential_time(600), expected, 1e-12);
+}
+
+TEST(PowerAwareModel, Eq12EpSpeedupIsProductOfEnhancements) {
+  // Pure ON-chip, perfectly parallel, no overhead: S = N * f/f0 (the
+  // paper's Eq 12 for EP).
+  const PowerAwareModel model(
+      DopWorkload::perfectly_parallel({.on_chip = 1e9}, 16), rates(), 600);
+  EXPECT_NEAR(model.speedup(16, 1400), 16.0 * 1400.0 / 600.0, 1e-9);
+  EXPECT_NEAR(model.speedup(4, 600), 4.0, 1e-12);
+  EXPECT_NEAR(model.speedup(1, 600), 1.0, 1e-12);
+}
+
+TEST(PowerAwareModel, OffChipWorkCapsFrequencySpeedup) {
+  // Half the sequential time OFF-chip at the base: doubling f gives
+  // less than 2x.
+  Work w{.on_chip = 3e8, .off_chip = 1e7};  // 1s + 1s at 600 MHz
+  const PowerAwareModel model(DopWorkload::perfectly_parallel(w, 16),
+                              rates(), 600);
+  const double s = model.speedup(1, 1200);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LT(s, 2.0);
+  EXPECT_NEAR(s, 2.0 / 1.5, 1e-9);
+}
+
+TEST(PowerAwareModel, OverheadDampensParallelSpeedup) {
+  DopWorkload w = DopWorkload::perfectly_parallel({.on_chip = 6e8}, 16);
+  w.overhead = Work{.on_chip = 0, .off_chip = 5e6};  // 0.5 s, f-blind
+  const PowerAwareModel model(w, rates(), 600);
+  // T1 = 2 s; T16 = 0.125 + 0.5 -> S = 3.2 rather than 16.
+  EXPECT_NEAR(model.speedup(16, 600), 2.0 / 0.625, 1e-9);
+  // Sequential runs carry no overhead.
+  EXPECT_NEAR(model.speedup(1, 600), 1.0, 1e-12);
+}
+
+TEST(PowerAwareModel, FrequencyEffectDiminishesWithNodes) {
+  // The paper's key FT observation: with OFF-chip overhead, the benefit
+  // of raising f shrinks as N grows (overhead share increases).
+  DopWorkload w = DopWorkload::perfectly_parallel({.on_chip = 6e8}, 16);
+  w.overhead = Work{.off_chip = 2e6};
+  const PowerAwareModel model(w, rates(), 600);
+  const double gain_n2 =
+      model.parallel_time(2, 600) / model.parallel_time(2, 1400);
+  const double gain_n16 =
+      model.parallel_time(16, 600) / model.parallel_time(16, 1400);
+  EXPECT_GT(gain_n2, gain_n16);
+  EXPECT_GT(gain_n16, 1.0);
+}
+
+TEST(PowerAwareModel, OnChipOverheadScalesWithFrequency) {
+  DopWorkload w = DopWorkload::perfectly_parallel({.on_chip = 6e8}, 4);
+  w.overhead = Work{.on_chip = 6e7};
+  const PowerAwareModel model(w, rates(), 600);
+  EXPECT_NEAR(model.overhead_time(600) / model.overhead_time(1200), 2.0,
+              1e-12);
+}
+
+TEST(PowerAwareModel, SerialFractionLimitsSpeedupLikeAmdahl) {
+  const DopWorkload w = DopWorkload::serial_plus_parallel(
+      {.on_chip = 1e8}, {.on_chip = 9e8}, 1000);
+  const PowerAwareModel model(w, rates(), 600);
+  // Amdahl ceiling at same frequency: 1/serial_fraction = 10.
+  EXPECT_LT(model.speedup(1000, 600), 10.0);
+  EXPECT_GT(model.speedup(1000, 600), 9.0);
+}
+
+TEST(PowerAwareModel, DopBeyondNodesSerializedInWaves) {
+  // w with DOP 8 on 4 nodes takes ceil(8/4)=2 waves: half the 8-wide
+  // rate.
+  const DopWorkload w = DopWorkload::perfectly_parallel({.on_chip = 8e8}, 8);
+  const PowerAwareModel model(w, rates(), 600);
+  EXPECT_NEAR(model.parallel_time(4, 600) / model.parallel_time(8, 600), 2.0,
+              1e-12);
+}
+
+TEST(PowerAwareModel, SameFrequencySpeedupUsesMatchingBase) {
+  const PowerAwareModel model(
+      DopWorkload::perfectly_parallel({.on_chip = 1e9}, 16), rates(), 600);
+  EXPECT_NEAR(model.same_frequency_speedup(4, 1400), 4.0, 1e-12);
+  EXPECT_NEAR(model.speedup(4, 1400), 4.0 * 1400.0 / 600.0, 1e-9);
+}
+
+TEST(PowerAwareModel, BusSlowdownEntersOffChipTerm) {
+  MachineRates r = rates();
+  r.sec_per_off_op = 110e-9;
+  r.sec_per_off_op_slow = 140e-9;
+  r.bus_slowdown_below_mhz = 900.0;
+  const PowerAwareModel model(
+      DopWorkload::perfectly_parallel({.off_chip = 1e7}, 4), r, 600);
+  EXPECT_NEAR(model.sequential_time(600), 1e7 * 140e-9, 1e-12);
+  EXPECT_NEAR(model.sequential_time(1400), 1e7 * 110e-9, 1e-12);
+}
+
+TEST(PowerAwareModel, InvalidInputsThrow) {
+  const PowerAwareModel model(
+      DopWorkload::perfectly_parallel({.on_chip = 1.0}, 2), rates(), 600);
+  EXPECT_THROW(model.parallel_time(0, 600), std::invalid_argument);
+  EXPECT_THROW(PowerAwareModel(DopWorkload{}, rates(), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::core

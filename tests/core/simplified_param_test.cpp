@@ -1,0 +1,97 @@
+#include "pas/core/simplified_param.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+/// Synthetic ground truth obeying the SP assumptions exactly:
+/// T_N(f) = T_1(f)/N + overhead(N), overhead frequency-independent.
+double synthetic_time(int n, double f_mhz) {
+  const double t1 = 6000.0 / f_mhz;  // 10 s at 600 MHz
+  const double overhead = n > 1 ? 0.3 * n : 0.0;
+  return t1 / n + overhead;
+}
+
+SimplifiedParameterization fitted() {
+  SimplifiedParameterization sp(600);
+  for (double f : {600.0, 800.0, 1000.0, 1200.0, 1400.0})
+    sp.add_sequential(f, synthetic_time(1, f));
+  for (int n : {2, 4, 8, 16}) sp.add_parallel_base(n, synthetic_time(n, 600));
+  return sp;
+}
+
+TEST(SimplifiedParam, OverheadDerivationEq17) {
+  const SimplifiedParameterization sp = fitted();
+  EXPECT_NEAR(sp.overhead_seconds(4), 1.2, 1e-12);
+  EXPECT_NEAR(sp.overhead_seconds(16), 4.8, 1e-12);
+  EXPECT_DOUBLE_EQ(sp.overhead_seconds(1), 0.0);
+}
+
+TEST(SimplifiedParam, ExactWhenAssumptionsHold) {
+  const SimplifiedParameterization sp = fitted();
+  for (int n : {2, 4, 8, 16}) {
+    for (double f : {800.0, 1000.0, 1400.0}) {
+      EXPECT_NEAR(sp.predict_time(n, f), synthetic_time(n, f), 1e-9)
+          << "N=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(SimplifiedParam, SequentialPredictionIsMeasurement) {
+  const SimplifiedParameterization sp = fitted();
+  EXPECT_DOUBLE_EQ(sp.predict_time(1, 800), synthetic_time(1, 800));
+}
+
+TEST(SimplifiedParam, SpeedupRelativeToBase) {
+  const SimplifiedParameterization sp = fitted();
+  EXPECT_NEAR(sp.predict_speedup(1, 600), 1.0, 1e-12);
+  const double s = sp.predict_speedup(16, 1400);
+  EXPECT_NEAR(s, synthetic_time(1, 600) / synthetic_time(16, 1400), 1e-9);
+}
+
+TEST(SimplifiedParam, IngestFromTimingMatrix) {
+  TimingMatrix m;
+  for (double f : {600.0, 1000.0}) m.add(1, f, synthetic_time(1, f));
+  for (int n : {2, 4}) m.add(n, 600, synthetic_time(n, 600));
+  m.add(4, 1400, 99.0);  // off-procedure sample must be ignored
+  SimplifiedParameterization sp(600);
+  sp.ingest(m);
+  EXPECT_TRUE(sp.ready());
+  EXPECT_NEAR(sp.predict_time(4, 1000), synthetic_time(4, 1000), 1e-9);
+}
+
+TEST(SimplifiedParam, MissingMeasurementsThrow) {
+  SimplifiedParameterization sp(600);
+  EXPECT_FALSE(sp.ready());
+  EXPECT_THROW(sp.predict_time(2, 600), std::out_of_range);
+  sp.add_sequential(600, 10.0);
+  EXPECT_TRUE(sp.ready());
+  EXPECT_THROW(sp.predict_time(2, 600), std::out_of_range);  // no TN(f0)
+  EXPECT_THROW(sp.predict_time(1, 800), std::out_of_range);  // no T1(800)
+}
+
+TEST(SimplifiedParam, UnderestimatesWhenOverheadTracksFrequency) {
+  // Break Assumption 2: make the true overhead scale with f. SP (which
+  // freezes overhead at its base-frequency value) must over-predict the
+  // time at higher f — the error direction the paper describes.
+  auto time_fdep = [](int n, double f) {
+    const double t1 = 6000.0 / f;
+    const double overhead = n > 1 ? 600.0 / f : 0.0;
+    return t1 / n + overhead;
+  };
+  SimplifiedParameterization sp(600);
+  for (double f : {600.0, 1400.0}) sp.add_sequential(f, time_fdep(1, f));
+  sp.add_parallel_base(4, time_fdep(4, 600));
+  EXPECT_GT(sp.predict_time(4, 1400), time_fdep(4, 1400));
+}
+
+TEST(SimplifiedParam, InvalidBaseThrows) {
+  EXPECT_THROW(SimplifiedParameterization(0.0), std::invalid_argument);
+  SimplifiedParameterization sp(600);
+  sp.add_sequential(600, 1.0);
+  EXPECT_THROW(sp.predict_time(0, 600), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,76 @@
+#include "pas/core/sweet_spot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+SweetSpotFinder finder() {
+  return SweetSpotFinder(power::PowerModel(),
+                         sim::OperatingPointTable::pentium_m_1400());
+}
+
+double amdahl_like_time(int n, double f_mhz) {
+  // 90 % parallel, ON-chip-only workload: T = (0.1 + 0.9/N) * 6000/f.
+  return (0.1 + 0.9 / n) * 6000.0 / f_mhz;
+}
+
+TEST(SweetSpot, EnergySplitsComputeAndOverhead) {
+  const SweetSpotFinder f = finder();
+  const double all_compute = f.predict_energy(2, 1400, 10.0, 0.0);
+  const double half_comm = f.predict_energy(2, 1400, 10.0, 5.0);
+  // Network time draws less power than full compute.
+  EXPECT_LT(half_comm, all_compute);
+  EXPECT_GT(half_comm, 0.0);
+}
+
+TEST(SweetSpot, OverheadClampedToTime) {
+  const SweetSpotFinder f = finder();
+  EXPECT_DOUBLE_EQ(f.predict_energy(1, 600, 2.0, 5.0),
+                   f.predict_energy(1, 600, 2.0, 2.0));
+}
+
+TEST(SweetSpot, EvaluateCoversGrid) {
+  const SweetSpotFinder f = finder();
+  const auto points = f.evaluate({1, 2, 4}, {600, 1400}, amdahl_like_time);
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.time_s, 0.0);
+    EXPECT_GT(p.energy_j, 0.0);
+  }
+}
+
+TEST(SweetSpot, DelayOptimumIsBiggestFastest) {
+  const SweetSpotFinder f = finder();
+  const auto best = f.find({1, 2, 4, 8, 16}, {600, 1000, 1400},
+                           amdahl_like_time, power::Objective::kDelay);
+  EXPECT_EQ(best.nodes, 16);
+  EXPECT_DOUBLE_EQ(best.frequency_mhz, 1400.0);
+}
+
+TEST(SweetSpot, EnergyOptimumPrefersFewerNodes) {
+  const SweetSpotFinder f = finder();
+  const auto best = f.find({1, 2, 4, 8, 16}, {600, 1000, 1400},
+                           amdahl_like_time, power::Objective::kEnergy);
+  // With a 10 % serial fraction, piling on nodes wastes energy.
+  EXPECT_LT(best.nodes, 16);
+}
+
+TEST(SweetSpot, EdpOptimumBetweenExtremes) {
+  const SweetSpotFinder f = finder();
+  const auto pts = f.evaluate({1, 2, 4, 8, 16}, {600, 1000, 1400},
+                              amdahl_like_time);
+  const auto delay_best = power::best(pts, power::Objective::kDelay);
+  const auto energy_best = power::best(pts, power::Objective::kEnergy);
+  const auto edp_best = power::best(pts, power::Objective::kEnergyDelay);
+  EXPECT_LE(edp_best.time_s, energy_best.time_s);
+  EXPECT_LE(edp_best.energy_j, delay_best.energy_j);
+}
+
+TEST(SweetSpot, UnknownFrequencyThrows) {
+  const SweetSpotFinder f = finder();
+  EXPECT_THROW(f.predict_energy(1, 725, 1.0, 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pas::core

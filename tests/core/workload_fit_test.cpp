@@ -1,0 +1,104 @@
+#include "pas/core/workload_fit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+/// Exact synthetic surface: A=2, B=8 (frequency-scaled), C=0.5 and
+/// D=1.2 for parallel runs only.
+double synthetic(int n, double f) {
+  const double g = 600.0 / f;
+  return 2.0 * g + 8.0 * g / n + (n > 1 ? 0.5 + 1.2 / n : 0.0);
+}
+
+TimingMatrix full_matrix() {
+  TimingMatrix m;
+  for (int n : {1, 2, 4, 8, 16}) {
+    for (double f : {600.0, 800.0, 1000.0, 1200.0, 1400.0})
+      m.add(n, f, synthetic(n, f));
+  }
+  return m;
+}
+
+TEST(WorkloadFit, RecoversExactSurface) {
+  const WorkloadFit fit = fit_workload(full_matrix(), 600);
+  EXPECT_NEAR(fit.serial_s, 2.0, 1e-8);
+  EXPECT_NEAR(fit.parallel_s, 8.0, 1e-8);
+  EXPECT_NEAR(fit.invariant_s, 0.5, 1e-8);
+  EXPECT_NEAR(fit.overhead_per_n_s, 1.2, 1e-8);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.serial_fraction(), 0.2, 1e-8);
+  EXPECT_NEAR(fit.overhead_seconds(4), 0.8, 1e-8);
+  EXPECT_DOUBLE_EQ(fit.overhead_seconds(1), 0.0);
+}
+
+TEST(WorkloadFit, PredictsUnseenConfigurations) {
+  // Fit from a subset, predict the rest.
+  TimingMatrix m;
+  for (int n : {1, 2, 4, 16}) {
+    for (double f : {600.0, 1400.0}) m.add(n, f, synthetic(n, f));
+  }
+  const WorkloadFit fit = fit_workload(m, 600);
+  EXPECT_NEAR(fit.predict_time(8, 1000), synthetic(8, 1000), 1e-8);
+  EXPECT_NEAR(fit.predict_time(4, 800), synthetic(4, 800), 1e-8);
+}
+
+TEST(WorkloadFit, SpeedupBaseIsOne) {
+  const WorkloadFit fit = fit_workload(full_matrix(), 600);
+  EXPECT_NEAR(fit.predict_speedup(1, 600), 1.0, 1e-12);
+  EXPECT_GT(fit.predict_speedup(16, 1400), 1.0);
+}
+
+TEST(WorkloadFit, NoisyDataStillCloseAndR2Reported) {
+  TimingMatrix m;
+  int flip = 1;
+  for (int n : {1, 2, 4, 8, 16}) {
+    for (double f : {600.0, 800.0, 1000.0, 1200.0, 1400.0}) {
+      m.add(n, f, synthetic(n, f) * (1.0 + 0.01 * flip));
+      flip = -flip;
+    }
+  }
+  const WorkloadFit fit = fit_workload(m, 600);
+  EXPECT_NEAR(fit.serial_s, 2.0, 0.2);
+  EXPECT_NEAR(fit.parallel_s, 8.0, 0.5);
+  EXPECT_GT(fit.r2, 0.99);
+  EXPECT_LT(fit.r2, 1.0);
+}
+
+TEST(WorkloadFit, PureAmdahlSurfaceGivesZeroInvariant) {
+  TimingMatrix m;
+  for (int n : {1, 2, 4, 8}) {
+    for (double f : {600.0, 1200.0})
+      m.add(n, f, (1.0 + 9.0 / n) * 600.0 / f);
+  }
+  const WorkloadFit fit = fit_workload(m, 600);
+  EXPECT_NEAR(fit.invariant_s, 0.0, 1e-8);
+  EXPECT_NEAR(fit.overhead_per_n_s, 0.0, 1e-8);
+  EXPECT_NEAR(fit.serial_fraction(), 0.1, 1e-8);
+}
+
+TEST(WorkloadFit, DegenerateInputsThrow) {
+  TimingMatrix tiny;
+  tiny.add(1, 600, 1.0);
+  EXPECT_THROW(fit_workload(tiny, 600), std::invalid_argument);
+
+  // No frequency variation: the A and B columns collapse against C.
+  TimingMatrix single_f;
+  for (int n : {2, 4, 8, 16}) single_f.add(n, 600, synthetic(n, 600));
+  // (still solvable: g and g/N differ) — but no N variation is not:
+  TimingMatrix single_n;
+  for (double f : {600.0, 800.0, 1000.0, 1200.0})
+    single_n.add(2, f, synthetic(2, f));
+  EXPECT_THROW(fit_workload(single_n, 600), std::invalid_argument);
+
+  EXPECT_THROW(fit_workload(full_matrix(), 0.0), std::invalid_argument);
+}
+
+TEST(WorkloadFit, PredictBadNodesThrows) {
+  const WorkloadFit fit = fit_workload(full_matrix(), 600);
+  EXPECT_THROW(fit.predict_time(0, 600), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,61 @@
+#include "pas/core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+TEST(Work, Arithmetic) {
+  Work a{.on_chip = 10, .off_chip = 5};
+  const Work b{.on_chip = 1, .off_chip = 2};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total(), 18.0);
+  const Work scaled = a * 0.5;
+  EXPECT_DOUBLE_EQ(scaled.on_chip, 5.5);
+  const Work sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.off_chip, 9.0);
+}
+
+TEST(DopWorkload, PerfectlyParallel) {
+  const DopWorkload w =
+      DopWorkload::perfectly_parallel({.on_chip = 100, .off_chip = 10}, 16);
+  EXPECT_EQ(w.max_dop(), 16);
+  EXPECT_DOUBLE_EQ(w.application_work().total(), 110.0);
+  EXPECT_DOUBLE_EQ(w.serial_fraction(), 0.0);
+}
+
+TEST(DopWorkload, SerialPlusParallel) {
+  const DopWorkload w = DopWorkload::serial_plus_parallel(
+      {.on_chip = 20, .off_chip = 0}, {.on_chip = 80, .off_chip = 0}, 8);
+  EXPECT_EQ(w.max_dop(), 8);
+  EXPECT_DOUBLE_EQ(w.serial_fraction(), 0.2);
+}
+
+TEST(DopWorkload, SerialPlusParallelWithZeroSerial) {
+  const DopWorkload w = DopWorkload::serial_plus_parallel(
+      {}, {.on_chip = 80, .off_chip = 0}, 4);
+  EXPECT_EQ(w.by_dop.count(1), 0u);
+  EXPECT_DOUBLE_EQ(w.serial_fraction(), 0.0);
+}
+
+TEST(DopWorkload, EmptyIsSafe) {
+  const DopWorkload w;
+  EXPECT_EQ(w.max_dop(), 0);
+  EXPECT_DOUBLE_EQ(w.serial_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(w.application_work().total(), 0.0);
+}
+
+TEST(DopWorkload, InvalidDopThrows) {
+  EXPECT_THROW(DopWorkload::perfectly_parallel({}, 0), std::invalid_argument);
+  EXPECT_THROW(DopWorkload::serial_plus_parallel({}, {}, -1),
+               std::invalid_argument);
+}
+
+TEST(DopWorkload, ToStringMentionsOverhead) {
+  DopWorkload w = DopWorkload::perfectly_parallel({.on_chip = 1}, 2);
+  w.overhead.off_chip = 7;
+  EXPECT_NE(w.to_string().find("wPO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pas::core

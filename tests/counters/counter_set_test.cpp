@@ -1,0 +1,99 @@
+#include "pas/counters/counter_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::counters {
+namespace {
+
+TEST(Events, PapiNames) {
+  EXPECT_STREQ(event_name(Event::kTotalInstructions), "PAPI_TOT_INS");
+  EXPECT_STREQ(event_name(Event::kL1DataAccesses), "PAPI_L1_DCA");
+  EXPECT_STREQ(event_name(Event::kL1DataMisses), "PAPI_L1_DCM");
+  EXPECT_STREQ(event_name(Event::kL2TotalAccesses), "PAPI_L2_TCA");
+  EXPECT_STREQ(event_name(Event::kL2TotalMisses), "PAPI_L2_TCM");
+}
+
+TEST(CounterSet, RecordMixProducesConsistentEvents) {
+  CounterSet set;
+  set.record_mix(sim::InstructionMix{
+      .reg_ops = 100, .l1_ops = 50, .l2_ops = 10, .mem_ops = 5});
+  EXPECT_DOUBLE_EQ(set.count(Event::kTotalInstructions), 165.0);
+  EXPECT_DOUBLE_EQ(set.count(Event::kL1DataAccesses), 65.0);
+  EXPECT_DOUBLE_EQ(set.count(Event::kL1DataMisses), 15.0);
+  EXPECT_DOUBLE_EQ(set.count(Event::kL2TotalAccesses), 15.0);
+  EXPECT_DOUBLE_EQ(set.count(Event::kL2TotalMisses), 5.0);
+}
+
+TEST(CounterSet, Table5DerivationRoundTrips) {
+  // The Table 5 formulas must recover exactly the mix that produced the
+  // events — the decomposition is the inverse of the event mapping.
+  CounterSet set;
+  const sim::InstructionMix mix{
+      .reg_ops = 145e9, .l1_ops = 175e9, .l2_ops = 4.71e9, .mem_ops = 3.97e9};
+  set.record_mix(mix);
+  const WorkloadDecomposition d = set.decompose();
+  EXPECT_DOUBLE_EQ(d.reg_ins, mix.reg_ops);
+  EXPECT_DOUBLE_EQ(d.l1_ins, mix.l1_ops);
+  EXPECT_DOUBLE_EQ(d.l2_ins, mix.l2_ops);
+  EXPECT_DOUBLE_EQ(d.mem_ins, mix.mem_ops);
+}
+
+TEST(CounterSet, PaperTable5Fractions) {
+  // Feeding the paper's LU counts reproduces its reported fractions:
+  // ON-chip 98.8 %, with 44.66 % / 53.89 % / 1.45 % weights.
+  CounterSet set;
+  set.record_mix(sim::InstructionMix{
+      .reg_ops = 145e9, .l1_ops = 175e9, .l2_ops = 4.71e9, .mem_ops = 3.97e9});
+  const WorkloadDecomposition d = set.decompose();
+  EXPECT_NEAR(d.on_chip_fraction(), 0.988, 0.001);
+  EXPECT_NEAR(d.reg_weight(), 0.4466, 0.002);
+  EXPECT_NEAR(d.l1_weight(), 0.5389, 0.002);
+  EXPECT_NEAR(d.l2_weight(), 0.0145, 0.001);
+}
+
+TEST(CounterSet, RecordAccessAndRegisterOps) {
+  CounterSet set;
+  set.record_access(sim::MemoryLevel::kL1);
+  set.record_access(sim::MemoryLevel::kL2);
+  set.record_access(sim::MemoryLevel::kMemory);
+  set.record_register_ops(7.0);
+  const WorkloadDecomposition d = set.decompose();
+  EXPECT_DOUBLE_EQ(d.reg_ins, 7.0);
+  EXPECT_DOUBLE_EQ(d.l1_ins, 1.0);
+  EXPECT_DOUBLE_EQ(d.l2_ins, 1.0);
+  EXPECT_DOUBLE_EQ(d.mem_ins, 1.0);
+}
+
+TEST(CounterSet, AccumulatesAcrossRecords) {
+  CounterSet set;
+  set.record_mix(sim::InstructionMix{.reg_ops = 1.0});
+  set.record_mix(sim::InstructionMix{.reg_ops = 2.0});
+  EXPECT_DOUBLE_EQ(set.count(Event::kTotalInstructions), 3.0);
+}
+
+TEST(CounterSet, Reset) {
+  CounterSet set;
+  set.record_mix(sim::InstructionMix{.reg_ops = 1.0});
+  set.reset();
+  EXPECT_DOUBLE_EQ(set.count(Event::kTotalInstructions), 0.0);
+}
+
+TEST(WorkloadDecomposition, ToMixRoundTrip) {
+  WorkloadDecomposition d;
+  d.reg_ins = 1;
+  d.l1_ins = 2;
+  d.l2_ins = 3;
+  d.mem_ins = 4;
+  const sim::InstructionMix mix = d.to_mix();
+  EXPECT_DOUBLE_EQ(mix.total(), 10.0);
+  EXPECT_DOUBLE_EQ(mix.mem_ops, 4.0);
+}
+
+TEST(WorkloadDecomposition, EmptyIsSafe) {
+  const WorkloadDecomposition d;
+  EXPECT_EQ(d.on_chip_fraction(), 0.0);
+  EXPECT_EQ(d.reg_weight(), 0.0);
+}
+
+}  // namespace
+}  // namespace pas::counters

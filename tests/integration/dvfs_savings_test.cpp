@@ -1,0 +1,79 @@
+// Integration test for the paper's opening claim (§1 / abstract):
+// scaling the CPU down during communication phases conserves
+// significant energy with modest performance loss on communication-
+// bound workloads — and does nothing (good or bad) on compute-bound
+// ones.
+#include <gtest/gtest.h>
+
+#include "pas/analysis/experiment.hpp"
+
+namespace pas::analysis {
+namespace {
+
+struct Outcome {
+  double penalty;  ///< T_dvfs / T_static - 1
+  double saving;   ///< 1 - E_dvfs / E_static
+};
+
+Outcome run(const npb::Kernel& kernel, int nodes) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(8));
+  const RunRecord base = matrix.run_one(kernel, nodes, 1400);
+  const RunRecord dvfs = matrix.run_one(kernel, nodes, 1400, 600);
+  return Outcome{dvfs.seconds / base.seconds - 1.0,
+                 1.0 - dvfs.energy.total_j() / base.energy.total_j()};
+}
+
+TEST(DvfsSavings, FtSavesBigForSmallPenalty) {
+  npb::FtConfig cfg;  // paper scale, communication-bound at N=8
+  cfg.niter = 2;
+  cfg.roundtrip_check = false;
+  const Outcome o = run(npb::FtKernel(cfg), 8);
+  EXPECT_GT(o.saving, 0.20);
+  EXPECT_LT(o.penalty, 0.08);
+}
+
+TEST(DvfsSavings, EpUnaffected) {
+  npb::EpConfig cfg;
+  cfg.log2_pairs = 20;
+  const Outcome o = run(npb::EpKernel(cfg), 8);
+  EXPECT_NEAR(o.saving, 0.0, 0.02);
+  EXPECT_LT(o.penalty, 0.01);
+}
+
+TEST(DvfsSavings, SavingGrowsWithCommunicationShare) {
+  npb::FtConfig cfg;
+  cfg.niter = 2;
+  cfg.roundtrip_check = false;
+  const npb::FtKernel ft(cfg);
+  const Outcome n2 = run(ft, 2);
+  const Outcome n8 = run(ft, 8);
+  // More nodes -> larger overhead share -> at least comparable savings.
+  EXPECT_GT(n8.saving, n2.saving * 0.8);
+  EXPECT_GT(n2.saving, 0.1);
+}
+
+TEST(DvfsSavings, TransitionCostCanInvertTheWin) {
+  // LU's per-plane messages: with an expensive transition the schedule
+  // must hurt; with a free transition it must not slow the run much.
+  npb::LuConfig cfg;
+  cfg.n = 32;
+  cfg.iterations = 2;
+  const npb::LuKernel lu(cfg);
+
+  sim::ClusterConfig free_switch = sim::ClusterConfig::paper_testbed(8);
+  free_switch.dvfs_transition_s = 0.0;
+  RunMatrix cheap(free_switch);
+  const double t_base = cheap.run_one(lu, 8, 1400).seconds;
+  const double t_free = cheap.run_one(lu, 8, 1400, 600).seconds;
+
+  sim::ClusterConfig slow_switch = sim::ClusterConfig::paper_testbed(8);
+  slow_switch.dvfs_transition_s = 200e-6;
+  RunMatrix costly(slow_switch);
+  const double t_costly = costly.run_one(lu, 8, 1400, 600).seconds;
+
+  EXPECT_GT(t_costly, t_free);
+  EXPECT_GT(t_costly / t_base, 1.10);  // expensive switching hurts LU
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -1,0 +1,99 @@
+// Integration tests for the energy/power coupling (paper §2 and §7:
+// energy-delay metrics over predicted times identify sweet spots).
+#include <gtest/gtest.h>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/core/sweet_spot.hpp"
+
+namespace pas::analysis {
+namespace {
+
+MatrixResult sweep(const npb::Kernel& kernel, int max_nodes) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(max_nodes));
+  std::vector<int> nodes;
+  for (int n = 1; n <= max_nodes; n *= 2) nodes.push_back(n);
+  return matrix.sweep(kernel, nodes, {600, 1000, 1400});
+}
+
+TEST(Energy, LowerFrequencyTradesTimeForEnergyOnComputeBound) {
+  npb::EpConfig cfg;
+  cfg.log2_pairs = 16;
+  const MatrixResult ep = sweep(npb::EpKernel(cfg), 2);
+  const auto& slow = ep.at(1, 600);
+  const auto& fast = ep.at(1, 1400);
+  EXPECT_GT(slow.seconds, fast.seconds);
+  // For a compute-bound kernel the energy ratio follows P*T: lower
+  // voltage/frequency wins on energy despite the longer run.
+  EXPECT_LT(slow.energy.total_j(), fast.energy.total_j());
+}
+
+TEST(Energy, CommBoundKernelWastesLessByScalingDown) {
+  // The motivation for power-aware clusters: when communication
+  // dominates, dropping the CPU clock costs little time but saves
+  // energy — the energy gap between 600 and 1400 MHz should be a
+  // larger *fraction* than the time gap.
+  npb::FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.niter = 2;
+  cfg.roundtrip_check = false;
+  const MatrixResult ft = sweep(npb::FtKernel(cfg), 4);
+  const auto& slow = ft.at(4, 600);
+  const auto& fast = ft.at(4, 1400);
+  const double time_penalty = slow.seconds / fast.seconds;
+  const double energy_saving = fast.energy.total_j() / slow.energy.total_j();
+  EXPECT_GT(energy_saving, time_penalty * 0.8);
+  EXPECT_GT(energy_saving, 1.0);
+}
+
+TEST(Energy, SweetSpotFromSpPredictions) {
+  npb::EpConfig cfg;
+  cfg.log2_pairs = 16;
+  const npb::EpKernel ep(cfg);
+  ExperimentEnv env = ExperimentEnv::small();
+  const core::SimplifiedParameterization sp = parameterize_simplified(ep, env);
+
+  const core::SweetSpotFinder finder(power::PowerModel(),
+                                     env.cluster.operating_points);
+  const auto points = finder.evaluate(
+      env.nodes, env.freqs_mhz,
+      [&](int n, double f) { return sp.predict_time(n, f); },
+      [&](int n, double /*f*/) {
+        return n > 1 ? sp.overhead_seconds(n) : 0.0;
+      });
+  ASSERT_EQ(points.size(), env.nodes.size() * env.freqs_mhz.size());
+  const auto delay_best = power::best(points, power::Objective::kDelay);
+  EXPECT_EQ(delay_best.nodes, 4);
+  EXPECT_DOUBLE_EQ(delay_best.frequency_mhz, 1400.0);
+  // EDP optimum must never be strictly worse on both axes than another
+  // evaluated point (it is Pareto-reasonable by construction).
+  const auto edp_best = power::best(points, power::Objective::kEnergyDelay);
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.time_s < edp_best.time_s &&
+                 p.energy_j < edp_best.energy_j);
+  }
+}
+
+TEST(Energy, MeasuredAndPredictedEnergyAgreeInShape) {
+  // Predicted energy (SweetSpotFinder over SP times) and measured
+  // energy (EnergyMeter over the simulated run) should rank the
+  // frequency extremes the same way.
+  npb::EpConfig cfg;
+  cfg.log2_pairs = 16;
+  const npb::EpKernel ep(cfg);
+  ExperimentEnv env = ExperimentEnv::small();
+  const MatrixResult measured =
+      RunMatrix(env.cluster).sweep(ep, {1, 2, 4}, env.freqs_mhz);
+  const core::SimplifiedParameterization sp = parameterize_simplified(ep, env);
+  const core::SweetSpotFinder finder(power::PowerModel(),
+                                     env.cluster.operating_points);
+  const double pred_600 =
+      finder.predict_energy(4, 600, sp.predict_time(4, 600), 0.0);
+  const double pred_1400 =
+      finder.predict_energy(4, 1400, sp.predict_time(4, 1400), 0.0);
+  const double meas_600 = measured.at(4, 600).energy.total_j();
+  const double meas_1400 = measured.at(4, 1400).energy.total_j();
+  EXPECT_EQ(pred_600 < pred_1400, meas_600 < meas_1400);
+}
+
+}  // namespace
+}  // namespace pas::analysis

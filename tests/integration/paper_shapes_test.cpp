@@ -1,0 +1,110 @@
+// Integration tests asserting the qualitative shapes of the paper's
+// Figures 1 and 2 on moderate problem sizes (the bench binaries
+// regenerate the full-size artifacts).
+#include <gtest/gtest.h>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/figures.hpp"
+
+namespace pas::analysis {
+namespace {
+
+class ShapeFixture : public ::testing::Test {
+ protected:
+  static constexpr double kBase = 600.0;
+
+  MatrixResult sweep_ep() {
+    npb::EpConfig cfg;
+    cfg.log2_pairs = 20;  // enough work that the allreduce is noise
+    RunMatrix matrix(sim::ClusterConfig::paper_testbed(8));
+    return matrix.sweep(npb::EpKernel(cfg), {1, 2, 4, 8}, {600, 1000, 1400});
+  }
+
+  MatrixResult sweep_ft() {
+    npb::FtConfig cfg;  // paper-scale 64^3: the slab exceeds L2
+    cfg.niter = 1;
+    cfg.roundtrip_check = false;
+    RunMatrix matrix(sim::ClusterConfig::paper_testbed(8));
+    return matrix.sweep(npb::FtKernel(cfg), {1, 2, 4, 8}, {600, 1000, 1400});
+  }
+};
+
+TEST_F(ShapeFixture, Fig1aEpTimeDropsWithNodesAndFrequency) {
+  const MatrixResult ep = sweep_ep();
+  for (double f : {600.0, 1000.0, 1400.0}) {
+    EXPECT_GT(ep.times.at(1, f), ep.times.at(2, f));
+    EXPECT_GT(ep.times.at(2, f), ep.times.at(4, f));
+    EXPECT_GT(ep.times.at(4, f), ep.times.at(8, f));
+  }
+  for (int n : {1, 2, 4, 8}) {
+    EXPECT_GT(ep.times.at(n, 600), ep.times.at(n, 1000));
+    EXPECT_GT(ep.times.at(n, 1000), ep.times.at(n, 1400));
+  }
+}
+
+TEST_F(ShapeFixture, Fig1bEpSpeedupNearlyLinearInNodes) {
+  const MatrixResult ep = sweep_ep();
+  const auto col = speedup_column(ep.times, {1, 2, 4, 8}, kBase, kBase);
+  EXPECT_NEAR(col[0], 1.0, 1e-9);
+  EXPECT_NEAR(col[1], 2.0, 0.15);
+  EXPECT_NEAR(col[2], 4.0, 0.3);
+  EXPECT_NEAR(col[3], 8.0, 0.6);
+}
+
+TEST_F(ShapeFixture, Fig1bEpSpeedupNearlyLinearInFrequency) {
+  const MatrixResult ep = sweep_ep();
+  const auto row = speedup_row(ep.times, 1, {600, 1000, 1400}, kBase);
+  EXPECT_NEAR(row[1], 1000.0 / 600.0, 0.08);
+  EXPECT_NEAR(row[2], 1400.0 / 600.0, 0.12);
+}
+
+TEST_F(ShapeFixture, Fig1bEpCombinedSpeedupIsProductOfIndividuals) {
+  // Paper observation 5 for EP: S(N, f) ~ S(N, f0) * S(1, f).
+  const MatrixResult ep = sweep_ep();
+  const double combined = ep.times.speedup(8, 1400, 1, kBase);
+  const double product = ep.times.speedup(8, kBase, 1, kBase) *
+                         ep.times.speedup(1, 1400, 1, kBase);
+  EXPECT_NEAR(combined / product, 1.0, 0.05);
+}
+
+TEST_F(ShapeFixture, Fig2aFtSlowsDownFromOneToTwoNodes) {
+  const MatrixResult ft = sweep_ft();
+  // Paper observation 3 for FT: communication overhead makes 2 nodes
+  // slower than 1 at every frequency.
+  for (double f : {600.0, 1000.0, 1400.0})
+    EXPECT_GT(ft.times.at(2, f), ft.times.at(1, f)) << "f=" << f;
+}
+
+TEST_F(ShapeFixture, Fig2aFtRecoversWithMoreNodes) {
+  const MatrixResult ft = sweep_ft();
+  EXPECT_GT(ft.times.at(2, kBase), ft.times.at(4, kBase));
+  EXPECT_GT(ft.times.at(4, kBase), ft.times.at(8, kBase));
+}
+
+TEST_F(ShapeFixture, Fig2bFtFrequencySpeedupSubLinear) {
+  const MatrixResult ft = sweep_ft();
+  const auto row = speedup_row(ft.times, 1, {600, 1000, 1400}, kBase);
+  EXPECT_GT(row[2], 1.2);
+  EXPECT_LT(row[2], 1400.0 / 600.0 * 0.95);
+}
+
+TEST_F(ShapeFixture, Fig2bFtFrequencyEffectDiminishesWithNodes) {
+  // Paper observation 5 for FT: the benefit of frequency scaling
+  // shrinks as nodes are added (overhead dominates).
+  const MatrixResult ft = sweep_ft();
+  const double gain_n1 = ft.times.at(1, 600) / ft.times.at(1, 1400);
+  const double gain_n8 = ft.times.at(8, 600) / ft.times.at(8, 1400);
+  EXPECT_GT(gain_n1, gain_n8);
+}
+
+TEST_F(ShapeFixture, FtParallelOverheadShareGrowsWithNodes) {
+  const MatrixResult ft = sweep_ft();
+  const auto& r2 = ft.at(2, kBase);
+  const auto& r8 = ft.at(8, kBase);
+  const double share2 = r2.mean_overhead_s / r2.seconds;
+  const double share8 = r8.mean_overhead_s / r8.seconds;
+  EXPECT_GT(share8, share2);
+}
+
+}  // namespace
+}  // namespace pas::analysis

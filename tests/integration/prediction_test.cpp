@@ -1,0 +1,201 @@
+// Integration tests for the headline claim: power-aware-speedup
+// predictions (SP/FP) beat the generalized-Amdahl product form on
+// communication-bound workloads, and both are accurate on EP.
+#include <gtest/gtest.h>
+
+#include "pas/analysis/error_table.hpp"
+#include "pas/analysis/experiment.hpp"
+#include "pas/core/baseline_models.hpp"
+#include "pas/core/power_aware_speedup.hpp"
+#include "pas/core/workload_fit.hpp"
+#include "pas/util/stats.hpp"
+
+namespace pas::analysis {
+namespace {
+
+struct Sweep {
+  MatrixResult measured;
+  ExperimentEnv env;
+};
+
+Sweep sweep(const npb::Kernel& kernel) {
+  Sweep s;
+  s.env = ExperimentEnv::paper();
+  s.env.cluster = sim::ClusterConfig::paper_testbed(8);
+  s.env.nodes = {1, 2, 4, 8};
+  s.env.parallel_nodes = {2, 4, 8};
+  s.env.freqs_mhz = {600, 1000, 1400};
+  RunMatrix matrix(s.env.cluster);
+  s.measured = matrix.sweep(kernel, s.env.nodes, s.env.freqs_mhz);
+  return s;
+}
+
+npb::FtConfig ft_config() {
+  npb::FtConfig cfg;  // paper-scale 64^3 grid
+  cfg.niter = 2;
+  cfg.roundtrip_check = false;
+  return cfg;
+}
+
+TEST(Prediction, Table1Eq3OverpredictsFt) {
+  const npb::FtKernel ft(ft_config());
+  const Sweep s = sweep(ft);
+  const ErrorTable t = speedup_error_table(
+      s.measured.times,
+      [&](int n, double f) {
+        return core::eq3_product_prediction(s.measured.times, n, f, 1,
+                                            s.env.base_f_mhz);
+      },
+      s.env.parallel_nodes, {1000.0, 1400.0}, 1, s.env.base_f_mhz);
+  // Paper Table 1: errors are large (tens of percent).
+  EXPECT_GT(t.max_error(), 0.20);
+  EXPECT_GT(t.mean_error(), 0.10);
+}
+
+TEST(Prediction, Table3SimplifiedParameterizationAccurateOnFt) {
+  const npb::FtKernel ft(ft_config());
+  const Sweep s = sweep(ft);
+  core::SimplifiedParameterization sp(s.env.base_f_mhz);
+  sp.ingest(s.measured.times);
+  const ErrorTable t = speedup_error_table(
+      s.measured.times,
+      [&](int n, double f) { return sp.predict_speedup(n, f); },
+      s.env.parallel_nodes, s.env.freqs_mhz, 1, s.env.base_f_mhz);
+  // Paper Table 3: errors within a few percent (we allow 7 % — the
+  // abstract's own bound).
+  EXPECT_LT(t.max_error(), 0.07);
+}
+
+TEST(Prediction, SpBeatsEq3OnFtEverywhere) {
+  const npb::FtKernel ft(ft_config());
+  const Sweep s = sweep(ft);
+  core::SimplifiedParameterization sp(s.env.base_f_mhz);
+  sp.ingest(s.measured.times);
+  for (int n : s.env.parallel_nodes) {
+    for (double f : {1000.0, 1400.0}) {
+      const double measured =
+          s.measured.times.speedup(n, f, 1, s.env.base_f_mhz);
+      const double sp_err = util::relative_error(
+          measured, sp.predict_speedup(n, f));
+      const double eq3_err = util::relative_error(
+          measured, core::eq3_product_prediction(s.measured.times, n, f, 1,
+                                                 s.env.base_f_mhz));
+      EXPECT_LT(sp_err, eq3_err) << "N=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(Prediction, Eq3AccurateOnEp) {
+  npb::EpConfig cfg;
+  cfg.log2_pairs = 20;  // overhead must be negligible, as on real EP
+  const npb::EpKernel ep(cfg);
+  const Sweep s = sweep(ep);
+  const ErrorTable t = speedup_error_table(
+      s.measured.times,
+      [&](int n, double f) {
+        return core::eq3_product_prediction(s.measured.times, n, f, 1,
+                                            s.env.base_f_mhz);
+      },
+      s.env.parallel_nodes, {1000.0, 1400.0}, 1, s.env.base_f_mhz);
+  // Paper §4.2: EP's product prediction within ~2.3 %; allow 5 %.
+  EXPECT_LT(t.max_error(), 0.05);
+}
+
+TEST(Prediction, Table7FpAndSpBothReasonableOnLu) {
+  // Paper-scale grid: the per-plane compute must dominate per-message
+  // latency, or the wavefront pipeline becomes latency-bound — a
+  // regime the paper's LU (class A) never enters.
+  npb::LuConfig cfg;
+  cfg.n = 96;
+  cfg.iterations = 2;
+  const npb::LuKernel lu(cfg);
+  Sweep s = sweep(lu);
+
+  core::SimplifiedParameterization sp(s.env.base_f_mhz);
+  sp.ingest(s.measured.times);
+  const ErrorTable sp_err = time_error_table(
+      s.measured.times,
+      [&](int n, double f) { return sp.predict_time(n, f); },
+      s.env.parallel_nodes, s.env.freqs_mhz);
+  EXPECT_LT(sp_err.max_error(), 0.15);
+
+  const core::FineGrainParameterization fp = parameterize_fine_grain(lu, s.env);
+  const ErrorTable fp_err = time_error_table(
+      s.measured.times,
+      [&](int n, double f) { return fp.predict_parallel(n, f); },
+      s.env.parallel_nodes, s.env.freqs_mhz);
+  // Paper Table 7 FP errors reach ~11 % and grow with N; ours peak at
+  // N=8 where the 4-neighbour exchanges partially overlap (full-duplex
+  // ports) while messages x message-time counts them serially. Allow
+  // headroom: the shape (FP > SP, errors growing with N) is the claim.
+  EXPECT_LT(fp_err.max_error(), 0.40);
+  // FP must still beat naive "no-overhead" scaling T1/N everywhere.
+  const ErrorTable naive_err = time_error_table(
+      s.measured.times,
+      [&](int n, double f) {
+        return s.measured.times.at(1, f) / static_cast<double>(n);
+      },
+      s.env.parallel_nodes, s.env.freqs_mhz);
+  EXPECT_LT(fp_err.mean_error(), naive_err.mean_error());
+}
+
+TEST(Prediction, WorkloadFitGeneralizesFromSparseSamples) {
+  // Fit the future-work surface from the SP measurement set only and
+  // check it predicts held-out configurations of FT decently.
+  const npb::FtKernel ft(ft_config());
+  const Sweep s = sweep(ft);
+  core::TimingMatrix subset;
+  for (int n : s.env.nodes)
+    subset.add(n, s.env.base_f_mhz, s.measured.times.at(n, s.env.base_f_mhz));
+  for (double f : s.env.freqs_mhz)
+    subset.add(1, f, s.measured.times.at(1, f));
+  subset.add(8, 1400, s.measured.times.at(8, 1400));
+  subset.add(2, 1400, s.measured.times.at(2, 1400));
+  subset.add(4, 1000, s.measured.times.at(4, 1000));
+
+  const core::WorkloadFit fit = core::fit_workload(subset, s.env.base_f_mhz);
+  EXPECT_GT(fit.r2, 0.95);
+  // FT's overhead is frequency-blind: the fit must put substantial
+  // weight on the invariant term for this sweep.
+  EXPECT_GT(fit.invariant_s, 0.0);
+  const ErrorTable err = time_error_table(
+      s.measured.times,
+      [&](int n, double f) { return fit.predict_time(n, f); },
+      s.env.parallel_nodes, s.env.freqs_mhz);
+  EXPECT_LT(err.max_error(), 0.15);
+}
+
+TEST(Prediction, PowerAwareModelFromMeasuredDecomposition) {
+  // Build the analytic model (Eq 10/11) from measured quantities: the
+  // counter decomposition for the workload and the run's overhead time
+  // converted to OFF-chip work units — then check it predicts the
+  // measured FT surface.
+  const npb::FtKernel ft(ft_config());
+  Sweep s = sweep(ft);
+  const counters::CounterSet set = measure_counters(ft, s.env);
+  const auto d = set.decompose();
+
+  core::MachineRates rates;
+  rates.cpi_on = 2.6;  // weighted: FT leans on L1/L2 more than LU
+  const core::Work app{.on_chip = d.on_chip(), .off_chip = d.mem_ins};
+
+  // Calibrate CPI_ON from the measured sequential base run instead of
+  // guessing: T1 = on*cpi/f + off*t_off.
+  const double t1 = s.measured.times.at(1, 600);
+  rates.cpi_on =
+      (t1 - app.off_chip * rates.off_op_seconds(600)) * 600e6 / app.on_chip;
+
+  core::DopWorkload w = core::DopWorkload::perfectly_parallel(app, 8);
+  // Overhead from the measured mean network time at N=8, expressed as
+  // OFF-chip work (frequency-blind).
+  const double overhead_s = s.measured.at(8, 600).mean_overhead_s;
+  w.overhead.off_chip = overhead_s / rates.off_op_seconds(600);
+
+  const core::PowerAwareModel model(w, rates, 600);
+  const double predicted = model.speedup(8, 600);
+  const double measured = s.measured.times.speedup(8, 600, 1, 600);
+  EXPECT_LT(util::relative_error(measured, predicted), 0.30);
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::mpi {
+namespace {
+
+sim::ClusterConfig cluster(int n = 16) {
+  return sim::ClusterConfig::paper_testbed(n);
+}
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST_P(CollectivesP, BarrierCompletes) {
+  Runtime rt(cluster());
+  rt.run(GetParam(), 1000, [](Comm& comm) {
+    for (int i = 0; i < 3; ++i) comm.barrier();
+  });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    for (int root = 0; root < n; ++root) {
+      Payload data;
+      if (comm.rank() == root) data = {3.5, static_cast<double>(root)};
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 2u);
+      EXPECT_DOUBLE_EQ(data[0], 3.5);
+      EXPECT_DOUBLE_EQ(data[1], static_cast<double>(root));
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceSum) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    const double got = comm.reduce_sum(comm.rank() + 1.0, 0);
+    if (comm.rank() == 0) {
+      EXPECT_NEAR(got, n * (n + 1) / 2.0, 1e-12);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllreduceSumScalar) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    const double got = comm.allreduce_sum(comm.rank() + 1.0);
+    EXPECT_NEAR(got, n * (n + 1) / 2.0, 1e-12);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceVector) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    std::vector<double> v{1.0, static_cast<double>(comm.rank())};
+    v = comm.allreduce_sum(std::move(v));
+    EXPECT_NEAR(v[0], n, 1e-12);
+    EXPECT_NEAR(v[1], n * (n - 1) / 2.0, 1e-12);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceMaxMin) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank())),
+                     n - 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_min(static_cast<double>(comm.rank())),
+                     0.0);
+  });
+}
+
+TEST_P(CollectivesP, AlltoallPersonalized) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    std::vector<Payload> blocks(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      blocks[static_cast<std::size_t>(d)] = {comm.rank() * 100.0 + d};
+    const auto got = comm.alltoall(blocks);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(got[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(s)][0],
+                       s * 100.0 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectivesP, GatherAtEveryRoot) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    for (int root = 0; root < std::min(n, 3); ++root) {
+      const auto got =
+          comm.gather({static_cast<double>(comm.rank())}, root);
+      if (comm.rank() == root) {
+        ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r)
+          EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][0], r);
+      } else {
+        EXPECT_TRUE(got.empty());
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, Scatter) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    std::vector<Payload> blocks;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r) blocks.push_back({r * 2.0});
+    }
+    const Payload mine = comm.scatter(blocks, 0);
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_DOUBLE_EQ(mine[0], comm.rank() * 2.0);
+  });
+}
+
+TEST_P(CollectivesP, AllgatherEveryRankSeesEverything) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [n](Comm& comm) {
+    const auto got =
+        comm.allgather({static_cast<double>(comm.rank()), 42.0});
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 2u);
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][0], r);
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][1], 42.0);
+    }
+  });
+}
+
+TEST_P(CollectivesP, ScanSumIsInclusivePrefix) {
+  const int n = GetParam();
+  Runtime rt(cluster());
+  rt.run(n, 1000, [](Comm& comm) {
+    const double got = comm.scan_sum(comm.rank() + 1.0);
+    const double r = comm.rank() + 1.0;
+    EXPECT_DOUBLE_EQ(got, r * (r + 1.0) / 2.0);
+  });
+}
+
+TEST(Collectives, AllgatherRingCostGrowsLinearlyWithRanks) {
+  auto time_at = [](int n) {
+    Runtime rt(cluster());
+    return rt.run(n, 1000, [](Comm& comm) {
+      comm.allgather(Payload(1024, 1.0));
+    }).makespan;
+  };
+  const double t4 = time_at(4);
+  const double t16 = time_at(16);
+  // Ring allgather does N-1 rounds of the same-size exchange.
+  EXPECT_NEAR(t16 / t4, 15.0 / 3.0, 1.0);
+}
+
+TEST(Collectives, AlltoallRequiresOneBlockPerRank) {
+  Runtime rt(cluster(2));
+  EXPECT_THROW(rt.run(2, 1000,
+                      [](Comm& comm) {
+                        std::vector<Payload> bad(1);
+                        comm.alltoall(bad);
+                      }),
+               std::invalid_argument);
+}
+
+TEST(Collectives, BarrierSynchronizesClocks) {
+  Runtime rt(cluster(4));
+  const RunResult r = rt.run(4, 1000, [](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.compute(sim::InstructionMix{.reg_ops = 1e8});
+    comm.barrier();
+  });
+  // After the barrier everyone's finish time is at least rank 0's
+  // compute time.
+  const double t0_compute = r.ranks[0].cpu_seconds;
+  for (const auto& rank : r.ranks)
+    EXPECT_GE(rank.finish_time, t0_compute);
+}
+
+TEST(Collectives, AlltoallOverheadGrowsWithRankCount) {
+  // Per-rank network time in an alltoall of fixed per-pair block size
+  // grows with N (the mechanism behind FT's flattening speedup).
+  auto net_time = [](int n) {
+    Runtime rt(cluster(16));
+    const RunResult r = rt.run(n, 1000, [n](Comm& comm) {
+      std::vector<Payload> blocks(static_cast<std::size_t>(n),
+                                  Payload(512, 1.0));
+      comm.alltoall(blocks);
+    });
+    return r.mean_network_seconds();
+  };
+  const double t2 = net_time(2);
+  const double t8 = net_time(8);
+  EXPECT_GT(t8, t2);
+}
+
+}  // namespace
+}  // namespace pas::mpi

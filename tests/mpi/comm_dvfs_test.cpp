@@ -1,0 +1,169 @@
+// Tests for communication-phase DVFS (Comm::set_comm_dvfs_mhz) and the
+// frequency-resolved activity accounting beneath it.
+#include <gtest/gtest.h>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::mpi {
+namespace {
+
+sim::ClusterConfig cfg(int n = 4) { return sim::ClusterConfig::paper_testbed(n); }
+
+double seconds_at(const RankReport& r, double mhz, sim::Activity a) {
+  auto it = r.activity_by_fkey.find(sim::NodeState::fkey(mhz));
+  if (it == r.activity_by_fkey.end()) return 0.0;
+  return it->second[static_cast<std::size_t>(a)];
+}
+
+TEST(CommDvfs, InvalidPointThrows) {
+  Runtime rt(cfg());
+  EXPECT_THROW(rt.run(2, 1400,
+                      [](Comm& comm) { comm.set_comm_dvfs_mhz(700); }),
+               std::out_of_range);
+  rt.run(2, 1400, [](Comm& comm) {
+    EXPECT_NO_THROW(comm.set_comm_dvfs_mhz(600));
+    EXPECT_NO_THROW(comm.set_comm_dvfs_mhz(0));
+  });
+}
+
+TEST(CommDvfs, StaticRunHasSingleFrequencySlice) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(2, 1000, [](Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+    comm.barrier();
+  });
+  ASSERT_EQ(r.ranks[0].activity_by_fkey.size(), 1u);
+  EXPECT_EQ(r.ranks[0].activity_by_fkey.begin()->first,
+            sim::NodeState::fkey(1000));
+}
+
+TEST(CommDvfs, CommunicationTimeMovesToTheLowPoint) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(2, 1400, [](Comm& comm) {
+    comm.set_comm_dvfs_mhz(600);
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Payload(4096, 0.0));
+    } else {
+      comm.recv(0, 1);
+    }
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+  });
+  for (const RankReport& rank : r.ranks) {
+    // All network time is billed at 600 MHz...
+    EXPECT_GT(seconds_at(rank, 600, sim::Activity::kNetwork), 0.0);
+    EXPECT_EQ(seconds_at(rank, 1400, sim::Activity::kNetwork), 0.0);
+    // ...and all application compute at 1400 MHz.
+    EXPECT_GT(seconds_at(rank, 1400, sim::Activity::kCpu), 0.0);
+  }
+}
+
+TEST(CommDvfs, ComputeRunsAtAppFrequencyAfterCommPhase) {
+  // The lazy restore must kick in before the compute block is priced.
+  Runtime rt(cfg());
+  auto makespan_with = [&](bool dvfs) {
+    return rt.run(2, 1400, [dvfs](Comm& comm) {
+      if (dvfs) comm.set_comm_dvfs_mhz(600);
+      comm.barrier();
+      comm.compute(sim::InstructionMix{.reg_ops = 1e9});
+    }).makespan;
+  };
+  const double base = makespan_with(false);
+  const double with_dvfs = makespan_with(true);
+  // Only the barrier + 2 transitions differ; the 1e9-op compute block
+  // dominates and must cost the same.
+  EXPECT_NEAR(with_dvfs / base, 1.0, 0.01);
+}
+
+TEST(CommDvfs, TransitionsAreCharged) {
+  sim::ClusterConfig expensive = cfg();
+  expensive.dvfs_transition_s = 5e-3;
+  Runtime rt(expensive);
+  auto body = [](bool dvfs) {
+    return [dvfs](Comm& comm) {
+      if (dvfs) comm.set_comm_dvfs_mhz(600);
+      for (int i = 0; i < 3; ++i) {
+        comm.barrier();
+        comm.compute(sim::InstructionMix{.reg_ops = 1e5});
+      }
+    };
+  };
+  const double base = rt.run(2, 1400, body(false)).makespan;
+  const double with_dvfs = rt.run(2, 1400, body(true)).makespan;
+  // 3 enter/exit pairs at 5 ms each, per rank chainable: at least 6
+  // transitions' worth on the critical path.
+  EXPECT_GT(with_dvfs, base + 6 * 5e-3 * 0.9);
+}
+
+TEST(CommDvfs, NoSwitchWhenAlreadyAtCommPoint) {
+  sim::ClusterConfig expensive = cfg();
+  expensive.dvfs_transition_s = 5e-3;
+  Runtime rt(expensive);
+  auto run = [&](double app_mhz) {
+    return rt.run(2, app_mhz, [](Comm& comm) {
+      comm.set_comm_dvfs_mhz(600);
+      comm.barrier();
+      comm.compute(sim::InstructionMix{.reg_ops = 1e5});
+    }).makespan;
+  };
+  const double at_600 = run(600);
+  // Running already at the comm point must not pay any transitions:
+  // makespan stays in the microsecond-ish range, far below one 5 ms
+  // transition.
+  EXPECT_LT(at_600, 5e-3);
+}
+
+TEST(CommDvfs, HysteresisSpansConsecutiveMessages) {
+  // Two back-to-back barriers with no compute in between form ONE comm
+  // region: exactly 2 transitions, not 4.
+  sim::ClusterConfig expensive = cfg();
+  expensive.dvfs_transition_s = 5e-3;
+  Runtime rt(expensive);
+  auto makespan = [&](int barriers) {
+    return rt.run(2, 1400, [barriers](Comm& comm) {
+      comm.set_comm_dvfs_mhz(600);
+      for (int i = 0; i < barriers; ++i) comm.barrier();
+      comm.compute(sim::InstructionMix{.reg_ops = 1e5});
+    }).makespan;
+  };
+  const double one = makespan(1);
+  const double four = makespan(4);
+  // The extra barriers add only cheap barrier time, no transitions.
+  EXPECT_LT(four - one, 2e-3);
+}
+
+TEST(CommDvfs, DeterministicWithDvfs) {
+  Runtime rt(cfg());
+  auto body = [](Comm& comm) {
+    comm.set_comm_dvfs_mhz(800);
+    std::vector<Payload> blocks(static_cast<std::size_t>(comm.size()),
+                                Payload(256, 1.0));
+    for (int i = 0; i < 3; ++i) {
+      comm.alltoall(blocks);
+      comm.compute(sim::InstructionMix{.l1_ops = 1e5});
+    }
+  };
+  const RunResult a = rt.run(4, 1400, body);
+  const RunResult b = rt.run(4, 1400, body);
+  for (std::size_t i = 0; i < a.ranks.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.ranks[i].finish_time, b.ranks[i].finish_time);
+}
+
+TEST(CommDvfs, SliceTotalsMatchClockTotals) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(2, 1200, [](Comm& comm) {
+    comm.set_comm_dvfs_mhz(600);
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6, .mem_ops = 1e3});
+    comm.barrier();
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+  });
+  for (const RankReport& rank : r.ranks) {
+    double slice_total = 0.0;
+    for (const auto& [fkey, seconds] : rank.activity_by_fkey)
+      for (double s : seconds) slice_total += s;
+    EXPECT_NEAR(slice_total, rank.finish_time, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pas::mpi

@@ -1,0 +1,91 @@
+#include "pas/mpi/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pas::mpi {
+namespace {
+
+Message make(int src, int tag, double value) {
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  m.data = {value};
+  return m;
+}
+
+TEST(Mailbox, DeliverThenReceive) {
+  Mailbox mb;
+  mb.deliver(make(0, 1, 42.0));
+  const Message m = mb.receive(0, 1);
+  EXPECT_EQ(m.src, 0);
+  EXPECT_EQ(m.tag, 1);
+  ASSERT_EQ(m.data.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.data[0], 42.0);
+}
+
+TEST(Mailbox, MatchBySourceAndTag) {
+  Mailbox mb;
+  mb.deliver(make(0, 1, 1.0));
+  mb.deliver(make(1, 1, 2.0));
+  mb.deliver(make(0, 2, 3.0));
+  EXPECT_DOUBLE_EQ(mb.receive(1, 1).data[0], 2.0);
+  EXPECT_DOUBLE_EQ(mb.receive(0, 2).data[0], 3.0);
+  EXPECT_DOUBLE_EQ(mb.receive(0, 1).data[0], 1.0);
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, FifoWithinChannel) {
+  Mailbox mb;
+  mb.deliver(make(0, 1, 1.0));
+  mb.deliver(make(0, 1, 2.0));
+  mb.deliver(make(0, 1, 3.0));
+  EXPECT_DOUBLE_EQ(mb.receive(0, 1).data[0], 1.0);
+  EXPECT_DOUBLE_EQ(mb.receive(0, 1).data[0], 2.0);
+  EXPECT_DOUBLE_EQ(mb.receive(0, 1).data[0], 3.0);
+}
+
+TEST(Mailbox, Probe) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.probe(0, 1));
+  mb.deliver(make(0, 1, 1.0));
+  EXPECT_TRUE(mb.probe(0, 1));
+  EXPECT_FALSE(mb.probe(0, 2));
+}
+
+TEST(Mailbox, ReceiveBlocksUntilDelivery) {
+  Mailbox mb;
+  std::thread producer([&mb] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.deliver(make(3, 9, 7.0));
+  });
+  const Message m = mb.receive(3, 9);
+  EXPECT_DOUBLE_EQ(m.data[0], 7.0);
+  producer.join();
+}
+
+TEST(Mailbox, ConcurrentProducersAllConsumed) {
+  Mailbox mb;
+  constexpr int kPerProducer = 200;
+  std::thread p1([&mb] {
+    for (int i = 0; i < kPerProducer; ++i) mb.deliver(make(1, 5, i));
+  });
+  std::thread p2([&mb] {
+    for (int i = 0; i < kPerProducer; ++i) mb.deliver(make(2, 5, i));
+  });
+  double sum1 = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kPerProducer; ++i) {
+    sum1 += mb.receive(1, 5).data[0];
+    sum2 += mb.receive(2, 5).data[0];
+  }
+  p1.join();
+  p2.join();
+  const double expect = kPerProducer * (kPerProducer - 1) / 2.0;
+  EXPECT_DOUBLE_EQ(sum1, expect);
+  EXPECT_DOUBLE_EQ(sum2, expect);
+}
+
+}  // namespace
+}  // namespace pas::mpi

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::mpi {
+namespace {
+
+sim::ClusterConfig small_cluster(int n = 4) {
+  return sim::ClusterConfig::paper_testbed(n);
+}
+
+TEST(P2p, SendRecvMovesData) {
+  Runtime rt(small_cluster());
+  rt.run(2, 1400, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1.0, 2.0, 3.0});
+    } else {
+      const Payload p = comm.recv(0, 7);
+      ASSERT_EQ(p.size(), 3u);
+      EXPECT_DOUBLE_EQ(p[2], 3.0);
+    }
+  });
+}
+
+TEST(P2p, RecvAdvancesClockToArrival) {
+  Runtime rt(small_cluster());
+  const RunResult r = rt.run(2, 1400, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Payload(1000, 0.0));
+    } else {
+      comm.recv(0, 1);
+    }
+  });
+  // The receiver cannot finish before wire time has elapsed.
+  const double wire =
+      small_cluster().network.wire_time_s(1000 * 8 + kHeaderBytes);
+  EXPECT_GE(r.ranks[1].finish_time, wire);
+  EXPECT_GT(r.ranks[1].network_seconds, 0.0);
+}
+
+TEST(P2p, SenderOverheadScalesWithFrequency) {
+  Runtime rt(small_cluster());
+  auto body = [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send(1, 1, Payload(500, 0.0));
+    } else {
+      for (int i = 0; i < 50; ++i) comm.recv(0, 1);
+    }
+  };
+  const double slow = rt.run(2, 600, body).ranks[0].network_seconds;
+  const double fast = rt.run(2, 1400, body).ranks[0].network_seconds;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(P2p, SendRecvExchangeDeadlockFree) {
+  Runtime rt(small_cluster());
+  rt.run(4, 1000, [](Comm& comm) {
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() - 1 + comm.size()) % comm.size();
+    Payload mine{static_cast<double>(comm.rank())};
+    const Payload got = comm.sendrecv(right, left, 3, mine);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_DOUBLE_EQ(got[0], static_cast<double>(left));
+  });
+}
+
+TEST(P2p, BytesOnlyMessages) {
+  Runtime rt(small_cluster());
+  rt.run(2, 1000, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_bytes(1, 9, 12345);
+    } else {
+      EXPECT_EQ(comm.recv_bytes(0, 9), 12345u + kHeaderBytes);
+    }
+  });
+}
+
+TEST(P2p, StatsCountTraffic) {
+  Runtime rt(small_cluster());
+  const RunResult r = rt.run(2, 1000, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Payload(10, 0.0));
+      comm.send(1, 1, Payload(10, 0.0));
+    } else {
+      comm.recv(0, 1);
+      comm.recv(0, 1);
+    }
+  });
+  EXPECT_EQ(r.ranks[0].comm.messages_sent, 2u);
+  EXPECT_EQ(r.ranks[1].comm.messages_received, 2u);
+  EXPECT_NEAR(r.ranks[0].comm.avg_doubles_per_message(), 10.0, 1e-9);
+  EXPECT_EQ(r.fabric_messages, 2u);
+}
+
+TEST(P2p, SendToBadRankThrows) {
+  Runtime rt(small_cluster());
+  EXPECT_THROW(rt.run(2, 1000,
+                      [](Comm& comm) {
+                        if (comm.rank() == 0) comm.send(5, 1, {1.0});
+                      }),
+               std::out_of_range);
+}
+
+TEST(P2p, IncastSerializesAtTheReceiverPort) {
+  // Two senders deliver simultaneously; the receiver must spend at
+  // least two serialization times draining its port.
+  Runtime rt(small_cluster());
+  const RunResult r = rt.run(3, 1000, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.recv(1, 1);
+      comm.recv(2, 2);
+    } else {
+      comm.send(0, comm.rank(), Payload(4096, 0.0));
+    }
+  });
+  const double ser =
+      small_cluster().network.serialization_s(4096 * 8 + kHeaderBytes);
+  const sim::NetworkConfig net = small_cluster().network;
+  EXPECT_GE(r.ranks[0].finish_time, 3 * ser + net.switch_latency_s);
+}
+
+TEST(P2p, TimingIsDeterministicAcrossRuns) {
+  // The whole point of rx-side port booking: identical programs yield
+  // bit-identical virtual timelines regardless of thread scheduling.
+  Runtime rt(small_cluster());
+  auto body = [](Comm& comm) {
+    std::vector<Payload> blocks(static_cast<std::size_t>(comm.size()),
+                                Payload(512, 1.0));
+    for (int i = 0; i < 5; ++i) {
+      comm.alltoall(blocks);
+      comm.allreduce_sum(1.0);
+    }
+  };
+  const RunResult a = rt.run(4, 1000, body);
+  for (int rep = 0; rep < 3; ++rep) {
+    const RunResult b = rt.run(4, 1000, body);
+    ASSERT_EQ(a.ranks.size(), b.ranks.size());
+    for (std::size_t i = 0; i < a.ranks.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.ranks[i].finish_time, b.ranks[i].finish_time);
+      EXPECT_DOUBLE_EQ(a.ranks[i].network_seconds,
+                       b.ranks[i].network_seconds);
+    }
+  }
+}
+
+TEST(P2p, ComputeAdvancesOnlyThisRank) {
+  Runtime rt(small_cluster());
+  const RunResult r = rt.run(2, 1000, [](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+  });
+  EXPECT_GT(r.ranks[0].cpu_seconds, 0.0);
+  EXPECT_EQ(r.ranks[1].cpu_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pas::mpi

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pas/mpi/runtime.hpp"
+
+namespace pas::mpi {
+namespace {
+
+sim::ClusterConfig cfg(int n = 4) { return sim::ClusterConfig::paper_testbed(n); }
+
+TEST(Runtime, RunReportsRanksAndFrequency) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(3, 800, [](Comm&) {});
+  EXPECT_EQ(r.nranks, 3);
+  EXPECT_DOUBLE_EQ(r.frequency_mhz, 800.0);
+  EXPECT_EQ(r.ranks.size(), 3u);
+}
+
+TEST(Runtime, MakespanIsMaxFinishTime) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(2, 1000, [](Comm& comm) {
+    if (comm.rank() == 1)
+      comm.compute(sim::InstructionMix{.reg_ops = 1e7});
+  });
+  EXPECT_DOUBLE_EQ(r.makespan, r.ranks[1].finish_time);
+  EXPECT_GT(r.makespan, r.ranks[0].finish_time);
+}
+
+TEST(Runtime, RunsAreIndependent) {
+  Runtime rt(cfg());
+  auto body = [](Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+    comm.barrier();
+  };
+  const RunResult a = rt.run(2, 1000, body);
+  const RunResult b = rt.run(2, 1000, body);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Runtime, FrequencyChangesComputeTime) {
+  Runtime rt(cfg());
+  auto body = [](Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e7});
+  };
+  const double slow = rt.run(1, 600, body).makespan;
+  const double fast = rt.run(1, 1200, body).makespan;
+  EXPECT_NEAR(slow / fast, 2.0, 1e-9);
+}
+
+TEST(Runtime, RankExceptionPropagates) {
+  Runtime rt(cfg());
+  EXPECT_THROW(rt.run(2, 1000,
+                      [](Comm& comm) {
+                        if (comm.rank() == 1)
+                          throw std::runtime_error("rank body failed");
+                      }),
+               std::runtime_error);
+}
+
+TEST(Runtime, BadRankCountThrows) {
+  Runtime rt(cfg(2));
+  EXPECT_THROW(rt.run(0, 1000, [](Comm&) {}), std::invalid_argument);
+  EXPECT_THROW(rt.run(3, 1000, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Runtime, UnknownFrequencyThrows) {
+  Runtime rt(cfg());
+  EXPECT_THROW(rt.run(1, 725, [](Comm&) {}), std::out_of_range);
+}
+
+TEST(Runtime, AggregatesSumOverRanks) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(2, 1000, [](Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6, .mem_ops = 1e4});
+  });
+  EXPECT_NEAR(r.total_cpu_seconds(),
+              r.ranks[0].cpu_seconds + r.ranks[1].cpu_seconds, 1e-15);
+  EXPECT_GT(r.total_memory_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_busy_seconds(),
+                   r.total_cpu_seconds() + r.total_memory_seconds());
+}
+
+TEST(Runtime, ExecutedMixRecorded) {
+  Runtime rt(cfg());
+  const RunResult r = rt.run(1, 1000, [](Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 5.0, .l1_ops = 3.0});
+    comm.compute(sim::InstructionMix{.l2_ops = 2.0});
+  });
+  EXPECT_DOUBLE_EQ(r.ranks[0].executed.reg_ops, 5.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].executed.l1_ops, 3.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].executed.l2_ops, 2.0);
+}
+
+}  // namespace
+}  // namespace pas::mpi

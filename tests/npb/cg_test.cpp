@@ -1,0 +1,116 @@
+#include "pas/npb/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pas/mpi/runtime.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::npb {
+namespace {
+
+CgConfig small_cg() {
+  CgConfig cfg;
+  cfg.n = 16;
+  cfg.iterations = 10;
+  return cfg;
+}
+
+KernelResult run_cg(int nranks, double f_mhz, const CgConfig& cfg) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  KernelResult result;
+  rt.run(nranks, f_mhz, [&](mpi::Comm& comm) {
+    const KernelResult r = CgKernel(cfg).run(comm);
+    if (comm.rank() == 0) result = r;
+  });
+  return result;
+}
+
+TEST(Cg, RejectsBadConfig) {
+  EXPECT_THROW(CgKernel(CgConfig{.n = 1, .iterations = 5}),
+               std::invalid_argument);
+  EXPECT_THROW(CgKernel(CgConfig{.n = 16, .iterations = 0}),
+               std::invalid_argument);
+}
+
+TEST(Cg, RejectsRankCountNotDividingGrid) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  const CgConfig cfg = small_cg();
+  EXPECT_THROW(rt.run(3, 1000,
+                      [&](mpi::Comm& comm) { (void)CgKernel(cfg).run(comm); }),
+               std::invalid_argument);
+}
+
+TEST(Cg, SequentialConverges) {
+  const KernelResult r = run_cg(1, 600, small_cg());
+  EXPECT_TRUE(r.verified) << r.note;
+  EXPECT_LT(r.value("residual_10"), 0.5 * r.value("residual_0"));
+}
+
+class CgRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, CgRanks, ::testing::Values(2, 4, 8, 16));
+
+TEST_P(CgRanks, ParallelConverges) {
+  const KernelResult r = run_cg(GetParam(), 1000, small_cg());
+  EXPECT_TRUE(r.verified) << r.note;
+}
+
+TEST_P(CgRanks, ResidualsMatchSequential) {
+  // CG is rounding-sensitive, but over a few iterations the reduction
+  // reordering perturbs residuals only slightly.
+  const CgConfig cfg = small_cg();
+  const KernelResult seq = run_cg(1, 600, cfg);
+  const KernelResult par = run_cg(GetParam(), 1400, cfg);
+  for (int i = 0; i <= cfg.iterations; ++i) {
+    const std::string key = pas::util::strf("residual_%d", i);
+    EXPECT_NEAR(par.value(key), seq.value(key),
+                1e-6 * std::max(1.0, seq.value(key)))
+        << key;
+  }
+}
+
+TEST(Cg, SolvesToDiscretizationAccuracy) {
+  CgConfig cfg;
+  cfg.n = 16;
+  cfg.iterations = 60;  // enough for full convergence at this size
+  const KernelResult r = run_cg(2, 1000, cfg);
+  EXPECT_LT(r.value("error_inf"), 1e-6);
+}
+
+TEST(Cg, ResidualIndependentOfFrequency) {
+  const CgConfig cfg = small_cg();
+  const KernelResult slow = run_cg(4, 600, cfg);
+  const KernelResult fast = run_cg(4, 1400, cfg);
+  EXPECT_DOUBLE_EQ(slow.value("residual_5"), fast.value("residual_5"));
+}
+
+TEST(Cg, CommunicationIsLatencyBound) {
+  // CG's per-iteration traffic: two ghost planes + a handful of tiny
+  // allreduce messages. Message count grows with iterations; the mean
+  // payload stays small.
+  const CgConfig cfg = small_cg();
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(4));
+  const mpi::RunResult run = rt.run(4, 1000, [&](mpi::Comm& comm) {
+    (void)CgKernel(cfg).run(comm);
+  });
+  std::uint64_t total_msgs = 0;
+  for (const auto& rank : run.ranks) total_msgs += rank.comm.messages_sent;
+  // >= 2 allreduce rounds x 3 reductions per iteration per rank.
+  EXPECT_GT(total_msgs, static_cast<std::uint64_t>(cfg.iterations) * 4 * 3);
+}
+
+TEST(Cg, OverheadShareGrowsWithRanks) {
+  const CgConfig cfg = small_cg();
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  auto overhead_share = [&](int n) {
+    const mpi::RunResult run = rt.run(n, 1000, [&](mpi::Comm& comm) {
+      (void)CgKernel(cfg).run(comm);
+    });
+    return run.mean_network_seconds() / run.makespan;
+  };
+  EXPECT_GT(overhead_share(8), overhead_share(2));
+}
+
+}  // namespace
+}  // namespace pas::npb

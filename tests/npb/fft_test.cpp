@@ -1,0 +1,120 @@
+#include "pas/npb/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace pas::npb {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(dist(gen), dist(gen));
+  return v;
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+  EXPECT_THROW(FftPlan(3), std::invalid_argument);
+  EXPECT_THROW(FftPlan(12), std::invalid_argument);
+}
+
+TEST(Fft, LengthOneIsIdentity) {
+  FftPlan plan(1);
+  std::vector<Complex> v{Complex(2.0, -1.0)};
+  plan.forward(v);
+  EXPECT_DOUBLE_EQ(v[0].real(), 2.0);
+  plan.inverse(v);
+  EXPECT_DOUBLE_EQ(v[0].imag(), -1.0);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  FftPlan plan(8);
+  std::vector<Complex> v(8, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  plan.forward(v);
+  for (const Complex& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  constexpr std::size_t n = 64;
+  FftPlan plan(n);
+  std::vector<Complex> v(n);
+  constexpr int k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = 2.0 * std::numbers::pi * k * static_cast<double>(i) / n;
+    v[i] = Complex(std::cos(theta), std::sin(theta));
+  }
+  plan.forward(v);
+  for (std::size_t bin = 0; bin < n; ++bin) {
+    const double mag = std::abs(v[bin]);
+    if (bin == k) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  constexpr std::size_t n = 256;
+  FftPlan plan(n);
+  auto v = random_signal(n, 1);
+  double time_energy = 0.0;
+  for (const Complex& c : v) time_energy += std::norm(c);
+  plan.forward(v);
+  double freq_energy = 0.0;
+  for (const Complex& c : v) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-8 * time_energy * n);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST_P(FftRoundTrip, InverseOfForwardIsIdentity) {
+  const std::size_t n = GetParam();
+  FftPlan plan(n);
+  const auto original = random_signal(n, 42);
+  auto v = original;
+  plan.forward(v);
+  plan.inverse(v);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(v[i] - original[i]), 1e-10);
+}
+
+TEST(Fft, LinearityOfTransform) {
+  constexpr std::size_t n = 128;
+  FftPlan plan(n);
+  auto a = random_signal(n, 2);
+  auto b = random_signal(n, 3);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = a[i] + 2.0 * b[i];
+  plan.forward(a);
+  plan.forward(b);
+  plan.forward(sum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 1e-9);
+}
+
+TEST(Fft, StagesIsLog2) {
+  EXPECT_EQ(FftPlan(1).stages(), 0u);
+  EXPECT_EQ(FftPlan(8).stages(), 3u);
+  EXPECT_EQ(FftPlan(1024).stages(), 10u);
+}
+
+TEST(Fft, WrongLengthThrows) {
+  FftPlan plan(8);
+  std::vector<Complex> v(4);
+  EXPECT_THROW(plan.forward(v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::npb

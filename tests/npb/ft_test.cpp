@@ -1,0 +1,134 @@
+#include "pas/npb/ft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pas/mpi/runtime.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::npb {
+namespace {
+
+FtConfig small_ft() {
+  FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.niter = 2;
+  return cfg;
+}
+
+KernelResult run_ft(int nranks, double f_mhz, const FtConfig& cfg) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  KernelResult result;
+  rt.run(nranks, f_mhz, [&](mpi::Comm& comm) {
+    const KernelResult r = FtKernel(cfg).run(comm);
+    if (comm.rank() == 0) result = r;
+  });
+  return result;
+}
+
+TEST(Ft, RejectsNonPowerOfTwoGrid) {
+  FtConfig cfg;
+  cfg.nx = 12;
+  EXPECT_THROW(FtKernel{cfg}, std::invalid_argument);
+}
+
+TEST(Ft, RejectsRankCountNotDividingGrid) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  FtConfig cfg = small_ft();
+  EXPECT_THROW(rt.run(3, 1000,
+                      [&](mpi::Comm& comm) { (void)FtKernel(cfg).run(comm); }),
+               std::invalid_argument);
+}
+
+TEST(Ft, SequentialRoundTripVerifies) {
+  const KernelResult r = run_ft(1, 600, small_ft());
+  EXPECT_TRUE(r.verified) << r.note;
+  EXPECT_LT(r.value("roundtrip_err"), 1e-9);
+}
+
+class FtRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, FtRanks, ::testing::Values(2, 4, 8, 16));
+
+TEST_P(FtRanks, DistributedRoundTripVerifies) {
+  const KernelResult r = run_ft(GetParam(), 1000, small_ft());
+  EXPECT_TRUE(r.verified) << r.note;
+}
+
+TEST_P(FtRanks, ChecksumsMatchSequential) {
+  const FtConfig cfg = small_ft();
+  const KernelResult seq = run_ft(1, 600, cfg);
+  const KernelResult par = run_ft(GetParam(), 1400, cfg);
+  for (int t = 1; t <= cfg.niter; ++t) {
+    const std::string re = pas::util::strf("checksum_re_%d", t);
+    const std::string im = pas::util::strf("checksum_im_%d", t);
+    EXPECT_NEAR(par.value(re), seq.value(re),
+                1e-8 * std::max(1.0, std::fabs(seq.value(re))));
+    EXPECT_NEAR(par.value(im), seq.value(im),
+                1e-8 * std::max(1.0, std::fabs(seq.value(im))));
+  }
+}
+
+TEST(Ft, ChecksumIndependentOfFrequency) {
+  // DVFS changes time, never results.
+  const FtConfig cfg = small_ft();
+  const KernelResult slow = run_ft(2, 600, cfg);
+  const KernelResult fast = run_ft(2, 1400, cfg);
+  EXPECT_DOUBLE_EQ(slow.value("checksum_re_1"), fast.value("checksum_re_1"));
+}
+
+TEST(Ft, EvolutionSettlesTowardSteadyState) {
+  // Diffusion damps every non-DC mode (the DC mean survives), so the
+  // checksum converges to a limit: successive differences must shrink.
+  FtConfig cfg = small_ft();
+  cfg.alpha = 1e-3;  // strong decay so the trend is unambiguous
+  cfg.niter = 3;
+  const KernelResult r = run_ft(1, 600, cfg);
+  const double d12 =
+      std::hypot(r.value("checksum_re_2") - r.value("checksum_re_1"),
+                 r.value("checksum_im_2") - r.value("checksum_im_1"));
+  const double d23 =
+      std::hypot(r.value("checksum_re_3") - r.value("checksum_re_2"),
+                 r.value("checksum_im_3") - r.value("checksum_im_2"));
+  EXPECT_LT(d23, d12);
+  EXPECT_GT(d12, 0.0);
+}
+
+TEST(Ft, RoundTripCheckCanBeDisabled) {
+  FtConfig cfg = small_ft();
+  cfg.roundtrip_check = false;
+  const KernelResult r = run_ft(1, 600, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.values.count("roundtrip_err"), 0u);
+}
+
+TEST(Ft, HasSignificantOffChipWork) {
+  // FT's defining property versus EP: the slab streams through the
+  // hierarchy, so OFF-chip time must be a visible share.
+  FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 64;  // the paper-scale slab exceeds L2
+  cfg.niter = 1;
+  cfg.roundtrip_check = false;
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(4));
+  const mpi::RunResult run = rt.run(1, 600, [&](mpi::Comm& comm) {
+    (void)FtKernel(cfg).run(comm);
+  });
+  const auto& rank = run.ranks[0];
+  EXPECT_GT(rank.memory_seconds, 0.05 * rank.cpu_seconds);
+}
+
+TEST(Ft, CommunicationGrowsWithRanks) {
+  const FtConfig cfg = small_ft();
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  auto messages_at = [&](int n) {
+    const mpi::RunResult run = rt.run(n, 1000, [&](mpi::Comm& comm) {
+      (void)FtKernel(cfg).run(comm);
+    });
+    return run.fabric_messages;
+  };
+  EXPECT_EQ(messages_at(1), 0u);
+  EXPECT_GT(messages_at(8), messages_at(2));
+}
+
+}  // namespace
+}  // namespace pas::npb

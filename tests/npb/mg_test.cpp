@@ -1,0 +1,109 @@
+#include "pas/npb/mg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pas/mpi/runtime.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::npb {
+namespace {
+
+MgConfig small_mg() {
+  MgConfig cfg;
+  cfg.n = 16;
+  cfg.levels = 3;  // coarsest 4^3
+  cfg.cycles = 2;
+  return cfg;
+}
+
+KernelResult run_mg(int nranks, double f_mhz, const MgConfig& cfg) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  KernelResult result;
+  rt.run(nranks, f_mhz, [&](mpi::Comm& comm) {
+    const KernelResult r = MgKernel(cfg).run(comm);
+    if (comm.rank() == 0) result = r;
+  });
+  return result;
+}
+
+TEST(Mg, RejectsBadConfig) {
+  EXPECT_THROW(MgKernel(MgConfig{.n = 12}), std::invalid_argument);
+  EXPECT_THROW(MgKernel(MgConfig{.n = 8, .levels = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(MgKernel(MgConfig{.n = 16, .cycles = 0}),
+               std::invalid_argument);
+}
+
+TEST(Mg, RejectsRankCountBeyondCoarsestGrid) {
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(16));
+  const MgConfig cfg = small_mg();  // coarsest 4 planes
+  EXPECT_THROW(rt.run(8, 1000,
+                      [&](mpi::Comm& comm) { (void)MgKernel(cfg).run(comm); }),
+               std::invalid_argument);
+}
+
+TEST(Mg, SequentialVCyclesConvergeMonotonically) {
+  const KernelResult r = run_mg(1, 600, small_mg());
+  EXPECT_TRUE(r.verified) << r.note;
+  EXPECT_LT(r.value("residual_2"), 0.5 * r.value("residual_0"));
+}
+
+TEST(Mg, MoreLevelsConvergeFaster) {
+  // Equal smoothing budget per cycle: the coarse grids must earn their
+  // keep against pure fine-grid smoothing.
+  MgConfig shallow = small_mg();
+  shallow.levels = 1;
+  shallow.coarse_smooth = 4;
+  MgConfig deep = small_mg();
+  deep.coarse_smooth = 4;
+  const KernelResult s = run_mg(1, 600, shallow);
+  const KernelResult d = run_mg(1, 600, deep);
+  EXPECT_LT(d.value("residual_2"), s.value("residual_2"));
+}
+
+class MgRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, MgRanks, ::testing::Values(2, 4));
+
+TEST_P(MgRanks, ParallelConverges) {
+  const KernelResult r = run_mg(GetParam(), 1000, small_mg());
+  EXPECT_TRUE(r.verified) << r.note;
+}
+
+TEST_P(MgRanks, ResidualsMatchSequential) {
+  // Jacobi smoothing is sweep-order independent, so the V-cycle
+  // arithmetic is rank-invariant up to allreduce rounding.
+  const MgConfig cfg = small_mg();
+  const KernelResult seq = run_mg(1, 600, cfg);
+  const KernelResult par = run_mg(GetParam(), 1400, cfg);
+  for (int c = 0; c <= cfg.cycles; ++c) {
+    const std::string key = pas::util::strf("residual_%d", c);
+    EXPECT_NEAR(par.value(key), seq.value(key),
+                1e-9 * std::max(1.0, seq.value(key)))
+        << key;
+  }
+}
+
+TEST(Mg, MessageSizesQuarterPerLevel) {
+  // MG's defining communication signature: halo planes of (n/2^l)^2
+  // doubles. With 2 ranks the distinct payloads are n^2, (n/2)^2, ...
+  const MgConfig cfg = small_mg();
+  mpi::Runtime rt(sim::ClusterConfig::paper_testbed(2));
+  const mpi::RunResult run = rt.run(2, 1000, [&](mpi::Comm& comm) {
+    (void)MgKernel(cfg).run(comm);
+  });
+  // Mean payload must sit strictly between the coarsest (16 doubles)
+  // and finest (256 doubles) plane sizes.
+  const double mean = run.ranks[0].comm.avg_doubles_per_message();
+  EXPECT_GT(mean, 16.0);
+  EXPECT_LT(mean, 256.0);
+}
+
+TEST(Mg, ResidualIndependentOfFrequency) {
+  const MgConfig cfg = small_mg();
+  const KernelResult slow = run_mg(2, 600, cfg);
+  const KernelResult fast = run_mg(2, 1400, cfg);
+  EXPECT_DOUBLE_EQ(slow.value("residual_1"), fast.value("residual_1"));
+}
+
+}  // namespace
+}  // namespace pas::npb

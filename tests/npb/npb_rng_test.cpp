@@ -1,0 +1,71 @@
+#include "pas/npb/npb_rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::npb {
+namespace {
+
+TEST(NpbRng, Deterministic) {
+  NpbRng a;
+  NpbRng b;
+  for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(NpbRng, ValuesInOpenUnitInterval) {
+  NpbRng rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(NpbRng, SkipMatchesSequentialAdvance) {
+  for (std::uint64_t n : {0ULL, 1ULL, 2ULL, 7ULL, 100ULL, 12345ULL}) {
+    NpbRng sequential;
+    for (std::uint64_t i = 0; i < n; ++i) sequential.next();
+    NpbRng skipped = NpbRng::at(271828183ULL, n);
+    EXPECT_EQ(sequential.state(), skipped.state()) << "n=" << n;
+    EXPECT_DOUBLE_EQ(sequential.next(), skipped.next());
+  }
+}
+
+TEST(NpbRng, SkipIsAdditive) {
+  NpbRng a = NpbRng::at(271828183ULL, 1000);
+  a.skip(500);
+  const NpbRng b = NpbRng::at(271828183ULL, 1500);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(NpbRng, LargeSkipDoesNotOverflow) {
+  NpbRng rng = NpbRng::at(271828183ULL, 1ULL << 45);
+  EXPECT_LE(rng.state(), NpbRng::kModMask);
+  const double x = rng.next();
+  EXPECT_GT(x, 0.0);
+  EXPECT_LT(x, 1.0);
+}
+
+TEST(NpbRng, MeanNearHalf) {
+  NpbRng rng;
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(NpbRng, PartitionedStreamsTileTheGlobalStream) {
+  // Four ranks covering 4000 samples must see exactly the sequential
+  // stream — EP's correctness hinges on this.
+  NpbRng global;
+  std::vector<double> expected;
+  for (int i = 0; i < 4000; ++i) expected.push_back(global.next());
+  std::size_t idx = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    NpbRng local = NpbRng::at(271828183ULL, rank * 1000ULL);
+    for (int i = 0; i < 1000; ++i)
+      EXPECT_DOUBLE_EQ(local.next(), expected[idx++]);
+  }
+}
+
+}  // namespace
+}  // namespace pas::npb

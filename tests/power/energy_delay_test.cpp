@@ -1,0 +1,51 @@
+#include "pas/power/energy_delay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::power {
+namespace {
+
+std::vector<MetricPoint> sample_points() {
+  return {
+      {.nodes = 1, .frequency_mhz = 600, .time_s = 10.0, .energy_j = 100.0},
+      {.nodes = 16, .frequency_mhz = 1400, .time_s = 1.0, .energy_j = 400.0},
+      {.nodes = 4, .frequency_mhz = 1000, .time_s = 3.0, .energy_j = 120.0},
+  };
+}
+
+TEST(EnergyDelay, Metrics) {
+  const MetricPoint p{.nodes = 2, .frequency_mhz = 800, .time_s = 2.0,
+                      .energy_j = 50.0};
+  EXPECT_DOUBLE_EQ(p.edp(), 100.0);
+  EXPECT_DOUBLE_EQ(p.ed2p(), 200.0);
+}
+
+TEST(EnergyDelay, BestUnderEachObjective) {
+  const auto pts = sample_points();
+  EXPECT_EQ(best(pts, Objective::kDelay).nodes, 16);
+  EXPECT_EQ(best(pts, Objective::kEnergy).nodes, 1);
+  // EDP: 1000 vs 400 vs 360 -> N=4 wins.
+  EXPECT_EQ(best(pts, Objective::kEnergyDelay).nodes, 4);
+  // ED2P: 10000 vs 400 vs 1080 -> N=16 wins.
+  EXPECT_EQ(best(pts, Objective::kEnergyDelaySquared).nodes, 16);
+}
+
+TEST(EnergyDelay, RankedAscending) {
+  const auto ranked_pts = ranked(sample_points(), Objective::kEnergyDelay);
+  ASSERT_EQ(ranked_pts.size(), 3u);
+  EXPECT_LE(ranked_pts[0].edp(), ranked_pts[1].edp());
+  EXPECT_LE(ranked_pts[1].edp(), ranked_pts[2].edp());
+}
+
+TEST(EnergyDelay, EmptySetThrows) {
+  EXPECT_THROW(best({}, Objective::kDelay), std::invalid_argument);
+}
+
+TEST(EnergyDelay, ObjectiveNames) {
+  EXPECT_STREQ(objective_name(Objective::kDelay), "delay");
+  EXPECT_STREQ(objective_name(Objective::kEnergyDelay),
+               "energy-delay (EDP)");
+}
+
+}  // namespace
+}  // namespace pas::power

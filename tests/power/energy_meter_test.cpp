@@ -1,0 +1,110 @@
+#include "pas/power/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::power {
+namespace {
+
+sim::OperatingPoint top() {
+  return sim::OperatingPointTable::pentium_m_1400().highest();
+}
+
+TEST(EnergyMeter, PureComputeEnergy) {
+  const EnergyMeter meter;
+  const ActivityProfile profile{.cpu_s = 2.0};
+  const EnergyBreakdown e = meter.measure_node(profile, top(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      e.cpu_j, 2.0 * meter.model().node_power_w(sim::Activity::kCpu, top()));
+  EXPECT_DOUBLE_EQ(e.memory_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.idle_j, 0.0);
+}
+
+TEST(EnergyMeter, PadsIdleToMakespan) {
+  const EnergyMeter meter;
+  const ActivityProfile profile{.cpu_s = 1.0};
+  const EnergyBreakdown e = meter.measure_node(profile, top(), 3.0);
+  const double idle_w = meter.model().node_power_w(sim::Activity::kIdle, top());
+  EXPECT_NEAR(e.idle_j, 2.0 * idle_w, 1e-9);
+}
+
+TEST(EnergyMeter, ClusterSumsNodes) {
+  const EnergyMeter meter;
+  const std::vector<ActivityProfile> profiles{{.cpu_s = 1.0},
+                                              {.cpu_s = 1.0}};
+  const EnergyBreakdown one = meter.measure_node(profiles[0], top(), 1.0);
+  const EnergyBreakdown both = meter.measure(profiles, top(), 1.0);
+  EXPECT_NEAR(both.total_j(), 2.0 * one.total_j(), 1e-9);
+}
+
+TEST(EnergyMeter, LowerFrequencyBurnsLessForSameTime) {
+  const EnergyMeter meter;
+  const auto table = sim::OperatingPointTable::pentium_m_1400();
+  const ActivityProfile profile{.cpu_s = 5.0};
+  const double e600 =
+      meter.measure_node(profile, table.at_mhz(600), 5.0).total_j();
+  const double e1400 =
+      meter.measure_node(profile, table.at_mhz(1400), 5.0).total_j();
+  EXPECT_LT(e600, e1400);
+}
+
+TEST(EnergyMeter, SlicesReduceToSinglePointMeasurement) {
+  const EnergyMeter meter;
+  const auto table = sim::OperatingPointTable::pentium_m_1400();
+  const ActivityProfile profile{.cpu_s = 1.0, .network_s = 0.5};
+  const std::vector<FrequencySlice> slices{{1400.0, profile}};
+  const EnergyBreakdown a =
+      meter.measure_node_slices(slices, table, 2.0, 1400.0);
+  const EnergyBreakdown b = meter.measure_node(profile, top(), 2.0);
+  EXPECT_NEAR(a.total_j(), b.total_j(), 1e-9);
+}
+
+TEST(EnergyMeter, MultiPointSlicesBillEachAtItsOwnPower) {
+  const EnergyMeter meter;
+  const auto table = sim::OperatingPointTable::pentium_m_1400();
+  const std::vector<FrequencySlice> slices{
+      {1400.0, ActivityProfile{.cpu_s = 1.0}},
+      {600.0, ActivityProfile{.network_s = 1.0}},
+  };
+  const EnergyBreakdown e =
+      meter.measure_node_slices(slices, table, 2.0, 1400.0);
+  EXPECT_DOUBLE_EQ(
+      e.cpu_j, meter.model().node_power_w(sim::Activity::kCpu,
+                                          table.at_mhz(1400)));
+  EXPECT_DOUBLE_EQ(
+      e.network_j, meter.model().node_power_w(sim::Activity::kNetwork,
+                                              table.at_mhz(600)));
+  EXPECT_DOUBLE_EQ(e.idle_j, 0.0);  // fully covered
+}
+
+TEST(EnergyMeter, SlicesPadIdleAtNominalPoint) {
+  const EnergyMeter meter;
+  const auto table = sim::OperatingPointTable::pentium_m_1400();
+  const std::vector<FrequencySlice> slices{
+      {600.0, ActivityProfile{.cpu_s = 1.0}}};
+  const EnergyBreakdown e =
+      meter.measure_node_slices(slices, table, 3.0, 1200.0);
+  EXPECT_NEAR(e.idle_j,
+              2.0 * meter.model().node_power_w(sim::Activity::kIdle,
+                                               table.at_mhz(1200)),
+              1e-9);
+}
+
+TEST(EnergyMeter, SlicesUnknownPointThrows) {
+  const EnergyMeter meter;
+  const auto table = sim::OperatingPointTable::pentium_m_1400();
+  const std::vector<FrequencySlice> slices{
+      {700.0, ActivityProfile{.cpu_s = 1.0}}};
+  EXPECT_THROW(meter.measure_node_slices(slices, table, 1.0, 600.0),
+               std::out_of_range);
+}
+
+TEST(EnergyBreakdown, Accumulate) {
+  EnergyBreakdown a{.cpu_j = 1, .memory_j = 2, .network_j = 3, .idle_j = 4};
+  const EnergyBreakdown b{.cpu_j = 1, .memory_j = 1, .network_j = 1,
+                          .idle_j = 1};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total_j(), 14.0);
+}
+
+}  // namespace
+}  // namespace pas::power

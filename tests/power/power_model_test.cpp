@@ -1,0 +1,64 @@
+#include "pas/power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::power {
+namespace {
+
+sim::OperatingPointTable points() {
+  return sim::OperatingPointTable::pentium_m_1400();
+}
+
+TEST(PowerModel, CpuPowerIncreasesWithOperatingPoint) {
+  const PowerModel model;
+  const auto t = points();
+  double prev = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double p = model.cpu_power_w(t[i]);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, TopPointNearTdpClass) {
+  // Calibration: ~21 W dynamic + leakage at 1.4 GHz / 1.484 V.
+  const PowerModel model;
+  const double p = model.cpu_power_w(points().highest());
+  EXPECT_GT(p, 15.0);
+  EXPECT_LT(p, 30.0);
+}
+
+TEST(PowerModel, SuperlinearInFrequencyBecauseVoltageScales) {
+  // P(f2)/P(f1) > f2/f1 when voltage rises with frequency — the whole
+  // premise of DVFS energy savings.
+  const PowerModel model;
+  const auto t = points();
+  const double p600 = model.cpu_power_w(t.at_mhz(600));
+  const double p1400 = model.cpu_power_w(t.at_mhz(1400));
+  EXPECT_GT(p1400 / p600, 1400.0 / 600.0);
+}
+
+TEST(PowerModel, ActivityOrdering) {
+  const PowerModel model;
+  const auto p = points().at_mhz(1400);
+  const double cpu = model.node_power_w(sim::Activity::kCpu, p);
+  const double mem = model.node_power_w(sim::Activity::kMemory, p);
+  const double net = model.node_power_w(sim::Activity::kNetwork, p);
+  const double idle = model.node_power_w(sim::Activity::kIdle, p);
+  EXPECT_GT(cpu, mem);
+  EXPECT_GT(mem, idle);
+  EXPECT_GT(net, idle);
+  EXPECT_GT(idle, 0.0);
+}
+
+TEST(PowerModel, IdlePowerStillDependsOnVoltage) {
+  const PowerModel model;
+  const double idle_low =
+      model.node_power_w(sim::Activity::kIdle, points().at_mhz(600));
+  const double idle_high =
+      model.node_power_w(sim::Activity::kIdle, points().at_mhz(1400));
+  EXPECT_LT(idle_low, idle_high);
+}
+
+}  // namespace
+}  // namespace pas::power

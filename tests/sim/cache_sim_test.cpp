@@ -1,0 +1,110 @@
+#include "pas/sim/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::sim {
+namespace {
+
+CacheConfig small_cache() {
+  return CacheConfig{.capacity_bytes = 1024,
+                     .line_bytes = 64,
+                     .associativity = 2,
+                     .access_cycles = 1.0};
+}
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache c(small_cache());
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.accesses(), 4u);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(SetAssocCache, ContainsDoesNotMutate) {
+  SetAssocCache c(small_cache());
+  EXPECT_FALSE(c.contains(0));
+  c.access(0);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  // 2-way, 8 sets: three lines mapping to the same set evict the LRU.
+  SetAssocCache c(small_cache());
+  const std::uint64_t set_stride = 1024 / 2;  // line 0, 8, 16 share set 0
+  c.access(0);
+  c.access(set_stride);
+  c.access(0);               // 0 is now MRU
+  c.access(2 * set_stride);  // evicts set_stride
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(set_stride));
+  EXPECT_TRUE(c.contains(2 * set_stride));
+}
+
+TEST(SetAssocCache, WorkingSetWithinCapacityAllHits) {
+  SetAssocCache c(small_cache());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 1024; a += 64) c.access(a);
+  }
+  // First pass cold misses; then everything fits.
+  EXPECT_EQ(c.misses(), 16u);
+  EXPECT_EQ(c.hits(), 32u);
+}
+
+TEST(SetAssocCache, Flush) {
+  SetAssocCache c(small_cache());
+  c.access(0);
+  c.flush();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(SetAssocCache, DegenerateConfigThrows) {
+  EXPECT_THROW(SetAssocCache(CacheConfig{.capacity_bytes = 0}),
+               std::invalid_argument);
+}
+
+TEST(CacheHierarchySim, LevelsClassifyByResidence) {
+  CacheHierarchySim h(MemoryHierarchyConfig::pentium_m());
+  EXPECT_EQ(h.access(0), MemoryLevel::kMemory);  // cold
+  EXPECT_EQ(h.access(0), MemoryLevel::kL1);      // now resident
+}
+
+TEST(CacheHierarchySim, L2ServesL1Evictions) {
+  CacheHierarchySim h(MemoryHierarchyConfig::pentium_m());
+  // Touch 64 KB (2x L1) once to fill, then re-walk: the re-walk should
+  // be served overwhelmingly by L2 (evicted from L1, resident in L2).
+  const std::uint64_t span = 64 * 1024;
+  for (std::uint64_t a = 0; a < span; a += 64) h.access(a);
+  const std::uint64_t l2_before = h.served_by(MemoryLevel::kL2);
+  const std::uint64_t mem_before = h.served_by(MemoryLevel::kMemory);
+  for (std::uint64_t a = 0; a < span; a += 64) h.access(a);
+  EXPECT_EQ(h.served_by(MemoryLevel::kMemory), mem_before);
+  EXPECT_GT(h.served_by(MemoryLevel::kL2) - l2_before, span / 64 / 2);
+}
+
+TEST(CacheHierarchySim, ObservedMixSumsToOne) {
+  CacheHierarchySim h(MemoryHierarchyConfig::pentium_m());
+  for (std::uint64_t a = 0; a < 256 * 1024; a += 64) h.access(a);
+  const LevelMix mix = h.observed_mix();
+  EXPECT_NEAR(mix.l1 + mix.l2 + mix.memory, 1.0, 1e-12);
+}
+
+TEST(CacheHierarchySim, SecondPassOverL2SizedSetHitsL2) {
+  CacheHierarchySim h(MemoryHierarchyConfig::pentium_m());
+  const std::uint64_t span = 512 * 1024;  // fits L2, not L1
+  for (std::uint64_t a = 0; a < span; a += 64) h.access(a);
+  h.flush();
+  // Warm both caches then measure the steady state.
+  for (std::uint64_t a = 0; a < span; a += 64) h.access(a);
+  const std::uint64_t l2_before = h.served_by(MemoryLevel::kL2);
+  for (std::uint64_t a = 0; a < span; a += 64) h.access(a);
+  const std::uint64_t l2_gain = h.served_by(MemoryLevel::kL2) - l2_before;
+  EXPECT_GT(l2_gain, span / 64 * 9 / 10);  // >90 % L2 hits
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,47 @@
+#include "pas/sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::sim {
+namespace {
+
+TEST(Cluster, PaperTestbedDefaults) {
+  const ClusterConfig cfg = ClusterConfig::paper_testbed();
+  EXPECT_EQ(cfg.num_nodes, 16);
+  EXPECT_EQ(cfg.operating_points.size(), 5u);
+}
+
+TEST(Cluster, NodesAreIndependent) {
+  Cluster cluster(ClusterConfig::paper_testbed(4));
+  cluster.node(0).clock.advance(1.0, Activity::kCpu);
+  EXPECT_DOUBLE_EQ(cluster.node(0).clock.now(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.node(1).clock.now(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.makespan(), 1.0);
+}
+
+TEST(Cluster, SetFrequencyAppliesToAllNodes) {
+  Cluster cluster(ClusterConfig::paper_testbed(3));
+  cluster.set_frequency_mhz(800);
+  EXPECT_DOUBLE_EQ(cluster.frequency_mhz(), 800.0);
+  for (int i = 0; i < cluster.size(); ++i)
+    EXPECT_DOUBLE_EQ(cluster.node(i).cpu.current().frequency_mhz(), 800.0);
+}
+
+TEST(Cluster, ResetClearsEverything) {
+  Cluster cluster(ClusterConfig::paper_testbed(2));
+  cluster.node(1).clock.advance(2.0, Activity::kMemory);
+  cluster.node(1).executed.mem_ops = 5.0;
+  cluster.fabric().transfer(0, 1, 100, 0.0);
+  cluster.reset();
+  EXPECT_DOUBLE_EQ(cluster.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.node(1).executed.mem_ops, 0.0);
+  EXPECT_EQ(cluster.fabric().total_messages(), 0u);
+}
+
+TEST(Cluster, ZeroNodesThrows) {
+  EXPECT_THROW(Cluster(ClusterConfig::paper_testbed(0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::sim

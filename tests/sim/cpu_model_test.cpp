@@ -1,0 +1,103 @@
+#include "pas/sim/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::sim {
+namespace {
+
+TEST(InstructionMix, Arithmetic) {
+  InstructionMix a{.reg_ops = 1, .l1_ops = 2, .l2_ops = 3, .mem_ops = 4};
+  InstructionMix b{.reg_ops = 1, .l1_ops = 1, .l2_ops = 1, .mem_ops = 1};
+  const InstructionMix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.total(), 14.0);
+  EXPECT_DOUBLE_EQ(sum.on_chip(), 9.0);
+  const InstructionMix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.mem_ops, 8.0);
+}
+
+TEST(InstructionMix, FromLevelMix) {
+  const LevelMix lm{.l1 = 0.5, .l2 = 0.25, .memory = 0.25};
+  const InstructionMix m = InstructionMix::from_level_mix(100.0, lm, 10.0);
+  EXPECT_DOUBLE_EQ(m.reg_ops, 10.0);
+  EXPECT_DOUBLE_EQ(m.l1_ops, 50.0);
+  EXPECT_DOUBLE_EQ(m.l2_ops, 25.0);
+  EXPECT_DOUBLE_EQ(m.mem_ops, 25.0);
+}
+
+TEST(CpuModel, DefaultsToHighestPoint) {
+  const CpuModel cpu = CpuModel::pentium_m();
+  EXPECT_DOUBLE_EQ(cpu.current().frequency_mhz(), 1400.0);
+}
+
+TEST(CpuModel, SetFrequency) {
+  CpuModel cpu = CpuModel::pentium_m();
+  cpu.set_frequency_mhz(600);
+  EXPECT_DOUBLE_EQ(cpu.frequency_hz(), 600e6);
+  EXPECT_THROW(cpu.set_frequency_mhz(700), std::out_of_range);
+}
+
+TEST(CpuModel, OnChipTimeScalesInverselyWithFrequency) {
+  CpuModel cpu = CpuModel::pentium_m();
+  const InstructionMix mix{.reg_ops = 1e6, .l1_ops = 1e6};
+  cpu.set_frequency_mhz(600);
+  const double t600 = cpu.time_for(mix);
+  cpu.set_frequency_mhz(1200);
+  const double t1200 = cpu.time_for(mix);
+  EXPECT_NEAR(t600 / t1200, 2.0, 1e-9);
+}
+
+TEST(CpuModel, OffChipTimeIndependentOfFrequencyAboveThreshold) {
+  CpuModel cpu = CpuModel::pentium_m();
+  const InstructionMix mix{.mem_ops = 1e6};
+  cpu.set_frequency_mhz(1000);
+  const double a = cpu.time_for(mix);
+  cpu.set_frequency_mhz(1400);
+  const double b = cpu.time_for(mix);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CpuModel, BusSlowdownAtLowFrequency) {
+  CpuModel cpu = CpuModel::pentium_m();
+  const InstructionMix mix{.mem_ops = 1e6};
+  cpu.set_frequency_mhz(600);
+  const double slow = cpu.time_for(mix);
+  cpu.set_frequency_mhz(1400);
+  const double fast = cpu.time_for(mix);
+  EXPECT_GT(slow, fast);
+  EXPECT_NEAR(slow / fast, 140.0 / 110.0, 1e-9);
+}
+
+TEST(CpuModel, TimeSplitAddsUp) {
+  CpuModel cpu = CpuModel::pentium_m();
+  const InstructionMix mix{
+      .reg_ops = 1e5, .l1_ops = 2e5, .l2_ops = 3e4, .mem_ops = 1e4};
+  const auto split = cpu.time_split(mix);
+  EXPECT_GT(split.on_chip_s, 0.0);
+  EXPECT_GT(split.off_chip_s, 0.0);
+  EXPECT_DOUBLE_EQ(split.total(), cpu.time_for(mix));
+}
+
+TEST(CpuModel, WeightedCpiNearPaperValue) {
+  // The paper's LU ON-chip distribution (44.66 % reg, 53.89 % L1,
+  // 1.45 % L2) should give a weighted CPI_ON near Table 6's 2.19.
+  const CpuModel cpu = CpuModel::pentium_m();
+  const InstructionMix mix{
+      .reg_ops = 0.4466, .l1_ops = 0.5389, .l2_ops = 0.0145};
+  EXPECT_NEAR(cpu.cpi_on(mix), 2.19, 0.25);
+}
+
+TEST(CpuModel, CpiOnEmptyMixIsZero) {
+  const CpuModel cpu = CpuModel::pentium_m();
+  EXPECT_EQ(cpu.cpi_on(InstructionMix{}), 0.0);
+}
+
+TEST(CpuModel, SecondsPerMemOpTracksBus) {
+  CpuModel cpu = CpuModel::pentium_m();
+  cpu.set_frequency_mhz(600);
+  EXPECT_DOUBLE_EQ(cpu.seconds_per_mem_op(), 140e-9);
+  cpu.set_frequency_mhz(1200);
+  EXPECT_DOUBLE_EQ(cpu.seconds_per_mem_op(), 110e-9);
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,102 @@
+#include "pas/sim/memory_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::sim {
+namespace {
+
+TEST(MemoryHierarchy, PentiumMGeometry) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  EXPECT_EQ(cfg.l1.capacity_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.l2.capacity_bytes, 1024u * 1024);
+  EXPECT_EQ(cfg.l1.num_sets(), 32u * 1024 / (64 * 8));
+}
+
+TEST(MemoryHierarchy, BusSlowdownStep) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  // Table 6: ~140 ns per OFF-chip op at 600/800 MHz, ~110 ns above.
+  EXPECT_DOUBLE_EQ(cfg.dram_latency(600e6), 140e-9);
+  EXPECT_DOUBLE_EQ(cfg.dram_latency(800e6), 140e-9);
+  EXPECT_DOUBLE_EQ(cfg.dram_latency(1000e6), 110e-9);
+  EXPECT_DOUBLE_EQ(cfg.dram_latency(1400e6), 110e-9);
+}
+
+TEST(MemoryHierarchy, BusSlowdownCanBeDisabled) {
+  MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  cfg.bus_slowdown_at_low_freq = false;
+  EXPECT_DOUBLE_EQ(cfg.dram_latency(600e6), cfg.dram_latency(1400e6));
+}
+
+TEST(Classify, TinyWorkingSetStaysInL1) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  const LevelMix mix =
+      classify(cfg, {.working_set_bytes = 4096, .stride_bytes = 8,
+                     .temporal_reuse = 1.0});
+  EXPECT_NEAR(mix.l1, 1.0, 1e-12);
+  EXPECT_NEAR(mix.memory, 0.0, 1e-12);
+}
+
+TEST(Classify, HugeStreamingSetHitsMemory) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  const LevelMix mix = classify(
+      cfg, {.working_set_bytes = 64u * 1024 * 1024, .stride_bytes = 64,
+            .temporal_reuse = 1.0});
+  EXPECT_GT(mix.memory, 0.5);
+}
+
+TEST(Classify, MixSumsToOne) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  for (std::size_t ws : {1024u, 65536u, 1u << 20, 1u << 24}) {
+    for (std::size_t stride : {8u, 64u, 4096u}) {
+      const LevelMix mix = classify(
+          cfg, {.working_set_bytes = ws, .stride_bytes = stride,
+                .temporal_reuse = 2.0});
+      EXPECT_NEAR(mix.l1 + mix.l2 + mix.memory, 1.0, 1e-12);
+      EXPECT_GE(mix.l1, 0.0);
+      EXPECT_GE(mix.l2, 0.0);
+      EXPECT_GE(mix.memory, 0.0);
+    }
+  }
+}
+
+TEST(Classify, MonotoneInWorkingSet) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  double prev_mem = -1.0;
+  for (std::size_t ws = 16 * 1024; ws <= 64u * 1024 * 1024; ws *= 4) {
+    const LevelMix mix = classify(
+        cfg, {.working_set_bytes = ws, .stride_bytes = 8,
+              .temporal_reuse = 1.0});
+    EXPECT_GE(mix.memory, prev_mem);
+    prev_mem = mix.memory;
+  }
+}
+
+TEST(Classify, SpatialLocalityReducesMisses) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  const AccessPattern unit{.working_set_bytes = 16u << 20,
+                           .stride_bytes = 8,
+                           .temporal_reuse = 1.0};
+  const AccessPattern line{.working_set_bytes = 16u << 20,
+                           .stride_bytes = 64,
+                           .temporal_reuse = 1.0};
+  EXPECT_LT(classify(cfg, unit).memory, classify(cfg, line).memory);
+}
+
+TEST(Classify, TemporalReuseReducesMisses) {
+  const MemoryHierarchyConfig cfg = MemoryHierarchyConfig::pentium_m();
+  const AccessPattern once{.working_set_bytes = 16u << 20,
+                           .stride_bytes = 64,
+                           .temporal_reuse = 1.0};
+  const AccessPattern hot{.working_set_bytes = 16u << 20,
+                          .stride_bytes = 64,
+                          .temporal_reuse = 8.0};
+  EXPECT_GT(classify(cfg, once).memory, classify(cfg, hot).memory);
+}
+
+TEST(MemoryLevel, Names) {
+  EXPECT_STREQ(memory_level_name(MemoryLevel::kRegister), "CPU/Register");
+  EXPECT_STREQ(memory_level_name(MemoryLevel::kMemory), "Main Memory");
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,63 @@
+#include "pas/sim/operating_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pas::sim {
+namespace {
+
+TEST(OperatingPoint, PentiumMTableMatchesPaperTable2) {
+  const OperatingPointTable t = OperatingPointTable::pentium_m_1400();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.lowest().frequency_mhz(), 600.0);
+  EXPECT_DOUBLE_EQ(t.lowest().voltage_v, 0.956);
+  EXPECT_DOUBLE_EQ(t.highest().frequency_mhz(), 1400.0);
+  EXPECT_DOUBLE_EQ(t.highest().voltage_v, 1.484);
+  EXPECT_DOUBLE_EQ(t.at_mhz(1000).voltage_v, 1.308);
+  EXPECT_DOUBLE_EQ(t.at_mhz(800).voltage_v, 1.180);
+  EXPECT_DOUBLE_EQ(t.at_mhz(1200).voltage_v, 1.436);
+}
+
+TEST(OperatingPoint, VoltageMonotoneWithFrequency) {
+  const OperatingPointTable t = OperatingPointTable::pentium_m_1400();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i].frequency_hz, t[i - 1].frequency_hz);
+    EXPECT_GT(t[i].voltage_v, t[i - 1].voltage_v);
+  }
+}
+
+TEST(OperatingPoint, FrequenciesMhz) {
+  const auto freqs = OperatingPointTable::pentium_m_1400().frequencies_mhz();
+  const std::vector<double> expected{600, 800, 1000, 1200, 1400};
+  EXPECT_EQ(freqs, expected);
+}
+
+TEST(OperatingPoint, LookupMissingThrows) {
+  const OperatingPointTable t = OperatingPointTable::pentium_m_1400();
+  EXPECT_FALSE(t.has_mhz(900));
+  EXPECT_TRUE(t.has_mhz(1400));
+  EXPECT_THROW(t.at_mhz(900), std::out_of_range);
+}
+
+TEST(OperatingPoint, EmptyTableThrows) {
+  const OperatingPointTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.lowest(), std::out_of_range);
+  EXPECT_THROW(t.highest(), std::out_of_range);
+}
+
+TEST(OperatingPoint, ConstructorSortsByFrequency) {
+  OperatingPointTable t({{1400e6, 1.5}, {600e6, 0.9}});
+  EXPECT_DOUBLE_EQ(t.lowest().frequency_mhz(), 600.0);
+}
+
+TEST(OperatingPoint, ToStringMentionsEveryPoint) {
+  const std::string s = OperatingPointTable::pentium_m_1400().to_string();
+  EXPECT_NE(s.find("600 MHz"), std::string::npos);
+  EXPECT_NE(s.find("1400 MHz"), std::string::npos);
+  EXPECT_NE(s.find("0.956"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,69 @@
+#include "pas/sim/virtual_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0.0);
+  EXPECT_EQ(c.busy_seconds(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulatesByActivity) {
+  VirtualClock c;
+  c.advance(1.0, Activity::kCpu);
+  c.advance(0.5, Activity::kMemory);
+  c.advance(0.25, Activity::kNetwork);
+  EXPECT_DOUBLE_EQ(c.now(), 1.75);
+  EXPECT_DOUBLE_EQ(c.seconds_in(Activity::kCpu), 1.0);
+  EXPECT_DOUBLE_EQ(c.seconds_in(Activity::kMemory), 0.5);
+  EXPECT_DOUBLE_EQ(c.seconds_in(Activity::kNetwork), 0.25);
+  EXPECT_DOUBLE_EQ(c.busy_seconds(), 1.5);
+}
+
+TEST(VirtualClock, AdvanceZeroIsNoop) {
+  VirtualClock c;
+  c.advance(0.0, Activity::kCpu);
+  EXPECT_EQ(c.now(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceToForward) {
+  VirtualClock c;
+  c.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_DOUBLE_EQ(c.seconds_in(Activity::kIdle), 2.0);
+}
+
+TEST(VirtualClock, AdvanceToPastIsNoop) {
+  VirtualClock c;
+  c.advance(3.0, Activity::kCpu);
+  c.advance_to(1.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+  EXPECT_DOUBLE_EQ(c.seconds_in(Activity::kIdle), 0.0);
+}
+
+TEST(VirtualClock, AdvanceToWithActivity) {
+  VirtualClock c;
+  c.advance_to(1.5, Activity::kNetwork);
+  EXPECT_DOUBLE_EQ(c.seconds_in(Activity::kNetwork), 1.5);
+}
+
+TEST(VirtualClock, Reset) {
+  VirtualClock c;
+  c.advance(1.0, Activity::kCpu);
+  c.reset();
+  EXPECT_EQ(c.now(), 0.0);
+  EXPECT_EQ(c.seconds_in(Activity::kCpu), 0.0);
+}
+
+TEST(VirtualClock, ActivityNames) {
+  EXPECT_STREQ(activity_name(Activity::kCpu), "cpu");
+  EXPECT_STREQ(activity_name(Activity::kMemory), "memory");
+  EXPECT_STREQ(activity_name(Activity::kNetwork), "network");
+  EXPECT_STREQ(activity_name(Activity::kIdle), "idle");
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,72 @@
+#include "pas/tools/membench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::tools {
+namespace {
+
+MemBench bench() { return MemBench(sim::CpuModel::pentium_m()); }
+
+TEST(MemBench, ProbeLatenciesOrderedByLevel) {
+  MemBench mb = bench();
+  const LevelTimes t = mb.probe(1400);
+  EXPECT_LT(t.reg_s, t.l1_s);
+  EXPECT_LT(t.l1_s, t.l2_s);
+  EXPECT_LT(t.l2_s, t.mem_s);
+}
+
+TEST(MemBench, OnChipLatenciesScaleWithFrequency) {
+  MemBench mb = bench();
+  const LevelTimes slow = mb.probe(600);
+  const LevelTimes fast = mb.probe(1200);
+  EXPECT_NEAR(slow.reg_s / fast.reg_s, 2.0, 1e-6);
+  EXPECT_NEAR(slow.l1_s / fast.l1_s, 2.0, 0.05);
+  EXPECT_NEAR(slow.l2_s / fast.l2_s, 2.0, 0.05);
+}
+
+TEST(MemBench, MemoryLatencyNearlyFrequencyIndependent) {
+  // Table 6: OFF-chip seconds-per-op do not track the CPU clock (modulo
+  // the small bus-slowdown step below 900 MHz).
+  MemBench mb = bench();
+  const LevelTimes f1000 = mb.probe(1000);
+  const LevelTimes f1400 = mb.probe(1400);
+  EXPECT_NEAR(f1000.mem_s / f1400.mem_s, 1.0, 0.1);
+}
+
+TEST(MemBench, BusSlowdownVisibleAtLowFrequency) {
+  MemBench mb = bench();
+  const LevelTimes f600 = mb.probe(600);
+  const LevelTimes f1400 = mb.probe(1400);
+  EXPECT_GT(f600.mem_s, 1.15 * f1400.mem_s);
+}
+
+TEST(MemBench, LatencyCurveIsMonotoneAcrossLevels) {
+  MemBench mb = bench();
+  const std::vector<std::size_t> sizes{8 << 10, 16 << 10, 128 << 10,
+                                       512 << 10, 4 << 20, 16 << 20};
+  const auto curve = mb.latency_curve(1400, sizes);
+  ASSERT_EQ(curve.size(), sizes.size());
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].seconds, curve[i - 1].seconds * 0.99);
+  EXPECT_GT(curve.back().seconds, 3.0 * curve.front().seconds);
+}
+
+TEST(MemBench, LevelTimesAccessor) {
+  LevelTimes t;
+  t.reg_s = 1;
+  t.l1_s = 2;
+  t.l2_s = 3;
+  t.mem_s = 4;
+  EXPECT_EQ(t.at(sim::MemoryLevel::kRegister), 1.0);
+  EXPECT_EQ(t.at(sim::MemoryLevel::kL1), 2.0);
+  EXPECT_EQ(t.at(sim::MemoryLevel::kL2), 3.0);
+  EXPECT_EQ(t.at(sim::MemoryLevel::kMemory), 4.0);
+}
+
+TEST(MemBench, EmptyBufferThrows) {
+  MemBench mb = bench();
+  EXPECT_THROW(mb.latency_at(0, 600), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::tools

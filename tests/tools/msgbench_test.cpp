@@ -1,0 +1,66 @@
+#include "pas/tools/msgbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::tools {
+namespace {
+
+MsgBench bench() { return MsgBench(sim::ClusterConfig::paper_testbed(4)); }
+
+TEST(MsgBench, TimeGrowsWithMessageSize) {
+  MsgBench mb = bench();
+  const double small = mb.pingpong_seconds(16, 1000);
+  const double large = mb.pingpong_seconds(4096, 1000);
+  EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(MsgBench, SmallMessagesInsensitiveToFrequency) {
+  // Table 6: the 155-double message time is flat across DVFS points.
+  MsgBench mb = bench();
+  const double slow = mb.pingpong_seconds(155, 600);
+  const double fast = mb.pingpong_seconds(155, 1400);
+  EXPECT_NEAR(slow / fast, 1.0, 0.10);
+}
+
+TEST(MsgBench, LargeMessagesSlightlySlowerAtLowFrequency) {
+  // Table 6: the 310-double (and larger) messages show the CPU-side
+  // overhead at the lowest clock.
+  MsgBench mb = bench();
+  const double slow = mb.pingpong_seconds(4096, 600);
+  const double fast = mb.pingpong_seconds(4096, 1400);
+  EXPECT_GT(slow, fast);
+  EXPECT_LT(slow / fast, 1.5);  // wire time still dominates
+}
+
+TEST(MsgBench, PingPongAtLeastWireTime) {
+  MsgBench mb = bench();
+  const sim::NetworkConfig net = sim::ClusterConfig::paper_testbed(4).network;
+  const std::size_t bytes = 310 * 8 + 64;
+  EXPECT_GE(mb.pingpong_seconds(310, 1400), net.wire_time_s(bytes));
+}
+
+TEST(MsgBench, ExchangeCompletes) {
+  MsgBench mb = bench();
+  const double t = mb.exchange_seconds(256, 1000, 4);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(MsgBench, SweepCoversGrid) {
+  MsgBench mb = bench();
+  const auto rows = mb.sweep({155, 310}, {600, 1400});
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].doubles, 155u);
+  EXPECT_DOUBLE_EQ(rows[0].frequency_mhz, 600.0);
+  for (const auto& row : rows) EXPECT_GT(row.seconds_per_message, 0.0);
+}
+
+TEST(MsgBench, RejectsDegenerateClusters) {
+  EXPECT_THROW(MsgBench(sim::ClusterConfig::paper_testbed(1)),
+               std::invalid_argument);
+  MsgBench mb = bench();
+  EXPECT_THROW(mb.exchange_seconds(10, 1000, 1), std::invalid_argument);
+  EXPECT_THROW(mb.exchange_seconds(10, 1000, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::tools

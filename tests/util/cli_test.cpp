@@ -1,0 +1,69 @@
+#include "pas/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ProgramName) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make({"--nodes", "8"});
+  EXPECT_TRUE(cli.has("nodes"));
+  EXPECT_EQ(cli.get_int("nodes", 0), 8);
+}
+
+TEST(Cli, EqualsValue) {
+  const Cli cli = make({"--freq=1200.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("freq", 0.0), 1200.5);
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make({"--verbose", "--other=1"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  EXPECT_TRUE(cli.get_bool("absent", true));
+}
+
+TEST(Cli, ExplicitBooleanValues) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+}
+
+TEST(Cli, Fallbacks) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 2.5), 2.5);
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make({"kernel", "--n", "4", "extra"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "kernel");
+  EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, IntList) {
+  const Cli cli = make({"--nodes", "1,2,4,8,16"});
+  const auto list = cli.get_int_list("nodes", {});
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list[0], 1);
+  EXPECT_EQ(list[4], 16);
+  const auto fallback = cli.get_int_list("absent", {3});
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0], 3);
+}
+
+}  // namespace
+}  // namespace pas::util

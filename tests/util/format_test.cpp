@@ -1,0 +1,68 @@
+#include "pas/util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::util {
+namespace {
+
+TEST(Format, StrfBasics) {
+  EXPECT_EQ(strf("hello"), "hello");
+  EXPECT_EQ(strf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(Format, StrfLongOutput) {
+  const std::string big(1000, 'x');
+  EXPECT_EQ(strf("%s", big.c_str()).size(), 1000u);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(1.5, 1), "1.5");
+  EXPECT_EQ(fixed(-2.25, 2), "-2.25");
+  EXPECT_EQ(fixed(0.0, 0), "0");
+}
+
+TEST(Format, Eng) {
+  EXPECT_EQ(eng(1.5e9), "1.50 G");
+  EXPECT_EQ(eng(2e6), "2.00 M");
+  EXPECT_EQ(eng(42.0), "42.00 ");
+  EXPECT_EQ(eng(2e-6), "2.00 u");
+  EXPECT_EQ(eng(-3e3), "-3.00 k");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.123), "12.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(seconds(2.5), "2.5 s");
+  EXPECT_EQ(seconds(0.0025), "2.5 ms");
+  EXPECT_EQ(seconds(2.5e-6), "2.5 us");
+  EXPECT_EQ(seconds(2.5e-9), "2.5 ns");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Format, Pad) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");  // no truncation
+}
+
+TEST(Format, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.01));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1 + 1e-10)));
+}
+
+}  // namespace
+}  // namespace pas::util

@@ -1,0 +1,77 @@
+#include "pas/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pas::util {
+namespace {
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeBasic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MeanAndGeomean) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 9.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 11.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(signed_relative_error(10.0, 9.0), -0.1);
+  EXPECT_DOUBLE_EQ(signed_relative_error(10.0, 12.0), 0.2);
+}
+
+TEST(Stats, FitLinearExact) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLinearDegenerate) {
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{2.0, 3.0};
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_EQ(f.slope, 0.0);
+  EXPECT_EQ(f.r2, 0.0);
+}
+
+TEST(Stats, Correlation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> up{2.0, 4.0, 6.0};
+  const std::vector<double> down{6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_EQ(correlation(x, flat), 0.0);
+}
+
+}  // namespace
+}  // namespace pas::util
