@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_comm_savings.dir/dvfs_comm_savings.cpp.o"
+  "CMakeFiles/dvfs_comm_savings.dir/dvfs_comm_savings.cpp.o.d"
+  "dvfs_comm_savings"
+  "dvfs_comm_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_comm_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

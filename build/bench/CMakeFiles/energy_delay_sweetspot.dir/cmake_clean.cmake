@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_delay_sweetspot.dir/energy_delay_sweetspot.cpp.o"
+  "CMakeFiles/energy_delay_sweetspot.dir/energy_delay_sweetspot.cpp.o.d"
+  "energy_delay_sweetspot"
+  "energy_delay_sweetspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_delay_sweetspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ep_surface.dir/fig1_ep_surface.cpp.o"
+  "CMakeFiles/fig1_ep_surface.dir/fig1_ep_surface.cpp.o.d"
+  "fig1_ep_surface"
+  "fig1_ep_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ep_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ft_surface.dir/fig2_ft_surface.cpp.o"
+  "CMakeFiles/fig2_ft_surface.dir/fig2_ft_surface.cpp.o.d"
+  "fig2_ft_surface"
+  "fig2_ft_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ft_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaled_speedup.dir/scaled_speedup.cpp.o"
+  "CMakeFiles/scaled_speedup.dir/scaled_speedup.cpp.o.d"
+  "scaled_speedup"
+  "scaled_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaled_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

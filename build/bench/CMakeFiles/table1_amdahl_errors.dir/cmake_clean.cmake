@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_amdahl_errors.dir/table1_amdahl_errors.cpp.o"
+  "CMakeFiles/table1_amdahl_errors.dir/table1_amdahl_errors.cpp.o.d"
+  "table1_amdahl_errors"
+  "table1_amdahl_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_amdahl_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_operating_points.dir/table2_operating_points.cpp.o"
+  "CMakeFiles/table2_operating_points.dir/table2_operating_points.cpp.o.d"
+  "table2_operating_points"
+  "table2_operating_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_operating_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

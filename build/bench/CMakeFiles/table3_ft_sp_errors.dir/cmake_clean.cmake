@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ft_sp_errors.dir/table3_ft_sp_errors.cpp.o"
+  "CMakeFiles/table3_ft_sp_errors.dir/table3_ft_sp_errors.cpp.o.d"
+  "table3_ft_sp_errors"
+  "table3_ft_sp_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ft_sp_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

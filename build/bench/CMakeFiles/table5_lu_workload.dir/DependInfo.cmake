@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_lu_workload.cpp" "bench/CMakeFiles/table5_lu_workload.dir/table5_lu_workload.cpp.o" "gcc" "bench/CMakeFiles/table5_lu_workload.dir/table5_lu_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_lu_workload.dir/table5_lu_workload.cpp.o"
+  "CMakeFiles/table5_lu_workload.dir/table5_lu_workload.cpp.o.d"
+  "table5_lu_workload"
+  "table5_lu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_lu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

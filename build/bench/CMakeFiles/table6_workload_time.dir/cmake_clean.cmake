@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_workload_time.dir/table6_workload_time.cpp.o"
+  "CMakeFiles/table6_workload_time.dir/table6_workload_time.cpp.o.d"
+  "table6_workload_time"
+  "table6_workload_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_workload_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

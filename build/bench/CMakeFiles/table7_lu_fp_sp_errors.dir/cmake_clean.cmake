@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_lu_fp_sp_errors.dir/table7_lu_fp_sp_errors.cpp.o"
+  "CMakeFiles/table7_lu_fp_sp_errors.dir/table7_lu_fp_sp_errors.cpp.o.d"
+  "table7_lu_fp_sp_errors"
+  "table7_lu_fp_sp_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_lu_fp_sp_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

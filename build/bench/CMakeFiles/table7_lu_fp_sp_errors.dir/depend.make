@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_lu_fp_sp_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fit_surface.dir/workload_fit_surface.cpp.o"
+  "CMakeFiles/workload_fit_surface.dir/workload_fit_surface.cpp.o.d"
+  "workload_fit_surface"
+  "workload_fit_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fit_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_playground.dir/model_playground.cpp.o"
+  "CMakeFiles/model_playground.dir/model_playground.cpp.o.d"
+  "model_playground"
+  "model_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

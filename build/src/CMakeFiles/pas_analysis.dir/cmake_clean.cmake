@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_analysis.dir/pas/analysis/error_table.cpp.o"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/error_table.cpp.o.d"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/experiment.cpp.o"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/experiment.cpp.o.d"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/figures.cpp.o"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/figures.cpp.o.d"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/run_matrix.cpp.o"
+  "CMakeFiles/pas_analysis.dir/pas/analysis/run_matrix.cpp.o.d"
+  "libpas_analysis.a"
+  "libpas_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pas/core/baseline_models.cpp" "src/CMakeFiles/pas_core.dir/pas/core/baseline_models.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/baseline_models.cpp.o.d"
+  "/root/repo/src/pas/core/fine_grain_param.cpp" "src/CMakeFiles/pas_core.dir/pas/core/fine_grain_param.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/fine_grain_param.cpp.o.d"
+  "/root/repo/src/pas/core/isoefficiency.cpp" "src/CMakeFiles/pas_core.dir/pas/core/isoefficiency.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/isoefficiency.cpp.o.d"
+  "/root/repo/src/pas/core/measurement.cpp" "src/CMakeFiles/pas_core.dir/pas/core/measurement.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/measurement.cpp.o.d"
+  "/root/repo/src/pas/core/power_aware_speedup.cpp" "src/CMakeFiles/pas_core.dir/pas/core/power_aware_speedup.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/power_aware_speedup.cpp.o.d"
+  "/root/repo/src/pas/core/simplified_param.cpp" "src/CMakeFiles/pas_core.dir/pas/core/simplified_param.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/simplified_param.cpp.o.d"
+  "/root/repo/src/pas/core/sweet_spot.cpp" "src/CMakeFiles/pas_core.dir/pas/core/sweet_spot.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/sweet_spot.cpp.o.d"
+  "/root/repo/src/pas/core/workload.cpp" "src/CMakeFiles/pas_core.dir/pas/core/workload.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/workload.cpp.o.d"
+  "/root/repo/src/pas/core/workload_fit.cpp" "src/CMakeFiles/pas_core.dir/pas/core/workload_fit.cpp.o" "gcc" "src/CMakeFiles/pas_core.dir/pas/core/workload_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_core.dir/pas/core/baseline_models.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/baseline_models.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/fine_grain_param.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/fine_grain_param.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/isoefficiency.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/isoefficiency.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/measurement.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/measurement.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/power_aware_speedup.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/power_aware_speedup.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/simplified_param.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/simplified_param.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/sweet_spot.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/sweet_spot.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/workload.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/workload.cpp.o.d"
+  "CMakeFiles/pas_core.dir/pas/core/workload_fit.cpp.o"
+  "CMakeFiles/pas_core.dir/pas/core/workload_fit.cpp.o.d"
+  "libpas_core.a"
+  "libpas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_counters.dir/pas/counters/counter_set.cpp.o"
+  "CMakeFiles/pas_counters.dir/pas/counters/counter_set.cpp.o.d"
+  "CMakeFiles/pas_counters.dir/pas/counters/events.cpp.o"
+  "CMakeFiles/pas_counters.dir/pas/counters/events.cpp.o.d"
+  "libpas_counters.a"
+  "libpas_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

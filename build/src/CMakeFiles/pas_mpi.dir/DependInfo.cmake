@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pas/mpi/collectives.cpp" "src/CMakeFiles/pas_mpi.dir/pas/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/pas_mpi.dir/pas/mpi/collectives.cpp.o.d"
+  "/root/repo/src/pas/mpi/communicator.cpp" "src/CMakeFiles/pas_mpi.dir/pas/mpi/communicator.cpp.o" "gcc" "src/CMakeFiles/pas_mpi.dir/pas/mpi/communicator.cpp.o.d"
+  "/root/repo/src/pas/mpi/mailbox.cpp" "src/CMakeFiles/pas_mpi.dir/pas/mpi/mailbox.cpp.o" "gcc" "src/CMakeFiles/pas_mpi.dir/pas/mpi/mailbox.cpp.o.d"
+  "/root/repo/src/pas/mpi/message.cpp" "src/CMakeFiles/pas_mpi.dir/pas/mpi/message.cpp.o" "gcc" "src/CMakeFiles/pas_mpi.dir/pas/mpi/message.cpp.o.d"
+  "/root/repo/src/pas/mpi/runtime.cpp" "src/CMakeFiles/pas_mpi.dir/pas/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/pas_mpi.dir/pas/mpi/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_mpi.dir/pas/mpi/collectives.cpp.o"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/collectives.cpp.o.d"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/communicator.cpp.o"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/communicator.cpp.o.d"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/mailbox.cpp.o"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/mailbox.cpp.o.d"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/message.cpp.o"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/message.cpp.o.d"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/runtime.cpp.o"
+  "CMakeFiles/pas_mpi.dir/pas/mpi/runtime.cpp.o.d"
+  "libpas_mpi.a"
+  "libpas_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pas/npb/cg.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/cg.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/cg.cpp.o.d"
+  "/root/repo/src/pas/npb/ep.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/ep.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/ep.cpp.o.d"
+  "/root/repo/src/pas/npb/ft.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/ft.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/ft.cpp.o.d"
+  "/root/repo/src/pas/npb/kernel.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/kernel.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/kernel.cpp.o.d"
+  "/root/repo/src/pas/npb/lu.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/lu.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/lu.cpp.o.d"
+  "/root/repo/src/pas/npb/mg.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/mg.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/mg.cpp.o.d"
+  "/root/repo/src/pas/npb/npb_rng.cpp" "src/CMakeFiles/pas_npb.dir/pas/npb/npb_rng.cpp.o" "gcc" "src/CMakeFiles/pas_npb.dir/pas/npb/npb_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_npb.dir/pas/npb/cg.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/cg.cpp.o.d"
+  "CMakeFiles/pas_npb.dir/pas/npb/ep.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/ep.cpp.o.d"
+  "CMakeFiles/pas_npb.dir/pas/npb/ft.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/ft.cpp.o.d"
+  "CMakeFiles/pas_npb.dir/pas/npb/kernel.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/kernel.cpp.o.d"
+  "CMakeFiles/pas_npb.dir/pas/npb/lu.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/lu.cpp.o.d"
+  "CMakeFiles/pas_npb.dir/pas/npb/mg.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/mg.cpp.o.d"
+  "CMakeFiles/pas_npb.dir/pas/npb/npb_rng.cpp.o"
+  "CMakeFiles/pas_npb.dir/pas/npb/npb_rng.cpp.o.d"
+  "libpas_npb.a"
+  "libpas_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

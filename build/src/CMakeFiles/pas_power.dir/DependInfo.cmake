@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pas/power/energy_delay.cpp" "src/CMakeFiles/pas_power.dir/pas/power/energy_delay.cpp.o" "gcc" "src/CMakeFiles/pas_power.dir/pas/power/energy_delay.cpp.o.d"
+  "/root/repo/src/pas/power/energy_meter.cpp" "src/CMakeFiles/pas_power.dir/pas/power/energy_meter.cpp.o" "gcc" "src/CMakeFiles/pas_power.dir/pas/power/energy_meter.cpp.o.d"
+  "/root/repo/src/pas/power/power_model.cpp" "src/CMakeFiles/pas_power.dir/pas/power/power_model.cpp.o" "gcc" "src/CMakeFiles/pas_power.dir/pas/power/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_power.dir/pas/power/energy_delay.cpp.o"
+  "CMakeFiles/pas_power.dir/pas/power/energy_delay.cpp.o.d"
+  "CMakeFiles/pas_power.dir/pas/power/energy_meter.cpp.o"
+  "CMakeFiles/pas_power.dir/pas/power/energy_meter.cpp.o.d"
+  "CMakeFiles/pas_power.dir/pas/power/power_model.cpp.o"
+  "CMakeFiles/pas_power.dir/pas/power/power_model.cpp.o.d"
+  "libpas_power.a"
+  "libpas_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

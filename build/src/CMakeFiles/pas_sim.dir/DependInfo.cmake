@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pas/sim/cache_sim.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/cache_sim.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/cache_sim.cpp.o.d"
+  "/root/repo/src/pas/sim/cluster.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/cluster.cpp.o.d"
+  "/root/repo/src/pas/sim/cpu_model.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/cpu_model.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/cpu_model.cpp.o.d"
+  "/root/repo/src/pas/sim/memory_hierarchy.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/memory_hierarchy.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/memory_hierarchy.cpp.o.d"
+  "/root/repo/src/pas/sim/network.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/network.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/network.cpp.o.d"
+  "/root/repo/src/pas/sim/operating_point.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/operating_point.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/operating_point.cpp.o.d"
+  "/root/repo/src/pas/sim/trace.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/trace.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/trace.cpp.o.d"
+  "/root/repo/src/pas/sim/virtual_clock.cpp" "src/CMakeFiles/pas_sim.dir/pas/sim/virtual_clock.cpp.o" "gcc" "src/CMakeFiles/pas_sim.dir/pas/sim/virtual_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_sim.dir/pas/sim/cache_sim.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/cache_sim.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/cluster.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/cluster.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/cpu_model.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/cpu_model.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/memory_hierarchy.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/memory_hierarchy.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/network.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/network.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/operating_point.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/operating_point.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/trace.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/trace.cpp.o.d"
+  "CMakeFiles/pas_sim.dir/pas/sim/virtual_clock.cpp.o"
+  "CMakeFiles/pas_sim.dir/pas/sim/virtual_clock.cpp.o.d"
+  "libpas_sim.a"
+  "libpas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_tools.dir/pas/tools/membench.cpp.o"
+  "CMakeFiles/pas_tools.dir/pas/tools/membench.cpp.o.d"
+  "CMakeFiles/pas_tools.dir/pas/tools/msgbench.cpp.o"
+  "CMakeFiles/pas_tools.dir/pas/tools/msgbench.cpp.o.d"
+  "libpas_tools.a"
+  "libpas_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

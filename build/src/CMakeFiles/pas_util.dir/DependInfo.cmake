@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pas/util/cli.cpp" "src/CMakeFiles/pas_util.dir/pas/util/cli.cpp.o" "gcc" "src/CMakeFiles/pas_util.dir/pas/util/cli.cpp.o.d"
+  "/root/repo/src/pas/util/format.cpp" "src/CMakeFiles/pas_util.dir/pas/util/format.cpp.o" "gcc" "src/CMakeFiles/pas_util.dir/pas/util/format.cpp.o.d"
+  "/root/repo/src/pas/util/log.cpp" "src/CMakeFiles/pas_util.dir/pas/util/log.cpp.o" "gcc" "src/CMakeFiles/pas_util.dir/pas/util/log.cpp.o.d"
+  "/root/repo/src/pas/util/stats.cpp" "src/CMakeFiles/pas_util.dir/pas/util/stats.cpp.o" "gcc" "src/CMakeFiles/pas_util.dir/pas/util/stats.cpp.o.d"
+  "/root/repo/src/pas/util/table.cpp" "src/CMakeFiles/pas_util.dir/pas/util/table.cpp.o" "gcc" "src/CMakeFiles/pas_util.dir/pas/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_util.dir/pas/util/cli.cpp.o"
+  "CMakeFiles/pas_util.dir/pas/util/cli.cpp.o.d"
+  "CMakeFiles/pas_util.dir/pas/util/format.cpp.o"
+  "CMakeFiles/pas_util.dir/pas/util/format.cpp.o.d"
+  "CMakeFiles/pas_util.dir/pas/util/log.cpp.o"
+  "CMakeFiles/pas_util.dir/pas/util/log.cpp.o.d"
+  "CMakeFiles/pas_util.dir/pas/util/stats.cpp.o"
+  "CMakeFiles/pas_util.dir/pas/util/stats.cpp.o.d"
+  "CMakeFiles/pas_util.dir/pas/util/table.cpp.o"
+  "CMakeFiles/pas_util.dir/pas/util/table.cpp.o.d"
+  "libpas_util.a"
+  "libpas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

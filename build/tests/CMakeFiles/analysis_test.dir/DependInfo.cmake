@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/error_table_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/error_table_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/error_table_test.cpp.o.d"
+  "/root/repo/tests/analysis/experiment_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/experiment_test.cpp.o.d"
+  "/root/repo/tests/analysis/figures_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/figures_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/figures_test.cpp.o.d"
+  "/root/repo/tests/analysis/kernel_classes_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/kernel_classes_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/kernel_classes_test.cpp.o.d"
+  "/root/repo/tests/analysis/run_matrix_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/run_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/run_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

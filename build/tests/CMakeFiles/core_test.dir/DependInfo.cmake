@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_models_test.cpp" "tests/CMakeFiles/core_test.dir/core/baseline_models_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baseline_models_test.cpp.o.d"
+  "/root/repo/tests/core/fine_grain_param_test.cpp" "tests/CMakeFiles/core_test.dir/core/fine_grain_param_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fine_grain_param_test.cpp.o.d"
+  "/root/repo/tests/core/isoefficiency_test.cpp" "tests/CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o.d"
+  "/root/repo/tests/core/measurement_test.cpp" "tests/CMakeFiles/core_test.dir/core/measurement_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/measurement_test.cpp.o.d"
+  "/root/repo/tests/core/model_properties_test.cpp" "tests/CMakeFiles/core_test.dir/core/model_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/model_properties_test.cpp.o.d"
+  "/root/repo/tests/core/power_aware_speedup_test.cpp" "tests/CMakeFiles/core_test.dir/core/power_aware_speedup_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/power_aware_speedup_test.cpp.o.d"
+  "/root/repo/tests/core/simplified_param_test.cpp" "tests/CMakeFiles/core_test.dir/core/simplified_param_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/simplified_param_test.cpp.o.d"
+  "/root/repo/tests/core/sweet_spot_test.cpp" "tests/CMakeFiles/core_test.dir/core/sweet_spot_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sweet_spot_test.cpp.o.d"
+  "/root/repo/tests/core/workload_fit_test.cpp" "tests/CMakeFiles/core_test.dir/core/workload_fit_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_fit_test.cpp.o.d"
+  "/root/repo/tests/core/workload_test.cpp" "tests/CMakeFiles/core_test.dir/core/workload_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/baseline_models_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baseline_models_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/fine_grain_param_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/fine_grain_param_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/measurement_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/measurement_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/model_properties_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/model_properties_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/power_aware_speedup_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/power_aware_speedup_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/simplified_param_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/simplified_param_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sweet_spot_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sweet_spot_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/workload_fit_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/workload_fit_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/workload_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/workload_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

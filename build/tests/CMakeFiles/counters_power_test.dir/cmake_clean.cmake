@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_power_test.dir/counters/counter_set_test.cpp.o"
+  "CMakeFiles/counters_power_test.dir/counters/counter_set_test.cpp.o.d"
+  "CMakeFiles/counters_power_test.dir/power/energy_delay_test.cpp.o"
+  "CMakeFiles/counters_power_test.dir/power/energy_delay_test.cpp.o.d"
+  "CMakeFiles/counters_power_test.dir/power/energy_meter_test.cpp.o"
+  "CMakeFiles/counters_power_test.dir/power/energy_meter_test.cpp.o.d"
+  "CMakeFiles/counters_power_test.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/counters_power_test.dir/power/power_model_test.cpp.o.d"
+  "counters_power_test"
+  "counters_power_test.pdb"
+  "counters_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test.dir/mpi/collective_properties_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/collective_properties_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/collectives_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/collectives_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/comm_dvfs_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/comm_dvfs_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/mailbox_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/mailbox_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/nonblocking_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/nonblocking_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/p2p_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/p2p_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/runtime_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/runtime_test.cpp.o.d"
+  "mpi_test"
+  "mpi_test.pdb"
+  "mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

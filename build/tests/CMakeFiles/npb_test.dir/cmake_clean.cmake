@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_test.dir/npb/cg_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/cg_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/npb/ep_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/ep_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/npb/fft_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/fft_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/npb/ft_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/ft_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/npb/lu_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/lu_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/npb/mg_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/mg_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/npb/npb_rng_test.cpp.o"
+  "CMakeFiles/npb_test.dir/npb/npb_rng_test.cpp.o.d"
+  "npb_test"
+  "npb_test.pdb"
+  "npb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cache_sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cache_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cache_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/cluster_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o.d"
+  "/root/repo/tests/sim/cpu_model_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cpu_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cpu_model_test.cpp.o.d"
+  "/root/repo/tests/sim/memory_hierarchy_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/memory_hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/memory_hierarchy_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/sim/operating_point_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/operating_point_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/operating_point_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/trace_test.cpp.o.d"
+  "/root/repo/tests/sim/virtual_clock_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/virtual_clock_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/virtual_clock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pas_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

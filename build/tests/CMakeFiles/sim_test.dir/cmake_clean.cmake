@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/cache_sim_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cache_sim_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/cpu_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cpu_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/memory_hierarchy_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/memory_hierarchy_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/network_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/network_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/operating_point_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/operating_point_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/virtual_clock_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/virtual_clock_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
