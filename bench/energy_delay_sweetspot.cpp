@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "pas/analysis/experiment.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/sweet_spot.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
@@ -19,11 +20,13 @@ int main(int argc, char** argv) {
   const analysis::Scale scale =
       small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
 
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
+
   for (const char* name : {"EP", "FT", "LU"}) {
     const auto kernel = analysis::make_kernel(name, scale);
-    analysis::RunMatrix matrix(env.cluster);
     const analysis::MatrixResult measured =
-        matrix.sweep(*kernel, env.nodes, env.freqs_mhz);
+        executor.sweep(*kernel, env.nodes, env.freqs_mhz);
 
     std::vector<power::MetricPoint> points;
     for (const analysis::RunRecord& rec : measured.records) {
@@ -59,8 +62,10 @@ int main(int argc, char** argv) {
 
     // Predicted sweet spot from SP (no measurements at off-base
     // combinations needed).
+    // Executor-backed: the sequential column and base row of the sweep
+    // above are cache hits, not re-runs.
     const core::SimplifiedParameterization sp =
-        analysis::parameterize_simplified(*kernel, env);
+        analysis::parameterize_simplified(*kernel, env, executor);
     const core::SweetSpotFinder finder(power::PowerModel(),
                                        env.cluster.operating_points);
     const auto predicted = finder.evaluate(
@@ -84,5 +89,6 @@ int main(int argc, char** argv) {
             ? "MATCH"
             : "different (check EDP flatness)");
   }
+  std::printf("run cache: %s\n", executor.cache().stats_string().c_str());
   return 0;
 }

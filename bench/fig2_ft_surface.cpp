@@ -9,6 +9,7 @@
 
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/figures.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -20,9 +21,10 @@ int main(int argc, char** argv) {
 
   const auto ft = analysis::make_kernel(
       "FT", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::RunMatrix matrix(env.cluster);
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
   const analysis::MatrixResult measured =
-      matrix.sweep(*ft, env.nodes, env.freqs_mhz);
+      executor.sweep(*ft, env.nodes, env.freqs_mhz);
 
   const auto fig_a = analysis::execution_time_table(
       measured.times, env.nodes, env.freqs_mhz,

@@ -3,7 +3,17 @@
 // figure — so a reviewer gets the whole paper-vs-measured story from a
 // single binary.
 //
-//   ./bench/full_report --out report_dir [--small]
+// The evaluation grid is executed by the SweepExecutor: grid points run
+// concurrently across a worker pool (--jobs N, default: all cores) and
+// completed operating points are memoized (--cache [dir] persists them
+// across invocations — a re-run, or a table/figure bench afterwards,
+// replays records instead of re-simulating). Concurrency and caching
+// never change the artifacts: REPORT.md and the CSVs are byte-identical
+// to the serial, uncached path (see DESIGN.md §6).
+//
+//   ./bench/full_report --out report_dir [--small] [--jobs N]
+//                       [--cache [dir]] [--no-cache]
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +22,7 @@
 #include "pas/analysis/error_table.hpp"
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/figures.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/baseline_models.hpp"
 #include "pas/core/isoefficiency.hpp"
 #include "pas/core/workload_fit.hpp"
@@ -41,6 +52,7 @@ struct Report {
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  const auto wall_start = std::chrono::steady_clock::now();
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
@@ -63,12 +75,13 @@ int main(int argc, char** argv) {
       "IPDPS 2007) on the simulated 16-node Pentium-M testbed. Base "
       "configuration: 1 node @ 600 MHz.\n";
 
-  analysis::RunMatrix matrix(env.cluster);
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
 
   for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
     const auto kernel = analysis::make_kernel(name, scale);
     const analysis::MatrixResult m =
-        matrix.sweep(*kernel, env.nodes, env.freqs_mhz);
+        executor.sweep(*kernel, env.nodes, env.freqs_mhz);
 
     report.h2(util::strf("%s — execution-time and speedup surfaces", name));
     bool all_verified = true;
@@ -141,5 +154,12 @@ int main(int argc, char** argv) {
   md.close();
   std::printf("report written to %s (REPORT.md + CSVs)\n",
               report.dir.string().c_str());
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("wall time %.2fs, jobs %d, run cache: %s\n", wall_s,
+              executor.jobs(), executor.cache().stats_string().c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "pas/analysis/error_table.hpp"
 #include "pas/analysis/experiment.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/baseline_models.hpp"
 #include "pas/util/cli.hpp"
 
@@ -22,9 +23,10 @@ int main(int argc, char** argv) {
   const auto ft = analysis::make_kernel(
       "FT", cli.get_bool("small", false) ? analysis::Scale::kSmall
                                          : analysis::Scale::kPaper);
-  analysis::RunMatrix matrix(env.cluster);
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
   const analysis::MatrixResult measured =
-      matrix.sweep(*ft, env.nodes, env.freqs_mhz);
+      executor.sweep(*ft, env.nodes, env.freqs_mhz);
 
   const analysis::ErrorTable errors = analysis::speedup_error_table(
       measured.times,

@@ -9,6 +9,7 @@
 
 #include "pas/analysis/error_table.hpp"
 #include "pas/analysis/experiment.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/stats.hpp"
@@ -28,14 +29,17 @@ int main(int argc, char** argv) {
 
   const auto lu = analysis::make_kernel(
       "LU", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::RunMatrix matrix(env.cluster);
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
   const analysis::MatrixResult measured =
-      matrix.sweep(*lu, env.nodes, env.freqs_mhz);
+      executor.sweep(*lu, env.nodes, env.freqs_mhz);
 
   core::SimplifiedParameterization sp(env.base_f_mhz);
   sp.ingest(measured.times);
+  // Executor-backed: the FP profiling runs at (N, f0) are cache hits
+  // from the sweep above.
   const core::FineGrainParameterization fp =
-      analysis::parameterize_fine_grain(*lu, env);
+      analysis::parameterize_fine_grain(*lu, env, executor);
 
   util::TextTable t(
       "Table 7: LU power-aware prediction errors — FP vs SP "

@@ -12,6 +12,7 @@
 
 #include "pas/analysis/error_table.hpp"
 #include "pas/analysis/experiment.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/workload_fit.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
@@ -31,11 +32,13 @@ int main(int argc, char** argv) {
   t.set_header({"kernel", "A serial (s)", "B parallel (s)", "C invariant (s)",
                 "D per-N (s)", "serial frac", "R^2", "max err (full grid)"});
 
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
+
   for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
     const auto kernel = analysis::make_kernel(name, scale);
-    analysis::RunMatrix matrix(env.cluster);
     const analysis::MatrixResult full =
-        matrix.sweep(*kernel, env.nodes, env.freqs_mhz);
+        executor.sweep(*kernel, env.nodes, env.freqs_mhz);
 
     // Fit from the base row/column plus a few off-base anchors
     // (11 of 25 samples).

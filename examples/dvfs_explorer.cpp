@@ -2,11 +2,16 @@
 // one kernel: full (N, f) sweep with per-activity time breakdown and
 // energy, the three workload classes side by side if asked.
 //
+// The sweep runs on the parallel executor: pass --jobs N to fan grid
+// points across cores and --cache [dir] to reuse results of previous
+// invocations (records are bit-identical either way).
+//
 //   ./examples/dvfs_explorer --kernel LU --nodes 1,2,4 --freqs 600,1400
 #include <cstdio>
 
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/figures.hpp"
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/table.hpp"
@@ -25,8 +30,9 @@ int main(int argc, char** argv) {
     freqs.push_back(static_cast<double>(f));
 
   const auto kernel = analysis::make_kernel(name, analysis::Scale::kPaper);
-  analysis::RunMatrix matrix(env.cluster);
-  const analysis::MatrixResult sweep = matrix.sweep(*kernel, nodes, freqs);
+  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
+                                   analysis::SweepOptions::from_cli(cli));
+  const analysis::MatrixResult sweep = executor.sweep(*kernel, nodes, freqs);
 
   util::TextTable t(util::strf(
       "%s: time / ON-chip / OFF-chip / overhead / energy per configuration",

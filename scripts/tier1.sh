@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the
+# concurrency tests again under ThreadSanitizer (PASIM_SANITIZE=thread,
+# separate build-tsan/ tree). The TSan stage is skipped gracefully on
+# toolchains without -fsanitize=thread support.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier 1: concurrency tests under TSan =="
+if ! printf 'int main(){return 0;}' |
+  c++ -x c++ -fsanitize=thread -o /dev/null - 2>/dev/null; then
+  echo "skipped: this toolchain does not support -fsanitize=thread"
+  exit 0
+fi
+
+cmake -B build-tsan -S . -DPASIM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target util_test mpi_test analysis_test
+./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
+./build-tsan/tests/mpi_test --gtest_filter='Runtime.*'
+./build-tsan/tests/analysis_test \
+  --gtest_filter='SweepExecutor.*:MatrixResult.*:RunMatrix.*'
+
+echo "tier 1 OK"

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "pas/analysis/sweep_executor.hpp"
 #include "pas/mpi/runtime.hpp"
 
 namespace pas::analysis {
@@ -131,6 +132,65 @@ core::FineGrainParameterization parameterize_fine_grain(
       // w_PO under blocking-send semantics (§5.2 step 2).
       const double per_msg = msgbench.pingpong_seconds(doubles, f);
       fp.set_comm(n, rec.messages_per_rank, f, per_msg);
+    }
+  }
+  return fp;
+}
+
+counters::CounterSet measure_counters(const npb::Kernel& kernel,
+                                      const ExperimentEnv& env,
+                                      SweepExecutor& exec) {
+  // The one-processor profiling run's mean executed mix *is* rank 0's
+  // mix, so the cached RunRecord carries everything the counters need.
+  const RunRecord rec = exec.run_one(kernel, 1, env.base_f_mhz);
+  counters::CounterSet set;
+  set.record_mix(rec.executed_per_rank);
+  return set;
+}
+
+core::SimplifiedParameterization parameterize_simplified(
+    const npb::Kernel& kernel, const ExperimentEnv& env, SweepExecutor& exec) {
+  std::vector<SweepExecutor::Point> points;
+  points.reserve(env.freqs_mhz.size() + env.parallel_nodes.size());
+  for (double f : env.freqs_mhz)
+    points.push_back(SweepExecutor::Point{1, f, 0.0});
+  for (int n : env.parallel_nodes)
+    points.push_back(SweepExecutor::Point{n, env.base_f_mhz, 0.0});
+  const std::vector<RunRecord> recs = exec.run_points(kernel, points);
+
+  core::SimplifiedParameterization sp(env.base_f_mhz);
+  std::size_t i = 0;
+  for (double f : env.freqs_mhz) sp.add_sequential(f, recs[i++].seconds);
+  for (int n : env.parallel_nodes) sp.add_parallel_base(n, recs[i++].seconds);
+  return sp;
+}
+
+core::FineGrainParameterization parameterize_fine_grain(
+    const npb::Kernel& kernel, const ExperimentEnv& env, SweepExecutor& exec) {
+  const counters::CounterSet set = measure_counters(kernel, env, exec);
+  core::FineGrainParameterization fp(to_level_workload(set.decompose()),
+                                     env.base_f_mhz);
+
+  tools::MemBench membench(
+      sim::CpuModel(env.cluster.cpu, env.cluster.memory,
+                    env.cluster.operating_points));
+  for (double f : env.freqs_mhz)
+    fp.set_level_seconds(f, to_level_seconds(membench.probe(f)));
+
+  std::vector<SweepExecutor::Point> points;
+  points.reserve(env.parallel_nodes.size());
+  for (int n : env.parallel_nodes)
+    points.push_back(SweepExecutor::Point{n, env.base_f_mhz, 0.0});
+  const std::vector<RunRecord> recs = exec.run_points(kernel, points);
+
+  tools::MsgBench msgbench(env.cluster);
+  for (std::size_t k = 0; k < recs.size(); ++k) {
+    const RunRecord& rec = recs[k];
+    const auto doubles =
+        static_cast<std::size_t>(std::max(1.0, rec.doubles_per_message));
+    for (double f : env.freqs_mhz) {
+      const double per_msg = msgbench.pingpong_seconds(doubles, f);
+      fp.set_comm(env.parallel_nodes[k], rec.messages_per_rank, f, per_msg);
     }
   }
   return fp;

@@ -21,6 +21,8 @@
 
 namespace pas::analysis {
 
+class SweepExecutor;
+
 /// The paper's experimental grid (§4.1): 16 Pentium-M nodes, N in
 /// {1, 2, 4, 8, 16}, f in {600..1400} MHz, base (1 node, 600 MHz).
 struct ExperimentEnv {
@@ -67,5 +69,19 @@ core::FineGrainParameterization parameterize_fine_grain(
 /// on one processor and returns the PAPI-style event set.
 counters::CounterSet measure_counters(const npb::Kernel& kernel,
                                       const ExperimentEnv& env);
+
+/// Executor-backed variants: identical results to the serial functions
+/// above, but profiling runs go through `exec` — concurrent across the
+/// pool and memoized, so operating points a sweep already simulated
+/// (e.g. the (1, f) column and the (N, f0) row of the full grid) are
+/// cache hits instead of re-runs. `exec` must have been built from
+/// `env.cluster` with the default power model.
+core::SimplifiedParameterization parameterize_simplified(
+    const npb::Kernel& kernel, const ExperimentEnv& env, SweepExecutor& exec);
+core::FineGrainParameterization parameterize_fine_grain(
+    const npb::Kernel& kernel, const ExperimentEnv& env, SweepExecutor& exec);
+counters::CounterSet measure_counters(const npb::Kernel& kernel,
+                                      const ExperimentEnv& env,
+                                      SweepExecutor& exec);
 
 }  // namespace pas::analysis

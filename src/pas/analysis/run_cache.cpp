@@ -1,0 +1,224 @@
+#include "pas/analysis/run_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pas/util/format.hpp"
+#include "pas/util/log.hpp"
+
+namespace pas::analysis {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// %.17g identifies a binary64 uniquely; used for *key* strings (human-
+// greppable). Record payloads use %a for guaranteed bit-exact parsing.
+std::string d17(double x) { return pas::util::strf("%.17g", x); }
+
+void put(std::ostream& out, const char* field, double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", x);
+  out << field << ' ' << buf << '\n';
+}
+
+bool get(std::istream& in, const char* field, double* x) {
+  std::string name, value;
+  if (!(in >> name >> value) || name != field) return false;
+  char* end = nullptr;
+  *x = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string cluster_signature(const sim::ClusterConfig& c) {
+  std::ostringstream out;
+  out << "nodes=" << c.num_nodes;
+  out << ";cpu=" << d17(c.cpu.reg_cpi) << ',' << d17(c.cpu.l1_cpi) << ','
+      << d17(c.cpu.l2_cpi) << ',' << d17(c.cpu.issue_overhead_cpi);
+  const auto cache_sig = [&](const sim::CacheConfig& l) {
+    return pas::util::strf("%zu/%zu/%zu/%s", l.capacity_bytes, l.line_bytes,
+                           l.associativity, d17(l.access_cycles).c_str());
+  };
+  out << ";l1=" << cache_sig(c.memory.l1) << ";l2=" << cache_sig(c.memory.l2);
+  out << ";dram=" << d17(c.memory.dram_latency_s) << ','
+      << (c.memory.bus_slowdown_at_low_freq ? 1 : 0) << ','
+      << d17(c.memory.slow_dram_latency_s) << ','
+      << d17(c.memory.bus_slowdown_threshold_hz);
+  out << ";opts=";
+  for (const sim::OperatingPoint& p : c.operating_points.points())
+    out << d17(p.frequency_hz) << '@' << d17(p.voltage_v) << ',';
+  out << ";net=" << d17(c.network.bandwidth_bps) << ','
+      << d17(c.network.switch_latency_s) << ','
+      << d17(c.network.per_message_cpu_cycles) << ','
+      << d17(c.network.cpu_cycles_per_byte) << ','
+      << (c.network.model_port_contention ? 1 : 0);
+  out << ";dvfs_tr=" << d17(c.dvfs_transition_s);
+  return out.str();
+}
+
+std::string power_signature(const power::PowerModel& power) {
+  const power::PowerModelConfig& p = power.config();
+  return pas::util::strf(
+      "ceff=%s;leak=%s;base=%s;mem=%s;net=%s;netf=%s;idlef=%s",
+      d17(p.c_eff_farad).c_str(), d17(p.leakage_w_per_v).c_str(),
+      d17(p.base_w).c_str(), d17(p.memory_active_w).c_str(),
+      d17(p.network_active_w).c_str(), d17(p.network_cpu_factor).c_str(),
+      d17(p.idle_cpu_factor).c_str());
+}
+
+RunCache::RunCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string RunCache::key(const npb::Kernel& kernel,
+                          const sim::ClusterConfig& cluster,
+                          const power::PowerModel& power, int nodes,
+                          double frequency_mhz, double comm_dvfs_mhz) {
+  return pas::util::strf(
+      "v1|%s|%s|%s|N=%d|f=%s|comm=%s", kernel.signature().c_str(),
+      cluster_signature(cluster).c_str(), power_signature(power).c_str(),
+      nodes, d17(frequency_mhz).c_str(), d17(comm_dvfs_mhz).c_str());
+}
+
+std::string RunCache::path_for(const std::string& key) const {
+  return (std::filesystem::path(dir_) /
+          pas::util::strf("%016" PRIx64 ".run", fnv1a(key)))
+      .string();
+}
+
+std::optional<RunRecord> RunCache::lookup(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  if (!dir_.empty()) {
+    std::ifstream in(path_for(key));
+    if (in) {
+      std::string header, stored_key;
+      std::getline(in, header);
+      std::getline(in, stored_key);
+      RunRecord rec;
+      double verified = 0.0;
+      const bool ok =
+          header == "pasim-run-cache v1" && stored_key == "key " + key &&
+          [&] {
+            int n = 0;
+            std::string name;
+            if (!(in >> name >> n) || name != "nodes") return false;
+            rec.nodes = n;
+            return get(in, "frequency_mhz", &rec.frequency_mhz) &&
+                   get(in, "seconds", &rec.seconds) &&
+                   get(in, "mean_overhead_s", &rec.mean_overhead_s) &&
+                   get(in, "mean_cpu_s", &rec.mean_cpu_s) &&
+                   get(in, "mean_memory_s", &rec.mean_memory_s) &&
+                   get(in, "verified", &verified) &&
+                   get(in, "energy_cpu_j", &rec.energy.cpu_j) &&
+                   get(in, "energy_memory_j", &rec.energy.memory_j) &&
+                   get(in, "energy_network_j", &rec.energy.network_j) &&
+                   get(in, "energy_idle_j", &rec.energy.idle_j) &&
+                   get(in, "messages_per_rank", &rec.messages_per_rank) &&
+                   get(in, "doubles_per_message", &rec.doubles_per_message) &&
+                   get(in, "exec_reg", &rec.executed_per_rank.reg_ops) &&
+                   get(in, "exec_l1", &rec.executed_per_rank.l1_ops) &&
+                   get(in, "exec_l2", &rec.executed_per_rank.l2_ops) &&
+                   get(in, "exec_mem", &rec.executed_per_rank.mem_ops);
+          }();
+      if (ok) {
+        rec.verified = verified != 0.0;
+        std::lock_guard<std::mutex> lock(mutex_);
+        memory_.emplace(key, rec);
+        ++hits_;
+        return rec;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  return std::nullopt;
+}
+
+void RunCache::store(const std::string& key, const RunRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_.emplace(key, record);
+    ++stores_;
+  }
+  if (dir_.empty()) return;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    pas::util::log_warn("run cache: cannot create " + dir_ + ": " +
+                        ec.message());
+    return;
+  }
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      pas::util::log_warn("run cache: cannot write " + tmp);
+      return;
+    }
+    out << "pasim-run-cache v1\n";
+    out << "key " << key << '\n';
+    out << "nodes " << record.nodes << '\n';
+    put(out, "frequency_mhz", record.frequency_mhz);
+    put(out, "seconds", record.seconds);
+    put(out, "mean_overhead_s", record.mean_overhead_s);
+    put(out, "mean_cpu_s", record.mean_cpu_s);
+    put(out, "mean_memory_s", record.mean_memory_s);
+    put(out, "verified", record.verified ? 1.0 : 0.0);
+    put(out, "energy_cpu_j", record.energy.cpu_j);
+    put(out, "energy_memory_j", record.energy.memory_j);
+    put(out, "energy_network_j", record.energy.network_j);
+    put(out, "energy_idle_j", record.energy.idle_j);
+    put(out, "messages_per_rank", record.messages_per_rank);
+    put(out, "doubles_per_message", record.doubles_per_message);
+    put(out, "exec_reg", record.executed_per_rank.reg_ops);
+    put(out, "exec_l1", record.executed_per_rank.l1_ops);
+    put(out, "exec_l2", record.executed_per_rank.l2_ops);
+    put(out, "exec_mem", record.executed_per_rank.mem_ops);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) pas::util::log_warn("run cache: cannot rename " + tmp);
+}
+
+std::uint64_t RunCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t RunCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t RunCache::stores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stores_;
+}
+
+std::string RunCache::stats_string() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string where =
+      dir_.empty() ? " (in-memory)" : " (dir: " + dir_ + ")";
+  return pas::util::strf("%" PRIu64 " hits / %" PRIu64 " misses%s", hits_,
+                         misses_, where.c_str());
+}
+
+}  // namespace pas::analysis

@@ -1,0 +1,73 @@
+// Run-result cache for the sweep engine.
+//
+// A simulated run is a pure function of (kernel configuration, cluster
+// configuration, power model, rank count, DVFS point, comm-DVFS point)
+// — Runtime::run starts from a reset cluster, so nothing else can leak
+// in. The cache keys on a canonical string spelling out every one of
+// those parameters (doubles printed with 17 significant digits, which
+// identifies a binary64 uniquely) and stores the resulting RunRecord.
+//
+// With a directory the cache also persists across processes: the table
+// and figure benches stop re-simulating operating points full_report
+// already covered. Records are serialized with hex floats (%a), so a
+// cache hit returns a RunRecord bit-identical to the fresh run that
+// produced it — REPORT.md and the CSVs are byte-identical either way.
+// Unreadable, truncated or colliding entries are treated as misses.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "pas/analysis/run_matrix.hpp"
+
+namespace pas::analysis {
+
+/// Canonical spelling of every cluster parameter that affects a run
+/// (node count, CPU CPIs, cache geometry, DRAM latencies, operating
+/// points, network cost model, DVFS transition cost).
+std::string cluster_signature(const sim::ClusterConfig& cluster);
+
+/// Canonical spelling of the power model (affects RunRecord::energy).
+std::string power_signature(const power::PowerModel& power);
+
+class RunCache {
+ public:
+  /// `dir` empty: in-memory only. Otherwise entries are also written to
+  /// `dir` (created on first store) and looked up there on miss.
+  explicit RunCache(std::string dir = "");
+
+  /// The canonical cache key of one operating point.
+  static std::string key(const npb::Kernel& kernel,
+                         const sim::ClusterConfig& cluster,
+                         const power::PowerModel& power, int nodes,
+                         double frequency_mhz, double comm_dvfs_mhz);
+
+  /// Thread-safe. Counts a hit or a miss.
+  std::optional<RunRecord> lookup(const std::string& key);
+
+  /// Thread-safe. Records the result in memory and, if configured, on
+  /// disk (atomically: write-to-temp + rename).
+  void store(const std::string& key, const RunRecord& record);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t stores() const;
+
+  std::string stats_string() const;
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, RunRecord> memory_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace pas::analysis

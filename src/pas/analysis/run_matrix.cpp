@@ -7,14 +7,25 @@
 
 namespace pas::analysis {
 
+void MatrixResult::add(RunRecord record) {
+  times.add(record.nodes, record.frequency_mhz, record.seconds);
+  index_.emplace(grid_key(record.nodes, record.frequency_mhz),
+                 records.size());
+  records.push_back(std::move(record));
+}
+
 const RunRecord& MatrixResult::at(int nodes, double frequency_mhz) const {
-  for (const RunRecord& r : records) {
-    if (r.nodes == nodes &&
-        std::abs(r.frequency_mhz - frequency_mhz) < 0.5)
-      return r;
+  if (index_.size() != records.size()) {
+    // `records` was appended to directly; rebuild the index.
+    index_.clear();
+    for (std::size_t i = 0; i < records.size(); ++i)
+      index_.emplace(grid_key(records[i].nodes, records[i].frequency_mhz), i);
   }
-  throw std::out_of_range(pas::util::strf(
-      "MatrixResult: no record at N=%d f=%.0f MHz", nodes, frequency_mhz));
+  const auto it = index_.find(grid_key(nodes, frequency_mhz));
+  if (it == index_.end())
+    throw std::out_of_range(pas::util::strf(
+        "MatrixResult: no record at N=%d f=%.0f MHz", nodes, frequency_mhz));
+  return records[it->second];
 }
 
 std::vector<power::ActivityProfile> activity_profiles(
@@ -33,14 +44,15 @@ std::vector<power::ActivityProfile> activity_profiles(
 }
 
 RunMatrix::RunMatrix(sim::ClusterConfig cluster, power::PowerModel power)
-    : cluster_(std::move(cluster)), meter_(std::move(power)) {}
+    : cluster_(std::move(cluster)),
+      meter_(std::move(power)),
+      runtime_(cluster_) {}
 
 RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
                              double frequency_mhz, double comm_dvfs_mhz) {
-  mpi::Runtime runtime(cluster_);
   npb::KernelResult root_result;
   const mpi::RunResult run =
-      runtime.run(nodes, frequency_mhz, [&](mpi::Comm& comm) {
+      runtime_.run(nodes, frequency_mhz, [&](mpi::Comm& comm) {
         if (comm_dvfs_mhz != 0.0) comm.set_comm_dvfs_mhz(comm_dvfs_mhz);
         npb::KernelResult r = kernel.run(comm);
         if (comm.rank() == 0) root_result = std::move(r);
@@ -103,11 +115,8 @@ MatrixResult RunMatrix::sweep(const npb::Kernel& kernel,
                               double comm_dvfs_mhz) {
   MatrixResult result;
   for (int n : node_counts) {
-    for (double f : freqs_mhz) {
-      RunRecord rec = run_one(kernel, n, f, comm_dvfs_mhz);
-      result.times.add(n, f, rec.seconds);
-      result.records.push_back(std::move(rec));
-    }
+    for (double f : freqs_mhz)
+      result.add(run_one(kernel, n, f, comm_dvfs_mhz));
   }
   return result;
 }

@@ -4,6 +4,7 @@
 // energy, and communication profiles.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "pas/core/measurement.hpp"
@@ -32,7 +33,21 @@ struct MatrixResult {
   std::vector<RunRecord> records;
   core::TimingMatrix times;
 
+  /// Appends a record and feeds the timing matrix + lookup index.
+  void add(RunRecord record);
+
+  /// O(1) via a (nodes, frequency) hash index; the index is rebuilt
+  /// lazily if `records` was appended to directly. Not safe to call
+  /// concurrently with modifications.
   const RunRecord& at(int nodes, double frequency_mhz) const;
+
+ private:
+  static long long grid_key(int nodes, double frequency_mhz) {
+    // Frequency keyed to 0.1 MHz, same convention as core::TimingMatrix.
+    const long fkey = static_cast<long>(frequency_mhz * 10.0 + 0.5);
+    return (static_cast<long long>(nodes) << 32) | static_cast<long long>(fkey);
+  }
+  mutable std::unordered_map<long long, std::size_t> index_;
 };
 
 /// Converts a run report into per-node activity profiles for the
@@ -46,6 +61,7 @@ class RunMatrix {
                      power::PowerModel power = power::PowerModel());
 
   const sim::ClusterConfig& cluster() const { return cluster_; }
+  const power::PowerModel& power() const { return meter_.model(); }
 
   /// One configuration. `comm_dvfs_mhz` != 0 enables communication-
   /// phase DVFS at that operating point (paper §1 / refs [14, 15]).
@@ -61,6 +77,9 @@ class RunMatrix {
  private:
   sim::ClusterConfig cluster_;
   power::EnergyMeter meter_;
+  /// Persistent across run_one calls: every run starts from a reset
+  /// cluster, so reuse only amortizes rank-thread and cluster setup.
+  mpi::Runtime runtime_;
 };
 
 }  // namespace pas::analysis

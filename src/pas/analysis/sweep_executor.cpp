@@ -1,0 +1,131 @@
+#include "pas/analysis/sweep_executor.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <utility>
+
+#include "pas/util/cli.hpp"
+
+namespace pas::analysis {
+
+SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
+  SweepOptions opts;
+  const char* env_jobs = std::getenv("PASIM_JOBS");
+  opts.jobs = static_cast<int>(
+      cli.get_int("jobs", env_jobs != nullptr ? std::atol(env_jobs) : 0));
+  if (cli.has("cache")) {
+    opts.cache_dir = cli.get("cache", "");
+    if (opts.cache_dir.empty()) opts.cache_dir = ".pasim_cache";
+  } else if (const char* env_dir = std::getenv("PASIM_CACHE_DIR")) {
+    opts.cache_dir = env_dir;
+  }
+  if (cli.get_bool("no-cache", false)) {
+    opts.use_cache = false;
+    opts.cache_dir.clear();
+  }
+  return opts;
+}
+
+/// RAII lease of a RunMatrix slot: taken from the free list, or created
+/// when every existing instance is busy (bounded by the pool size, so
+/// at most `jobs` instances ever exist).
+class SweepExecutor::MatrixLease {
+ public:
+  explicit MatrixLease(SweepExecutor& exec) : exec_(exec) {
+    std::lock_guard<std::mutex> lock(exec_.slots_mutex_);
+    if (!exec_.free_matrices_.empty()) {
+      matrix_ = exec_.free_matrices_.back();
+      exec_.free_matrices_.pop_back();
+    } else {
+      exec_.matrices_.push_back(
+          std::make_unique<RunMatrix>(exec_.cluster_, exec_.power_));
+      matrix_ = exec_.matrices_.back().get();
+    }
+  }
+  ~MatrixLease() {
+    std::lock_guard<std::mutex> lock(exec_.slots_mutex_);
+    exec_.free_matrices_.push_back(matrix_);
+  }
+  RunMatrix& operator*() { return *matrix_; }
+
+ private:
+  SweepExecutor& exec_;
+  RunMatrix* matrix_ = nullptr;
+};
+
+SweepExecutor::SweepExecutor(sim::ClusterConfig cluster,
+                             power::PowerModel power, SweepOptions options)
+    : cluster_(std::move(cluster)),
+      power_(std::move(power)),
+      pool_(options.jobs > 0 ? options.jobs : util::ThreadPool::default_jobs()),
+      cache_(options.cache_dir),
+      use_cache_(options.use_cache) {}
+
+RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p) {
+  if (!use_cache_) {
+    MatrixLease lease(*this);
+    return (*lease).run_one(kernel, p.nodes, p.frequency_mhz, p.comm_dvfs_mhz);
+  }
+  const std::string key = RunCache::key(kernel, cluster_, power_, p.nodes,
+                                        p.frequency_mhz, p.comm_dvfs_mhz);
+  if (std::optional<RunRecord> cached = cache_.lookup(key)) return *cached;
+  RunRecord rec;
+  {
+    MatrixLease lease(*this);
+    rec = (*lease).run_one(kernel, p.nodes, p.frequency_mhz, p.comm_dvfs_mhz);
+  }
+  cache_.store(key, rec);
+  return rec;
+}
+
+RunRecord SweepExecutor::run_one(const npb::Kernel& kernel, int nodes,
+                                 double frequency_mhz, double comm_dvfs_mhz) {
+  return run_point(kernel, Point{nodes, frequency_mhz, comm_dvfs_mhz});
+}
+
+std::vector<RunRecord> SweepExecutor::run_points(
+    const npb::Kernel& kernel, const std::vector<Point>& points) {
+  std::vector<RunRecord> records(points.size());
+  if (points.size() <= 1 || pool_.max_threads() == 1) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      records[i] = run_point(kernel, points[i]);
+    return records;
+  }
+  std::vector<std::future<void>> done;
+  done.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    done.push_back(pool_.submit(
+        [this, &kernel, &points, &records, i] {
+          records[i] = run_point(kernel, points[i]);
+        }));
+  }
+  // Drain every future before rethrowing so no task still references
+  // the local vectors.
+  std::exception_ptr first;
+  for (std::future<void>& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return records;
+}
+
+MatrixResult SweepExecutor::sweep(const npb::Kernel& kernel,
+                                  const std::vector<int>& node_counts,
+                                  const std::vector<double>& freqs_mhz,
+                                  double comm_dvfs_mhz) {
+  std::vector<Point> points;
+  points.reserve(node_counts.size() * freqs_mhz.size());
+  for (int n : node_counts) {
+    for (double f : freqs_mhz) points.push_back(Point{n, f, comm_dvfs_mhz});
+  }
+  std::vector<RunRecord> records = run_points(kernel, points);
+  MatrixResult result;
+  for (RunRecord& rec : records) result.add(std::move(rec));
+  return result;
+}
+
+}  // namespace pas::analysis

@@ -1,0 +1,100 @@
+// SweepExecutor — the concurrent, memoized sweep engine.
+//
+// The evaluation is a grid of independent simulated runs: every run
+// owns a private Runtime/Cluster and starts from reset state, so runs
+// are embarrassingly parallel (the paper's own point about degree of
+// parallelism, applied to our harness). The executor fans the grid out
+// over a fixed worker pool while keeping results deterministic:
+//
+//   * MatrixResult.records stays in grid order (nodes-major, frequency
+//     minor, exactly as RunMatrix::sweep produces it), and
+//   * every record is bit-identical to the serial path — concurrency
+//     changes only wall-clock time, never virtual time (DESIGN.md §6).
+//
+// A RunCache (in-memory, optionally disk-backed) memoizes records by
+// the canonical operating-point key, so parameterization passes and
+// repeated bench invocations stop re-simulating identical points.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pas/analysis/run_cache.hpp"
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/util/thread_pool.hpp"
+
+namespace pas::util {
+class Cli;
+}
+
+namespace pas::analysis {
+
+struct SweepOptions {
+  /// Concurrent grid points; <= 0 means "use the machine"
+  /// (ThreadPool::default_jobs).
+  int jobs = 0;
+  /// Directory for the persistent run cache; empty = in-memory only.
+  std::string cache_dir;
+  /// Disables memoization entirely (every point re-simulates).
+  bool use_cache = true;
+
+  /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
+  /// then hardware concurrency), `--cache [dir]` (default dir
+  /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`.
+  static SweepOptions from_cli(const util::Cli& cli);
+};
+
+class SweepExecutor {
+ public:
+  explicit SweepExecutor(sim::ClusterConfig cluster,
+                         power::PowerModel power = power::PowerModel(),
+                         SweepOptions options = SweepOptions());
+
+  int jobs() const { return pool_.max_threads(); }
+  RunCache& cache() { return cache_; }
+  const RunCache& cache() const { return cache_; }
+  const sim::ClusterConfig& cluster() const { return cluster_; }
+
+  /// One operating point of the grid.
+  struct Point {
+    int nodes = 0;
+    double frequency_mhz = 0.0;
+    double comm_dvfs_mhz = 0.0;
+  };
+
+  /// Cache-aware equivalent of RunMatrix::run_one.
+  RunRecord run_one(const npb::Kernel& kernel, int nodes,
+                    double frequency_mhz, double comm_dvfs_mhz = 0.0);
+
+  /// Runs `points` concurrently; the result vector matches `points`
+  /// index-for-index. Rethrows the first task exception.
+  std::vector<RunRecord> run_points(const npb::Kernel& kernel,
+                                    const std::vector<Point>& points);
+
+  /// Parallel, memoized drop-in for RunMatrix::sweep: same grid order,
+  /// bit-identical records.
+  MatrixResult sweep(const npb::Kernel& kernel,
+                     const std::vector<int>& node_counts,
+                     const std::vector<double>& freqs_mhz,
+                     double comm_dvfs_mhz = 0.0);
+
+ private:
+  class MatrixLease;
+  RunRecord run_point(const npb::Kernel& kernel, const Point& p);
+
+  sim::ClusterConfig cluster_;
+  power::PowerModel power_;
+  util::ThreadPool pool_;
+  RunCache cache_;
+  bool use_cache_;
+  /// RunMatrix instances (each with its own Runtime + rank pool) are
+  /// leased per task and reused, so a sweep touches at most `jobs`
+  /// simulated clusters however large the grid is.
+  std::mutex slots_mutex_;
+  std::vector<std::unique_ptr<RunMatrix>> matrices_;
+  std::vector<RunMatrix*> free_matrices_;
+};
+
+}  // namespace pas::analysis

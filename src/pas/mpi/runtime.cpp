@@ -1,8 +1,8 @@
 #include "pas/mpi/runtime.hpp"
 
 #include <exception>
+#include <future>
 #include <stdexcept>
-#include <thread>
 
 #include "pas/util/format.hpp"
 
@@ -46,7 +46,7 @@ std::string RunResult::to_string() const {
 }
 
 Runtime::Runtime(sim::ClusterConfig cfg)
-    : cfg_(std::move(cfg)), cluster_(cfg_) {
+    : cfg_(std::move(cfg)), cluster_(cfg_), rank_pool_(cfg_.num_nodes) {
   mailboxes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
   for (int i = 0; i < cfg_.num_nodes; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -69,19 +69,23 @@ RunResult Runtime::run(int nranks, double frequency_mhz, const RankBody& body) {
   for (int r = 0; r < nranks; ++r)
     comms.push_back(std::unique_ptr<Comm>(new Comm(*this, r, nranks)));
 
+  // Every rank must hold a worker for the whole run (ranks block on
+  // each other through mailboxes and collectives), so the pool needs
+  // one worker per rank before any body starts.
+  rank_pool_.ensure_workers(nranks);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
+  std::vector<std::future<void>> done;
+  done.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
+    done.push_back(rank_pool_.submit([&, r] {
       try {
         body(*comms[static_cast<std::size_t>(r)]);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
-    });
+    }));
   }
-  for (std::thread& t : threads) t.join();
+  for (std::future<void>& f : done) f.get();
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -17,6 +17,7 @@
 #include "pas/mpi/communicator.hpp"
 #include "pas/sim/cluster.hpp"
 #include "pas/sim/trace.hpp"
+#include "pas/util/thread_pool.hpp"
 
 namespace pas::mpi {
 
@@ -71,7 +72,15 @@ class Runtime {
   /// Executes `body` on `nranks` ranks (1 <= nranks <= cluster size) at
   /// the given DVFS point. Blocks until all ranks finish; rethrows the
   /// first rank exception, if any.
+  ///
+  /// Rank bodies execute on a pool of worker threads owned by this
+  /// Runtime: a K-rank run reuses K pooled workers, so back-to-back
+  /// runs (sweeps, parameterization passes) pay thread creation once
+  /// per worker, not once per rank per run.
   RunResult run(int nranks, double frequency_mhz, const RankBody& body);
+
+  /// Rank workers created so far (grows to the largest nranks seen).
+  int pooled_rank_threads() const { return rank_pool_.spawned(); }
 
  private:
   friend class Comm;
@@ -82,6 +91,10 @@ class Runtime {
   sim::Cluster cluster_;
   sim::Tracer tracer_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Every rank of a run must hold a worker for the whole run (ranks
+  /// rendezvous through mailboxes), so capacity is the cluster size and
+  /// run() pre-spawns one worker per rank before submitting the batch.
+  util::ThreadPool rank_pool_;
 };
 
 }  // namespace pas::mpi

@@ -116,6 +116,10 @@ double local_dot(const Slab& s, const Vec& a, const Vec& b) {
 
 }  // namespace
 
+std::string CgKernel::signature() const {
+  return pas::util::strf("CG(n=%d,iters=%d)", cfg_.n, cfg_.iterations);
+}
+
 CgKernel::CgKernel(CgConfig cfg) : cfg_(cfg) {
   if (cfg_.n < 2) throw std::invalid_argument("CG: n too small");
   if (cfg_.iterations < 1) throw std::invalid_argument("CG: iterations >= 1");

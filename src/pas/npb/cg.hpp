@@ -31,6 +31,7 @@ class CgKernel final : public Kernel {
   explicit CgKernel(CgConfig cfg = {});
 
   std::string name() const override { return "CG"; }
+  std::string signature() const override;
 
   /// Result values: "residual_0" (initial), "residual_<i>" after each
   /// iteration (1-based), "error_inf" (deviation from the exact

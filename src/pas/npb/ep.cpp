@@ -53,6 +53,12 @@ void run_slice(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
 
 EpKernel::EpKernel(EpConfig cfg) : cfg_(cfg) {}
 
+std::string EpKernel::signature() const {
+  return pas::util::strf("EP(m=%d,seed=%llu,batch=%d)", cfg_.log2_pairs,
+                         static_cast<unsigned long long>(cfg_.seed),
+                         cfg_.batch_pairs);
+}
+
 EpKernel::Reference EpKernel::reference(const EpConfig& cfg) {
   // The sequential reference is as expensive as the whole run; cache it
   // per configuration so sweeps pay it once.

@@ -33,6 +33,7 @@ class EpKernel final : public Kernel {
   explicit EpKernel(EpConfig cfg = {});
 
   std::string name() const override { return "EP"; }
+  std::string signature() const override;
 
   /// Result values (rank 0): "sx", "sy" (deviate sums), "q0".."q9"
   /// (annulus counts), "accepted". Verification recomputes a reference

@@ -229,6 +229,13 @@ double freq(int i, int n) {
 
 }  // namespace
 
+std::string FtKernel::signature() const {
+  return pas::util::strf("FT(nx=%d,ny=%d,nz=%d,niter=%d,seed=%llu,alpha=%.17g,rt=%d)",
+                         cfg_.nx, cfg_.ny, cfg_.nz, cfg_.niter,
+                         static_cast<unsigned long long>(cfg_.seed),
+                         cfg_.alpha, cfg_.roundtrip_check ? 1 : 0);
+}
+
 FtKernel::FtKernel(FtConfig cfg) : cfg_(cfg) {
   if (!is_pow2(static_cast<std::size_t>(cfg_.nx)) ||
       !is_pow2(static_cast<std::size_t>(cfg_.ny)) ||

@@ -44,6 +44,7 @@ class FtKernel final : public Kernel {
   explicit FtKernel(FtConfig cfg = {});
 
   std::string name() const override { return "FT"; }
+  std::string signature() const override;
 
   /// Result values: "checksum_re_<t>", "checksum_im_<t>" for each
   /// iteration t (1-based), and "roundtrip_err" when enabled.

@@ -34,6 +34,13 @@ class Kernel {
 
   virtual std::string name() const = 0;
 
+  /// Canonical identity of this kernel instance: the name plus every
+  /// configuration parameter that affects its computation or
+  /// communication. Two kernels with equal signatures must produce
+  /// bit-identical runs — the run cache (pas/analysis/run_cache.hpp)
+  /// keys on this string.
+  virtual std::string signature() const = 0;
+
   /// Executes this rank's part of the kernel. Every rank returns a
   /// result; rank 0's carries the verification verdict.
   virtual KernelResult run(mpi::Comm& comm) const = 0;

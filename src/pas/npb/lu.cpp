@@ -108,6 +108,11 @@ ProcGrid lu_proc_grid(int nranks) {
   return g;
 }
 
+std::string LuKernel::signature() const {
+  return pas::util::strf("LU(n=%d,iters=%d,omega=%.17g)", cfg_.n,
+                         cfg_.iterations, cfg_.omega);
+}
+
 LuKernel::LuKernel(LuConfig cfg) : cfg_(cfg) {
   if (cfg_.n < 4) throw std::invalid_argument("LU: n too small");
 }

@@ -49,6 +49,7 @@ class LuKernel final : public Kernel {
   explicit LuKernel(LuConfig cfg = {});
 
   std::string name() const override { return "LU"; }
+  std::string signature() const override;
 
   /// Result values: "residual_0" (initial RMS residual),
   /// "residual_<i>" after iteration i (1-based), "error_inf" (max

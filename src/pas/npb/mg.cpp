@@ -196,6 +196,13 @@ void prolongate_and_correct(mpi::Comm& comm, Hierarchy& h, int l) {
 
 }  // namespace
 
+std::string MgKernel::signature() const {
+  return pas::util::strf(
+      "MG(n=%d,levels=%d,cycles=%d,pre=%d,post=%d,coarse=%d,w=%.17g)", cfg_.n,
+      cfg_.levels, cfg_.cycles, cfg_.pre_smooth, cfg_.post_smooth,
+      cfg_.coarse_smooth, cfg_.jacobi_weight);
+}
+
 MgKernel::MgKernel(MgConfig cfg) : cfg_(cfg) {
   if (cfg_.n < 4 || (cfg_.n & (cfg_.n - 1)) != 0)
     throw std::invalid_argument("MG: n must be a power of two >= 4");

@@ -42,6 +42,7 @@ class MgKernel final : public Kernel {
   explicit MgKernel(MgConfig cfg = {});
 
   std::string name() const override { return "MG"; }
+  std::string signature() const override;
 
   /// Result values: "residual_0", "residual_<c>" after each V-cycle.
   /// Verification: substantial, monotone residual reduction.

@@ -1,0 +1,76 @@
+#include "pas/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pas::util {
+
+ThreadPool::ThreadPool(int max_threads)
+    : max_threads_(std::max(1, max_threads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::spawned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::ensure_workers(int n) {
+  const int want = std::min(n, max_threads_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < want) spawn_worker_locked();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    // Spawn only when nobody is free to pick the task up; blocked-task
+    // batches that need one worker per task use ensure_workers.
+    if (idle_ == 0 && static_cast<int>(workers_.size()) < max_threads_)
+      spawn_worker_locked();
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::spawn_worker_locked() {
+  // Counted idle from birth: the new worker is committed to reaching
+  // the wait loop, so posts racing with its startup must not conclude
+  // "nobody is free" and spawn redundant threads.
+  ++idle_;
+  workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) {
+        --idle_;
+        return;
+      }
+      continue;
+    }
+    --idle_;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    ++idle_;
+  }
+}
+
+int ThreadPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace pas::util

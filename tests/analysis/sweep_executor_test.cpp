@@ -1,0 +1,185 @@
+#include "pas/analysis/sweep_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/run_matrix.hpp"
+
+namespace pas::analysis {
+namespace {
+
+// Bitwise equality across every RunRecord field — the executor's
+// determinism guarantee (DESIGN.md §6) is exact, not approximate.
+void expect_identical(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.frequency_mhz, b.frequency_mhz);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.mean_overhead_s, b.mean_overhead_s);
+  EXPECT_EQ(a.mean_cpu_s, b.mean_cpu_s);
+  EXPECT_EQ(a.mean_memory_s, b.mean_memory_s);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.energy.cpu_j, b.energy.cpu_j);
+  EXPECT_EQ(a.energy.memory_j, b.energy.memory_j);
+  EXPECT_EQ(a.energy.network_j, b.energy.network_j);
+  EXPECT_EQ(a.energy.idle_j, b.energy.idle_j);
+  EXPECT_EQ(a.messages_per_rank, b.messages_per_rank);
+  EXPECT_EQ(a.doubles_per_message, b.doubles_per_message);
+  EXPECT_EQ(a.executed_per_rank.reg_ops, b.executed_per_rank.reg_ops);
+  EXPECT_EQ(a.executed_per_rank.l1_ops, b.executed_per_rank.l1_ops);
+  EXPECT_EQ(a.executed_per_rank.l2_ops, b.executed_per_rank.l2_ops);
+  EXPECT_EQ(a.executed_per_rank.mem_ops, b.executed_per_rank.mem_ops);
+}
+
+SweepOptions jobs(int n) {
+  SweepOptions o;
+  o.jobs = n;
+  return o;
+}
+
+TEST(SweepExecutor, ParallelSweepMatchesSerialBitForBit) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const std::vector<int> nodes{1, 2, 4};
+  const std::vector<double> freqs{600, 1000, 1400};
+
+  RunMatrix serial(cfg);
+  const MatrixResult want = serial.sweep(*kernel, nodes, freqs);
+
+  SweepExecutor executor(cfg, power::PowerModel(), jobs(4));
+  const MatrixResult got = executor.sweep(*kernel, nodes, freqs);
+
+  ASSERT_EQ(got.records.size(), want.records.size());
+  // Same grid order (nodes-major, frequency-minor), same bits.
+  for (std::size_t i = 0; i < want.records.size(); ++i)
+    expect_identical(got.records[i], want.records[i]);
+  for (int n : nodes)
+    for (double f : freqs) EXPECT_EQ(got.times.at(n, f), want.times.at(n, f));
+}
+
+TEST(SweepExecutor, CommDvfsSweepMatchesSerial) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  RunMatrix serial(cfg);
+  const RunRecord want = serial.run_one(*kernel, 4, 1400, 600);
+  SweepExecutor executor(cfg, power::PowerModel(), jobs(2));
+  expect_identical(executor.run_one(*kernel, 4, 1400, 600), want);
+}
+
+TEST(SweepExecutor, RunPointsMatchesInputOrder) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepExecutor executor(cfg, power::PowerModel(), jobs(3));
+  const std::vector<SweepExecutor::Point> points{
+      {4, 1400}, {1, 600}, {2, 1000}};
+  const std::vector<RunRecord> records = executor.run_points(*kernel, points);
+  ASSERT_EQ(records.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(records[i].nodes, points[i].nodes);
+    EXPECT_EQ(records[i].frequency_mhz, points[i].frequency_mhz);
+  }
+}
+
+TEST(SweepExecutor, CacheHitReturnsIdenticalRecord) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepExecutor executor(cfg, power::PowerModel(), jobs(1));
+  const RunRecord fresh = executor.run_one(*kernel, 2, 1000);
+  EXPECT_EQ(executor.cache().hits(), 0u);
+  const RunRecord hit = executor.run_one(*kernel, 2, 1000);
+  EXPECT_EQ(executor.cache().hits(), 1u);
+  expect_identical(hit, fresh);
+}
+
+TEST(SweepExecutor, DiskCacheRoundTripsRecordsExactly) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  const std::string dir =
+      testing::TempDir() + "/pasim_sweep_cache_test";
+  std::filesystem::remove_all(dir);  // stale entries from earlier runs
+
+  SweepOptions warm = jobs(1);
+  warm.cache_dir = dir;
+  SweepExecutor writer(cfg, power::PowerModel(), warm);
+  const MatrixResult want = writer.sweep(*kernel, {1, 2}, {600, 1400});
+  EXPECT_EQ(writer.cache().stores(), 4u);
+
+  // A new executor (fresh memory) must hit the disk entries and get the
+  // same bits back through the hexfloat round trip.
+  SweepExecutor reader(cfg, power::PowerModel(), warm);
+  const MatrixResult got = reader.sweep(*kernel, {1, 2}, {600, 1400});
+  EXPECT_EQ(reader.cache().hits(), 4u);
+  EXPECT_EQ(reader.cache().misses(), 0u);
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < want.records.size(); ++i)
+    expect_identical(got.records[i], want.records[i]);
+}
+
+TEST(SweepExecutor, NoCacheOptionAlwaysSimulates) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepOptions opts = jobs(1);
+  opts.use_cache = false;
+  SweepExecutor executor(cfg, power::PowerModel(), opts);
+  const RunRecord a = executor.run_one(*kernel, 1, 600);
+  const RunRecord b = executor.run_one(*kernel, 1, 600);
+  EXPECT_EQ(executor.cache().hits(), 0u);
+  EXPECT_EQ(executor.cache().stores(), 0u);
+  expect_identical(a, b);  // determinism holds without memoization too
+}
+
+TEST(SweepExecutor, CacheKeySeparatesKernelsAndPoints) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const power::PowerModel power;
+  const auto ep = make_kernel("EP", Scale::kSmall);
+  const auto ft = make_kernel("FT", Scale::kSmall);
+  const std::string base = RunCache::key(*ep, cfg, power, 2, 1000, 0);
+  EXPECT_NE(base, RunCache::key(*ft, cfg, power, 2, 1000, 0));
+  EXPECT_NE(base, RunCache::key(*ep, cfg, power, 4, 1000, 0));
+  EXPECT_NE(base, RunCache::key(*ep, cfg, power, 2, 600, 0));
+  EXPECT_NE(base, RunCache::key(*ep, cfg, power, 2, 1000, 600));
+  EXPECT_EQ(base, RunCache::key(*ep, cfg, power, 2, 1000, 0));
+}
+
+TEST(SweepExecutor, BadPointExceptionPropagates) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepExecutor executor(cfg, power::PowerModel(), jobs(2));
+  // 725 MHz is not an operating point of the paper testbed.
+  EXPECT_THROW(
+      executor.run_points(*kernel, {{1, 600}, {1, 725}, {2, 600}}),
+      std::out_of_range);
+}
+
+TEST(MatrixResult, IndexFollowsDirectAppends) {
+  RunMatrix matrix(sim::ClusterConfig::paper_testbed(2));
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  MatrixResult result = matrix.sweep(*kernel, {1}, {600});
+  EXPECT_EQ(result.at(1, 600).nodes, 1);
+  // Appending to `records` directly (bypassing add) must still be
+  // visible through at(): the index is rebuilt lazily.
+  RunRecord extra = matrix.run_one(*kernel, 2, 1400);
+  result.records.push_back(extra);
+  EXPECT_EQ(result.at(2, 1400).nodes, 2);
+  EXPECT_THROW(result.at(2, 600), std::out_of_range);
+}
+
+TEST(SweepExecutor, ExecutorBackedParameterizationMatchesSerial) {
+  ExperimentEnv env = ExperimentEnv::small();
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const core::SimplifiedParameterization serial =
+      parameterize_simplified(*kernel, env);
+  SweepExecutor executor(env.cluster, power::PowerModel(), jobs(2));
+  const core::SimplifiedParameterization parallel =
+      parameterize_simplified(*kernel, env, executor);
+  for (int n : env.nodes)
+    for (double f : env.freqs_mhz)
+      EXPECT_EQ(parallel.predict_time(n, f), serial.predict_time(n, f));
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -81,6 +81,51 @@ TEST(Runtime, AggregatesSumOverRanks) {
                    r.total_cpu_seconds() + r.total_memory_seconds());
 }
 
+TEST(Runtime, RankPoolGrowsToRankCountAndIsReused) {
+  Runtime rt(cfg(4));
+  EXPECT_EQ(rt.pooled_rank_threads(), 0);
+  rt.run(2, 1000, [](Comm&) {});
+  EXPECT_EQ(rt.pooled_rank_threads(), 2);
+  rt.run(4, 1000, [](Comm&) {});
+  EXPECT_EQ(rt.pooled_rank_threads(), 4);
+  // Smaller runs reuse the existing workers instead of spawning more.
+  rt.run(1, 1000, [](Comm&) {});
+  rt.run(3, 1000, [](Comm&) {});
+  EXPECT_EQ(rt.pooled_rank_threads(), 4);
+}
+
+TEST(Runtime, BackToBackRunsMatchFreshRuntime) {
+  // A pooled Runtime that has already executed runs (including a
+  // failing one) must produce the same results as a fresh Runtime: no
+  // stale clock, mailbox, or counter state survives between runs.
+  auto body = [](Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e6 * (comm.rank() + 1),
+                                     .mem_ops = 1e4});
+    comm.barrier();
+  };
+  Runtime reused(cfg(4));
+  reused.run(4, 1400, body);
+  try {
+    reused.run(2, 1000, [](Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("poison run");
+      comm.compute(sim::InstructionMix{.reg_ops = 1e5});
+    });
+  } catch (const std::runtime_error&) {
+  }
+  const RunResult warm = reused.run(3, 600, body);
+
+  Runtime fresh(cfg(4));
+  const RunResult cold = fresh.run(3, 600, body);
+  ASSERT_EQ(warm.ranks.size(), cold.ranks.size());
+  EXPECT_EQ(warm.makespan, cold.makespan);
+  for (std::size_t i = 0; i < warm.ranks.size(); ++i) {
+    EXPECT_EQ(warm.ranks[i].finish_time, cold.ranks[i].finish_time);
+    EXPECT_EQ(warm.ranks[i].cpu_seconds, cold.ranks[i].cpu_seconds);
+    EXPECT_EQ(warm.ranks[i].network_seconds, cold.ranks[i].network_seconds);
+    EXPECT_EQ(warm.ranks[i].executed.total(), cold.ranks[i].executed.total());
+  }
+}
+
 TEST(Runtime, ExecutedMixRecorded) {
   Runtime rt(cfg());
   const RunResult r = rt.run(1, 1000, [](Comm& comm) {
