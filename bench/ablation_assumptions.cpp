@@ -35,6 +35,7 @@ pas::analysis::ErrorTable sp_errors(const pas::sim::ClusterConfig& cluster,
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"small"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();

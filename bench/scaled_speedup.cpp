@@ -40,6 +40,7 @@ std::unique_ptr<npb::Kernel> scaled_ft(int factor) {
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"freq"});
   const double f = cli.get_double("freq", 1400);
   const std::vector<int> nodes{1, 2, 4, 8, 16};
   analysis::RunMatrix matrix(sim::ClusterConfig::paper_testbed(16));

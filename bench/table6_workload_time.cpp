@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"csv"});
   analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
 
   tools::MemBench membench(sim::CpuModel(

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"kernel", "objective"});
   const std::string name = cli.get("kernel", "FT");
   const std::string objective_arg = cli.get("objective", "edp");
 

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"dop", "offchip", "onchip", "overhead-off", "overhead-on"});
 
   core::Work app;
   app.on_chip = cli.get_double("onchip", 6e8);

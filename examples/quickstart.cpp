@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"kernel"});
   const std::string name = cli.get("kernel", "FT");
 
   // 1. The simulated testbed: 16 Pentium-M nodes, five DVFS points,

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
+  cli.check_usage({"kernel", "nodes", "freq", "comm-dvfs", "out"});
   const std::string name = cli.get("kernel", "FT");
   const int nodes = static_cast<int>(cli.get_int("nodes", 4));
   const double freq = cli.get_double("freq", 1400);

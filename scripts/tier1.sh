@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full build + test suite, then the
 # concurrency tests again under ThreadSanitizer (PASIM_SANITIZE=thread,
-# separate build-tsan/ tree). The TSan stage is skipped gracefully on
-# toolchains without -fsanitize=thread support.
+# separate build-tsan/ tree) and the fault/error-path tests under
+# AddressSanitizer (PASIM_SANITIZE=address, build-asan/). Sanitizer
+# stages are skipped gracefully on toolchains without the respective
+# -fsanitize support.
 #
 # Usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -10,23 +12,43 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 
+have_sanitizer() {
+  printf 'int main(){return 0;}' |
+    c++ -x c++ "-fsanitize=$1" -o /dev/null - 2>/dev/null
+}
+
 echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== tier 1: concurrency tests under TSan =="
-if ! printf 'int main(){return 0;}' |
-  c++ -x c++ -fsanitize=thread -o /dev/null - 2>/dev/null; then
+if have_sanitizer thread; then
+  cmake -B build-tsan -S . -DPASIM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" \
+    --target util_test mpi_test analysis_test fault_test
+  ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
+  ./build-tsan/tests/mpi_test --gtest_filter='Runtime.*'
+  ./build-tsan/tests/analysis_test \
+    --gtest_filter='SweepExecutor.*:MatrixResult.*:RunMatrix.*'
+  # The watchdog (monitor + mailbox wakeups) and the fail-soft sweep
+  # are the raciest code in the tree: run every fault test under TSan.
+  ./build-tsan/tests/fault_test
+else
   echo "skipped: this toolchain does not support -fsanitize=thread"
-  exit 0
 fi
 
-cmake -B build-tsan -S . -DPASIM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target util_test mpi_test analysis_test
-./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
-./build-tsan/tests/mpi_test --gtest_filter='Runtime.*'
-./build-tsan/tests/analysis_test \
-  --gtest_filter='SweepExecutor.*:MatrixResult.*:RunMatrix.*'
+echo "== tier 1: fault + error paths under ASan =="
+if have_sanitizer address; then
+  cmake -B build-asan -S . -DPASIM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS" --target fault_test mpi_test
+  ./build-asan/tests/fault_test
+  # Exception-heavy error paths (invalid requests, collective
+  # mismatches) where leaks from unwound ranks would hide.
+  ./build-asan/tests/mpi_test \
+    --gtest_filter='Collectives.*:Nonblocking.*:Runtime.*'
+else
+  echo "skipped: this toolchain does not support -fsanitize=address"
+fi
 
 echo "tier 1 OK"

@@ -65,6 +65,7 @@ std::string cluster_signature(const sim::ClusterConfig& c) {
       << d17(c.network.cpu_cycles_per_byte) << ','
       << (c.network.model_port_contention ? 1 : 0);
   out << ";dvfs_tr=" << d17(c.dvfs_transition_s);
+  out << ";fault=" << c.fault.signature();
   return out.str();
 }
 
@@ -85,7 +86,7 @@ std::string RunCache::key(const npb::Kernel& kernel,
                           const power::PowerModel& power, int nodes,
                           double frequency_mhz, double comm_dvfs_mhz) {
   return pas::util::strf(
-      "v1|%s|%s|%s|N=%d|f=%s|comm=%s", kernel.signature().c_str(),
+      "v2|%s|%s|%s|N=%d|f=%s|comm=%s", kernel.signature().c_str(),
       cluster_signature(cluster).c_str(), power_signature(power).c_str(),
       nodes, d17(frequency_mhz).c_str(), d17(comm_dvfs_mhz).c_str());
 }
@@ -106,44 +107,70 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
     }
   }
   if (!dir_.empty()) {
-    std::ifstream in(path_for(key));
-    if (in) {
-      std::string header, stored_key;
-      std::getline(in, header);
-      std::getline(in, stored_key);
-      RunRecord rec;
-      double verified = 0.0;
-      const bool ok =
-          header == "pasim-run-cache v1" && stored_key == "key " + key &&
-          [&] {
-            int n = 0;
-            std::string name;
-            if (!(in >> name >> n) || name != "nodes") return false;
-            rec.nodes = n;
-            return get(in, "frequency_mhz", &rec.frequency_mhz) &&
-                   get(in, "seconds", &rec.seconds) &&
-                   get(in, "mean_overhead_s", &rec.mean_overhead_s) &&
-                   get(in, "mean_cpu_s", &rec.mean_cpu_s) &&
-                   get(in, "mean_memory_s", &rec.mean_memory_s) &&
-                   get(in, "verified", &verified) &&
-                   get(in, "energy_cpu_j", &rec.energy.cpu_j) &&
-                   get(in, "energy_memory_j", &rec.energy.memory_j) &&
-                   get(in, "energy_network_j", &rec.energy.network_j) &&
-                   get(in, "energy_idle_j", &rec.energy.idle_j) &&
-                   get(in, "messages_per_rank", &rec.messages_per_rank) &&
-                   get(in, "doubles_per_message", &rec.doubles_per_message) &&
-                   get(in, "exec_reg", &rec.executed_per_rank.reg_ops) &&
-                   get(in, "exec_l1", &rec.executed_per_rank.l1_ops) &&
-                   get(in, "exec_l2", &rec.executed_per_rank.l2_ops) &&
-                   get(in, "exec_mem", &rec.executed_per_rank.mem_ops);
-          }();
-      if (ok) {
-        rec.verified = verified != 0.0;
-        std::lock_guard<std::mutex> lock(mutex_);
-        memory_.emplace(key, rec);
-        ++hits_;
-        return rec;
+    const std::string path = path_for(key);
+    bool present = false;
+    bool collision = false;
+    {
+      std::ifstream in(path);
+      present = static_cast<bool>(in);
+      if (in) {
+        std::string header, stored_key;
+        std::getline(in, header);
+        std::getline(in, stored_key);
+        // A valid file holding a *different* key is an fnv1a filename
+        // collision, not corruption: leave it alone and miss.
+        collision =
+            header == "pasim-run-cache v2" && stored_key != "key " + key &&
+            stored_key.rfind("key v", 0) == 0;
+        RunRecord rec;
+        double verified = 0.0;
+        double attempts = 1.0;
+        const bool ok =
+            header == "pasim-run-cache v2" && stored_key == "key " + key &&
+            [&] {
+              int n = 0;
+              std::string name;
+              if (!(in >> name >> n) || name != "nodes") return false;
+              rec.nodes = n;
+              return get(in, "frequency_mhz", &rec.frequency_mhz) &&
+                     get(in, "seconds", &rec.seconds) &&
+                     get(in, "mean_overhead_s", &rec.mean_overhead_s) &&
+                     get(in, "mean_cpu_s", &rec.mean_cpu_s) &&
+                     get(in, "mean_memory_s", &rec.mean_memory_s) &&
+                     get(in, "verified", &verified) &&
+                     get(in, "energy_cpu_j", &rec.energy.cpu_j) &&
+                     get(in, "energy_memory_j", &rec.energy.memory_j) &&
+                     get(in, "energy_network_j", &rec.energy.network_j) &&
+                     get(in, "energy_idle_j", &rec.energy.idle_j) &&
+                     get(in, "messages_per_rank", &rec.messages_per_rank) &&
+                     get(in, "doubles_per_message", &rec.doubles_per_message) &&
+                     get(in, "exec_reg", &rec.executed_per_rank.reg_ops) &&
+                     get(in, "exec_l1", &rec.executed_per_rank.l1_ops) &&
+                     get(in, "exec_l2", &rec.executed_per_rank.l2_ops) &&
+                     get(in, "exec_mem", &rec.executed_per_rank.mem_ops) &&
+                     get(in, "attempts", &attempts) &&
+                     get(in, "send_retries", &rec.send_retries);
+            }();
+        if (ok) {
+          rec.verified = verified != 0.0;
+          rec.attempts = static_cast<int>(attempts);
+          std::lock_guard<std::mutex> lock(mutex_);
+          memory_.emplace(key, rec);
+          ++hits_;
+          return rec;
+        }
       }
+    }
+    if (present && !collision) {
+      // Corrupt / truncated / old-format entry: quarantine it so the
+      // bad bytes never count as a hit again, and treat as a miss.
+      std::error_code ec;
+      std::filesystem::rename(path, path + ".bad", ec);
+      pas::util::log_warn(
+          "run cache: corrupt entry " + path +
+          (ec ? " (quarantine failed: " + ec.message() + ")"
+              : " quarantined to " + path + ".bad") +
+          "; treating as a miss");
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -152,6 +179,9 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
 }
 
 void RunCache::store(const std::string& key, const RunRecord& record) {
+  // Failed runs are never cached: a retry with different settings (or
+  // a fixed kernel) must re-simulate the point.
+  if (record.failed()) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     memory_.emplace(key, record);
@@ -174,7 +204,7 @@ void RunCache::store(const std::string& key, const RunRecord& record) {
       pas::util::log_warn("run cache: cannot write " + tmp);
       return;
     }
-    out << "pasim-run-cache v1\n";
+    out << "pasim-run-cache v2\n";
     out << "key " << key << '\n';
     out << "nodes " << record.nodes << '\n';
     put(out, "frequency_mhz", record.frequency_mhz);
@@ -193,6 +223,8 @@ void RunCache::store(const std::string& key, const RunRecord& record) {
     put(out, "exec_l1", record.executed_per_rank.l1_ops);
     put(out, "exec_l2", record.executed_per_rank.l2_ops);
     put(out, "exec_mem", record.executed_per_rank.mem_ops);
+    put(out, "attempts", static_cast<double>(record.attempts));
+    put(out, "send_retries", record.send_retries);
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) pas::util::log_warn("run cache: cannot rename " + tmp);

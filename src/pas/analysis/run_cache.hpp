@@ -12,7 +12,10 @@
 // already covered. Records are serialized with hex floats (%a), so a
 // cache hit returns a RunRecord bit-identical to the fresh run that
 // produced it — REPORT.md and the CSVs are byte-identical either way.
-// Unreadable, truncated or colliding entries are treated as misses.
+// Unreadable or colliding entries are treated as misses; corrupt or
+// truncated files are additionally quarantined to `<file>.bad` (with a
+// logged warning) so garbage can never satisfy a later lookup. Failed
+// runs (RunRecord::failed()) are never stored.
 #pragma once
 
 #include <cstdint>

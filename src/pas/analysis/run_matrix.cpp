@@ -7,11 +7,31 @@
 
 namespace pas::analysis {
 
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kDeadlock: return "deadlock";
+    case RunStatus::kNodeFailure: return "node-failure";
+    case RunStatus::kMessageLoss: return "message-loss";
+    case RunStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 void MatrixResult::add(RunRecord record) {
-  times.add(record.nodes, record.frequency_mhz, record.seconds);
+  if (!record.failed())
+    times.add(record.nodes, record.frequency_mhz, record.seconds);
   index_.emplace(grid_key(record.nodes, record.frequency_mhz),
                  records.size());
   records.push_back(std::move(record));
+}
+
+std::vector<const RunRecord*> MatrixResult::failed_points() const {
+  std::vector<const RunRecord*> failed;
+  for (const RunRecord& r : records) {
+    if (r.failed()) failed.push_back(&r);
+  }
+  return failed;
 }
 
 const RunRecord& MatrixResult::at(int nodes, double frequency_mhz) const {
@@ -49,8 +69,10 @@ RunMatrix::RunMatrix(sim::ClusterConfig cluster, power::PowerModel power)
       runtime_(cluster_) {}
 
 RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
-                             double frequency_mhz, double comm_dvfs_mhz) {
+                             double frequency_mhz, double comm_dvfs_mhz,
+                             int fault_attempt) {
   npb::KernelResult root_result;
+  runtime_.set_fault_attempt(fault_attempt);
   const mpi::RunResult run =
       runtime_.run(nodes, frequency_mhz, [&](mpi::Comm& comm) {
         if (comm_dvfs_mhz != 0.0) comm.set_comm_dvfs_mhz(comm_dvfs_mhz);
@@ -95,6 +117,7 @@ RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
   for (const mpi::RankReport& r : run.ranks) {
     messages += static_cast<double>(r.comm.messages_sent);
     doubles += r.comm.avg_doubles_per_message();
+    rec.send_retries += static_cast<double>(r.comm.sends_retried);
   }
   rec.messages_per_rank = messages / n;
   rec.doubles_per_message = doubles / n;

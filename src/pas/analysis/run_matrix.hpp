@@ -4,6 +4,7 @@
 // energy, and communication profiles.
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +14,18 @@
 #include "pas/power/energy_meter.hpp"
 
 namespace pas::analysis {
+
+/// How one run ended. Everything except kOk is a fault-induced abort
+/// recorded by the fail-soft sweep path (see SweepExecutor).
+enum class RunStatus {
+  kOk = 0,
+  kDeadlock,     ///< mpi::DeadlockError (watchdog)
+  kNodeFailure,  ///< fault::NodeFailedError
+  kMessageLoss,  ///< fault::MessageLossError (retries exhausted)
+  kTimeout,      ///< mpi::TimeoutError
+};
+
+const char* run_status_name(RunStatus status);
 
 /// Everything measured about one run.
 struct RunRecord {
@@ -27,6 +40,12 @@ struct RunRecord {
   double messages_per_rank = 0.0;
   double doubles_per_message = 0.0;
   sim::InstructionMix executed_per_rank;  ///< mean executed mix
+  RunStatus status = RunStatus::kOk;
+  std::string error;         ///< diagnostic text of a failed run
+  int attempts = 1;          ///< simulation attempts (sweep retries + 1)
+  double send_retries = 0.0; ///< fault-injected resends, summed over ranks
+
+  bool failed() const { return status != RunStatus::kOk; }
 };
 
 struct MatrixResult {
@@ -34,7 +53,12 @@ struct MatrixResult {
   core::TimingMatrix times;
 
   /// Appends a record and feeds the timing matrix + lookup index.
+  /// Failed records join `records` (and the index) but are kept out of
+  /// the timing matrix — model fits must not see fault aborts as data.
   void add(RunRecord record);
+
+  /// Records with a non-kOk status.
+  std::vector<const RunRecord*> failed_points() const;
 
   /// O(1) via a (nodes, frequency) hash index; the index is rebuilt
   /// lazily if `records` was appended to directly. Not safe to call
@@ -65,8 +89,12 @@ class RunMatrix {
 
   /// One configuration. `comm_dvfs_mhz` != 0 enables communication-
   /// phase DVFS at that operating point (paper §1 / refs [14, 15]).
+  /// `fault_attempt` salts the run's FaultPlan (sweep-level retries);
+  /// fault-induced aborts propagate as exceptions for the executor's
+  /// fail-soft path to classify.
   RunRecord run_one(const npb::Kernel& kernel, int nodes,
-                    double frequency_mhz, double comm_dvfs_mhz = 0.0);
+                    double frequency_mhz, double comm_dvfs_mhz = 0.0,
+                    int fault_attempt = 0);
 
   /// The full grid.
   MatrixResult sweep(const npb::Kernel& kernel,

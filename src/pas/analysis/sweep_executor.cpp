@@ -2,9 +2,12 @@
 
 #include <cstdlib>
 #include <future>
+#include <stdexcept>
 #include <utility>
 
 #include "pas/util/cli.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/log.hpp"
 
 namespace pas::analysis {
 
@@ -13,6 +16,13 @@ SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
   const char* env_jobs = std::getenv("PASIM_JOBS");
   opts.jobs = static_cast<int>(
       cli.get_int("jobs", env_jobs != nullptr ? std::atol(env_jobs) : 0));
+  if (cli.has("jobs") && opts.jobs < 1)
+    throw std::invalid_argument(pas::util::strf(
+        "--jobs must be >= 1 (got %ld)", cli.get_int("jobs", 0)));
+  opts.run_retries = static_cast<int>(cli.get_int("retries", opts.run_retries));
+  if (opts.run_retries < 0)
+    throw std::invalid_argument(pas::util::strf(
+        "--retries must be >= 0 (got %d)", opts.run_retries));
   if (cli.has("cache")) {
     opts.cache_dir = cli.get("cache", "");
     if (opts.cache_dir.empty()) opts.cache_dir = ".pasim_cache";
@@ -59,22 +69,67 @@ SweepExecutor::SweepExecutor(sim::ClusterConfig cluster,
       power_(std::move(power)),
       pool_(options.jobs > 0 ? options.jobs : util::ThreadPool::default_jobs()),
       cache_(options.cache_dir),
-      use_cache_(options.use_cache) {}
+      use_cache_(options.use_cache),
+      run_retries_(options.run_retries) {}
+
+RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
+                                           const Point& p) {
+  // Retries only make sense when fault injection is on: each attempt
+  // replays a differently-salted (still deterministic) FaultPlan. A
+  // deadlock in a fault-free run is a bug in the kernel body and would
+  // reproduce identically, so it is recorded on the first attempt.
+  const int max_attempts =
+      1 + (cluster_.fault.enabled() ? std::max(0, run_retries_) : 0);
+  for (int attempt = 0;; ++attempt) {
+    RunStatus status;
+    std::string error;
+    try {
+      MatrixLease lease(*this);
+      RunRecord rec = (*lease).run_one(kernel, p.nodes, p.frequency_mhz,
+                                       p.comm_dvfs_mhz, attempt);
+      rec.attempts = attempt + 1;
+      return rec;
+    } catch (const fault::NodeFailedError& e) {
+      status = RunStatus::kNodeFailure;
+      error = e.what();
+    } catch (const fault::MessageLossError& e) {
+      status = RunStatus::kMessageLoss;
+      error = e.what();
+    } catch (const mpi::TimeoutError& e) {
+      status = RunStatus::kTimeout;
+      error = e.what();
+    } catch (const mpi::DeadlockError& e) {
+      status = RunStatus::kDeadlock;
+      error = e.what();
+    }
+    // Fault-induced aborts are data, not bugs. Anything else (bad
+    // operating point, rank-body exception, ...) propagates above.
+    if (attempt + 1 < max_attempts) {
+      util::log_info(util::strf(
+          "%s N=%d f=%.0fMHz: %s (%s); retrying (attempt %d/%d)",
+          kernel.name().c_str(), p.nodes, p.frequency_mhz,
+          run_status_name(status), error.c_str(), attempt + 2, max_attempts));
+      continue;
+    }
+    RunRecord rec;
+    rec.nodes = p.nodes;
+    rec.frequency_mhz = p.frequency_mhz;
+    rec.status = status;
+    rec.error = std::move(error);
+    rec.attempts = attempt + 1;
+    return rec;
+  }
+}
 
 RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p) {
-  if (!use_cache_) {
-    MatrixLease lease(*this);
-    return (*lease).run_one(kernel, p.nodes, p.frequency_mhz, p.comm_dvfs_mhz);
-  }
+  if (!use_cache_) return simulate_failsoft(kernel, p);
   const std::string key = RunCache::key(kernel, cluster_, power_, p.nodes,
                                         p.frequency_mhz, p.comm_dvfs_mhz);
   if (std::optional<RunRecord> cached = cache_.lookup(key)) return *cached;
-  RunRecord rec;
-  {
-    MatrixLease lease(*this);
-    rec = (*lease).run_one(kernel, p.nodes, p.frequency_mhz, p.comm_dvfs_mhz);
-  }
-  cache_.store(key, rec);
+  RunRecord rec = simulate_failsoft(kernel, p);
+  // Failed records are never cached: a later sweep with more retries
+  // (or a fixed kernel) must get a fresh chance at the point.
+  if (!rec.failed()) cache_.store(key, rec);
   return rec;
 }
 
@@ -125,6 +180,17 @@ MatrixResult SweepExecutor::sweep(const npb::Kernel& kernel,
   std::vector<RunRecord> records = run_points(kernel, points);
   MatrixResult result;
   for (RunRecord& rec : records) result.add(std::move(rec));
+  if (const auto failed = result.failed_points(); !failed.empty()) {
+    std::string detail;
+    for (const RunRecord* r : failed)
+      detail += util::strf(" [N=%d f=%.0f: %s]", r->nodes, r->frequency_mhz,
+                           run_status_name(r->status));
+    util::log_warn(util::strf(
+        "%s: %zu/%zu sweep points failed under fault injection;%s excluded "
+        "from the timing matrix",
+        kernel.name().c_str(), failed.size(), result.records.size(),
+        detail.c_str()));
+  }
   return result;
 }
 

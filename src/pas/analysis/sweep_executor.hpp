@@ -39,10 +39,18 @@ struct SweepOptions {
   std::string cache_dir;
   /// Disables memoization entirely (every point re-simulates).
   bool use_cache = true;
+  /// Per-point retries of *transient* fault aborts (message loss, node
+  /// failure, ...) before the point is recorded as failed. Each retry
+  /// replays an attempt-salted FaultPlan, so retrying stays
+  /// deterministic. Only consulted when the cluster's fault injection
+  /// is enabled.
+  int run_retries = 1;
 
   /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
   /// then hardware concurrency), `--cache [dir]` (default dir
-  /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`.
+  /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`,
+  /// `--retries N`. Throws std::invalid_argument for `--jobs < 1` or
+  /// `--retries < 0`.
   static SweepOptions from_cli(const util::Cli& cli);
 };
 
@@ -69,12 +77,18 @@ class SweepExecutor {
                     double frequency_mhz, double comm_dvfs_mhz = 0.0);
 
   /// Runs `points` concurrently; the result vector matches `points`
-  /// index-for-index. Rethrows the first task exception.
+  /// index-for-index.
+  ///
+  /// Fail-soft: a run aborted by fault injection or the deadlock
+  /// watchdog is retried (`run_retries`, transient faults only) and
+  /// then recorded with its failure status — the sweep continues.
+  /// Non-fault exceptions (bad configuration, programming errors)
+  /// still propagate after all points drain.
   std::vector<RunRecord> run_points(const npb::Kernel& kernel,
                                     const std::vector<Point>& points);
 
   /// Parallel, memoized drop-in for RunMatrix::sweep: same grid order,
-  /// bit-identical records.
+  /// bit-identical records. Logs a summary of failed points, if any.
   MatrixResult sweep(const npb::Kernel& kernel,
                      const std::vector<int>& node_counts,
                      const std::vector<double>& freqs_mhz,
@@ -83,12 +97,14 @@ class SweepExecutor {
  private:
   class MatrixLease;
   RunRecord run_point(const npb::Kernel& kernel, const Point& p);
+  RunRecord simulate_failsoft(const npb::Kernel& kernel, const Point& p);
 
   sim::ClusterConfig cluster_;
   power::PowerModel power_;
   util::ThreadPool pool_;
   RunCache cache_;
   bool use_cache_;
+  int run_retries_;
   /// RunMatrix instances (each with its own Runtime + rank pool) are
   /// leased per task and reused, so a sweep touches at most `jobs`
   /// simulated clusters however large the grid is.

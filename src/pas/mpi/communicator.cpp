@@ -1,14 +1,16 @@
 #include "pas/mpi/communicator.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "pas/mpi/runtime.hpp"
+#include "pas/mpi/watchdog.hpp"
 #include "pas/util/format.hpp"
 
 namespace pas::mpi {
 
-Comm::Comm(Runtime& runtime, int rank, int size)
-    : runtime_(runtime), rank_(rank), size_(size) {}
+Comm::Comm(Runtime& runtime, int rank, int size, fault::RankFaults faults)
+    : runtime_(runtime), rank_(rank), size_(size), faults_(std::move(faults)) {}
 
 double Comm::now() const { return runtime_.cluster().node(rank_).clock.now(); }
 
@@ -26,6 +28,7 @@ void Comm::compute(const sim::InstructionMix& mix) {
   n.spend(split.on_chip_s, sim::Activity::kCpu);
   n.spend(split.off_chip_s, sim::Activity::kMemory);
   n.executed += mix;
+  faults_.check_alive(n.clock.now());
   sim::Tracer& tracer = runtime_.tracer();
   if (tracer.enabled())
     tracer.record(rank_, t0, n.clock.now() - t0, sim::Activity::kCpu,
@@ -35,6 +38,7 @@ void Comm::compute(const sim::InstructionMix& mix) {
 void Comm::compute_seconds(double s, sim::Activity act) {
   exit_comm_phase();
   node().spend(s, act);
+  faults_.check_alive(node().clock.now());
 }
 
 void Comm::set_comm_dvfs_mhz(double mhz) {
@@ -52,7 +56,8 @@ void Comm::enter_comm_phase() {
   in_comm_phase_ = true;
   if (sim::NodeState::fkey(app_mhz_) == sim::NodeState::fkey(comm_dvfs_mhz_))
     return;  // already at the comm point: nothing to switch
-  n.spend(runtime_.config().dvfs_transition_s, sim::Activity::kCpu);
+  n.spend(runtime_.config().dvfs_transition_s + faults_.draw_dvfs_jitter(),
+          sim::Activity::kCpu);
   n.cpu.set_frequency_mhz(comm_dvfs_mhz_);
 }
 
@@ -64,7 +69,8 @@ void Comm::exit_comm_phase() {
       sim::NodeState::fkey(app_mhz_))
     return;
   n.cpu.set_frequency_mhz(app_mhz_);
-  n.spend(runtime_.config().dvfs_transition_s, sim::Activity::kCpu);
+  n.spend(runtime_.config().dvfs_transition_s + faults_.draw_dvfs_jitter(),
+          sim::Activity::kCpu);
 }
 
 double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
@@ -78,36 +84,50 @@ double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
   // Communication region: a per-phase DVFS schedule drops the clock here.
   enter_comm_phase();
 
-  // Sender-side CPU cost (stack + copy), paced by this node's DVFS
-  // frequency — the mechanism that makes large-message overhead mildly
-  // frequency-sensitive (Table 6).
-  const double o_send = runtime_.cluster().fabric().config().cpu_overhead_s(
-      wire_bytes, n.cpu.frequency_hz());
-  n.spend(o_send, sim::Activity::kNetwork);
+  sim::NetworkFabric::Transfer t;
+  for (int tries = 1;; ++tries) {
+    // Sender-side CPU cost (stack + copy), paced by this node's DVFS
+    // frequency — the mechanism that makes large-message overhead
+    // mildly frequency-sensitive (Table 6).
+    const double o_send = runtime_.cluster().fabric().config().cpu_overhead_s(
+        wire_bytes, n.cpu.frequency_hz());
+    n.spend(o_send, sim::Activity::kNetwork);
 
-  const sim::NetworkFabric::Transfer t =
-      runtime_.cluster().fabric().transfer(rank_, dst, wire_bytes, n.clock.now());
+    t = runtime_.cluster().fabric().transfer(rank_, dst, wire_bytes,
+                                             n.clock.now());
 
-  // Blocking-send semantics (MPICH over TCP on Fast Ethernet): the
-  // sender stays in the stack while its NIC serializes the message, so
-  // it pays the wire time inline. This is what makes "number of
-  // messages x per-message time" (the paper's w_PO model, §5.2 step 2)
-  // an accurate account of communication cost. Nonblocking sends skip
-  // the inline wait and settle up in wait().
-  if (blocking) n.spend_until(t.tx_end, sim::Activity::kNetwork);
+    // Blocking-send semantics (MPICH over TCP on Fast Ethernet): the
+    // sender stays in the stack while its NIC serializes the message, so
+    // it pays the wire time inline. This is what makes "number of
+    // messages x per-message time" (the paper's w_PO model, §5.2 step 2)
+    // an accurate account of communication cost. Nonblocking sends skip
+    // the inline wait and settle up in wait().
+    if (blocking) n.spend_until(t.tx_end, sim::Activity::kNetwork);
+
+    if (!faults_.message_faults() || !faults_.draw_drop()) break;
+    // Injected loss: the transport retries with exponential backoff,
+    // re-paying the CPU overhead and wire time each attempt — the
+    // energy cost of unreliability that resilience_sweep measures.
+    if (tries >= faults_.max_send_attempts())
+      throw fault::MessageLossError(rank_, dst, tag, tries);
+    ++stats_.sends_retried;
+    n.spend(faults_.backoff_s(tries - 1), sim::Activity::kNetwork);
+  }
+  faults_.check_alive(n.clock.now());
 
   Message msg;
   msg.src = rank_;
   msg.dst = dst;
   msg.tag = tag;
   msg.bytes = wire_bytes;
-  msg.at_switch = t.at_switch;
+  msg.at_switch = t.at_switch + faults_.draw_delay();
   msg.rx_ser_s = t.rx_ser_s;
   msg.data = std::move(data);
 
   ++stats_.messages_sent;
   stats_.bytes_sent += wire_bytes;
 
+  runtime_.monitor().on_deliver(dst, rank_, tag);
   runtime_.mailbox(dst).deliver(std::move(msg));
 
   sim::Tracer& tracer = runtime_.tracer();
@@ -204,15 +224,30 @@ void Comm::complete_recv(const Message& msg) {
                                   msg.bytes));
 }
 
-Payload Comm::recv(int src, int tag) {
-  Message msg = runtime_.mailbox(rank_).receive(src, tag);
+Message Comm::matched_recv(int src, int tag, double timeout_s) {
+  if (src < 0 || src >= size_)
+    throw std::out_of_range(pas::util::strf("recv from bad rank %d", src));
+  const double t0 = now();
+  Message msg =
+      runtime_.mailbox(rank_).receive(src, tag, runtime_.monitor(), rank_);
   complete_recv(msg);
+  const double waited = now() - t0;
+  if (timeout_s > 0.0 && waited > timeout_s)
+    throw TimeoutError(pas::util::strf(
+        "rank %d: recv<-%d (tag %d) completed after %.6gs of virtual time "
+        "(timeout %.6gs)",
+        rank_, src, tag, waited, timeout_s));
+  faults_.check_alive(now());
+  return msg;
+}
+
+Payload Comm::recv(int src, int tag, double timeout_s) {
+  Message msg = matched_recv(src, tag, timeout_s);
   return std::move(msg.data);
 }
 
-std::size_t Comm::recv_bytes(int src, int tag) {
-  Message msg = runtime_.mailbox(rank_).receive(src, tag);
-  complete_recv(msg);
+std::size_t Comm::recv_bytes(int src, int tag, double timeout_s) {
+  Message msg = matched_recv(src, tag, timeout_s);
   return msg.bytes;
 }
 

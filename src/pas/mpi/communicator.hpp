@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "pas/fault/fault.hpp"
 #include "pas/mpi/mailbox.hpp"
 #include "pas/mpi/message.hpp"
 #include "pas/sim/cluster.hpp"
@@ -29,6 +30,8 @@ struct CommStats {
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t collective_calls = 0;
+  /// Fault-injected send attempts that were dropped and re-sent.
+  std::uint64_t sends_retried = 0;
 
   double avg_doubles_per_message() const {
     if (messages_sent == 0) return 0.0;
@@ -44,7 +47,8 @@ class Runtime;
 
 class Comm {
  public:
-  Comm(Runtime& runtime, int rank, int size);
+  Comm(Runtime& runtime, int rank, int size,
+       fault::RankFaults faults = fault::RankFaults{});
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -88,11 +92,15 @@ class Comm {
   /// Timing-only message of `bytes` wire bytes (no payload).
   void send_bytes(int dst, int tag, std::size_t bytes);
 
-  /// Blocking receive matching exactly (src, tag).
-  Payload recv(int src, int tag);
+  /// Blocking receive matching exactly (src, tag). A positive
+  /// `timeout_s` bounds the wait in *virtual* time: if the receive
+  /// completes more than timeout_s after it started, TimeoutError is
+  /// thrown (a genuine hang is caught by the deadlock watchdog instead;
+  /// see watchdog.hpp).
+  Payload recv(int src, int tag, double timeout_s = 0.0);
 
   /// Blocking receive of a timing-only message; returns its wire size.
-  std::size_t recv_bytes(int src, int tag);
+  std::size_t recv_bytes(int src, int tag, double timeout_s = 0.0);
 
   /// Simultaneous exchange: sends `data` to `dst`, receives from `src`.
   /// Deadlock-free because sends are buffered.
@@ -170,6 +178,9 @@ class Comm {
               bool blocking = true);
   /// Receiver-side completion bookkeeping for a matched message.
   void complete_recv(const Message& msg);
+  /// Shared body of recv/recv_bytes: monitored mailbox wait +
+  /// completion + virtual-time timeout check.
+  Message matched_recv(int src, int tag, double timeout_s);
   /// Tag for the next collective phase (lockstep across ranks).
   int next_collective_tag();
 
@@ -182,6 +193,9 @@ class Comm {
   Runtime& runtime_;
   int rank_;
   int size_;
+  /// This rank's fault stream for the current run (inactive when fault
+  /// injection is off).
+  fault::RankFaults faults_;
   int collective_seq_ = 0;
   /// Receiver-port "busy until" in virtual time; owned by this rank's
   /// thread, booked in message-match order (see complete_recv).

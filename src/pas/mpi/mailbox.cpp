@@ -1,6 +1,9 @@
 #include "pas/mpi/mailbox.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "pas/mpi/watchdog.hpp"
 
 namespace pas::mpi {
 namespace {
@@ -32,6 +35,26 @@ Message Mailbox::receive(int src, int tag) {
   }
 }
 
+Message Mailbox::receive(int src, int tag, RunMonitor& monitor, int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), matcher(src, tag));
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      monitor.on_take(rank, src, tag);
+      return msg;
+    }
+    // enter_wait throws DeadlockError when this wait completes the
+    // no-progress condition (or a peer already latched one). The
+    // bounded wait makes missed deadlock wakeups harmless: the rank
+    // re-checks within 20 ms of wall time.
+    monitor.enter_wait(rank, src, tag);
+    cv_.wait_for(lock, std::chrono::milliseconds(20));
+    monitor.exit_wait(rank);
+  }
+}
+
 bool Mailbox::probe(int src, int tag) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(), matcher(src, tag));
@@ -41,5 +64,12 @@ std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
 }
+
+void Mailbox::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
+}
+
+void Mailbox::wake() { cv_.notify_all(); }
 
 }  // namespace pas::mpi

@@ -15,6 +15,8 @@
 
 namespace pas::mpi {
 
+class RunMonitor;
+
 class Mailbox {
  public:
   /// Thread-safe delivery; wakes blocked receivers.
@@ -24,11 +26,22 @@ class Mailbox {
   /// removes it from the queue.
   Message receive(int src, int tag);
 
+  /// Monitored blocking receive: registers the wait with the run's
+  /// deadlock watchdog and rethrows its DeadlockError if the run can
+  /// no longer make progress (see watchdog.hpp).
+  Message receive(int src, int tag, RunMonitor& monitor, int rank);
+
   /// Non-blocking: true if a matching message is queued.
   bool probe(int src, int tag) const;
 
   /// Number of queued (undelivered-to-application) messages.
   std::size_t pending() const;
+
+  /// Discards all queued messages (cleanup after an aborted run).
+  void clear();
+
+  /// Wakes blocked receivers without delivering (deadlock unwinding).
+  void wake();
 
  private:
   mutable std::mutex mutex_;

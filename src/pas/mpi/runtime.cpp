@@ -50,6 +50,32 @@ Runtime::Runtime(sim::ClusterConfig cfg)
   mailboxes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
   for (int i = 0; i < cfg_.num_nodes; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  // On deadlock the monitor wakes every blocked receiver so each rank
+  // unwinds with its own DeadlockError (notify needs no mailbox lock).
+  monitor_.set_wake_all([this] {
+    for (auto& mb : mailboxes_) mb->wake();
+  });
+}
+
+std::exception_ptr Runtime::pick_error(
+    const std::vector<std::exception_ptr>& errors) {
+  std::exception_ptr primary, deadlock;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    bool is_deadlock = false;
+    try {
+      std::rethrow_exception(e);
+    } catch (const DeadlockError&) {
+      is_deadlock = true;
+    } catch (...) {
+    }
+    if (!is_deadlock) {
+      if (!primary) primary = e;
+    } else if (!deadlock) {
+      deadlock = e;
+    }
+  }
+  return primary ? primary : deadlock;
 }
 
 RunResult Runtime::run(int nranks, double frequency_mhz, const RankBody& body) {
@@ -60,14 +86,27 @@ RunResult Runtime::run(int nranks, double frequency_mhz, const RankBody& body) {
   cluster_.reset();
   cluster_.set_frequency_mhz(frequency_mhz);
   for (auto& mb : mailboxes_) {
-    if (mb->pending() != 0)
-      throw std::logic_error("stale messages from a previous run");
+    if (mb->pending() != 0) {
+      // An aborted run legitimately strands undelivered messages; a
+      // *successful* run that leaves some is still a bug in the body.
+      if (!last_run_failed_)
+        throw std::logic_error("stale messages from a previous run");
+      mb->clear();
+    }
   }
+
+  const fault::FaultPlan plan(cfg_.fault, nranks, fault_attempt_);
+  if (plan.active()) {
+    for (int r = 0; r < nranks; ++r)
+      cluster_.node(r).cpu.set_perf_scale(plan.speed_factor(r));
+  }
+  monitor_.begin_run(nranks);
 
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
-    comms.push_back(std::unique_ptr<Comm>(new Comm(*this, r, nranks)));
+    comms.push_back(
+        std::unique_ptr<Comm>(new Comm(*this, r, nranks, plan.rank_faults(r))));
 
   // Every rank must hold a worker for the whole run (ranks block on
   // each other through mailboxes and collectives), so the pool needs
@@ -83,12 +122,17 @@ RunResult Runtime::run(int nranks, double frequency_mhz, const RankBody& body) {
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      // Registered in both outcomes: a finished or aborted rank can
+      // complete a deadlock among the survivors.
+      monitor_.end_rank(r);
     }));
   }
   for (std::future<void>& f : done) f.get();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  if (std::exception_ptr e = pick_error(errors)) {
+    last_run_failed_ = true;
+    std::rethrow_exception(e);
   }
+  last_run_failed_ = false;
 
   RunResult result;
   result.nranks = nranks;

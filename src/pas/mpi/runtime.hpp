@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "pas/fault/fault.hpp"
 #include "pas/mpi/communicator.hpp"
+#include "pas/mpi/watchdog.hpp"
 #include "pas/sim/cluster.hpp"
 #include "pas/sim/trace.hpp"
 #include "pas/util/thread_pool.hpp"
@@ -82,14 +84,34 @@ class Runtime {
   /// Rank workers created so far (grows to the largest nranks seen).
   int pooled_rank_threads() const { return rank_pool_.spawned(); }
 
+  /// Attempt number for the next run's FaultPlan: a sweep-level retry
+  /// bumps it so the retried run replays a fresh (still deterministic)
+  /// fault schedule. Ignored when cfg.fault is disabled.
+  void set_fault_attempt(int attempt) { fault_attempt_ = attempt; }
+  int fault_attempt() const { return fault_attempt_; }
+
  private:
   friend class Comm;
 
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+  RunMonitor& monitor() { return monitor_; }
+
+  /// Picks the exception to rethrow after a failed run: the lowest
+  /// rank's non-DeadlockError if any (root causes — a fault abort or a
+  /// user error — beat the secondary deadlocks they induce), else the
+  /// lowest rank's DeadlockError. Deterministic: rank order, not
+  /// wall-clock order.
+  static std::exception_ptr pick_error(
+      const std::vector<std::exception_ptr>& errors);
 
   sim::ClusterConfig cfg_;
   sim::Cluster cluster_;
   sim::Tracer tracer_;
+  RunMonitor monitor_;
+  int fault_attempt_ = 0;
+  /// A failed run may leave undelivered messages behind; the next run
+  /// clears them instead of treating them as a stale-state bug.
+  bool last_run_failed_ = false;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   /// Every rank of a run must hold a worker for the whole run (ranks
   /// rendezvous through mailboxes), so capacity is the cluster size and

@@ -1,0 +1,100 @@
+#include "pas/mpi/watchdog.hpp"
+
+#include <sstream>
+
+namespace pas::mpi {
+
+DeadlockError::DeadlockError(const std::string& what,
+                             std::vector<WaitEdge> graph)
+    : std::runtime_error(what), graph_(std::move(graph)) {}
+
+void RunMonitor::begin_run(int nranks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nranks_ = nranks;
+  blocked_ = 0;
+  done_ = 0;
+  deadlock_ = false;
+  waits_.assign(static_cast<std::size_t>(nranks), Wait{});
+  graph_.clear();
+  pending_.clear();
+}
+
+void RunMonitor::end_rank(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || static_cast<std::size_t>(rank) >= waits_.size()) return;
+  ++done_;
+  detect_locked();
+}
+
+void RunMonitor::on_deliver(int dst, int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int& count = pending_[chan_key(dst, src, tag)];
+  if (++count == 0) pending_.erase(chan_key(dst, src, tag));
+}
+
+void RunMonitor::on_take(int dst, int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int& count = pending_[chan_key(dst, src, tag)];
+  if (--count == 0) pending_.erase(chan_key(dst, src, tag));
+}
+
+void RunMonitor::enter_wait(int rank, int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (deadlock_) throw make_error_locked();
+  Wait& w = waits_.at(static_cast<std::size_t>(rank));
+  w.blocked = true;
+  w.src = src;
+  w.tag = tag;
+  ++blocked_;
+  detect_locked();
+  if (deadlock_) {
+    // Unregister before unwinding; the peers wake via wake_all_ and
+    // throw from their own next enter_wait.
+    w.blocked = false;
+    --blocked_;
+    throw make_error_locked();
+  }
+}
+
+void RunMonitor::exit_wait(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Wait& w = waits_.at(static_cast<std::size_t>(rank));
+  if (w.blocked) {
+    w.blocked = false;
+    --blocked_;
+  }
+}
+
+bool RunMonitor::deadlocked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadlock_;
+}
+
+void RunMonitor::detect_locked() {
+  if (deadlock_ || blocked_ == 0 || blocked_ + done_ < nranks_) return;
+  for (int r = 0; r < nranks_; ++r) {
+    const Wait& w = waits_[static_cast<std::size_t>(r)];
+    if (!w.blocked) continue;
+    const auto it = pending_.find(chan_key(r, w.src, w.tag));
+    if (it != pending_.end() && it->second > 0) return;  // deliverable
+  }
+  deadlock_ = true;
+  graph_.clear();
+  for (int r = 0; r < nranks_; ++r) {
+    const Wait& w = waits_[static_cast<std::size_t>(r)];
+    if (w.blocked) graph_.push_back(WaitEdge{r, w.src, w.tag});
+  }
+  if (wake_all_) wake_all_();
+}
+
+DeadlockError RunMonitor::make_error_locked() const {
+  std::ostringstream out;
+  out << "deadlock: every live rank is blocked with no deliverable message;"
+      << " wait-for:";
+  for (const WaitEdge& e : graph_)
+    out << ' ' << e.rank << "->" << e.waits_for << "(tag " << e.tag << ")";
+  if (done_ > 0) out << " [" << done_ << " rank(s) already finished]";
+  return DeadlockError(out.str(), graph_);
+}
+
+}  // namespace pas::mpi

@@ -1,0 +1,114 @@
+// Deadlock watchdog for the rank runtime.
+//
+// RunMonitor keeps its own accounting of undelivered messages (one
+// counter per (dst, src, tag) channel, updated by the sender before
+// delivery and by the receiver on take) plus the set of ranks currently
+// blocked in a receive. When every live rank is blocked and no blocked
+// rank's awaited channel has a pending message, the run can never make
+// progress: the monitor latches a deadlock, wakes every mailbox, and
+// each blocked rank unwinds with a DeadlockError carrying the full
+// rank -> wait-for graph.
+//
+// The scan touches only monitor-internal state, so the lock order is
+// strictly mailbox mutex -> monitor mutex and the watchdog itself can
+// never deadlock. Detection is exact (no timers involved): transient
+// states where a taker has removed a message but not yet resumed are
+// ruled out because that taker is, by definition, not blocked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pas::mpi {
+
+/// One edge of the wait-for graph: `rank` is blocked receiving
+/// (src=waits_for, tag).
+struct WaitEdge {
+  int rank = -1;
+  int waits_for = -1;
+  int tag = 0;
+};
+
+/// Thrown out of a blocking receive when the run has deadlocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  DeadlockError(const std::string& what, std::vector<WaitEdge> graph);
+  /// Every blocked rank with what it was waiting for, sorted by rank.
+  const std::vector<WaitEdge>& wait_for_graph() const { return graph_; }
+
+ private:
+  std::vector<WaitEdge> graph_;
+};
+
+/// A blocking receive completed later (in virtual time) than its
+/// caller-supplied timeout allowed.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class RunMonitor {
+ public:
+  /// Callback that wakes every blocked receiver (notify_all on each
+  /// mailbox); invoked, without any mailbox lock held, when a deadlock
+  /// is latched.
+  void set_wake_all(std::function<void()> wake) { wake_all_ = std::move(wake); }
+
+  /// Resets all accounting for a fresh run of `nranks` ranks.
+  void begin_run(int nranks);
+  /// Marks `rank` finished (normally or by exception). A finishing
+  /// rank can complete a deadlock among the remaining ones.
+  void end_rank(int rank);
+
+  /// Sender-side: a message for channel (dst, src, tag) is about to be
+  /// delivered. Called before Mailbox::deliver.
+  void on_deliver(int dst, int src, int tag);
+  /// Receiver-side: a matching message was taken off the queue.
+  void on_take(int dst, int src, int tag);
+
+  /// Marks `rank` blocked on (src, tag). Throws DeadlockError if this
+  /// completes the no-progress condition (or one is already latched);
+  /// the throwing rank is unregistered first.
+  void enter_wait(int rank, int src, int tag);
+  void exit_wait(int rank);
+
+  bool deadlocked() const;
+
+ private:
+  /// Requires mutex_. Latches the deadlock + graph if no blocked rank
+  /// can make progress.
+  void detect_locked();
+  DeadlockError make_error_locked() const;
+
+  static std::uint64_t chan_key(int dst, int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 48) ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  }
+
+  struct Wait {
+    bool blocked = false;
+    int src = -1;
+    int tag = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::function<void()> wake_all_;
+  int nranks_ = 0;
+  int blocked_ = 0;
+  int done_ = 0;
+  bool deadlock_ = false;
+  std::vector<Wait> waits_;
+  std::vector<WaitEdge> graph_;
+  /// Undelivered-message count per channel. Counts may be transiently
+  /// negative when a take is recorded before its deliver; that only
+  /// happens while the taker is running, which falsifies "all blocked".
+  std::unordered_map<std::uint64_t, int> pending_;
+};
+
+}  // namespace pas::mpi

@@ -58,6 +58,7 @@ void Cluster::reset() {
     n->clock.reset();
     n->executed = InstructionMix{};
     n->activity_by_fkey.clear();
+    n->cpu.set_perf_scale(1.0);
   }
   fabric_.reset();
 }

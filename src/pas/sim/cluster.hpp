@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "pas/fault/fault.hpp"
 #include "pas/sim/cpu_model.hpp"
 #include "pas/sim/network.hpp"
 #include "pas/sim/virtual_clock.hpp"
@@ -24,6 +25,9 @@ struct ClusterConfig {
   /// Latency of one DVFS operating-point transition (SpeedStep-era
   /// voltage ramp). Charged whenever a per-phase schedule switches.
   double dvfs_transition_s = 10e-6;
+  /// Fault injection (stragglers, message loss/delay, node failure);
+  /// disabled by default. See pas/fault/fault.hpp and DESIGN.md §7.
+  fault::FaultConfig fault;
 
   /// The paper's 16-node power-aware cluster (section 4.1).
   static ClusterConfig paper_testbed(int num_nodes = 16);

@@ -1,5 +1,7 @@
 #include "pas/sim/cpu_model.hpp"
 
+#include <stdexcept>
+
 #include "pas/util/format.hpp"
 
 namespace pas::sim {
@@ -38,6 +40,13 @@ CpuModel CpuModel::pentium_m() {
 
 void CpuModel::set_frequency_mhz(double mhz) { current_ = opts_.at_mhz(mhz); }
 
+void CpuModel::set_perf_scale(double scale) {
+  if (scale <= 0.0 || scale > 1.0)
+    throw std::invalid_argument(
+        pas::util::strf("perf_scale %g out of (0, 1]", scale));
+  perf_scale_ = scale;
+}
+
 double CpuModel::on_chip_cycles(const InstructionMix& mix) const {
   const double per_ins_overhead = cfg_.issue_overhead_cpi * mix.total();
   return mix.reg_ops * cfg_.reg_cpi + mix.l1_ops * cfg_.l1_cpi +
@@ -45,9 +54,12 @@ double CpuModel::on_chip_cycles(const InstructionMix& mix) const {
 }
 
 CpuModel::TimeSplit CpuModel::time_split(const InstructionMix& mix) const {
+  // frequency_hz() folds in perf_scale: a straggler's clock *and* bus
+  // run slower, so both terms stretch by 1/scale (the bus-slowdown
+  // threshold still sees the effective frequency).
   TimeSplit split;
-  split.on_chip_s = on_chip_cycles(mix) / current_.frequency_hz;
-  split.off_chip_s = mix.mem_ops * mem_.dram_latency(current_.frequency_hz);
+  split.on_chip_s = on_chip_cycles(mix) / frequency_hz();
+  split.off_chip_s = mix.mem_ops * seconds_per_mem_op();
   return split;
 }
 
@@ -62,7 +74,7 @@ double CpuModel::cpi_on(const InstructionMix& mix) const {
 }
 
 double CpuModel::seconds_per_mem_op() const {
-  return mem_.dram_latency(current_.frequency_hz);
+  return mem_.dram_latency(frequency_hz()) / perf_scale_;
 }
 
 }  // namespace pas::sim

@@ -79,12 +79,20 @@ class CpuModel {
   const MemoryHierarchyConfig& memory() const { return mem_; }
   const OperatingPointTable& operating_points() const { return opts_; }
 
-  /// Current operating point (defaults to the highest).
+  /// Current operating point (defaults to the highest). Always a
+  /// *nominal* table entry — perf_scale does not create new points, so
+  /// energy accounting by operating point stays well-defined.
   const OperatingPoint& current() const { return current_; }
-  double frequency_hz() const { return current_.frequency_hz; }
+  double frequency_hz() const { return current_.frequency_hz * perf_scale_; }
 
   /// Switches the DVFS point; throws std::out_of_range for unknown mhz.
   void set_frequency_mhz(double mhz);
+
+  /// Straggler skew (fault injection): effective CPU and bus speed as a
+  /// fraction of nominal. 1.0 = healthy; 0.75 = 25 % slower. Applied on
+  /// top of whatever operating point is selected.
+  void set_perf_scale(double scale);
+  double perf_scale() const { return perf_scale_; }
 
   /// ON-chip cycles consumed by `mix` (frequency-independent).
   double on_chip_cycles(const InstructionMix& mix) const;
@@ -111,6 +119,7 @@ class CpuModel {
   MemoryHierarchyConfig mem_;
   OperatingPointTable opts_;
   OperatingPoint current_;
+  double perf_scale_ = 1.0;
 };
 
 }  // namespace pas::sim

@@ -1,9 +1,12 @@
 #include "pas/sim/trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include "pas/util/format.hpp"
+#include "pas/util/log.hpp"
 
 namespace pas::sim {
 namespace {
@@ -65,10 +68,23 @@ std::string Tracer::to_chrome_json() const {
 }
 
 bool Tracer::write_chrome_json(const std::string& path) const {
+  errno = 0;
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) {
+    pas::util::log_warn("write_chrome_json: cannot open " + path + ": " +
+                        (errno != 0 ? std::strerror(errno)
+                                    : "unknown I/O error"));
+    return false;
+  }
   f << to_chrome_json();
-  return static_cast<bool>(f);
+  f.flush();
+  if (!f) {
+    pas::util::log_warn("write_chrome_json: write to " + path + " failed: " +
+                        (errno != 0 ? std::strerror(errno)
+                                    : "unknown I/O error"));
+    return false;
+  }
+  return true;
 }
 
 }  // namespace pas::sim

@@ -1,6 +1,9 @@
 #include "pas/util/cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace pas::util {
 
@@ -25,6 +28,27 @@ Cli::Cli(int argc, const char* const* argv) {
     } else {
       options_[arg] = "";
     }
+  }
+}
+
+void Cli::require_known(std::initializer_list<const char*> known) const {
+  for (const auto& [name, value] : options_) {
+    if (std::find_if(known.begin(), known.end(), [&](const char* k) {
+          return name == k;
+        }) != known.end())
+      continue;
+    std::string msg = "unknown option --" + name + "; accepted:";
+    for (const char* k : known) msg += std::string(" --") + k;
+    throw std::invalid_argument(msg);
+  }
+}
+
+void Cli::check_usage(std::initializer_list<const char*> known) const {
+  try {
+    require_known(known);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", program_.c_str(), e.what());
+    std::exit(2);
   }
 }
 

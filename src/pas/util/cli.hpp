@@ -2,6 +2,7 @@
 // Supports "--name value", "--name=value" and boolean "--flag".
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -11,6 +12,15 @@ namespace pas::util {
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
+
+  /// Throws std::invalid_argument naming the first option that is not
+  /// in `known` (a typo'd --flag must not be silently ignored). The
+  /// message lists the accepted options.
+  void require_known(std::initializer_list<const char*> known) const;
+
+  /// require_known for main(): on an unknown option prints the error
+  /// and the accepted options to stderr and exits with status 2.
+  void check_usage(std::initializer_list<const char*> known) const;
 
   /// True if --name was present (with or without a value).
   bool has(const std::string& name) const;

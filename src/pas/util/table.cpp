@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 
 #include "pas/util/format.hpp"
+#include "pas/util/log.hpp"
 
 namespace pas::util {
 namespace {
@@ -105,10 +108,21 @@ std::string TextTable::to_csv() const {
 }
 
 bool TextTable::write_csv(const std::string& path) const {
+  errno = 0;
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) {
+    log_warn("write_csv: cannot open " + path + ": " +
+             (errno != 0 ? std::strerror(errno) : "unknown I/O error"));
+    return false;
+  }
   f << to_csv();
-  return static_cast<bool>(f);
+  f.flush();
+  if (!f) {
+    log_warn("write_csv: write to " + path + " failed: " +
+             (errno != 0 ? std::strerror(errno) : "unknown I/O error"));
+    return false;
+  }
+  return true;
 }
 
 std::ostream& operator<<(std::ostream& os, const TextTable& t) {

@@ -1,0 +1,123 @@
+// Fail-soft sweeping: fault-aborted runs become failure records, the
+// sweep completes, retries stay deterministic, and failed runs are
+// never memoized.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/sweep_executor.hpp"
+#include "pas/fault/fault.hpp"
+#include "pas/util/cli.hpp"
+
+namespace pas::analysis {
+namespace {
+
+SweepOptions jobs(int n) {
+  SweepOptions o;
+  o.jobs = n;
+  return o;
+}
+
+sim::ClusterConfig dying_cluster(int n = 4) {
+  sim::ClusterConfig c = sim::ClusterConfig::paper_testbed(n);
+  c.fault.seed = 3;
+  c.fault.node_failure_prob = 1.0;
+  c.fault.node_failure_window_s = 1e-12;
+  return c;
+}
+
+TEST(FailSoftSweep, SweepCompletesWithEveryPointFailed) {
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepExecutor executor(dying_cluster(), power::PowerModel(), jobs(2));
+  const MatrixResult result = executor.sweep(*kernel, {1, 2}, {600, 1400});
+  ASSERT_EQ(result.records.size(), 4u);
+  for (const RunRecord& rec : result.records) {
+    EXPECT_TRUE(rec.failed());
+    EXPECT_EQ(rec.status, RunStatus::kNodeFailure);
+    EXPECT_FALSE(rec.error.empty());
+  }
+  EXPECT_EQ(result.failed_points().size(), 4u);
+  // Failed points never enter the timing matrix...
+  EXPECT_THROW(result.times.at(1, 600), std::out_of_range);
+  // ...and never enter the cache.
+  EXPECT_EQ(executor.cache().stores(), 0u);
+}
+
+TEST(FailSoftSweep, PersistentFaultConsumesEveryRetry) {
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepOptions opts = jobs(1);
+  opts.run_retries = 2;
+  SweepExecutor executor(dying_cluster(2), power::PowerModel(), opts);
+  const RunRecord rec = executor.run_one(*kernel, 2, 1000);
+  EXPECT_TRUE(rec.failed());
+  EXPECT_EQ(rec.attempts, 3);  // 1 initial + 2 retries, each a new plan
+}
+
+TEST(FailSoftSweep, CleanClusterIgnoresRetries) {
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  SweepOptions opts = jobs(1);
+  opts.run_retries = 5;
+  SweepExecutor executor(sim::ClusterConfig::paper_testbed(2),
+                         power::PowerModel(), opts);
+  const RunRecord rec = executor.run_one(*kernel, 2, 1000);
+  EXPECT_FALSE(rec.failed());
+  EXPECT_EQ(rec.attempts, 1);
+}
+
+// Acceptance criterion: a fault-rate sweep with a fixed --fault-seed is
+// bit-identical between --jobs 1 and --jobs 8, failed points included.
+TEST(FailSoftSweep, FixedSeedBitIdenticalAcrossJobs) {
+  sim::ClusterConfig c = sim::ClusterConfig::paper_testbed(4);
+  c.fault = fault::FaultConfig::scaled(0.05, 42);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const std::vector<int> nodes{1, 2, 4};
+  const std::vector<double> freqs{600, 1000, 1400};
+
+  SweepOptions serial = jobs(1);
+  serial.use_cache = false;
+  SweepExecutor one(c, power::PowerModel(), serial);
+  const MatrixResult want = one.sweep(*kernel, nodes, freqs);
+
+  SweepOptions wide = jobs(8);
+  wide.use_cache = false;
+  SweepExecutor eight(c, power::PowerModel(), wide);
+  const MatrixResult got = eight.sweep(*kernel, nodes, freqs);
+
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < want.records.size(); ++i) {
+    const RunRecord& a = want.records[i];
+    const RunRecord& b = got.records[i];
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.send_retries, b.send_retries);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.mean_overhead_s, b.mean_overhead_s);
+    EXPECT_EQ(a.energy.cpu_j, b.energy.cpu_j);
+    EXPECT_EQ(a.energy.network_j, b.energy.network_j);
+    EXPECT_EQ(a.executed_per_rank.reg_ops, b.executed_per_rank.reg_ops);
+  }
+}
+
+TEST(SweepOptions, FromCliValidatesJobsAndRetries) {
+  auto make = [](std::initializer_list<const char*> extra) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    return util::Cli(static_cast<int>(argv.size()), argv.data());
+  };
+  EXPECT_THROW(SweepOptions::from_cli(make({"--jobs", "0"})),
+               std::invalid_argument);
+  EXPECT_THROW(SweepOptions::from_cli(make({"--jobs", "-2"})),
+               std::invalid_argument);
+  EXPECT_THROW(SweepOptions::from_cli(make({"--retries", "-1"})),
+               std::invalid_argument);
+  const SweepOptions ok = SweepOptions::from_cli(make({"--jobs", "2",
+                                                      "--retries", "0"}));
+  EXPECT_EQ(ok.jobs, 2);
+  EXPECT_EQ(ok.run_retries, 0);
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -119,6 +119,72 @@ TEST(SweepExecutor, DiskCacheRoundTripsRecordsExactly) {
     expect_identical(got.records[i], want.records[i]);
 }
 
+TEST(SweepExecutor, CorruptDiskEntryIsQuarantinedAndResimulated) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const std::string dir = testing::TempDir() + "/pasim_quarantine_test";
+  std::filesystem::remove_all(dir);
+
+  SweepOptions opts = jobs(1);
+  opts.cache_dir = dir;
+  SweepExecutor writer(cfg, power::PowerModel(), opts);
+  const RunRecord want = writer.run_one(*kernel, 2, 1000);
+  ASSERT_EQ(writer.cache().stores(), 1u);
+
+  // Truncate the single on-disk entry to garbage.
+  std::filesystem::path entry;
+  for (const auto& f : std::filesystem::directory_iterator(dir))
+    if (f.path().extension() == ".run") entry = f.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::FILE* f = std::fopen(entry.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("pasim-run-cache v1\ntruncated mid-write", f);
+    std::fclose(f);
+  }
+
+  // A fresh executor treats the corrupt entry as a miss, re-simulates
+  // bit-identically, and moves the garbage aside so it can never
+  // satisfy a later lookup.
+  SweepExecutor reader(cfg, power::PowerModel(), opts);
+  const RunRecord got = reader.run_one(*kernel, 2, 1000);
+  EXPECT_EQ(reader.cache().hits(), 0u);
+  EXPECT_EQ(reader.cache().misses(), 1u);
+  expect_identical(got, want);
+  EXPECT_TRUE(std::filesystem::exists(entry.string() + ".bad"));
+}
+
+TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const std::string dir = testing::TempDir() + "/pasim_collision_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SweepOptions opts = jobs(1);
+  opts.cache_dir = dir;
+  SweepExecutor executor(cfg, power::PowerModel(), opts);
+  const RunRecord fresh = executor.run_one(*kernel, 2, 1000);
+  // Rewrite the entry as a *valid* v2 file holding a different key: an
+  // fnv1a filename collision, not corruption. It must stay untouched
+  // (the other key's owner still needs it) and simply miss.
+  std::filesystem::path entry;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".run") entry = e.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::FILE* out = std::fopen(entry.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    std::fputs("pasim-run-cache v2\nkey v2|someone-elses-point\n", out);
+    std::fclose(out);
+  }
+  SweepExecutor again(cfg, power::PowerModel(), opts);
+  const RunRecord resim = again.run_one(*kernel, 2, 1000);
+  EXPECT_EQ(again.cache().hits(), 0u);
+  expect_identical(resim, fresh);
+  EXPECT_FALSE(std::filesystem::exists(entry.string() + ".bad"));
+}
+
 TEST(SweepExecutor, NoCacheOptionAlwaysSimulates) {
   const auto cfg = sim::ClusterConfig::paper_testbed(2);
   const auto kernel = make_kernel("EP", Scale::kSmall);

@@ -1,0 +1,194 @@
+// pas::fault — plan determinism and the injected fault behaviours.
+#include "pas/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "pas/mpi/runtime.hpp"
+#include "pas/util/cli.hpp"
+
+namespace pas::fault {
+namespace {
+
+sim::ClusterConfig cfg(int n = 4) { return sim::ClusterConfig::paper_testbed(n); }
+
+FaultConfig busy_config() {
+  FaultConfig c;
+  c.seed = 99;
+  c.straggler_fraction = 0.5;
+  c.dvfs_jitter_s = 50e-6;
+  c.message_delay_prob = 0.3;
+  c.message_drop_prob = 0.2;
+  c.node_failure_prob = 0.25;
+  return c;
+}
+
+TEST(FaultPlan, IdenticalInputsYieldIdenticalSchedules) {
+  const FaultConfig c = busy_config();
+  const FaultPlan a(c, 16), b(c, 16);
+  for (int n = 0; n < 16; ++n) {
+    EXPECT_EQ(a.speed_factor(n), b.speed_factor(n));
+    EXPECT_EQ(a.fail_time_s(n), b.fail_time_s(n));
+  }
+  // The per-rank streams replay the same draws in program order.
+  RankFaults ra = a.rank_faults(3), rb = b.rank_faults(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(ra.draw_drop(), rb.draw_drop());
+    EXPECT_EQ(ra.draw_delay(), rb.draw_delay());
+    EXPECT_EQ(ra.draw_dvfs_jitter(), rb.draw_dvfs_jitter());
+  }
+}
+
+TEST(FaultPlan, AttemptSaltsTheSchedule) {
+  const FaultConfig c = busy_config();
+  const FaultPlan first(c, 16, 0), retry(c, 16, 1);
+  RankFaults ra = first.rank_faults(0), rb = retry.rank_faults(0);
+  bool differs = false;
+  for (int n = 0; n < 16 && !differs; ++n)
+    differs = first.speed_factor(n) != retry.speed_factor(n) ||
+              first.fail_time_s(n) != retry.fail_time_s(n);
+  for (int i = 0; i < 16 && !differs; ++i)
+    differs = ra.draw_dvfs_jitter() != rb.draw_dvfs_jitter();
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, DisabledConfigIsInert) {
+  const FaultPlan plan(FaultConfig{}, 8);
+  EXPECT_FALSE(plan.active());
+  EXPECT_EQ(plan.speed_factor(5), 1.0);
+  RankFaults rf = plan.rank_faults(2);
+  EXPECT_FALSE(rf.active());
+  EXPECT_FALSE(rf.draw_drop());
+  EXPECT_EQ(rf.draw_delay(), 0.0);
+  EXPECT_EQ(rf.draw_dvfs_jitter(), 0.0);
+  EXPECT_NO_THROW(rf.check_alive(1e9));
+}
+
+TEST(FaultConfig, ScaledPresetValidatesAndScales) {
+  EXPECT_THROW(FaultConfig::scaled(-0.1), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::scaled(1.5), std::invalid_argument);
+  EXPECT_FALSE(FaultConfig::scaled(0.0).enabled());
+  const FaultConfig c = FaultConfig::scaled(0.1, 7);
+  EXPECT_TRUE(c.enabled());
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_DOUBLE_EQ(c.straggler_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(c.message_delay_prob, 0.1);
+  EXPECT_GT(c.message_drop_prob, 0.0);
+  EXPECT_GT(c.node_failure_prob, 0.0);
+}
+
+TEST(FaultConfig, SignatureSeparatesConfigs) {
+  EXPECT_NE(FaultConfig::scaled(0.1).signature(),
+            FaultConfig::scaled(0.2).signature());
+  EXPECT_NE(FaultConfig::scaled(0.1, 1).signature(),
+            FaultConfig::scaled(0.1, 2).signature());
+  EXPECT_EQ(FaultConfig::scaled(0.1).signature(),
+            FaultConfig::scaled(0.1).signature());
+}
+
+TEST(FaultConfig, FromCliReadsFlags) {
+  const char* argv[] = {"prog", "--faults", "0.05", "--fault-seed", "7"};
+  const util::Cli cli(5, argv);
+  const FaultConfig c = FaultConfig::from_cli(cli);
+  EXPECT_TRUE(c.enabled());
+  EXPECT_EQ(c.seed, 7u);
+  const char* none[] = {"prog"};
+  EXPECT_FALSE(FaultConfig::from_cli(util::Cli(1, none)).enabled());
+}
+
+TEST(FaultRun, StragglerHalvesComputeSpeed) {
+  // Every node a straggler at 50 % speed: a compute-only run takes
+  // exactly twice the clean virtual time.
+  sim::ClusterConfig clean = cfg(1);
+  mpi::Runtime clean_rt(clean);
+  const auto body = [](mpi::Comm& comm) {
+    comm.compute(sim::InstructionMix{.reg_ops = 1e7});
+  };
+  const double clean_t = clean_rt.run(1, 1000, body).makespan;
+
+  sim::ClusterConfig slow = cfg(1);
+  slow.fault.seed = 5;
+  slow.fault.straggler_fraction = 1.0;
+  slow.fault.straggler_slowdown = 0.5;
+  mpi::Runtime slow_rt(slow);
+  const double slow_t = slow_rt.run(1, 1000, body).makespan;
+  EXPECT_GT(clean_t, 0.0);
+  EXPECT_NEAR(slow_t / clean_t, 2.0, 1e-9);
+}
+
+TEST(FaultRun, CertainDropExhaustsRetries) {
+  sim::ClusterConfig c = cfg(2);
+  c.fault.seed = 11;
+  c.fault.message_drop_prob = 1.0;
+  c.fault.max_send_attempts = 3;
+  mpi::Runtime rt(c);
+  try {
+    rt.run(2, 1000, [](mpi::Comm& comm) {
+      if (comm.rank() == 0) comm.send(1, 1, {1.0});
+      else comm.recv(0, 1);
+    });
+    FAIL() << "certain drop must exhaust retries";
+  } catch (const MessageLossError& e) {
+    EXPECT_NE(std::string(e.what()).find("3 send attempt"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultRun, ModerateDropIsDeterministicAndSlower) {
+  // Same seed, fresh runtimes: identical bits. Retries add backoff
+  // time, so the faulty makespan can only be >= the clean one.
+  sim::ClusterConfig faulty = cfg(4);
+  faulty.fault.seed = 21;
+  faulty.fault.message_drop_prob = 0.4;
+  faulty.fault.max_send_attempts = 32;  // loss practically impossible
+  const auto body = [](mpi::Comm& comm) {
+    for (int i = 0; i < 4; ++i) {
+      comm.compute(sim::InstructionMix{.reg_ops = 1e5});
+      comm.sendrecv((comm.rank() + 1) % comm.size(),
+                    (comm.rank() + comm.size() - 1) % comm.size(), i,
+                    {double(i)});
+    }
+    comm.barrier();
+  };
+  mpi::Runtime a(faulty), b(faulty);
+  const mpi::RunResult ra = a.run(4, 1000, body);
+  const mpi::RunResult rb = b.run(4, 1000, body);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  for (std::size_t i = 0; i < ra.ranks.size(); ++i) {
+    EXPECT_EQ(ra.ranks[i].finish_time, rb.ranks[i].finish_time);
+    EXPECT_EQ(ra.ranks[i].network_seconds, rb.ranks[i].network_seconds);
+    EXPECT_EQ(ra.ranks[i].comm.sends_retried, rb.ranks[i].comm.sends_retried);
+  }
+  const std::uint64_t retried = ra.ranks[0].comm.sends_retried +
+                                ra.ranks[1].comm.sends_retried +
+                                ra.ranks[2].comm.sends_retried +
+                                ra.ranks[3].comm.sends_retried;
+  EXPECT_GT(retried, 0u);
+
+  mpi::Runtime clean_rt(cfg(4));
+  EXPECT_GE(ra.makespan, clean_rt.run(4, 1000, body).makespan);
+}
+
+TEST(FaultRun, CertainNodeFailureAborts) {
+  sim::ClusterConfig c = cfg(2);
+  c.fault.seed = 13;
+  c.fault.node_failure_prob = 1.0;
+  c.fault.node_failure_window_s = 1e-6;
+  mpi::Runtime rt(c);
+  try {
+    rt.run(2, 1000, [](mpi::Comm& comm) {
+      comm.compute(sim::InstructionMix{.reg_ops = 1e7});
+      comm.barrier();
+    });
+    FAIL() << "certain node failure must abort the run";
+  } catch (const NodeFailedError& e) {
+    EXPECT_GE(e.node(), 0);
+    EXPECT_LT(e.node(), 2);
+    EXPECT_LT(e.fail_time_s(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace pas::fault

@@ -177,6 +177,29 @@ TEST(Collectives, AlltoallRequiresOneBlockPerRank) {
                std::invalid_argument);
 }
 
+TEST(Collectives, ScatterRootRequiresOneBlockPerRank) {
+  // The root throws before sending; the other ranks block on it and
+  // are unwound by the deadlock watchdog. The runtime rethrows the
+  // root's configuration error, not the induced secondary deadlocks.
+  Runtime rt(cluster(4));
+  EXPECT_THROW(rt.run(4, 1000,
+                      [](Comm& comm) {
+                        std::vector<Payload> blocks(2, Payload{1.0});
+                        comm.scatter(blocks, 0);
+                      }),
+               std::invalid_argument);
+}
+
+TEST(Collectives, ReduceRejectsMismatchedPayloadSizes) {
+  Runtime rt(cluster(2));
+  EXPECT_THROW(rt.run(2, 1000,
+                      [](Comm& comm) {
+                        comm.allreduce_sum(
+                            std::vector<double>(comm.rank() + 1, 1.0));
+                      }),
+               std::invalid_argument);
+}
+
 TEST(Collectives, BarrierSynchronizesClocks) {
   Runtime rt(cluster(4));
   const RunResult r = rt.run(4, 1000, [](Comm& comm) {

@@ -1,0 +1,150 @@
+// The deadlock watchdog and virtual-time receive timeouts.
+//
+// Every test here would hang forever without the watchdog; the ctest
+// TIMEOUT on fault_test is the backstop, the tests themselves assert
+// the runs unwind promptly with a populated wait-for graph.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "pas/mpi/runtime.hpp"
+#include "pas/mpi/watchdog.hpp"
+
+namespace pas::mpi {
+namespace {
+
+sim::ClusterConfig cfg(int n = 4) { return sim::ClusterConfig::paper_testbed(n); }
+
+TEST(Deadlock, MismatchedTagsAbortWithWaitForGraph) {
+  // Rank 0 sends tag 1 but rank 1 listens on tag 2; rank 0 then blocks
+  // on a message nobody sends. Classic mismatched send/recv: without
+  // the watchdog both ranks wait forever.
+  Runtime rt(cfg(2));
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rt.run(2, 1000, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 1, {3.0});
+        comm.recv(1, 3);
+      } else {
+        comm.recv(0, 2);
+      }
+    });
+    FAIL() << "mismatched send/recv must deadlock";
+  } catch (const DeadlockError& e) {
+    const auto& graph = e.wait_for_graph();
+    ASSERT_EQ(graph.size(), 2u);
+    EXPECT_EQ(graph[0].rank, 0);
+    EXPECT_EQ(graph[0].waits_for, 1);
+    EXPECT_EQ(graph[0].tag, 3);
+    EXPECT_EQ(graph[1].rank, 1);
+    EXPECT_EQ(graph[1].waits_for, 0);
+    EXPECT_EQ(graph[1].tag, 2);
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Acceptance bound: detection is exact, not timer-based, so this
+  // terminates in well under a second of wall time.
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+}
+
+TEST(Deadlock, FinishedPeerCompletesTheDeadlock) {
+  // Rank 1 exits without ever sending; rank 0 blocks on it. The rank
+  // finishing is what completes the no-progress condition.
+  Runtime rt(cfg(2));
+  try {
+    rt.run(2, 1000, [](Comm& comm) {
+      if (comm.rank() == 0) comm.recv(1, 7);
+    });
+    FAIL() << "receive from a finished rank must deadlock";
+  } catch (const DeadlockError& e) {
+    ASSERT_EQ(e.wait_for_graph().size(), 1u);
+    EXPECT_EQ(e.wait_for_graph()[0].rank, 0);
+    EXPECT_EQ(e.wait_for_graph()[0].waits_for, 1);
+    EXPECT_EQ(e.wait_for_graph()[0].tag, 7);
+    EXPECT_NE(std::string(e.what()).find("already finished"),
+              std::string::npos);
+  }
+}
+
+TEST(Deadlock, RingCycleReportsEveryRank) {
+  // Four ranks each waiting on their neighbour: a full wait-for cycle.
+  Runtime rt(cfg(4));
+  try {
+    rt.run(4, 1000,
+           [](Comm& comm) { comm.recv((comm.rank() + 1) % comm.size(), 0); });
+    FAIL() << "wait-for cycle must deadlock";
+  } catch (const DeadlockError& e) {
+    const auto& graph = e.wait_for_graph();
+    ASSERT_EQ(graph.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(graph[static_cast<std::size_t>(r)].rank, r);
+      EXPECT_EQ(graph[static_cast<std::size_t>(r)].waits_for, (r + 1) % 4);
+    }
+  }
+}
+
+TEST(Deadlock, SkippedBarrierIsDetected) {
+  // One rank skips a collective; the others can never leave it.
+  Runtime rt(cfg(4));
+  EXPECT_THROW(rt.run(4, 1000,
+                      [](Comm& comm) {
+                        if (comm.rank() != 2) comm.barrier();
+                      }),
+               DeadlockError);
+}
+
+TEST(Deadlock, RuntimeStaysUsableAfterDeadlock) {
+  // A deadlocked run must not poison the pooled runtime: mailboxes are
+  // cleared and the next run behaves like a fresh one.
+  Runtime rt(cfg(2));
+  EXPECT_THROW(rt.run(2, 1000,
+                      [](Comm& comm) {
+                        if (comm.rank() == 0) comm.send(1, 1, {1.0});
+                        comm.recv(1 - comm.rank(), 9);
+                      }),
+               DeadlockError);
+  const RunResult warm = rt.run(2, 1000, [](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 4, {2.0});
+    else EXPECT_EQ(comm.recv(0, 4)[0], 2.0);
+  });
+  Runtime fresh(cfg(2));
+  const RunResult cold = fresh.run(2, 1000, [](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 4, {2.0});
+    else comm.recv(0, 4);
+  });
+  EXPECT_EQ(warm.makespan, cold.makespan);
+}
+
+TEST(Timeout, LateRecvThrowsInVirtualTime) {
+  // The sender computes for a long stretch of virtual time first, so
+  // the receive completes far past its virtual-time budget. Wall time
+  // is irrelevant: the whole run takes milliseconds.
+  Runtime rt(cfg(2));
+  EXPECT_THROW(rt.run(2, 600,
+                      [](Comm& comm) {
+                        if (comm.rank() == 0) {
+                          comm.compute(sim::InstructionMix{.reg_ops = 1e9});
+                          comm.send(1, 1, {1.0});
+                        } else {
+                          comm.recv(0, 1, /*timeout_s=*/1e-6);
+                        }
+                      }),
+               TimeoutError);
+}
+
+TEST(Timeout, GenerousTimeoutPasses) {
+  Runtime rt(cfg(2));
+  EXPECT_NO_THROW(rt.run(2, 600, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(sim::InstructionMix{.reg_ops = 1e6});
+      comm.send(1, 1, {1.0});
+    } else {
+      comm.recv(0, 1, /*timeout_s=*/3600.0);
+    }
+  }));
+}
+
+}  // namespace
+}  // namespace pas::mpi

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace pas::util {
 namespace {
 
@@ -63,6 +66,29 @@ TEST(Cli, IntList) {
   const auto fallback = cli.get_int_list("absent", {3});
   ASSERT_EQ(fallback.size(), 1u);
   EXPECT_EQ(fallback[0], 3);
+}
+
+TEST(Cli, RequireKnownAcceptsListedFlags) {
+  const Cli cli = make({"--nodes", "8", "--csv", "out.csv", "--small"});
+  EXPECT_NO_THROW(cli.require_known({"nodes", "csv", "small", "jobs"}));
+}
+
+TEST(Cli, RequireKnownRejectsUnknownFlag) {
+  const Cli cli = make({"--nodes", "8", "--freqz", "600"});
+  try {
+    cli.require_known({"nodes", "freq"});
+    FAIL() << "unknown flag must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Names the offender and the accepted set.
+    EXPECT_NE(what.find("--freqz"), std::string::npos);
+    EXPECT_NE(what.find("--freq"), std::string::npos);
+  }
+}
+
+TEST(Cli, RequireKnownIgnoresPositionals) {
+  const Cli cli = make({"EP", "--small"});
+  EXPECT_NO_THROW(cli.require_known({"small"}));
 }
 
 }  // namespace
