@@ -79,6 +79,8 @@ int main(int argc, char** argv) {
                                        base.energy.total_j(), 1)});
   }
   std::fputs(s.to_string().c_str(), stdout);
-  if (cli.has("csv")) t.write_csv(cli.get("csv", "dvfs_comm_savings.csv"));
+  if (cli.has("csv") &&
+      !t.write_csv(cli.get("csv", "dvfs_comm_savings.csv")))
+    return 1;
   return 0;
 }

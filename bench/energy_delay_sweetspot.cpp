@@ -7,6 +7,7 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/sweet_spot.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/table.hpp"
@@ -14,20 +15,24 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "jobs", "cache", "no-cache", "retries", "trace",
+                   "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
   const analysis::Scale scale =
       small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
 
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
 
   for (const char* name : {"EP", "FT", "LU"}) {
     const auto kernel = analysis::make_kernel(name, scale);
     const analysis::MatrixResult measured =
-        executor.sweep(*kernel, env.nodes, env.freqs_mhz);
+        executor.run({kernel.get(), env.nodes, env.freqs_mhz});
 
     std::vector<power::MetricPoint> points;
     for (const analysis::RunRecord& rec : measured.records) {
@@ -91,5 +96,5 @@ int main(int argc, char** argv) {
             : "different (check EDP flatness)");
   }
   std::printf("run cache: %s\n", executor.cache().stats_string().c_str());
-  return 0;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

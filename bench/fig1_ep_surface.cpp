@@ -10,23 +10,28 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/figures.hpp"
 #include "pas/analysis/sweep_executor.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
 
   const auto ep = analysis::make_kernel(
       "EP", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
   const analysis::MatrixResult measured =
-      executor.sweep(*ep, env.nodes, env.freqs_mhz);
+      executor.run({ep.get(), env.nodes, env.freqs_mhz});
 
   const auto fig_a = analysis::execution_time_table(
       measured.times, env.nodes, env.freqs_mhz,
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
       "Eq 12 (S = N * f/f0) max error over the surface: %.1f%% "
       "(paper: <= 2.3%%)\n",
       max_err * 100.0);
-  if (cli.has("csv")) fig_b.write_csv(cli.get("csv", "fig1b.csv"));
-  return 0;
+  if (cli.has("csv") && !fig_b.write_csv(cli.get("csv", "fig1b.csv")))
+    return 1;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

@@ -10,22 +10,27 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/figures.hpp"
 #include "pas/analysis/sweep_executor.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
 
   const auto ft = analysis::make_kernel(
       "FT", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
   const analysis::MatrixResult measured =
-      executor.sweep(*ft, env.nodes, env.freqs_mhz);
+      executor.run({ft.get(), env.nodes, env.freqs_mhz});
 
   const auto fig_a = analysis::execution_time_table(
       measured.times, env.nodes, env.freqs_mhz,
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
       "N=%d); sequential frequency speedup %.2f (paper: 1.6, sub-linear)\n",
       fgain1 > fgainN ? "OK" : "MISMATCH", fgain1, fgainN, env.nodes.back(),
       fgain1);
-  if (cli.has("csv")) fig_b.write_csv(cli.get("csv", "fig2b.csv"));
-  return 0;
+  if (cli.has("csv") && !fig_b.write_csv(cli.get("csv", "fig2b.csv")))
+    return 1;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

@@ -26,6 +26,7 @@
 #include "pas/core/baseline_models.hpp"
 #include "pas/core/isoefficiency.hpp"
 #include "pas/core/workload_fit.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/tools/membench.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
@@ -37,9 +38,13 @@ using namespace pas;
 struct Report {
   std::filesystem::path dir;
   std::string md;
+  bool write_failed = false;
 
   void save_csv(const std::string& name, const util::TextTable& t) {
-    t.write_csv((dir / name).string());
+    if (const obs::WriteResult r = t.write_csv((dir / name).string()); !r) {
+      std::fprintf(stderr, "report: %s\n", r.to_string().c_str());
+      write_failed = true;
+    }
     md += util::strf("\n```\n%s```\n*(CSV: `%s`)*\n", t.to_string().c_str(),
                      name.c_str());
   }
@@ -52,7 +57,8 @@ struct Report {
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "out", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "out", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   const auto wall_start = std::chrono::steady_clock::now();
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
@@ -76,13 +82,16 @@ int main(int argc, char** argv) {
       "IPDPS 2007) on the simulated 16-node Pentium-M testbed. Base "
       "configuration: 1 node @ 600 MHz.\n";
 
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
 
   for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
     const auto kernel = analysis::make_kernel(name, scale);
     const analysis::MatrixResult m =
-        executor.sweep(*kernel, env.nodes, env.freqs_mhz);
+        executor.run({kernel.get(), env.nodes, env.freqs_mhz});
 
     report.h2(util::strf("%s — execution-time and speedup surfaces", name));
     bool all_verified = true;
@@ -162,5 +171,6 @@ int main(int argc, char** argv) {
           .count();
   std::printf("wall time %.2fs, jobs %d, run cache: %s\n", wall_s,
               executor.jobs(), executor.cache().stats_string().c_str());
-  return 0;
+  if (!obs::export_and_report(executor.observer())) return 1;
+  return report.write_failed ? 1 : 0;
 }

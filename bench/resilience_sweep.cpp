@@ -21,6 +21,7 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
 #include "pas/fault/fault.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/table.hpp"
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"small", "jobs", "cache", "no-cache", "retries", "faults",
-                   "fault-seed", "csv"});
+                   "fault-seed", "csv", "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
   std::vector<double> rates{0.0, 0.01, 0.02, 0.05, 0.10};
   if (cli.has("faults")) rates = {0.0, cli.get_double("faults", 0.1)};
 
+  // One observer spans every executor, so run_report.json tells the
+  // whole clean-vs-faulty story in one artifact.
+  const std::shared_ptr<obs::Observer> observer = obs::Observer::from_cli(cli);
+
   util::TextTable table(util::strf(
       "Resilience sweep: predicted-vs-simulated drift under faults (seed "
       "%llu)",
@@ -53,20 +58,25 @@ int main(int argc, char** argv) {
     const auto kernel = analysis::make_kernel(name, scale);
 
     // Clean reference (rate 0 of the ramp).
-    sim::ClusterConfig clean_cfg = env.cluster;
-    clean_cfg.fault = fault::FaultConfig{};
-    analysis::SweepExecutor clean_exec(clean_cfg, power::PowerModel(),
-                                       analysis::SweepOptions::from_cli(cli));
+    analysis::SweepSpec clean_spec;
+    clean_spec.cluster = env.cluster;
+    clean_spec.fault = fault::FaultConfig{};
+    clean_spec.options = analysis::SweepOptions::from_cli(cli);
+    clean_spec.observer = observer;
+    analysis::SweepExecutor clean_exec(clean_spec);
     const analysis::MatrixResult clean =
-        clean_exec.sweep(*kernel, env.nodes, env.freqs_mhz);
+        clean_exec.run({kernel.get(), env.nodes, env.freqs_mhz});
 
     for (double rate : rates) {
-      sim::ClusterConfig cfg = env.cluster;
-      if (rate > 0.0) cfg.fault = fault::FaultConfig::scaled(rate, seed);
-      analysis::SweepExecutor exec(cfg, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+      analysis::SweepSpec spec;
+      spec.cluster = env.cluster;
+      if (rate > 0.0) spec.fault = fault::FaultConfig::scaled(rate, seed);
+      spec.options = analysis::SweepOptions::from_cli(cli);
+      spec.observer = observer;
+      analysis::SweepExecutor exec(spec);
       const analysis::MatrixResult faulty =
-          rate > 0.0 ? exec.sweep(*kernel, env.nodes, env.freqs_mhz) : clean;
+          rate > 0.0 ? exec.run({kernel.get(), env.nodes, env.freqs_mhz})
+                     : clean;
 
       int failed = 0;
       int run_retries = 0;
@@ -105,6 +115,8 @@ int main(int argc, char** argv) {
   std::printf(
       "clean sweep = the model's perfect-cluster prediction; |dT|/T over "
       "surviving points tracks Hofmann et al.'s error degradation.\n");
-  if (cli.has("csv")) table.write_csv(cli.get("csv", "resilience_sweep.csv"));
-  return 0;
+  if (cli.has("csv") &&
+      !table.write_csv(cli.get("csv", "resilience_sweep.csv")))
+    return 1;
+  return obs::export_and_report(observer) ? 0 : 1;
 }

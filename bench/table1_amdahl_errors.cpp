@@ -11,12 +11,14 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/baseline_models.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   analysis::ExperimentEnv env = cli.get_bool("small", false)
                                     ? analysis::ExperimentEnv::small()
                                     : analysis::ExperimentEnv::paper();
@@ -24,10 +26,13 @@ int main(int argc, char** argv) {
   const auto ft = analysis::make_kernel(
       "FT", cli.get_bool("small", false) ? analysis::Scale::kSmall
                                          : analysis::Scale::kPaper);
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
   const analysis::MatrixResult measured =
-      executor.sweep(*ft, env.nodes, env.freqs_mhz);
+      executor.run({ft.get(), env.nodes, env.freqs_mhz});
 
   const analysis::ErrorTable errors = analysis::speedup_error_table(
       measured.times,
@@ -48,6 +53,7 @@ int main(int argc, char** argv) {
                       errors.at(env.parallel_nodes.back(), env.base_f_mhz)
                   ? "OK"
                   : "MISMATCH");
-  if (cli.has("csv")) table.write_csv(cli.get("csv", "table1.csv"));
-  return 0;
+  if (cli.has("csv") && !table.write_csv(cli.get("csv", "table1.csv")))
+    return 1;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

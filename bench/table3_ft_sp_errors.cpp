@@ -9,22 +9,27 @@
 #include "pas/analysis/error_table.hpp"
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
 
   const auto ft = analysis::make_kernel(
       "FT", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
   const analysis::MatrixResult measured =
-      executor.sweep(*ft, env.nodes, env.freqs_mhz);
+      executor.run({ft.get(), env.nodes, env.freqs_mhz});
 
   core::SimplifiedParameterization sp(env.base_f_mhz);
   sp.ingest(measured.times);
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   std::fputs(table.to_string().c_str(), stdout);
   std::printf("max error %.1f%% (paper: <= 3%%), mean %.1f%%\n",
               errors.max_error() * 100.0, errors.mean_error() * 100.0);
-  if (cli.has("csv")) table.write_csv(cli.get("csv", "table3.csv"));
-  return 0;
+  if (cli.has("csv") && !table.write_csv(cli.get("csv", "table3.csv")))
+    return 1;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

@@ -47,6 +47,6 @@ int main(int argc, char** argv) {
       "%.2f%% reg / %.2f%% L1 / %.2f%% L2 (paper: 44.66 / 53.89 / 1.45)\n",
       d.on_chip_fraction() * 100.0, d.reg_weight() * 100.0,
       d.l1_weight() * 100.0, d.l2_weight() * 100.0);
-  if (cli.has("csv")) t.write_csv(cli.get("csv", "table5.csv"));
+  if (cli.has("csv") && !t.write_csv(cli.get("csv", "table5.csv"))) return 1;
   return 0;
 }

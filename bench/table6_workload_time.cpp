@@ -61,6 +61,6 @@ int main(int argc, char** argv) {
       "shape checks: CPI_ON constant across f; CPI_ON/f falls ~f0/f; "
       "OFF-chip ~constant with a step below 900 MHz; message time flat "
       "for small sizes.");
-  if (cli.has("csv")) t.write_csv(cli.get("csv", "table6.csv"));
+  if (cli.has("csv") && !t.write_csv(cli.get("csv", "table6.csv"))) return 1;
   return 0;
 }

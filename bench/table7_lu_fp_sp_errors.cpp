@@ -10,6 +10,7 @@
 #include "pas/analysis/error_table.hpp"
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/stats.hpp"
@@ -18,7 +19,8 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
@@ -30,10 +32,13 @@ int main(int argc, char** argv) {
 
   const auto lu = analysis::make_kernel(
       "LU", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
   const analysis::MatrixResult measured =
-      executor.sweep(*lu, env.nodes, env.freqs_mhz);
+      executor.run({lu.get(), env.nodes, env.freqs_mhz});
 
   core::SimplifiedParameterization sp(env.base_f_mhz);
   sp.ingest(measured.times);
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   std::printf("SP: max %.1f%%, mean %.1f%% | FP: max %.1f%%, mean %.1f%%\n",
               sp_err.max_error() * 100.0, sp_err.mean_error() * 100.0,
               fp_err.max_error() * 100.0, fp_err.mean_error() * 100.0);
-  if (cli.has("csv")) t.write_csv(cli.get("csv", "table7.csv"));
-  return 0;
+  if (cli.has("csv") && !t.write_csv(cli.get("csv", "table7.csv")))
+    return 1;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

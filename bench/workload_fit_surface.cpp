@@ -14,6 +14,7 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
 #include "pas/core/workload_fit.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/table.hpp"
@@ -21,7 +22,8 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
+                   "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();
@@ -33,13 +35,16 @@ int main(int argc, char** argv) {
   t.set_header({"kernel", "A serial (s)", "B parallel (s)", "C invariant (s)",
                 "D per-N (s)", "serial frac", "R^2", "max err (full grid)"});
 
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
 
   for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
     const auto kernel = analysis::make_kernel(name, scale);
     const analysis::MatrixResult full =
-        executor.sweep(*kernel, env.nodes, env.freqs_mhz);
+        executor.run({kernel.get(), env.nodes, env.freqs_mhz});
 
     // Fit from the base row/column plus a few off-base anchors
     // (11 of 25 samples).
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
                util::percent(err.max_error(), 1)});
   }
   std::fputs(t.to_string().c_str(), stdout);
-  if (cli.has("csv")) t.write_csv(cli.get("csv", "workload_fit.csv"));
-  return 0;
+  if (cli.has("csv") && !t.write_csv(cli.get("csv", "workload_fit.csv")))
+    return 1;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/figures.hpp"
 #include "pas/analysis/sweep_executor.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/table.hpp"
@@ -19,7 +20,8 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"kernel", "nodes", "freqs", "jobs", "cache", "no-cache", "retries"});
+  cli.check_usage({"kernel", "nodes", "freqs", "jobs", "cache", "no-cache",
+                   "retries", "trace", "metrics"});
   const std::string name = cli.get("kernel", "LU");
 
   analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
@@ -31,9 +33,13 @@ int main(int argc, char** argv) {
     freqs.push_back(static_cast<double>(f));
 
   const auto kernel = analysis::make_kernel(name, analysis::Scale::kPaper);
-  analysis::SweepExecutor executor(env.cluster, power::PowerModel(),
-                                   analysis::SweepOptions::from_cli(cli));
-  const analysis::MatrixResult sweep = executor.sweep(*kernel, nodes, freqs);
+  analysis::SweepSpec spec;
+  spec.cluster = env.cluster;
+  spec.options = analysis::SweepOptions::from_cli(cli);
+  spec.observer = obs::Observer::from_cli(cli);
+  analysis::SweepExecutor executor(spec);
+  const analysis::MatrixResult sweep =
+      executor.run({kernel.get(), nodes, freqs});
 
   util::TextTable t(util::strf(
       "%s: time / ON-chip / OFF-chip / overhead / energy per configuration",
@@ -65,5 +71,5 @@ int main(int argc, char** argv) {
     std::printf("  N=%2d: %.1f%%\n", n,
                 rec.mean_overhead_s / rec.seconds * 100.0);
   }
-  return 0;
+  return obs::export_and_report(executor.observer()) ? 0 : 1;
 }

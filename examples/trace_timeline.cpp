@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
   std::printf("%s on %d nodes @ %.0f MHz: %.4f s, %zu trace events\n",
               name.c_str(), nodes, freq, result.makespan,
               rt.tracer().size());
-  if (!rt.tracer().write_chrome_json(out)) {
-    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+  if (const obs::WriteResult w = rt.tracer().write_chrome_json(out); !w) {
+    std::fprintf(stderr, "%s\n", w.to_string().c_str());
     return 1;
   }
   std::printf("wrote %s — open in chrome://tracing or ui.perfetto.dev\n",

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a pasim run_report.json (schema pasim-run-report/1).
+
+Stdlib-only, used by scripts/tier1.sh. Checks structure and types of
+every section, recomputes the summary from the points, and verifies
+that the metrics section is sorted and contains finite numbers. Exits
+nonzero with a message on the first violation.
+
+Usage: check_report_schema.py <run_report.json>
+"""
+import json
+import math
+import sys
+
+SCHEMA = "pasim-run-report/1"
+
+
+def fail(msg):
+    sys.exit(f"check_report_schema: FAIL: {msg}")
+
+
+def want(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+POINT_FIELDS = {
+    "sweep": int, "index": int, "kernel": str, "nodes": int,
+    "frequency_mhz": (int, float), "comm_dvfs_mhz": (int, float),
+    "status": str, "verified": bool, "from_cache": bool, "attempts": int,
+    "seconds": (int, float), "mean_overhead_s": (int, float),
+    "mean_cpu_s": (int, float), "mean_memory_s": (int, float),
+    "send_retries": (int, float), "energy_j": dict,
+}
+ENERGY_FIELDS = ("cpu", "memory", "network", "idle", "total")
+
+
+def check_point(i, p):
+    for name, ty in POINT_FIELDS.items():
+        want(name in p, f"points[{i}] missing field {name!r}")
+        want(isinstance(p[name], ty) and not (ty is int and
+                                              isinstance(p[name], bool)),
+             f"points[{i}].{name} has wrong type: {p[name]!r}")
+    want(p["nodes"] >= 1, f"points[{i}].nodes must be >= 1")
+    want(p["frequency_mhz"] > 0, f"points[{i}].frequency_mhz must be > 0")
+    want(p["attempts"] >= 1, f"points[{i}].attempts must be >= 1")
+    want(p["seconds"] >= 0, f"points[{i}].seconds must be >= 0")
+    e = p["energy_j"]
+    for name in ENERGY_FIELDS:
+        want(name in e and is_num(e[name]),
+             f"points[{i}].energy_j.{name} missing or not a finite number")
+    total = e["cpu"] + e["memory"] + e["network"] + e["idle"]
+    want(abs(e["total"] - total) <= 1e-9 * max(1.0, abs(total)),
+         f"points[{i}].energy_j.total does not equal the component sum")
+    if p["status"] == "ok":
+        want(p["seconds"] > 0, f"points[{i}] is ok but has seconds == 0")
+
+
+def main(path):
+    try:
+        with open(path, "rb") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    want(isinstance(report, dict), "top level must be an object")
+    want(report.get("schema") == SCHEMA,
+         f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    for key, ty in (("sweeps", list), ("points", list), ("summary", dict),
+                    ("metrics", list)):
+        want(isinstance(report.get(key), ty), f"{key!r} must be a {ty.__name__}")
+
+    sweeps = report["sweeps"]
+    for i, s in enumerate(sweeps):
+        want(isinstance(s, dict) and s.get("id") == i,
+             f"sweeps[{i}] must be an object with id {i}")
+        want(isinstance(s.get("kernel"), str) and s["kernel"],
+             f"sweeps[{i}].kernel must be a non-empty string")
+        want(isinstance(s.get("points"), int) and s["points"] >= 0,
+             f"sweeps[{i}].points must be a non-negative int")
+
+    points = report["points"]
+    for i, p in enumerate(points):
+        want(isinstance(p, dict), f"points[{i}] must be an object")
+        check_point(i, p)
+        want(0 <= p["sweep"] < len(sweeps),
+             f"points[{i}].sweep out of range")
+        want(0 <= p["index"] < sweeps[p["sweep"]]["points"],
+             f"points[{i}].index out of range for its sweep")
+        want(p["kernel"] == sweeps[p["sweep"]]["kernel"],
+             f"points[{i}].kernel disagrees with its sweep")
+
+    # The summary must be exactly what the points imply.
+    s = report["summary"]
+    calc = {
+        "points": len(points),
+        "ok": sum(1 for p in points if p["status"] == "ok"),
+        "failed": sum(1 for p in points if p["status"] != "ok"),
+        "cached": sum(1 for p in points if p["from_cache"]),
+        "run_retries": sum(p["attempts"] - 1 for p in points),
+    }
+    for key, val in calc.items():
+        want(s.get(key) == val,
+             f"summary.{key} is {s.get(key)!r}, points imply {val}")
+    for key in ("send_retries", "energy_total_j"):
+        want(is_num(s.get(key)), f"summary.{key} must be a finite number")
+    energy = sum(p["energy_j"]["total"] for p in points)
+    want(abs(s["energy_total_j"] - energy) <= 1e-9 * max(1.0, abs(energy)),
+         "summary.energy_total_j does not equal the sum over points")
+
+    names = []
+    for i, m in enumerate(report["metrics"]):
+        want(isinstance(m, dict), f"metrics[{i}] must be an object")
+        want(isinstance(m.get("name"), str) and m["name"],
+             f"metrics[{i}].name must be a non-empty string")
+        want(m.get("kind") in ("counter", "gauge", "histogram"),
+             f"metrics[{i}].kind is {m.get('kind')!r}")
+        want(is_num(m.get("value")),
+             f"metrics[{i}].value must be a finite number")
+        names.append(m["name"])
+    want(names == sorted(names), "metrics must be sorted by name")
+
+    print(f"check_report_schema: OK: {path} "
+          f"({len(sweeps)} sweeps, {len(points)} points, "
+          f"{len(names)} stable metrics)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    main(sys.argv[1])

@@ -22,13 +22,43 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== tier 1: observability artifacts =="
+ROOT="$PWD"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+# One small faulty sweep with everything on: all five artifacts must
+# appear, and run_report.json must satisfy the published schema.
+(cd "$OBS_DIR" && "$ROOT/build/bench/resilience_sweep" --small \
+  --faults 0.05 --no-cache --jobs 2 \
+  --trace obs --metrics obs >/dev/null)
+for f in run_report.json trace.json power_timeline.csv metrics.csv \
+         metrics_volatile.csv; do
+  [ -s "$OBS_DIR/obs/$f" ] || { echo "missing obs artifact: $f"; exit 1; }
+done
+if command -v python3 >/dev/null; then
+  python3 scripts/check_report_schema.py "$OBS_DIR/obs/run_report.json"
+else
+  echo "skipped schema check: python3 not available"
+fi
+# The disabled configuration is the default everywhere: it must leave
+# no artifacts behind (the no-op path really is a no-op).
+(mkdir -p "$OBS_DIR/off" && cd "$OBS_DIR/off" && \
+  "$ROOT/build/bench/resilience_sweep" --small --faults 0.05 \
+  --no-cache --jobs 2 >/dev/null)
+if [ -n "$(ls "$OBS_DIR/off")" ]; then
+  echo "disabled run left artifacts behind:"; ls "$OBS_DIR/off"; exit 1
+fi
+echo "observability artifacts OK"
+
 echo "== tier 1: concurrency tests under TSan =="
 if have_sanitizer thread; then
   cmake -B build-tsan -S . -DPASIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target util_test mpi_test analysis_test fault_test
+    --target util_test mpi_test analysis_test fault_test obs_test
   ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
   ./build-tsan/tests/mpi_test --gtest_filter='Runtime.*'
+  # The metrics registry is updated lock-free from every worker.
+  ./build-tsan/tests/obs_test --gtest_filter='MetricsRegistry.*'
   ./build-tsan/tests/analysis_test \
     --gtest_filter='SweepExecutor.*:MatrixResult.*:RunMatrix.*'
   # The watchdog (monitor + mailbox wakeups) and the fail-soft sweep

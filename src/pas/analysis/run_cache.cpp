@@ -7,11 +7,24 @@
 #include <fstream>
 #include <sstream>
 
+#include "pas/obs/metrics.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/log.hpp"
 
 namespace pas::analysis {
 namespace {
+
+// Live cache traffic is schedule-dependent (duplicate points racing in
+// one batch resolve as hit-vs-miss by timing), so these are volatile
+// diagnostics, never part of deterministic artifacts.
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::registry().counter("runcache.hits");
+  return c;
+}
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::registry().counter("runcache.misses");
+  return c;
+}
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -103,6 +116,7 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
     const auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++hits_;
+      hit_counter().add();
       return it->second;
     }
   }
@@ -157,6 +171,7 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
           std::lock_guard<std::mutex> lock(mutex_);
           memory_.emplace(key, rec);
           ++hits_;
+          hit_counter().add();
           return rec;
         }
       }
@@ -164,6 +179,9 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
     if (present && !collision) {
       // Corrupt / truncated / old-format entry: quarantine it so the
       // bad bytes never count as a hit again, and treat as a miss.
+      static obs::Counter& quarantined =
+          obs::registry().counter("runcache.quarantined");
+      quarantined.add();
       std::error_code ec;
       std::filesystem::rename(path, path + ".bad", ec);
       pas::util::log_warn(
@@ -175,6 +193,7 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
+  miss_counter().add();
   return std::nullopt;
 }
 
@@ -186,6 +205,8 @@ void RunCache::store(const std::string& key, const RunRecord& record) {
     std::lock_guard<std::mutex> lock(mutex_);
     memory_.emplace(key, record);
     ++stores_;
+    static obs::Counter& stored = obs::registry().counter("runcache.stores");
+    stored.add();
   }
   if (dir_.empty()) return;
 

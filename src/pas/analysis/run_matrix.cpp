@@ -125,6 +125,14 @@ RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
   for (const mpi::RankReport& r : run.ranks) rec.executed_per_rank += r.executed;
   rec.executed_per_rank = rec.executed_per_rank * (1.0 / n);
 
+  if (runtime_.tracer().enabled()) {
+    // One program span per rank, under the detail events.
+    for (std::size_t r = 0; r < run.ranks.size(); ++r)
+      runtime_.tracer().record_span(
+          static_cast<int>(r), 0.0, run.ranks[r].finish_time, "rank",
+          pas::util::strf("rank %zu", r));
+  }
+
   pas::util::log_info(pas::util::strf(
       "%s N=%d f=%.0fMHz: T=%.4fs, overhead=%.4fs, E=%.1fJ, verified=%d",
       kernel.name().c_str(), nodes, frequency_mhz, rec.seconds,

@@ -87,6 +87,11 @@ class RunMatrix {
   const sim::ClusterConfig& cluster() const { return cluster_; }
   const power::PowerModel& power() const { return meter_.model(); }
 
+  /// The underlying runtime's event sink. Enable before run_one to
+  /// collect per-rank activity events; SweepExecutor uses this to
+  /// harvest per-point traces for the obs layer.
+  sim::Tracer& tracer() { return runtime_.tracer(); }
+
   /// One configuration. `comm_dvfs_mhz` != 0 enables communication-
   /// phase DVFS at that operating point (paper §1 / refs [14, 15]).
   /// `fault_attempt` salts the run's FaultPlan (sweep-level retries);

@@ -1,21 +1,74 @@
 #include "pas/analysis/sweep_executor.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <stdexcept>
 #include <utility>
 
+#include "pas/obs/metrics.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/log.hpp"
 
 namespace pas::analysis {
+namespace {
+
+/// Environment values obey the same rules as the flags they stand in
+/// for — a typo'd $PASIM_JOBS must fail loudly, not fall back to 0.
+long parse_positive_env_int(const char* name, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || v < 1)
+    throw std::invalid_argument(pas::util::strf(
+        "$%s must be a positive integer (got \"%s\")", name, value));
+  return v;
+}
+
+obs::ReportPoint make_report_point(const std::string& kernel,
+                                   double comm_dvfs_mhz, const RunRecord& rec,
+                                   bool from_cache) {
+  obs::ReportPoint rp;
+  rp.kernel = kernel;
+  rp.nodes = rec.nodes;
+  rp.frequency_mhz = rec.frequency_mhz;
+  rp.comm_dvfs_mhz = comm_dvfs_mhz;
+  rp.status = run_status_name(rec.status);
+  rp.verified = rec.verified;
+  rp.from_cache = from_cache;
+  rp.attempts = rec.attempts;
+  rp.seconds = rec.seconds;
+  rp.mean_overhead_s = rec.mean_overhead_s;
+  rp.mean_cpu_s = rec.mean_cpu_s;
+  rp.mean_memory_s = rec.mean_memory_s;
+  rp.send_retries = rec.send_retries;
+  rp.energy_cpu_j = rec.energy.cpu_j;
+  rp.energy_memory_j = rec.energy.memory_j;
+  rp.energy_network_j = rec.energy.network_j;
+  rp.energy_idle_j = rec.energy.idle_j;
+  return rp;
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
   SweepOptions opts;
-  const char* env_jobs = std::getenv("PASIM_JOBS");
-  opts.jobs = static_cast<int>(
-      cli.get_int("jobs", env_jobs != nullptr ? std::atol(env_jobs) : 0));
+  long default_jobs = 0;
+  if (!cli.has("jobs")) {
+    // The environment only stands in when the flag is absent, and is
+    // then held to the flag's rules.
+    if (const char* env_jobs = std::getenv("PASIM_JOBS"))
+      default_jobs = parse_positive_env_int("PASIM_JOBS", env_jobs);
+  }
+  opts.jobs = static_cast<int>(cli.get_int("jobs", default_jobs));
   if (cli.has("jobs") && opts.jobs < 1)
     throw std::invalid_argument(pas::util::strf(
         "--jobs must be >= 1 (got %ld)", cli.get_int("jobs", 0)));
@@ -27,6 +80,10 @@ SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
     opts.cache_dir = cli.get("cache", "");
     if (opts.cache_dir.empty()) opts.cache_dir = ".pasim_cache";
   } else if (const char* env_dir = std::getenv("PASIM_CACHE_DIR")) {
+    if (*env_dir == '\0')
+      throw std::invalid_argument(
+          "$PASIM_CACHE_DIR is set but empty; unset it or point it at a "
+          "cache directory");
     opts.cache_dir = env_dir;
   }
   if (cli.get_bool("no-cache", false)) {
@@ -63,31 +120,67 @@ class SweepExecutor::MatrixLease {
   RunMatrix* matrix_ = nullptr;
 };
 
+SweepExecutor::SweepExecutor(SweepSpec spec)
+    : cluster_(std::move(spec.cluster)),
+      power_(std::move(spec.power)),
+      pool_(spec.options.jobs > 0 ? spec.options.jobs
+                                  : util::ThreadPool::default_jobs()),
+      cache_(spec.options.cache_dir),
+      use_cache_(spec.options.use_cache),
+      run_retries_(spec.options.run_retries),
+      observer_(std::move(spec.observer)) {
+  if (spec.fault) cluster_.fault = *spec.fault;
+  if (observer_) observer_->set_power_model(power_);
+}
+
 SweepExecutor::SweepExecutor(sim::ClusterConfig cluster,
                              power::PowerModel power, SweepOptions options)
-    : cluster_(std::move(cluster)),
-      power_(std::move(power)),
-      pool_(options.jobs > 0 ? options.jobs : util::ThreadPool::default_jobs()),
-      cache_(options.cache_dir),
-      use_cache_(options.use_cache),
-      run_retries_(options.run_retries) {}
+    : SweepExecutor(SweepSpec{std::move(cluster), std::move(power),
+                              std::nullopt, std::move(options), nullptr}) {}
 
 RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
-                                           const Point& p) {
+                                           const Point& p, const ObsCtx* ctx) {
   // Retries only make sense when fault injection is on: each attempt
   // replays a differently-salted (still deterministic) FaultPlan. A
   // deadlock in a fault-free run is a bug in the kernel body and would
   // reproduce identically, so it is recorded on the first attempt.
   const int max_attempts =
       1 + (cluster_.fault.enabled() ? std::max(0, run_retries_) : 0);
+  const bool tracing = observer_ && observer_->tracing() && ctx != nullptr;
   for (int attempt = 0;; ++attempt) {
     RunStatus status;
     std::string error;
     try {
       MatrixLease lease(*this);
+      // Leased matrices are shared across points, so the tracer must
+      // come back disabled and empty whatever happens; an aborted
+      // attempt's partial events are wall-clock-dependent and are
+      // never harvested (DESIGN.md §8).
+      struct TraceGuard {
+        sim::Tracer* t;
+        ~TraceGuard() {
+          if (t == nullptr) return;
+          t->disable();
+          t->clear();
+        }
+      } guard{tracing ? &(*lease).tracer() : nullptr};
+      if (tracing) {
+        (*lease).tracer().clear();
+        (*lease).tracer().enable();
+      }
       RunRecord rec = (*lease).run_one(kernel, p.nodes, p.frequency_mhz,
                                        p.comm_dvfs_mhz, attempt);
       rec.attempts = attempt + 1;
+      if (tracing) {
+        obs::RunTrace trace;
+        trace.nranks = p.nodes;
+        trace.frequency_mhz = p.frequency_mhz;
+        trace.op = cluster_.operating_points.at_mhz(p.frequency_mhz);
+        trace.makespan_s = rec.seconds;
+        trace.events = (*lease).tracer().events();
+        trace.wall_s = observer_->wall_now_s();
+        observer_->record_run_trace(ctx->sweep, ctx->index, std::move(trace));
+      }
       return rec;
     } catch (const fault::NodeFailedError& e) {
       status = RunStatus::kNodeFailure;
@@ -121,38 +214,94 @@ RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
   }
 }
 
-RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p) {
-  if (!use_cache_) return simulate_failsoft(kernel, p);
-  const std::string key = RunCache::key(kernel, cluster_, power_, p.nodes,
-                                        p.frequency_mhz, p.comm_dvfs_mhz);
-  if (std::optional<RunRecord> cached = cache_.lookup(key)) return *cached;
-  RunRecord rec = simulate_failsoft(kernel, p);
-  // Failed records are never cached: a later sweep with more retries
-  // (or a fixed kernel) must get a fresh chance at the point.
-  if (!rec.failed()) cache_.store(key, rec);
+RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
+                                   const ObsCtx* ctx) {
+  const double wall_t0 = wall_seconds();
+  bool from_cache = false;
+  RunRecord rec;
+  std::string key;
+  if (use_cache_)
+    key = RunCache::key(kernel, cluster_, power_, p.nodes, p.frequency_mhz,
+                        p.comm_dvfs_mhz);
+  if (std::optional<RunRecord> cached =
+          use_cache_ ? cache_.lookup(key) : std::nullopt) {
+    rec = *cached;
+    from_cache = true;
+  } else {
+    rec = simulate_failsoft(kernel, p, ctx);
+    // Failed records are never cached: a later sweep with more retries
+    // (or a fixed kernel) must get a fresh chance at the point.
+    if (use_cache_ && !rec.failed()) cache_.store(key, rec);
+  }
+
+  static obs::Histogram& point_wall =
+      obs::registry().histogram("sweep.point_wall_seconds");
+  point_wall.observe(wall_seconds() - wall_t0);
+
+  if (ctx != nullptr && observer_) {
+    // Stable counters derive from the canonical records only: integer
+    // sums are order-independent, so these are identical at any --jobs.
+    namespace o = pas::obs;
+    static o::Counter& points =
+        o::registry().counter("sweep.points", o::Stability::kStable);
+    static o::Counter& cached_points =
+        o::registry().counter("sweep.points_cached", o::Stability::kStable);
+    static o::Counter& failed_points =
+        o::registry().counter("sweep.points_failed", o::Stability::kStable);
+    static o::Counter& run_retries =
+        o::registry().counter("sweep.run_retries", o::Stability::kStable);
+    static o::Counter& send_retries =
+        o::registry().counter("sweep.send_retries", o::Stability::kStable);
+    points.add();
+    if (from_cache) cached_points.add();
+    if (rec.failed()) failed_points.add();
+    run_retries.add(static_cast<std::uint64_t>(rec.attempts - 1));
+    send_retries.add(static_cast<std::uint64_t>(rec.send_retries));
+    observer_->record_point(
+        ctx->sweep, ctx->index,
+        make_report_point(kernel.name(), p.comm_dvfs_mhz, rec, from_cache));
+  }
   return rec;
 }
 
 RunRecord SweepExecutor::run_one(const npb::Kernel& kernel, int nodes,
                                  double frequency_mhz, double comm_dvfs_mhz) {
-  return run_point(kernel, Point{nodes, frequency_mhz, comm_dvfs_mhz});
+  return run_point(kernel, Point{nodes, frequency_mhz, comm_dvfs_mhz},
+                   nullptr);
 }
 
 std::vector<RunRecord> SweepExecutor::run_points(
     const npb::Kernel& kernel, const std::vector<Point>& points) {
+  int sweep_id = -1;
+  if (observer_) {
+    std::vector<obs::GridPoint> grid;
+    grid.reserve(points.size());
+    for (const Point& p : points)
+      grid.push_back(obs::GridPoint{p.nodes, p.frequency_mhz,
+                                    p.comm_dvfs_mhz});
+    sweep_id = observer_->begin_sweep(kernel.name(), std::move(grid));
+  }
+  std::vector<ObsCtx> ctxs(points.size());
+  const ObsCtx* ctx_of = nullptr;
+  if (sweep_id >= 0) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      ctxs[i] = ObsCtx{sweep_id, static_cast<int>(i)};
+    ctx_of = ctxs.data();
+  }
+
   std::vector<RunRecord> records(points.size());
   if (points.size() <= 1 || pool_.max_threads() == 1) {
     for (std::size_t i = 0; i < points.size(); ++i)
-      records[i] = run_point(kernel, points[i]);
+      records[i] =
+          run_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr);
     return records;
   }
   std::vector<std::future<void>> done;
   done.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    done.push_back(pool_.submit(
-        [this, &kernel, &points, &records, i] {
-          records[i] = run_point(kernel, points[i]);
-        }));
+    done.push_back(pool_.submit([this, &kernel, &points, &records, ctx_of, i] {
+      records[i] = run_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr);
+    }));
   }
   // Drain every future before rethrowing so no task still references
   // the local vectors.
@@ -168,14 +317,15 @@ std::vector<RunRecord> SweepExecutor::run_points(
   return records;
 }
 
-MatrixResult SweepExecutor::sweep(const npb::Kernel& kernel,
-                                  const std::vector<int>& node_counts,
-                                  const std::vector<double>& freqs_mhz,
-                                  double comm_dvfs_mhz) {
+MatrixResult SweepExecutor::run(const SweepRequest& request) {
+  if (request.kernel == nullptr)
+    throw std::invalid_argument("SweepRequest.kernel must be set");
+  const npb::Kernel& kernel = *request.kernel;
   std::vector<Point> points;
-  points.reserve(node_counts.size() * freqs_mhz.size());
-  for (int n : node_counts) {
-    for (double f : freqs_mhz) points.push_back(Point{n, f, comm_dvfs_mhz});
+  points.reserve(request.node_counts.size() * request.freqs_mhz.size());
+  for (int n : request.node_counts) {
+    for (double f : request.freqs_mhz)
+      points.push_back(Point{n, f, request.comm_dvfs_mhz});
   }
   std::vector<RunRecord> records = run_points(kernel, points);
   MatrixResult result;
@@ -192,6 +342,13 @@ MatrixResult SweepExecutor::sweep(const npb::Kernel& kernel,
         detail.c_str()));
   }
   return result;
+}
+
+MatrixResult SweepExecutor::sweep(const npb::Kernel& kernel,
+                                  const std::vector<int>& node_counts,
+                                  const std::vector<double>& freqs_mhz,
+                                  double comm_dvfs_mhz) {
+  return run(SweepRequest{&kernel, node_counts, freqs_mhz, comm_dvfs_mhz});
 }
 
 }  // namespace pas::analysis

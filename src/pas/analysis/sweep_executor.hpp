@@ -7,22 +7,40 @@
 // over a fixed worker pool while keeping results deterministic:
 //
 //   * MatrixResult.records stays in grid order (nodes-major, frequency
-//     minor, exactly as RunMatrix::sweep produces it), and
+//     minor, exactly as the serial RunMatrix produces it), and
 //   * every record is bit-identical to the serial path — concurrency
 //     changes only wall-clock time, never virtual time (DESIGN.md §6).
 //
 // A RunCache (in-memory, optionally disk-backed) memoizes records by
 // the canonical operating-point key, so parameterization passes and
 // repeated bench invocations stop re-simulating identical points.
+//
+// The API is spec-shaped: everything that configures an executor lives
+// in SweepSpec (cluster, power model, optional fault override, sweep
+// options, observability sinks) and everything that describes one grid
+// lives in SweepRequest, consumed by the single run() entry point:
+//
+//   analysis::SweepSpec spec;
+//   spec.cluster = env.cluster;
+//   spec.options = analysis::SweepOptions::from_cli(cli);
+//   spec.observer = obs::Observer::from_cli(cli);
+//   analysis::SweepExecutor exec(spec);
+//   analysis::MatrixResult m = exec.run({&kernel, env.nodes, env.freqs_mhz});
+//
+// The positional constructor and sweep() survive as deprecated shims
+// for one release; new code should not use them.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "pas/analysis/run_cache.hpp"
 #include "pas/analysis/run_matrix.hpp"
+#include "pas/fault/fault.hpp"
+#include "pas/obs/observer.hpp"
 #include "pas/util/thread_pool.hpp"
 
 namespace pas::util {
@@ -49,13 +67,41 @@ struct SweepOptions {
   /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
   /// then hardware concurrency), `--cache [dir]` (default dir
   /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`,
-  /// `--retries N`. Throws std::invalid_argument for `--jobs < 1` or
-  /// `--retries < 0`.
+  /// `--retries N`. Throws std::invalid_argument for `--jobs < 1`,
+  /// `--retries < 0`, a $PASIM_JOBS that is not a positive integer, or
+  /// a $PASIM_CACHE_DIR that is set but empty — environment values
+  /// obey the same rules as the flags they stand in for.
   static SweepOptions from_cli(const util::Cli& cli);
+};
+
+/// Everything that configures a SweepExecutor.
+struct SweepSpec {
+  sim::ClusterConfig cluster;
+  power::PowerModel power;
+  /// When set, replaces cluster.fault (convenient for fault-rate
+  /// sweeps that share one base cluster).
+  std::optional<fault::FaultConfig> fault;
+  SweepOptions options;
+  /// Observability sinks; null (the default) disables collection
+  /// entirely (see pas/obs/observer.hpp).
+  std::shared_ptr<obs::Observer> observer;
+};
+
+/// One sweep grid: the kernel crossed with node counts and
+/// frequencies (nodes-major, frequency-minor order).
+struct SweepRequest {
+  const npb::Kernel* kernel = nullptr;
+  std::vector<int> node_counts;
+  std::vector<double> freqs_mhz;
+  /// != 0 enables communication-phase DVFS at that operating point.
+  double comm_dvfs_mhz = 0.0;
 };
 
 class SweepExecutor {
  public:
+  explicit SweepExecutor(SweepSpec spec);
+
+  /// Deprecated positional form; use SweepExecutor(SweepSpec).
   explicit SweepExecutor(sim::ClusterConfig cluster,
                          power::PowerModel power = power::PowerModel(),
                          SweepOptions options = SweepOptions());
@@ -64,6 +110,7 @@ class SweepExecutor {
   RunCache& cache() { return cache_; }
   const RunCache& cache() const { return cache_; }
   const sim::ClusterConfig& cluster() const { return cluster_; }
+  const std::shared_ptr<obs::Observer>& observer() const { return observer_; }
 
   /// One operating point of the grid.
   struct Point {
@@ -72,23 +119,28 @@ class SweepExecutor {
     double comm_dvfs_mhz = 0.0;
   };
 
-  /// Cache-aware equivalent of RunMatrix::run_one.
-  RunRecord run_one(const npb::Kernel& kernel, int nodes,
-                    double frequency_mhz, double comm_dvfs_mhz = 0.0);
-
-  /// Runs `points` concurrently; the result vector matches `points`
-  /// index-for-index.
+  /// Runs the request's grid concurrently and returns records in grid
+  /// order, bit-identical to the serial path.
   ///
   /// Fail-soft: a run aborted by fault injection or the deadlock
   /// watchdog is retried (`run_retries`, transient faults only) and
   /// then recorded with its failure status — the sweep continues.
   /// Non-fault exceptions (bad configuration, programming errors)
-  /// still propagate after all points drain.
+  /// still propagate after all points drain. Logs a summary of failed
+  /// points, if any.
+  MatrixResult run(const SweepRequest& request);
+
+  /// Cache-aware equivalent of RunMatrix::run_one. Not reported to the
+  /// observer (single probes are not sweep points).
+  RunRecord run_one(const npb::Kernel& kernel, int nodes,
+                    double frequency_mhz, double comm_dvfs_mhz = 0.0);
+
+  /// Runs `points` concurrently; the result vector matches `points`
+  /// index-for-index. Reported to the observer as one sweep.
   std::vector<RunRecord> run_points(const npb::Kernel& kernel,
                                     const std::vector<Point>& points);
 
-  /// Parallel, memoized drop-in for RunMatrix::sweep: same grid order,
-  /// bit-identical records. Logs a summary of failed points, if any.
+  /// Deprecated positional form of run(); kept for one release.
   MatrixResult sweep(const npb::Kernel& kernel,
                      const std::vector<int>& node_counts,
                      const std::vector<double>& freqs_mhz,
@@ -96,8 +148,16 @@ class SweepExecutor {
 
  private:
   class MatrixLease;
-  RunRecord run_point(const npb::Kernel& kernel, const Point& p);
-  RunRecord simulate_failsoft(const npb::Kernel& kernel, const Point& p);
+  /// Observer coordinates of the point being run (sweep id + index);
+  /// null when the point is not reported.
+  struct ObsCtx {
+    int sweep = -1;
+    int index = -1;
+  };
+  RunRecord run_point(const npb::Kernel& kernel, const Point& p,
+                      const ObsCtx* ctx);
+  RunRecord simulate_failsoft(const npb::Kernel& kernel, const Point& p,
+                              const ObsCtx* ctx);
 
   sim::ClusterConfig cluster_;
   power::PowerModel power_;
@@ -105,6 +165,7 @@ class SweepExecutor {
   RunCache cache_;
   bool use_cache_;
   int run_retries_;
+  std::shared_ptr<obs::Observer> observer_;
   /// RunMatrix instances (each with its own Runtime + rank pool) are
   /// leased per task and reused, so a sweep touches at most `jobs`
   /// simulated clusters however large the grid is.

@@ -5,6 +5,7 @@
 
 #include "pas/mpi/runtime.hpp"
 #include "pas/mpi/watchdog.hpp"
+#include "pas/obs/metrics.hpp"
 #include "pas/util/format.hpp"
 
 namespace pas::mpi {
@@ -30,9 +31,15 @@ void Comm::compute(const sim::InstructionMix& mix) {
   n.executed += mix;
   faults_.check_alive(n.clock.now());
   sim::Tracer& tracer = runtime_.tracer();
-  if (tracer.enabled())
-    tracer.record(rank_, t0, n.clock.now() - t0, sim::Activity::kCpu,
-                  "compute");
+  if (tracer.enabled()) {
+    // The ON/OFF-chip split is the paper's central quantity: trace the
+    // two parts as separate activities so the power timeline bills the
+    // memory-stall time at memory power, not CPU power.
+    tracer.record(rank_, t0, split.on_chip_s, sim::Activity::kCpu, "compute");
+    if (split.off_chip_s > 0.0)
+      tracer.record(rank_, t0 + split.on_chip_s, split.off_chip_s,
+                    sim::Activity::kMemory, "compute mem");
+  }
 }
 
 void Comm::compute_seconds(double s, sim::Activity act) {
@@ -59,6 +66,11 @@ void Comm::enter_comm_phase() {
   n.spend(runtime_.config().dvfs_transition_s + faults_.draw_dvfs_jitter(),
           sim::Activity::kCpu);
   n.cpu.set_frequency_mhz(comm_dvfs_mhz_);
+  sim::Tracer& tracer = runtime_.tracer();
+  if (tracer.enabled())
+    tracer.record_marker(rank_, n.clock.now(), "dvfs",
+                         pas::util::strf("dvfs %.0f->%.0f MHz", app_mhz_,
+                                         comm_dvfs_mhz_));
 }
 
 void Comm::exit_comm_phase() {
@@ -68,9 +80,15 @@ void Comm::exit_comm_phase() {
   if (sim::NodeState::fkey(n.cpu.current().frequency_mhz()) ==
       sim::NodeState::fkey(app_mhz_))
     return;
+  const double from_mhz = n.cpu.current().frequency_mhz();
   n.cpu.set_frequency_mhz(app_mhz_);
   n.spend(runtime_.config().dvfs_transition_s + faults_.draw_dvfs_jitter(),
           sim::Activity::kCpu);
+  sim::Tracer& tracer = runtime_.tracer();
+  if (tracer.enabled())
+    tracer.record_marker(rank_, n.clock.now(), "dvfs",
+                         pas::util::strf("dvfs %.0f->%.0f MHz", from_mhz,
+                                         app_mhz_));
 }
 
 double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
@@ -105,6 +123,13 @@ double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
     if (blocking) n.spend_until(t.tx_end, sim::Activity::kNetwork);
 
     if (!faults_.message_faults() || !faults_.draw_drop()) break;
+    static obs::Counter& drops =
+        obs::registry().counter("fault.message_drops");
+    drops.add();
+    if (runtime_.tracer().enabled())
+      runtime_.tracer().record_marker(
+          rank_, n.clock.now(), "fault",
+          pas::util::strf("drop->%d tag %d (try %d)", dst, tag, tries));
     // Injected loss: the transport retries with exponential backoff,
     // re-paying the CPU overhead and wire time each attempt — the
     // energy cost of unreliability that resilience_sweep measures.
@@ -115,12 +140,24 @@ double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
   }
   faults_.check_alive(n.clock.now());
 
+  const double injected_delay = faults_.draw_delay();
+  if (injected_delay > 0.0) {
+    static obs::Counter& delays =
+        obs::registry().counter("fault.message_delays");
+    delays.add();
+    if (runtime_.tracer().enabled())
+      runtime_.tracer().record_marker(
+          rank_, n.clock.now(), "fault",
+          pas::util::strf("delay->%d tag %d (+%.3gus)", dst, tag,
+                          injected_delay * 1e6));
+  }
+
   Message msg;
   msg.src = rank_;
   msg.dst = dst;
   msg.tag = tag;
   msg.bytes = wire_bytes;
-  msg.at_switch = t.at_switch + faults_.draw_delay();
+  msg.at_switch = t.at_switch + injected_delay;
   msg.rx_ser_s = t.rx_ser_s;
   msg.data = std::move(data);
 

@@ -4,6 +4,7 @@
 #include <future>
 #include <stdexcept>
 
+#include "pas/obs/metrics.hpp"
 #include "pas/util/format.hpp"
 
 namespace pas::mpi {
@@ -82,6 +83,9 @@ RunResult Runtime::run(int nranks, double frequency_mhz, const RankBody& body) {
   if (nranks < 1 || nranks > cfg_.num_nodes)
     throw std::invalid_argument(pas::util::strf(
         "nranks=%d out of range [1, %d]", nranks, cfg_.num_nodes));
+
+  static obs::Counter& runs = obs::registry().counter("mpi.runs");
+  runs.add();
 
   cluster_.reset();
   cluster_.set_frequency_mhz(frequency_mhz);

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "pas/obs/metrics.hpp"
+
 namespace pas::mpi {
 
 DeadlockError::DeadlockError(const std::string& what,
@@ -79,6 +81,8 @@ void RunMonitor::detect_locked() {
     if (it != pending_.end() && it->second > 0) return;  // deliverable
   }
   deadlock_ = true;
+  static obs::Counter& latches = obs::registry().counter("mpi.deadlocks");
+  latches.add();
   graph_.clear();
   for (int r = 0; r < nranks_; ++r) {
     const Wait& w = waits_[static_cast<std::size_t>(r)];

@@ -1,0 +1,136 @@
+#include "pas/obs/exporter.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pas/obs/metrics.hpp"
+#include "pas/obs/observer.hpp"
+#include "pas/obs/power_timeline.hpp"
+#include "pas/sim/trace.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::obs {
+namespace {
+
+std::string join_path(const std::string& dir, const char* file) {
+  if (dir.empty()) return file;
+  return dir.back() == '/' ? dir + file : dir + "/" + file;
+}
+
+class RunReportExporter final : public Exporter {
+ public:
+  const char* name() const override { return "run_report"; }
+  WriteResult write(const Observer& obs, const std::string& dir) override {
+    return write_text_file(join_path(dir, "run_report.json"),
+                           obs.run_report_json());
+  }
+};
+
+class ChromeTraceExporter final : public Exporter {
+ public:
+  const char* name() const override { return "chrome_trace"; }
+  WriteResult write(const Observer& obs, const std::string& dir) override {
+    std::string out = "[\n";
+    bool first = true;
+    auto emit = [&](const std::string& line) {
+      if (!first) out += ",\n";
+      first = false;
+      out += line;
+    };
+    // One Chrome "process" per sweep point, named after the point.
+    for (const Observer::SweepScope& scope : obs.sweeps()) {
+      for (std::size_t i = 0; i < scope.grid.size(); ++i) {
+        const GridPoint& g = scope.grid[i];
+        std::string pname = util::strf("%s n=%d f=%.0f MHz",
+                                       scope.kernel.c_str(), g.nodes,
+                                       g.frequency_mhz);
+        if (g.comm_dvfs_mhz > 0.0)
+          pname += util::strf(" comm=%.0f MHz", g.comm_dvfs_mhz);
+        emit(util::strf(
+            R"({"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}})",
+            scope.track_base + static_cast<int>(i),
+            // pname is strf-built from plain fields; nothing to escape.
+            pname.c_str()));
+      }
+    }
+    for (const Span& s : obs.spans()) {
+      sim::TraceEvent e;
+      e.node = s.node;
+      e.start_s = s.virt_start_s;
+      e.duration_s = s.virt_dur_s;
+      e.category = s.category;
+      e.label = s.name;
+      e.instant = s.instant;
+      emit(sim::chrome_event_json(e, /*pid=*/s.track, /*tid=*/s.node));
+    }
+    out += "\n]\n";
+    return write_text_file(join_path(dir, "trace.json"), out);
+  }
+};
+
+class MetricsCsvExporter final : public Exporter {
+ public:
+  explicit MetricsCsvExporter(Stability max_stability, const char* file,
+                              const char* name)
+      : max_stability_(max_stability), file_(file), name_(name) {}
+  const char* name() const override { return name_; }
+  WriteResult write(const Observer&, const std::string& dir) override {
+    return write_text_file(join_path(dir, file_),
+                           registry().to_csv(max_stability_));
+  }
+
+ private:
+  const Stability max_stability_;
+  const char* const file_;
+  const char* const name_;
+};
+
+class PowerTimelineExporter final : public Exporter {
+ public:
+  const char* name() const override { return "power_timeline"; }
+  WriteResult write(const Observer& obs, const std::string& dir) override {
+    std::string out =
+        "track,node,t_s,cpu_w,memory_w,network_w,idle_w,total_w\n";
+    const int samples = obs.options().timeline_samples;
+    for (const Observer::SweepScope& scope : obs.sweeps()) {
+      for (const Observer::PointSlot& slot : scope.slots) {
+        if (!slot.have_trace) continue;
+        for (const PowerSample& s :
+             sample_power_timeline(obs.meter(), slot.trace, samples)) {
+          out += util::strf("%d,%d,", s.track, s.node);
+          out += util::strf("%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n", s.t_s,
+                            s.cpu_w, s.memory_w, s.network_w, s.idle_w,
+                            s.total_w());
+        }
+      }
+    }
+    return write_text_file(join_path(dir, "power_timeline.csv"), out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Exporter> make_run_report_exporter() {
+  return std::make_unique<RunReportExporter>();
+}
+
+std::unique_ptr<Exporter> make_chrome_trace_exporter() {
+  return std::make_unique<ChromeTraceExporter>();
+}
+
+std::unique_ptr<Exporter> make_metrics_csv_exporter() {
+  return std::make_unique<MetricsCsvExporter>(Stability::kStable,
+                                              "metrics.csv", "metrics_csv");
+}
+
+std::unique_ptr<Exporter> make_volatile_metrics_csv_exporter() {
+  return std::make_unique<MetricsCsvExporter>(
+      Stability::kVolatile, "metrics_volatile.csv", "metrics_volatile_csv");
+}
+
+std::unique_ptr<Exporter> make_power_timeline_exporter() {
+  return std::make_unique<PowerTimelineExporter>();
+}
+
+}  // namespace pas::obs

@@ -1,0 +1,50 @@
+// The single export surface of the observability layer.
+//
+// Every artifact — the structured run report, the Chrome trace, the
+// metrics CSVs, the power timeline — is produced by an Exporter that
+// reads an Observer snapshot and writes one file into the output
+// directory, reporting a WriteResult. Benches call
+// Observer::export_all() once at the end; custom sinks slot in via
+// Observer::add_exporter().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pas/obs/write_result.hpp"
+
+namespace pas::obs {
+
+class Observer;
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+
+  /// Short identifier ("run_report", "chrome_trace", ...).
+  virtual const char* name() const = 0;
+
+  /// Writes this exporter's artifact into `dir` (which exists).
+  virtual WriteResult write(const Observer& obs, const std::string& dir) = 0;
+};
+
+/// run_report.json — schema pasim-run-report/1 (sweeps, per-point
+/// records, summary, stable metrics). Deterministic.
+std::unique_ptr<Exporter> make_run_report_exporter();
+
+/// trace.json — Chrome trace-event JSON; pid = sweep-point track,
+/// tid = node (-1 is the point-level row). Deterministic.
+std::unique_ptr<Exporter> make_chrome_trace_exporter();
+
+/// metrics.csv — stable registry rows only. Deterministic.
+std::unique_ptr<Exporter> make_metrics_csv_exporter();
+
+/// metrics_volatile.csv — every registry row, including wall-clock
+/// diagnostics. NOT deterministic across --jobs; never golden-tested.
+std::unique_ptr<Exporter> make_volatile_metrics_csv_exporter();
+
+/// power_timeline.csv — sampled per-rank P(t) for every traced run.
+/// Deterministic.
+std::unique_ptr<Exporter> make_power_timeline_exporter();
+
+}  // namespace pas::obs

@@ -1,0 +1,128 @@
+#include "pas/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::obs {
+
+const char* stability_name(Stability s) {
+  return s == Stability::kStable ? "stable" : "volatile";
+}
+
+void Histogram::observe(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (snap_.count == 0) {
+    snap_.min = x;
+    snap_.max = x;
+  } else {
+    snap_.min = std::min(snap_.min, x);
+    snap_.max = std::max(snap_.max, x);
+  }
+  ++snap_.count;
+  snap_.sum += x;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snap_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap_ = Snapshot{};
+}
+
+Registry::Entry& Registry::entry(const std::string& name, const char* kind,
+                                 Stability stability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.stability = stability;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name + "' already registered as a " +
+                           it->second.kind + ", requested as a " + kind);
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, Stability stability) {
+  Entry& e = entry(name, "counter", stability);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, Stability stability) {
+  Entry& e = entry(name, "gauge", stability);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, Stability stability) {
+  Entry& e = entry(name, "histogram", stability);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+std::vector<MetricRow> Registry::rows(Stability max_stability) const {
+  std::vector<MetricRow> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map iterates in name order, so the rows are already sorted.
+  for (const auto& [name, e] : entries_) {
+    if (max_stability == Stability::kStable &&
+        e.stability != Stability::kStable)
+      continue;
+    auto row = [&](const std::string& n, std::string value) {
+      out.push_back(MetricRow{n, e.kind, e.stability, std::move(value)});
+    };
+    if (e.counter) {
+      row(name, util::strf("%" PRIu64, e.counter->value()));
+    } else if (e.gauge) {
+      row(name, util::strf("%.17g", e.gauge->value()));
+    } else if (e.histogram) {
+      const Histogram::Snapshot s = e.histogram->snapshot();
+      row(name + ".count", util::strf("%" PRIu64, s.count));
+      row(name + ".sum", util::strf("%.17g", s.sum));
+      row(name + ".min", util::strf("%.17g", s.min));
+      row(name + ".max", util::strf("%.17g", s.max));
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_csv(Stability max_stability) const {
+  std::string out = "metric,kind,stability,value\n";
+  for (const MetricRow& r : rows(max_stability)) {
+    out += r.name;
+    out += ',';
+    out += r.kind;
+    out += ',';
+    out += stability_name(r.stability);
+    out += ',';
+    out += r.value;
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace pas::obs

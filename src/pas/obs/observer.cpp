@@ -1,0 +1,299 @@
+#include "pas/obs/observer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "pas/obs/exporter.hpp"
+#include "pas/util/cli.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::obs {
+namespace {
+
+long long steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+/// Canonical double spelling for deterministic artifacts: %.17g round-
+/// trips the exact bit pattern, so equal inputs give equal bytes.
+std::string jnum(double v) { return util::strf("%.17g", v); }
+
+const char* jbool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+ObsOptions ObsOptions::from_cli(const util::Cli& cli) {
+  ObsOptions o;
+  o.trace = cli.has("trace");
+  o.metrics = cli.has("metrics");
+  // Either flag may carry the shared output directory; if both do,
+  // --metrics wins (they should normally agree).
+  std::string dir = cli.get("trace", "");
+  const std::string mdir = cli.get("metrics", "");
+  if (!mdir.empty()) dir = mdir;
+  if (!dir.empty()) o.dir = dir;
+  return o;
+}
+
+Observer::Observer(ObsOptions opts)
+    : opts_(std::move(opts)),
+      meter_(power::PowerModel()),
+      epoch_ns_(steady_ns()) {
+  exporters_.push_back(make_run_report_exporter());
+  if (opts_.trace) {
+    exporters_.push_back(make_chrome_trace_exporter());
+    exporters_.push_back(make_power_timeline_exporter());
+  }
+  if (opts_.metrics) {
+    exporters_.push_back(make_metrics_csv_exporter());
+    exporters_.push_back(make_volatile_metrics_csv_exporter());
+  }
+}
+
+Observer::~Observer() = default;
+
+std::shared_ptr<Observer> Observer::from_cli(const util::Cli& cli) {
+  ObsOptions o = ObsOptions::from_cli(cli);
+  if (!o.trace && !o.metrics) return nullptr;
+  return std::make_shared<Observer>(std::move(o));
+}
+
+void Observer::set_power_model(const power::PowerModel& model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  meter_ = power::EnergyMeter(model);
+}
+
+int Observer::begin_sweep(std::string kernel, std::vector<GridPoint> grid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SweepScope scope;
+  scope.kernel = std::move(kernel);
+  scope.track_base = next_track_;
+  scope.slots.resize(grid.size());
+  scope.grid = std::move(grid);
+  next_track_ += static_cast<int>(scope.grid.size());
+  sweeps_.push_back(std::move(scope));
+  return static_cast<int>(sweeps_.size()) - 1;
+}
+
+void Observer::record_point(int sweep, int index, ReportPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointSlot& slot = sweeps_.at(static_cast<std::size_t>(sweep))
+                        .slots.at(static_cast<std::size_t>(index));
+  slot.point = std::move(point);
+  slot.have_point = true;
+}
+
+void Observer::record_run_trace(int sweep, int index, RunTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SweepScope& scope = sweeps_.at(static_cast<std::size_t>(sweep));
+  trace.track = scope.track_base + index;
+  sim::sort_events(trace.events);
+  PointSlot& slot = scope.slots.at(static_cast<std::size_t>(index));
+  slot.trace = std::move(trace);
+  slot.have_trace = true;
+}
+
+int Observer::track_of(int sweep, int index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sweeps_.at(static_cast<std::size_t>(sweep)).track_base + index;
+}
+
+std::vector<Observer::SweepScope> Observer::sweeps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sweeps_;
+}
+
+std::vector<Span> Observer::spans() const {
+  std::vector<Span> out;
+  for (const SweepScope& scope : sweeps()) {
+    for (std::size_t i = 0; i < scope.slots.size(); ++i) {
+      const PointSlot& slot = scope.slots[i];
+      if (!slot.have_point) continue;
+      const ReportPoint& p = slot.point;
+      const int track = scope.track_base + static_cast<int>(i);
+
+      Span top;
+      top.track = track;
+      top.node = -1;
+      top.virt_start_s = 0.0;
+      top.virt_dur_s = p.seconds;
+      top.category = "point";
+      top.name = util::strf("%s n=%d f=%.0f MHz", scope.kernel.c_str(),
+                            p.nodes, p.frequency_mhz);
+      if (p.comm_dvfs_mhz > 0.0)
+        top.name += util::strf(" comm=%.0f MHz", p.comm_dvfs_mhz);
+      if (p.from_cache) top.name += " [cached]";
+      out.push_back(std::move(top));
+
+      if (p.status != "ok") {
+        Span mark;
+        mark.track = track;
+        mark.node = -1;
+        mark.virt_start_s = p.seconds;
+        mark.category = "fault";
+        mark.name = util::strf("failed: %s after %d attempt%s",
+                               p.status.c_str(), p.attempts,
+                               p.attempts == 1 ? "" : "s");
+        mark.instant = true;
+        out.push_back(std::move(mark));
+      }
+
+      if (!slot.have_trace) continue;
+      for (const sim::TraceEvent& e : slot.trace.events) {
+        Span s;
+        s.track = track;
+        s.node = e.node;
+        s.virt_start_s = e.start_s;
+        s.virt_dur_s = e.duration_s;
+        s.category =
+            e.category.empty() ? sim::activity_name(e.activity) : e.category;
+        s.name = e.label;
+        s.instant = e.instant;
+        s.wall_s = slot.trace.wall_s;
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Observer::run_report_json() const {
+  const std::vector<SweepScope> scopes = sweeps();
+
+  std::string points;
+  std::size_t n_points = 0, n_ok = 0, n_failed = 0, n_cached = 0;
+  long long run_retries = 0;
+  double send_retries = 0.0, energy_total = 0.0;
+
+  for (std::size_t s = 0; s < scopes.size(); ++s) {
+    const SweepScope& scope = scopes[s];
+    for (std::size_t i = 0; i < scope.slots.size(); ++i) {
+      const PointSlot& slot = scope.slots[i];
+      if (!slot.have_point) continue;
+      const ReportPoint& p = slot.point;
+      ++n_points;
+      if (p.status == "ok") ++n_ok; else ++n_failed;
+      if (p.from_cache) ++n_cached;
+      run_retries += p.attempts - 1;
+      send_retries += p.send_retries;
+      energy_total += p.energy_total_j();
+
+      if (!points.empty()) points += ",\n";
+      points += "    {";
+      points += util::strf("\"sweep\":%zu,\"index\":%zu,", s, i);
+      points += "\"kernel\":" + jstr(p.kernel) + ",";
+      points += util::strf("\"nodes\":%d,", p.nodes);
+      points += "\"frequency_mhz\":" + jnum(p.frequency_mhz) + ",";
+      points += "\"comm_dvfs_mhz\":" + jnum(p.comm_dvfs_mhz) + ",";
+      points += "\"status\":" + jstr(p.status) + ",";
+      points += util::strf("\"verified\":%s,", jbool(p.verified));
+      points += util::strf("\"from_cache\":%s,", jbool(p.from_cache));
+      points += util::strf("\"attempts\":%d,", p.attempts);
+      points += "\"seconds\":" + jnum(p.seconds) + ",";
+      points += "\"mean_overhead_s\":" + jnum(p.mean_overhead_s) + ",";
+      points += "\"mean_cpu_s\":" + jnum(p.mean_cpu_s) + ",";
+      points += "\"mean_memory_s\":" + jnum(p.mean_memory_s) + ",";
+      points += "\"send_retries\":" + jnum(p.send_retries) + ",";
+      points += "\"energy_j\":{";
+      points += "\"cpu\":" + jnum(p.energy_cpu_j) + ",";
+      points += "\"memory\":" + jnum(p.energy_memory_j) + ",";
+      points += "\"network\":" + jnum(p.energy_network_j) + ",";
+      points += "\"idle\":" + jnum(p.energy_idle_j) + ",";
+      points += "\"total\":" + jnum(p.energy_total_j());
+      points += "}}";
+    }
+  }
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"pasim-run-report/1\",\n";
+  out += "  \"sweeps\": [\n";
+  for (std::size_t s = 0; s < scopes.size(); ++s) {
+    if (s) out += ",\n";
+    out += util::strf("    {\"id\":%zu,\"kernel\":%s,\"points\":%zu}", s,
+                      jstr(scopes[s].kernel).c_str(), scopes[s].grid.size());
+  }
+  out += "\n  ],\n";
+  out += "  \"points\": [\n" + points + "\n  ],\n";
+  out += "  \"summary\": {";
+  out += util::strf("\"points\":%zu,\"ok\":%zu,\"failed\":%zu,\"cached\":%zu,",
+                    n_points, n_ok, n_failed, n_cached);
+  out += util::strf("\"run_retries\":%lld,", run_retries);
+  out += "\"send_retries\":" + jnum(send_retries) + ",";
+  out += "\"energy_total_j\":" + jnum(energy_total);
+  out += "},\n";
+  out += "  \"metrics\": [\n";
+  const std::vector<MetricRow> rows = registry().rows(Stability::kStable);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) out += ",\n";
+    out += util::strf("    {\"name\":%s,\"kind\":%s,\"value\":%s}",
+                      jstr(rows[i].name).c_str(), jstr(rows[i].kind).c_str(),
+                      rows[i].value.c_str());
+  }
+  out += "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void Observer::add_exporter(std::unique_ptr<Exporter> exporter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exporters_.push_back(std::move(exporter));
+}
+
+std::vector<WriteResult> Observer::export_all() {
+  std::vector<WriteResult> results;
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  if (ec) {
+    WriteResult r;
+    r.path = opts_.dir;
+    r.error = "create_directories: " + ec.message();
+    results.push_back(std::move(r));
+    return results;
+  }
+  // Exporters only read; the list itself is stable by export time.
+  for (const std::unique_ptr<Exporter>& e : exporters_)
+    results.push_back(e->write(*this, opts_.dir));
+  return results;
+}
+
+double Observer::wall_now_s() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) * 1e-9;
+}
+
+bool export_and_report(const std::shared_ptr<Observer>& observer) {
+  if (!observer) return true;
+  bool ok = true;
+  for (const WriteResult& r : observer->export_all()) {
+    if (r.ok()) {
+      std::printf("obs: wrote %s (%zu bytes)\n", r.path.c_str(), r.bytes);
+    } else {
+      std::fprintf(stderr, "obs: FAILED %s\n", r.to_string().c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace pas::obs

@@ -1,0 +1,173 @@
+// Observer — the per-invocation observability session.
+//
+// One Observer collects everything a bench run wants to explain about
+// itself: the deterministic per-point report rows a sweep produces,
+// the harvested virtual-time traces of fresh runs, and (via the
+// process-wide metrics registry) counters and histograms. At the end
+// of the run, export_all() writes every configured artifact through
+// the obs::Exporter interface:
+//
+//   run_report.json     structured sweep report   (--metrics)
+//   metrics.csv         stable registry rows      (--metrics)
+//   metrics_volatile.csv wall-clock diagnostics   (--metrics)
+//   trace.json          Chrome trace, all points  (--trace)
+//   power_timeline.csv  per-rank P(t) sampler     (--trace)
+//
+// Determinism contract (DESIGN.md §8): every artifact except
+// metrics_volatile.csv is a pure function of the sweep's virtual-time
+// results, so the bytes are identical at any --jobs. Point slots are
+// reserved in grid order by begin_sweep() and filled by whichever
+// worker finishes the point, so no sorting of racy data is ever
+// needed.
+//
+// A null Observer (the default everywhere) means observability is
+// off: the sweep layer skips collection entirely and the only residue
+// is the registry's relaxed atomic counters.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pas/obs/metrics.hpp"
+#include "pas/obs/span.hpp"
+#include "pas/obs/write_result.hpp"
+#include "pas/power/energy_meter.hpp"
+
+namespace pas::util {
+class Cli;
+}
+
+namespace pas::obs {
+
+class Exporter;
+
+struct ObsOptions {
+  bool trace = false;    ///< collect + export spans and the power timeline
+  bool metrics = false;  ///< export the report and the registry
+  std::string dir = "pasim_obs";
+  int timeline_samples = 64;  ///< per-run sample count of the P(t) CSV
+
+  /// `--trace [dir]` / `--metrics [dir]` (a value on either flag sets
+  /// the shared output directory; default `pasim_obs`).
+  static ObsOptions from_cli(const util::Cli& cli);
+};
+
+/// One operating point of a registered sweep grid.
+struct GridPoint {
+  int nodes = 0;
+  double frequency_mhz = 0.0;
+  double comm_dvfs_mhz = 0.0;
+};
+
+/// The deterministic per-point report row (every field derives from
+/// the canonical RunRecord, which is bit-identical at any --jobs).
+struct ReportPoint {
+  std::string kernel;
+  int nodes = 0;
+  double frequency_mhz = 0.0;
+  double comm_dvfs_mhz = 0.0;
+  std::string status = "ok";
+  bool verified = false;
+  bool from_cache = false;
+  int attempts = 1;
+  double seconds = 0.0;
+  double mean_overhead_s = 0.0;
+  double mean_cpu_s = 0.0;
+  double mean_memory_s = 0.0;
+  double send_retries = 0.0;
+  double energy_cpu_j = 0.0;
+  double energy_memory_j = 0.0;
+  double energy_network_j = 0.0;
+  double energy_idle_j = 0.0;
+  double energy_total_j() const {
+    return energy_cpu_j + energy_memory_j + energy_network_j + energy_idle_j;
+  }
+};
+
+class Observer {
+ public:
+  explicit Observer(ObsOptions opts);
+  ~Observer();
+
+  /// Null when neither --trace nor --metrics was given.
+  static std::shared_ptr<Observer> from_cli(const util::Cli& cli);
+
+  const ObsOptions& options() const { return opts_; }
+  bool tracing() const { return opts_.trace; }
+  bool metrics_enabled() const { return opts_.metrics; }
+
+  /// The power model pricing the P(t) timeline (SweepExecutor sets it
+  /// from its own model at construction).
+  void set_power_model(const power::PowerModel& model);
+  const power::EnergyMeter& meter() const { return meter_; }
+
+  /// Registers a sweep and reserves one slot (and one trace track) per
+  /// grid point. Returns the sweep id; slots are addressed by
+  /// (sweep, index-in-grid), which keeps every artifact in grid order
+  /// no matter which worker finishes first.
+  int begin_sweep(std::string kernel, std::vector<GridPoint> grid);
+
+  void record_point(int sweep, int index, ReportPoint point);
+
+  /// The harvested trace of a fresh, successful simulation of
+  /// (sweep, index). `trace.track` is filled in here.
+  void record_run_trace(int sweep, int index, RunTrace trace);
+
+  /// Track id of (sweep, index) — stable, assigned at begin_sweep.
+  int track_of(int sweep, int index) const;
+
+  struct PointSlot {
+    bool have_point = false;
+    ReportPoint point;
+    bool have_trace = false;
+    RunTrace trace;
+  };
+  struct SweepScope {
+    std::string kernel;
+    std::vector<GridPoint> grid;
+    int track_base = 0;
+    std::vector<PointSlot> slots;
+  };
+
+  /// Snapshot views. Safe to call concurrently with collection, but
+  /// artifacts are only meaningful once the sweeps have drained.
+  std::vector<SweepScope> sweeps() const;
+
+  /// All spans in canonical order: per track, the point-level span
+  /// first (node -1), then harvested events by (node, start, ...).
+  std::vector<Span> spans() const;
+
+  /// The structured run report (schema pasim-run-report/1).
+  std::string run_report_json() const;
+
+  /// Registers an extra exporter on top of the configured defaults.
+  void add_exporter(std::unique_ptr<Exporter> exporter);
+
+  /// Creates options().dir and runs every exporter; one WriteResult
+  /// per artifact (a failed directory creation yields a single
+  /// failure entry).
+  std::vector<WriteResult> export_all();
+
+  /// Seconds since this observer was constructed (wall clock; feeds
+  /// the volatile span stamps).
+  double wall_now_s() const;
+
+ private:
+  ObsOptions opts_;
+  power::EnergyMeter meter_;
+  mutable std::mutex mutex_;
+  std::vector<SweepScope> sweeps_;
+  int next_track_ = 0;
+  std::vector<std::unique_ptr<Exporter>> exporters_;
+  const long long epoch_ns_;
+};
+
+/// Convenience for bench/example main()s: export_all() on a possibly-
+/// null observer, one "obs: wrote ..." line per artifact on stdout,
+/// failures on stderr. Returns false if any artifact failed to write.
+/// A null observer is a successful no-op.
+bool export_and_report(const std::shared_ptr<Observer>& observer);
+
+}  // namespace pas::obs

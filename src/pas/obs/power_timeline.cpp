@@ -1,0 +1,65 @@
+#include "pas/obs/power_timeline.hpp"
+
+#include <algorithm>
+
+namespace pas::obs {
+
+std::vector<PowerSample> sample_power_timeline(const power::EnergyMeter& meter,
+                                               const RunTrace& run,
+                                               int samples) {
+  std::vector<PowerSample> out;
+  if (samples < 1 || run.nranks < 1 || run.makespan_s <= 0.0) return out;
+  const double dt = run.makespan_s / static_cast<double>(samples);
+  out.reserve(static_cast<std::size_t>(run.nranks) *
+              static_cast<std::size_t>(samples));
+
+  for (int node = 0; node < run.nranks; ++node) {
+    // Per-interval activity seconds for this rank. Marker events and
+    // category spans (rank program, dvfs, fault) carry no activity
+    // extent of their own — only the plain activity intervals recorded
+    // by compute/send/recv do.
+    std::vector<power::ActivityProfile> bins(
+        static_cast<std::size_t>(samples));
+    for (const sim::TraceEvent& e : run.events) {
+      if (e.node != node || e.instant || !e.category.empty()) continue;
+      const double end = e.start_s + e.duration_s;
+      int first = static_cast<int>(e.start_s / dt);
+      first = std::clamp(first, 0, samples - 1);
+      for (int k = first; k < samples; ++k) {
+        const double bin_start = static_cast<double>(k) * dt;
+        if (bin_start >= end) break;
+        const double overlap =
+            std::min(end, bin_start + dt) - std::max(e.start_s, bin_start);
+        if (overlap <= 0.0) continue;
+        power::ActivityProfile& bin = bins[static_cast<std::size_t>(k)];
+        switch (e.activity) {
+          case sim::Activity::kCpu: bin.cpu_s += overlap; break;
+          case sim::Activity::kMemory: bin.memory_s += overlap; break;
+          case sim::Activity::kNetwork: bin.network_s += overlap; break;
+          case sim::Activity::kIdle: bin.idle_s += overlap; break;
+        }
+      }
+    }
+    for (int k = 0; k < samples; ++k) {
+      power::ActivityProfile bin = bins[static_cast<std::size_t>(k)];
+      // Uncovered time in the interval is idle (finished-early slack,
+      // or untraced waits).
+      bin.idle_s += std::max(0.0, dt - bin.total());
+      const power::EnergyBreakdown e =
+          meter.measure_node(bin, run.op, /*makespan=*/dt);
+      PowerSample s;
+      s.track = run.track;
+      s.node = node;
+      s.t_s = static_cast<double>(k) * dt;
+      s.dt_s = dt;
+      s.cpu_w = e.cpu_j / dt;
+      s.memory_w = e.memory_j / dt;
+      s.network_w = e.network_j / dt;
+      s.idle_w = e.idle_j / dt;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace pas::obs

@@ -1,0 +1,44 @@
+// Per-rank power/energy timeline sampler.
+//
+// Walks one run's virtual-time trace events and integrates, for every
+// fixed-width sample interval, how long each rank spent computing,
+// stalled on memory, communicating and idle — then prices each
+// interval with power::EnergyMeter at the run's operating point. The
+// result is P(t) per rank: where the watts go as the paper's ON/OFF-
+// chip workload split shifts with frequency and node count.
+//
+// Deterministic: input events are virtual-time exact and the sample
+// grid is derived from the run's makespan, so the timeline is
+// bit-identical at any --jobs.
+#pragma once
+
+#include <vector>
+
+#include "pas/obs/span.hpp"
+#include "pas/power/energy_meter.hpp"
+
+namespace pas::obs {
+
+struct PowerSample {
+  int track = 0;
+  int node = 0;
+  double t_s = 0.0;  ///< interval start (virtual time)
+  double dt_s = 0.0;
+  double cpu_w = 0.0;
+  double memory_w = 0.0;
+  double network_w = 0.0;
+  double idle_w = 0.0;
+  double total_w() const { return cpu_w + memory_w + network_w + idle_w; }
+  double energy_j() const { return total_w() * dt_s; }
+};
+
+/// Samples `run` on a grid of `samples` equal intervals covering
+/// [0, makespan]. Trace time not covered by an activity event is
+/// billed as idle (a rank that finished early idles until the
+/// makespan, exactly as EnergyMeter pads aggregate profiles). Rows
+/// come out in (node, t) order.
+std::vector<PowerSample> sample_power_timeline(const power::EnergyMeter& meter,
+                                               const RunTrace& run,
+                                               int samples);
+
+}  // namespace pas::obs

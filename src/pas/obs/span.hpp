@@ -1,0 +1,46 @@
+// Span model of the observability layer.
+//
+// A sweep produces one *track* per operating point (the Chrome-trace
+// "process"); within a track, rank activity intervals, rank-program
+// spans, DVFS-transition markers and fault markers (all harvested from
+// the run's sim::Tracer) sit on one row per node, plus a point-level
+// span on row -1 covering the whole run. Spans carry virtual-time
+// extents — the deterministic coordinate every artifact is written in
+// — and a wall-clock collection stamp that is diagnostics-only and
+// never exported into deterministic artifacts (DESIGN.md §8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pas/sim/operating_point.hpp"
+#include "pas/sim/trace.hpp"
+
+namespace pas::obs {
+
+struct Span {
+  int track = 0;  ///< sweep-point track (Chrome pid)
+  int node = -1;  ///< rank (Chrome tid); -1 = point-level row
+  double virt_start_s = 0.0;
+  double virt_dur_s = 0.0;
+  std::string category;
+  std::string name;
+  bool instant = false;
+  /// Wall-clock stamp (seconds since the observer's epoch) taken when
+  /// the span was collected. Volatile; excluded from exports.
+  double wall_s = 0.0;
+};
+
+/// The harvested trace of one successfully simulated sweep point.
+struct RunTrace {
+  int track = 0;
+  int nranks = 0;
+  double frequency_mhz = 0.0;
+  sim::OperatingPoint op;  ///< the run's static DVFS point
+  double makespan_s = 0.0;
+  /// Virtual-time events in canonical order (sim::sort_events).
+  std::vector<sim::TraceEvent> events;
+  double wall_s = 0.0;  ///< collection stamp; volatile
+};
+
+}  // namespace pas::obs

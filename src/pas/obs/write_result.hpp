@@ -1,0 +1,59 @@
+// WriteResult — the common outcome type of every artifact writer
+// (CSV tables, Chrome traces, run reports). Replaces the old
+// bool-plus-log-line convention so callers can no longer drop an I/O
+// failure silently: the result carries the path, the bytes written and
+// the error text, and converts to bool for quick checks.
+//
+// Header-only on purpose: pas_util (the bottom layer) returns
+// WriteResult from TextTable::write_csv, so this header must not pull
+// in any pas library.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace pas::obs {
+
+struct WriteResult {
+  std::string path;
+  std::size_t bytes = 0;
+  std::string error;  ///< empty = success
+
+  bool ok() const { return error.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  /// "wrote <path> (<bytes> bytes)" or "FAILED to write <path>: <error>".
+  std::string to_string() const {
+    if (!ok()) return "FAILED to write " + path + ": " + error;
+    return "wrote " + path + " (" + std::to_string(bytes) + " bytes)";
+  }
+};
+
+/// Writes `content` to `path` (binary, whole-file). Never throws; the
+/// outcome — including the errno text of an open or write failure —
+/// is in the returned WriteResult.
+inline WriteResult write_text_file(const std::string& path,
+                                   std::string_view content) {
+  WriteResult r;
+  r.path = path;
+  errno = 0;
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    r.error = errno != 0 ? std::strerror(errno) : "cannot open";
+    return r;
+  }
+  f.write(content.data(),
+          static_cast<std::streamsize>(content.size()));
+  f.flush();
+  if (!f) {
+    r.error = errno != 0 ? std::strerror(errno) : "write failed";
+    return r;
+  }
+  r.bytes = content.size();
+  return r;
+}
+
+}  // namespace pas::obs

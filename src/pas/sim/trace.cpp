@@ -1,12 +1,9 @@
 #include "pas/sim/trace.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
-#include <fstream>
+#include <tuple>
 
 #include "pas/util/format.hpp"
-#include "pas/util/log.hpp"
 
 namespace pas::sim {
 namespace {
@@ -28,7 +25,23 @@ void Tracer::record(int node, double start_s, double duration_s,
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(TraceEvent{node, start_s, duration_s, activity,
-                               std::move(label)});
+                               std::string(), std::move(label), false});
+}
+
+void Tracer::record_span(int node, double start_s, double duration_s,
+                         std::string category, std::string label) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{node, start_s, duration_s, Activity::kCpu,
+                               std::move(category), std::move(label), false});
+}
+
+void Tracer::record_marker(int node, double at_s, std::string category,
+                           std::string label) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{node, at_s, 0.0, Activity::kCpu,
+                               std::move(category), std::move(label), true});
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -46,45 +59,47 @@ void Tracer::clear() {
   events_.clear();
 }
 
+void sort_events(std::vector<TraceEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.node, a.start_s, a.duration_s, a.category,
+                              a.label) < std::tie(b.node, b.start_s,
+                                                  b.duration_s, b.category,
+                                                  b.label);
+            });
+}
+
+std::string chrome_event_json(const TraceEvent& e, int pid, int tid) {
+  const char* cat =
+      e.category.empty() ? activity_name(e.activity) : e.category.c_str();
+  if (e.instant) {
+    return pas::util::strf(
+        R"({"name":"%s","cat":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d})",
+        json_escape(e.label).c_str(), json_escape(cat).c_str(), e.start_s * 1e6,
+        pid, tid);
+  }
+  return pas::util::strf(
+      R"({"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d})",
+      json_escape(e.label).c_str(), json_escape(cat).c_str(), e.start_s * 1e6,
+      e.duration_s * 1e6, pid, tid);
+}
+
 std::string Tracer::to_chrome_json() const {
   std::vector<TraceEvent> sorted = events();
-  std::sort(sorted.begin(), sorted.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              if (a.node != b.node) return a.node < b.node;
-              return a.start_s < b.start_s;
-            });
+  sort_events(sorted);
   std::string out = "[\n";
   bool first = true;
   for (const TraceEvent& e : sorted) {
     if (!first) out += ",\n";
     first = false;
-    out += pas::util::strf(
-        R"({"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d})",
-        json_escape(e.label).c_str(), activity_name(e.activity),
-        e.start_s * 1e6, e.duration_s * 1e6, e.node);
+    out += chrome_event_json(e, /*pid=*/0, /*tid=*/e.node);
   }
   out += "\n]\n";
   return out;
 }
 
-bool Tracer::write_chrome_json(const std::string& path) const {
-  errno = 0;
-  std::ofstream f(path);
-  if (!f) {
-    pas::util::log_warn("write_chrome_json: cannot open " + path + ": " +
-                        (errno != 0 ? std::strerror(errno)
-                                    : "unknown I/O error"));
-    return false;
-  }
-  f << to_chrome_json();
-  f.flush();
-  if (!f) {
-    pas::util::log_warn("write_chrome_json: write to " + path + " failed: " +
-                        (errno != 0 ? std::strerror(errno)
-                                    : "unknown I/O error"));
-    return false;
-  }
-  return true;
+obs::WriteResult Tracer::write_chrome_json(const std::string& path) const {
+  return obs::write_text_file(path, to_chrome_json());
 }
 
 }  // namespace pas::sim

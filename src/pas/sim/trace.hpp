@@ -2,10 +2,16 @@
 //
 // When enabled on a Runtime, every compute block, send and receive is
 // recorded as a (node, start, duration, activity, label) interval in
-// *virtual* time. Traces export to the Chrome trace-event JSON format
-// (load in chrome://tracing or Perfetto) with one row per node — the
-// quickest way to see a kernel's communication structure, pipeline
-// fill, or a DVFS schedule's phase boundaries.
+// *virtual* time; instrumented layers additionally record spans with a
+// free-form category ("rank" program spans) and zero-duration markers
+// ("dvfs" transitions, "fault" events). Traces export to the Chrome
+// trace-event JSON format (load in chrome://tracing or Perfetto) with
+// one row per node — the quickest way to see a kernel's communication
+// structure, pipeline fill, or a DVFS schedule's phase boundaries.
+//
+// The pas::obs layer builds on this sink: SweepExecutor harvests each
+// run's events into per-sweep-point tracks and exports them through
+// obs::Exporter (DESIGN.md §8).
 #pragma once
 
 #include <cstddef>
@@ -13,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "pas/obs/write_result.hpp"
 #include "pas/sim/virtual_clock.hpp"
 
 namespace pas::sim {
@@ -22,7 +29,11 @@ struct TraceEvent {
   double start_s = 0.0;
   double duration_s = 0.0;
   Activity activity = Activity::kCpu;
+  /// Chrome trace category; empty means activity_name(activity).
+  std::string category;
   std::string label;
+  /// Marker events have no extent (Chrome "i" phase).
+  bool instant = false;
 };
 
 /// Thread-safe event sink. Disabled by default; recording while
@@ -36,22 +47,41 @@ class Tracer {
   void record(int node, double start_s, double duration_s, Activity activity,
               std::string label);
 
+  /// A span with an explicit category (e.g. "rank" program spans).
+  void record_span(int node, double start_s, double duration_s,
+                   std::string category, std::string label);
+
+  /// A zero-duration marker (e.g. "dvfs" transition, "fault" event).
+  void record_marker(int node, double at_s, std::string category,
+                     std::string label);
+
   /// Snapshot of all recorded events (copy; safe after the run).
   std::vector<TraceEvent> events() const;
   std::size_t size() const;
   void clear();
 
-  /// Chrome trace-event JSON ("X" complete events, microsecond
-  /// timestamps, tid = node, category = activity).
+  /// Chrome trace-event JSON ("X" complete events / "i" instants,
+  /// microsecond timestamps, tid = node, category = activity or the
+  /// event's own category).
   std::string to_chrome_json() const;
 
-  /// Writes to_chrome_json() to `path`; returns false on I/O failure.
-  bool write_chrome_json(const std::string& path) const;
+  /// Writes to_chrome_json() to `path`.
+  obs::WriteResult write_chrome_json(const std::string& path) const;
 
  private:
   mutable std::mutex mutex_;
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
 };
+
+/// Deterministic event order for exports: (node, start, duration,
+/// category, label) — per-node virtual-time program order, independent
+/// of the wall-clock interleaving that filled the sink.
+void sort_events(std::vector<TraceEvent>& events);
+
+/// The canonical Chrome JSON line of one event ("X" or "i" phase) with
+/// the given pid/tid. Shared by Tracer::to_chrome_json and the obs
+/// exporters so both spell events identically.
+std::string chrome_event_json(const TraceEvent& e, int pid, int tid);
 
 }  // namespace pas::sim

@@ -2,10 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <ostream>
 
 #include "pas/util/format.hpp"
@@ -107,22 +104,10 @@ std::string TextTable::to_csv() const {
   return out;
 }
 
-bool TextTable::write_csv(const std::string& path) const {
-  errno = 0;
-  std::ofstream f(path);
-  if (!f) {
-    log_warn("write_csv: cannot open " + path + ": " +
-             (errno != 0 ? std::strerror(errno) : "unknown I/O error"));
-    return false;
-  }
-  f << to_csv();
-  f.flush();
-  if (!f) {
-    log_warn("write_csv: write to " + path + " failed: " +
-             (errno != 0 ? std::strerror(errno) : "unknown I/O error"));
-    return false;
-  }
-  return true;
+obs::WriteResult TextTable::write_csv(const std::string& path) const {
+  obs::WriteResult r = obs::write_text_file(path, to_csv());
+  if (!r.ok()) log_warn("write_csv: " + r.to_string());
+  return r;
 }
 
 std::ostream& operator<<(std::ostream& os, const TextTable& t) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "pas/obs/write_result.hpp"
+
 namespace pas::util {
 
 /// A rectangular text table with a header row. Rows may be ragged while
@@ -38,8 +40,9 @@ class TextTable {
   /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
   std::string to_csv() const;
 
-  /// Writes to_csv() to `path`; returns false on I/O failure.
-  bool write_csv(const std::string& path) const;
+  /// Writes to_csv() to `path`. Failures are also logged, but the
+  /// caller owns the outcome — check `result.ok()`.
+  obs::WriteResult write_csv(const std::string& path) const;
 
  private:
   std::string title_;

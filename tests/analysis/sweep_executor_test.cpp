@@ -3,12 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <initializer_list>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/run_matrix.hpp"
+#include "pas/util/cli.hpp"
 
 namespace pas::analysis {
 namespace {
@@ -40,6 +45,35 @@ SweepOptions jobs(int n) {
   o.jobs = n;
   return o;
 }
+
+util::Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return util::Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+/// setenv/unsetenv scoped to one test, restoring the prior value.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (old_) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
 
 TEST(SweepExecutor, ParallelSweepMatchesSerialBitForBit) {
   const auto cfg = sim::ClusterConfig::paper_testbed(4);
@@ -232,6 +266,83 @@ TEST(MatrixResult, IndexFollowsDirectAppends) {
   result.records.push_back(extra);
   EXPECT_EQ(result.at(2, 1400).nodes, 2);
   EXPECT_THROW(result.at(2, 600), std::out_of_range);
+}
+
+// $PASIM_JOBS stands in for --jobs only when the flag is absent, and
+// is held to the flag's rules — garbage must fail loudly, not fall
+// back to a default (ISSUE 3 bugfix).
+TEST(SweepOptions, EnvJobsMustBeAPositiveInteger) {
+  const util::Cli empty = make_cli({});
+  for (const char* bad : {"three", "", "0", "-2", "4x"}) {
+    ScopedEnv env("PASIM_JOBS", bad);
+    EXPECT_THROW(SweepOptions::from_cli(empty), std::invalid_argument)
+        << "PASIM_JOBS=\"" << bad << "\" should be rejected";
+  }
+  ScopedEnv env("PASIM_JOBS", "6");
+  EXPECT_EQ(SweepOptions::from_cli(empty).jobs, 6);
+}
+
+TEST(SweepOptions, JobsFlagWinsOverEnvironment) {
+  // With --jobs given, the environment is not even consulted, so a
+  // broken value there cannot sabotage an explicit flag.
+  ScopedEnv env("PASIM_JOBS", "garbage");
+  EXPECT_EQ(SweepOptions::from_cli(make_cli({"--jobs", "2"})).jobs, 2);
+}
+
+TEST(SweepOptions, EnvCacheDirMustNotBeEmpty) {
+  const util::Cli empty = make_cli({});
+  {
+    ScopedEnv env("PASIM_CACHE_DIR", "");
+    EXPECT_THROW(SweepOptions::from_cli(empty), std::invalid_argument);
+  }
+  ScopedEnv env("PASIM_CACHE_DIR", "/tmp/pasim_env_cache_test");
+  EXPECT_EQ(SweepOptions::from_cli(empty).cache_dir,
+            "/tmp/pasim_env_cache_test");
+  // --no-cache still disables everything, environment included.
+  const SweepOptions off = SweepOptions::from_cli(make_cli({"--no-cache"}));
+  EXPECT_FALSE(off.use_cache);
+  EXPECT_TRUE(off.cache_dir.empty());
+}
+
+// The deprecated positional ctor + sweep() shims must stay
+// bit-equivalent to the SweepSpec + run() surface for the one release
+// they survive.
+TEST(SweepExecutor, DeprecatedShimsMatchSpecApi) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+
+  SweepSpec spec;
+  spec.cluster = cfg;
+  spec.options = jobs(2);
+  SweepExecutor spec_exec(spec);
+  const MatrixResult via_run =
+      spec_exec.run({kernel.get(), {1, 2}, {600, 1400}});
+
+  SweepExecutor legacy(cfg, power::PowerModel(), jobs(2));
+  const MatrixResult via_sweep = legacy.sweep(*kernel, {1, 2}, {600, 1400});
+
+  ASSERT_EQ(via_run.records.size(), via_sweep.records.size());
+  for (std::size_t i = 0; i < via_run.records.size(); ++i)
+    expect_identical(via_run.records[i], via_sweep.records[i]);
+}
+
+TEST(SweepExecutor, SpecFaultOverridesClusterFault) {
+  auto cfg = sim::ClusterConfig::paper_testbed(2);
+  cfg.fault = fault::FaultConfig::scaled(0.5, 7);
+  SweepSpec spec;
+  spec.cluster = cfg;
+  spec.fault = fault::FaultConfig{};  // sweep a clean override
+  spec.options = jobs(1);
+  const SweepExecutor exec(spec);
+  EXPECT_FALSE(exec.cluster().fault.enabled());
+}
+
+TEST(SweepExecutor, RunRejectsNullKernel) {
+  SweepSpec spec;
+  spec.cluster = sim::ClusterConfig::paper_testbed(2);
+  spec.options = jobs(1);
+  SweepExecutor exec(spec);
+  EXPECT_THROW(exec.run(SweepRequest{}), std::invalid_argument);
 }
 
 TEST(SweepExecutor, ExecutorBackedParameterizationMatchesSerial) {

@@ -53,8 +53,13 @@ TEST(Tracer, WriteToFile) {
   t.enable();
   t.record(0, 0.0, 1.0, Activity::kCpu, "x");
   const std::string path = testing::TempDir() + "/pas_trace.json";
-  EXPECT_TRUE(t.write_chrome_json(path));
-  EXPECT_FALSE(t.write_chrome_json("/no-such-dir/zz/trace.json"));
+  const obs::WriteResult ok = t.write_chrome_json(path);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.path, path);
+  EXPECT_GT(ok.bytes, 0u);
+  const obs::WriteResult bad = t.write_chrome_json("/no-such-dir/zz/trace.json");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.error.empty());
 }
 
 TEST(Tracer, RuntimeIntegrationCapturesKernelStructure) {

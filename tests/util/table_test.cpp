@@ -56,7 +56,11 @@ TEST(TextTable, WriteCsvRoundTrip) {
   t.set_header({"k", "v"});
   t.add_row({"x", "1"});
   const std::string path = testing::TempDir() + "/pas_table_test.csv";
-  ASSERT_TRUE(t.write_csv(path));
+  const obs::WriteResult r = t.write_csv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.path, path);
+  EXPECT_EQ(r.bytes, t.to_csv().size());
+  EXPECT_TRUE(r.error.empty());
   FILE* f = fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
   char buf[64] = {};
@@ -67,7 +71,11 @@ TEST(TextTable, WriteCsvRoundTrip) {
 
 TEST(TextTable, WriteCsvFailsOnBadPath) {
   TextTable t;
-  EXPECT_FALSE(t.write_csv("/nonexistent-dir/zz/x.csv"));
+  const obs::WriteResult r = t.write_csv("/nonexistent-dir/zz/x.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.path, "/nonexistent-dir/zz/x.csv");
+  EXPECT_FALSE(r.error.empty());  // errno text, not a silent bool
+  EXPECT_EQ(r.bytes, 0u);
 }
 
 }  // namespace
