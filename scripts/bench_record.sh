@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Records the simulator's own performance baseline: the google-benchmark
+# microbenchmarks (bench/micro_sim) and one timed end-to-end run of
+# bench/full_report. Writes BENCH_micro_sim.json and
+# BENCH_full_report.json at the repo root so a perf regression shows up
+# as a diff against the committed baseline. Record-only: nothing here
+# fails on a slow result — scripts/check_bench_schema.py validates the
+# shape, humans judge the numbers.
+#
+# Usage: scripts/bench_record.sh [build_dir]
+#   build_dir   tree with micro_sim and full_report built (default: build)
+#   PASIM_BENCH_JOBS  --jobs for the full_report run (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="${PASIM_BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+
+for bin in "$BUILD/bench/micro_sim" "$BUILD/bench/full_report"; do
+  [ -x "$bin" ] || { echo "bench_record: missing $bin (build it first)"; exit 1; }
+done
+
+echo "== bench_record: micro_sim =="
+"$BUILD/bench/micro_sim" \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_micro_sim.json \
+  --benchmark_out_format=json >/dev/null
+echo "wrote BENCH_micro_sim.json"
+
+echo "== bench_record: full_report (--jobs $JOBS) =="
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+START_NS="$(date +%s%N)"
+"$BUILD/bench/full_report" --out "$OUT_DIR/report" --jobs "$JOBS" \
+  --no-cache >"$OUT_DIR/log" 2>&1
+END_NS="$(date +%s%N)"
+WALL_MEASURED="$(awk "BEGIN { printf \"%.3f\", ($END_NS - $START_NS) / 1e9 }")"
+# The binary prints its own wall clock ("wall time 12.34s, ..."): record
+# both the self-reported and the outside measurement.
+WALL_REPORTED="$(sed -n 's/^wall time \([0-9.]*\)s.*/\1/p' "$OUT_DIR/log" | tail -1)"
+WALL_REPORTED="${WALL_REPORTED:-0}"
+
+cat > BENCH_full_report.json <<EOF
+{
+  "schema": "pasim-bench-full-report/1",
+  "command": "bench/full_report --out <tmp> --jobs $JOBS --no-cache",
+  "jobs": $JOBS,
+  "wall_seconds_reported": $WALL_REPORTED,
+  "wall_seconds_measured": $WALL_MEASURED,
+  "recorded_at": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+echo "wrote BENCH_full_report.json (wall ${WALL_REPORTED}s at --jobs $JOBS)"

@@ -56,7 +56,9 @@ if have_sanitizer thread; then
   cmake --build build-tsan -j "$JOBS" \
     --target util_test mpi_test analysis_test fault_test obs_test
   ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
-  ./build-tsan/tests/mpi_test --gtest_filter='Runtime.*'
+  # Mailbox.* includes the many-senders/interleaved-tags stress test of
+  # the bucketed queues and their targeted wakeups.
+  ./build-tsan/tests/mpi_test --gtest_filter='Runtime.*:Mailbox.*'
   # The metrics registry is updated lock-free from every worker.
   ./build-tsan/tests/obs_test --gtest_filter='MetricsRegistry.*'
   ./build-tsan/tests/analysis_test \
@@ -79,6 +81,21 @@ if have_sanitizer address; then
     --gtest_filter='Collectives.*:Nonblocking.*:Runtime.*'
 else
   echo "skipped: this toolchain does not support -fsanitize=address"
+fi
+
+echo "== tier 1: perf baseline (record-only) =="
+# Optimized tree, fresh recording of BENCH_micro_sim.json and
+# BENCH_full_report.json, then a schema check of both. Record-only:
+# nothing fails on a slow machine — regressions are judged from the
+# committed baselines' diff, not gated here.
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-perf -j "$JOBS" --target micro_sim full_report
+scripts/bench_record.sh build-perf
+if command -v python3 >/dev/null; then
+  python3 scripts/check_bench_schema.py \
+    BENCH_micro_sim.json BENCH_full_report.json
+else
+  echo "skipped bench schema check: python3 not available"
 fi
 
 echo "tier 1 OK"

@@ -150,13 +150,15 @@ class Comm {
   double allreduce_max(double x);
   double allreduce_min(double x);
   /// Personalized all-to-all: send_blocks[i] goes to rank i; returns
-  /// blocks received, indexed by source rank.
-  std::vector<Payload> alltoall(const std::vector<Payload>& send_blocks);
+  /// blocks received, indexed by source rank. Taken by value so
+  /// callers can std::move the blocks straight onto the wire.
+  std::vector<Payload> alltoall(std::vector<Payload> send_blocks);
   /// Gathers each rank's payload at `root` (indexed by rank); other
   /// ranks receive an empty vector.
   std::vector<Payload> gather(Payload local, int root = 0);
   /// Root distributes blocks[i] to rank i; returns this rank's block.
-  Payload scatter(const std::vector<Payload>& blocks, int root = 0);
+  /// By value, same zero-copy convention as alltoall.
+  Payload scatter(std::vector<Payload> blocks, int root = 0);
   /// Every rank receives every rank's payload (indexed by rank).
   /// Ring algorithm: N-1 neighbour exchanges, bandwidth-optimal.
   std::vector<Payload> allgather(Payload local);

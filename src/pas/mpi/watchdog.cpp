@@ -22,10 +22,16 @@ void RunMonitor::begin_run(int nranks) {
 }
 
 void RunMonitor::end_rank(int rank) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (rank < 0 || static_cast<std::size_t>(rank) >= waits_.size()) return;
-  ++done_;
-  detect_locked();
+  bool latched = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || static_cast<std::size_t>(rank) >= waits_.size()) return;
+    ++done_;
+    latched = detect_locked();
+  }
+  // A finishing rank can complete a deadlock among the remaining
+  // ones; it is the only live thread, so it must announce the latch.
+  if (latched) wake_peers();
 }
 
 void RunMonitor::on_deliver(int dst, int src, int tag) {
@@ -72,13 +78,13 @@ bool RunMonitor::deadlocked() const {
   return deadlock_;
 }
 
-void RunMonitor::detect_locked() {
-  if (deadlock_ || blocked_ == 0 || blocked_ + done_ < nranks_) return;
+bool RunMonitor::detect_locked() {
+  if (deadlock_ || blocked_ == 0 || blocked_ + done_ < nranks_) return false;
   for (int r = 0; r < nranks_; ++r) {
     const Wait& w = waits_[static_cast<std::size_t>(r)];
     if (!w.blocked) continue;
     const auto it = pending_.find(chan_key(r, w.src, w.tag));
-    if (it != pending_.end() && it->second > 0) return;  // deliverable
+    if (it != pending_.end() && it->second > 0) return false;  // deliverable
   }
   deadlock_ = true;
   static obs::Counter& latches = obs::registry().counter("mpi.deadlocks");
@@ -88,7 +94,7 @@ void RunMonitor::detect_locked() {
     const Wait& w = waits_[static_cast<std::size_t>(r)];
     if (w.blocked) graph_.push_back(WaitEdge{r, w.src, w.tag});
   }
-  if (wake_all_) wake_all_();
+  return true;
 }
 
 DeadlockError RunMonitor::make_error_locked() const {

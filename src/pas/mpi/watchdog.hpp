@@ -11,7 +11,11 @@
 //
 // The scan touches only monitor-internal state, so the lock order is
 // strictly mailbox mutex -> monitor mutex and the watchdog itself can
-// never deadlock. Detection is exact (no timers involved): transient
+// never deadlock. The wake-up that announces a latch runs only after
+// every monitor/mailbox lock is released (Mailbox::wake publishes a
+// wake sequence under each mailbox mutex, which would invert the lock
+// order if called from inside the scan). Detection is exact (no
+// timers involved): transient
 // states where a taker has removed a message but not yet resumed are
 // ruled out because that taker is, by definition, not blocked.
 #pragma once
@@ -54,10 +58,18 @@ class TimeoutError : public std::runtime_error {
 
 class RunMonitor {
  public:
-  /// Callback that wakes every blocked receiver (notify_all on each
-  /// mailbox); invoked, without any mailbox lock held, when a deadlock
-  /// is latched.
+  /// Callback that wakes every blocked receiver (Mailbox::wake on each
+  /// mailbox). Must be set before rank threads start; wake_peers reads
+  /// it without the monitor lock.
   void set_wake_all(std::function<void()> wake) { wake_all_ = std::move(wake); }
+
+  /// Invokes the wake-all callback. Mailbox::wake takes each mailbox
+  /// mutex, so call this with NO mailbox or monitor lock held — the
+  /// rank that latched a deadlock unlocks its own mailbox first, then
+  /// announces (see Mailbox::receive).
+  void wake_peers() const {
+    if (wake_all_) wake_all_();
+  }
 
   /// Resets all accounting for a fresh run of `nranks` ranks.
   void begin_run(int nranks);
@@ -81,8 +93,10 @@ class RunMonitor {
 
  private:
   /// Requires mutex_. Latches the deadlock + graph if no blocked rank
-  /// can make progress.
-  void detect_locked();
+  /// can make progress; returns true exactly when this call latched.
+  /// Deliberately does NOT wake peers: that takes mailbox mutexes and
+  /// must happen after every lock here is released.
+  bool detect_locked();
   DeadlockError make_error_locked() const;
 
   static std::uint64_t chan_key(int dst, int src, int tag) {

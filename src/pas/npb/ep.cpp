@@ -49,6 +49,31 @@ void run_slice(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
   }
 }
 
+/// A slice's accumulator is a pure function of (seed, first, count),
+/// and the identical slice recurs at every (N, f) point of a sweep
+/// that keeps N fixed — cache it the way reference() caches the
+/// sequential run. Values are immutable once inserted (std::map nodes
+/// are stable), so returned references stay valid without the lock.
+/// The caller still issues its per-batch charges: virtual time is
+/// priced the same whether the trials were replayed or recalled.
+const Accumulator& cached_slice(std::uint64_t seed, std::uint64_t first,
+                                std::uint64_t count) {
+  static std::mutex mutex;
+  static std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+                  Accumulator>
+      cache;
+  const auto key = std::make_tuple(seed, first, count);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  Accumulator acc;
+  run_slice(seed, first, count, acc);
+  std::lock_guard<std::mutex> lock(mutex);
+  return cache.emplace(key, acc).first->second;
+}
+
 }  // namespace
 
 EpKernel::EpKernel(EpConfig cfg) : cfg_(cfg) {}
@@ -70,8 +95,7 @@ EpKernel::Reference EpKernel::reference(const EpConfig& cfg) {
     auto it = cache.find(key);
     if (it != cache.end()) return it->second;
   }
-  Accumulator acc;
-  run_slice(cfg.seed, 0, cfg.pairs(), acc);
+  const Accumulator& acc = cached_slice(cfg.seed, 0, cfg.pairs());
   Reference ref;
   ref.sx = acc.sx;
   ref.sy = acc.sy;
@@ -92,7 +116,10 @@ KernelResult EpKernel::run(mpi::Comm& comm) const {
   const std::uint64_t mine = base + (rank < extra ? 1 : 0);
   const std::uint64_t first = rank * base + std::min<std::uint64_t>(rank, extra);
 
-  Accumulator acc;
+  // Whole-slice accumulation in one pass is bit-identical to the old
+  // per-batch accumulation (same trial order, same running sums), and
+  // the slice cache collapses repeat grid points to a map lookup.
+  const Accumulator& acc = cached_slice(cfg_.seed, first, mine);
   const auto batch = static_cast<std::uint64_t>(cfg_.batch_pairs);
   // Scratch stays within a couple of KB: L1-resident, high reuse.
   const sim::AccessPattern pattern{
@@ -101,7 +128,6 @@ KernelResult EpKernel::run(mpi::Comm& comm) const {
       .temporal_reuse = 3.0};
   for (std::uint64_t done = 0; done < mine; done += batch) {
     const std::uint64_t n = std::min(batch, mine - done);
-    run_slice(cfg_.seed, first + done, n, acc);
     charged_compute(comm, kDataRefsPerTrial * static_cast<double>(n), pattern,
                     kRegOpsPerTrial * static_cast<double>(n));
   }

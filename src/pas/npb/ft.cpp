@@ -1,5 +1,6 @@
 #include "pas/npb/ft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -80,15 +81,28 @@ void fft_x(mpi::Comm& comm, const Slabs& s, const FftPlan& plan,
   charge_fft_pass(comm, a.size(), s.nx, a.size() * sizeof(Complex));
 }
 
-/// y-direction FFTs (layout A, stride-nx columns via a gather buffer).
+/// y-direction FFTs (layout A, stride-nx columns). Tiles of adjacent
+/// columns move through a contiguous scratch buffer: the gather and
+/// scatter copy whole runs of complexes per y-row instead of one
+/// element per column, and the batched plan runs the tile's columns
+/// side by side (identical per-column arithmetic — lanes never mix).
 void fft_y(mpi::Comm& comm, const Slabs& s, const FftPlan& plan,
            std::vector<Complex>& a, bool forward) {
-  std::vector<Complex> column(static_cast<std::size_t>(s.ny));
+  constexpr int kTile = 16;
+  std::vector<Complex> scratch(static_cast<std::size_t>(s.ny) * kTile);
   for (int z = 0; z < s.lz; ++z) {
-    for (int x = 0; x < s.nx; ++x) {
-      for (int y = 0; y < s.ny; ++y) column[static_cast<std::size_t>(y)] = a[s.a_index(z, y, x)];
-      forward ? plan.forward(column) : plan.inverse(column);
-      for (int y = 0; y < s.ny; ++y) a[s.a_index(z, y, x)] = column[static_cast<std::size_t>(y)];
+    for (int x0 = 0; x0 < s.nx; x0 += kTile) {
+      const auto width = static_cast<std::size_t>(std::min(kTile, s.nx - x0));
+      for (int y = 0; y < s.ny; ++y) {
+        const Complex* src = &a[s.a_index(z, y, x0)];
+        std::copy(src, src + width, &scratch[static_cast<std::size_t>(y) * width]);
+      }
+      forward ? plan.forward_batch(scratch.data(), width)
+              : plan.inverse_batch(scratch.data(), width);
+      for (int y = 0; y < s.ny; ++y) {
+        const Complex* src = &scratch[static_cast<std::size_t>(y) * width];
+        std::copy(src, src + width, &a[s.a_index(z, y, x0)]);
+      }
     }
   }
   charge_fft_pass(comm, a.size(), s.ny, a.size() * sizeof(Complex));
@@ -133,7 +147,7 @@ std::vector<Complex> transpose_a_to_b(mpi::Comm& comm, const Slabs& s,
                 a.size() * sizeof(Complex),
                 static_cast<double>(a.size()));
 
-  std::vector<mpi::Payload> recv = comm.alltoall(blocks);
+  std::vector<mpi::Payload> recv = comm.alltoall(std::move(blocks));
 
   std::vector<Complex> b(s.b_size());
   for (int src = 0; src < nranks; ++src) {
@@ -178,7 +192,7 @@ std::vector<Complex> transpose_b_to_a(mpi::Comm& comm, const Slabs& s,
                 b.size() * sizeof(Complex),
                 static_cast<double>(b.size()));
 
-  std::vector<mpi::Payload> recv = comm.alltoall(blocks);
+  std::vector<mpi::Payload> recv = comm.alltoall(std::move(blocks));
 
   std::vector<Complex> a(s.a_size());
   for (int src = 0; src < nranks; ++src) {

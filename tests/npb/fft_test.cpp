@@ -116,5 +116,43 @@ TEST(Fft, WrongLengthThrows) {
   EXPECT_THROW(plan.forward(v), std::invalid_argument);
 }
 
+// The tiled fft_y/fft_z path transforms `width` interleaved columns at
+// once; every lane must be bit-identical to the single-column
+// transform of the same data (the batch is the same butterflies over
+// more lanes, so EXPECT_EQ, not near-equality).
+TEST(Fft, BatchLanesMatchSingleColumnBitExactly) {
+  constexpr std::size_t n = 64;
+  constexpr std::size_t width = 5;  // deliberately not the tile size
+  const FftPlan plan(n);
+  std::vector<Complex> batch(n * width);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < width; ++c)
+      batch[r * width + c] =
+          Complex(std::cos(0.37 * static_cast<double>(r * width + c)),
+                  std::sin(0.11 * static_cast<double>(r + 3 * c)));
+
+  std::vector<std::vector<Complex>> columns(width,
+                                            std::vector<Complex>(n));
+  for (std::size_t c = 0; c < width; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      columns[c][r] = batch[r * width + c];
+
+  plan.forward_batch(batch.data(), width);
+  for (auto& col : columns) plan.forward(col);
+  for (std::size_t c = 0; c < width; ++c)
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(batch[r * width + c].real(), columns[c][r].real());
+      EXPECT_EQ(batch[r * width + c].imag(), columns[c][r].imag());
+    }
+
+  plan.inverse_batch(batch.data(), width);
+  for (auto& col : columns) plan.inverse(col);
+  for (std::size_t c = 0; c < width; ++c)
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(batch[r * width + c].real(), columns[c][r].real());
+      EXPECT_EQ(batch[r * width + c].imag(), columns[c][r].imag());
+    }
+}
+
 }  // namespace
 }  // namespace pas::npb
