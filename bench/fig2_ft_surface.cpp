@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
-                   "trace", "metrics"});
+                   "verify-replay", "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
                                       : analysis::ExperimentEnv::paper();

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"small", "out", "jobs", "cache", "no-cache", "retries",
-                   "trace", "metrics"});
+                   "verify-replay", "trace", "metrics"});
   const auto wall_start = std::chrono::steady_clock::now();
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()

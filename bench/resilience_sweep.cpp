@@ -29,7 +29,7 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "jobs", "cache", "no-cache", "retries", "faults",
+  cli.check_usage({"small", "jobs", "cache", "no-cache", "retries", "verify-replay", "faults",
                    "fault-seed", "csv", "trace", "metrics"});
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()

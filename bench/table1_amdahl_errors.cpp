@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
-                   "trace", "metrics"});
+                   "verify-replay", "trace", "metrics"});
   analysis::ExperimentEnv env = cli.get_bool("small", false)
                                     ? analysis::ExperimentEnv::small()
                                     : analysis::ExperimentEnv::paper();

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"kernel", "nodes", "freqs", "jobs", "cache", "no-cache",
-                   "retries", "trace", "metrics"});
+                   "retries", "verify-replay", "trace", "metrics"});
   const std::string name = cli.get("kernel", "LU");
 
   analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Warn-only perf-regression check against the committed baselines.
+
+Compares a fresh scripts/bench_record.sh recording with the committed
+BENCH_micro_sim.json / BENCH_full_report.json and prints a WARN line
+for every benchmark that slowed down by more than the threshold
+(default 10%). Speed is machine- and load-dependent, so this is a
+tripwire for humans reading the tier-1 log, not a gate: the script
+always exits 0 — including when a file is missing or unparsable (a
+fresh clone has no baseline to compare against).
+
+Stdlib-only. Usage:
+
+  check_bench_regression.py --baseline DIR --fresh DIR [--threshold PCT]
+
+where each DIR holds BENCH_micro_sim.json and BENCH_full_report.json.
+"""
+import argparse
+import json
+import os
+import sys
+
+MICRO = "BENCH_micro_sim.json"
+FULL = "BENCH_full_report.json"
+
+
+def load(path):
+    try:
+        with open(path, "rb") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_regression: skipping {path}: {e}")
+        return None
+
+
+def micro_times(doc):
+    """benchmark name -> real_time in ns, aggregates excluded."""
+    times = {}
+    for b in (doc or {}).get("benchmarks", []):
+        name = b.get("name")
+        t = b.get("real_time")
+        if isinstance(name, str) and isinstance(t, (int, float)) \
+                and "aggregate_name" not in b:
+            times[name] = float(t)
+    return times
+
+
+def compare(label, base, fresh, threshold):
+    """Returns the number of WARN lines printed."""
+    if base is None or fresh is None or base <= 0:
+        return 0
+    delta = (fresh - base) / base
+    if delta > threshold:
+        print(f"check_bench_regression: WARN {label}: "
+              f"{base:.4g} -> {fresh:.4g} (+{delta * 100:.1f}%)")
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="directory with the committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True,
+                    help="directory with the just-recorded BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="slowdown threshold in percent (default 10)")
+    args = ap.parse_args()
+    threshold = args.threshold / 100.0
+    warns = 0
+    checked = 0
+
+    base_micro = load(os.path.join(args.baseline, MICRO))
+    fresh_micro = load(os.path.join(args.fresh, MICRO))
+    if base_micro is not None and fresh_micro is not None:
+        base_times = micro_times(base_micro)
+        fresh_times = micro_times(fresh_micro)
+        for name in sorted(base_times):
+            if name not in fresh_times:
+                print(f"check_bench_regression: WARN {name}: "
+                      "present in baseline, missing from fresh recording")
+                warns += 1
+                continue
+            checked += 1
+            warns += compare(f"micro_sim {name} (ns)", base_times[name],
+                             fresh_times[name], threshold)
+
+    base_full = load(os.path.join(args.baseline, FULL))
+    fresh_full = load(os.path.join(args.fresh, FULL))
+    if base_full is not None and fresh_full is not None:
+        if base_full.get("jobs") != fresh_full.get("jobs"):
+            print("check_bench_regression: skipping full_report wall time: "
+                  f"baseline ran --jobs {base_full.get('jobs')}, fresh ran "
+                  f"--jobs {fresh_full.get('jobs')} (not comparable)")
+        else:
+            checked += 1
+            warns += compare("full_report wall_seconds_reported",
+                             base_full.get("wall_seconds_reported"),
+                             fresh_full.get("wall_seconds_reported"),
+                             threshold)
+
+    print(f"check_bench_regression: {checked} comparisons, {warns} over "
+          f"the +{args.threshold:g}% threshold (warn-only, not a gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

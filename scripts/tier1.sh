@@ -25,7 +25,9 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== tier 1: observability artifacts =="
 ROOT="$PWD"
 OBS_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR"' EXIT
+REPLAY_DIR="$(mktemp -d)"
+BASELINE_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR"' EXIT
 # One small faulty sweep with everything on: all five artifacts must
 # appear, and run_report.json must satisfy the published schema.
 (cd "$OBS_DIR" && "$ROOT/build/bench/resilience_sweep" --small \
@@ -70,6 +72,30 @@ else
   echo "skipped: this toolchain does not support -fsanitize=thread"
 fi
 
+echo "== tier 1: frequency-collapse replay =="
+# Grid equivalence of the fast path (DESIGN.md §10) — under TSan when
+# available, since column tasks re-price concurrently.
+REPLAY_FILTER='Repricer.*:ReplayFastPath.*:LedgerCache.*'
+if have_sanitizer thread; then
+  ./build-tsan/tests/analysis_test --gtest_filter="$REPLAY_FILTER"
+else
+  ./build/tests/analysis_test --gtest_filter="$REPLAY_FILTER"
+fi
+# Cold vs warm ledger: the first run records one ledger per column;
+# deleting the .run records forces the second run to re-price every
+# point from the persisted ledgers (verified against full simulation
+# by --verify-replay). Both outputs must be byte-identical.
+./build/bench/fig2_ft_surface --small --jobs 2 \
+  --cache "$REPLAY_DIR/cache" --csv "$REPLAY_DIR/cold.csv" \
+  > "$REPLAY_DIR/cold.out"
+rm -f "$REPLAY_DIR/cache/"*.run
+./build/bench/fig2_ft_surface --small --jobs 2 --verify-replay \
+  --cache "$REPLAY_DIR/cache" --csv "$REPLAY_DIR/warm.csv" \
+  > "$REPLAY_DIR/warm.out"
+cmp "$REPLAY_DIR/cold.out" "$REPLAY_DIR/warm.out"
+cmp "$REPLAY_DIR/cold.csv" "$REPLAY_DIR/warm.csv"
+echo "frequency-collapse replay OK (cold/warm byte-identical)"
+
 echo "== tier 1: fault + error paths under ASan =="
 if have_sanitizer address; then
   cmake -B build-asan -S . -DPASIM_SANITIZE=address >/dev/null
@@ -90,12 +116,19 @@ echo "== tier 1: perf baseline (record-only) =="
 # committed baselines' diff, not gated here.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-perf -j "$JOBS" --target micro_sim full_report
+# Keep the committed baselines aside before bench_record.sh overwrites
+# them, so the fresh recording can be compared against them.
+for f in BENCH_micro_sim.json BENCH_full_report.json; do
+  [ -f "$f" ] && cp "$f" "$BASELINE_DIR/"
+done
 scripts/bench_record.sh build-perf
 if command -v python3 >/dev/null; then
   python3 scripts/check_bench_schema.py \
     BENCH_micro_sim.json BENCH_full_report.json
+  python3 scripts/check_bench_regression.py \
+    --baseline "$BASELINE_DIR" --fresh .
 else
-  echo "skipped bench schema check: python3 not available"
+  echo "skipped bench schema + regression checks: python3 not available"
 fi
 
 echo "tier 1 OK"

@@ -1,0 +1,323 @@
+#include "pas/analysis/repricer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "pas/mpi/communicator.hpp"
+#include "pas/sim/network.hpp"
+#include "pas/util/format.hpp"
+
+namespace pas::analysis {
+
+namespace {
+
+/// The fields of an in-flight message that receiver-side completion
+/// needs (Comm::complete_recv reads nothing else).
+struct FlightMsg {
+  std::size_t bytes = 0;
+  double at_switch = 0.0;
+  double rx_ser_s = 0.0;
+};
+
+/// One rank's replay state: a real NodeState (so spend/spend_until and
+/// per-point attribution are the simulator's own code), plus the
+/// Comm-side fields the op stream re-drives.
+struct RankState {
+  explicit RankState(const sim::ClusterConfig& cfg) : node(cfg) {}
+
+  sim::NodeState node;
+  double rx_busy = 0.0;  ///< receiver-port busy-until (complete_recv)
+  double comm_dvfs_mhz = 0.0;
+  bool in_comm_phase = false;
+  double app_mhz = 0.0;
+  /// tx_end per nonblocking send, indexed by isend ordinal (nonblocking
+  /// sends appear in the op stream in posting order).
+  std::vector<double> nb_tx_end;
+  mpi::CommStats stats;
+  std::size_t next = 0;  ///< next op index in the rank's stream
+};
+
+/// Exact-match channel id: sends and receives pair FIFO per
+/// (src, dst, tag), mirroring the mailbox's matching discipline.
+std::uint64_t channel_key(int src, int dst, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xffff)
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+/// Mirrors Comm::enter_comm_phase (fault jitter is zero on the fast
+/// path — ledgers are only recorded with faults disarmed).
+void enter_comm_phase(RankState& rs, int rank, const sim::ClusterConfig& cfg,
+                      sim::Tracer* tracer) {
+  if (rs.comm_dvfs_mhz <= 0.0 || rs.in_comm_phase) return;
+  rs.app_mhz = rs.node.cpu.current().frequency_mhz();
+  rs.in_comm_phase = true;
+  if (sim::NodeState::fkey(rs.app_mhz) ==
+      sim::NodeState::fkey(rs.comm_dvfs_mhz))
+    return;  // already at the comm point: nothing to switch
+  rs.node.spend(cfg.dvfs_transition_s, sim::Activity::kCpu);
+  rs.node.cpu.set_frequency_mhz(rs.comm_dvfs_mhz);
+  if (tracer)
+    tracer->record_marker(rank, rs.node.clock.now(), "dvfs",
+                          pas::util::strf("dvfs %.0f->%.0f MHz", rs.app_mhz,
+                                          rs.comm_dvfs_mhz));
+}
+
+/// Mirrors Comm::exit_comm_phase.
+void exit_comm_phase(RankState& rs, int rank, const sim::ClusterConfig& cfg,
+                     sim::Tracer* tracer) {
+  if (!rs.in_comm_phase) return;
+  rs.in_comm_phase = false;
+  if (sim::NodeState::fkey(rs.node.cpu.current().frequency_mhz()) ==
+      sim::NodeState::fkey(rs.app_mhz))
+    return;
+  const double from_mhz = rs.node.cpu.current().frequency_mhz();
+  rs.node.cpu.set_frequency_mhz(rs.app_mhz);
+  rs.node.spend(cfg.dvfs_transition_s, sim::Activity::kCpu);
+  if (tracer)
+    tracer->record_marker(rank, rs.node.clock.now(), "dvfs",
+                          pas::util::strf("dvfs %.0f->%.0f MHz", from_mhz,
+                                          rs.app_mhz));
+}
+
+}  // namespace
+
+Repricer::Repricer(sim::ClusterConfig cluster, power::PowerModel power)
+    : cluster_(std::move(cluster)), meter_(std::move(power)) {}
+
+RunRecord Repricer::reprice(const sim::WorkLedger& ledger,
+                            double frequency_mhz, sim::Tracer* tracer) const {
+  if (!ledger.replayable)
+    throw std::logic_error(pas::util::strf(
+        "Repricer: ledger is not replayable (%s)",
+        ledger.decline_reason.empty() ? "no reason recorded"
+                                      : ledger.decline_reason.c_str()));
+  const int n = ledger.nranks;
+  if (n < 1 || ledger.ops.size() != static_cast<std::size_t>(n))
+    throw std::logic_error("Repricer: malformed ledger");
+
+  // The same fabric code the live run books transfers through; replay
+  // is single-threaded so its mutex never contends.
+  sim::NetworkFabric fabric(n, cluster_.network);
+  const sim::NetworkConfig& net = fabric.config();
+
+  std::vector<std::unique_ptr<RankState>> ranks;
+  ranks.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto rs = std::make_unique<RankState>(cluster_);
+    // Runtime::run: reset cluster, then set every node to the run's
+    // static operating point (throws out_of_range like the live path).
+    rs->node.cpu.set_frequency_mhz(frequency_mhz);
+    ranks.push_back(std::move(rs));
+  }
+
+  std::unordered_map<std::uint64_t, std::deque<FlightMsg>> channels;
+
+  // Executes the op at rs.next; returns false when it is a receive
+  // blocked on an empty channel.
+  const auto step = [&](int rank, RankState& rs) -> bool {
+    const sim::WorkOp& op =
+        ledger.ops[static_cast<std::size_t>(rank)][rs.next];
+    switch (op.kind) {
+      case sim::WorkOp::Kind::kCompute: {
+        exit_comm_phase(rs, rank, cluster_, tracer);
+        const double t0 = rs.node.clock.now();
+        const sim::CpuModel::TimeSplit split = rs.node.cpu.time_split(op.mix);
+        rs.node.spend(split.on_chip_s, sim::Activity::kCpu);
+        rs.node.spend(split.off_chip_s, sim::Activity::kMemory);
+        rs.node.executed += op.mix;
+        if (tracer) {
+          tracer->record(rank, t0, split.on_chip_s, sim::Activity::kCpu,
+                         "compute");
+          if (split.off_chip_s > 0.0)
+            tracer->record(rank, t0 + split.on_chip_s, split.off_chip_s,
+                           sim::Activity::kMemory, "compute mem");
+        }
+        break;
+      }
+      case sim::WorkOp::Kind::kRawSeconds: {
+        exit_comm_phase(rs, rank, cluster_, tracer);
+        rs.node.spend(op.seconds, op.activity);
+        break;
+      }
+      case sim::WorkOp::Kind::kCommDvfs: {
+        if (op.mhz == 0.0) exit_comm_phase(rs, rank, cluster_, tracer);
+        rs.comm_dvfs_mhz = op.mhz;
+        break;
+      }
+      case sim::WorkOp::Kind::kSend: {
+        const double trace_t0 = rs.node.clock.now();
+        enter_comm_phase(rs, rank, cluster_, tracer);
+        const double o_send =
+            net.cpu_overhead_s(op.bytes, rs.node.cpu.frequency_hz());
+        rs.node.spend(o_send, sim::Activity::kNetwork);
+        const sim::NetworkFabric::Transfer t =
+            fabric.transfer(rank, op.peer, op.bytes, rs.node.clock.now());
+        if (op.blocking)
+          rs.node.spend_until(t.tx_end, sim::Activity::kNetwork);
+        else
+          rs.nb_tx_end.push_back(t.tx_end);
+        FlightMsg msg;
+        msg.bytes = op.bytes;
+        msg.at_switch = t.at_switch;
+        msg.rx_ser_s = t.rx_ser_s;
+        channels[channel_key(rank, op.peer, op.tag)].push_back(msg);
+        ++rs.stats.messages_sent;
+        rs.stats.bytes_sent += op.bytes;
+        if (tracer)
+          tracer->record(rank, trace_t0, rs.node.clock.now() - trace_t0,
+                         sim::Activity::kNetwork,
+                         pas::util::strf("send->%d tag %d (%zuB)", op.peer,
+                                         op.tag, op.bytes));
+        break;
+      }
+      case sim::WorkOp::Kind::kSendWait: {
+        if (op.ordinal < 0 ||
+            static_cast<std::size_t>(op.ordinal) >= rs.nb_tx_end.size())
+          throw std::logic_error(pas::util::strf(
+              "Repricer: rank %d waits on unknown isend ordinal %d", rank,
+              op.ordinal));
+        rs.node.spend_until(rs.nb_tx_end[static_cast<std::size_t>(op.ordinal)],
+                            sim::Activity::kNetwork);
+        break;
+      }
+      case sim::WorkOp::Kind::kRecv: {
+        auto it = channels.find(channel_key(op.peer, rank, op.tag));
+        if (it == channels.end() || it->second.empty()) return false;
+        const FlightMsg msg = it->second.front();
+        it->second.pop_front();
+        enter_comm_phase(rs, rank, cluster_, tracer);
+        double arrival = msg.at_switch + msg.rx_ser_s;
+        if (net.model_port_contention && op.peer != rank) {
+          const double rx_begin = std::max(msg.at_switch, rs.rx_busy);
+          arrival = rx_begin + msg.rx_ser_s;
+          rs.rx_busy = arrival;
+        }
+        const double trace_t0 = rs.node.clock.now();
+        rs.node.spend_until(arrival, sim::Activity::kNetwork);
+        const double o_recv =
+            net.cpu_overhead_s(msg.bytes, rs.node.cpu.frequency_hz());
+        rs.node.spend(o_recv, sim::Activity::kNetwork);
+        ++rs.stats.messages_received;
+        rs.stats.bytes_received += msg.bytes;
+        if (tracer)
+          tracer->record(rank, trace_t0, rs.node.clock.now() - trace_t0,
+                         sim::Activity::kNetwork,
+                         pas::util::strf("recv<-%d tag %d (%zuB)", op.peer,
+                                         op.tag, msg.bytes));
+        break;
+      }
+    }
+    ++rs.next;
+    return true;
+  };
+
+  // Round-robin: advance each rank until it blocks; a full pass with no
+  // progress while work remains means the op streams are inconsistent.
+  bool all_done = false;
+  while (!all_done) {
+    bool progress = false;
+    all_done = true;
+    for (int r = 0; r < n; ++r) {
+      RankState& rs = *ranks[static_cast<std::size_t>(r)];
+      const std::size_t count = ledger.ops[static_cast<std::size_t>(r)].size();
+      while (rs.next < count && step(r, rs)) progress = true;
+      if (rs.next < count) all_done = false;
+    }
+    if (!all_done && !progress) {
+      for (int r = 0; r < n; ++r) {
+        const RankState& rs = *ranks[static_cast<std::size_t>(r)];
+        const auto& ops = ledger.ops[static_cast<std::size_t>(r)];
+        if (rs.next >= ops.size()) continue;
+        const sim::WorkOp& op = ops[rs.next];
+        throw std::logic_error(pas::util::strf(
+            "Repricer: replay stalled — rank %d blocked on recv<-%d tag %d "
+            "with no matching send in the ledger",
+            r, op.peer, op.tag));
+      }
+    }
+  }
+  for (const auto& [key, queue] : channels) {
+    (void)key;
+    if (!queue.empty())
+      throw std::logic_error(
+          "Repricer: ledger left undelivered messages after replay");
+  }
+
+  // Record assembly: mirrors RunMatrix::run_one field by field, in the
+  // same summation order (Runtime::run reports ranks in rank order).
+  RunRecord rec;
+  rec.nodes = n;
+  rec.frequency_mhz = frequency_mhz;
+  for (int r = 0; r < n; ++r)
+    rec.seconds = std::max(
+        rec.seconds, ranks[static_cast<std::size_t>(r)]->node.clock.now());
+  rec.verified = ledger.verified;
+  const double nranks = static_cast<double>(n);
+  double total_network = 0.0;
+  double total_cpu = 0.0;
+  double total_memory = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const sim::VirtualClock& clock =
+        ranks[static_cast<std::size_t>(r)]->node.clock;
+    total_cpu += clock.seconds_in(sim::Activity::kCpu);
+    total_memory += clock.seconds_in(sim::Activity::kMemory);
+    total_network += clock.seconds_in(sim::Activity::kNetwork);
+  }
+  rec.mean_overhead_s = total_network / nranks;
+  rec.mean_cpu_s = total_cpu / nranks;
+  rec.mean_memory_s = total_memory / nranks;
+
+  for (int r = 0; r < n; ++r) {
+    const sim::NodeState& node = ranks[static_cast<std::size_t>(r)]->node;
+    std::vector<power::FrequencySlice> slices;
+    slices.reserve(node.activity_by_fkey.size());
+    for (const auto& [fkey, seconds] : node.activity_by_fkey) {
+      power::FrequencySlice slice;
+      slice.frequency_mhz = static_cast<double>(fkey) / 10.0;
+      slice.activity.cpu_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kCpu)];
+      slice.activity.memory_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kMemory)];
+      slice.activity.network_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kNetwork)];
+      slice.activity.idle_s =
+          seconds[static_cast<std::size_t>(sim::Activity::kIdle)];
+      slices.push_back(slice);
+    }
+    rec.energy += meter_.measure_node_slices(
+        slices, cluster_.operating_points, rec.seconds, frequency_mhz);
+  }
+
+  double messages = 0.0;
+  double doubles = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const mpi::CommStats& stats = ranks[static_cast<std::size_t>(r)]->stats;
+    messages += static_cast<double>(stats.messages_sent);
+    doubles += stats.avg_doubles_per_message();
+    rec.send_retries += static_cast<double>(stats.sends_retried);
+  }
+  rec.messages_per_rank = messages / nranks;
+  rec.doubles_per_message = doubles / nranks;
+
+  for (int r = 0; r < n; ++r)
+    rec.executed_per_rank += ranks[static_cast<std::size_t>(r)]->node.executed;
+  rec.executed_per_rank = rec.executed_per_rank * (1.0 / nranks);
+
+  if (tracer) {
+    for (int r = 0; r < n; ++r)
+      tracer->record_span(r, 0.0,
+                          ranks[static_cast<std::size_t>(r)]->node.clock.now(),
+                          "rank", pas::util::strf("rank %zu",
+                                                  static_cast<std::size_t>(r)));
+  }
+  return rec;
+}
+
+}  // namespace pas::analysis

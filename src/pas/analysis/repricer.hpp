@@ -1,0 +1,60 @@
+// Repricer — analytic replay of a charged-work ledger at a different
+// DVFS operating point (the frequency-collapse fast path, DESIGN.md
+// §10).
+//
+// The paper's decomposition (Eq 14/18) says a workload's cost at any
+// frequency is determined by its ON-chip work, OFF-chip work and
+// parallel overhead — quantities a single simulated run of the same
+// (kernel, size, N) column already measured. The Repricer re-executes
+// a recorded sim::WorkLedger deterministically on one thread: every
+// compute block re-runs CpuModel::time_split at the new point, every
+// message re-books the same NetworkFabric arithmetic, and the comm-DVFS
+// phase machine is re-driven op by op. Because it runs the *identical*
+// pricing code that the full simulator runs (never scaling recorded
+// seconds), a repriced RunRecord is bit-identical to the record a full
+// simulation at that frequency would produce — a property the sweep
+// executor's --verify-replay mode and the grid-equivalence tests check
+// field by field.
+//
+// Replay is single-threaded and allocation-light: per-channel FIFO
+// queues stand in for mailboxes (exact (src, tag) matching means the
+// n-th receive on a channel matches the n-th send), and a round-robin
+// scheduler advances each rank until it blocks on an empty channel.
+// Only receives can block; a full pass with no progress means the
+// ledger is inconsistent and raises std::logic_error.
+#pragma once
+
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/power/energy_meter.hpp"
+#include "pas/sim/cluster.hpp"
+#include "pas/sim/trace.hpp"
+#include "pas/sim/work_ledger.hpp"
+
+namespace pas::analysis {
+
+class Repricer {
+ public:
+  explicit Repricer(sim::ClusterConfig cluster,
+                    power::PowerModel power = power::PowerModel());
+
+  const sim::ClusterConfig& cluster() const { return cluster_; }
+
+  /// Replays `ledger` at `frequency_mhz` and assembles the RunRecord
+  /// exactly as RunMatrix::run_one would (same summation order, same
+  /// energy slicing). With a non-null `tracer`, emits the same event
+  /// set a traced full run records (per-op spans, dvfs markers and the
+  /// per-rank program spans); event order within the sink may differ,
+  /// which is invisible after the obs layer's canonical sort.
+  ///
+  /// Throws std::logic_error when the ledger is not replayable or its
+  /// op streams are inconsistent (a blocked receive no send resolves),
+  /// and std::out_of_range for a frequency with no operating point.
+  RunRecord reprice(const sim::WorkLedger& ledger, double frequency_mhz,
+                    sim::Tracer* tracer = nullptr) const;
+
+ private:
+  sim::ClusterConfig cluster_;
+  power::EnergyMeter meter_;
+};
+
+}  // namespace pas::analysis

@@ -99,15 +99,54 @@ std::string RunCache::key(const npb::Kernel& kernel,
                           const power::PowerModel& power, int nodes,
                           double frequency_mhz, double comm_dvfs_mhz) {
   return pas::util::strf(
-      "v2|%s|%s|%s|N=%d|f=%s|comm=%s", kernel.signature().c_str(),
+      "v3|%s|%s|%s|N=%d|f=%s|comm=%s", kernel.signature().c_str(),
       cluster_signature(cluster).c_str(), power_signature(power).c_str(),
       nodes, d17(frequency_mhz).c_str(), d17(comm_dvfs_mhz).c_str());
+}
+
+std::string RunCache::ledger_key(const npb::Kernel& kernel,
+                                 const sim::ClusterConfig& cluster, int nodes,
+                                 double comm_dvfs_mhz) {
+  return pas::util::strf("ledger-v3|%s|%s|N=%d|comm=%s",
+                         kernel.signature().c_str(),
+                         cluster_signature(cluster).c_str(), nodes,
+                         d17(comm_dvfs_mhz).c_str());
 }
 
 std::string RunCache::path_for(const std::string& key) const {
   return (std::filesystem::path(dir_) /
           pas::util::strf("%016" PRIx64 ".run", fnv1a(key)))
       .string();
+}
+
+std::string RunCache::ledger_path_for(const std::string& key) const {
+  return (std::filesystem::path(dir_) /
+          pas::util::strf("%016" PRIx64 ".ledger", fnv1a(key)))
+      .string();
+}
+
+std::string RunCache::encode_record(const RunRecord& record) {
+  std::ostringstream out;
+  out << "nodes " << record.nodes << '\n';
+  put(out, "frequency_mhz", record.frequency_mhz);
+  put(out, "seconds", record.seconds);
+  put(out, "mean_overhead_s", record.mean_overhead_s);
+  put(out, "mean_cpu_s", record.mean_cpu_s);
+  put(out, "mean_memory_s", record.mean_memory_s);
+  put(out, "verified", record.verified ? 1.0 : 0.0);
+  put(out, "energy_cpu_j", record.energy.cpu_j);
+  put(out, "energy_memory_j", record.energy.memory_j);
+  put(out, "energy_network_j", record.energy.network_j);
+  put(out, "energy_idle_j", record.energy.idle_j);
+  put(out, "messages_per_rank", record.messages_per_rank);
+  put(out, "doubles_per_message", record.doubles_per_message);
+  put(out, "exec_reg", record.executed_per_rank.reg_ops);
+  put(out, "exec_l1", record.executed_per_rank.l1_ops);
+  put(out, "exec_l2", record.executed_per_rank.l2_ops);
+  put(out, "exec_mem", record.executed_per_rank.mem_ops);
+  put(out, "attempts", static_cast<double>(record.attempts));
+  put(out, "send_retries", record.send_retries);
+  return out.str();
 }
 
 std::optional<RunRecord> RunCache::lookup(const std::string& key) {
@@ -134,13 +173,13 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
         // A valid file holding a *different* key is an fnv1a filename
         // collision, not corruption: leave it alone and miss.
         collision =
-            header == "pasim-run-cache v2" && stored_key != "key " + key &&
+            header == "pasim-run-cache v3" && stored_key != "key " + key &&
             stored_key.rfind("key v", 0) == 0;
         RunRecord rec;
         double verified = 0.0;
         double attempts = 1.0;
         const bool ok =
-            header == "pasim-run-cache v2" && stored_key == "key " + key &&
+            header == "pasim-run-cache v3" && stored_key == "key " + key &&
             [&] {
               int n = 0;
               std::string name;
@@ -225,30 +264,248 @@ void RunCache::store(const std::string& key, const RunRecord& record) {
       pas::util::log_warn("run cache: cannot write " + tmp);
       return;
     }
-    out << "pasim-run-cache v2\n";
+    out << "pasim-run-cache v3\n";
     out << "key " << key << '\n';
-    out << "nodes " << record.nodes << '\n';
-    put(out, "frequency_mhz", record.frequency_mhz);
-    put(out, "seconds", record.seconds);
-    put(out, "mean_overhead_s", record.mean_overhead_s);
-    put(out, "mean_cpu_s", record.mean_cpu_s);
-    put(out, "mean_memory_s", record.mean_memory_s);
-    put(out, "verified", record.verified ? 1.0 : 0.0);
-    put(out, "energy_cpu_j", record.energy.cpu_j);
-    put(out, "energy_memory_j", record.energy.memory_j);
-    put(out, "energy_network_j", record.energy.network_j);
-    put(out, "energy_idle_j", record.energy.idle_j);
-    put(out, "messages_per_rank", record.messages_per_rank);
-    put(out, "doubles_per_message", record.doubles_per_message);
-    put(out, "exec_reg", record.executed_per_rank.reg_ops);
-    put(out, "exec_l1", record.executed_per_rank.l1_ops);
-    put(out, "exec_l2", record.executed_per_rank.l2_ops);
-    put(out, "exec_mem", record.executed_per_rank.mem_ops);
-    put(out, "attempts", static_cast<double>(record.attempts));
-    put(out, "send_retries", record.send_retries);
+    out << encode_record(record);
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) pas::util::log_warn("run cache: cannot rename " + tmp);
+}
+
+namespace {
+
+obs::Counter& ledger_hit_counter() {
+  static obs::Counter& c = obs::registry().counter("runcache.ledger_hits");
+  return c;
+}
+obs::Counter& ledger_miss_counter() {
+  static obs::Counter& c = obs::registry().counter("runcache.ledger_misses");
+  return c;
+}
+
+/// One op per line, first token selecting the kind. Doubles are %a so
+/// a loaded ledger replays bit-identically to the freshly recorded one.
+void put_op(std::ostream& out, const sim::WorkOp& op) {
+  char a[64], b[64], c[64], d[64];
+  switch (op.kind) {
+    case sim::WorkOp::Kind::kCompute:
+      std::snprintf(a, sizeof a, "%a", op.mix.reg_ops);
+      std::snprintf(b, sizeof b, "%a", op.mix.l1_ops);
+      std::snprintf(c, sizeof c, "%a", op.mix.l2_ops);
+      std::snprintf(d, sizeof d, "%a", op.mix.mem_ops);
+      out << "C " << a << ' ' << b << ' ' << c << ' ' << d << '\n';
+      break;
+    case sim::WorkOp::Kind::kRawSeconds:
+      std::snprintf(a, sizeof a, "%a", op.seconds);
+      out << "T " << a << ' ' << static_cast<int>(op.activity) << '\n';
+      break;
+    case sim::WorkOp::Kind::kSend:
+      out << "S " << op.peer << ' ' << op.tag << ' ' << op.bytes << ' '
+          << (op.blocking ? 1 : 0) << '\n';
+      break;
+    case sim::WorkOp::Kind::kSendWait:
+      out << "W " << op.ordinal << '\n';
+      break;
+    case sim::WorkOp::Kind::kRecv:
+      out << "R " << op.peer << ' ' << op.tag << '\n';
+      break;
+    case sim::WorkOp::Kind::kCommDvfs:
+      std::snprintf(a, sizeof a, "%a", op.mhz);
+      out << "D " << a << '\n';
+      break;
+  }
+}
+
+bool get_hexdouble(std::istream& in, double* x) {
+  std::string value;
+  if (!(in >> value)) return false;
+  char* end = nullptr;
+  *x = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool get_op(std::istream& in, sim::WorkOp* op) {
+  std::string kind;
+  if (!(in >> kind) || kind.size() != 1) return false;
+  switch (kind[0]) {
+    case 'C': {
+      sim::InstructionMix mix;
+      if (!get_hexdouble(in, &mix.reg_ops) || !get_hexdouble(in, &mix.l1_ops) ||
+          !get_hexdouble(in, &mix.l2_ops) || !get_hexdouble(in, &mix.mem_ops))
+        return false;
+      *op = sim::WorkOp::compute(mix);
+      return true;
+    }
+    case 'T': {
+      double s = 0.0;
+      int act = 0;
+      if (!get_hexdouble(in, &s) || !(in >> act) || act < 0 ||
+          act >= static_cast<int>(sim::kNumActivities))
+        return false;
+      *op = sim::WorkOp::raw_seconds(s, static_cast<sim::Activity>(act));
+      return true;
+    }
+    case 'S': {
+      int dst = 0, tag = 0, blocking = 0;
+      std::size_t bytes = 0;
+      if (!(in >> dst >> tag >> bytes >> blocking)) return false;
+      *op = sim::WorkOp::send(dst, tag, bytes, blocking != 0);
+      return true;
+    }
+    case 'W': {
+      int ordinal = 0;
+      if (!(in >> ordinal)) return false;
+      *op = sim::WorkOp::send_wait(ordinal);
+      return true;
+    }
+    case 'R': {
+      int src = 0, tag = 0;
+      if (!(in >> src >> tag)) return false;
+      *op = sim::WorkOp::recv(src, tag);
+      return true;
+    }
+    case 'D': {
+      double mhz = 0.0;
+      if (!get_hexdouble(in, &mhz)) return false;
+      *op = sim::WorkOp::comm_dvfs(mhz);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const sim::WorkLedger> RunCache::lookup_ledger(
+    const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = ledgers_.find(key);
+    if (it != ledgers_.end()) {
+      ledger_hit_counter().add();
+      return it->second;
+    }
+  }
+  if (!dir_.empty()) {
+    const std::string path = ledger_path_for(key);
+    bool present = false;
+    bool collision = false;
+    {
+      std::ifstream in(path);
+      present = static_cast<bool>(in);
+      if (in) {
+        std::string header, stored_key;
+        std::getline(in, header);
+        std::getline(in, stored_key);
+        collision = header == "pasim-run-ledger v3" &&
+                    stored_key != "key " + key &&
+                    stored_key.rfind("key ledger-v", 0) == 0;
+        auto ledger = std::make_shared<sim::WorkLedger>();
+        const bool ok =
+            header == "pasim-run-ledger v3" && stored_key == "key " + key &&
+            [&] {
+              std::string name;
+              int nranks = 0;
+              double verified = 0.0;
+              if (!(in >> name >> nranks) || name != "nranks" || nranks < 1)
+                return false;
+              if (!(in >> name) || name != "comm_dvfs" ||
+                  !get_hexdouble(in, &ledger->comm_dvfs_mhz))
+                return false;
+              if (!(in >> name) || name != "verified" ||
+                  !get_hexdouble(in, &verified))
+                return false;
+              ledger->nranks = nranks;
+              ledger->verified = verified != 0.0;
+              ledger->ops.assign(static_cast<std::size_t>(nranks), {});
+              for (int r = 0; r < nranks; ++r) {
+                int rank = -1;
+                std::size_t nops = 0;
+                if (!(in >> name >> rank >> nops) || name != "rank" ||
+                    rank != r)
+                  return false;
+                auto& ops = ledger->ops[static_cast<std::size_t>(r)];
+                ops.resize(nops);
+                for (std::size_t i = 0; i < nops; ++i) {
+                  if (!get_op(in, &ops[i])) return false;
+                }
+              }
+              if (!(in >> name) || name != "end") return false;
+              return true;
+            }();
+        if (ok) {
+          std::shared_ptr<const sim::WorkLedger> shared = std::move(ledger);
+          std::lock_guard<std::mutex> lock(mutex_);
+          ledgers_.emplace(key, shared);
+          ledger_hit_counter().add();
+          return shared;
+        }
+      }
+    }
+    if (present && !collision) {
+      static obs::Counter& quarantined =
+          obs::registry().counter("runcache.quarantined");
+      quarantined.add();
+      std::error_code ec;
+      std::filesystem::rename(path, path + ".bad", ec);
+      pas::util::log_warn(
+          "run cache: corrupt ledger " + path +
+          (ec ? " (quarantine failed: " + ec.message() + ")"
+              : " quarantined to " + path + ".bad") +
+          "; treating as a miss");
+    }
+  }
+  ledger_miss_counter().add();
+  return nullptr;
+}
+
+std::shared_ptr<const sim::WorkLedger> RunCache::store_ledger(
+    const std::string& key, sim::WorkLedger ledger) {
+  if (!ledger.replayable || ledger.nranks < 1) return nullptr;
+  auto shared =
+      std::make_shared<const sim::WorkLedger>(std::move(ledger));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ledgers_.emplace(key, shared);
+    static obs::Counter& stored =
+        obs::registry().counter("runcache.ledger_stores");
+    stored.add();
+  }
+  if (dir_.empty()) return shared;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    pas::util::log_warn("run cache: cannot create " + dir_ + ": " +
+                        ec.message());
+    return shared;
+  }
+  const std::string path = ledger_path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      pas::util::log_warn("run cache: cannot write " + tmp);
+      return shared;
+    }
+    out << "pasim-run-ledger v3\n";
+    out << "key " << key << '\n';
+    out << "nranks " << shared->nranks << '\n';
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", shared->comm_dvfs_mhz);
+    out << "comm_dvfs " << buf << '\n';
+    out << "verified " << (shared->verified ? 1 : 0) << '\n';
+    for (int r = 0; r < shared->nranks; ++r) {
+      const auto& ops = shared->ops[static_cast<std::size_t>(r)];
+      out << "rank " << r << ' ' << ops.size() << '\n';
+      for (const sim::WorkOp& op : ops) put_op(out, op);
+    }
+    out << "end\n";
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) pas::util::log_warn("run cache: cannot rename " + tmp);
+  return shared;
 }
 
 std::uint64_t RunCache::hits() const {

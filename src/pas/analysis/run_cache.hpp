@@ -16,15 +16,24 @@
 // truncated files are additionally quarantined to `<file>.bad` (with a
 // logged warning) so garbage can never satisfy a later lookup. Failed
 // runs (RunRecord::failed()) are never stored.
+//
+// Besides RunRecords, the cache stores charged-work ledgers
+// (sim::WorkLedger) keyed by the frequency-independent part of the run
+// identity — kernel, cluster, rank count, comm-DVFS point, but *not*
+// the operating point or power model — so the frequency-collapse fast
+// path (DESIGN.md §10) can re-price a whole DVFS column from one
+// simulated run, across processes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "pas/analysis/run_matrix.hpp"
+#include "pas/sim/work_ledger.hpp"
 
 namespace pas::analysis {
 
@@ -55,6 +64,30 @@ class RunCache {
   /// disk (atomically: write-to-temp + rename).
   void store(const std::string& key, const RunRecord& record);
 
+  /// The canonical serialized form of a record — the exact bytes
+  /// store() persists (hex-float fields). --verify-replay compares a
+  /// repriced record against a fresh simulation through this encoding,
+  /// so "equal" means equal in every field the cache round-trips.
+  static std::string encode_record(const RunRecord& record);
+
+  /// Ledger key: the frequency-independent slice of the run identity.
+  /// Deliberately excludes the operating point (that is what replay
+  /// varies) and the power model (energy is priced at replay time).
+  static std::string ledger_key(const npb::Kernel& kernel,
+                                const sim::ClusterConfig& cluster, int nodes,
+                                double comm_dvfs_mhz);
+
+  /// Thread-safe ledger lookup (memory, then disk). Ledgers are shared
+  /// immutably: concurrent column tasks re-price from one instance.
+  std::shared_ptr<const sim::WorkLedger> lookup_ledger(
+      const std::string& key);
+
+  /// Thread-safe. Stores a replayable ledger (non-replayable ledgers
+  /// are dropped — there is nothing to replay) and returns the shared
+  /// instance. Disk writes are atomic like store().
+  std::shared_ptr<const sim::WorkLedger> store_ledger(
+      const std::string& key, sim::WorkLedger ledger);
+
   const std::string& dir() const { return dir_; }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
@@ -64,10 +97,13 @@ class RunCache {
 
  private:
   std::string path_for(const std::string& key) const;
+  std::string ledger_path_for(const std::string& key) const;
 
   std::string dir_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, RunRecord> memory_;
+  std::unordered_map<std::string, std::shared_ptr<const sim::WorkLedger>>
+      ledgers_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t stores_ = 0;

@@ -92,6 +92,14 @@ class RunMatrix {
   /// harvest per-point traces for the obs layer.
   sim::Tracer& tracer() { return runtime_.tracer(); }
 
+  /// The underlying runtime's charged-work recorder. Arm (begin) before
+  /// run_one and harvest (take) after it to capture a replayable
+  /// ledger; SweepExecutor's frequency-collapse fast path records one
+  /// per (kernel, N) column (DESIGN.md §10).
+  sim::WorkLedgerRecorder& ledger_recorder() {
+    return runtime_.ledger_recorder();
+  }
+
   /// One configuration. `comm_dvfs_mhz` != 0 enables communication-
   /// phase DVFS at that operating point (paper §1 / refs [14, 15]).
   /// `fault_attempt` salts the run's FaultPlan (sweep-level retries);

@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <future>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
+#include "pas/analysis/repricer.hpp"
 #include "pas/obs/metrics.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
@@ -90,6 +92,12 @@ SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
     opts.use_cache = false;
     opts.cache_dir.clear();
   }
+  opts.verify_replay = cli.get_bool("verify-replay", false);
+  if (opts.verify_replay && !opts.use_cache)
+    throw std::invalid_argument(
+        "--verify-replay cannot be combined with --no-cache: the "
+        "verification pass compares records through the cache encoding; "
+        "drop one of the two flags");
   return opts;
 }
 
@@ -128,6 +136,7 @@ SweepExecutor::SweepExecutor(SweepSpec spec)
       cache_(spec.options.cache_dir),
       use_cache_(spec.options.use_cache),
       run_retries_(spec.options.run_retries),
+      verify_replay_(spec.options.verify_replay),
       observer_(std::move(spec.observer)) {
   if (spec.fault) cluster_.fault = *spec.fault;
   if (observer_) observer_->set_power_model(power_);
@@ -139,7 +148,8 @@ SweepExecutor::SweepExecutor(sim::ClusterConfig cluster,
                               std::nullopt, std::move(options), nullptr}) {}
 
 RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
-                                           const Point& p, const ObsCtx* ctx) {
+                                           const Point& p, const ObsCtx* ctx,
+                                           sim::WorkLedger* ledger_out) {
   // Retries only make sense when fault injection is on: each attempt
   // replays a differently-salted (still deterministic) FaultPlan. A
   // deadlock in a fault-free run is a bug in the kernel body and would
@@ -168,9 +178,29 @@ RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
         (*lease).tracer().clear();
         (*lease).tracer().enable();
       }
+      // Charged-work recording, same lifecycle discipline as tracing:
+      // armed per attempt, harvested only from a successful run — an
+      // aborted attempt's partial ledger is never replayed.
+      struct RecorderGuard {
+        sim::WorkLedgerRecorder* rec;
+        ~RecorderGuard() {
+          if (rec != nullptr) rec->abort();
+        }
+      } recorder{nullptr};
+      if (ledger_out != nullptr) {
+        (*lease).ledger_recorder().begin(p.nodes, p.comm_dvfs_mhz);
+        recorder.rec = &(*lease).ledger_recorder();
+      }
       RunRecord rec = (*lease).run_one(kernel, p.nodes, p.frequency_mhz,
                                        p.comm_dvfs_mhz, attempt);
       rec.attempts = attempt + 1;
+      if (recorder.rec != nullptr) {
+        *ledger_out = recorder.rec->take();
+        recorder.rec = nullptr;
+        // The verification verdict is frequency-invariant (same
+        // arithmetic, same results); replayed records reuse it.
+        ledger_out->verified = rec.verified;
+      }
       if (tracing) {
         obs::RunTrace trace;
         trace.nranks = p.nodes;
@@ -214,10 +244,66 @@ RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
   }
 }
 
+bool SweepExecutor::fast_path_eligible(const npb::Kernel& kernel) const {
+  // The exactness gate (DESIGN.md §10): the kernel must declare that
+  // its control flow never depends on virtual time, and fault
+  // injection perturbs every run per-frequency (jitter draws, drops,
+  // straggler scaling), so armed faults always simulate in full.
+  return kernel.frequency_invariant_control_flow() &&
+         !cluster_.fault.enabled();
+}
+
+RunRecord SweepExecutor::reprice_point(const npb::Kernel& kernel,
+                                       const Point& p,
+                                       const sim::WorkLedger& ledger,
+                                       const ObsCtx* ctx) {
+  const bool tracing = observer_ && observer_->tracing() && ctx != nullptr;
+  const Repricer repricer(cluster_, power_);
+  RunRecord rec;
+  if (tracing) {
+    // Replay emits the same event set a traced full run records; the
+    // obs layer's canonical sort makes the export byte-identical.
+    sim::Tracer tracer;
+    tracer.enable();
+    rec = repricer.reprice(ledger, p.frequency_mhz, &tracer);
+    obs::RunTrace trace;
+    trace.nranks = p.nodes;
+    trace.frequency_mhz = p.frequency_mhz;
+    trace.op = cluster_.operating_points.at_mhz(p.frequency_mhz);
+    trace.makespan_s = rec.seconds;
+    trace.events = tracer.events();
+    trace.wall_s = observer_->wall_now_s();
+    observer_->record_run_trace(ctx->sweep, ctx->index, std::move(trace));
+  } else {
+    rec = repricer.reprice(ledger, p.frequency_mhz);
+  }
+  if (verify_replay_) {
+    const RunRecord fresh = simulate_failsoft(kernel, p, nullptr);
+    const std::string repriced_bytes = RunCache::encode_record(rec);
+    const std::string simulated_bytes = RunCache::encode_record(fresh);
+    if (repriced_bytes != simulated_bytes)
+      throw std::runtime_error(util::strf(
+          "--verify-replay: repriced record differs from full simulation "
+          "at %s N=%d f=%.0fMHz\n--- repriced ---\n%s--- simulated ---\n%s",
+          kernel.name().c_str(), p.nodes, p.frequency_mhz,
+          repriced_bytes.c_str(), simulated_bytes.c_str()));
+    static obs::Counter& verified_points =
+        obs::registry().counter("sweep.points_verified");
+    verified_points.add();
+  }
+  util::log_info(util::strf(
+      "%s N=%d f=%.0fMHz: T=%.4fs, overhead=%.4fs, E=%.1fJ, verified=%d "
+      "(repriced)",
+      kernel.name().c_str(), p.nodes, p.frequency_mhz, rec.seconds,
+      rec.mean_overhead_s, rec.energy.total_j(), rec.verified ? 1 : 0));
+  return rec;
+}
+
 RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
-                                   const ObsCtx* ctx) {
+                                   const ObsCtx* ctx, ColumnState* col) {
   const double wall_t0 = wall_seconds();
   bool from_cache = false;
+  bool repriced = false;
   RunRecord rec;
   std::string key;
   if (use_cache_)
@@ -228,7 +314,42 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
     rec = *cached;
     from_cache = true;
   } else {
-    rec = simulate_failsoft(kernel, p, ctx);
+    // Fast path: re-price from the column's ledger when one exists
+    // (recorded earlier in this column, or persisted by a previous
+    // process).
+    const sim::WorkLedger* ledger = nullptr;
+    if (col != nullptr && !col->recording_declined) {
+      if (!col->ledger && use_cache_ && !col->cache_checked) {
+        col->cache_checked = true;
+        col->ledger = cache_.lookup_ledger(RunCache::ledger_key(
+            kernel, cluster_, p.nodes, p.comm_dvfs_mhz));
+      }
+      ledger = col->ledger.get();
+    }
+    if (ledger != nullptr) {
+      rec = reprice_point(kernel, p, *ledger, ctx);
+      repriced = true;
+    } else if (col != nullptr && !col->recording_declined) {
+      sim::WorkLedger fresh;
+      rec = simulate_failsoft(kernel, p, ctx, &fresh);
+      if (rec.failed() || !fresh.replayable) {
+        col->recording_declined = true;
+        if (!rec.failed() && !fresh.decline_reason.empty())
+          util::log_info(util::strf(
+              "%s N=%d: charged-work recording declined (%s); the column "
+              "simulates in full",
+              kernel.name().c_str(), p.nodes, fresh.decline_reason.c_str()));
+      } else if (use_cache_) {
+        col->ledger = cache_.store_ledger(
+            RunCache::ledger_key(kernel, cluster_, p.nodes, p.comm_dvfs_mhz),
+            std::move(fresh));
+      } else {
+        col->ledger =
+            std::make_shared<const sim::WorkLedger>(std::move(fresh));
+      }
+    } else {
+      rec = simulate_failsoft(kernel, p, ctx);
+    }
     // Failed records are never cached: a later sweep with more retries
     // (or a fixed kernel) must get a fresh chance at the point.
     if (use_cache_ && !rec.failed()) cache_.store(key, rec);
@@ -252,8 +373,14 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
         o::registry().counter("sweep.run_retries", o::Stability::kStable);
     static o::Counter& send_retries =
         o::registry().counter("sweep.send_retries", o::Stability::kStable);
+    // Which points re-price (first-in-column simulates, the rest
+    // replay) is a function of the grid and the cache contents alone,
+    // never of scheduling — so the counter is stable at any --jobs.
+    static o::Counter& repriced_points =
+        o::registry().counter("sweep.points_repriced", o::Stability::kStable);
     points.add();
     if (from_cache) cached_points.add();
+    if (repriced) repriced_points.add();
     if (rec.failed()) failed_points.add();
     run_retries.add(static_cast<std::uint64_t>(rec.attempts - 1));
     send_retries.add(static_cast<std::uint64_t>(rec.send_retries));
@@ -290,21 +417,70 @@ std::vector<RunRecord> SweepExecutor::run_points(
   }
 
   std::vector<RunRecord> records(points.size());
-  if (points.size() <= 1 || pool_.max_threads() == 1) {
-    for (std::size_t i = 0; i < points.size(); ++i)
-      records[i] =
-          run_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr);
+  if (!fast_path_eligible(kernel)) {
+    if (points.size() <= 1 || pool_.max_threads() == 1) {
+      for (std::size_t i = 0; i < points.size(); ++i)
+        records[i] =
+            run_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr);
+      return records;
+    }
+    std::vector<std::future<void>> done;
+    done.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      done.push_back(
+          pool_.submit([this, &kernel, &points, &records, ctx_of, i] {
+            records[i] =
+                run_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr);
+          }));
+    }
+    // Drain every future before rethrowing so no task still references
+    // the local vectors.
+    std::exception_ptr first;
+    for (std::future<void>& f : done) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return records;
+  }
+
+  // Frequency collapse: group the grid into (N, comm-DVFS) columns in
+  // first-appearance order. Each column is one sequential task — its
+  // first cache-missing frequency simulates and records the ledger,
+  // every later frequency re-prices from it — so parallelism shifts
+  // from points to columns. Record values are unchanged: replay is
+  // bit-identical to full simulation (Repricer contract).
+  std::vector<std::vector<std::size_t>> columns;
+  {
+    std::unordered_map<long long, std::size_t> column_of;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const long long column_key =
+          (static_cast<long long>(points[i].nodes) << 32) |
+          static_cast<long long>(
+              sim::NodeState::fkey(points[i].comm_dvfs_mhz));
+      const auto [it, inserted] = column_of.emplace(column_key,
+                                                    columns.size());
+      if (inserted) columns.emplace_back();
+      columns[it->second].push_back(i);
+    }
+  }
+  std::vector<ColumnState> cols(columns.size());
+  const auto run_column = [&](std::size_t c) {
+    for (const std::size_t i : columns[c])
+      records[i] = run_point(kernel, points[i],
+                             ctx_of ? &ctx_of[i] : nullptr, &cols[c]);
+  };
+  if (columns.size() <= 1 || pool_.max_threads() == 1) {
+    for (std::size_t c = 0; c < columns.size(); ++c) run_column(c);
     return records;
   }
   std::vector<std::future<void>> done;
-  done.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    done.push_back(pool_.submit([this, &kernel, &points, &records, ctx_of, i] {
-      records[i] = run_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr);
-    }));
-  }
-  // Drain every future before rethrowing so no task still references
-  // the local vectors.
+  done.reserve(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    done.push_back(pool_.submit([&run_column, c] { run_column(c); }));
   std::exception_ptr first;
   for (std::future<void>& f : done) {
     try {

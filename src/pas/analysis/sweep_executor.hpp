@@ -15,6 +15,15 @@
 // the canonical operating-point key, so parameterization passes and
 // repeated bench invocations stop re-simulating identical points.
 //
+// On top of both sits the frequency-collapse fast path (DESIGN.md
+// §10): when a kernel declares frequency_invariant_control_flow() and
+// fault injection is off, only the first frequency of each (kernel, N,
+// comm-DVFS) column is simulated — the run records a charged-work
+// ledger and every remaining frequency of the column is re-priced
+// analytically by analysis::Repricer, bit-identical to a full run.
+// SweepOptions::verify_replay re-simulates every repriced point and
+// hard-fails on any byte difference.
+//
 // The API is spec-shaped: everything that configures an executor lives
 // in SweepSpec (cluster, power model, optional fault override, sweep
 // options, observability sinks) and everything that describes one grid
@@ -63,14 +72,22 @@ struct SweepOptions {
   /// deterministic. Only consulted when the cluster's fault injection
   /// is enabled.
   int run_retries = 1;
+  /// Cross-checks the frequency-collapse fast path: every repriced
+  /// point is additionally re-simulated in full and the two RunRecords
+  /// must be identical in every cached byte (RunCache::encode_record);
+  /// any difference aborts the sweep with std::runtime_error.
+  bool verify_replay = false;
 
   /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
   /// then hardware concurrency), `--cache [dir]` (default dir
   /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`,
-  /// `--retries N`. Throws std::invalid_argument for `--jobs < 1`,
-  /// `--retries < 0`, a $PASIM_JOBS that is not a positive integer, or
-  /// a $PASIM_CACHE_DIR that is set but empty — environment values
-  /// obey the same rules as the flags they stand in for.
+  /// `--retries N`, `--verify-replay`. Throws std::invalid_argument
+  /// for `--jobs < 1`, `--retries < 0`, a $PASIM_JOBS that is not a
+  /// positive integer, a $PASIM_CACHE_DIR that is set but empty —
+  /// environment values obey the same rules as the flags they stand in
+  /// for — or `--verify-replay` combined with `--no-cache` (disabling
+  /// the cache would silently drop the verification pass's record
+  /// comparison baseline).
   static SweepOptions from_cli(const util::Cli& cli);
 };
 
@@ -154,10 +171,30 @@ class SweepExecutor {
     int sweep = -1;
     int index = -1;
   };
+  /// Shared state of one (kernel, N, comm-DVFS) column on the fast
+  /// path: the charged-work ledger its first simulated frequency
+  /// recorded, for the remaining frequencies to re-price from. Owned by
+  /// exactly one column task, so no locking.
+  struct ColumnState {
+    std::shared_ptr<const sim::WorkLedger> ledger;
+    /// Ledger cache already consulted (miss is definitive this sweep).
+    bool cache_checked = false;
+    /// Recording declined (timing-dependent construct observed): the
+    /// rest of the column simulates in full, without re-recording.
+    bool recording_declined = false;
+  };
   RunRecord run_point(const npb::Kernel& kernel, const Point& p,
-                      const ObsCtx* ctx);
+                      const ObsCtx* ctx, ColumnState* col = nullptr);
   RunRecord simulate_failsoft(const npb::Kernel& kernel, const Point& p,
-                              const ObsCtx* ctx);
+                              const ObsCtx* ctx,
+                              sim::WorkLedger* ledger_out = nullptr);
+  /// Replays `ledger` at p.frequency_mhz (with the trace harvest and
+  /// verification pass when configured).
+  RunRecord reprice_point(const npb::Kernel& kernel, const Point& p,
+                          const sim::WorkLedger& ledger, const ObsCtx* ctx);
+  /// The exactness gate: true when every point of this sweep may use
+  /// the charged-work fast path.
+  bool fast_path_eligible(const npb::Kernel& kernel) const;
 
   sim::ClusterConfig cluster_;
   power::PowerModel power_;
@@ -165,6 +202,7 @@ class SweepExecutor {
   RunCache cache_;
   bool use_cache_;
   int run_retries_;
+  bool verify_replay_;
   std::shared_ptr<obs::Observer> observer_;
   /// RunMatrix instances (each with its own Runtime + rank pool) are
   /// leased per task and reused, so a sweep touches at most `jobs`

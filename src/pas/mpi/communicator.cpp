@@ -40,12 +40,16 @@ void Comm::compute(const sim::InstructionMix& mix) {
       tracer.record(rank_, t0 + split.on_chip_s, split.off_chip_s,
                     sim::Activity::kMemory, "compute mem");
   }
+  sim::WorkLedgerRecorder& ledger = runtime_.ledger_recorder();
+  if (ledger.enabled()) ledger.record(rank_, sim::WorkOp::compute(mix));
 }
 
 void Comm::compute_seconds(double s, sim::Activity act) {
   exit_comm_phase();
   node().spend(s, act);
   faults_.check_alive(node().clock.now());
+  sim::WorkLedgerRecorder& ledger = runtime_.ledger_recorder();
+  if (ledger.enabled()) ledger.record(rank_, sim::WorkOp::raw_seconds(s, act));
 }
 
 void Comm::set_comm_dvfs_mhz(double mhz) {
@@ -54,6 +58,8 @@ void Comm::set_comm_dvfs_mhz(double mhz) {
         pas::util::strf("no operating point at %.1f MHz", mhz));
   if (mhz == 0.0) exit_comm_phase();
   comm_dvfs_mhz_ = mhz;
+  sim::WorkLedgerRecorder& ledger = runtime_.ledger_recorder();
+  if (ledger.enabled()) ledger.record(rank_, sim::WorkOp::comm_dvfs(mhz));
 }
 
 void Comm::enter_comm_phase() {
@@ -173,6 +179,9 @@ double Comm::post(int dst, int tag, std::size_t payload_bytes, Payload data,
                   sim::Activity::kNetwork,
                   pas::util::strf("send->%d tag %d (%zuB)", dst, tag,
                                   wire_bytes));
+  sim::WorkLedgerRecorder& ledger = runtime_.ledger_recorder();
+  if (ledger.enabled())
+    ledger.record(rank_, sim::WorkOp::send(dst, tag, wire_bytes, blocking));
   return t.tx_end;
 }
 
@@ -187,6 +196,7 @@ Comm::Request Comm::isend(int dst, int tag, Payload data) {
   req.kind_ = Request::Kind::kSend;
   req.peer_ = dst;
   req.tag_ = tag;
+  req.ledger_ordinal_ = isend_seq_++;
   req.tx_end_ =
       post(dst, tag, payload_bytes, std::move(data), /*blocking=*/false);
   return req;
@@ -210,6 +220,9 @@ Payload Comm::wait(Request& request) {
       // The link may still be draining the message; the sender's clock
       // only advances if it got ahead of its own NIC.
       node().spend_until(request.tx_end_, sim::Activity::kNetwork);
+      sim::WorkLedgerRecorder& ledger = runtime_.ledger_recorder();
+      if (ledger.enabled())
+        ledger.record(rank_, sim::WorkOp::send_wait(request.ledger_ordinal_));
       request.kind_ = Request::Kind::kNone;
       return {};
     }
@@ -275,6 +288,17 @@ Message Comm::matched_recv(int src, int tag, double timeout_s) {
         "(timeout %.6gs)",
         rank_, src, tag, waited, timeout_s));
   faults_.check_alive(now());
+  sim::WorkLedgerRecorder& ledger = runtime_.ledger_recorder();
+  if (ledger.enabled()) {
+    // A virtual-time timeout is the one Comm feature whose *outcome*
+    // depends on the operating point: a recv that fits the budget at
+    // the recorded frequency may exceed it at a slower one.
+    if (timeout_s > 0.0)
+      ledger.decline(rank_, pas::util::strf(
+                                "rank %d uses a virtual-time recv timeout",
+                                rank_));
+    ledger.record(rank_, sim::WorkOp::recv(src, tag));
+  }
   return msg;
 }
 

@@ -120,6 +120,9 @@ class Comm {
     int peer_ = -1;
     int tag_ = 0;
     double tx_end_ = 0.0;  ///< send: link free / message fully injected
+    /// Per-rank isend sequence number, pairing this request's wait()
+    /// with its posting in the charged-work ledger.
+    int ledger_ordinal_ = -1;
   };
 
   /// Nonblocking send: pays the CPU overhead now, lets the NIC
@@ -199,6 +202,7 @@ class Comm {
   /// injection is off).
   fault::RankFaults faults_;
   int collective_seq_ = 0;
+  int isend_seq_ = 0;
   /// Receiver-port "busy until" in virtual time; owned by this rank's
   /// thread, booked in message-match order (see complete_recv).
   double rx_busy_ = 0.0;

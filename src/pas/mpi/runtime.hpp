@@ -19,6 +19,7 @@
 #include "pas/mpi/watchdog.hpp"
 #include "pas/sim/cluster.hpp"
 #include "pas/sim/trace.hpp"
+#include "pas/sim/work_ledger.hpp"
 #include "pas/util/thread_pool.hpp"
 
 namespace pas::mpi {
@@ -69,6 +70,11 @@ class Runtime {
   /// before run(); events accumulate across runs until clear().
   sim::Tracer& tracer() { return tracer_; }
 
+  /// Charged-work recording (disabled by default). begin() before
+  /// run(), take()/abort() after it returns — the frequency-collapse
+  /// fast path harvests the ledger here (DESIGN.md §10).
+  sim::WorkLedgerRecorder& ledger_recorder() { return ledger_recorder_; }
+
   using RankBody = std::function<void(Comm&)>;
 
   /// Executes `body` on `nranks` ranks (1 <= nranks <= cluster size) at
@@ -107,6 +113,7 @@ class Runtime {
   sim::ClusterConfig cfg_;
   sim::Cluster cluster_;
   sim::Tracer tracer_;
+  sim::WorkLedgerRecorder ledger_recorder_;
   RunMonitor monitor_;
   int fault_attempt_ = 0;
   /// A failed run may leave undelivered messages behind; the next run

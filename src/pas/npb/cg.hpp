@@ -33,6 +33,10 @@ class CgKernel final : public Kernel {
   std::string name() const override { return "CG"; }
   std::string signature() const override;
 
+  /// Control flow never reads the virtual clock and uses no timeouts:
+  /// eligible for the frequency-collapse fast path.
+  bool frequency_invariant_control_flow() const override { return true; }
+
   /// Result values: "residual_0" (initial), "residual_<i>" after each
   /// iteration (1-based), "error_inf" (deviation from the exact
   /// solution). Verification: substantial residual reduction.

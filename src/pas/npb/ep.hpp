@@ -35,6 +35,10 @@ class EpKernel final : public Kernel {
   std::string name() const override { return "EP"; }
   std::string signature() const override;
 
+  /// Control flow never reads the virtual clock and uses no timeouts:
+  /// eligible for the frequency-collapse fast path.
+  bool frequency_invariant_control_flow() const override { return true; }
+
   /// Result values (rank 0): "sx", "sy" (deviate sums), "q0".."q9"
   /// (annulus counts), "accepted". Verification recomputes a reference
   /// on rank 0 sequentially at construction-time parameters.

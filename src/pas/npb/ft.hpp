@@ -46,6 +46,10 @@ class FtKernel final : public Kernel {
   std::string name() const override { return "FT"; }
   std::string signature() const override;
 
+  /// Control flow never reads the virtual clock and uses no timeouts:
+  /// eligible for the frequency-collapse fast path.
+  bool frequency_invariant_control_flow() const override { return true; }
+
   /// Result values: "checksum_re_<t>", "checksum_im_<t>" for each
   /// iteration t (1-based), and "roundtrip_err" when enabled.
   /// Requires comm.size() to divide both nz and nx.

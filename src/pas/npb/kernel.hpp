@@ -41,6 +41,16 @@ class Kernel {
   /// keys on this string.
   virtual std::string signature() const = 0;
 
+  /// True when this kernel's control flow is independent of virtual
+  /// time: it never reads the clock, uses no receive timeouts, and
+  /// issues the identical sequence of compute blocks and messages at
+  /// every DVFS point. Declaring true opts the kernel into the sweep
+  /// executor's frequency-collapse fast path, which simulates one
+  /// frequency per (size, N) column and re-prices the rest from the
+  /// charged-work ledger (DESIGN.md §10). The default keeps unknown
+  /// kernels on full simulation.
+  virtual bool frequency_invariant_control_flow() const { return false; }
+
   /// Executes this rank's part of the kernel. Every rank returns a
   /// result; rank 0's carries the verification verdict.
   virtual KernelResult run(mpi::Comm& comm) const = 0;

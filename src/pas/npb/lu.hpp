@@ -51,6 +51,10 @@ class LuKernel final : public Kernel {
   std::string name() const override { return "LU"; }
   std::string signature() const override;
 
+  /// Control flow never reads the virtual clock and uses no timeouts:
+  /// eligible for the frequency-collapse fast path.
+  bool frequency_invariant_control_flow() const override { return true; }
+
   /// Result values: "residual_0" (initial RMS residual),
   /// "residual_<i>" after iteration i (1-based), "error_inf" (max
   /// deviation from the exact solution). Verification: the residual

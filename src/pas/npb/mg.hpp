@@ -44,6 +44,10 @@ class MgKernel final : public Kernel {
   std::string name() const override { return "MG"; }
   std::string signature() const override;
 
+  /// Control flow never reads the virtual clock and uses no timeouts:
+  /// eligible for the frequency-collapse fast path.
+  bool frequency_invariant_control_flow() const override { return true; }
+
   /// Result values: "residual_0", "residual_<c>" after each V-cycle.
   /// Verification: substantial, monotone residual reduction.
   KernelResult run(mpi::Comm& comm) const override;

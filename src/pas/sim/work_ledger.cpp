@@ -1,0 +1,38 @@
+#include "pas/sim/work_ledger.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pas::sim {
+
+void WorkLedgerRecorder::begin(int nranks, double comm_dvfs_mhz) {
+  if (nranks < 1)
+    throw std::invalid_argument("WorkLedgerRecorder: nranks must be >= 1");
+  ledger_ = WorkLedger{};
+  ledger_.nranks = nranks;
+  ledger_.comm_dvfs_mhz = comm_dvfs_mhz;
+  ledger_.ops.assign(static_cast<std::size_t>(nranks), {});
+  decline_reasons_.assign(static_cast<std::size_t>(nranks), {});
+  enabled_ = true;
+}
+
+WorkLedger WorkLedgerRecorder::take() {
+  enabled_ = false;
+  for (const std::string& reason : decline_reasons_) {
+    if (!reason.empty()) {
+      ledger_.replayable = false;
+      ledger_.decline_reason = reason;
+      break;
+    }
+  }
+  decline_reasons_.clear();
+  return std::exchange(ledger_, WorkLedger{});
+}
+
+void WorkLedgerRecorder::abort() {
+  enabled_ = false;
+  ledger_ = WorkLedger{};
+  decline_reasons_.clear();
+}
+
+}  // namespace pas::sim

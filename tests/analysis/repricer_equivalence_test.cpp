@@ -1,0 +1,367 @@
+// Frequency-collapse fast path (DESIGN.md §10): the Repricer must be
+// EXPECT_EQ-identical — every RunRecord field, bitwise — to a full
+// simulation, for every kernel, size, rank count, and frequency; the
+// executor must take the fast path only when the exactness gate allows
+// it; and ledgers must survive the disk round trip without perturbing a
+// single bit. Suites are named Repricer / ReplayFastPath / LedgerCache
+// so tier1.sh can run exactly this surface under TSan.
+#include "pas/analysis/repricer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/run_cache.hpp"
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/analysis/sweep_executor.hpp"
+#include "pas/fault/fault.hpp"
+#include "pas/npb/cg.hpp"
+#include "pas/npb/ep.hpp"
+#include "pas/npb/ft.hpp"
+#include "pas/npb/lu.hpp"
+#include "pas/npb/mg.hpp"
+#include "pas/obs/metrics.hpp"
+#include "pas/obs/observer.hpp"
+#include "pas/util/cli.hpp"
+
+namespace pas::analysis {
+namespace {
+
+// Bitwise equality across every RunRecord field — "bit-identical to a
+// full run" is the fast path's contract, not an approximation.
+void expect_identical(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.frequency_mhz, b.frequency_mhz);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.mean_overhead_s, b.mean_overhead_s);
+  EXPECT_EQ(a.mean_cpu_s, b.mean_cpu_s);
+  EXPECT_EQ(a.mean_memory_s, b.mean_memory_s);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.energy.cpu_j, b.energy.cpu_j);
+  EXPECT_EQ(a.energy.memory_j, b.energy.memory_j);
+  EXPECT_EQ(a.energy.network_j, b.energy.network_j);
+  EXPECT_EQ(a.energy.idle_j, b.energy.idle_j);
+  EXPECT_EQ(a.messages_per_rank, b.messages_per_rank);
+  EXPECT_EQ(a.doubles_per_message, b.doubles_per_message);
+  EXPECT_EQ(a.executed_per_rank.reg_ops, b.executed_per_rank.reg_ops);
+  EXPECT_EQ(a.executed_per_rank.l1_ops, b.executed_per_rank.l1_ops);
+  EXPECT_EQ(a.executed_per_rank.l2_ops, b.executed_per_rank.l2_ops);
+  EXPECT_EQ(a.executed_per_rank.mem_ops, b.executed_per_rank.mem_ops);
+}
+
+SweepOptions jobs(int n) {
+  SweepOptions o;
+  o.jobs = n;
+  return o;
+}
+
+util::Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return util::Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+// Cheap per-kernel configurations (same scheme as npb/golden_test):
+// variant 0 is small and symmetric, variant 1 larger or asymmetric, so
+// the replay sees different message schedules and decompositions.
+std::unique_ptr<npb::Kernel> make_variant(const std::string& name,
+                                          int variant) {
+  if (name == "EP") {
+    npb::EpConfig cfg;
+    cfg.log2_pairs = variant == 0 ? 12 : 14;
+    return std::make_unique<npb::EpKernel>(cfg);
+  }
+  if (name == "FT") {
+    npb::FtConfig cfg;
+    if (variant == 0) {
+      cfg.nx = cfg.ny = cfg.nz = 16;
+      cfg.niter = 2;
+    } else {
+      cfg.nx = 32;
+      cfg.ny = 16;
+      cfg.nz = 16;
+      cfg.niter = 1;
+    }
+    return std::make_unique<npb::FtKernel>(cfg);
+  }
+  if (name == "LU") {
+    npb::LuConfig cfg;
+    cfg.n = variant == 0 ? 16 : 24;
+    cfg.iterations = variant == 0 ? 3 : 2;
+    return std::make_unique<npb::LuKernel>(cfg);
+  }
+  if (name == "CG") {
+    npb::CgConfig cfg;
+    cfg.n = variant == 0 ? 12 : 16;
+    cfg.iterations = variant == 0 ? 8 : 10;
+    return std::make_unique<npb::CgKernel>(cfg);
+  }
+  npb::MgConfig cfg;
+  if (variant == 0) {
+    cfg.n = 16;
+    cfg.levels = 3;
+    cfg.cycles = 2;
+  } else {
+    cfg.n = 32;
+    cfg.levels = 4;
+    cfg.cycles = 1;
+  }
+  return std::make_unique<npb::MgKernel>(cfg);
+}
+
+// Records one run's ledger through RunMatrix, the same way the
+// executor's fast path does (verified is frequency-invariant and lives
+// on the record, so the recorder's caller copies it over).
+sim::WorkLedger record_ledger(RunMatrix& matrix, const npb::Kernel& kernel,
+                              int nodes, double frequency_mhz,
+                              double comm_dvfs_mhz = 0.0) {
+  matrix.ledger_recorder().begin(nodes, comm_dvfs_mhz);
+  const RunRecord rec =
+      matrix.run_one(kernel, nodes, frequency_mhz, comm_dvfs_mhz);
+  sim::WorkLedger ledger = matrix.ledger_recorder().take();
+  ledger.verified = rec.verified;
+  return ledger;
+}
+
+// Sweep-layer counters only tick for observed sweeps, so the fast-path
+// tests attach a collect-only Observer (no --trace/--metrics export).
+SweepExecutor make_observed_executor(const sim::ClusterConfig& cfg,
+                                     SweepOptions opts) {
+  SweepSpec spec;
+  spec.cluster = cfg;
+  spec.options = opts;
+  spec.observer = std::make_shared<obs::Observer>(obs::ObsOptions{});
+  return SweepExecutor(std::move(spec));
+}
+
+std::uint64_t repriced_count() {
+  return obs::registry()
+      .counter("sweep.points_repriced", obs::Stability::kStable)
+      .value();
+}
+
+std::uint64_t verified_count() {
+  return obs::registry().counter("sweep.points_verified").value();
+}
+
+// The core acceptance grid: all five kernels x two problem sizes x two
+// rank counts x four frequencies. One ledger per (kernel, size, N)
+// column, recorded at the lowest frequency; every frequency of the
+// column — including the recorded one — must re-price bit-identically.
+TEST(Repricer, GridIdenticalToFullSimulationForEveryKernel) {
+  const std::vector<int> rank_counts{2, 4};
+  const std::vector<double> freqs{600, 800, 1200, 1400};
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  RunMatrix matrix(cfg);
+  const Repricer repricer(cfg);
+
+  for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
+    for (int variant : {0, 1}) {
+      const auto kernel = make_variant(name, variant);
+      for (int n : rank_counts) {
+        const sim::WorkLedger ledger =
+            record_ledger(matrix, *kernel, n, freqs.front());
+        EXPECT_TRUE(ledger.replayable) << name << " v" << variant;
+        for (double f : freqs) {
+          SCOPED_TRACE(std::string(name) + " variant " +
+                       std::to_string(variant) + " N=" + std::to_string(n) +
+                       " f=" + std::to_string(f));
+          expect_identical(repricer.reprice(ledger, f),
+                           matrix.run_one(*kernel, n, f));
+        }
+      }
+    }
+  }
+}
+
+// Communication-phase DVFS re-drives the phase state machine from the
+// recorded op stream; the comm operating point itself stays fixed
+// while the application frequency varies.
+TEST(Repricer, CommDvfsColumnIdenticalToFullSimulation) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  RunMatrix matrix(cfg);
+  const Repricer repricer(cfg);
+  const sim::WorkLedger ledger =
+      record_ledger(matrix, *kernel, 4, 800, 600);
+  ASSERT_TRUE(ledger.replayable);
+  ASSERT_EQ(ledger.comm_dvfs_mhz, 600);
+  for (double f : {800.0, 1000.0, 1400.0}) {
+    SCOPED_TRACE(f);
+    expect_identical(repricer.reprice(ledger, f),
+                     matrix.run_one(*kernel, 4, f, 600));
+  }
+}
+
+TEST(Repricer, RejectsNonReplayableLedgerAndUnknownFrequency) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  RunMatrix matrix(cfg);
+  sim::WorkLedger ledger = record_ledger(matrix, *kernel, 2, 600);
+  const Repricer repricer(cfg);
+  // 725 MHz is not an operating point of the paper testbed.
+  EXPECT_THROW(repricer.reprice(ledger, 725), std::out_of_range);
+  ledger.replayable = false;
+  EXPECT_THROW(repricer.reprice(ledger, 600), std::logic_error);
+}
+
+// The executor's fast path: one simulation per column, the rest of the
+// DVFS axis repriced — and still bit-identical to the serial RunMatrix.
+TEST(ReplayFastPath, ExecutorSweepRepricesColumnTailsBitForBit) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("LU", Scale::kSmall);
+  const std::vector<int> nodes{1, 2, 4};
+  const std::vector<double> freqs{600, 1000, 1400};
+
+  RunMatrix serial(cfg);
+  const MatrixResult want = serial.sweep(*kernel, nodes, freqs);
+
+  const std::uint64_t before = repriced_count();
+  SweepExecutor executor = make_observed_executor(cfg, jobs(4));
+  const MatrixResult got = executor.sweep(*kernel, nodes, freqs);
+  // 3 columns x (3 frequencies - 1 recorded) = 6 repriced points.
+  EXPECT_EQ(repriced_count() - before, 6u);
+
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < want.records.size(); ++i)
+    expect_identical(got.records[i], want.records[i]);
+}
+
+// Armed fault injection voids the exactness gate: jitter and fault
+// draws are frequency-coupled, so every point must simulate in full.
+TEST(ReplayFastPath, FaultArmedSweepBypassesFastPath) {
+  sim::ClusterConfig cfg = sim::ClusterConfig::paper_testbed(4);
+  cfg.fault = fault::FaultConfig::scaled(0.05, 42);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const std::uint64_t before = repriced_count();
+  SweepExecutor executor = make_observed_executor(cfg, jobs(2));
+  const MatrixResult result =
+      executor.sweep(*kernel, {1, 2, 4}, {600, 1000, 1400});
+  EXPECT_EQ(repriced_count() - before, 0u);
+  EXPECT_EQ(result.records.size(), 9u);
+}
+
+// --verify-replay re-simulates every repriced point and compares the
+// two records through the cache encoding; on a clean grid it must pass
+// and count one verification per repriced point.
+TEST(ReplayFastPath, VerifyReplayPassesOnCleanGrid) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("CG", Scale::kSmall);
+  SweepOptions opts = jobs(2);
+  opts.verify_replay = true;
+  const std::uint64_t repriced0 = repriced_count();
+  const std::uint64_t verified0 = verified_count();
+  SweepExecutor executor = make_observed_executor(cfg, opts);
+  const MatrixResult result =
+      executor.sweep(*kernel, {2, 4}, {600, 1000, 1400});
+  EXPECT_EQ(result.records.size(), 6u);
+  const std::uint64_t repriced = repriced_count() - repriced0;
+  EXPECT_EQ(repriced, 4u);  // 2 columns x 2 column-tail frequencies
+  EXPECT_EQ(verified_count() - verified0, repriced);
+}
+
+TEST(ReplayFastPath, FromCliRejectsVerifyReplayWithNoCache) {
+  EXPECT_THROW(
+      SweepOptions::from_cli(make_cli({"--verify-replay", "--no-cache"})),
+      std::invalid_argument);
+  EXPECT_TRUE(SweepOptions::from_cli(make_cli({"--verify-replay"}))
+                  .verify_replay);
+  EXPECT_FALSE(SweepOptions::from_cli(make_cli({})).verify_replay);
+}
+
+// Ledger keys are the frequency-independent slice of the run identity:
+// same key across the DVFS axis, distinct keys across everything else.
+TEST(LedgerCache, KeyCollapsesFrequencyOnly) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto ep = make_kernel("EP", Scale::kSmall);
+  const auto ft = make_kernel("FT", Scale::kSmall);
+  const std::string base = RunCache::ledger_key(*ep, cfg, 2, 0);
+  EXPECT_EQ(base, RunCache::ledger_key(*ep, cfg, 2, 0));
+  EXPECT_NE(base, RunCache::ledger_key(*ft, cfg, 2, 0));
+  EXPECT_NE(base, RunCache::ledger_key(*ep, cfg, 4, 0));
+  EXPECT_NE(base, RunCache::ledger_key(*ep, cfg, 2, 600));
+  EXPECT_NE(base, RunCache::ledger_key(
+                      *ep, sim::ClusterConfig::paper_testbed(2), 2, 0));
+}
+
+TEST(LedgerCache, DiskRoundTripReplaysIdentically) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  const std::string dir = testing::TempDir() + "/pasim_ledger_roundtrip";
+  std::filesystem::remove_all(dir);
+
+  RunMatrix matrix(cfg);
+  const sim::WorkLedger fresh = record_ledger(matrix, *kernel, 2, 600);
+  const std::string key = RunCache::ledger_key(*kernel, cfg, 2, 0);
+  {
+    RunCache writer(dir);
+    ASSERT_NE(writer.store_ledger(key, fresh), nullptr);
+  }
+  // A fresh cache (empty memory) must reload the ledger from disk and
+  // re-price to the exact bits of the in-memory original.
+  RunCache reader(dir);
+  const std::shared_ptr<const sim::WorkLedger> loaded =
+      reader.lookup_ledger(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->nranks, fresh.nranks);
+  EXPECT_EQ(loaded->total_ops(), fresh.total_ops());
+  EXPECT_EQ(loaded->verified, fresh.verified);
+  const Repricer repricer(cfg);
+  for (double f : {600.0, 1400.0}) {
+    SCOPED_TRACE(f);
+    expect_identical(repricer.reprice(*loaded, f),
+                     repricer.reprice(fresh, f));
+  }
+}
+
+TEST(LedgerCache, CorruptLedgerIsQuarantinedAndMisses) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  const std::string dir = testing::TempDir() + "/pasim_ledger_quarantine";
+  std::filesystem::remove_all(dir);
+  const std::string key = RunCache::ledger_key(*kernel, cfg, 2, 0);
+
+  RunMatrix matrix(cfg);
+  {
+    RunCache writer(dir);
+    ASSERT_NE(
+        writer.store_ledger(key, record_ledger(matrix, *kernel, 2, 600)),
+        nullptr);
+  }
+  std::filesystem::path entry;
+  for (const auto& f : std::filesystem::directory_iterator(dir))
+    if (f.path().extension() == ".ledger") entry = f.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::FILE* f = std::fopen(entry.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("pasim-run-ledger v3\ntruncated mid-write", f);
+    std::fclose(f);
+  }
+  RunCache reader(dir);
+  EXPECT_EQ(reader.lookup_ledger(key), nullptr);
+  EXPECT_TRUE(std::filesystem::exists(entry.string() + ".bad"));
+}
+
+TEST(LedgerCache, NonReplayableLedgerIsNeverStored) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("EP", Scale::kSmall);
+  RunMatrix matrix(cfg);
+  sim::WorkLedger ledger = record_ledger(matrix, *kernel, 2, 600);
+  ledger.replayable = false;
+  ledger.decline_reason = "synthetic decline";
+  RunCache cache;
+  const std::string key = RunCache::ledger_key(*kernel, cfg, 2, 0);
+  EXPECT_EQ(cache.store_ledger(key, std::move(ledger)), nullptr);
+  EXPECT_EQ(cache.lookup_ledger(key), nullptr);
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -199,9 +199,9 @@ TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
   opts.cache_dir = dir;
   SweepExecutor executor(cfg, power::PowerModel(), opts);
   const RunRecord fresh = executor.run_one(*kernel, 2, 1000);
-  // Rewrite the entry as a *valid* v2 file holding a different key: an
-  // fnv1a filename collision, not corruption. It must stay untouched
-  // (the other key's owner still needs it) and simply miss.
+  // Rewrite the entry as a *valid* current-version file holding a
+  // different key: an fnv1a filename collision, not corruption. It must
+  // stay untouched (the other key's owner still needs it) and miss.
   std::filesystem::path entry;
   for (const auto& e : std::filesystem::directory_iterator(dir))
     if (e.path().extension() == ".run") entry = e.path();
@@ -209,7 +209,7 @@ TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
   {
     std::FILE* out = std::fopen(entry.c_str(), "w");
     ASSERT_NE(out, nullptr);
-    std::fputs("pasim-run-cache v2\nkey v2|someone-elses-point\n", out);
+    std::fputs("pasim-run-cache v3\nkey v3|someone-elses-point\n", out);
     std::fclose(out);
   }
   SweepExecutor again(cfg, power::PowerModel(), opts);
