@@ -14,6 +14,7 @@
 //   ./bench/full_report --out report_dir [--small] [--jobs N]
 //                       [--cache [dir]] [--no-cache]
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include "pas/core/baseline_models.hpp"
 #include "pas/core/isoefficiency.hpp"
 #include "pas/core/workload_fit.hpp"
+#include "pas/obs/metrics.hpp"
 #include "pas/obs/observer.hpp"
 #include "pas/tools/membench.hpp"
 #include "pas/util/cli.hpp"
@@ -169,8 +171,20 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  std::printf("wall time %.2fs, jobs %d, run cache: %s\n", wall_s,
-              executor.jobs(), executor.cache().stats_string().c_str());
+  // Batched-replay shape (DESIGN.md §11): how many DVFS lanes each
+  // simulated column amortized. The counters tick engine-independently,
+  // so the ratio is comparable between batched and scalar runs.
+  const std::uint64_t lanes =
+      obs::registry().counter("repricer.batch_lanes").value();
+  const std::uint64_t columns = obs::registry().counter("repricer.columns").value();
+  std::string reprice;
+  if (columns > 0)
+    reprice = util::strf(", repriced %.1f lanes/column",
+                         static_cast<double>(lanes) /
+                             static_cast<double>(columns));
+  std::printf("wall time %.2fs, jobs %d, run cache: %s%s\n", wall_s,
+              executor.jobs(), executor.cache().stats_string().c_str(),
+              reprice.c_str());
   if (!obs::export_and_report(executor.observer())) return 1;
   return report.write_failed ? 1 : 0;
 }

@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "pas/analysis/batch_repricer.hpp"
 #include "pas/analysis/experiment.hpp"
+#include "pas/analysis/repricer.hpp"
 #include "pas/mpi/mailbox.hpp"
 #include "pas/npb/fft.hpp"
 #include "pas/sim/cache_sim.hpp"
@@ -187,6 +189,56 @@ void BM_AlltoallPayloads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * nranks * 4);
 }
 BENCHMARK(BM_AlltoallPayloads)->Arg(4)->Arg(8);
+
+/// One recorded column ledger for the repricing benchmarks (FT small at
+/// N=4: a communication-heavy op stream, the repricer's worst case).
+const sim::WorkLedger& bench_ledger() {
+  static const sim::WorkLedger ledger = [] {
+    const auto ft = analysis::make_kernel("FT", analysis::Scale::kSmall);
+    analysis::RunMatrix matrix(sim::ClusterConfig::paper_testbed(4));
+    matrix.ledger_recorder().begin(4, 0.0);
+    const analysis::RunRecord rec = matrix.run_one(*ft, 4, 600);
+    sim::WorkLedger led = matrix.ledger_recorder().take();
+    led.verified = rec.verified;
+    return led;
+  }();
+  return ledger;
+}
+
+std::vector<double> lane_freqs(int lanes) {
+  constexpr double kGrid[5] = {600, 800, 1000, 1200, 1400};
+  std::vector<double> freqs;
+  freqs.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) freqs.push_back(kGrid[i % 5]);
+  return freqs;
+}
+
+/// Scalar reference: one full replay per frequency.
+void BM_ScalarReprice(benchmark::State& state) {
+  const sim::WorkLedger& ledger = bench_ledger();
+  const analysis::Repricer repricer(sim::ClusterConfig::paper_testbed(4));
+  const std::vector<double> freqs =
+      lane_freqs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (double f : freqs)
+      benchmark::DoNotOptimize(repricer.reprice(ledger, f).seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScalarReprice)->Arg(1)->Arg(4)->Arg(12);
+
+/// Batched engine: one forward pass prices every lane (DESIGN.md §11).
+/// Items = lanes, so items/s is directly comparable to BM_ScalarReprice.
+void BM_BatchReprice(benchmark::State& state) {
+  const sim::WorkLedger& ledger = bench_ledger();
+  const analysis::BatchRepricer repricer(sim::ClusterConfig::paper_testbed(4));
+  const std::vector<double> freqs =
+      lane_freqs(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(repricer.reprice(ledger, freqs).size());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchReprice)->Arg(1)->Arg(4)->Arg(12);
 
 void BM_SpPrediction(benchmark::State& state) {
   core::SimplifiedParameterization sp(600);

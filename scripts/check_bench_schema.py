@@ -27,6 +27,8 @@ REQUIRED_BENCHMARKS = (
     "BM_MailboxMatchDepth",
     "BM_MailboxContention",
     "BM_AlltoallPayloads",
+    "BM_ScalarReprice",
+    "BM_BatchReprice",
 )
 
 

@@ -96,6 +96,27 @@ cmp "$REPLAY_DIR/cold.out" "$REPLAY_DIR/warm.out"
 cmp "$REPLAY_DIR/cold.csv" "$REPLAY_DIR/warm.csv"
 echo "frequency-collapse replay OK (cold/warm byte-identical)"
 
+echo "== tier 1: batch replay =="
+# The batched repricing engine (DESIGN.md §11): lane equivalence under
+# TSan when available (one column task prices many lanes at once), then
+# a byte-compare of whole sweep artifacts — batched engine vs the
+# scalar oracle forced by PASIM_SCALAR_REPRICE=1 — at jobs 8.
+BATCH_FILTER='BatchRepricer.*:BatchedSweep.*'
+if have_sanitizer thread; then
+  ./build-tsan/tests/analysis_test --gtest_filter="$BATCH_FILTER"
+else
+  ./build/tests/analysis_test --gtest_filter="$BATCH_FILTER"
+fi
+BATCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR"' EXIT
+./build/bench/fig2_ft_surface --small --jobs 8 --no-cache \
+  --csv "$BATCH_DIR/batched.csv" > "$BATCH_DIR/batched.out"
+PASIM_SCALAR_REPRICE=1 ./build/bench/fig2_ft_surface --small --jobs 8 \
+  --no-cache --csv "$BATCH_DIR/scalar.csv" > "$BATCH_DIR/scalar.out"
+cmp "$BATCH_DIR/batched.out" "$BATCH_DIR/scalar.out"
+cmp "$BATCH_DIR/batched.csv" "$BATCH_DIR/scalar.csv"
+echo "batch replay OK (batched/scalar byte-identical at --jobs 8)"
+
 echo "== tier 1: fault + error paths under ASan =="
 if have_sanitizer address; then
   cmake -B build-asan -S . -DPASIM_SANITIZE=address >/dev/null

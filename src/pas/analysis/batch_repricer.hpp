@@ -1,0 +1,68 @@
+// BatchRepricer — one forward pass over a charged-work ledger that
+// prices every requested DVFS operating point simultaneously
+// (DESIGN.md §11).
+//
+// The scalar Repricer replays a ledger once per operating point, so a
+// 12-frequency column walks the same op streams 11 times. This engine
+// exploits the structure of the replay instead: message matching is
+// FIFO per (src, dst, tag) and a receive blocks only on an empty
+// channel — both facts independent of frequency — so every lane
+// (operating point) follows the *same* op schedule and only the priced
+// seconds differ. State that varies per lane (clocks, port busy-until
+// times, per-operating-point activity buckets) lives in
+// structure-of-arrays vectors indexed [rank * lanes + lane], making the
+// per-op inner loop over lanes branch-uniform; state that is
+// frequency-invariant (channel queues, message counts, executed
+// instruction mixes, the comm-phase flag) is kept once and shared.
+//
+// Exactness contract: each lane runs the identical arithmetic the
+// scalar Repricer (and the full simulator) runs, in the identical
+// order — frequency-invariant terms (ON-chip cycle counts, wire
+// serialization seconds) are hoisted and computed once per op, but the
+// per-lane operations consuming them are the same divisions and
+// multiplications CpuModel::time_split and NetworkFabric::transfer
+// perform, never reassociated or inverted. reprice() therefore returns
+// RunRecords bit-identical to Repricer::reprice at each frequency; the
+// scalar engine stays in the tree as the reference oracle the
+// equivalence tests (BatchRepricer.*) diff against.
+#pragma once
+
+#include <vector>
+
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/power/energy_meter.hpp"
+#include "pas/sim/cluster.hpp"
+#include "pas/sim/trace.hpp"
+#include "pas/sim/work_ledger.hpp"
+
+namespace pas::analysis {
+
+class BatchRepricer {
+ public:
+  explicit BatchRepricer(sim::ClusterConfig cluster,
+                         power::PowerModel power = power::PowerModel());
+
+  const sim::ClusterConfig& cluster() const { return cluster_; }
+
+  /// Replays `ledger` once and returns one RunRecord per entry of
+  /// `freqs_mhz` (index-aligned), each bit-identical to
+  /// Repricer::reprice(ledger, freqs_mhz[i]). `tracers`, when
+  /// non-empty, must have one slot per frequency; lane i's replay
+  /// events (the same set a traced full run records) are emitted into
+  /// tracers[i] when that slot is non-null.
+  ///
+  /// Throws std::logic_error when the ledger is not replayable, its op
+  /// streams are inconsistent, or it has more ranks than the channel
+  /// keys can address; std::out_of_range for a frequency with no
+  /// operating point; std::invalid_argument when `tracers` is
+  /// non-empty but not index-aligned with `freqs_mhz`.
+  std::vector<RunRecord> reprice(
+      const sim::WorkLedger& ledger, const std::vector<double>& freqs_mhz,
+      const std::vector<sim::Tracer*>& tracers = {}) const;
+
+ private:
+  sim::ClusterConfig cluster_;
+  power::EnergyMeter meter_;
+};
+
+}  // namespace pas::analysis

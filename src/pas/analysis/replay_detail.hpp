@@ -1,0 +1,45 @@
+// Internals shared by the scalar Repricer and the batch SoA engine.
+// Both replay the same ledgers through the same matching discipline, so
+// the channel identity must be one definition — a divergence here would
+// let the two engines pair sends and receives differently and silently
+// break the bit-identity contract (DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "pas/util/format.hpp"
+
+namespace pas::analysis::detail {
+
+/// Widest rank id that fits the packed channel key below.
+inline constexpr int kMaxReplayRanks = 0xffff;
+
+/// Exact-match channel id: sends and receives pair FIFO per
+/// (src, dst, tag), mirroring the mailbox's matching discipline. All
+/// three fields are masked to their bit windows symmetrically — src and
+/// dst to 16 bits, tag to 32 — and replay entry points reject ledgers
+/// with more than kMaxReplayRanks ranks, so distinct channels can never
+/// alias.
+inline std::uint64_t channel_key(int src, int dst, int tag) {
+  return ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) &
+           0xffff)
+          << 48) |
+         ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) &
+           0xffff)
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+/// Guard used by every replay entry point before any channel key is
+/// formed. Throws std::logic_error on a rank count the key cannot
+/// represent.
+inline void check_replay_rank_count(const char* engine, int nranks) {
+  if (nranks > kMaxReplayRanks)
+    throw std::logic_error(pas::util::strf(
+        "%s: %d ranks exceeds the %d-rank replay limit (channel keys "
+        "pack ranks into 16 bits)",
+        engine, nranks, kMaxReplayRanks));
+}
+
+}  // namespace pas::analysis::detail

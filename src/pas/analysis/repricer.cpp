@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pas/analysis/replay_detail.hpp"
 #include "pas/mpi/communicator.hpp"
 #include "pas/sim/network.hpp"
 #include "pas/util/format.hpp"
@@ -42,14 +43,7 @@ struct RankState {
   std::size_t next = 0;  ///< next op index in the rank's stream
 };
 
-/// Exact-match channel id: sends and receives pair FIFO per
-/// (src, dst, tag), mirroring the mailbox's matching discipline.
-std::uint64_t channel_key(int src, int dst, int tag) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) |
-         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xffff)
-          << 32) |
-         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
-}
+using detail::channel_key;
 
 /// Mirrors Comm::enter_comm_phase (fault jitter is zero on the fast
 /// path — ledgers are only recorded with faults disarmed).
@@ -99,8 +93,9 @@ RunRecord Repricer::reprice(const sim::WorkLedger& ledger,
         ledger.decline_reason.empty() ? "no reason recorded"
                                       : ledger.decline_reason.c_str()));
   const int n = ledger.nranks;
-  if (n < 1 || ledger.ops.size() != static_cast<std::size_t>(n))
+  if (n < 1 || ledger.rank_spans.size() != static_cast<std::size_t>(n))
     throw std::logic_error("Repricer: malformed ledger");
+  detail::check_replay_rank_count("Repricer", n);
 
   // The same fabric code the live run books transfers through; replay
   // is single-threaded so its mutex never contends.
@@ -122,8 +117,7 @@ RunRecord Repricer::reprice(const sim::WorkLedger& ledger,
   // Executes the op at rs.next; returns false when it is a receive
   // blocked on an empty channel.
   const auto step = [&](int rank, RankState& rs) -> bool {
-    const sim::WorkOp& op =
-        ledger.ops[static_cast<std::size_t>(rank)][rs.next];
+    const sim::WorkOp& op = ledger.rank_ops(rank)[rs.next];
     switch (op.kind) {
       case sim::WorkOp::Kind::kCompute: {
         exit_comm_phase(rs, rank, cluster_, tracer);
@@ -226,16 +220,15 @@ RunRecord Repricer::reprice(const sim::WorkLedger& ledger,
     all_done = true;
     for (int r = 0; r < n; ++r) {
       RankState& rs = *ranks[static_cast<std::size_t>(r)];
-      const std::size_t count = ledger.ops[static_cast<std::size_t>(r)].size();
+      const std::size_t count = ledger.rank_size(r);
       while (rs.next < count && step(r, rs)) progress = true;
       if (rs.next < count) all_done = false;
     }
     if (!all_done && !progress) {
       for (int r = 0; r < n; ++r) {
         const RankState& rs = *ranks[static_cast<std::size_t>(r)];
-        const auto& ops = ledger.ops[static_cast<std::size_t>(r)];
-        if (rs.next >= ops.size()) continue;
-        const sim::WorkOp& op = ops[rs.next];
+        if (rs.next >= ledger.rank_size(r)) continue;
+        const sim::WorkOp& op = ledger.rank_ops(r)[rs.next];
         throw std::logic_error(pas::util::strf(
             "Repricer: replay stalled — rank %d blocked on recv<-%d tag %d "
             "with no matching send in the ledger",

@@ -418,17 +418,23 @@ std::shared_ptr<const sim::WorkLedger> RunCache::lookup_ledger(
                 return false;
               ledger->nranks = nranks;
               ledger->verified = verified != 0.0;
-              ledger->ops.assign(static_cast<std::size_t>(nranks), {});
+              ledger->rank_spans.assign(static_cast<std::size_t>(nranks), {});
               for (int r = 0; r < nranks; ++r) {
                 int rank = -1;
                 std::size_t nops = 0;
                 if (!(in >> name >> rank >> nops) || name != "rank" ||
                     rank != r)
                   return false;
-                auto& ops = ledger->ops[static_cast<std::size_t>(r)];
-                ops.resize(nops);
+                // The per-rank streams land back to back in the arena;
+                // a truncated file fails an op parse mid-span and the
+                // whole ledger is rejected (then quarantined below).
+                auto& span = ledger->rank_spans[static_cast<std::size_t>(r)];
+                span.offset = ledger->arena.size();
+                span.count = nops;
+                ledger->arena.resize(span.offset + nops);
                 for (std::size_t i = 0; i < nops; ++i) {
-                  if (!get_op(in, &ops[i])) return false;
+                  if (!get_op(in, &ledger->arena[span.offset + i]))
+                    return false;
                 }
               }
               if (!(in >> name) || name != "end") return false;
@@ -497,9 +503,10 @@ std::shared_ptr<const sim::WorkLedger> RunCache::store_ledger(
     out << "comm_dvfs " << buf << '\n';
     out << "verified " << (shared->verified ? 1 : 0) << '\n';
     for (int r = 0; r < shared->nranks; ++r) {
-      const auto& ops = shared->ops[static_cast<std::size_t>(r)];
-      out << "rank " << r << ' ' << ops.size() << '\n';
-      for (const sim::WorkOp& op : ops) put_op(out, op);
+      const std::size_t nops = shared->rank_size(r);
+      out << "rank " << r << ' ' << nops << '\n';
+      const sim::WorkOp* ops = shared->rank_ops(r);
+      for (std::size_t i = 0; i < nops; ++i) put_op(out, ops[i]);
     }
     out << "end\n";
   }

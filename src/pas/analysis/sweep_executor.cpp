@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "pas/analysis/batch_repricer.hpp"
 #include "pas/analysis/repricer.hpp"
 #include "pas/obs/metrics.hpp"
 #include "pas/util/cli.hpp"
@@ -137,6 +138,10 @@ SweepExecutor::SweepExecutor(SweepSpec spec)
       use_cache_(spec.options.use_cache),
       run_retries_(spec.options.run_retries),
       verify_replay_(spec.options.verify_replay),
+      scalar_reprice_([] {
+        const char* v = std::getenv("PASIM_SCALAR_REPRICE");
+        return v != nullptr && *v != '\0' && std::string(v) != "0";
+      }()),
       observer_(std::move(spec.observer)) {
   if (spec.fault) cluster_.fault = *spec.fault;
   if (observer_) observer_->set_power_model(power_);
@@ -296,7 +301,39 @@ RunRecord SweepExecutor::reprice_point(const npb::Kernel& kernel,
       "(repriced)",
       kernel.name().c_str(), p.nodes, p.frequency_mhz, rec.seconds,
       rec.mean_overhead_s, rec.energy.total_j(), rec.verified ? 1 : 0));
+  note_repriced_lanes(ctx, 1, ledger.total_ops());
   return rec;
+}
+
+void SweepExecutor::note_repriced_lanes(const ObsCtx* ctx, std::size_t lanes,
+                                        std::size_t ops) {
+  (void)ctx;
+  namespace o = pas::obs;
+  // Lane totals are a function of the grid and cache contents alone —
+  // the batched engine prices a column's lanes in one call, the scalar
+  // engine one per point, and both sum to the same values at any
+  // --jobs, so the rows are stable. Ticked with or without an observer
+  // (counters are process-global and cost one relaxed add): the
+  // full_report summary derives lanes-per-column from them even when
+  // nothing is exported.
+  static o::Counter& batch_lanes =
+      o::registry().counter("repricer.batch_lanes", o::Stability::kStable);
+  static o::Counter& ops_replayed =
+      o::registry().counter("repricer.ops_replayed", o::Stability::kStable);
+  batch_lanes.add(static_cast<std::uint64_t>(lanes));
+  ops_replayed.add(static_cast<std::uint64_t>(ops));
+}
+
+void SweepExecutor::note_ledger_resolved(const ObsCtx* ctx,
+                                         const sim::WorkLedger& ledger) {
+  (void)ctx;
+  namespace o = pas::obs;
+  static o::Counter& ledger_bytes =
+      o::registry().counter("repricer.ledger_bytes", o::Stability::kStable);
+  static o::Counter& columns =
+      o::registry().counter("repricer.columns", o::Stability::kStable);
+  ledger_bytes.add(static_cast<std::uint64_t>(ledger.arena_bytes()));
+  columns.add();
 }
 
 RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
@@ -323,6 +360,7 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
         col->cache_checked = true;
         col->ledger = cache_.lookup_ledger(RunCache::ledger_key(
             kernel, cluster_, p.nodes, p.comm_dvfs_mhz));
+        if (col->ledger) note_ledger_resolved(ctx, *col->ledger);
       }
       ledger = col->ledger.get();
     }
@@ -343,9 +381,11 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
         col->ledger = cache_.store_ledger(
             RunCache::ledger_key(kernel, cluster_, p.nodes, p.comm_dvfs_mhz),
             std::move(fresh));
+        if (col->ledger) note_ledger_resolved(ctx, *col->ledger);
       } else {
         col->ledger =
             std::make_shared<const sim::WorkLedger>(std::move(fresh));
+        note_ledger_resolved(ctx, *col->ledger);
       }
     } else {
       rec = simulate_failsoft(kernel, p, ctx);
@@ -355,9 +395,18 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
     if (use_cache_ && !rec.failed()) cache_.store(key, rec);
   }
 
+  note_point(kernel, p, ctx, rec, from_cache, repriced,
+             wall_seconds() - wall_t0);
+  return rec;
+}
+
+void SweepExecutor::note_point(const npb::Kernel& kernel, const Point& p,
+                               const ObsCtx* ctx, const RunRecord& rec,
+                               bool from_cache, bool repriced,
+                               double elapsed_s) {
   static obs::Histogram& point_wall =
       obs::registry().histogram("sweep.point_wall_seconds");
-  point_wall.observe(wall_seconds() - wall_t0);
+  point_wall.observe(elapsed_s);
 
   if (ctx != nullptr && observer_) {
     // Stable counters derive from the canonical records only: integer
@@ -388,7 +437,162 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
         ctx->sweep, ctx->index,
         make_report_point(kernel.name(), p.comm_dvfs_mhz, rec, from_cache));
   }
-  return rec;
+}
+
+void SweepExecutor::run_column(const npb::Kernel& kernel,
+                               const std::vector<Point>& points,
+                               const std::vector<std::size_t>& members,
+                               const ObsCtx* ctx_of, ColumnState& col,
+                               std::vector<RunRecord>& records) {
+  if (scalar_reprice_) {
+    // Reference path: every point prices through the scalar Repricer.
+    for (const std::size_t i : members)
+      records[i] = run_point(kernel, points[i],
+                             ctx_of ? &ctx_of[i] : nullptr, &col);
+    return;
+  }
+
+  // Pass 1, in grid order: cached points resolve immediately; the
+  // column's ledger is resolved (loaded, or recorded by simulating the
+  // first miss in full); every remaining frequency is deferred into one
+  // batched replay. The per-point outcomes — which point simulates,
+  // which reprices, which hits the record cache — are identical to the
+  // scalar path's by construction.
+  struct Pending {
+    std::size_t index;
+    std::string key;
+  };
+  std::vector<Pending> todo;
+  for (const std::size_t i : members) {
+    const Point& p = points[i];
+    const ObsCtx* ctx = ctx_of ? &ctx_of[i] : nullptr;
+    const double wall_t0 = wall_seconds();
+    std::string key;
+    if (use_cache_)
+      key = RunCache::key(kernel, cluster_, power_, p.nodes, p.frequency_mhz,
+                          p.comm_dvfs_mhz);
+    if (std::optional<RunRecord> cached =
+            use_cache_ ? cache_.lookup(key) : std::nullopt) {
+      records[i] = std::move(*cached);
+      note_point(kernel, p, ctx, records[i], true, false,
+                 wall_seconds() - wall_t0);
+      continue;
+    }
+    if (!col.recording_declined) {
+      if (!col.ledger && use_cache_ && !col.cache_checked) {
+        col.cache_checked = true;
+        col.ledger = cache_.lookup_ledger(RunCache::ledger_key(
+            kernel, cluster_, p.nodes, p.comm_dvfs_mhz));
+        if (col.ledger) note_ledger_resolved(ctx, *col.ledger);
+      }
+      if (col.ledger) {
+        todo.push_back(Pending{i, std::move(key)});
+        continue;
+      }
+      sim::WorkLedger fresh;
+      RunRecord rec = simulate_failsoft(kernel, p, ctx, &fresh);
+      if (rec.failed() || !fresh.replayable) {
+        col.recording_declined = true;
+        if (!rec.failed() && !fresh.decline_reason.empty())
+          util::log_info(util::strf(
+              "%s N=%d: charged-work recording declined (%s); the column "
+              "simulates in full",
+              kernel.name().c_str(), p.nodes, fresh.decline_reason.c_str()));
+      } else if (use_cache_) {
+        col.ledger = cache_.store_ledger(
+            RunCache::ledger_key(kernel, cluster_, p.nodes, p.comm_dvfs_mhz),
+            std::move(fresh));
+        if (col.ledger) note_ledger_resolved(ctx, *col.ledger);
+      } else {
+        col.ledger = std::make_shared<const sim::WorkLedger>(std::move(fresh));
+        note_ledger_resolved(ctx, *col.ledger);
+      }
+      if (use_cache_ && !rec.failed()) cache_.store(key, rec);
+      records[i] = std::move(rec);
+      note_point(kernel, p, ctx, records[i], false, false,
+                 wall_seconds() - wall_t0);
+      continue;
+    }
+    RunRecord rec = simulate_failsoft(kernel, p, ctx);
+    if (use_cache_ && !rec.failed()) cache_.store(key, rec);
+    records[i] = std::move(rec);
+    note_point(kernel, p, ctx, records[i], false, false,
+               wall_seconds() - wall_t0);
+  }
+  if (todo.empty()) return;
+
+  // Pass 2: one BatchRepricer call prices every deferred frequency
+  // simultaneously (DESIGN.md §11) — records and trace events are
+  // bit-identical to the scalar engine's, lane by lane.
+  const double batch_t0 = wall_seconds();
+  const bool tracing = observer_ && observer_->tracing() && ctx_of != nullptr;
+  std::vector<double> freqs;
+  freqs.reserve(todo.size());
+  for (const Pending& t : todo)
+    freqs.push_back(points[t.index].frequency_mhz);
+  std::vector<std::unique_ptr<sim::Tracer>> sinks;
+  std::vector<sim::Tracer*> tracer_ptrs;
+  if (tracing) {
+    sinks.reserve(todo.size());
+    for (std::size_t j = 0; j < todo.size(); ++j) {
+      sinks.push_back(std::make_unique<sim::Tracer>());
+      sinks.back()->enable();
+      tracer_ptrs.push_back(sinks.back().get());
+    }
+  }
+  const BatchRepricer repricer(cluster_, power_);
+  std::vector<RunRecord> repriced =
+      repricer.reprice(*col.ledger, freqs, tracer_ptrs);
+  note_repriced_lanes(ctx_of ? &ctx_of[todo.front().index] : nullptr,
+                      todo.size(), col.ledger->total_ops() * todo.size());
+  // The batch call's wall cost is shared; attribute an equal share to
+  // each lane's histogram sample.
+  const double batch_share =
+      (wall_seconds() - batch_t0) / static_cast<double>(todo.size());
+
+  // Pass 3, in grid order: per-point trace harvest, verification, log
+  // line, record-cache store and observer notification — the same
+  // per-point epilogue reprice_point runs on the scalar path.
+  for (std::size_t j = 0; j < todo.size(); ++j) {
+    const std::size_t i = todo[j].index;
+    const Point& p = points[i];
+    const ObsCtx* ctx = ctx_of ? &ctx_of[i] : nullptr;
+    const double point_t0 = wall_seconds();
+    RunRecord& rec = repriced[j];
+    if (tracing && ctx != nullptr) {
+      obs::RunTrace trace;
+      trace.nranks = p.nodes;
+      trace.frequency_mhz = p.frequency_mhz;
+      trace.op = cluster_.operating_points.at_mhz(p.frequency_mhz);
+      trace.makespan_s = rec.seconds;
+      trace.events = sinks[j]->events();
+      trace.wall_s = observer_->wall_now_s();
+      observer_->record_run_trace(ctx->sweep, ctx->index, std::move(trace));
+    }
+    if (verify_replay_) {
+      const RunRecord fresh = simulate_failsoft(kernel, p, nullptr);
+      const std::string repriced_bytes = RunCache::encode_record(rec);
+      const std::string simulated_bytes = RunCache::encode_record(fresh);
+      if (repriced_bytes != simulated_bytes)
+        throw std::runtime_error(util::strf(
+            "--verify-replay: repriced record differs from full simulation "
+            "at %s N=%d f=%.0fMHz\n--- repriced ---\n%s--- simulated ---\n%s",
+            kernel.name().c_str(), p.nodes, p.frequency_mhz,
+            repriced_bytes.c_str(), simulated_bytes.c_str()));
+      static obs::Counter& verified_points =
+          obs::registry().counter("sweep.points_verified");
+      verified_points.add();
+    }
+    util::log_info(util::strf(
+        "%s N=%d f=%.0fMHz: T=%.4fs, overhead=%.4fs, E=%.1fJ, verified=%d "
+        "(repriced)",
+        kernel.name().c_str(), p.nodes, p.frequency_mhz, rec.seconds,
+        rec.mean_overhead_s, rec.energy.total_j(), rec.verified ? 1 : 0));
+    if (use_cache_ && !rec.failed()) cache_.store(todo[j].key, rec);
+    records[i] = std::move(rec);
+    note_point(kernel, p, ctx, records[i], false, true,
+               batch_share + (wall_seconds() - point_t0));
+  }
 }
 
 RunRecord SweepExecutor::run_one(const npb::Kernel& kernel, int nodes,
@@ -468,19 +672,17 @@ std::vector<RunRecord> SweepExecutor::run_points(
     }
   }
   std::vector<ColumnState> cols(columns.size());
-  const auto run_column = [&](std::size_t c) {
-    for (const std::size_t i : columns[c])
-      records[i] = run_point(kernel, points[i],
-                             ctx_of ? &ctx_of[i] : nullptr, &cols[c]);
+  const auto run_col = [&](std::size_t c) {
+    run_column(kernel, points, columns[c], ctx_of, cols[c], records);
   };
   if (columns.size() <= 1 || pool_.max_threads() == 1) {
-    for (std::size_t c = 0; c < columns.size(); ++c) run_column(c);
+    for (std::size_t c = 0; c < columns.size(); ++c) run_col(c);
     return records;
   }
   std::vector<std::future<void>> done;
   done.reserve(columns.size());
   for (std::size_t c = 0; c < columns.size(); ++c)
-    done.push_back(pool_.submit([&run_column, c] { run_column(c); }));
+    done.push_back(pool_.submit([&run_col, c] { run_col(c); }));
   std::exception_ptr first;
   for (std::future<void>& f : done) {
     try {

@@ -185,6 +185,26 @@ class SweepExecutor {
   };
   RunRecord run_point(const npb::Kernel& kernel, const Point& p,
                       const ObsCtx* ctx, ColumnState* col = nullptr);
+  /// Runs one fast-path column: cached and first-simulated points are
+  /// handled in grid order, then every remaining frequency is priced by
+  /// ONE BatchRepricer pass (DESIGN.md §11). $PASIM_SCALAR_REPRICE=1
+  /// falls back to per-point scalar repricing (the reference engine) —
+  /// tier1.sh diffs the two paths' artifacts byte-for-byte.
+  void run_column(const npb::Kernel& kernel, const std::vector<Point>& points,
+                  const std::vector<std::size_t>& members,
+                  const ObsCtx* ctx_of, ColumnState& col,
+                  std::vector<RunRecord>& records);
+  /// Per-point observer accounting (wall histogram, stable counters,
+  /// report point), shared by the scalar and batched paths.
+  void note_point(const npb::Kernel& kernel, const Point& p, const ObsCtx* ctx,
+                  const RunRecord& rec, bool from_cache, bool repriced,
+                  double elapsed_s);
+  /// Stable replay counters. Totals are engine-independent by
+  /// construction: the scalar path adds one lane per repriced point,
+  /// the batched path adds all of a column's lanes at once.
+  void note_repriced_lanes(const ObsCtx* ctx, std::size_t lanes,
+                           std::size_t ops);
+  void note_ledger_resolved(const ObsCtx* ctx, const sim::WorkLedger& ledger);
   RunRecord simulate_failsoft(const npb::Kernel& kernel, const Point& p,
                               const ObsCtx* ctx,
                               sim::WorkLedger* ledger_out = nullptr);
@@ -203,6 +223,8 @@ class SweepExecutor {
   bool use_cache_;
   int run_retries_;
   bool verify_replay_;
+  /// $PASIM_SCALAR_REPRICE: force per-point scalar repricing.
+  bool scalar_reprice_;
   std::shared_ptr<obs::Observer> observer_;
   /// RunMatrix instances (each with its own Runtime + rank pool) are
   /// leased per task and reused, so a sweep touches at most `jobs`

@@ -47,22 +47,6 @@ void CpuModel::set_perf_scale(double scale) {
   perf_scale_ = scale;
 }
 
-double CpuModel::on_chip_cycles(const InstructionMix& mix) const {
-  const double per_ins_overhead = cfg_.issue_overhead_cpi * mix.total();
-  return mix.reg_ops * cfg_.reg_cpi + mix.l1_ops * cfg_.l1_cpi +
-         mix.l2_ops * cfg_.l2_cpi + per_ins_overhead;
-}
-
-CpuModel::TimeSplit CpuModel::time_split(const InstructionMix& mix) const {
-  // frequency_hz() folds in perf_scale: a straggler's clock *and* bus
-  // run slower, so both terms stretch by 1/scale (the bus-slowdown
-  // threshold still sees the effective frequency).
-  TimeSplit split;
-  split.on_chip_s = on_chip_cycles(mix) / frequency_hz();
-  split.off_chip_s = mix.mem_ops * seconds_per_mem_op();
-  return split;
-}
-
 double CpuModel::time_for(const InstructionMix& mix) const {
   return time_split(mix).total();
 }

@@ -94,8 +94,14 @@ class CpuModel {
   void set_perf_scale(double scale);
   double perf_scale() const { return perf_scale_; }
 
-  /// ON-chip cycles consumed by `mix` (frequency-independent).
-  double on_chip_cycles(const InstructionMix& mix) const;
+  /// ON-chip cycles consumed by `mix` (frequency-independent). Inline:
+  /// the batch repricer hoists this out of its per-lane loop, pricing
+  /// the cycle count once per op and dividing per lane.
+  double on_chip_cycles(const InstructionMix& mix) const {
+    const double per_ins_overhead = cfg_.issue_overhead_cpi * mix.total();
+    return mix.reg_ops * cfg_.reg_cpi + mix.l1_ops * cfg_.l1_cpi +
+           mix.l2_ops * cfg_.l2_cpi + per_ins_overhead;
+  }
 
   /// Virtual seconds for `mix` at the current operating point.
   double time_for(const InstructionMix& mix) const;
@@ -106,7 +112,26 @@ class CpuModel {
     double off_chip_s = 0.0;
     double total() const { return on_chip_s + off_chip_s; }
   };
-  TimeSplit time_split(const InstructionMix& mix) const;
+  TimeSplit time_split(const InstructionMix& mix) const {
+    // frequency_hz() folds in perf_scale: a straggler's clock *and* bus
+    // run slower, so both terms stretch by 1/scale (the bus-slowdown
+    // threshold still sees the effective frequency).
+    return split_at(on_chip_cycles(mix), mix.mem_ops, frequency_hz(),
+                    seconds_per_mem_op());
+  }
+
+  /// The frequency-dependent tail of time_split, with the invariant
+  /// inputs (cycle count, mem-op count) already priced: the identical
+  /// two operations time_split performs, exposed so a replay lane can
+  /// run them against its own (f_hz, seconds-per-mem-op) constants and
+  /// stay bit-identical to the live path.
+  static TimeSplit split_at(double on_chip_cycles, double mem_ops,
+                            double f_hz, double seconds_per_mem_op) {
+    TimeSplit split;
+    split.on_chip_s = on_chip_cycles / f_hz;
+    split.off_chip_s = mem_ops * seconds_per_mem_op;
+    return split;
+  }
 
   /// Average ON-chip CPI of a mix (cycles / on-chip instructions).
   double cpi_on(const InstructionMix& mix) const;

@@ -29,36 +29,8 @@ NetworkFabric::Transfer NetworkFabric::transfer(int src, int dst,
   ++total_messages_;
   total_bytes_ += bytes;
 
-  Transfer t;
-  if (src == dst) {
-    // Local loopback: a memcpy-scale cost, no link occupancy.
-    t.tx_start = tx_ready;
-    t.tx_end = tx_ready;
-    t.at_switch = tx_ready + 1e-6;
-    t.rx_ser_s = 0.0;
-    return t;
-  }
-
-  const double ser = cfg_.serialization_s(bytes);
-  const auto s = static_cast<std::size_t>(src);
-  t.rx_ser_s = ser;
-
-  if (!cfg_.model_port_contention) {
-    t.tx_start = tx_ready;
-    t.tx_end = tx_ready + ser;
-    t.at_switch = t.tx_end + cfg_.switch_latency_s;
-    return t;
-  }
-
-  t.tx_start = std::max(tx_ready, tx_busy_[s]);
-  t.tx_end = t.tx_start + ser;
-  tx_busy_[s] = t.tx_end;
-
-  // Store-and-forward: the switch begins forwarding once the message is
-  // fully received; the receiver port serializes it again — booked by
-  // the receiver itself (see header).
-  t.at_switch = t.tx_end + cfg_.switch_latency_s;
-  return t;
+  return book_transfer(cfg_, src, dst, cfg_.serialization_s(bytes), tx_ready,
+                       tx_busy_[static_cast<std::size_t>(src)]);
 }
 
 std::size_t NetworkFabric::total_bytes() const {

@@ -27,6 +27,7 @@
 // decision 1).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <mutex>
 #include <string>
@@ -64,6 +65,57 @@ struct NetworkConfig {
   std::string to_string() const;
 };
 
+/// The booked schedule of one message.
+struct NetworkTransfer {
+  double tx_start = 0.0;   ///< sender NIC begins serializing
+  double tx_end = 0.0;     ///< sender link free again
+  double at_switch = 0.0;  ///< switch begins forwarding (store&forward)
+  double rx_ser_s = 0.0;   ///< receiver-port serialization length
+  /// Arrival assuming an idle receiver port; the receiver applies its
+  /// own port occupancy on top (Comm::complete_recv).
+  double nominal_arrival() const { return at_switch + rx_ser_s; }
+};
+
+/// The booking arithmetic of one transfer, shared verbatim between the
+/// live fabric (NetworkFabric::transfer) and the replay engines: the
+/// repricers must run the *identical* operations to stay bit-identical,
+/// and the batch engine prices `ser` — the frequency-invariant wire
+/// term — once per op, then books each lane against its own
+/// `tx_busy_src` port state. `ser` must be cfg.serialization_s(bytes);
+/// it is a parameter purely so that hoisting is possible.
+inline NetworkTransfer book_transfer(const NetworkConfig& cfg, int src,
+                                     int dst, double ser, double tx_ready,
+                                     double& tx_busy_src) {
+  NetworkTransfer t;
+  if (src == dst) {
+    // Local loopback: a memcpy-scale cost, no link occupancy.
+    t.tx_start = tx_ready;
+    t.tx_end = tx_ready;
+    t.at_switch = tx_ready + 1e-6;
+    t.rx_ser_s = 0.0;
+    return t;
+  }
+
+  t.rx_ser_s = ser;
+
+  if (!cfg.model_port_contention) {
+    t.tx_start = tx_ready;
+    t.tx_end = tx_ready + ser;
+    t.at_switch = t.tx_end + cfg.switch_latency_s;
+    return t;
+  }
+
+  t.tx_start = std::max(tx_ready, tx_busy_src);
+  t.tx_end = t.tx_start + ser;
+  tx_busy_src = t.tx_end;
+
+  // Store-and-forward: the switch begins forwarding once the message is
+  // fully received; the receiver port serializes it again — booked by
+  // the receiver itself (see header comment).
+  t.at_switch = t.tx_end + cfg.switch_latency_s;
+  return t;
+}
+
 /// Port-occupancy state for an n-node star (one full-duplex link per
 /// node into a non-blocking switch). Thread-safe.
 class NetworkFabric {
@@ -73,15 +125,7 @@ class NetworkFabric {
   const NetworkConfig& config() const { return cfg_; }
   int num_nodes() const { return static_cast<int>(tx_busy_.size()); }
 
-  struct Transfer {
-    double tx_start = 0.0;   ///< sender NIC begins serializing
-    double tx_end = 0.0;     ///< sender link free again
-    double at_switch = 0.0;  ///< switch begins forwarding (store&forward)
-    double rx_ser_s = 0.0;   ///< receiver-port serialization length
-    /// Arrival assuming an idle receiver port; the receiver applies its
-    /// own port occupancy on top (Comm::complete_recv).
-    double nominal_arrival() const { return at_switch + rx_ser_s; }
-  };
+  using Transfer = NetworkTransfer;
 
   /// Books a `bytes`-sized message from `src` to `dst`, whose sender
   /// NIC is ready at virtual time `tx_ready`. Returns the booked

@@ -11,7 +11,7 @@ void WorkLedgerRecorder::begin(int nranks, double comm_dvfs_mhz) {
   ledger_ = WorkLedger{};
   ledger_.nranks = nranks;
   ledger_.comm_dvfs_mhz = comm_dvfs_mhz;
-  ledger_.ops.assign(static_cast<std::size_t>(nranks), {});
+  streams_.assign(static_cast<std::size_t>(nranks), {});
   decline_reasons_.assign(static_cast<std::size_t>(nranks), {});
   enabled_ = true;
 }
@@ -25,6 +25,21 @@ WorkLedger WorkLedgerRecorder::take() {
       break;
     }
   }
+  // Splice: one sizing pass, one allocation, then bulk copies — the
+  // rank threads never paid a geometric reallocation.
+  std::size_t total = 0;
+  for (const RankStream& s : streams_)
+    for (const std::vector<WorkOp>& c : s.chunks) total += c.size();
+  ledger_.arena.reserve(total);
+  ledger_.rank_spans.resize(streams_.size());
+  for (std::size_t r = 0; r < streams_.size(); ++r) {
+    WorkLedger::Span& span = ledger_.rank_spans[r];
+    span.offset = ledger_.arena.size();
+    for (const std::vector<WorkOp>& c : streams_[r].chunks)
+      ledger_.arena.insert(ledger_.arena.end(), c.begin(), c.end());
+    span.count = ledger_.arena.size() - span.offset;
+  }
+  streams_.clear();
   decline_reasons_.clear();
   return std::exchange(ledger_, WorkLedger{});
 }
@@ -32,6 +47,7 @@ WorkLedger WorkLedgerRecorder::take() {
 void WorkLedgerRecorder::abort() {
   enabled_ = false;
   ledger_ = WorkLedger{};
+  streams_.clear();
   decline_reasons_.clear();
 }
 

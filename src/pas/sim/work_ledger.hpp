@@ -15,6 +15,14 @@
 // point, which is what makes replayed records bit-identical to full
 // simulation rather than merely close (DESIGN.md §10).
 //
+// Storage is a single contiguous arena of WorkOps grouped by rank,
+// addressed through per-rank spans: the replay engines scan it
+// cache-linearly, and the (batch) repricer's per-op inner loop never
+// chases an outer vector-of-vectors indirection (DESIGN.md §11). The
+// recorder appends into fixed-size per-rank chunks so the rank threads
+// pay no geometric reallocation copies; take() splices the chunks into
+// the arena once, after the pool join.
+//
 // A ledger is only valid for kernels whose control flow is independent
 // of virtual time (npb::Kernel::frequency_invariant_control_flow());
 // the recorder additionally declines when it observes a virtual-time
@@ -97,8 +105,14 @@ struct WorkOp {
   }
 };
 
-/// The per-rank op streams of one recorded run.
+/// The op streams of one recorded run: one flat arena, grouped by rank.
 struct WorkLedger {
+  /// Position of one rank's stream inside the arena.
+  struct Span {
+    std::size_t offset = 0;
+    std::size_t count = 0;
+  };
+
   int nranks = 0;
   /// Communication-phase DVFS point the run was configured with
   /// (0 = disabled); kept for cache-consistency checks — the ops
@@ -111,20 +125,27 @@ struct WorkLedger {
   /// non-replayable ledger must never be priced.
   bool replayable = true;
   std::string decline_reason;
-  /// ops[rank] in that rank's program order.
-  std::vector<std::vector<WorkOp>> ops;
+  /// Every rank's ops, contiguous and rank-grouped; rank_spans[r]
+  /// addresses rank r's stream in that rank's program order.
+  std::vector<WorkOp> arena;
+  std::vector<Span> rank_spans;
 
-  std::size_t total_ops() const {
-    std::size_t n = 0;
-    for (const auto& rank_ops : ops) n += rank_ops.size();
-    return n;
+  const WorkOp* rank_ops(int rank) const {
+    return arena.data() + rank_spans[static_cast<std::size_t>(rank)].offset;
   }
+  std::size_t rank_size(int rank) const {
+    return rank_spans[static_cast<std::size_t>(rank)].count;
+  }
+
+  std::size_t total_ops() const { return arena.size(); }
+  /// Arena footprint (the batch engine's repricer.ledger_bytes metric).
+  std::size_t arena_bytes() const { return arena.size() * sizeof(WorkOp); }
 };
 
 /// Recording sink owned by mpi::Runtime, mirroring the Tracer pattern:
 /// begin() before the rank threads start, take()/abort() after they
-/// join. Each rank appends only to its own stream and decline slot, so
-/// recording needs no locking (the pool join provides the
+/// join. Each rank appends only to its own chunk list and decline slot,
+/// so recording needs no locking (the pool join provides the
 /// synchronization edges).
 class WorkLedgerRecorder {
  public:
@@ -135,7 +156,12 @@ class WorkLedgerRecorder {
 
   /// Appends `op` to `rank`'s stream. Caller must check enabled().
   void record(int rank, WorkOp op) {
-    ledger_.ops[static_cast<std::size_t>(rank)].push_back(op);
+    RankStream& s = streams_[static_cast<std::size_t>(rank)];
+    if (s.chunks.empty() || s.chunks.back().size() == kChunkOps) {
+      s.chunks.emplace_back();
+      s.chunks.back().reserve(kChunkOps);
+    }
+    s.chunks.back().push_back(op);
   }
 
   /// Marks the run as non-replayable (e.g. a virtual-time recv
@@ -145,16 +171,25 @@ class WorkLedgerRecorder {
     decline_reasons_[static_cast<std::size_t>(rank)] = std::move(reason);
   }
 
-  /// Disarms and returns the finished ledger. Per-rank declines are
-  /// merged deterministically (lowest rank wins).
+  /// Disarms, splices the per-rank chunks into the flat arena and
+  /// returns the finished ledger. Per-rank declines are merged
+  /// deterministically (lowest rank wins).
   WorkLedger take();
 
   /// Disarms and discards (failed or abandoned run).
   void abort();
 
  private:
+  /// Chunk capacity: big enough that splicing is a handful of bulk
+  /// copies, small enough that an idle rank wastes little.
+  static constexpr std::size_t kChunkOps = 4096;
+  struct RankStream {
+    std::vector<std::vector<WorkOp>> chunks;
+  };
+
   bool enabled_ = false;
   WorkLedger ledger_;
+  std::vector<RankStream> streams_;
   std::vector<std::string> decline_reasons_;
 };
 

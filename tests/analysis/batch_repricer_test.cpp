@@ -1,0 +1,252 @@
+// Batched frequency repricing (DESIGN.md §11): one BatchRepricer pass
+// over a ledger must be EXPECT_EQ-identical — every RunRecord field and
+// every trace event, bitwise — to the scalar Repricer lane by lane, for
+// every kernel, size, rank count and frequency. The scalar engine is
+// the oracle (it is itself pinned bit-identical to full simulation by
+// repricer_equivalence_test); these suites are named BatchRepricer /
+// BatchedSweep so tier1.sh can run exactly this surface under TSan.
+#include "pas/analysis/batch_repricer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pas/analysis/replay_detail.hpp"
+#include "pas/analysis/repricer.hpp"
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/npb/cg.hpp"
+#include "pas/npb/ep.hpp"
+#include "pas/npb/ft.hpp"
+#include "pas/npb/lu.hpp"
+#include "pas/npb/mg.hpp"
+#include "pas/sim/trace.hpp"
+
+namespace pas::analysis {
+namespace {
+
+void expect_identical(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.frequency_mhz, b.frequency_mhz);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.mean_overhead_s, b.mean_overhead_s);
+  EXPECT_EQ(a.mean_cpu_s, b.mean_cpu_s);
+  EXPECT_EQ(a.mean_memory_s, b.mean_memory_s);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.energy.cpu_j, b.energy.cpu_j);
+  EXPECT_EQ(a.energy.memory_j, b.energy.memory_j);
+  EXPECT_EQ(a.energy.network_j, b.energy.network_j);
+  EXPECT_EQ(a.energy.idle_j, b.energy.idle_j);
+  EXPECT_EQ(a.messages_per_rank, b.messages_per_rank);
+  EXPECT_EQ(a.doubles_per_message, b.doubles_per_message);
+  EXPECT_EQ(a.executed_per_rank.reg_ops, b.executed_per_rank.reg_ops);
+  EXPECT_EQ(a.executed_per_rank.l1_ops, b.executed_per_rank.l1_ops);
+  EXPECT_EQ(a.executed_per_rank.l2_ops, b.executed_per_rank.l2_ops);
+  EXPECT_EQ(a.executed_per_rank.mem_ops, b.executed_per_rank.mem_ops);
+}
+
+// Events must match bitwise AND in order: both engines walk the same
+// round-robin schedule, so lane i's sink fills in the same sequence as
+// a scalar replay at frequency i.
+void expect_identical_events(const std::vector<sim::TraceEvent>& a,
+                             const std::vector<sim::TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].start_s, b[i].start_s);
+    EXPECT_EQ(a[i].duration_s, b[i].duration_s);
+    EXPECT_EQ(a[i].activity, b[i].activity);
+    EXPECT_EQ(a[i].category, b[i].category);
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].instant, b[i].instant);
+  }
+}
+
+// Same per-kernel configurations as repricer_equivalence_test: variant
+// 0 small and symmetric, variant 1 larger or asymmetric.
+std::unique_ptr<npb::Kernel> make_variant(const std::string& name,
+                                          int variant) {
+  if (name == "EP") {
+    npb::EpConfig cfg;
+    cfg.log2_pairs = variant == 0 ? 12 : 14;
+    return std::make_unique<npb::EpKernel>(cfg);
+  }
+  if (name == "FT") {
+    npb::FtConfig cfg;
+    if (variant == 0) {
+      cfg.nx = cfg.ny = cfg.nz = 16;
+      cfg.niter = 2;
+    } else {
+      cfg.nx = 32;
+      cfg.ny = 16;
+      cfg.nz = 16;
+      cfg.niter = 1;
+    }
+    return std::make_unique<npb::FtKernel>(cfg);
+  }
+  if (name == "LU") {
+    npb::LuConfig cfg;
+    cfg.n = variant == 0 ? 16 : 24;
+    cfg.iterations = variant == 0 ? 3 : 2;
+    return std::make_unique<npb::LuKernel>(cfg);
+  }
+  if (name == "CG") {
+    npb::CgConfig cfg;
+    cfg.n = variant == 0 ? 12 : 16;
+    cfg.iterations = variant == 0 ? 8 : 10;
+    return std::make_unique<npb::CgKernel>(cfg);
+  }
+  npb::MgConfig cfg;
+  if (variant == 0) {
+    cfg.n = 16;
+    cfg.levels = 3;
+    cfg.cycles = 2;
+  } else {
+    cfg.n = 32;
+    cfg.levels = 4;
+    cfg.cycles = 1;
+  }
+  return std::make_unique<npb::MgKernel>(cfg);
+}
+
+sim::WorkLedger record_ledger(RunMatrix& matrix, const npb::Kernel& kernel,
+                              int nodes, double frequency_mhz,
+                              double comm_dvfs_mhz = 0.0) {
+  matrix.ledger_recorder().begin(nodes, comm_dvfs_mhz);
+  const RunRecord rec =
+      matrix.run_one(kernel, nodes, frequency_mhz, comm_dvfs_mhz);
+  sim::WorkLedger ledger = matrix.ledger_recorder().take();
+  ledger.verified = rec.verified;
+  return ledger;
+}
+
+// The acceptance grid: all five kernels x two problem sizes x two rank
+// counts x the full paper frequency axis, records AND trace events.
+TEST(BatchRepricer, GridIdenticalToScalarRepricerForEveryKernel) {
+  const std::vector<int> rank_counts{2, 4};
+  const std::vector<double> freqs{600, 800, 1000, 1200, 1400};
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  RunMatrix matrix(cfg);
+  const Repricer scalar(cfg);
+  const BatchRepricer batch(cfg);
+
+  for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
+    for (int variant : {0, 1}) {
+      const auto kernel = make_variant(name, variant);
+      for (int n : rank_counts) {
+        const sim::WorkLedger ledger =
+            record_ledger(matrix, *kernel, n, freqs.front());
+        ASSERT_TRUE(ledger.replayable) << name << " v" << variant;
+
+        std::vector<sim::Tracer> batch_sinks(freqs.size());
+        std::vector<sim::Tracer*> tracers;
+        for (auto& t : batch_sinks) {
+          t.enable();
+          tracers.push_back(&t);
+        }
+        const std::vector<RunRecord> got =
+            batch.reprice(ledger, freqs, tracers);
+        ASSERT_EQ(got.size(), freqs.size());
+
+        for (std::size_t i = 0; i < freqs.size(); ++i) {
+          SCOPED_TRACE(std::string(name) + " variant " +
+                       std::to_string(variant) + " N=" + std::to_string(n) +
+                       " f=" + std::to_string(freqs[i]));
+          sim::Tracer scalar_sink;
+          scalar_sink.enable();
+          expect_identical(got[i],
+                           scalar.reprice(ledger, freqs[i], &scalar_sink));
+          expect_identical_events(batch_sinks[i].events(),
+                                  scalar_sink.events());
+        }
+      }
+    }
+  }
+}
+
+// Comm-phase DVFS: lanes whose fkey equals the comm point never switch
+// (no transition spend, single activity slice) while the others do —
+// the per-lane conditional inside the shared phase machine. 600 MHz is
+// in the lane set on purpose to pin the no-switch lane.
+TEST(BatchRepricer, CommDvfsColumnIdenticalToScalarPerLane) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_variant("FT", 0);
+  RunMatrix matrix(cfg);
+  const Repricer scalar(cfg);
+  const BatchRepricer batch(cfg);
+  const sim::WorkLedger ledger = record_ledger(matrix, *kernel, 4, 800, 600);
+  ASSERT_TRUE(ledger.replayable);
+  ASSERT_EQ(ledger.comm_dvfs_mhz, 600);
+
+  const std::vector<double> freqs{600, 800, 1000, 1400};
+  std::vector<sim::Tracer> batch_sinks(freqs.size());
+  std::vector<sim::Tracer*> tracers;
+  for (auto& t : batch_sinks) {
+    t.enable();
+    tracers.push_back(&t);
+  }
+  const std::vector<RunRecord> got = batch.reprice(ledger, freqs, tracers);
+  ASSERT_EQ(got.size(), freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    SCOPED_TRACE(freqs[i]);
+    sim::Tracer scalar_sink;
+    scalar_sink.enable();
+    expect_identical(got[i], scalar.reprice(ledger, freqs[i], &scalar_sink));
+    expect_identical_events(batch_sinks[i].events(), scalar_sink.events());
+  }
+}
+
+// A single-lane batch is the degenerate case — still the batched code
+// path, still bit-identical (this is what the executor runs when a
+// column has one cache miss).
+TEST(BatchRepricer, SingleLaneMatchesScalar) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_variant("CG", 0);
+  RunMatrix matrix(cfg);
+  const sim::WorkLedger ledger = record_ledger(matrix, *kernel, 2, 600);
+  const std::vector<RunRecord> got =
+      BatchRepricer(cfg).reprice(ledger, {1400.0});
+  ASSERT_EQ(got.size(), 1u);
+  expect_identical(got[0], Repricer(cfg).reprice(ledger, 1400.0));
+}
+
+TEST(BatchRepricer, RejectsBadInputs) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_variant("EP", 0);
+  RunMatrix matrix(cfg);
+  sim::WorkLedger ledger = record_ledger(matrix, *kernel, 2, 600);
+  const BatchRepricer batch(cfg);
+
+  EXPECT_TRUE(batch.reprice(ledger, {}).empty());
+  // 725 MHz is not an operating point of the paper testbed.
+  EXPECT_THROW(batch.reprice(ledger, {600.0, 725.0}), std::out_of_range);
+  // Tracers, when provided, must be index-aligned with the lane set.
+  sim::Tracer one;
+  EXPECT_THROW(batch.reprice(ledger, {600.0, 800.0}, {&one}),
+               std::invalid_argument);
+  ledger.replayable = false;
+  EXPECT_THROW(batch.reprice(ledger, {600.0}), std::logic_error);
+}
+
+// The shared channel-key fix: all three fields are masked
+// symmetrically, so a src with set high bits cannot alias another
+// (src, dst) pair, and rank counts beyond the 16-bit key space are
+// rejected up front instead of silently colliding.
+TEST(BatchRepricer, ChannelKeyMasksAllFieldsAndGuardsRankCount) {
+  using detail::channel_key;
+  EXPECT_NE(channel_key(1, 2, 3), channel_key(2, 1, 3));
+  EXPECT_NE(channel_key(1, 2, 3), channel_key(1, 2, 4));
+  // High bits above the 16-bit field must not leak into neighbours:
+  // 0x10001 truncates to 1 in its own field and nowhere else.
+  EXPECT_EQ(channel_key(0x10001, 2, 3), channel_key(1, 2, 3));
+  EXPECT_EQ(channel_key(1, 0x10002, 3), channel_key(1, 2, 3));
+  EXPECT_NO_THROW(detail::check_replay_rank_count("test", 0xffff));
+  EXPECT_THROW(detail::check_replay_rank_count("test", 0x10000),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pas::analysis

@@ -350,6 +350,38 @@ TEST(LedgerCache, CorruptLedgerIsQuarantinedAndMisses) {
   EXPECT_TRUE(std::filesystem::exists(entry.string() + ".bad"));
 }
 
+// A write cut off inside the op arena (crash, full disk) must read as
+// a miss and be quarantined, never as a short ledger: the v3 decoder
+// checks every rank span's op count against what the arena delivers.
+TEST(LedgerCache, TruncatedArenaIsQuarantined) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(2);
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  const std::string dir = testing::TempDir() + "/pasim_ledger_truncated";
+  std::filesystem::remove_all(dir);
+  const std::string key = RunCache::ledger_key(*kernel, cfg, 2, 0);
+
+  RunMatrix matrix(cfg);
+  {
+    RunCache writer(dir);
+    ASSERT_NE(
+        writer.store_ledger(key, record_ledger(matrix, *kernel, 2, 600)),
+        nullptr);
+  }
+  std::filesystem::path entry;
+  for (const auto& f : std::filesystem::directory_iterator(dir))
+    if (f.path().extension() == ".ledger") entry = f.path();
+  ASSERT_FALSE(entry.empty());
+  // Cut the file mid-arena: the header and rank spans parse, but the
+  // arena runs out of ops before the declared counts are satisfied.
+  const auto full = std::filesystem::file_size(entry);
+  ASSERT_GT(full, 256u);
+  std::filesystem::resize_file(entry, full / 2);
+
+  RunCache reader(dir);
+  EXPECT_EQ(reader.lookup_ledger(key), nullptr);
+  EXPECT_TRUE(std::filesystem::exists(entry.string() + ".bad"));
+}
+
 TEST(LedgerCache, NonReplayableLedgerIsNeverStored) {
   const auto cfg = sim::ClusterConfig::paper_testbed(2);
   const auto kernel = make_kernel("EP", Scale::kSmall);

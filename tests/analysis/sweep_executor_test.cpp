@@ -95,6 +95,62 @@ TEST(SweepExecutor, ParallelSweepMatchesSerialBitForBit) {
     for (double f : freqs) EXPECT_EQ(got.times.at(n, f), want.times.at(n, f));
 }
 
+// The batched replay engine at full concurrency: jobs-8 sweeps over
+// fast-path kernels must match the serial RunMatrix bit for bit, with
+// and without communication-phase DVFS. This suite is the tier-1
+// batch-replay stage's TSan target (scripts/tier1.sh).
+TEST(BatchedSweep, JobsEightMatchesSerialBitForBit) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const std::vector<int> nodes{1, 2, 4};
+  const std::vector<double> freqs{600, 800, 1000, 1200, 1400};
+  for (const char* name : {"FT", "CG"}) {
+    SCOPED_TRACE(name);
+    const auto kernel = make_kernel(name, Scale::kSmall);
+    RunMatrix serial(cfg);
+    const MatrixResult want = serial.sweep(*kernel, nodes, freqs);
+    SweepExecutor executor(cfg, power::PowerModel(), jobs(8));
+    const MatrixResult got = executor.run({kernel.get(), nodes, freqs});
+    ASSERT_EQ(got.records.size(), want.records.size());
+    for (std::size_t i = 0; i < want.records.size(); ++i)
+      expect_identical(got.records[i], want.records[i]);
+  }
+}
+
+TEST(BatchedSweep, CommDvfsColumnsMatchSerialAtJobsEight) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("FT", Scale::kSmall);
+  const std::vector<int> nodes{2, 4};
+  const std::vector<double> freqs{600, 800, 1000, 1400};
+  RunMatrix serial(cfg);
+  const MatrixResult want = serial.sweep(*kernel, nodes, freqs, 600);
+  SweepExecutor executor(cfg, power::PowerModel(), jobs(8));
+  const MatrixResult got = executor.run({kernel.get(), nodes, freqs, 600});
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < want.records.size(); ++i)
+    expect_identical(got.records[i], want.records[i]);
+}
+
+// $PASIM_SCALAR_REPRICE=1 swaps in the per-point scalar oracle; both
+// engines must emit the same bits (the byte-compare tier1.sh runs on
+// whole artifacts, here at the RunRecord level).
+TEST(BatchedSweep, ScalarRepriceEnvMatchesBatchedEngine) {
+  const auto cfg = sim::ClusterConfig::paper_testbed(4);
+  const auto kernel = make_kernel("CG", Scale::kSmall);
+  const std::vector<int> nodes{1, 4};
+  const std::vector<double> freqs{600, 1000, 1400};
+
+  SweepExecutor batched(cfg, power::PowerModel(), jobs(8));
+  const MatrixResult want = batched.run({kernel.get(), nodes, freqs});
+
+  ScopedEnv env("PASIM_SCALAR_REPRICE", "1");
+  SweepExecutor scalar(cfg, power::PowerModel(), jobs(8));
+  const MatrixResult got = scalar.run({kernel.get(), nodes, freqs});
+
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < want.records.size(); ++i)
+    expect_identical(got.records[i], want.records[i]);
+}
+
 TEST(SweepExecutor, CommDvfsSweepMatchesSerial) {
   const auto cfg = sim::ClusterConfig::paper_testbed(4);
   const auto kernel = make_kernel("FT", Scale::kSmall);
