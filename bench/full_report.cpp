@@ -60,7 +60,9 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"small", "out", "jobs", "cache", "no-cache", "retries",
-                   "verify-replay", "trace", "metrics"});
+                   "verify-replay", "trace", "metrics", "journal", "resume",
+                   "isolate", "isolate-timeout", "isolate-retries",
+                   "cache-cap"});
   const auto wall_start = std::chrono::steady_clock::now();
   const bool small = cli.get_bool("small", false);
   analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
@@ -161,9 +163,14 @@ int main(int argc, char** argv) {
   }
   report.save_csv("probe_levels.csv", probes);
 
-  std::ofstream md(report.dir / "REPORT.md");
-  md << report.md;
-  md.close();
+  // Crash-atomic like every other artifact: a killed run leaves either
+  // the previous REPORT.md or the complete new one, never a torso.
+  if (const obs::WriteResult r = obs::write_text_file(
+          (report.dir / "REPORT.md").string(), report.md);
+      !r) {
+    std::fprintf(stderr, "report: %s\n", r.to_string().c_str());
+    report.write_failed = true;
+  }
   std::printf("report written to %s (REPORT.md + CSVs)\n",
               report.dir.string().c_str());
 

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
-                   "verify-replay", "trace", "metrics"});
+                   "verify-replay", "trace", "metrics", "journal", "resume",
+                   "isolate", "isolate-timeout", "isolate-retries",
+                   "cache-cap"});
   analysis::ExperimentEnv env = cli.get_bool("small", false)
                                     ? analysis::ExperimentEnv::small()
                                     : analysis::ExperimentEnv::paper();

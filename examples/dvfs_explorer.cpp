@@ -21,7 +21,9 @@ int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
   cli.check_usage({"kernel", "nodes", "freqs", "jobs", "cache", "no-cache",
-                   "retries", "verify-replay", "trace", "metrics"});
+                   "retries", "verify-replay", "trace", "metrics", "journal",
+                   "resume", "isolate", "isolate-timeout", "isolate-retries",
+                   "cache-cap"});
   const std::string name = cli.get("kernel", "LU");
 
   analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate a pasim sweep journal (DESIGN.md §12) from first principles.
+
+Independent re-implementation of the on-disk format so C++-side bugs
+cannot self-certify:
+
+    pasim-sweep-journal v1\n
+    J <payload_bytes> <fnv1a_hex_16>\n<payload>        (repeated)
+
+with each payload:
+
+    key <cache key>\n
+    status <int in 0..5>\n
+    error <len>\n<raw len bytes>\n
+    <RunCache record lines: "<field> <value>\n" x 19>
+    end\n
+
+A torn tail (truncated final frame — the signature of a killed writer)
+is reported as a warning and exits 0: that is exactly the state
+SweepJournal::repair_tail() recovers from. Structural corruption
+*before* the tail (bad magic, checksum mismatch, malformed payload)
+exits 1.
+
+Usage: check_journal_schema.py <journal> [<journal> ...]
+"""
+import sys
+
+MAGIC = b"pasim-sweep-journal v1\n"
+FNV_OFFSET = 14695981039346656037
+FNV_PRIME = 1099511628211
+MASK = (1 << 64) - 1
+
+# RunCache::encode_record field order, verbatim.
+RECORD_FIELDS = [
+    "nodes", "frequency_mhz", "seconds", "mean_overhead_s", "mean_cpu_s",
+    "mean_memory_s", "verified", "energy_cpu_j", "energy_memory_j",
+    "energy_network_j", "energy_idle_j", "messages_per_rank",
+    "doubles_per_message", "exec_reg", "exec_l1", "exec_l2", "exec_mem",
+    "attempts", "send_retries",
+]
+MAX_STATUS = 5  # RunStatus::kCrashed
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK
+    return h
+
+
+def check_payload(payload, frame):
+    """Returns an error string, or None when the payload is well-formed."""
+    lines = payload.split(b"\n")
+    i = 0
+
+    def take():
+        nonlocal i
+        if i >= len(lines):
+            return None
+        line = lines[i]
+        i += 1
+        return line
+
+    key = take()
+    if key is None or not key.startswith(b"key ") or len(key) <= 4:
+        return f"frame {frame}: missing/empty key line"
+    status = take()
+    if status is None or not status.startswith(b"status "):
+        return f"frame {frame}: missing status line"
+    try:
+        status_val = int(status[7:])
+    except ValueError:
+        return f"frame {frame}: non-integer status {status[7:]!r}"
+    if not 0 <= status_val <= MAX_STATUS:
+        return f"frame {frame}: status {status_val} out of range"
+    err_hdr = take()
+    if err_hdr is None or not err_hdr.startswith(b"error "):
+        return f"frame {frame}: missing error line"
+    try:
+        err_len = int(err_hdr[6:])
+    except ValueError:
+        return f"frame {frame}: non-integer error length"
+    # The error text is length-prefixed raw bytes and may itself contain
+    # newlines; re-join and skip exactly err_len bytes + "\n".
+    rest = b"\n".join(lines[i:])
+    if len(rest) < err_len + 1 or rest[err_len : err_len + 1] != b"\n":
+        return f"frame {frame}: error text shorter than its declared length"
+    rest = rest[err_len + 1 :]
+    record_lines = rest.split(b"\n")
+    for want in RECORD_FIELDS:
+        if not record_lines:
+            return f"frame {frame}: record truncated before '{want}'"
+        line = record_lines.pop(0)
+        parts = line.split(b" ")
+        if len(parts) != 2 or parts[0].decode("ascii", "replace") != want:
+            return f"frame {frame}: expected record field '{want}', got {line!r}"
+    if not record_lines or record_lines.pop(0) != b"end":
+        return f"frame {frame}: missing 'end' terminator"
+    return None
+
+
+def check_journal(path: str) -> int:
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        print(f"{path}: cannot read: {e}", file=sys.stderr)
+        return 1
+    if not data.startswith(MAGIC):
+        print(f"{path}: bad magic (not a sweep journal)", file=sys.stderr)
+        return 1
+
+    off = len(MAGIC)
+    frames = 0
+    keys = set()
+    while off < len(data):
+        frames += 1
+        nl = data.find(b"\n", off)
+        if nl < 0:
+            print(f"{path}: torn tail at frame {frames} (truncated header); "
+                  f"{frames - 1} intact frame(s) — repairable", file=sys.stderr)
+            return 0
+        header = data[off:nl]
+        parts = header.split(b" ")
+        if len(parts) != 3 or parts[0] != b"J" or len(parts[2]) != 16:
+            print(f"{path}: frame {frames}: malformed header {header!r}",
+                  file=sys.stderr)
+            return 1
+        try:
+            size = int(parts[1])
+            want_sum = int(parts[2], 16)
+        except ValueError:
+            print(f"{path}: frame {frames}: non-numeric header {header!r}",
+                  file=sys.stderr)
+            return 1
+        payload = data[nl + 1 : nl + 1 + size]
+        if len(payload) < size:
+            print(f"{path}: torn tail at frame {frames} (payload truncated); "
+                  f"{frames - 1} intact frame(s) — repairable", file=sys.stderr)
+            return 0
+        if fnv1a(payload) != want_sum:
+            # A checksum mismatch on the FINAL frame is a torn tail (the
+            # single-write() append itself was cut short); anywhere else
+            # it is corruption of committed data.
+            if nl + 1 + size >= len(data):
+                print(f"{path}: torn tail at frame {frames} (checksum); "
+                      f"{frames - 1} intact frame(s) — repairable",
+                      file=sys.stderr)
+                return 0
+            print(f"{path}: frame {frames}: checksum mismatch on a "
+                  f"non-final frame", file=sys.stderr)
+            return 1
+        err = check_payload(payload, frames)
+        if err:
+            print(f"{path}: {err}", file=sys.stderr)
+            return 1
+        keys.add(payload.split(b"\n", 1)[0][4:])
+        off = nl + 1 + size
+    print(f"{path}: OK — {frames} frame(s), {len(keys)} unique key(s)")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in sys.argv[1:]:
+        rc = max(rc, check_journal(path))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,15 +120,121 @@ echo "batch replay OK (batched/scalar byte-identical at --jobs 8)"
 echo "== tier 1: fault + error paths under ASan =="
 if have_sanitizer address; then
   cmake -B build-asan -S . -DPASIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$JOBS" --target fault_test mpi_test
+  cmake --build build-asan -j "$JOBS" \
+    --target fault_test mpi_test robustness_test
   ./build-asan/tests/fault_test
   # Exception-heavy error paths (invalid requests, collective
   # mismatches) where leaks from unwound ranks would hide.
   ./build-asan/tests/mpi_test \
     --gtest_filter='Collectives.*:Nonblocking.*:Runtime.*'
+  # The crash-safety torture tests (DESIGN.md §12) fork and SIGKILL
+  # themselves on purpose — ASan, never TSan (fork and TSan don't mix).
+  ./build-asan/tests/robustness_test
 else
   echo "skipped: this toolchain does not support -fsanitize=address"
 fi
+
+echo "== tier 1: crash-safety torture (SIGKILL / corrupt / resume) =="
+# Shell-level proof of the ISSUE 7 acceptance criteria: a --jobs 8
+# sweep SIGKILLed mid-flight (at several journal depths), its cache
+# entries corrupted, then resumed — the stable artifacts (REPORT.md +
+# CSVs) must be byte-identical to an uninterrupted --jobs 1 run.
+ROBUST_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$ROBUST_DIR"' EXIT
+REF="$ROBUST_DIR/ref"
+"$ROOT/build/bench/full_report" --small --jobs 1 --no-cache \
+  --out "$REF" >/dev/null
+CRASH_OUT="$ROBUST_DIR/crashed"
+JOURNAL="$ROBUST_DIR/sweep.journal"
+CACHE="$ROBUST_DIR/cache"
+for k in 5 11 23; do
+  if PASIM_CRASH_AFTER_APPENDS=$k "$ROOT/build/bench/full_report" --small \
+      --jobs 8 --cache "$CACHE" --journal "$JOURNAL" --resume \
+      --out "$CRASH_OUT" >/dev/null 2>&1; then
+    echo "crash injection failed: run survived PASIM_CRASH_AFTER_APPENDS=$k"
+    exit 1
+  fi
+  # Every partial journal must still satisfy the published schema.
+  if command -v python3 >/dev/null; then
+    python3 scripts/check_journal_schema.py "$JOURNAL"
+  fi
+done
+"$ROOT/build/bench/full_report" --small --jobs 8 --cache "$CACHE" \
+  --journal "$JOURNAL" --resume --out "$CRASH_OUT" >/dev/null 2>&1
+for f in "$REF"/*; do
+  cmp "$f" "$CRASH_OUT/$(basename "$f")"
+done
+echo "crash/resume OK (artifacts byte-identical to clean run)"
+# Corrupt what the crashes left behind: flip a byte inside one record
+# entry, cut one ledger short. A journal-less re-run (so every point
+# actually reads the cache instead of being served from the journal)
+# must quarantine the flipped entry (.bad), not crash, and still
+# reconverge.
+run_entry="$(ls "$CACHE"/*.run 2>/dev/null | head -1 || true)"
+ledger_entry="$(ls "$CACHE"/*.ledger 2>/dev/null | head -1 || true)"
+if [ -n "$run_entry" ]; then
+  # Overwrite a byte near the END of the entry: that is checksummed
+  # payload (bytes near the start are the key line, where a flip reads
+  # as a filename collision, a different — legitimate — miss path).
+  size=$(stat -c %s "$run_entry")
+  printf 'X' | dd of="$run_entry" bs=1 seek=$((size - 10)) \
+    conv=notrunc status=none
+fi
+[ -n "$ledger_entry" ] && truncate -s 40 "$ledger_entry"
+"$ROOT/build/bench/full_report" --small --jobs 8 --cache "$CACHE" \
+  --out "$ROBUST_DIR/corrupt_out" >/dev/null 2>&1
+for f in "$REF"/*; do
+  cmp "$f" "$ROBUST_DIR/corrupt_out/$(basename "$f")"
+done
+if [ -n "$run_entry" ] && [ ! -f "$run_entry.bad" ]; then
+  echo "corrupted cache entry was not quarantined: $run_entry"; exit 1
+fi
+echo "corrupt-cache quarantine OK (artifacts byte-identical to clean run)"
+# Tracing leg: under --trace, resumed points re-simulate (so trace.json
+# stays byte-identical); compare against an uninterrupted traced run.
+TRACE_JOURNAL="$ROBUST_DIR/trace.journal"
+"$ROOT/build/bench/full_report" --small --jobs 1 --no-cache \
+  --trace "$ROBUST_DIR/tref" --out "$ROBUST_DIR/tref_out" >/dev/null
+if PASIM_CRASH_AFTER_APPENDS=7 "$ROOT/build/bench/full_report" --small \
+    --jobs 8 --no-cache --journal "$TRACE_JOURNAL" --resume \
+    --trace "$ROBUST_DIR/tres" --out "$ROBUST_DIR/tres_out" \
+    >/dev/null 2>&1; then
+  echo "crash injection failed on the tracing leg"; exit 1
+fi
+"$ROOT/build/bench/full_report" --small --jobs 8 --no-cache \
+  --journal "$TRACE_JOURNAL" --resume --trace "$ROBUST_DIR/tres" \
+  --out "$ROBUST_DIR/tres_out" >/dev/null
+cmp "$ROBUST_DIR/tref/trace.json" "$ROBUST_DIR/tres/trace.json"
+cmp "$ROBUST_DIR/tref_out/REPORT.md" "$ROBUST_DIR/tres_out/REPORT.md"
+echo "traced crash/resume OK (trace.json byte-identical)"
+# Two concurrent processes sharing one cache directory must both
+# finish cleanly and agree byte-for-byte.
+SHARED="$ROBUST_DIR/shared_cache"
+"$ROOT/build/bench/fig2_ft_surface" --small --jobs 2 --cache "$SHARED" \
+  --csv "$ROBUST_DIR/p1.csv" >/dev/null & P1=$!
+"$ROOT/build/bench/fig2_ft_surface" --small --jobs 2 --cache "$SHARED" \
+  --csv "$ROBUST_DIR/p2.csv" >/dev/null & P2=$!
+wait $P1
+wait $P2
+cmp "$ROBUST_DIR/p1.csv" "$ROBUST_DIR/p2.csv"
+if ls "$SHARED"/*.bad >/dev/null 2>&1; then
+  echo "concurrent cache sharing quarantined entries:"; ls "$SHARED"; exit 1
+fi
+echo "concurrent shared-cache OK"
+# Simulated disk-full: the run must fail soft (clean nonzero exit and
+# an errno on stderr), never die on a signal or corrupt state.
+set +e
+PASIM_INJECT_WRITE_FAULT_AFTER=3 "$ROOT/build/bench/full_report" --small \
+  --jobs 2 --cache "$ROBUST_DIR/enospc_cache" \
+  --out "$ROBUST_DIR/enospc_out" >/dev/null 2>"$ROBUST_DIR/enospc.err"
+ENOSPC_RC=$?
+set -e
+if [ "$ENOSPC_RC" -eq 0 ] || [ "$ENOSPC_RC" -ge 128 ]; then
+  echo "injected ENOSPC: expected a clean nonzero exit, got rc=$ENOSPC_RC"
+  cat "$ROBUST_DIR/enospc.err"
+  exit 1
+fi
+echo "injected-ENOSPC degradation OK (rc=$ENOSPC_RC)"
 
 echo "== tier 1: perf baseline (record-only) =="
 # Optimized tree, fresh recording of BENCH_micro_sim.json and

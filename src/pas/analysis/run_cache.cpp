@@ -1,18 +1,24 @@
 #include "pas/analysis/run_cache.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "pas/obs/metrics.hpp"
 #include "pas/util/format.hpp"
+#include "pas/util/fs.hpp"
 #include "pas/util/log.hpp"
 
 namespace pas::analysis {
 namespace {
+
+constexpr const char* kRunHeader = "pasim-run-cache v4";
+constexpr const char* kLedgerHeader = "pasim-run-ledger v4";
 
 // Live cache traffic is schedule-dependent (duplicate points racing in
 // one batch resolve as hit-vs-miss by timing), so these are volatile
@@ -26,13 +32,13 @@ obs::Counter& miss_counter() {
   return c;
 }
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : s) {
-    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    h *= 1099511628211ULL;
-  }
-  return h;
+// Quarantines ARE stable: they count actual bad files found on disk
+// (racing readers settle by who wins the rename), not schedule noise —
+// the torture harness asserts on this through metrics.csv.
+obs::Counter& quarantine_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "runcache.quarantined", obs::Stability::kStable);
+  return c;
 }
 
 // %.17g identifies a binary64 uniquely; used for *key* strings (human-
@@ -51,6 +57,78 @@ bool get(std::istream& in, const char* field, double* x) {
   char* end = nullptr;
   *x = std::strtod(value.c_str(), &end);
   return end != nullptr && *end == '\0';
+}
+
+/// One disk entry, parsed up to (but not through) its payload.
+struct EntryView {
+  enum class State { kMissing, kCollision, kCorrupt, kOk };
+  State state = State::kMissing;
+  std::string payload;
+};
+
+/// Loads and validates a v4 entry: header line, `key <key>` line,
+/// `sum <16-hex fnv1a(payload)>` line, payload. The collision check
+/// runs before the checksum: a well-formed entry holding a *different*
+/// key is an fnv1a filename collision, not corruption — leave it alone
+/// and miss. Anything else malformed (old v3 headers included) is
+/// corrupt and gets quarantined by the caller.
+EntryView load_entry(const std::string& path, const char* header,
+                     const std::string& key, const char* key_prefix) {
+  EntryView v;
+  const std::optional<std::string> bytes = util::read_file(path);
+  if (!bytes) return v;  // kMissing
+  v.state = EntryView::State::kCorrupt;
+  const std::string& s = *bytes;
+  const std::size_t nl1 = s.find('\n');
+  if (nl1 == std::string::npos) return v;
+  const std::size_t nl2 = s.find('\n', nl1 + 1);
+  if (nl2 == std::string::npos) return v;
+  const std::size_t nl3 = s.find('\n', nl2 + 1);
+  if (nl3 == std::string::npos) return v;
+  if (s.compare(0, nl1, header) != 0) return v;
+  const std::string key_line = s.substr(nl1 + 1, nl2 - nl1 - 1);
+  if (key_line != "key " + key) {
+    if (key_line.rfind(key_prefix, 0) == 0)
+      v.state = EntryView::State::kCollision;
+    return v;
+  }
+  const std::string sum_line = s.substr(nl2 + 1, nl3 - nl2 - 1);
+  if (sum_line.rfind("sum ", 0) != 0) return v;
+  char* end = nullptr;
+  const std::uint64_t expect =
+      std::strtoull(sum_line.c_str() + 4, &end, 16);
+  if (end == nullptr || *end != '\0') return v;
+  v.payload = s.substr(nl3 + 1);
+  if (util::fnv1a(v.payload) != expect) {
+    v.payload.clear();
+    return v;  // bit rot or torn write: checksum caught it
+  }
+  v.state = EntryView::State::kOk;
+  return v;
+}
+
+void quarantine(const std::string& path, const char* what) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".bad", ec);
+  // Count only the winning rename: concurrent readers of one bad file
+  // must produce one quarantine, or the stable metric would be racy.
+  if (!ec) {
+    quarantine_counter().add();
+    util::fsync_parent_dir(path);
+  }
+  pas::util::log_warn(
+      "run cache: corrupt " + std::string(what) + " " + path +
+      (ec ? " (quarantine failed: " + ec.message() + ")"
+          : " quarantined to " + path + ".bad") +
+      "; treating as a miss");
+}
+
+/// Read hits refresh the entry's LRU position. Best-effort: an mtime
+/// we cannot touch only makes eviction less accurate, never wrong.
+void touch(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now(), ec);
 }
 
 }  // namespace
@@ -92,7 +170,8 @@ std::string power_signature(const power::PowerModel& power) {
       d17(p.idle_cpu_factor).c_str());
 }
 
-RunCache::RunCache(std::string dir) : dir_(std::move(dir)) {}
+RunCache::RunCache(std::string dir, std::uint64_t cap_bytes)
+    : dir_(std::move(dir)), cap_bytes_(cap_bytes) {}
 
 std::string RunCache::key(const npb::Kernel& kernel,
                           const sim::ClusterConfig& cluster,
@@ -115,13 +194,13 @@ std::string RunCache::ledger_key(const npb::Kernel& kernel,
 
 std::string RunCache::path_for(const std::string& key) const {
   return (std::filesystem::path(dir_) /
-          pas::util::strf("%016" PRIx64 ".run", fnv1a(key)))
+          pas::util::strf("%016" PRIx64 ".run", util::fnv1a(key)))
       .string();
 }
 
 std::string RunCache::ledger_path_for(const std::string& key) const {
   return (std::filesystem::path(dir_) /
-          pas::util::strf("%016" PRIx64 ".ledger", fnv1a(key)))
+          pas::util::strf("%016" PRIx64 ".ledger", util::fnv1a(key)))
       .string();
 }
 
@@ -149,6 +228,38 @@ std::string RunCache::encode_record(const RunRecord& record) {
   return out.str();
 }
 
+bool RunCache::decode_record(std::istream& in, RunRecord* rec) {
+  int n = 0;
+  std::string name;
+  if (!(in >> name >> n) || name != "nodes") return false;
+  rec->nodes = n;
+  double verified = 0.0;
+  double attempts = 1.0;
+  const bool ok =
+      get(in, "frequency_mhz", &rec->frequency_mhz) &&
+      get(in, "seconds", &rec->seconds) &&
+      get(in, "mean_overhead_s", &rec->mean_overhead_s) &&
+      get(in, "mean_cpu_s", &rec->mean_cpu_s) &&
+      get(in, "mean_memory_s", &rec->mean_memory_s) &&
+      get(in, "verified", &verified) &&
+      get(in, "energy_cpu_j", &rec->energy.cpu_j) &&
+      get(in, "energy_memory_j", &rec->energy.memory_j) &&
+      get(in, "energy_network_j", &rec->energy.network_j) &&
+      get(in, "energy_idle_j", &rec->energy.idle_j) &&
+      get(in, "messages_per_rank", &rec->messages_per_rank) &&
+      get(in, "doubles_per_message", &rec->doubles_per_message) &&
+      get(in, "exec_reg", &rec->executed_per_rank.reg_ops) &&
+      get(in, "exec_l1", &rec->executed_per_rank.l1_ops) &&
+      get(in, "exec_l2", &rec->executed_per_rank.l2_ops) &&
+      get(in, "exec_mem", &rec->executed_per_rank.mem_ops) &&
+      get(in, "attempts", &attempts) &&
+      get(in, "send_retries", &rec->send_retries);
+  if (!ok) return false;
+  rec->verified = verified != 0.0;
+  rec->attempts = static_cast<int>(attempts);
+  return true;
+}
+
 std::optional<RunRecord> RunCache::lookup(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -161,79 +272,53 @@ std::optional<RunRecord> RunCache::lookup(const std::string& key) {
   }
   if (!dir_.empty()) {
     const std::string path = path_for(key);
-    bool present = false;
-    bool collision = false;
-    {
-      std::ifstream in(path);
-      present = static_cast<bool>(in);
-      if (in) {
-        std::string header, stored_key;
-        std::getline(in, header);
-        std::getline(in, stored_key);
-        // A valid file holding a *different* key is an fnv1a filename
-        // collision, not corruption: leave it alone and miss.
-        collision =
-            header == "pasim-run-cache v3" && stored_key != "key " + key &&
-            stored_key.rfind("key v", 0) == 0;
-        RunRecord rec;
-        double verified = 0.0;
-        double attempts = 1.0;
-        const bool ok =
-            header == "pasim-run-cache v3" && stored_key == "key " + key &&
-            [&] {
-              int n = 0;
-              std::string name;
-              if (!(in >> name >> n) || name != "nodes") return false;
-              rec.nodes = n;
-              return get(in, "frequency_mhz", &rec.frequency_mhz) &&
-                     get(in, "seconds", &rec.seconds) &&
-                     get(in, "mean_overhead_s", &rec.mean_overhead_s) &&
-                     get(in, "mean_cpu_s", &rec.mean_cpu_s) &&
-                     get(in, "mean_memory_s", &rec.mean_memory_s) &&
-                     get(in, "verified", &verified) &&
-                     get(in, "energy_cpu_j", &rec.energy.cpu_j) &&
-                     get(in, "energy_memory_j", &rec.energy.memory_j) &&
-                     get(in, "energy_network_j", &rec.energy.network_j) &&
-                     get(in, "energy_idle_j", &rec.energy.idle_j) &&
-                     get(in, "messages_per_rank", &rec.messages_per_rank) &&
-                     get(in, "doubles_per_message", &rec.doubles_per_message) &&
-                     get(in, "exec_reg", &rec.executed_per_rank.reg_ops) &&
-                     get(in, "exec_l1", &rec.executed_per_rank.l1_ops) &&
-                     get(in, "exec_l2", &rec.executed_per_rank.l2_ops) &&
-                     get(in, "exec_mem", &rec.executed_per_rank.mem_ops) &&
-                     get(in, "attempts", &attempts) &&
-                     get(in, "send_retries", &rec.send_retries);
-            }();
-        if (ok) {
-          rec.verified = verified != 0.0;
-          rec.attempts = static_cast<int>(attempts);
-          std::lock_guard<std::mutex> lock(mutex_);
-          memory_.emplace(key, rec);
-          ++hits_;
-          hit_counter().add();
-          return rec;
-        }
+    const EntryView v = load_entry(path, kRunHeader, key, "key v");
+    if (v.state == EntryView::State::kOk) {
+      std::istringstream in(v.payload);
+      RunRecord rec;
+      if (decode_record(in, &rec)) {
+        touch(path);
+        std::lock_guard<std::mutex> lock(mutex_);
+        memory_.emplace(key, rec);
+        ++hits_;
+        hit_counter().add();
+        return rec;
       }
-    }
-    if (present && !collision) {
-      // Corrupt / truncated / old-format entry: quarantine it so the
-      // bad bytes never count as a hit again, and treat as a miss.
-      static obs::Counter& quarantined =
-          obs::registry().counter("runcache.quarantined");
-      quarantined.add();
-      std::error_code ec;
-      std::filesystem::rename(path, path + ".bad", ec);
-      pas::util::log_warn(
-          "run cache: corrupt entry " + path +
-          (ec ? " (quarantine failed: " + ec.message() + ")"
-              : " quarantined to " + path + ".bad") +
-          "; treating as a miss");
+      quarantine(path, "entry");
+    } else if (v.state == EntryView::State::kCorrupt) {
+      quarantine(path, "entry");
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   miss_counter().add();
   return std::nullopt;
+}
+
+void RunCache::publish(const std::string& path, const std::string& key,
+                       const std::string& header,
+                       const std::string& payload) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    pas::util::log_warn("run cache: cannot create " + dir_ + ": " +
+                        ec.message());
+    return;
+  }
+  std::string content;
+  content.reserve(header.size() + key.size() + payload.size() + 32);
+  content += header;
+  content += "\nkey ";
+  content += key;
+  content += pas::util::strf("\nsum %016" PRIx64 "\n",
+                             util::fnv1a(payload));
+  content += payload;
+  if (const int err = util::atomic_write_file(path, content)) {
+    pas::util::log_warn("run cache: cannot write " + path + ": " +
+                        std::strerror(err));
+    return;
+  }
+  maybe_evict();
 }
 
 void RunCache::store(const std::string& key, const RunRecord& record) {
@@ -248,28 +333,48 @@ void RunCache::store(const std::string& key, const RunRecord& record) {
     stored.add();
   }
   if (dir_.empty()) return;
+  publish(path_for(key), key, kRunHeader, encode_record(record));
+}
 
+void RunCache::maybe_evict() {
+  if (cap_bytes_ == 0) return;
+  // Cross-process exclusion: only one evictor scans at a time. flock
+  // dies with its holder, so a SIGKILLed evictor leaves no stale lock.
+  const util::FileLock lock =
+      util::FileLock::acquire((std::filesystem::path(dir_) / ".lock").string());
+  if (!lock.held()) return;
+  struct File {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uintmax_t size = 0;
+  };
+  std::vector<File> files;
+  std::uintmax_t total = 0;
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) {
-    pas::util::log_warn("run cache: cannot create " + dir_ + ": " +
-                        ec.message());
-    return;
+  for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string ext = de.path().extension().string();
+    if (ext != ".run" && ext != ".ledger" && ext != ".bad") continue;
+    File f;
+    f.path = de.path();
+    f.mtime = de.last_write_time(ec);
+    f.size = de.file_size(ec);
+    total += f.size;
+    files.push_back(std::move(f));
   }
-  const std::string path = path_for(key);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      pas::util::log_warn("run cache: cannot write " + tmp);
-      return;
+  if (total <= cap_bytes_) return;
+  std::sort(files.begin(), files.end(), [](const File& a, const File& b) {
+    // mtime, then name: a total order even when timestamps collide.
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.native() < b.path.native();
+  });
+  static obs::Counter& evicted = obs::registry().counter("runcache.evicted");
+  for (const File& f : files) {
+    if (total <= cap_bytes_) break;
+    if (std::filesystem::remove(f.path, ec) && !ec) {
+      total -= f.size;
+      evicted.add();
     }
-    out << "pasim-run-cache v3\n";
-    out << "key " << key << '\n';
-    out << encode_record(record);
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) pas::util::log_warn("run cache: cannot rename " + tmp);
 }
 
 namespace {
@@ -375,6 +480,57 @@ bool get_op(std::istream& in, sim::WorkOp* op) {
   }
 }
 
+/// Ledger payload parse (everything after the `sum` line). A truncated
+/// file fails an op parse mid-span and the whole ledger is rejected
+/// (then quarantined by the caller) — though v4's checksum catches
+/// truncation before we ever get here.
+bool decode_ledger_payload(std::istream& in, sim::WorkLedger* ledger) {
+  std::string name;
+  int nranks = 0;
+  double verified = 0.0;
+  if (!(in >> name >> nranks) || name != "nranks" || nranks < 1) return false;
+  if (!(in >> name) || name != "comm_dvfs" ||
+      !get_hexdouble(in, &ledger->comm_dvfs_mhz))
+    return false;
+  if (!(in >> name) || name != "verified" || !get_hexdouble(in, &verified))
+    return false;
+  ledger->nranks = nranks;
+  ledger->verified = verified != 0.0;
+  ledger->rank_spans.assign(static_cast<std::size_t>(nranks), {});
+  for (int r = 0; r < nranks; ++r) {
+    int rank = -1;
+    std::size_t nops = 0;
+    if (!(in >> name >> rank >> nops) || name != "rank" || rank != r)
+      return false;
+    auto& span = ledger->rank_spans[static_cast<std::size_t>(r)];
+    span.offset = ledger->arena.size();
+    span.count = nops;
+    ledger->arena.resize(span.offset + nops);
+    for (std::size_t i = 0; i < nops; ++i) {
+      if (!get_op(in, &ledger->arena[span.offset + i])) return false;
+    }
+  }
+  if (!(in >> name) || name != "end") return false;
+  return true;
+}
+
+std::string encode_ledger_payload(const sim::WorkLedger& ledger) {
+  std::ostringstream out;
+  out << "nranks " << ledger.nranks << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", ledger.comm_dvfs_mhz);
+  out << "comm_dvfs " << buf << '\n';
+  out << "verified " << (ledger.verified ? 1 : 0) << '\n';
+  for (int r = 0; r < ledger.nranks; ++r) {
+    const std::size_t nops = ledger.rank_size(r);
+    out << "rank " << r << ' ' << nops << '\n';
+    const sim::WorkOp* ops = ledger.rank_ops(r);
+    for (std::size_t i = 0; i < nops; ++i) put_op(out, ops[i]);
+  }
+  out << "end\n";
+  return out.str();
+}
+
 }  // namespace
 
 std::shared_ptr<const sim::WorkLedger> RunCache::lookup_ledger(
@@ -389,77 +545,21 @@ std::shared_ptr<const sim::WorkLedger> RunCache::lookup_ledger(
   }
   if (!dir_.empty()) {
     const std::string path = ledger_path_for(key);
-    bool present = false;
-    bool collision = false;
-    {
-      std::ifstream in(path);
-      present = static_cast<bool>(in);
-      if (in) {
-        std::string header, stored_key;
-        std::getline(in, header);
-        std::getline(in, stored_key);
-        collision = header == "pasim-run-ledger v3" &&
-                    stored_key != "key " + key &&
-                    stored_key.rfind("key ledger-v", 0) == 0;
-        auto ledger = std::make_shared<sim::WorkLedger>();
-        const bool ok =
-            header == "pasim-run-ledger v3" && stored_key == "key " + key &&
-            [&] {
-              std::string name;
-              int nranks = 0;
-              double verified = 0.0;
-              if (!(in >> name >> nranks) || name != "nranks" || nranks < 1)
-                return false;
-              if (!(in >> name) || name != "comm_dvfs" ||
-                  !get_hexdouble(in, &ledger->comm_dvfs_mhz))
-                return false;
-              if (!(in >> name) || name != "verified" ||
-                  !get_hexdouble(in, &verified))
-                return false;
-              ledger->nranks = nranks;
-              ledger->verified = verified != 0.0;
-              ledger->rank_spans.assign(static_cast<std::size_t>(nranks), {});
-              for (int r = 0; r < nranks; ++r) {
-                int rank = -1;
-                std::size_t nops = 0;
-                if (!(in >> name >> rank >> nops) || name != "rank" ||
-                    rank != r)
-                  return false;
-                // The per-rank streams land back to back in the arena;
-                // a truncated file fails an op parse mid-span and the
-                // whole ledger is rejected (then quarantined below).
-                auto& span = ledger->rank_spans[static_cast<std::size_t>(r)];
-                span.offset = ledger->arena.size();
-                span.count = nops;
-                ledger->arena.resize(span.offset + nops);
-                for (std::size_t i = 0; i < nops; ++i) {
-                  if (!get_op(in, &ledger->arena[span.offset + i]))
-                    return false;
-                }
-              }
-              if (!(in >> name) || name != "end") return false;
-              return true;
-            }();
-        if (ok) {
-          std::shared_ptr<const sim::WorkLedger> shared = std::move(ledger);
-          std::lock_guard<std::mutex> lock(mutex_);
-          ledgers_.emplace(key, shared);
-          ledger_hit_counter().add();
-          return shared;
-        }
+    const EntryView v = load_entry(path, kLedgerHeader, key, "key ledger-v");
+    if (v.state == EntryView::State::kOk) {
+      std::istringstream in(v.payload);
+      auto ledger = std::make_shared<sim::WorkLedger>();
+      if (decode_ledger_payload(in, ledger.get())) {
+        touch(path);
+        std::shared_ptr<const sim::WorkLedger> shared = std::move(ledger);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ledgers_.emplace(key, shared);
+        ledger_hit_counter().add();
+        return shared;
       }
-    }
-    if (present && !collision) {
-      static obs::Counter& quarantined =
-          obs::registry().counter("runcache.quarantined");
-      quarantined.add();
-      std::error_code ec;
-      std::filesystem::rename(path, path + ".bad", ec);
-      pas::util::log_warn(
-          "run cache: corrupt ledger " + path +
-          (ec ? " (quarantine failed: " + ec.message() + ")"
-              : " quarantined to " + path + ".bad") +
-          "; treating as a miss");
+      quarantine(path, "ledger");
+    } else if (v.state == EntryView::State::kCorrupt) {
+      quarantine(path, "ledger");
     }
   }
   ledger_miss_counter().add();
@@ -479,39 +579,8 @@ std::shared_ptr<const sim::WorkLedger> RunCache::store_ledger(
     stored.add();
   }
   if (dir_.empty()) return shared;
-
-  std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) {
-    pas::util::log_warn("run cache: cannot create " + dir_ + ": " +
-                        ec.message());
-    return shared;
-  }
-  const std::string path = ledger_path_for(key);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      pas::util::log_warn("run cache: cannot write " + tmp);
-      return shared;
-    }
-    out << "pasim-run-ledger v3\n";
-    out << "key " << key << '\n';
-    out << "nranks " << shared->nranks << '\n';
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%a", shared->comm_dvfs_mhz);
-    out << "comm_dvfs " << buf << '\n';
-    out << "verified " << (shared->verified ? 1 : 0) << '\n';
-    for (int r = 0; r < shared->nranks; ++r) {
-      const std::size_t nops = shared->rank_size(r);
-      out << "rank " << r << ' ' << nops << '\n';
-      const sim::WorkOp* ops = shared->rank_ops(r);
-      for (std::size_t i = 0; i < nops; ++i) put_op(out, ops[i]);
-    }
-    out << "end\n";
-  }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) pas::util::log_warn("run cache: cannot rename " + tmp);
+  publish(ledger_path_for(key), key, kLedgerHeader,
+          encode_ledger_payload(*shared));
   return shared;
 }
 

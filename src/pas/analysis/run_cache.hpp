@@ -12,9 +12,20 @@
 // already covered. Records are serialized with hex floats (%a), so a
 // cache hit returns a RunRecord bit-identical to the fresh run that
 // produced it — REPORT.md and the CSVs are byte-identical either way.
-// Unreadable or colliding entries are treated as misses; corrupt or
-// truncated files are additionally quarantined to `<file>.bad` (with a
-// logged warning) so garbage can never satisfy a later lookup. Failed
+//
+// Hardened on-disk format (v4, DESIGN.md §12): every entry is published
+// atomically (temp + fsync + rename via util::atomic_write_file) and
+// carries an fnv1a checksum of its payload, verified on every disk
+// read. Unreadable or colliding entries are treated as misses; corrupt,
+// truncated or checksum-mismatched files are additionally quarantined
+// to `<file>.bad` (rename + directory fsync, counted in the stable
+// `runcache.quarantined` metric) so garbage can never satisfy a later
+// lookup. Multi-process sharing of one directory is safe by
+// construction — publishes are atomic renames of per-process temp
+// files and both processes compute identical bytes for identical keys;
+// the only cross-process mutual exclusion needed is the LRU eviction
+// pass, which holds an advisory flock on `<dir>/.lock` (flock dies with
+// its holder, so a crashed evictor can never wedge the cache). Failed
 // runs (RunRecord::failed()) are never stored.
 //
 // Besides RunRecords, the cache stores charged-work ledgers
@@ -26,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -49,7 +61,10 @@ class RunCache {
  public:
   /// `dir` empty: in-memory only. Otherwise entries are also written to
   /// `dir` (created on first store) and looked up there on miss.
-  explicit RunCache(std::string dir = "");
+  /// `cap_bytes` > 0 bounds the directory: after a store pushes the
+  /// total size of cache files past the cap, least-recently-used
+  /// entries (by mtime; read hits touch it) are evicted until it fits.
+  explicit RunCache(std::string dir = "", std::uint64_t cap_bytes = 0);
 
   /// The canonical cache key of one operating point.
   static std::string key(const npb::Kernel& kernel,
@@ -61,7 +76,7 @@ class RunCache {
   std::optional<RunRecord> lookup(const std::string& key);
 
   /// Thread-safe. Records the result in memory and, if configured, on
-  /// disk (atomically: write-to-temp + rename).
+  /// disk (atomically: temp + fsync + rename).
   void store(const std::string& key, const RunRecord& record);
 
   /// The canonical serialized form of a record — the exact bytes
@@ -69,6 +84,11 @@ class RunCache {
   /// repriced record against a fresh simulation through this encoding,
   /// so "equal" means equal in every field the cache round-trips.
   static std::string encode_record(const RunRecord& record);
+
+  /// Parses exactly what encode_record produced (the sweep journal
+  /// embeds record payloads in this encoding too). False on any
+  /// malformed or truncated field; `record` is unspecified then.
+  static bool decode_record(std::istream& in, RunRecord* record);
 
   /// Ledger key: the frequency-independent slice of the run identity.
   /// Deliberately excludes the operating point (that is what replay
@@ -89,6 +109,7 @@ class RunCache {
       const std::string& key, sim::WorkLedger ledger);
 
   const std::string& dir() const { return dir_; }
+  std::uint64_t cap_bytes() const { return cap_bytes_; }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t stores() const;
@@ -98,8 +119,14 @@ class RunCache {
  private:
   std::string path_for(const std::string& key) const;
   std::string ledger_path_for(const std::string& key) const;
+  /// Publishes one v4 entry (header + key + checksum + payload) via
+  /// util::atomic_write_file, then runs the eviction pass if capped.
+  void publish(const std::string& path, const std::string& key,
+               const std::string& header, const std::string& payload);
+  void maybe_evict();
 
   std::string dir_;
+  std::uint64_t cap_bytes_ = 0;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, RunRecord> memory_;
   std::unordered_map<std::string, std::shared_ptr<const sim::WorkLedger>>

@@ -14,6 +14,7 @@ const char* run_status_name(RunStatus status) {
     case RunStatus::kNodeFailure: return "node-failure";
     case RunStatus::kMessageLoss: return "message-loss";
     case RunStatus::kTimeout: return "timeout";
+    case RunStatus::kCrashed: return "crashed";
   }
   return "?";
 }

@@ -22,7 +22,8 @@ enum class RunStatus {
   kDeadlock,     ///< mpi::DeadlockError (watchdog)
   kNodeFailure,  ///< fault::NodeFailedError
   kMessageLoss,  ///< fault::MessageLossError (retries exhausted)
-  kTimeout,      ///< mpi::TimeoutError
+  kTimeout,      ///< mpi::TimeoutError, or an isolated worker's deadline
+  kCrashed,      ///< isolated worker died (signal/OOM); supervisor-synthesized
 };
 
 const char* run_status_name(RunStatus status);

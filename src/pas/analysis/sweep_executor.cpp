@@ -1,10 +1,13 @@
 #include "pas/analysis/sweep_executor.hpp"
 
+#include <csignal>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -14,6 +17,7 @@
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/log.hpp"
+#include "pas/util/subprocess.hpp"
 
 namespace pas::analysis {
 namespace {
@@ -99,6 +103,39 @@ SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
         "--verify-replay cannot be combined with --no-cache: the "
         "verification pass compares records through the cache encoding; "
         "drop one of the two flags");
+  if (cli.has("journal")) {
+    opts.journal_path = cli.get("journal", "");
+    if (opts.journal_path.empty()) opts.journal_path = "pasim_sweep.journal";
+  }
+  opts.resume = cli.get_bool("resume", false);
+  opts.isolate = cli.get_bool("isolate", false);
+  // --resume and --isolate both need the journal; default its path so
+  // neither flag silently no-ops without --journal.
+  if ((opts.resume || opts.isolate) && opts.journal_path.empty())
+    opts.journal_path = "pasim_sweep.journal";
+  opts.isolate_timeout_s =
+      cli.get_double("isolate-timeout", opts.isolate_timeout_s);
+  if (opts.isolate_timeout_s <= 0.0)
+    throw std::invalid_argument(pas::util::strf(
+        "--isolate-timeout must be > 0 seconds (got %g)",
+        opts.isolate_timeout_s));
+  opts.isolate_retries =
+      static_cast<int>(cli.get_int("isolate-retries", opts.isolate_retries));
+  if (opts.isolate_retries < 0)
+    throw std::invalid_argument(pas::util::strf(
+        "--isolate-retries must be >= 0 (got %d)", opts.isolate_retries));
+  if (cli.has("cache-cap")) {
+    const long mb = cli.get_int("cache-cap", 0);
+    if (mb < 1)
+      throw std::invalid_argument(
+          pas::util::strf("--cache-cap must be >= 1 MB (got %ld)", mb));
+    if (opts.cache_dir.empty())
+      throw std::invalid_argument(
+          "--cache-cap requires a disk cache: add --cache [dir] (and drop "
+          "--no-cache)");
+    opts.cache_cap_bytes =
+        static_cast<std::uint64_t>(mb) * 1024ULL * 1024ULL;
+  }
   return opts;
 }
 
@@ -134,7 +171,7 @@ SweepExecutor::SweepExecutor(SweepSpec spec)
       power_(std::move(spec.power)),
       pool_(spec.options.jobs > 0 ? spec.options.jobs
                                   : util::ThreadPool::default_jobs()),
-      cache_(spec.options.cache_dir),
+      cache_(spec.options.cache_dir, spec.options.cache_cap_bytes),
       use_cache_(spec.options.use_cache),
       run_retries_(spec.options.run_retries),
       verify_replay_(spec.options.verify_replay),
@@ -142,9 +179,24 @@ SweepExecutor::SweepExecutor(SweepSpec spec)
         const char* v = std::getenv("PASIM_SCALAR_REPRICE");
         return v != nullptr && *v != '\0' && std::string(v) != "0";
       }()),
+      isolate_(spec.options.isolate),
+      isolate_timeout_s_(spec.options.isolate_timeout_s),
+      isolate_retries_(spec.options.isolate_retries),
       observer_(std::move(spec.observer)) {
   if (spec.fault) cluster_.fault = *spec.fault;
   if (observer_) observer_->set_power_model(power_);
+  if (isolate_ && observer_ && observer_->tracing())
+    throw std::invalid_argument(
+        "--isolate cannot collect traces: isolated workers report results "
+        "through the journal, which carries records, not trace events; "
+        "drop --trace or --isolate");
+  if (!spec.options.journal_path.empty())
+    journal_ = std::make_unique<SweepJournal>(spec.options.journal_path,
+                                              spec.options.resume);
+  if (isolate_ && !journal_)
+    throw std::invalid_argument(
+        "SweepOptions.isolate requires journal_path: the journal is how "
+        "isolated workers hand results back to the supervisor");
 }
 
 SweepExecutor::SweepExecutor(sim::ClusterConfig cluster,
@@ -343,9 +395,22 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
   bool repriced = false;
   RunRecord rec;
   std::string key;
-  if (use_cache_)
+  if (use_cache_ || journal_ != nullptr)
     key = RunCache::key(kernel, cluster_, power_, p.nodes, p.frequency_mhz,
                         p.comm_dvfs_mhz);
+  // Journaled resume: an already-completed point (successful or
+  // fail-soft) is served from the journal — unless this point is being
+  // traced, in which case it re-simulates (deterministically, so every
+  // artifact stays byte-identical) to regenerate its trace events.
+  const bool tracing_point =
+      observer_ && observer_->tracing() && ctx != nullptr;
+  if (journal_ && !tracing_point) {
+    if (std::optional<RunRecord> done = journal_->find(key)) {
+      note_point(kernel, p, ctx, *done, false, false, true,
+                 wall_seconds() - wall_t0);
+      return *done;
+    }
+  }
   if (std::optional<RunRecord> cached =
           use_cache_ ? cache_.lookup(key) : std::nullopt) {
     rec = *cached;
@@ -394,19 +459,31 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
     // (or a fixed kernel) must get a fresh chance at the point.
     if (use_cache_ && !rec.failed()) cache_.store(key, rec);
   }
+  // Journal every resolution — cache hits included, so resume works
+  // with or without a cache, and failures included, because a fault
+  // abort is a deterministic outcome a resume must not re-roll.
+  if (journal_) journal_->append(key, rec);
 
-  note_point(kernel, p, ctx, rec, from_cache, repriced,
+  note_point(kernel, p, ctx, rec, from_cache, repriced, false,
              wall_seconds() - wall_t0);
   return rec;
 }
 
 void SweepExecutor::note_point(const npb::Kernel& kernel, const Point& p,
                                const ObsCtx* ctx, const RunRecord& rec,
-                               bool from_cache, bool repriced,
+                               bool from_cache, bool repriced, bool resumed,
                                double elapsed_s) {
   static obs::Histogram& point_wall =
       obs::registry().histogram("sweep.point_wall_seconds");
   point_wall.observe(elapsed_s);
+
+  // Which points resume is fixed by the journal's contents at launch —
+  // a pure function of the inputs, like the cache counters — so this is
+  // stable at any --jobs. It ticks even in observer-less runs: resume
+  // behaviour must stay visible to library embedders and tests.
+  static obs::Counter& resumed_points = obs::registry().counter(
+      "sweep.points_resumed", obs::Stability::kStable);
+  if (resumed) resumed_points.add();
 
   if (ctx != nullptr && observer_) {
     // Stable counters derive from the canonical records only: integer
@@ -468,13 +545,26 @@ void SweepExecutor::run_column(const npb::Kernel& kernel,
     const ObsCtx* ctx = ctx_of ? &ctx_of[i] : nullptr;
     const double wall_t0 = wall_seconds();
     std::string key;
-    if (use_cache_)
+    if (use_cache_ || journal_ != nullptr)
       key = RunCache::key(kernel, cluster_, power_, p.nodes, p.frequency_mhz,
                           p.comm_dvfs_mhz);
+    // Journaled resume, same contract as run_point: traced points
+    // re-simulate instead of skipping.
+    const bool tracing_point =
+        observer_ && observer_->tracing() && ctx != nullptr;
+    if (journal_ && !tracing_point) {
+      if (std::optional<RunRecord> done = journal_->find(key)) {
+        records[i] = std::move(*done);
+        note_point(kernel, p, ctx, records[i], false, false, true,
+                   wall_seconds() - wall_t0);
+        continue;
+      }
+    }
     if (std::optional<RunRecord> cached =
             use_cache_ ? cache_.lookup(key) : std::nullopt) {
       records[i] = std::move(*cached);
-      note_point(kernel, p, ctx, records[i], true, false,
+      if (journal_) journal_->append(key, records[i]);
+      note_point(kernel, p, ctx, records[i], true, false, false,
                  wall_seconds() - wall_t0);
       continue;
     }
@@ -509,14 +599,16 @@ void SweepExecutor::run_column(const npb::Kernel& kernel,
       }
       if (use_cache_ && !rec.failed()) cache_.store(key, rec);
       records[i] = std::move(rec);
-      note_point(kernel, p, ctx, records[i], false, false,
+      if (journal_) journal_->append(key, records[i]);
+      note_point(kernel, p, ctx, records[i], false, false, false,
                  wall_seconds() - wall_t0);
       continue;
     }
     RunRecord rec = simulate_failsoft(kernel, p, ctx);
     if (use_cache_ && !rec.failed()) cache_.store(key, rec);
     records[i] = std::move(rec);
-    note_point(kernel, p, ctx, records[i], false, false,
+    if (journal_) journal_->append(key, records[i]);
+    note_point(kernel, p, ctx, records[i], false, false, false,
                wall_seconds() - wall_t0);
   }
   if (todo.empty()) return;
@@ -590,7 +682,8 @@ void SweepExecutor::run_column(const npb::Kernel& kernel,
         rec.mean_overhead_s, rec.energy.total_j(), rec.verified ? 1 : 0));
     if (use_cache_ && !rec.failed()) cache_.store(todo[j].key, rec);
     records[i] = std::move(rec);
-    note_point(kernel, p, ctx, records[i], false, true,
+    if (journal_) journal_->append(todo[j].key, records[i]);
+    note_point(kernel, p, ctx, records[i], false, true, false,
                batch_share + (wall_seconds() - point_t0));
   }
 }
@@ -599,6 +692,207 @@ RunRecord SweepExecutor::run_one(const npb::Kernel& kernel, int nodes,
                                  double frequency_mhz, double comm_dvfs_mhz) {
   return run_point(kernel, Point{nodes, frequency_mhz, comm_dvfs_mhz},
                    nullptr);
+}
+
+void SweepExecutor::run_points_isolated(const npb::Kernel& kernel,
+                                        const std::vector<Point>& points,
+                                        const ObsCtx* ctx_of,
+                                        std::vector<RunRecord>& records) {
+  namespace o = pas::obs;
+  // Supervisor traffic is wall-clock-dependent (which worker dies,
+  // which retry lands) — volatile diagnostics only.
+  static o::Counter& isolated_columns =
+      o::registry().counter("sweep.isolated_columns");
+  static o::Counter& worker_crashes =
+      o::registry().counter("sweep.worker_crashes");
+  static o::Counter& worker_timeouts =
+      o::registry().counter("sweep.worker_timeouts");
+  static o::Counter& worker_retries =
+      o::registry().counter("sweep.worker_retries");
+
+  // Pre-pass: points the journal already holds (a --resume of a killed
+  // isolated sweep) never reach a worker. Tracing is off by contract
+  // (the ctor rejects --isolate + tracing), so the skip is safe.
+  std::vector<std::string> keys(points.size());
+  std::vector<char> resolved(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    keys[i] = RunCache::key(kernel, cluster_, power_, p.nodes,
+                            p.frequency_mhz, p.comm_dvfs_mhz);
+    if (std::optional<RunRecord> done = journal_->find(keys[i])) {
+      records[i] = std::move(*done);
+      resolved[i] = 1;
+      note_point(kernel, p, ctx_of ? &ctx_of[i] : nullptr, records[i], false,
+                 false, true, 0.0);
+    }
+  }
+
+  // Group the unresolved remainder into (N, comm-DVFS) columns — the
+  // same unit the fast path uses, so a worker child prices its column
+  // with one ledger however many frequencies it carries.
+  struct Job {
+    std::vector<std::size_t> members;
+    int attempts = 0;
+    double not_before = 0.0;
+  };
+  std::vector<Job> jobs;
+  {
+    std::unordered_map<long long, std::size_t> job_of;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (resolved[i]) continue;
+      const long long column_key =
+          (static_cast<long long>(points[i].nodes) << 32) |
+          static_cast<long long>(sim::NodeState::fkey(points[i].comm_dvfs_mhz));
+      const auto [it, inserted] = job_of.emplace(column_key, jobs.size());
+      if (inserted) jobs.emplace_back();
+      jobs[it->second].members.push_back(i);
+    }
+  }
+
+  struct Live {
+    util::Subprocess::Handle handle;
+    std::size_t job = 0;
+    double t0 = 0.0;
+    double deadline = 0.0;
+    bool timed_out = false;
+  };
+  std::vector<Live> live;
+  std::vector<std::size_t> queue;
+  queue.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push_back(j);
+  const std::size_t window =
+      static_cast<std::size_t>(std::max(1, pool_.max_threads()));
+  const std::string journal_path = journal_->path();
+
+  const auto launch = [&](std::size_t ji) {
+    Job& job = jobs[ji];
+    ++job.attempts;
+    isolated_columns.add();
+    std::vector<Point> member_points;
+    member_points.reserve(job.members.size());
+    for (const std::size_t i : job.members) member_points.push_back(points[i]);
+    Live l;
+    // fork without exec: the child builds a FRESH executor (fresh rank
+    // pool, fresh RunMatrix — the parent's pool threads do not survive
+    // the fork) and reports through the shared journal. resume=true
+    // makes a re-forked child skip whatever its predecessor finished.
+    l.handle = util::Subprocess::spawn(
+        [this, &kernel, member_points, &journal_path]() -> int {
+          SweepSpec spec;
+          spec.cluster = cluster_;
+          spec.power = power_;
+          spec.options.jobs = 1;
+          spec.options.cache_dir = cache_.dir();
+          spec.options.cache_cap_bytes = cache_.cap_bytes();
+          spec.options.use_cache = use_cache_;
+          spec.options.run_retries = run_retries_;
+          spec.options.verify_replay = verify_replay_;
+          spec.options.journal_path = journal_path;
+          spec.options.resume = true;
+          SweepExecutor child(std::move(spec));
+          child.run_points(kernel, member_points);
+          return 0;
+        });
+    l.job = ji;
+    l.t0 = wall_seconds();
+    l.deadline = l.t0 + isolate_timeout_s_;
+    live.push_back(std::move(l));
+  };
+
+  while (!queue.empty() || !live.empty()) {
+    const double now = wall_seconds();
+    for (auto it = queue.begin(); it != queue.end() && live.size() < window;) {
+      if (jobs[*it].not_before <= now) {
+        launch(*it);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    bool reaped_any = false;
+    for (std::size_t k = 0; k < live.size();) {
+      Live& l = live[k];
+      if (!l.handle.poll()) {
+        if (!l.timed_out && wall_seconds() > l.deadline) {
+          l.timed_out = true;
+          l.handle.kill(SIGKILL);
+        }
+        ++k;
+        continue;
+      }
+      reaped_any = true;
+      util::Subprocess::Result res = l.handle.result();
+      res.timed_out = res.timed_out || l.timed_out;
+      Job& job = jobs[l.job];
+      // Harvest whatever the child journaled — a crashed worker's
+      // completed points survive, only in-flight work is lost.
+      journal_->refresh();
+      bool complete = true;
+      const double elapsed = wall_seconds() - l.t0;
+      for (const std::size_t i : job.members) {
+        if (resolved[i]) continue;
+        if (std::optional<RunRecord> done = journal_->find(keys[i])) {
+          records[i] = std::move(*done);
+          resolved[i] = 1;
+          note_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr,
+                     records[i], false, false, false, elapsed);
+        } else {
+          complete = false;
+        }
+      }
+      if (!complete) {
+        if (res.timed_out)
+          worker_timeouts.add();
+        else
+          worker_crashes.add();
+        // The dead child may have left a torn frame; appending after it
+        // would hide every later record, so repair before anyone else
+        // writes at that offset. Safe against live writers: repair
+        // holds the journal flock, and anything past the last good
+        // frame is unreachable garbage by definition.
+        journal_->repair_tail();
+        const Point& p0 = points[job.members.front()];
+        if (job.attempts <= isolate_retries_) {
+          worker_retries.add();
+          // Same doubling policy as message-send retries (pas::fault),
+          // at supervisor scale: 50 ms base.
+          const double backoff = fault::backoff_s(0.05, job.attempts - 1);
+          job.not_before = wall_seconds() + backoff;
+          queue.push_back(l.job);
+          util::log_warn(util::strf(
+              "%s N=%d column worker %s; retrying in %.0f ms (attempt "
+              "%d/%d)",
+              kernel.name().c_str(), p0.nodes, res.describe().c_str(),
+              backoff * 1e3, job.attempts + 1, isolate_retries_ + 1));
+        } else {
+          util::log_warn(util::strf(
+              "%s N=%d column worker %s after %d attempt(s); recording "
+              "unfinished points as %s",
+              kernel.name().c_str(), p0.nodes, res.describe().c_str(),
+              job.attempts, res.timed_out ? "timeout" : "crashed"));
+          for (const std::size_t i : job.members) {
+            if (resolved[i]) continue;
+            RunRecord rec;
+            rec.nodes = points[i].nodes;
+            rec.frequency_mhz = points[i].frequency_mhz;
+            rec.status =
+                res.timed_out ? RunStatus::kTimeout : RunStatus::kCrashed;
+            rec.error = "isolated worker " + res.describe();
+            rec.attempts = job.attempts;
+            records[i] = std::move(rec);
+            resolved[i] = 1;
+            // Deliberately NOT journaled: a crash is an environmental
+            // accident, and a --resume should retry the point for real.
+            note_point(kernel, points[i], ctx_of ? &ctx_of[i] : nullptr,
+                       records[i], false, false, false, elapsed);
+          }
+        }
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    if (!reaped_any && (!live.empty() || !queue.empty()))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 std::vector<RunRecord> SweepExecutor::run_points(
@@ -621,6 +915,10 @@ std::vector<RunRecord> SweepExecutor::run_points(
   }
 
   std::vector<RunRecord> records(points.size());
+  if (isolate_) {
+    run_points_isolated(kernel, points, ctx_of, records);
+    return records;
+  }
   if (!fast_path_eligible(kernel)) {
     if (points.size() <= 1 || pool_.max_threads() == 1) {
       for (std::size_t i = 0; i < points.size(); ++i)

@@ -48,6 +48,7 @@
 
 #include "pas/analysis/run_cache.hpp"
 #include "pas/analysis/run_matrix.hpp"
+#include "pas/analysis/sweep_journal.hpp"
 #include "pas/fault/fault.hpp"
 #include "pas/obs/observer.hpp"
 #include "pas/util/thread_pool.hpp"
@@ -77,17 +78,42 @@ struct SweepOptions {
   /// must be identical in every cached byte (RunCache::encode_record);
   /// any difference aborts the sweep with std::runtime_error.
   bool verify_replay = false;
+  /// Write-ahead sweep journal (DESIGN.md §12): every completed point
+  /// — successful or fail-soft — is framed, checksummed and fsync'd to
+  /// this file before the sweep moves on. Empty = no journal.
+  std::string journal_path;
+  /// Load the journal instead of truncating it: already-journaled
+  /// points are skipped (except under tracing, where they re-simulate
+  /// so trace.json stays byte-identical) and counted in the stable
+  /// `sweep.points_resumed` metric.
+  bool resume = false;
+  /// Supervisor mode: each sweep column runs in a forked child process
+  /// with a wall-clock deadline; crashes/OOM kills/timeouts cost the
+  /// column (fail-soft kCrashed/kTimeout records after bounded
+  /// exponential-backoff retries), never the sweep. Implies a journal
+  /// (it is the supervisor's IPC). Incompatible with tracing.
+  bool isolate = false;
+  double isolate_timeout_s = 300.0;  ///< per-child wall-clock deadline
+  int isolate_retries = 1;           ///< re-forks per crashed column
+  /// Disk-cache size cap in bytes; > 0 enables LRU eviction after
+  /// stores (see RunCache). 0 = unbounded.
+  std::uint64_t cache_cap_bytes = 0;
 
   /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
   /// then hardware concurrency), `--cache [dir]` (default dir
   /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`,
-  /// `--retries N`, `--verify-replay`. Throws std::invalid_argument
-  /// for `--jobs < 1`, `--retries < 0`, a $PASIM_JOBS that is not a
+  /// `--retries N`, `--verify-replay`, `--journal [file]` (default
+  /// `pasim_sweep.journal`), `--resume`, `--isolate`,
+  /// `--isolate-timeout S`, `--isolate-retries N`, `--cache-cap MB`.
+  /// `--resume`/`--isolate` imply the default journal path when
+  /// `--journal` is absent. Throws std::invalid_argument for
+  /// `--jobs < 1`, `--retries < 0`, a $PASIM_JOBS that is not a
   /// positive integer, a $PASIM_CACHE_DIR that is set but empty —
   /// environment values obey the same rules as the flags they stand in
-  /// for — or `--verify-replay` combined with `--no-cache` (disabling
+  /// for — `--verify-replay` combined with `--no-cache` (disabling
   /// the cache would silently drop the verification pass's record
-  /// comparison baseline).
+  /// comparison baseline), `--isolate-timeout <= 0`,
+  /// `--isolate-retries < 0`, or `--cache-cap` without a disk cache.
   static SweepOptions from_cli(const util::Cli& cli);
 };
 
@@ -126,6 +152,8 @@ class SweepExecutor {
   int jobs() const { return pool_.max_threads(); }
   RunCache& cache() { return cache_; }
   const RunCache& cache() const { return cache_; }
+  /// The write-ahead journal, when one is configured; null otherwise.
+  SweepJournal* journal() { return journal_.get(); }
   const sim::ClusterConfig& cluster() const { return cluster_; }
   const std::shared_ptr<obs::Observer>& observer() const { return observer_; }
 
@@ -195,10 +223,22 @@ class SweepExecutor {
                   const ObsCtx* ctx_of, ColumnState& col,
                   std::vector<RunRecord>& records);
   /// Per-point observer accounting (wall histogram, stable counters,
-  /// report point), shared by the scalar and batched paths.
+  /// report point), shared by the scalar and batched paths. `resumed`
+  /// marks a point served from the sweep journal (never also
+  /// from_cache/repriced).
   void note_point(const npb::Kernel& kernel, const Point& p, const ObsCtx* ctx,
                   const RunRecord& rec, bool from_cache, bool repriced,
-                  double elapsed_s);
+                  bool resumed, double elapsed_s);
+  /// The --isolate supervisor: forks one child per unresolved column
+  /// (sliding window of `jobs` live children, wall-clock deadlines,
+  /// bounded exponential-backoff re-forks), harvests results through
+  /// the shared journal, and synthesizes fail-soft kCrashed/kTimeout
+  /// records for columns that never complete. Runs on the calling
+  /// thread only — forking from pool workers is not fork-safe.
+  void run_points_isolated(const npb::Kernel& kernel,
+                           const std::vector<Point>& points,
+                           const ObsCtx* ctx_of,
+                           std::vector<RunRecord>& records);
   /// Stable replay counters. Totals are engine-independent by
   /// construction: the scalar path adds one lane per repriced point,
   /// the batched path adds all of a column's lanes at once.
@@ -225,6 +265,12 @@ class SweepExecutor {
   bool verify_replay_;
   /// $PASIM_SCALAR_REPRICE: force per-point scalar repricing.
   bool scalar_reprice_;
+  /// Write-ahead journal behind --resume/--isolate; null when not
+  /// configured.
+  std::unique_ptr<SweepJournal> journal_;
+  bool isolate_;
+  double isolate_timeout_s_;
+  int isolate_retries_;
   std::shared_ptr<obs::Observer> observer_;
   /// RunMatrix instances (each with its own Runtime + rank pool) are
   /// leased per task and reused, so a sweep touches at most `jobs`

@@ -1,0 +1,257 @@
+#include "pas/analysis/sweep_journal.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "pas/analysis/run_cache.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/fs.hpp"
+#include "pas/util/log.hpp"
+
+namespace pas::analysis {
+namespace {
+
+constexpr char kMagic[] = "pasim-sweep-journal v1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+
+long env_count(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  return (end != v && *end == '\0' && n > 0) ? n : 0;
+}
+
+std::atomic<long>& crash_after_counter() {
+  static std::atomic<long> v{env_count("PASIM_CRASH_AFTER_APPENDS")};
+  return v;
+}
+
+std::atomic<long>& crash_mid_counter() {
+  static std::atomic<long> v{env_count("PASIM_CRASH_MID_APPEND")};
+  return v;
+}
+
+/// Counts one append against an armed crash trigger; true exactly when
+/// this append is the n-th (the one that must die).
+bool take_trigger(std::atomic<long>& v) {
+  long cur = v.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (v.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed))
+      return cur == 1;
+  }
+  return false;
+}
+
+std::string encode_payload(const std::string& key, const RunRecord& rec) {
+  std::ostringstream out;
+  out << "key " << key << '\n';
+  out << "status " << static_cast<int>(rec.status) << '\n';
+  // Length-prefixed raw bytes: the error text of a failed run is free
+  // text and must not be able to break the line framing.
+  out << "error " << rec.error.size() << '\n' << rec.error << '\n';
+  out << RunCache::encode_record(rec);
+  out << "end\n";
+  return out.str();
+}
+
+bool decode_payload(const std::string& p, std::string* key, RunRecord* rec) {
+  std::size_t off = 0;
+  const auto line = [&](std::string* out) {
+    const std::size_t nl = p.find('\n', off);
+    if (nl == std::string::npos) return false;
+    *out = p.substr(off, nl - off);
+    off = nl + 1;
+    return true;
+  };
+  std::string l;
+  if (!line(&l) || l.rfind("key ", 0) != 0) return false;
+  *key = l.substr(4);
+  if (key->empty()) return false;
+  if (!line(&l) || l.rfind("status ", 0) != 0) return false;
+  char* end = nullptr;
+  const long status = std::strtol(l.c_str() + 7, &end, 10);
+  if (end == nullptr || *end != '\0' || status < 0 ||
+      status > static_cast<long>(RunStatus::kCrashed))
+    return false;
+  rec->status = static_cast<RunStatus>(status);
+  if (!line(&l) || l.rfind("error ", 0) != 0) return false;
+  const long err_len = std::strtol(l.c_str() + 6, &end, 10);
+  if (end == nullptr || *end != '\0' || err_len < 0 ||
+      off + static_cast<std::size_t>(err_len) + 1 > p.size())
+    return false;
+  rec->error = p.substr(off, static_cast<std::size_t>(err_len));
+  off += static_cast<std::size_t>(err_len);
+  if (p[off] != '\n') return false;
+  ++off;
+  std::istringstream rest(p.substr(off));
+  if (!RunCache::decode_record(rest, rec)) return false;
+  std::string tail;
+  if (!(rest >> tail) || tail != "end") return false;
+  return true;
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path, bool resume)
+    : path_(std::move(path)) {
+  const auto init_fresh = [&] {
+    read_offset_ = kMagicLen;
+    if (const int err = util::atomic_write_file(path_, kMagic)) {
+      pas::util::log_warn("sweep journal: cannot create " + path_ + ": " +
+                          std::string(std::strerror(err)) +
+                          "; journaling disabled for this run");
+      write_failed_ = true;
+    }
+  };
+  if (!resume) {
+    init_fresh();
+    return;
+  }
+  const std::optional<std::string> bytes = util::read_file(path_);
+  if (!bytes) {
+    // --resume with no journal yet: same as a fresh sweep.
+    init_fresh();
+    return;
+  }
+  if (bytes->size() < kMagicLen ||
+      bytes->compare(0, kMagicLen, kMagic) != 0) {
+    pas::util::log_warn("sweep journal: " + path_ +
+                        " is not a journal (bad magic); starting fresh");
+    init_fresh();
+    return;
+  }
+  refresh();
+  repair_tail();
+}
+
+std::size_t SweepJournal::refresh_locked() {
+  const std::optional<std::string> bytes = util::read_file(path_);
+  if (!bytes) return 0;
+  const std::string& s = *bytes;
+  std::size_t off = read_offset_;
+  if (off == 0) {
+    if (s.size() < kMagicLen || s.compare(0, kMagicLen, kMagic) != 0)
+      return 0;
+    off = kMagicLen;
+    read_offset_ = off;
+  }
+  std::size_t added = 0;
+  while (off < s.size()) {
+    const std::size_t nl = s.find('\n', off);
+    if (nl == std::string::npos) break;  // torn header line
+    const std::string header = s.substr(off, nl - off);
+    std::size_t payload_len = 0;
+    std::uint64_t sum = 0;
+    {
+      std::istringstream in(header);
+      std::string tag, hex;
+      if (!(in >> tag >> payload_len >> hex) || tag != "J" || hex.size() != 16)
+        break;
+      char* end = nullptr;
+      sum = std::strtoull(hex.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0') break;
+    }
+    const std::size_t payload_at = nl + 1;
+    if (payload_at + payload_len > s.size()) break;  // torn payload
+    const std::string payload = s.substr(payload_at, payload_len);
+    if (util::fnv1a(payload) != sum) break;  // bit rot / interleave
+    std::string key;
+    RunRecord rec;
+    if (!decode_payload(payload, &key, &rec)) break;
+    if (records_.emplace(key, std::move(rec)).second) ++added;
+    off = payload_at + payload_len;
+    read_offset_ = off;
+  }
+  return added;
+}
+
+std::size_t SweepJournal::refresh() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return refresh_locked();
+}
+
+void SweepJournal::repair_tail() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const util::FileLock fl = util::FileLock::acquire(path_ + ".lock");
+  // Harvest any frames a still-exiting writer got in before the lock;
+  // whatever remains past read_offset_ is torn or unreachable garbage,
+  // and appending after it would hide every later record. Cut it.
+  refresh_locked();
+  const std::optional<std::string> bytes = util::read_file(path_);
+  if (!bytes || read_offset_ == 0 || bytes->size() <= read_offset_) return;
+  const std::size_t dropped = bytes->size() - read_offset_;
+  if (::truncate(path_.c_str(), static_cast<off_t>(read_offset_)) != 0) {
+    pas::util::log_warn("sweep journal: cannot truncate torn tail of " +
+                        path_);
+    return;
+  }
+  const int fd = ::open(path_.c_str(), O_WRONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  pas::util::log_warn(pas::util::strf(
+      "sweep journal: truncated %zu torn tail byte(s) of %s (crashed "
+      "writer); %zu record(s) intact",
+      dropped, path_.c_str(), records_.size()));
+}
+
+std::optional<RunRecord> SweepJournal::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SweepJournal::append(const std::string& key, const RunRecord& rec) {
+  const std::string payload = encode_payload(key, rec);
+  const std::string frame =
+      pas::util::strf("J %zu %016" PRIx64 "\n", payload.size(),
+                      util::fnv1a(payload)) +
+      payload;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.find(key) != records_.end()) return true;
+  const util::FileLock fl = util::FileLock::acquire(path_ + ".lock");
+  if (take_trigger(crash_mid_counter())) {
+    // Torture hook: die halfway through the frame, leaving exactly the
+    // torn tail repair_tail() exists for.
+    util::append_durable(
+        path_, std::string_view(frame).substr(0, frame.size() / 2));
+    ::raise(SIGKILL);
+  }
+  if (const int err = util::append_durable(path_, frame)) {
+    if (!write_failed_) {
+      pas::util::log_warn("sweep journal: append to " + path_ + " failed: " +
+                          std::string(std::strerror(err)) +
+                          "; continuing without journaling");
+      write_failed_ = true;
+    }
+    return false;
+  }
+  records_.emplace(key, rec);
+  if (take_trigger(crash_after_counter())) ::raise(SIGKILL);
+  return true;
+}
+
+std::size_t SweepJournal::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void SweepJournal::set_crash_after_appends(long n) {
+  crash_after_counter().store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+void SweepJournal::set_crash_mid_append(long n) {
+  crash_mid_counter().store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+}  // namespace pas::analysis

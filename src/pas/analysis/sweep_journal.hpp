@@ -1,0 +1,105 @@
+// SweepJournal — the write-ahead journal behind `--resume` and the
+// `--isolate` supervisor (DESIGN.md §12).
+//
+// One append-only file records every point a sweep has finished
+// (successfully OR fail-soft), keyed by the point's RunCache content
+// hash key. Each record is framed, checksummed and fsync'd before
+// append() returns, so after a SIGKILL at ANY instruction the journal
+// holds a prefix of the completed points plus at most one torn tail
+// frame — which repair_tail() truncates away. A resumed sweep replays
+// the journal instead of the simulator and converges to byte-identical
+// artifacts.
+//
+// On-disk format (validated by scripts/check_journal_schema.py):
+//
+//   pasim-sweep-journal v1\n
+//   J <payload_bytes> <fnv1a_hex_16>\n<payload>      (repeated)
+//
+// with payload:
+//
+//   key <cache key>\n
+//   status <RunStatus int>\n
+//   error <bytes>\n<raw error text>\n
+//   <RunCache::encode_record bytes>
+//   end\n
+//
+// The journal is also the supervisor's IPC: isolated workers append to
+// the shared file (O_APPEND single-write() frames never interleave;
+// an advisory flock serializes them anyway) and the parent harvests
+// their results with refresh(). The journal deliberately stores failed
+// records — they are deterministic outcomes a resume must not re-roll —
+// but supervisor-synthesized crash records are NEVER journaled: a
+// crash is an environmental accident, and a resume should retry the
+// point for real.
+//
+// Torture hooks: set_crash_after_appends(n) SIGKILLs the process right
+// after the n-th successful append (the journaled point survives, the
+// rest of the sweep dies — the resume test's crash point), and
+// set_crash_mid_append(n) kills mid-write of the n-th frame, leaving
+// exactly the torn tail repair_tail() must handle. Both also read
+// $PASIM_CRASH_AFTER_APPENDS / $PASIM_CRASH_MID_APPEND at first use so
+// the shell-level harness can arm them in a child process.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "pas/analysis/run_matrix.hpp"
+
+namespace pas::analysis {
+
+class SweepJournal {
+ public:
+  /// `resume` false: any existing journal at `path` is discarded and a
+  /// fresh one (magic line only) is published atomically. `resume`
+  /// true: existing records are loaded (tolerating — and truncating —
+  /// a torn tail) and find() serves them.
+  SweepJournal(std::string path, bool resume);
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// The journaled record of `key`, if that point already completed.
+  std::optional<RunRecord> find(const std::string& key) const;
+
+  /// Journals one completed point: frame + checksum + fsync before
+  /// returning. Idempotent per key. Fail-soft on I/O errors (ENOSPC):
+  /// logs once, returns false, and the sweep carries on — a sweep
+  /// without a journal is degraded, not dead.
+  bool append(const std::string& key, const RunRecord& record);
+
+  /// Incrementally parses frames appended by other processes since the
+  /// last load/refresh (the supervisor's harvest step). Returns the
+  /// number of new records. Stops at the first torn/corrupt frame.
+  std::size_t refresh();
+
+  /// Truncates a torn/corrupt tail (under the journal flock) so later
+  /// appends are reachable by every reader. Call only while no writer
+  /// is live — the ctor does on resume, and the supervisor does after
+  /// reaping a dead worker.
+  void repair_tail();
+
+  std::size_t entries() const;
+  const std::string& path() const { return path_; }
+
+  /// SIGKILL the process immediately after the n-th successful append
+  /// from now (n >= 1); n <= 0 disarms. Process-wide.
+  static void set_crash_after_appends(long n);
+  /// SIGKILL the process halfway through writing the n-th frame from
+  /// now (n >= 1), leaving a torn tail; n <= 0 disarms. Process-wide.
+  static void set_crash_mid_append(long n);
+
+ private:
+  std::size_t refresh_locked();
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, RunRecord> records_;
+  std::size_t read_offset_ = 0;  ///< end of the last good frame
+  bool write_failed_ = false;    ///< first failure already logged
+};
+
+}  // namespace pas::analysis

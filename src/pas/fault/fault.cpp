@@ -96,8 +96,14 @@ double RankFaults::draw_dvfs_jitter() {
   return cfg_.dvfs_jitter_s * rng_.next_double();
 }
 
+double backoff_s(double base_s, int retry) {
+  if (retry < 0) retry = 0;
+  if (retry > 62) retry = 62;
+  return base_s * static_cast<double>(1ULL << retry);
+}
+
 double RankFaults::backoff_s(int retry) const {
-  return cfg_.retry_backoff_s * static_cast<double>(1ULL << retry);
+  return fault::backoff_s(cfg_.retry_backoff_s, retry);
 }
 
 FaultPlan::FaultPlan(const FaultConfig& cfg, int nranks, int attempt)

@@ -25,6 +25,12 @@ class Cli;
 
 namespace pas::fault {
 
+/// The repo's one exponential-backoff policy: base * 2^retry (retry is
+/// 0-based, clamped to [0, 62]). Used by message-send retries here and
+/// by the sweep supervisor's crashed-worker retries (SweepExecutor
+/// --isolate) so both layers back off identically.
+double backoff_s(double base_s, int retry);
+
 /// Base of every fault-induced abort. SweepExecutor treats these (and
 /// the runtime's DeadlockError/TimeoutError) as fail-soft: the run is
 /// recorded as failed and the sweep continues.

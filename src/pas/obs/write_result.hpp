@@ -6,14 +6,15 @@
 //
 // Header-only on purpose: pas_util (the bottom layer) returns
 // WriteResult from TextTable::write_csv, so this header must not pull
-// in any pas library.
+// in any pas library above util (pas/util/fs.hpp provides the atomic
+// write primitive and lives in pas_util itself).
 #pragma once
 
-#include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <string_view>
+
+#include "pas/util/fs.hpp"
 
 namespace pas::obs {
 
@@ -32,24 +33,17 @@ struct WriteResult {
   }
 };
 
-/// Writes `content` to `path` (binary, whole-file). Never throws; the
-/// outcome — including the errno text of an open or write failure —
-/// is in the returned WriteResult.
+/// Writes `content` to `path` (binary, whole-file) crash-atomically:
+/// temp file + fsync + rename (util::atomic_write_file), so a killed
+/// run leaves either the previous artifact or the complete new one,
+/// never a truncated mix. Never throws; the outcome — including the
+/// errno text of a failed step — is in the returned WriteResult.
 inline WriteResult write_text_file(const std::string& path,
                                    std::string_view content) {
   WriteResult r;
   r.path = path;
-  errno = 0;
-  std::ofstream f(path, std::ios::binary);
-  if (!f) {
-    r.error = errno != 0 ? std::strerror(errno) : "cannot open";
-    return r;
-  }
-  f.write(content.data(),
-          static_cast<std::streamsize>(content.size()));
-  f.flush();
-  if (!f) {
-    r.error = errno != 0 ? std::strerror(errno) : "write failed";
+  if (const int err = pas::util::atomic_write_file(path, content)) {
+    r.error = std::strerror(err);
     return r;
   }
   r.bytes = content.size();

@@ -1,0 +1,182 @@
+#include "pas/util/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace pas::util {
+namespace {
+
+// Simulated-ENOSPC injection (torture harness). -1 = off; otherwise
+// the number of durable writes still allowed to succeed.
+std::atomic<long>& write_fault_budget() {
+  static std::atomic<long> budget{[] {
+    const char* v = std::getenv("PASIM_INJECT_WRITE_FAULT_AFTER");
+    if (v == nullptr || *v == '\0') return -1L;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    return (end != v && *end == '\0' && n >= 0) ? n : -1L;
+  }()};
+  return budget;
+}
+
+/// 0, or the errno this durable write must fail with.
+int take_injected_fault() {
+  std::atomic<long>& budget = write_fault_budget();
+  long have = budget.load(std::memory_order_relaxed);
+  while (have >= 0) {
+    if (have == 0) return ENOSPC;
+    if (budget.compare_exchange_weak(have, have - 1,
+                                     std::memory_order_relaxed))
+      return 0;
+  }
+  return 0;
+}
+
+int write_all(int fd, std::string_view content) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void set_write_fault_after(long n) {
+  write_fault_budget().store(n < 0 ? -1 : n, std::memory_order_relaxed);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  struct stat st {};
+  const std::string dir =
+      (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) ? path
+                                                              : dir_of(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);  // best-effort: a failure here cannot be acted on
+  ::close(fd);
+}
+
+int atomic_write_file(const std::string& path, std::string_view content) {
+  if (const int injected = take_injected_fault()) return injected;
+  // Per-process temp name: concurrent processes publishing the same
+  // path each write their own temp file; the renames serialize and the
+  // last one wins with complete bytes either way.
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid();
+  const std::string tmp = tmp_name.str();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno != 0 ? errno : EIO;
+  int err = write_all(fd, content);
+  if (err == 0 && ::fsync(fd) != 0) err = errno != 0 ? errno : EIO;
+  if (::close(fd) != 0 && err == 0) err = errno != 0 ? errno : EIO;
+  if (err == 0 && ::rename(tmp.c_str(), path.c_str()) != 0)
+    err = errno != 0 ? errno : EIO;
+  if (err != 0) {
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  fsync_parent_dir(path);
+  return 0;
+}
+
+int append_durable(const std::string& path, std::string_view content) {
+  if (const int injected = take_injected_fault()) return injected;
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno != 0 ? errno : EIO;
+  // One write() call: O_APPEND makes the offset update atomic, so
+  // concurrent appenders (isolated sweep workers) never interleave
+  // bytes inside one journal record.
+  int err = write_all(fd, content);
+  if (err == 0 && ::fsync(fd) != 0) err = errno != 0 ? errno : EIO;
+  if (::close(fd) != 0 && err == 0) err = errno != 0 ? errno : EIO;
+  return err;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return buf.str();
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { release(); }
+
+void FileLock::release() {
+  if (fd_ < 0) return;
+  ::flock(fd_, LOCK_UN);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+FileLock FileLock::acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return FileLock();
+  while (::flock(fd, LOCK_EX) != 0) {
+    if (errno != EINTR) {
+      ::close(fd);
+      return FileLock();
+    }
+  }
+  return FileLock(fd);
+}
+
+std::optional<FileLock> FileLock::try_acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return std::nullopt;
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  return FileLock(fd);
+}
+
+}  // namespace pas::util

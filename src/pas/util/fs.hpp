@@ -1,0 +1,87 @@
+// Crash-safe filesystem primitives shared by every durable writer in
+// the tree: the artifact writers (obs::write_text_file), the run/ledger
+// cache and the sweep journal.
+//
+//   * atomic_write_file — temp file + fsync + rename + directory fsync,
+//     so a reader can never observe a truncated or interleaved file and
+//     a crash at any instruction leaves either the old bytes or the new
+//     bytes, never a mix (DESIGN.md §12).
+//   * append_durable — O_APPEND single-write() append + fsync, the
+//     write-ahead discipline of the sweep journal.
+//   * FileLock — advisory flock() on a lock file. flock locks die with
+//     their holder (the kernel releases them on process exit, however
+//     violent), so a crashed writer can never wedge the cache: stale-
+//     lock recovery is inherent, no PID files or timeouts needed.
+//   * fnv1a — the content checksum used by cache entries and journal
+//     records (and their file names).
+//
+// Torture-harness hook: set_write_fault_after(n) (or
+// $PASIM_INJECT_WRITE_FAULT_AFTER) makes every durable write after the
+// n-th fail with a simulated ENOSPC, so tests can prove that disk
+// pressure degrades writers gracefully instead of corrupting state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pas::util {
+
+/// FNV-1a 64-bit over `s`. Stable across platforms; spelled out in
+/// scripts/check_journal_schema.py, so do not change the constants.
+std::uint64_t fnv1a(std::string_view s);
+
+/// Writes `content` to `path` atomically and durably: a private temp
+/// file in the same directory, fsync, rename over `path`, fsync of the
+/// directory. Returns 0 or the errno of the failing step (the temp
+/// file is cleaned up on failure). Never throws.
+int atomic_write_file(const std::string& path, std::string_view content);
+
+/// Appends `content` to `path` (creating it) with one write() call and
+/// an fsync before returning — the journal's write-ahead guarantee.
+/// Returns 0 or an errno. Never throws.
+int append_durable(const std::string& path, std::string_view content);
+
+/// Whole-file read; nullopt on any error (missing file included).
+std::optional<std::string> read_file(const std::string& path);
+
+/// Best-effort fsync of the directory containing `path` (or of `path`
+/// itself if it is a directory). Quarantine renames use this so the
+/// `.bad` name survives a crash (ISSUE 7 satellite).
+void fsync_parent_dir(const std::string& path);
+
+/// After `n` more successful durable writes, every later one fails
+/// with a simulated ENOSPC. n < 0 disables injection (the default).
+/// Also configured by $PASIM_INJECT_WRITE_FAULT_AFTER at first use.
+void set_write_fault_after(long n);
+
+/// Advisory whole-file lock (flock). Acquire creates the lock file if
+/// needed. The lock is released by the destructor — or by the kernel
+/// the instant the holding process dies, which is the stale-lock
+/// recovery story: no lock can outlive its owner.
+class FileLock {
+ public:
+  FileLock() = default;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock();
+
+  /// Blocks until the lock is held. Returns a non-held lock only when
+  /// the lock file cannot be created at all (read-only dir, ENOSPC).
+  static FileLock acquire(const std::string& path);
+
+  /// Non-blocking; nullopt when another process (or fd) holds it.
+  static std::optional<FileLock> try_acquire(const std::string& path);
+
+  bool held() const { return fd_ >= 0; }
+  void release();
+
+ private:
+  explicit FileLock(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace pas::util

@@ -1,0 +1,205 @@
+#include "pas/util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+namespace pas::util {
+namespace {
+
+void redirect(const std::string& path, int target_fd) {
+  if (path.empty()) return;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) _exit(126);
+  ::dup2(fd, target_fd);
+  ::close(fd);
+}
+
+void apply_options_in_child(const Subprocess::Options& opts) {
+  redirect(opts.stdout_path, STDOUT_FILENO);
+  redirect(opts.stderr_path, STDERR_FILENO);
+  for (const std::string& kv : opts.env) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+  }
+}
+
+}  // namespace
+
+std::string Subprocess::Result::describe() const {
+  if (!started) return "failed to start: " + error;
+  std::ostringstream out;
+  if (timed_out) {
+    out << "timed out (killed by supervisor)";
+    return out.str();
+  }
+  if (signaled) {
+    out << "killed by signal " << term_signal;
+    const char* name = ::strsignal(term_signal);
+    if (name != nullptr) out << " (" << name;
+    if (term_signal == SIGKILL) out << (name ? "; possibly the OOM killer" : "");
+    if (name != nullptr) out << ")";
+    return out.str();
+  }
+  if (exited) {
+    out << "exited " << exit_code;
+    return out.str();
+  }
+  return "still running";
+}
+
+Subprocess::Handle::Handle(Handle&& other) noexcept
+    : pid_(other.pid_), reaped_(other.reaped_),
+      result_(std::move(other.result_)) {
+  other.pid_ = -1;
+  other.reaped_ = false;
+}
+
+Subprocess::Handle& Subprocess::Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    if (running()) {
+      kill(SIGKILL);
+      wait();
+    }
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    result_ = std::move(other.result_);
+    other.pid_ = -1;
+    other.reaped_ = false;
+  }
+  return *this;
+}
+
+Subprocess::Handle::~Handle() {
+  if (running()) {
+    kill(SIGKILL);
+    wait();
+  }
+}
+
+bool Subprocess::Handle::poll() {
+  if (reaped_ || pid_ <= 0) return reaped_;
+  int status = 0;
+  const pid_t got = ::waitpid(pid_, &status, WNOHANG);
+  if (got == 0) return false;
+  reaped_ = true;
+  if (got < 0) {
+    // ECHILD etc.: we cannot classify the exit; report it as a crash so
+    // the supervisor retries rather than trusting a phantom success.
+    result_.signaled = true;
+    result_.term_signal = SIGKILL;
+    return true;
+  }
+  if (WIFEXITED(status)) {
+    result_.exited = true;
+    result_.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result_.signaled = true;
+    result_.term_signal = WTERMSIG(status);
+  }
+  return true;
+}
+
+Subprocess::Result Subprocess::Handle::wait(double timeout_s) {
+  if (reaped_ || pid_ <= 0) return result_;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!poll()) {
+    if (timeout_s > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+      kill(SIGKILL);
+      while (!poll()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      result_.timed_out = true;
+      return result_;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return result_;
+}
+
+void Subprocess::Handle::kill(int sig) const {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, sig);
+}
+
+Subprocess::Handle Subprocess::spawn(std::function<int()> body,
+                                     const Options& opts) {
+  Handle h;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    h.reaped_ = true;
+    h.result_.error = std::strerror(errno);
+    return h;
+  }
+  if (pid == 0) {
+    apply_options_in_child(opts);
+    int code = 125;
+    try {
+      code = body();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "subprocess body threw: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "subprocess body threw a non-std exception\n");
+    }
+    // _exit, not exit: the child shares the parent's atexit handlers and
+    // stdio buffers; running them here would double-flush or deadlock.
+    std::fflush(nullptr);
+    _exit(code);
+  }
+  h.pid_ = pid;
+  h.result_.started = true;
+  return h;
+}
+
+Subprocess::Handle Subprocess::spawn(const std::vector<std::string>& argv,
+                                     const Options& opts) {
+  if (argv.empty()) {
+    Handle h;
+    h.reaped_ = true;
+    h.result_.error = "empty argv";
+    return h;
+  }
+  Handle h;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    h.reaped_ = true;
+    h.result_.error = std::strerror(errno);
+    return h;
+  }
+  if (pid == 0) {
+    apply_options_in_child(opts);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv)
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    std::fprintf(stderr, "execvp %s: %s\n", cargv[0], std::strerror(errno));
+    _exit(127);
+  }
+  h.pid_ = pid;
+  h.result_.started = true;
+  return h;
+}
+
+Subprocess::Result Subprocess::call(std::function<int()> body,
+                                    double timeout_s, const Options& opts) {
+  Handle h = spawn(std::move(body), opts);
+  return h.wait(timeout_s);
+}
+
+Subprocess::Result Subprocess::run(const std::vector<std::string>& argv,
+                                   double timeout_s, const Options& opts) {
+  Handle h = spawn(argv, opts);
+  return h.wait(timeout_s);
+}
+
+}  // namespace pas::util

@@ -1,0 +1,105 @@
+// util::Subprocess — fork/exec (or fork/call) children with wall-clock
+// timeouts and faithful exit classification.
+//
+// The sweep supervisor (SweepExecutor --isolate, DESIGN.md §12) runs
+// each sweep column in a child so that a segfault, an abort(), an OOM
+// kill or a runaway loop costs one column, not the sweep. The parent
+// needs to know exactly how a child died, so Result distinguishes:
+//
+//   * exited / exit_code — normal termination,
+//   * signaled / term_signal — killed by a signal. SIGKILL a parent
+//     did not send is the kernel OOM killer's signature,
+//   * timed_out — the parent enforced the deadline with SIGKILL.
+//
+// spawn(fn) forks WITHOUT exec: the child runs `fn` in a copy of the
+// address space and _exit()s with its return value (no atexit
+// handlers, no stdio double-flush). Callers must fork from a thread
+// that holds no locks shared with running threads — the --isolate
+// supervisor dispatches all forks from the one coordinating thread.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace pas::util {
+
+class Subprocess {
+ public:
+  struct Result {
+    bool started = false;   ///< fork (and exec, if any) succeeded
+    bool exited = false;    ///< normal termination
+    int exit_code = -1;     ///< valid when exited
+    bool signaled = false;  ///< killed by a signal
+    int term_signal = 0;    ///< valid when signaled
+    bool timed_out = false; ///< parent killed it at the deadline
+    std::string error;      ///< errno text of a spawn-level failure
+
+    bool ok() const { return started && exited && exit_code == 0; }
+    /// "exited 0", "killed by signal 9 (SIGKILL — possibly the OOM
+    /// killer)", "timed out after 30.0s", ...
+    std::string describe() const;
+  };
+
+  struct Options {
+    /// stdout / stderr redirection targets; empty = inherit.
+    std::string stdout_path;
+    std::string stderr_path;
+    /// Extra "NAME=VALUE" environment entries for the child.
+    std::vector<std::string> env;
+  };
+
+  /// A live (or reaped) child. Move-only; destroying a still-running
+  /// handle kills (SIGKILL) and reaps the child — a supervisor that
+  /// unwinds never leaks orphans.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept;
+    Handle& operator=(Handle&& other) noexcept;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle();
+
+    pid_t pid() const { return pid_; }
+    bool valid() const { return pid_ > 0 || reaped_; }
+    bool running() const { return pid_ > 0 && !reaped_; }
+
+    /// Non-blocking reap attempt; true once the child has been reaped
+    /// (result() is then final).
+    bool poll();
+
+    /// Blocks until exit, or until `timeout_s` (> 0) elapses — then
+    /// SIGKILLs the child, reaps it and marks the result timed_out.
+    Result wait(double timeout_s = 0.0);
+
+    void kill(int sig) const;
+
+    const Result& result() const { return result_; }
+
+   private:
+    friend class Subprocess;
+    pid_t pid_ = -1;
+    bool reaped_ = false;
+    Result result_;
+  };
+
+  /// Forks a child that runs `body` and _exit()s with its return value
+  /// (exceptions are reported on stderr and exit as 125).
+  static Handle spawn(std::function<int()> body, const Options& opts = {});
+
+  /// Forks and execs `argv` (argv[0] resolved via PATH).
+  static Handle spawn(const std::vector<std::string>& argv,
+                      const Options& opts = {});
+
+  /// spawn(body) + wait(timeout_s).
+  static Result call(std::function<int()> body, double timeout_s = 0.0,
+                     const Options& opts = {});
+
+  /// spawn(argv) + wait(timeout_s).
+  static Result run(const std::vector<std::string>& argv,
+                    double timeout_s = 0.0, const Options& opts = {});
+};
+
+}  // namespace pas::util

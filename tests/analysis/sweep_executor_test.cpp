@@ -265,7 +265,10 @@ TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
   {
     std::FILE* out = std::fopen(entry.c_str(), "w");
     ASSERT_NE(out, nullptr);
-    std::fputs("pasim-run-cache v3\nkey v3|someone-elses-point\n", out);
+    std::fputs(
+        "pasim-run-cache v4\nkey v3|someone-elses-point\n"
+        "sum 0000000000000000\n",
+        out);
     std::fclose(out);
   }
   SweepExecutor again(cfg, power::PowerModel(), opts);

@@ -1,0 +1,132 @@
+#include "pas/util/subprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "pas/util/fs.hpp"
+
+namespace pas::util {
+namespace {
+
+TEST(Subprocess, ExitCodeRoundTrips) {
+  const Subprocess::Result ok = Subprocess::call([] { return 0; }, 10.0);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.exited);
+  EXPECT_EQ(ok.exit_code, 0);
+  EXPECT_FALSE(ok.signaled);
+  EXPECT_FALSE(ok.timed_out);
+
+  const Subprocess::Result seven = Subprocess::call([] { return 7; }, 10.0);
+  EXPECT_FALSE(seven.ok());
+  EXPECT_TRUE(seven.exited);
+  EXPECT_EQ(seven.exit_code, 7);
+}
+
+TEST(Subprocess, SignalDeathIsClassified) {
+  const Subprocess::Result res = Subprocess::call(
+      [] {
+        ::raise(SIGKILL);
+        return 0;
+      },
+      10.0);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(res.signaled);
+  EXPECT_EQ(res.term_signal, SIGKILL);
+  EXPECT_FALSE(res.timed_out);
+  // The supervisor surfaces describe() in fail-soft RunRecords, and
+  // the SIGKILL case must point at the OOM killer as a suspect.
+  EXPECT_NE(res.describe().find("signal 9"), std::string::npos)
+      << res.describe();
+}
+
+TEST(Subprocess, DeadlineKillSetsTimedOut) {
+  const Subprocess::Result res = Subprocess::call(
+      [] {
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+        return 0;
+      },
+      0.2);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_TRUE(res.signaled);
+  EXPECT_EQ(res.term_signal, SIGKILL);
+}
+
+TEST(Subprocess, ThrownExceptionBecomesExit125) {
+  const Subprocess::Result res = Subprocess::call(
+      []() -> int { throw std::runtime_error("child blew up"); }, 10.0);
+  EXPECT_TRUE(res.exited);
+  EXPECT_EQ(res.exit_code, 125);
+}
+
+TEST(Subprocess, ExecRunsRealBinaries) {
+  EXPECT_TRUE(Subprocess::run({"true"}, 10.0).ok());
+  const Subprocess::Result f = Subprocess::run({"false"}, 10.0);
+  EXPECT_TRUE(f.exited);
+  EXPECT_NE(f.exit_code, 0);
+  // A missing binary is exec failure: exit 127, never a hang.
+  const Subprocess::Result missing =
+      Subprocess::run({"pasim-definitely-not-a-binary"}, 10.0);
+  EXPECT_TRUE(missing.exited);
+  EXPECT_EQ(missing.exit_code, 127);
+}
+
+TEST(Subprocess, StdoutRedirectionCapturesChildOutput) {
+  const std::string dir = testing::TempDir() + "/pasim_subprocess_test";
+  std::filesystem::create_directories(dir);
+  const std::string out = dir + "/child.out";
+  Subprocess::Options opts;
+  opts.stdout_path = out;
+  const Subprocess::Result res = Subprocess::run({"echo", "hello"}, 10.0, opts);
+  ASSERT_TRUE(res.ok()) << res.describe();
+  EXPECT_EQ(read_file(out), std::optional<std::string>("hello\n"));
+}
+
+TEST(Subprocess, EnvEntriesReachTheChild) {
+  Subprocess::Options opts;
+  opts.env = {"PASIM_SUBPROCESS_TEST_VAR=42"};
+  const Subprocess::Result res = Subprocess::call(
+      [] {
+        const char* v = std::getenv("PASIM_SUBPROCESS_TEST_VAR");
+        return (v != nullptr && std::string(v) == "42") ? 0 : 1;
+      },
+      10.0, opts);
+  EXPECT_TRUE(res.ok()) << res.describe();
+}
+
+TEST(Subprocess, DestructorReapsARunningChild) {
+  pid_t pid = -1;
+  {
+    Subprocess::Handle h = Subprocess::spawn([] {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+      return 0;
+    });
+    ASSERT_TRUE(h.running());
+    pid = h.pid();
+  }
+  // The handle's destructor SIGKILLed and reaped the child: the pid
+  // must be gone (kill(pid, 0) fails, and not with EPERM).
+  EXPECT_NE(::kill(pid, 0), 0);
+}
+
+TEST(Subprocess, PollIsNonBlockingAndConverges) {
+  Subprocess::Handle h = Subprocess::spawn([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return 3;
+  });
+  ASSERT_TRUE(h.running());
+  while (!h.poll())
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(h.result().exited);
+  EXPECT_EQ(h.result().exit_code, 3);
+}
+
+}  // namespace
+}  // namespace pas::util
