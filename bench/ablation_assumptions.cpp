@@ -35,12 +35,13 @@ pas::analysis::ErrorTable sp_errors(const pas::sim::ClusterConfig& cluster,
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const auto ft = analysis::make_kernel(
-      "FT", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
+  // RunMatrix bench: only the document half of the spec applies (no
+  // executor, so no cache/jobs flags).
+  cli.check_usage({"spec", "small", "nodes", "freqs"});
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  spec.kernel = "FT";
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const auto ft = analysis::make_spec_kernel(spec);
 
   std::puts("=== Ablation 1: Assumption 2 (w_PO^ON = 0) ===");
   const analysis::ErrorTable base_err = sp_errors(env.cluster, env, *ft);

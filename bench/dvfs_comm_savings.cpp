@@ -10,6 +10,7 @@
 // saving. Expected shape: EP (no communication) saves ~nothing; FT and
 // LU save more the more communication-bound the configuration, with a
 // sub-percent-to-few-percent slowdown.
+#include <algorithm>
 #include <cstdio>
 
 #include "pas/analysis/experiment.hpp"
@@ -20,12 +21,12 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const analysis::Scale scale =
-      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
+  // RunMatrix bench: only the document half of the spec applies (no
+  // executor, so no cache/jobs flags).
+  cli.check_usage({"spec", "small", "nodes", "freqs", "csv"});
+  const analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const analysis::Scale scale = spec.resolved_scale();
   const double app_mhz = env.freqs_mhz.back();
   const double comm_mhz = env.freqs_mhz.front();
 
@@ -62,17 +63,20 @@ int main(int argc, char** argv) {
       "gains, which is why phase-granular schedulers profile first.");
 
   // Sensitivity of the LU result to the DVFS transition latency.
+  // Clamp the node count to the cluster: the small testbed stops at 4.
+  const int n_sense = std::min(8, env.nodes.back());
   util::TextTable s(util::strf(
-      "LU @ N=8: sensitivity to the DVFS transition latency (app %.0f MHz)",
-      app_mhz));
+      "LU @ N=%d: sensitivity to the DVFS transition latency (app %.0f MHz)",
+      n_sense, app_mhz));
   s.set_header({"transition", "time penalty", "energy saving"});
   const auto lu = analysis::make_kernel("LU", scale);
   for (double trans_us : {0.0, 10.0, 50.0, 100.0}) {
     sim::ClusterConfig cfg = env.cluster;
     cfg.dvfs_transition_s = trans_us * 1e-6;
     analysis::RunMatrix m2(cfg);
-    const analysis::RunRecord base = m2.run_one(*lu, 8, app_mhz);
-    const analysis::RunRecord dvfs = m2.run_one(*lu, 8, app_mhz, comm_mhz);
+    const analysis::RunRecord base = m2.run_one(*lu, n_sense, app_mhz);
+    const analysis::RunRecord dvfs =
+        m2.run_one(*lu, n_sense, app_mhz, comm_mhz);
     s.add_row({util::strf("%.0f us", trans_us),
                util::percent(dvfs.seconds / base.seconds - 1.0, 2),
                util::percent(1.0 - dvfs.energy.total_j() /

@@ -15,26 +15,16 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "jobs", "cache", "no-cache", "retries", "verify-replay", "trace",
-                   "metrics", "journal", "resume",
-                   "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const analysis::Scale scale =
-      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
-
-  analysis::SweepSpec spec;
-  spec.cluster = env.cluster;
-  spec.options = analysis::SweepOptions::from_cli(cli);
-  spec.observer = obs::Observer::from_cli(cli);
+  cli.check_usage(analysis::SweepSpec::cli_option_names());
+  const analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const analysis::Scale scale = spec.resolved_scale();
   analysis::SweepExecutor executor(spec);
 
   for (const char* name : {"EP", "FT", "LU"}) {
     const auto kernel = analysis::make_kernel(name, scale);
-    const analysis::MatrixResult measured =
-        executor.run({kernel.get(), env.nodes, env.freqs_mhz});
+    const analysis::MatrixResult measured = executor.run(
+        {kernel.get(), env.nodes, env.freqs_mhz, spec.comm_dvfs_mhz});
 
     std::vector<power::MetricPoint> points;
     for (const analysis::RunRecord& rec : measured.records) {

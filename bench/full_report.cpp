@@ -59,16 +59,13 @@ struct Report {
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "out", "jobs", "cache", "no-cache", "retries",
-                   "verify-replay", "trace", "metrics", "journal", "resume",
-                   "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
+  auto known = analysis::SweepSpec::cli_option_names();
+  known.push_back("out");
+  cli.check_usage(known);
   const auto wall_start = std::chrono::steady_clock::now();
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const analysis::Scale scale =
-      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
+  const analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const analysis::Scale scale = spec.resolved_scale();
 
   Report report;
   report.dir = cli.get("out", "pasim_report");
@@ -86,16 +83,12 @@ int main(int argc, char** argv) {
       "IPDPS 2007) on the simulated 16-node Pentium-M testbed. Base "
       "configuration: 1 node @ 600 MHz.\n";
 
-  analysis::SweepSpec spec;
-  spec.cluster = env.cluster;
-  spec.options = analysis::SweepOptions::from_cli(cli);
-  spec.observer = obs::Observer::from_cli(cli);
   analysis::SweepExecutor executor(spec);
 
   for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
     const auto kernel = analysis::make_kernel(name, scale);
-    const analysis::MatrixResult m =
-        executor.run({kernel.get(), env.nodes, env.freqs_mhz});
+    const analysis::MatrixResult m = executor.run(
+        {kernel.get(), env.nodes, env.freqs_mhz, spec.comm_dvfs_mhz});
 
     report.h2(util::strf("%s — execution-time and speedup surfaces", name));
     bool all_verified = true;

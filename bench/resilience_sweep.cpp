@@ -29,25 +29,25 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "jobs", "cache", "no-cache", "retries", "verify-replay", "faults",
-                   "fault-seed", "csv", "trace", "metrics", "journal", "resume",
-                   "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const analysis::Scale scale =
-      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
+  auto known = analysis::SweepSpec::cli_option_names();
+  known.push_back("csv");
+  cli.check_usage(known);
+  const analysis::SweepSpec base = analysis::SweepSpec::from_cli(cli);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(base);
+  const analysis::Scale scale = base.resolved_scale();
   const std::uint64_t seed =
-      static_cast<std::uint64_t>(cli.get_int("fault-seed", 42));
+      base.fault ? base.fault->seed
+                 : static_cast<std::uint64_t>(cli.get_int("fault-seed", 42));
 
-  // --faults R pins a single rate; default sweeps an increasing ramp.
+  // --faults R (or a fault block in --spec) pins a single rate; default
+  // sweeps an increasing ramp.
   std::vector<double> rates{0.0, 0.01, 0.02, 0.05, 0.10};
   if (cli.has("faults")) rates = {0.0, cli.get_double("faults", 0.1)};
 
   // One observer spans every executor, so run_report.json tells the
-  // whole clean-vs-faulty story in one artifact.
-  const std::shared_ptr<obs::Observer> observer = obs::Observer::from_cli(cli);
+  // whole clean-vs-faulty story in one artifact. from_cli already built
+  // it; every per-rate spec below shares the same pointer.
+  const std::shared_ptr<obs::Observer> observer = base.observer;
 
   util::TextTable table(util::strf(
       "Resilience sweep: predicted-vs-simulated drift under faults (seed "
@@ -60,24 +60,20 @@ int main(int argc, char** argv) {
     const auto kernel = analysis::make_kernel(name, scale);
 
     // Clean reference (rate 0 of the ramp).
-    analysis::SweepSpec clean_spec;
-    clean_spec.cluster = env.cluster;
+    analysis::SweepSpec clean_spec = base;
     clean_spec.fault = fault::FaultConfig{};
-    clean_spec.options = analysis::SweepOptions::from_cli(cli);
-    clean_spec.observer = observer;
     analysis::SweepExecutor clean_exec(clean_spec);
-    const analysis::MatrixResult clean =
-        clean_exec.run({kernel.get(), env.nodes, env.freqs_mhz});
+    const analysis::MatrixResult clean = clean_exec.run(
+        {kernel.get(), env.nodes, env.freqs_mhz, base.comm_dvfs_mhz});
 
     for (double rate : rates) {
-      analysis::SweepSpec spec;
-      spec.cluster = env.cluster;
+      analysis::SweepSpec spec = base;
+      spec.fault.reset();
       if (rate > 0.0) spec.fault = fault::FaultConfig::scaled(rate, seed);
-      spec.options = analysis::SweepOptions::from_cli(cli);
-      spec.observer = observer;
       analysis::SweepExecutor exec(spec);
       const analysis::MatrixResult faulty =
-          rate > 0.0 ? exec.run({kernel.get(), env.nodes, env.freqs_mhz})
+          rate > 0.0 ? exec.run({kernel.get(), env.nodes, env.freqs_mhz,
+                                 base.comm_dvfs_mhz})
                      : clean;
 
       int failed = 0;

@@ -40,9 +40,13 @@ std::unique_ptr<npb::Kernel> scaled_ft(int factor) {
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"freq"});
-  const double f = cli.get_double("freq", 1400);
-  const std::vector<int> nodes{1, 2, 4, 8, 16};
+  cli.check_usage({"spec", "nodes", "freq"});
+  const analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  const double f =
+      cli.has("freq") ? cli.get_double("freq", 1400)
+                      : (spec.freqs_mhz.empty() ? 1400 : spec.freqs_mhz.back());
+  const std::vector<int> nodes =
+      spec.nodes.empty() ? std::vector<int>{1, 2, 4, 8, 16} : spec.nodes;
   analysis::RunMatrix matrix(sim::ClusterConfig::paper_testbed(16));
 
   for (const char* name : {"EP", "FT"}) {
@@ -85,14 +89,16 @@ int main(int argc, char** argv) {
     // memory-bounded speedup at the largest N would be:
     // Clamp: EP can come out marginally super-linear (e < 0) from
     // charge-rounding noise.
-    const double kf = std::clamp(
-        core::karp_flatt_serial_fraction(strong.speedup(16, f, 1, f), 16),
-        0.0, 1.0);
+    const int n_top = nodes.back();
+    const double kf = std::clamp(core::karp_flatt_serial_fraction(
+                                     strong.speedup(n_top, f, 1, f), n_top),
+                                 0.0, 1.0);
     std::printf(
-        "  Sun-Ni memory-bounded speedup at N=16 with G(N)=N and the "
+        "  Sun-Ni memory-bounded speedup at N=%d with G(N)=N and the "
         "Karp-Flatt serial fraction: %.2f (Gustafson: %.2f, Amdahl: %.2f)\n\n",
-        core::sun_ni_speedup(kf, 16, 16.0), core::gustafson_speedup(kf, 16),
-        core::amdahl_speedup(1.0 - kf, 16));
+        n_top, core::sun_ni_speedup(kf, n_top, static_cast<double>(n_top)),
+        core::gustafson_speedup(kf, n_top),
+        core::amdahl_speedup(1.0 - kf, n_top));
   }
   return 0;
 }

@@ -15,23 +15,14 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
-                   "verify-replay", "trace", "metrics", "journal", "resume",
-                   "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-
-  const auto ft = analysis::make_kernel(
-      "FT", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::SweepSpec spec;
-  spec.cluster = env.cluster;
-  spec.options = analysis::SweepOptions::from_cli(cli);
-  spec.observer = obs::Observer::from_cli(cli);
+  auto known = analysis::SweepSpec::cli_option_names();
+  known.push_back("csv");
+  cli.check_usage(known);
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  spec.kernel = "FT";
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
   analysis::SweepExecutor executor(spec);
-  const analysis::MatrixResult measured =
-      executor.run({ft.get(), env.nodes, env.freqs_mhz});
+  const analysis::MatrixResult measured = executor.run();
 
   core::SimplifiedParameterization sp(env.base_f_mhz);
   sp.ingest(measured.times);

@@ -13,12 +13,12 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const auto lu = analysis::make_kernel(
-      "LU", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
+  // Counter bench: only the document half of the spec applies.
+  cli.check_usage({"spec", "small", "nodes", "freqs", "csv"});
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  spec.kernel = "LU";
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const auto lu = analysis::make_spec_kernel(spec);
 
   const counters::CounterSet set = analysis::measure_counters(*lu, env);
   const counters::WorkloadDecomposition d = set.decompose();

@@ -18,8 +18,10 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"csv"});
-  analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
+  // Probe bench: only the document half of the spec applies.
+  cli.check_usage({"spec", "small", "nodes", "freqs", "csv"});
+  const analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
 
   tools::MemBench membench(sim::CpuModel(
       env.cluster.cpu, env.cluster.memory, env.cluster.operating_points));

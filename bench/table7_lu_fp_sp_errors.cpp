@@ -19,28 +19,18 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
-                   "verify-replay", "trace", "metrics", "journal", "resume",
-                   "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  // The paper's Table 7 stops at 8 nodes.
-  if (!small) {
-    env.nodes = {1, 2, 4, 8};
-    env.parallel_nodes = {2, 4, 8};
-  }
-
-  const auto lu = analysis::make_kernel(
-      "LU", small ? analysis::Scale::kSmall : analysis::Scale::kPaper);
-  analysis::SweepSpec spec;
-  spec.cluster = env.cluster;
-  spec.options = analysis::SweepOptions::from_cli(cli);
-  spec.observer = obs::Observer::from_cli(cli);
+  auto known = analysis::SweepSpec::cli_option_names();
+  known.push_back("csv");
+  cli.check_usage(known);
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  spec.kernel = "LU";
+  // The paper's Table 7 stops at 8 nodes (--nodes still overrides).
+  if (spec.nodes.empty() && spec.resolved_scale() == analysis::Scale::kPaper)
+    spec.nodes = {1, 2, 4, 8};
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const auto lu = analysis::make_spec_kernel(spec);
   analysis::SweepExecutor executor(spec);
-  const analysis::MatrixResult measured =
-      executor.run({lu.get(), env.nodes, env.freqs_mhz});
+  const analysis::MatrixResult measured = executor.run();
 
   core::SimplifiedParameterization sp(env.base_f_mhz);
   sp.ingest(measured.times);

@@ -22,31 +22,24 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"small", "csv", "jobs", "cache", "no-cache", "retries",
-                   "verify-replay", "trace", "metrics", "journal", "resume",
-                   "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
-  const bool small = cli.get_bool("small", false);
-  analysis::ExperimentEnv env = small ? analysis::ExperimentEnv::small()
-                                      : analysis::ExperimentEnv::paper();
-  const analysis::Scale scale =
-      small ? analysis::Scale::kSmall : analysis::Scale::kPaper;
+  auto known = analysis::SweepSpec::cli_option_names();
+  known.push_back("csv");
+  cli.check_usage(known);
+  const analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const analysis::Scale scale = spec.resolved_scale();
 
   util::TextTable t(
       "Workload fit T(N,f) = A(f0/f) + B(f0/f)/N + C + D/N");
   t.set_header({"kernel", "A serial (s)", "B parallel (s)", "C invariant (s)",
                 "D per-N (s)", "serial frac", "R^2", "max err (full grid)"});
 
-  analysis::SweepSpec spec;
-  spec.cluster = env.cluster;
-  spec.options = analysis::SweepOptions::from_cli(cli);
-  spec.observer = obs::Observer::from_cli(cli);
   analysis::SweepExecutor executor(spec);
 
   for (const char* name : {"EP", "FT", "LU", "CG", "MG"}) {
     const auto kernel = analysis::make_kernel(name, scale);
-    const analysis::MatrixResult full =
-        executor.run({kernel.get(), env.nodes, env.freqs_mhz});
+    const analysis::MatrixResult full = executor.run(
+        {kernel.get(), env.nodes, env.freqs_mhz, spec.comm_dvfs_mhz});
 
     // Fit from the base row/column plus a few off-base anchors
     // (11 of 25 samples).

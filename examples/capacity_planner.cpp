@@ -17,8 +17,11 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"kernel", "objective"});
-  const std::string name = cli.get("kernel", "FT");
+  cli.check_usage({"spec", "kernel", "small", "nodes", "freqs", "objective"});
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  // Historical default kernel for this example is FT.
+  if (!cli.has("spec") && !cli.has("kernel")) spec.kernel = "FT";
+  const std::string name = spec.kernel;
   const std::string objective_arg = cli.get("objective", "edp");
 
   power::Objective objective = power::Objective::kEnergyDelay;
@@ -27,8 +30,8 @@ int main(int argc, char** argv) {
   else if (objective_arg == "ed2p")
     objective = power::Objective::kEnergyDelaySquared;
 
-  analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
-  const auto kernel = analysis::make_kernel(name, analysis::Scale::kPaper);
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const auto kernel = analysis::make_spec_kernel(spec);
 
   // Fit from the SP measurement set: |freqs| sequential runs plus
   // |node counts| base-frequency runs — 9 runs instead of 25.

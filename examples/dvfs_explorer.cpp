@@ -7,6 +7,7 @@
 // invocations (records are bit-identical either way).
 //
 //   ./examples/dvfs_explorer --kernel LU --nodes 1,2,4 --freqs 600,1400
+//   ./examples/dvfs_explorer --spec sweep.json      (same axes from a file)
 #include <cstdio>
 
 #include "pas/analysis/experiment.hpp"
@@ -20,28 +21,20 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"kernel", "nodes", "freqs", "jobs", "cache", "no-cache",
-                   "retries", "verify-replay", "trace", "metrics", "journal",
-                   "resume", "isolate", "isolate-timeout", "isolate-retries",
-                   "cache-cap"});
-  const std::string name = cli.get("kernel", "LU");
+  cli.check_usage(analysis::SweepSpec::cli_option_names());
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  // Historical defaults: LU over a trimmed grid (the spec-document
+  // defaults are EP over the full scale grid).
+  if (!cli.has("spec") && !cli.has("kernel")) spec.kernel = "LU";
+  if (spec.nodes.empty()) spec.nodes = {1, 2, 4, 8};
+  if (spec.freqs_mhz.empty()) spec.freqs_mhz = {600, 1000, 1400};
+  const std::string name = spec.kernel;
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
+  const std::vector<int>& nodes = env.nodes;
+  const std::vector<double>& freqs = env.freqs_mhz;
 
-  analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
-  std::vector<int> nodes;
-  for (long n : cli.get_int_list("nodes", {1, 2, 4, 8}))
-    nodes.push_back(static_cast<int>(n));
-  std::vector<double> freqs;
-  for (long f : cli.get_int_list("freqs", {600, 1000, 1400}))
-    freqs.push_back(static_cast<double>(f));
-
-  const auto kernel = analysis::make_kernel(name, analysis::Scale::kPaper);
-  analysis::SweepSpec spec;
-  spec.cluster = env.cluster;
-  spec.options = analysis::SweepOptions::from_cli(cli);
-  spec.observer = obs::Observer::from_cli(cli);
   analysis::SweepExecutor executor(spec);
-  const analysis::MatrixResult sweep =
-      executor.run({kernel.get(), nodes, freqs});
+  const analysis::MatrixResult sweep = executor.run();
 
   util::TextTable t(util::strf(
       "%s: time / ON-chip / OFF-chip / overhead / energy per configuration",

@@ -5,7 +5,8 @@
 //      measurements only,
 //   4. predict an unmeasured configuration and compare.
 //
-//   ./examples/quickstart [--kernel FT|EP|LU]
+//   ./examples/quickstart [--kernel FT|EP|LU] [--spec spec.json]
+#include <algorithm>
 #include <cstdio>
 
 #include "pas/analysis/experiment.hpp"
@@ -15,23 +16,27 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"kernel"});
-  const std::string name = cli.get("kernel", "FT");
+  cli.check_usage({"spec", "kernel", "small", "nodes", "freqs"});
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  // Historical default: the tour uses FT unless a spec or flag says
+  // otherwise (the spec-document default is EP).
+  if (!cli.has("spec") && !cli.has("kernel")) spec.kernel = "FT";
+  const std::string name = spec.kernel;
 
   // 1. The simulated testbed: 16 Pentium-M nodes, five DVFS points,
   //    Fast Ethernet (paper §4.1).
-  analysis::ExperimentEnv env = analysis::ExperimentEnv::paper();
+  const analysis::ExperimentEnv env = analysis::env_for_spec(spec);
   std::printf("cluster: %s\n\n", env.cluster.to_string().c_str());
 
   // 2. Run the kernel. Every run executes real math (FFTs, SSOR,
   //    random streams) with built-in verification; timing comes from
   //    the virtual-time cluster model.
-  const auto kernel = analysis::make_kernel(name, analysis::Scale::kPaper);
+  const auto kernel = analysis::make_spec_kernel(spec);
   analysis::RunMatrix matrix(env.cluster);
-  const analysis::RunRecord seq = matrix.run_one(*kernel, 1, 600);
-  std::printf("%s on 1 node @ 600 MHz: %.4f s (verified: %s), %.1f J\n",
-              name.c_str(), seq.seconds, seq.verified ? "yes" : "NO",
-              seq.energy.total_j());
+  const analysis::RunRecord seq = matrix.run_one(*kernel, 1, env.base_f_mhz);
+  std::printf("%s on 1 node @ %.0f MHz: %.4f s (verified: %s), %.1f J\n",
+              name.c_str(), env.base_f_mhz, seq.seconds,
+              seq.verified ? "yes" : "NO", seq.energy.total_j());
 
   // 3. Fit SP: sequential runs at each frequency + parallel runs at
   //    the base frequency. That is all the model needs (§5.1).
@@ -40,8 +45,8 @@ int main(int argc, char** argv) {
 
   // 4. Predict a configuration we never measured during the fit, then
   //    measure it and compare.
-  const int n = 8;
-  const double f = 1400;
+  const int n = std::min(8, env.nodes.back());
+  const double f = env.freqs_mhz.back();
   const double predicted = sp.predict_time(n, f);
   const analysis::RunRecord check = matrix.run_one(*kernel, n, f);
   std::printf(

@@ -14,14 +14,23 @@
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"kernel", "nodes", "freq", "comm-dvfs", "out"});
-  const std::string name = cli.get("kernel", "FT");
-  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
-  const double freq = cli.get_double("freq", 1400);
-  const double comm_dvfs = cli.get_double("comm-dvfs", 0.0);
+  cli.check_usage(
+      {"spec", "kernel", "small", "nodes", "freq", "freqs", "comm-dvfs",
+       "out"});
+  analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
+  // Historical defaults: FT at the small scale, one 4-node point.
+  if (!cli.has("spec") && !cli.has("kernel")) spec.kernel = "FT";
+  if (!cli.has("spec") && !cli.has("small")) spec.scale = "small";
+  const std::string name = spec.kernel;
+  const int nodes = spec.nodes.empty() ? 4 : spec.nodes.back();
+  const double freq =
+      cli.has("freq")
+          ? cli.get_double("freq", 1400)
+          : (spec.freqs_mhz.empty() ? 1400 : spec.freqs_mhz.back());
+  const double comm_dvfs = spec.comm_dvfs_mhz;
   const std::string out = cli.get("out", "trace.json");
 
-  const auto kernel = analysis::make_kernel(name, analysis::Scale::kSmall);
+  const auto kernel = analysis::make_spec_kernel(spec);
   mpi::Runtime rt(sim::ClusterConfig::paper_testbed());
   rt.tracer().enable();
 

@@ -121,15 +121,17 @@ echo "== tier 1: fault + error paths under ASan =="
 if have_sanitizer address; then
   cmake -B build-asan -S . -DPASIM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" \
-    --target fault_test mpi_test robustness_test
+    --target fault_test mpi_test robustness_test serve_test
   ./build-asan/tests/fault_test
   # Exception-heavy error paths (invalid requests, collective
   # mismatches) where leaks from unwound ranks would hide.
   ./build-asan/tests/mpi_test \
     --gtest_filter='Collectives.*:Nonblocking.*:Runtime.*'
-  # The crash-safety torture tests (DESIGN.md §12) fork and SIGKILL
-  # themselves on purpose — ASan, never TSan (fork and TSan don't mix).
+  # The crash-safety torture tests (DESIGN.md §12) and the serve stack
+  # (§13) fork and SIGKILL themselves on purpose — ASan, never TSan
+  # (fork and TSan don't mix).
   ./build-asan/tests/robustness_test
+  ./build-asan/tests/serve_test
 else
   echo "skipped: this toolchain does not support -fsanitize=address"
 fi
@@ -235,6 +237,72 @@ if [ "$ENOSPC_RC" -eq 0 ] || [ "$ENOSPC_RC" -ge 128 ]; then
   exit 1
 fi
 echo "injected-ENOSPC degradation OK (rc=$ENOSPC_RC)"
+
+echo "== tier 1: sweep-spec schema + --spec equivalence =="
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$ROBUST_DIR" "$SERVE_DIR"' EXIT
+# The committed sample specs and a freshly printed document must both
+# satisfy the published schema, checked from first principles.
+"$ROOT/build/tools/pasim_client" --print-spec --small --kernel FT \
+  --faults 0.1 > "$SERVE_DIR/printed_spec.json"
+if command -v python3 >/dev/null; then
+  python3 scripts/check_spec_schema.py specs/*.json \
+    "$SERVE_DIR/printed_spec.json"
+else
+  echo "skipped spec schema check: python3 not available"
+fi
+# The same sweep described by flags and by a --spec file must produce
+# byte-identical output.
+./build/bench/fig2_ft_surface --small --jobs 2 --no-cache \
+  --csv "$SERVE_DIR/flags.csv" > "$SERVE_DIR/flags.out"
+./build/bench/fig2_ft_surface --spec specs/ft_small.json --jobs 2 \
+  --no-cache --csv "$SERVE_DIR/spec.csv" > "$SERVE_DIR/spec.out"
+cmp "$SERVE_DIR/flags.out" "$SERVE_DIR/spec.out"
+cmp "$SERVE_DIR/flags.csv" "$SERVE_DIR/spec.csv"
+echo "spec schema + --spec equivalence OK"
+
+echo "== tier 1: serve (cold / warm / concurrent vs offline) =="
+# A pasim_serve broker answering pasim_client submissions must return
+# records whose artifacts are byte-identical to an offline run of the
+# same spec — cold (workers simulate), warm (pure cache hits) and under
+# concurrent duplicate submissions (in-flight dedup).
+SOCK="$SERVE_DIR/serve.sock"
+"$ROOT/build/tools/pasim_serve" --socket "$SOCK" \
+  --cache "$SERVE_DIR/serve_cache" --workers 2 \
+  --metrics-csv "$SERVE_DIR/serve_metrics.csv" \
+  > "$SERVE_DIR/serve.log" 2>&1 & SERVE_PID=$!
+CLIENT="$ROOT/build/tools/pasim_client"
+"$CLIENT" --socket "$SOCK" --wait 15 --ping >/dev/null
+"$CLIENT" --socket "$SOCK" --spec specs/ft_small.json \
+  --out "$SERVE_DIR/cold" > "$SERVE_DIR/cold.txt"
+"$CLIENT" --socket "$SOCK" --spec specs/ft_small.json \
+  --out "$SERVE_DIR/warm1" > "$SERVE_DIR/warm1.txt" & C1=$!
+"$CLIENT" --socket "$SOCK" --spec specs/ft_small.json \
+  --out "$SERVE_DIR/warm2" > "$SERVE_DIR/warm2.txt" & C2=$!
+wait $C1
+wait $C2
+# Offline oracle: the same spec through full_report.
+"$ROOT/build/bench/full_report" --spec specs/ft_small.json --jobs 1 \
+  --no-cache --out "$SERVE_DIR/offline" >/dev/null
+for d in cold warm1 warm2; do
+  cmp "$SERVE_DIR/$d/FT_time.csv" "$SERVE_DIR/offline/FT_time.csv"
+  cmp "$SERVE_DIR/$d/FT_speedup.csv" "$SERVE_DIR/offline/FT_speedup.csv"
+done
+# The warm passes must be answered from the shared cache.
+grep -q "cache_hits=0," "$SERVE_DIR/cold.txt"
+for w in warm1 warm2; do
+  if grep -q "cache_hits=0," "$SERVE_DIR/$w.txt"; then
+    echo "warm submission $w had zero cache hits:"; cat "$SERVE_DIR/$w.txt"
+    exit 1
+  fi
+done
+"$CLIENT" --socket "$SOCK" --stats | grep -q '"journal_entries"'
+"$CLIENT" --socket "$SOCK" --shutdown >/dev/null
+wait $SERVE_PID
+# The server's parting metrics snapshot must include serving counters.
+grep -q "serve.sweeps" "$SERVE_DIR/serve_metrics.csv"
+grep -q "serve.request_seconds" "$SERVE_DIR/serve_metrics.csv"
+echo "serve OK (cold/warm/concurrent byte-identical to offline)"
 
 echo "== tier 1: perf baseline (record-only) =="
 # Optimized tree, fresh recording of BENCH_micro_sim.json and

@@ -61,6 +61,24 @@ std::unique_ptr<npb::Kernel> make_kernel(const std::string& name,
   throw std::invalid_argument("unknown kernel: " + name);
 }
 
+std::unique_ptr<npb::Kernel> make_spec_kernel(const SweepSpec& spec) {
+  return make_kernel(spec.kernel, spec.resolved_scale());
+}
+
+ExperimentEnv env_for_spec(const SweepSpec& spec) {
+  ExperimentEnv env = spec.resolved_scale() == Scale::kSmall
+                          ? ExperimentEnv::small()
+                          : ExperimentEnv::paper();
+  env.cluster = spec.cluster ? *spec.cluster : spec.resolved_cluster();
+  env.nodes = spec.resolved_nodes();
+  env.parallel_nodes.clear();
+  for (int n : env.nodes)
+    if (n > 1) env.parallel_nodes.push_back(n);
+  env.freqs_mhz = spec.resolved_freqs();
+  env.base_f_mhz = spec.base_f_mhz();
+  return env;
+}
+
 core::LevelWorkload to_level_workload(
     const counters::WorkloadDecomposition& d) {
   core::LevelWorkload w;

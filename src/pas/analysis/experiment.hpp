@@ -8,6 +8,7 @@
 #include <string>
 
 #include "pas/analysis/run_matrix.hpp"
+#include "pas/analysis/sweep_spec.hpp"
 #include "pas/core/fine_grain_param.hpp"
 #include "pas/core/simplified_param.hpp"
 #include "pas/counters/counter_set.hpp"
@@ -37,15 +38,20 @@ struct ExperimentEnv {
   static ExperimentEnv small();
 };
 
-/// Problem-size presets.
-enum class Scale {
-  kPaper,  ///< full evaluation sizes
-  kSmall,  ///< unit/integration-test sizes
-};
-
-/// "EP", "FT", "LU", "CG" or "MG" at the given scale; throws
-/// std::invalid_argument for unknown names.
+/// "EP", "FT", "LU", "CG" or "MG" at the given scale (the Scale enum
+/// lives in pas/analysis/sweep_spec.hpp); throws std::invalid_argument
+/// for unknown names.
 std::unique_ptr<npb::Kernel> make_kernel(const std::string& name, Scale scale);
+
+/// The spec's kernel at the spec's scale.
+std::unique_ptr<npb::Kernel> make_spec_kernel(const SweepSpec& spec);
+
+/// Expands a spec document into the environment the bench binaries
+/// consume: the scale's preset grid with the spec's axis overrides
+/// applied (parallel_nodes = the node counts > 1, base_f_mhz = the
+/// smallest frequency — the default grids keep the paper's 600 MHz
+/// base point).
+ExperimentEnv env_for_spec(const SweepSpec& spec);
 
 /// Adapters between substrate outputs and core-model inputs (the core
 /// library deliberately does not link against counters/tools).

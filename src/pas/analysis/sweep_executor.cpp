@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "pas/analysis/batch_repricer.hpp"
+#include "pas/analysis/experiment.hpp"
 #include "pas/analysis/repricer.hpp"
 #include "pas/obs/metrics.hpp"
 #include "pas/util/cli.hpp"
@@ -21,18 +22,6 @@
 
 namespace pas::analysis {
 namespace {
-
-/// Environment values obey the same rules as the flags they stand in
-/// for — a typo'd $PASIM_JOBS must fail loudly, not fall back to 0.
-long parse_positive_env_int(const char* name, const char* value) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE || v < 1)
-    throw std::invalid_argument(pas::util::strf(
-        "$%s must be a positive integer (got \"%s\")", name, value));
-  return v;
-}
 
 obs::ReportPoint make_report_point(const std::string& kernel,
                                    double comm_dvfs_mhz, const RunRecord& rec,
@@ -66,79 +55,6 @@ double wall_seconds() {
 
 }  // namespace
 
-SweepOptions SweepOptions::from_cli(const util::Cli& cli) {
-  SweepOptions opts;
-  long default_jobs = 0;
-  if (!cli.has("jobs")) {
-    // The environment only stands in when the flag is absent, and is
-    // then held to the flag's rules.
-    if (const char* env_jobs = std::getenv("PASIM_JOBS"))
-      default_jobs = parse_positive_env_int("PASIM_JOBS", env_jobs);
-  }
-  opts.jobs = static_cast<int>(cli.get_int("jobs", default_jobs));
-  if (cli.has("jobs") && opts.jobs < 1)
-    throw std::invalid_argument(pas::util::strf(
-        "--jobs must be >= 1 (got %ld)", cli.get_int("jobs", 0)));
-  opts.run_retries = static_cast<int>(cli.get_int("retries", opts.run_retries));
-  if (opts.run_retries < 0)
-    throw std::invalid_argument(pas::util::strf(
-        "--retries must be >= 0 (got %d)", opts.run_retries));
-  if (cli.has("cache")) {
-    opts.cache_dir = cli.get("cache", "");
-    if (opts.cache_dir.empty()) opts.cache_dir = ".pasim_cache";
-  } else if (const char* env_dir = std::getenv("PASIM_CACHE_DIR")) {
-    if (*env_dir == '\0')
-      throw std::invalid_argument(
-          "$PASIM_CACHE_DIR is set but empty; unset it or point it at a "
-          "cache directory");
-    opts.cache_dir = env_dir;
-  }
-  if (cli.get_bool("no-cache", false)) {
-    opts.use_cache = false;
-    opts.cache_dir.clear();
-  }
-  opts.verify_replay = cli.get_bool("verify-replay", false);
-  if (opts.verify_replay && !opts.use_cache)
-    throw std::invalid_argument(
-        "--verify-replay cannot be combined with --no-cache: the "
-        "verification pass compares records through the cache encoding; "
-        "drop one of the two flags");
-  if (cli.has("journal")) {
-    opts.journal_path = cli.get("journal", "");
-    if (opts.journal_path.empty()) opts.journal_path = "pasim_sweep.journal";
-  }
-  opts.resume = cli.get_bool("resume", false);
-  opts.isolate = cli.get_bool("isolate", false);
-  // --resume and --isolate both need the journal; default its path so
-  // neither flag silently no-ops without --journal.
-  if ((opts.resume || opts.isolate) && opts.journal_path.empty())
-    opts.journal_path = "pasim_sweep.journal";
-  opts.isolate_timeout_s =
-      cli.get_double("isolate-timeout", opts.isolate_timeout_s);
-  if (opts.isolate_timeout_s <= 0.0)
-    throw std::invalid_argument(pas::util::strf(
-        "--isolate-timeout must be > 0 seconds (got %g)",
-        opts.isolate_timeout_s));
-  opts.isolate_retries =
-      static_cast<int>(cli.get_int("isolate-retries", opts.isolate_retries));
-  if (opts.isolate_retries < 0)
-    throw std::invalid_argument(pas::util::strf(
-        "--isolate-retries must be >= 0 (got %d)", opts.isolate_retries));
-  if (cli.has("cache-cap")) {
-    const long mb = cli.get_int("cache-cap", 0);
-    if (mb < 1)
-      throw std::invalid_argument(
-          pas::util::strf("--cache-cap must be >= 1 MB (got %ld)", mb));
-    if (opts.cache_dir.empty())
-      throw std::invalid_argument(
-          "--cache-cap requires a disk cache: add --cache [dir] (and drop "
-          "--no-cache)");
-    opts.cache_cap_bytes =
-        static_cast<std::uint64_t>(mb) * 1024ULL * 1024ULL;
-  }
-  return opts;
-}
-
 /// RAII lease of a RunMatrix slot: taken from the free list, or created
 /// when every existing instance is busy (bounded by the pool size, so
 /// at most `jobs` instances ever exist).
@@ -167,42 +83,38 @@ class SweepExecutor::MatrixLease {
 };
 
 SweepExecutor::SweepExecutor(SweepSpec spec)
-    : cluster_(std::move(spec.cluster)),
-      power_(std::move(spec.power)),
-      pool_(spec.options.jobs > 0 ? spec.options.jobs
-                                  : util::ThreadPool::default_jobs()),
-      cache_(spec.options.cache_dir, spec.options.cache_cap_bytes),
-      use_cache_(spec.options.use_cache),
-      run_retries_(spec.options.run_retries),
-      verify_replay_(spec.options.verify_replay),
+    : spec_(std::move(spec)),
+      cluster_(spec_.cluster ? *spec_.cluster : spec_.resolved_cluster()),
+      power_(spec_.power),
+      pool_(spec_.options.jobs > 0 ? spec_.options.jobs
+                                   : util::ThreadPool::default_jobs()),
+      cache_(spec_.options.cache_dir, spec_.options.cache_cap_bytes),
+      use_cache_(spec_.options.use_cache),
+      run_retries_(spec_.options.run_retries),
+      verify_replay_(spec_.options.verify_replay),
       scalar_reprice_([] {
         const char* v = std::getenv("PASIM_SCALAR_REPRICE");
         return v != nullptr && *v != '\0' && std::string(v) != "0";
       }()),
-      isolate_(spec.options.isolate),
-      isolate_timeout_s_(spec.options.isolate_timeout_s),
-      isolate_retries_(spec.options.isolate_retries),
-      observer_(std::move(spec.observer)) {
-  if (spec.fault) cluster_.fault = *spec.fault;
+      isolate_(spec_.options.isolate),
+      isolate_timeout_s_(spec_.options.isolate_timeout_s),
+      isolate_retries_(spec_.options.isolate_retries),
+      observer_(spec_.observer) {
+  if (spec_.fault) cluster_.fault = *spec_.fault;
   if (observer_) observer_->set_power_model(power_);
   if (isolate_ && observer_ && observer_->tracing())
     throw std::invalid_argument(
         "--isolate cannot collect traces: isolated workers report results "
         "through the journal, which carries records, not trace events; "
         "drop --trace or --isolate");
-  if (!spec.options.journal_path.empty())
-    journal_ = std::make_unique<SweepJournal>(spec.options.journal_path,
-                                              spec.options.resume);
+  if (!spec_.options.journal_path.empty())
+    journal_ = std::make_unique<SweepJournal>(spec_.options.journal_path,
+                                              spec_.options.resume);
   if (isolate_ && !journal_)
     throw std::invalid_argument(
         "SweepOptions.isolate requires journal_path: the journal is how "
         "isolated workers hand results back to the supervisor");
 }
-
-SweepExecutor::SweepExecutor(sim::ClusterConfig cluster,
-                             power::PowerModel power, SweepOptions options)
-    : SweepExecutor(SweepSpec{std::move(cluster), std::move(power),
-                              std::nullopt, std::move(options), nullptr}) {}
 
 RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
                                            const Point& p, const ObsCtx* ctx,
@@ -1020,11 +932,10 @@ MatrixResult SweepExecutor::run(const SweepRequest& request) {
   return result;
 }
 
-MatrixResult SweepExecutor::sweep(const npb::Kernel& kernel,
-                                  const std::vector<int>& node_counts,
-                                  const std::vector<double>& freqs_mhz,
-                                  double comm_dvfs_mhz) {
-  return run(SweepRequest{&kernel, node_counts, freqs_mhz, comm_dvfs_mhz});
+MatrixResult SweepExecutor::run() {
+  const std::unique_ptr<npb::Kernel> kernel = make_spec_kernel(spec_);
+  return run(SweepRequest{kernel.get(), spec_.resolved_nodes(),
+                          spec_.resolved_freqs(), spec_.comm_dvfs_mhz});
 }
 
 }  // namespace pas::analysis

@@ -25,19 +25,16 @@
 // hard-fails on any byte difference.
 //
 // The API is spec-shaped: everything that configures an executor lives
-// in SweepSpec (cluster, power model, optional fault override, sweep
-// options, observability sinks) and everything that describes one grid
-// lives in SweepRequest, consumed by the single run() entry point:
+// in SweepSpec (pas/analysis/sweep_spec.hpp — kernel/scale/grid
+// document plus process-local cluster, power model, fault override and
+// observability sinks) and everything that describes one grid lives in
+// SweepRequest, consumed by the run() entry points:
 //
-//   analysis::SweepSpec spec;
-//   spec.cluster = env.cluster;
-//   spec.options = analysis::SweepOptions::from_cli(cli);
-//   spec.observer = obs::Observer::from_cli(cli);
+//   analysis::SweepSpec spec = analysis::SweepSpec::from_cli(cli);
 //   analysis::SweepExecutor exec(spec);
-//   analysis::MatrixResult m = exec.run({&kernel, env.nodes, env.freqs_mhz});
-//
-// The positional constructor and sweep() survive as deprecated shims
-// for one release; new code should not use them.
+//   analysis::MatrixResult m = exec.run();   // the spec's own grid
+//   // or, for an explicit grid:
+//   analysis::MatrixResult m = exec.run({&kernel, nodes, freqs_mhz});
 #pragma once
 
 #include <memory>
@@ -49,86 +46,12 @@
 #include "pas/analysis/run_cache.hpp"
 #include "pas/analysis/run_matrix.hpp"
 #include "pas/analysis/sweep_journal.hpp"
+#include "pas/analysis/sweep_spec.hpp"
 #include "pas/fault/fault.hpp"
 #include "pas/obs/observer.hpp"
 #include "pas/util/thread_pool.hpp"
 
-namespace pas::util {
-class Cli;
-}
-
 namespace pas::analysis {
-
-struct SweepOptions {
-  /// Concurrent grid points; <= 0 means "use the machine"
-  /// (ThreadPool::default_jobs).
-  int jobs = 0;
-  /// Directory for the persistent run cache; empty = in-memory only.
-  std::string cache_dir;
-  /// Disables memoization entirely (every point re-simulates).
-  bool use_cache = true;
-  /// Per-point retries of *transient* fault aborts (message loss, node
-  /// failure, ...) before the point is recorded as failed. Each retry
-  /// replays an attempt-salted FaultPlan, so retrying stays
-  /// deterministic. Only consulted when the cluster's fault injection
-  /// is enabled.
-  int run_retries = 1;
-  /// Cross-checks the frequency-collapse fast path: every repriced
-  /// point is additionally re-simulated in full and the two RunRecords
-  /// must be identical in every cached byte (RunCache::encode_record);
-  /// any difference aborts the sweep with std::runtime_error.
-  bool verify_replay = false;
-  /// Write-ahead sweep journal (DESIGN.md §12): every completed point
-  /// — successful or fail-soft — is framed, checksummed and fsync'd to
-  /// this file before the sweep moves on. Empty = no journal.
-  std::string journal_path;
-  /// Load the journal instead of truncating it: already-journaled
-  /// points are skipped (except under tracing, where they re-simulate
-  /// so trace.json stays byte-identical) and counted in the stable
-  /// `sweep.points_resumed` metric.
-  bool resume = false;
-  /// Supervisor mode: each sweep column runs in a forked child process
-  /// with a wall-clock deadline; crashes/OOM kills/timeouts cost the
-  /// column (fail-soft kCrashed/kTimeout records after bounded
-  /// exponential-backoff retries), never the sweep. Implies a journal
-  /// (it is the supervisor's IPC). Incompatible with tracing.
-  bool isolate = false;
-  double isolate_timeout_s = 300.0;  ///< per-child wall-clock deadline
-  int isolate_retries = 1;           ///< re-forks per crashed column
-  /// Disk-cache size cap in bytes; > 0 enables LRU eviction after
-  /// stores (see RunCache). 0 = unbounded.
-  std::uint64_t cache_cap_bytes = 0;
-
-  /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
-  /// then hardware concurrency), `--cache [dir]` (default dir
-  /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`,
-  /// `--retries N`, `--verify-replay`, `--journal [file]` (default
-  /// `pasim_sweep.journal`), `--resume`, `--isolate`,
-  /// `--isolate-timeout S`, `--isolate-retries N`, `--cache-cap MB`.
-  /// `--resume`/`--isolate` imply the default journal path when
-  /// `--journal` is absent. Throws std::invalid_argument for
-  /// `--jobs < 1`, `--retries < 0`, a $PASIM_JOBS that is not a
-  /// positive integer, a $PASIM_CACHE_DIR that is set but empty —
-  /// environment values obey the same rules as the flags they stand in
-  /// for — `--verify-replay` combined with `--no-cache` (disabling
-  /// the cache would silently drop the verification pass's record
-  /// comparison baseline), `--isolate-timeout <= 0`,
-  /// `--isolate-retries < 0`, or `--cache-cap` without a disk cache.
-  static SweepOptions from_cli(const util::Cli& cli);
-};
-
-/// Everything that configures a SweepExecutor.
-struct SweepSpec {
-  sim::ClusterConfig cluster;
-  power::PowerModel power;
-  /// When set, replaces cluster.fault (convenient for fault-rate
-  /// sweeps that share one base cluster).
-  std::optional<fault::FaultConfig> fault;
-  SweepOptions options;
-  /// Observability sinks; null (the default) disables collection
-  /// entirely (see pas/obs/observer.hpp).
-  std::shared_ptr<obs::Observer> observer;
-};
 
 /// One sweep grid: the kernel crossed with node counts and
 /// frequencies (nodes-major, frequency-minor order).
@@ -144,10 +67,9 @@ class SweepExecutor {
  public:
   explicit SweepExecutor(SweepSpec spec);
 
-  /// Deprecated positional form; use SweepExecutor(SweepSpec).
-  explicit SweepExecutor(sim::ClusterConfig cluster,
-                         power::PowerModel power = power::PowerModel(),
-                         SweepOptions options = SweepOptions());
+  /// The spec this executor was built from (document fields intact,
+  /// so a server can re-derive the grid it is answering for).
+  const SweepSpec& spec() const { return spec_; }
 
   int jobs() const { return pool_.max_threads(); }
   RunCache& cache() { return cache_; }
@@ -175,6 +97,13 @@ class SweepExecutor {
   /// points, if any.
   MatrixResult run(const SweepRequest& request);
 
+  /// Runs the spec's own grid: the document's kernel at its scale,
+  /// crossed with resolved_nodes() × resolved_freqs() at
+  /// comm_dvfs_mhz. This is what a `--spec FILE` run and a server
+  /// worker both execute, so "the same spec" means the same sweep
+  /// everywhere.
+  MatrixResult run();
+
   /// Cache-aware equivalent of RunMatrix::run_one. Not reported to the
   /// observer (single probes are not sweep points).
   RunRecord run_one(const npb::Kernel& kernel, int nodes,
@@ -184,12 +113,6 @@ class SweepExecutor {
   /// index-for-index. Reported to the observer as one sweep.
   std::vector<RunRecord> run_points(const npb::Kernel& kernel,
                                     const std::vector<Point>& points);
-
-  /// Deprecated positional form of run(); kept for one release.
-  MatrixResult sweep(const npb::Kernel& kernel,
-                     const std::vector<int>& node_counts,
-                     const std::vector<double>& freqs_mhz,
-                     double comm_dvfs_mhz = 0.0);
 
  private:
   class MatrixLease;
@@ -256,6 +179,7 @@ class SweepExecutor {
   /// the charged-work fast path.
   bool fast_path_eligible(const npb::Kernel& kernel) const;
 
+  SweepSpec spec_;
   sim::ClusterConfig cluster_;
   power::PowerModel power_;
   util::ThreadPool pool_;

@@ -1,0 +1,439 @@
+#include "pas/serve/broker.hpp"
+
+#include <signal.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/fault/fault.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/log.hpp"
+#include "pas/util/subprocess.hpp"
+
+namespace pas::serve {
+namespace {
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// mkdir -p: the journal is published into the cache directory before
+/// the cache's own first store would create it.
+void make_dirs(const std::string& path) {
+  for (std::size_t i = 1; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/')
+      ::mkdir(path.substr(0, i).c_str(), 0777);
+  }
+}
+
+BrokerOptions validate_options(BrokerOptions opts) {
+  if (opts.cache_dir.empty())
+    throw std::invalid_argument("serve: BrokerOptions.cache_dir is required");
+  if (opts.workers < 1)
+    throw std::invalid_argument("serve: BrokerOptions.workers must be >= 1");
+  if (opts.worker_timeout_s <= 0.0)
+    throw std::invalid_argument(
+        "serve: BrokerOptions.worker_timeout_s must be > 0");
+  if (opts.worker_retries < 0)
+    throw std::invalid_argument(
+        "serve: BrokerOptions.worker_retries must be >= 0");
+  if (opts.journal_path.empty())
+    opts.journal_path = opts.cache_dir + "/serve.journal";
+  make_dirs(opts.cache_dir);
+  return opts;
+}
+
+}  // namespace
+
+struct Broker::Live {
+  util::Subprocess::Handle handle;
+  std::shared_ptr<Column> col;
+  double t0 = 0.0;
+  double deadline = 0.0;
+  bool timed_out = false;
+};
+
+Broker::Broker(BrokerOptions opts)
+    : opts_(validate_options(std::move(opts))),
+      cache_(opts_.cache_dir, opts_.cache_cap_bytes),
+      // resume=true: a restarted server warm-starts from everything the
+      // previous incarnation journaled.
+      journal_(opts_.journal_path, /*resume=*/true),
+      sweeps_(obs::registry().counter("serve.sweeps")),
+      sweep_points_(obs::registry().counter("serve.sweep_points")),
+      cache_hits_(obs::registry().counter("serve.cache_hits")),
+      dedup_hits_(obs::registry().counter("serve.dedup_hits")),
+      columns_(obs::registry().counter("serve.columns")),
+      queue_depth_(obs::registry().gauge("serve.queue_depth")),
+      workers_running_(obs::registry().gauge("serve.workers_running")),
+      worker_restarts_(obs::registry().counter("serve.worker_restarts")),
+      worker_crashes_(obs::registry().counter("serve.worker_crashes")),
+      worker_timeouts_(obs::registry().counter("serve.worker_timeouts")),
+      scheduler_([this] { scheduler_main(); }) {}
+
+Broker::~Broker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  scheduler_.join();
+}
+
+void Broker::set_hold(bool hold) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hold_ = hold;
+  }
+  work_cv_.notify_all();
+}
+
+Broker::SweepResult Broker::run(const analysis::SweepSpec& spec) {
+  spec.validate();
+  const std::unique_ptr<npb::Kernel> kernel = analysis::make_spec_kernel(spec);
+  sim::ClusterConfig cluster =
+      spec.cluster ? *spec.cluster : spec.resolved_cluster();
+  // Same precedence as the SweepExecutor ctor, so the keys computed
+  // here are the keys an offline run of this spec stores under.
+  if (spec.fault) cluster.fault = *spec.fault;
+
+  std::vector<analysis::SweepExecutor::Point> points;
+  for (const int n : spec.resolved_nodes())
+    for (const double f : spec.resolved_freqs())
+      points.push_back(
+          analysis::SweepExecutor::Point{n, f, spec.comm_dvfs_mhz});
+
+  sweeps_.add();
+  sweep_points_.add(points.size());
+
+  SweepResult out;
+  out.records.resize(points.size());
+  out.from_cache.assign(points.size(), 0);
+  std::vector<std::string> keys(points.size());
+  std::vector<char> resolved(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    keys[i] = analysis::RunCache::key(*kernel, cluster, spec.power,
+                                      points[i].nodes, points[i].frequency_mhz,
+                                      points[i].comm_dvfs_mhz);
+
+  // Answer from the service's memory first: the journal (this server's
+  // and its workers' completed points, including deterministic
+  // failures) and the shared run cache (everything any offline sweep
+  // over the same directory ever stored).
+  journal_.refresh();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::optional<analysis::RunRecord> hit = journal_.find(keys[i]);
+    if (!hit) hit = cache_.lookup(keys[i]);
+    if (hit) {
+      out.records[i] = std::move(*hit);
+      out.from_cache[i] = 1;
+      resolved[i] = 1;
+      ++out.cache_hits;
+    }
+  }
+  cache_hits_.add(out.cache_hits);
+
+  // Group unresolved points into (N, comm-DVFS) columns. comm-DVFS is
+  // spec-wide, so node count alone identifies a column here; ordered so
+  // column identity is deterministic in member order.
+  std::map<int, std::vector<std::size_t>> members_of;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (!resolved[i]) members_of[points[i].nodes].push_back(i);
+
+  std::vector<std::shared_ptr<Column>> waits;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw std::runtime_error("serve: broker is shutting down");
+    for (const auto& [nodes, members] : members_of) {
+      (void)nodes;
+      // Content-hash identity: the member cache keys already spell out
+      // kernel, cluster, power model and operating points; the retry
+      // budget joins them because it changes record bytes (attempts).
+      std::string id;
+      for (const std::size_t i : members) {
+        id += keys[i];
+        id += '\n';
+      }
+      id += util::strf("retries=%d", spec.options.run_retries);
+      const auto it = in_flight_.find(id);
+      if (it != in_flight_.end()) {
+        ++out.dedup_hits;
+        dedup_hits_.add();
+        waits.push_back(it->second);
+        continue;
+      }
+      auto col = std::make_shared<Column>();
+      col->id = id;
+      col->spec.kernel = spec.kernel;
+      col->spec.scale = spec.scale;
+      col->spec.comm_dvfs_mhz = spec.comm_dvfs_mhz;
+      col->spec.fault = spec.fault;
+      col->spec.cluster = spec.cluster;
+      col->spec.power = spec.power;
+      col->spec.options.jobs = 1;
+      col->spec.options.cache_dir = opts_.cache_dir;
+      col->spec.options.cache_cap_bytes = opts_.cache_cap_bytes;
+      col->spec.options.run_retries = spec.options.run_retries;
+      col->spec.options.journal_path = opts_.journal_path;
+      col->spec.options.resume = true;
+      for (const std::size_t i : members) {
+        col->points.push_back(points[i]);
+        col->keys.push_back(keys[i]);
+      }
+      columns_.add();
+      queue_.push_back(col);
+      in_flight_.emplace(col->id, col);
+      queue_depth_.set(static_cast<double>(queue_.size()));
+      waits.push_back(std::move(col));
+    }
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Column>& col : waits)
+      done_cv_.wait(lock, [&col] { return col->done; });
+  }
+
+  // Collect: the journal holds everything a worker completed (another
+  // submission's worker counts — that is the dedup paying off);
+  // synthesized fail-soft records cover the rest.
+  journal_.refresh();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (resolved[i]) continue;
+    if (std::optional<analysis::RunRecord> rec = journal_.find(keys[i])) {
+      out.records[i] = std::move(*rec);
+      continue;
+    }
+    bool found = false;
+    for (const std::shared_ptr<Column>& col : waits) {
+      const auto it = col->synthesized.find(keys[i]);
+      if (it != col->synthesized.end()) {
+        out.records[i] = it->second;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // A column finished without covering this key — defensive only.
+      analysis::RunRecord rec;
+      rec.nodes = points[i].nodes;
+      rec.frequency_mhz = points[i].frequency_mhz;
+      rec.status = analysis::RunStatus::kCrashed;
+      rec.error = "serve: worker finished without a result";
+      out.records[i] = std::move(rec);
+    }
+  }
+  return out;
+}
+
+bool Broker::column_complete(const Column& col) {
+  for (const std::string& key : col.keys)
+    if (!journal_.find(key)) return false;
+  return true;
+}
+
+void Broker::synthesize_failures(Column& col, bool timed_out,
+                                 const std::string& detail) {
+  for (std::size_t i = 0; i < col.keys.size(); ++i) {
+    if (journal_.find(col.keys[i])) continue;
+    analysis::RunRecord rec;
+    rec.nodes = col.points[i].nodes;
+    rec.frequency_mhz = col.points[i].frequency_mhz;
+    rec.status = timed_out ? analysis::RunStatus::kTimeout
+                           : analysis::RunStatus::kCrashed;
+    rec.error = detail;
+    rec.attempts = std::max(1, col.attempts);
+    // NOT journaled and NOT cached: a crash is an environmental
+    // accident — the next submission retries these points for real.
+    col.synthesized[col.keys[i]] = std::move(rec);
+  }
+}
+
+void Broker::finish_column(const std::shared_ptr<Column>& col) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    col->done = true;
+    in_flight_.erase(col->id);
+  }
+  done_cv_.notify_all();
+}
+
+void Broker::launch(std::shared_ptr<Column> col, std::vector<Live>& live) {
+  ++col->attempts;
+  // Plain copies for the child: it must never touch parent objects.
+  const analysis::SweepSpec child_spec = col->spec;
+  const std::vector<analysis::SweepExecutor::Point> child_points = col->points;
+  Live l;
+  l.col = std::move(col);
+  // fork without exec, from this thread only (fork safety): the child
+  // builds a fresh executor over the shared cache directory + journal
+  // and reports through the journal's flock'd appends.
+  l.handle = util::Subprocess::spawn([child_spec, child_points]() -> int {
+    analysis::SweepExecutor exec(child_spec);
+    const std::unique_ptr<npb::Kernel> kernel =
+        analysis::make_spec_kernel(exec.spec());
+    exec.run_points(*kernel, child_points);
+    return 0;
+  });
+  l.t0 = mono_seconds();
+  l.deadline = l.t0 + opts_.worker_timeout_s;
+  live.push_back(std::move(l));
+}
+
+void Broker::run_inline(const std::shared_ptr<Column>& col) {
+  ++col->attempts;
+  try {
+    analysis::SweepExecutor exec(col->spec);
+    const std::unique_ptr<npb::Kernel> kernel =
+        analysis::make_spec_kernel(exec.spec());
+    exec.run_points(*kernel, col->points);
+  } catch (const std::exception& e) {
+    util::log_warn(util::strf("serve: inline column failed: %s", e.what()));
+  }
+  journal_.refresh();
+  if (!column_complete(*col)) {
+    worker_crashes_.add();
+    if (col->attempts <= opts_.worker_retries) {
+      worker_restarts_.add();
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(col);
+      return;
+    }
+    synthesize_failures(*col, /*timed_out=*/false,
+                        "serve: inline execution failed");
+  }
+  finish_column(col);
+}
+
+void Broker::scheduler_main() {
+  std::vector<Live> live;
+  const std::size_t window = static_cast<std::size_t>(opts_.workers);
+  for (;;) {
+    std::shared_ptr<Column> next;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Poll-shaped wait: live-worker deadlines and backoff gates need
+      // the clock even when nothing is queued.
+      work_cv_.wait_for(lock, std::chrono::milliseconds(live.empty() ? 50 : 5),
+                        [&] {
+                          return stop_ || (!hold_ && !queue_.empty() &&
+                                           live.size() < window);
+                        });
+      stopping = stop_;
+      if (!stopping && !hold_ && live.size() < window) {
+        const double now = mono_seconds();
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if ((*it)->not_before <= now) {
+            next = *it;
+            queue_.erase(it);
+            break;
+          }
+        }
+      }
+      queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+
+    if (stopping) {
+      // Fail everything soft so blocked run() calls return: SIGKILL
+      // live workers, synthesize for their columns and the queue.
+      for (Live& l : live) {
+        if (l.handle.running()) l.handle.kill(SIGKILL);
+        l.handle.wait();
+      }
+      journal_.refresh();
+      for (Live& l : live) {
+        if (!column_complete(*l.col))
+          synthesize_failures(*l.col, false, "serve: server shut down");
+        finish_column(l.col);
+      }
+      live.clear();
+      for (;;) {
+        std::shared_ptr<Column> col;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (queue_.empty()) break;
+          col = queue_.front();
+          queue_.pop_front();
+        }
+        if (!column_complete(*col))
+          synthesize_failures(*col, false, "serve: server shut down");
+        finish_column(col);
+      }
+      workers_running_.set(0.0);
+      return;
+    }
+
+    if (next) {
+      if (opts_.inline_exec)
+        run_inline(next);
+      else
+        launch(std::move(next), live);
+    }
+
+    // Reap / deadline pass over live workers.
+    for (std::size_t k = 0; k < live.size();) {
+      Live& l = live[k];
+      if (!l.handle.poll()) {
+        if (!l.timed_out && mono_seconds() > l.deadline) {
+          l.timed_out = true;
+          l.handle.kill(SIGKILL);
+        }
+        ++k;
+        continue;
+      }
+      util::Subprocess::Result res = l.handle.result();
+      res.timed_out = res.timed_out || l.timed_out;
+      const std::shared_ptr<Column> col = l.col;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+
+      // Harvest whatever the worker journaled — a crashed worker's
+      // completed points survive; only in-flight work is lost.
+      journal_.refresh();
+      if (column_complete(*col)) {
+        finish_column(col);
+        continue;
+      }
+      if (res.timed_out)
+        worker_timeouts_.add();
+      else
+        worker_crashes_.add();
+      // The dead worker may have left a torn tail frame; repair before
+      // anyone appends at that offset (same policy as --isolate).
+      journal_.repair_tail();
+      if (col->attempts <= opts_.worker_retries) {
+        worker_restarts_.add();
+        const double backoff = fault::backoff_s(0.05, col->attempts - 1);
+        col->not_before = mono_seconds() + backoff;
+        util::log_warn(util::strf(
+            "serve: %s N=%d column worker %s; retrying in %.0f ms "
+            "(attempt %d/%d)",
+            col->spec.kernel.c_str(), col->points.front().nodes,
+            res.describe().c_str(), backoff * 1e3, col->attempts + 1,
+            opts_.worker_retries + 1));
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(col);
+      } else {
+        util::log_warn(util::strf(
+            "serve: %s N=%d column worker %s after %d attempt(s); "
+            "answering unfinished points as %s",
+            col->spec.kernel.c_str(), col->points.front().nodes,
+            res.describe().c_str(), col->attempts,
+            res.timed_out ? "timeout" : "crashed"));
+        synthesize_failures(*col, res.timed_out,
+                            "serve worker " + res.describe());
+        finish_column(col);
+      }
+    }
+    workers_running_.set(static_cast<double>(live.size()));
+  }
+}
+
+}  // namespace pas::serve

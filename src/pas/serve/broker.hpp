@@ -1,0 +1,168 @@
+// Broker — the execution core of pasim_serve (DESIGN.md §13).
+//
+// A broker turns submitted SweepSpec documents into RunRecords while
+// simulating every operating point at most once, however many clients
+// ask for it and however they overlap in time:
+//
+//   * answers come from the shared run cache / sweep journal first
+//     (cold points only ever reach a worker once — afterwards they are
+//     disk hits for every later submission),
+//   * unresolved points are grouped into (kernel, N, comm-DVFS)
+//     columns — the frequency-collapse unit, so one worker prices a
+//     whole DVFS column from one simulated run — and identical
+//     in-flight columns are deduplicated by content-hash identity: a
+//     spec submitted twice concurrently enqueues each column once and
+//     both submissions wait on the same column object,
+//   * columns run in forked worker processes (util::Subprocess) under
+//     the PR 7 supervisor policy: wall-clock deadlines, bounded
+//     exponential-backoff re-forks, and fail-soft kCrashed/kTimeout
+//     records when a column never completes — a dying worker costs a
+//     column, never the server.
+//
+// Workers report through the shared sweep journal (the same flock'd
+// append-only IPC the --isolate supervisor uses), so a crashed
+// worker's completed points survive and a re-forked worker resumes
+// past them. Supervisor-synthesized crash records are never journaled
+// and never cached — a later submission retries those points for real.
+//
+// Fork safety: all forks happen on the single scheduler thread, and
+// every metric reference is resolved at construction, so no other
+// broker thread ever takes the metrics-registry lock while the
+// scheduler forks. Worker children only touch their own fresh
+// executor state (own RunCache handle, own SweepJournal handle on the
+// shared files) — never the parent's objects.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pas/analysis/run_cache.hpp"
+#include "pas/analysis/sweep_executor.hpp"
+#include "pas/analysis/sweep_journal.hpp"
+#include "pas/analysis/sweep_spec.hpp"
+#include "pas/obs/metrics.hpp"
+
+namespace pas::serve {
+
+struct BrokerOptions {
+  /// Maximum concurrently live worker processes.
+  int workers = 2;
+  /// Per-worker wall-clock deadline (then SIGKILL + retry).
+  double worker_timeout_s = 300.0;
+  /// Re-forks per failed column before fail-soft records are synthesized.
+  int worker_retries = 1;
+  /// Shared run-cache directory (required — the cache IS the service's
+  /// memory; the sweep journal lives next to it by default).
+  std::string cache_dir;
+  /// Defaults to `<cache_dir>/serve.journal`.
+  std::string journal_path;
+  /// RunCache LRU cap (0 = unbounded).
+  std::uint64_t cache_cap_bytes = 0;
+  /// Run columns on the scheduler thread instead of forking workers.
+  /// For tests under sanitizers that dislike fork(); no deadlines.
+  bool inline_exec = false;
+};
+
+class Broker {
+ public:
+  /// Opens (or warm-resumes) the cache and journal and starts the
+  /// scheduler thread. Throws std::invalid_argument on bad options.
+  explicit Broker(BrokerOptions opts);
+  /// Stops the scheduler: live workers are SIGKILLed, every pending
+  /// column is failed soft, blocked run() calls return.
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  struct SweepResult {
+    /// Grid order (nodes-major, frequency-minor) — exactly the order
+    /// an offline SweepExecutor::run() of the same spec emits.
+    std::vector<analysis::RunRecord> records;
+    /// Per-record: answered from the shared cache/journal without
+    /// reaching a worker during this submission.
+    std::vector<char> from_cache;
+    std::uint64_t cache_hits = 0;  ///< pre-resolved points
+    std::uint64_t dedup_hits = 0;  ///< columns joined in-flight
+  };
+
+  /// Resolves every point of the spec's grid and blocks until done.
+  /// Thread-safe: concurrent submissions share in-flight columns. Only
+  /// the spec's document half shapes the result; execution-policy
+  /// options (jobs, cache_dir, journal, isolate) are the broker's to
+  /// choose — except run_retries, which changes record bytes and so
+  /// keys column identity. Throws std::invalid_argument on an invalid
+  /// spec and std::runtime_error after stop().
+  SweepResult run(const analysis::SweepSpec& spec);
+
+  analysis::RunCache& cache() { return cache_; }
+  std::size_t journal_entries() const { return journal_.entries(); }
+  const BrokerOptions& options() const { return opts_; }
+
+  /// Test hook: freeze (true) / thaw (false) worker dispatch, so a
+  /// test can pile up concurrent duplicate submissions and observe
+  /// the dedup before anything runs.
+  void set_hold(bool hold);
+
+ private:
+  struct Column {
+    std::string id;  ///< member cache keys + retry policy
+    /// Document spec a worker rebuilds its executor from.
+    analysis::SweepSpec spec;
+    std::vector<analysis::SweepExecutor::Point> points;
+    std::vector<std::string> keys;
+    int attempts = 0;
+    double not_before = 0.0;  ///< retry backoff gate (monotonic seconds)
+    bool done = false;
+    /// Fail-soft records for members the journal never received,
+    /// keyed like the journal. Written by the scheduler before `done`,
+    /// read by waiters after — the broker mutex orders both.
+    std::unordered_map<std::string, analysis::RunRecord> synthesized;
+  };
+
+  struct Live;
+  void scheduler_main();
+  void launch(std::shared_ptr<Column> col, std::vector<Live>& live);
+  void run_inline(const std::shared_ptr<Column>& col);
+  /// True when every member key is in the journal.
+  bool column_complete(const Column& col);
+  void synthesize_failures(Column& col, bool timed_out,
+                           const std::string& detail);
+  void finish_column(const std::shared_ptr<Column>& col);
+
+  BrokerOptions opts_;
+  analysis::RunCache cache_;
+  analysis::SweepJournal journal_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes the scheduler
+  std::condition_variable done_cv_;  ///< wakes run() waiters
+  std::deque<std::shared_ptr<Column>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Column>> in_flight_;
+  bool stop_ = false;
+  bool hold_ = false;
+
+  // Metric references resolved at construction (fork safety — see the
+  // header comment). All volatile: serving traffic is wall-clock shaped.
+  obs::Counter& sweeps_;
+  obs::Counter& sweep_points_;
+  obs::Counter& cache_hits_;
+  obs::Counter& dedup_hits_;
+  obs::Counter& columns_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& workers_running_;
+  obs::Counter& worker_restarts_;
+  obs::Counter& worker_crashes_;
+  obs::Counter& worker_timeouts_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace pas::serve

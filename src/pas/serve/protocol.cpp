@@ -1,0 +1,56 @@
+#include "pas/serve/protocol.hpp"
+
+#include <sstream>
+
+#include "pas/analysis/run_cache.hpp"
+
+namespace pas::serve {
+
+std::string error_line(const std::string& message) {
+  util::Json j = util::Json::object();
+  j.set("ok", util::Json(false));
+  j.set("error", util::Json(message));
+  return j.dump() + "\n";
+}
+
+std::string ok_line(const std::string& op) {
+  util::Json j = util::Json::object();
+  j.set("ok", util::Json(true));
+  j.set("op", util::Json(op));
+  return j.dump() + "\n";
+}
+
+std::string encode_point_line(std::size_t index,
+                              const analysis::RunRecord& record,
+                              bool from_cache) {
+  util::Json j = util::Json::object();
+  j.set("point", util::Json(static_cast<double>(index)));
+  j.set("nodes", util::Json(record.nodes));
+  j.set("frequency_mhz", util::Json(record.frequency_mhz));
+  j.set("status",
+        util::Json(std::string(analysis::run_status_name(record.status))));
+  j.set("from_cache", util::Json(from_cache));
+  j.set("seconds", util::Json(record.seconds));
+  j.set("record", util::Json(analysis::RunCache::encode_record(record)));
+  return j.dump() + "\n";
+}
+
+bool decode_point_line(const util::Json& line, PointLine* out) {
+  if (!line.is_object()) return false;
+  const util::Json* point = line.find("point");
+  const util::Json* from_cache = line.find("from_cache");
+  const util::Json* record = line.find("record");
+  if (point == nullptr || !point->is_number() || point->as_number() < 0)
+    return false;
+  if (from_cache == nullptr || !from_cache->is_bool()) return false;
+  if (record == nullptr || !record->is_string()) return false;
+  std::istringstream in(record->as_string());
+  analysis::RunRecord rec;
+  if (!analysis::RunCache::decode_record(in, &rec)) return false;
+  out->index = static_cast<std::size_t>(point->as_number());
+  out->from_cache = from_cache->as_bool();
+  out->record = std::move(rec);
+  return true;
+}
+
+}  // namespace pas::serve

@@ -1,0 +1,63 @@
+// The pasim_serve wire protocol: newline-delimited JSON over a
+// Unix-domain or localhost-TCP stream (DESIGN.md §13).
+//
+// Requests, one JSON object per line:
+//
+//   {"op":"ping"}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//   {"op":"sweep","spec":{...}}     spec = canonical SweepSpec JSON
+//
+// Responses:
+//
+//   ping / shutdown   {"ok":true,"op":<op>}
+//   stats             {"ok":true,"op":"stats","stats":{...}}
+//   any error         {"ok":false,"error":<message>}
+//   sweep             a header line
+//                       {"ok":true,"op":"sweep","points":N}
+//                     then N point lines in grid order (nodes-major,
+//                     frequency-minor — the exact order an offline
+//                     SweepExecutor::run() emits), then a trailer
+//                       {"done":true,"points":N,
+//                        "cache_hits":H,"dedup_hits":D}
+//
+// Each point line carries the full RunRecord as the RunCache canonical
+// encoding (hex-float fields) embedded in a JSON string, so the record
+// a client decodes is bit-identical to what an offline sweep of the
+// same spec produces — the byte-identical-artifacts oracle rests on
+// this transport being exact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pas/analysis/run_matrix.hpp"
+#include "pas/util/json.hpp"
+
+namespace pas::serve {
+
+/// {"ok":false,"error":<message>} plus the terminating newline.
+std::string error_line(const std::string& message);
+
+/// {"ok":true,"op":<op>} plus the terminating newline.
+std::string ok_line(const std::string& op);
+
+/// One decoded sweep-response point.
+struct PointLine {
+  std::size_t index = 0;
+  bool from_cache = false;
+  analysis::RunRecord record;
+};
+
+/// Serializes grid point `index` (newline included). `from_cache`
+/// tells the client whether the broker answered from the shared
+/// run cache / journal instead of simulating.
+std::string encode_point_line(std::size_t index,
+                              const analysis::RunRecord& record,
+                              bool from_cache);
+
+/// Parses what encode_point_line produced. False on any missing,
+/// mistyped or undecodable member.
+bool decode_point_line(const util::Json& line, PointLine* out);
+
+}  // namespace pas::serve

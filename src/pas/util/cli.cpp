@@ -32,18 +32,23 @@ Cli::Cli(int argc, const char* const* argv) {
 }
 
 void Cli::require_known(std::initializer_list<const char*> known) const {
+  require_known(std::vector<std::string>(known.begin(), known.end()));
+}
+
+void Cli::require_known(const std::vector<std::string>& known) const {
   for (const auto& [name, value] : options_) {
-    if (std::find_if(known.begin(), known.end(), [&](const char* k) {
-          return name == k;
-        }) != known.end())
-      continue;
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
     std::string msg = "unknown option --" + name + "; accepted:";
-    for (const char* k : known) msg += std::string(" --") + k;
+    for (const std::string& k : known) msg += " --" + k;
     throw std::invalid_argument(msg);
   }
 }
 
 void Cli::check_usage(std::initializer_list<const char*> known) const {
+  check_usage(std::vector<std::string>(known.begin(), known.end()));
+}
+
+void Cli::check_usage(const std::vector<std::string>& known) const {
   try {
     require_known(known);
   } catch (const std::invalid_argument& e) {

@@ -17,10 +17,13 @@ class Cli {
   /// in `known` (a typo'd --flag must not be silently ignored). The
   /// message lists the accepted options.
   void require_known(std::initializer_list<const char*> known) const;
+  void require_known(const std::vector<std::string>& known) const;
 
   /// require_known for main(): on an unknown option prints the error
-  /// and the accepted options to stderr and exits with status 2.
+  /// and the accepted options to stderr and exits with status 2. The
+  /// vector overload composes with SweepSpec::cli_option_names().
   void check_usage(std::initializer_list<const char*> known) const;
+  void check_usage(const std::vector<std::string>& known) const;
 
   /// True if --name was present (with or without a value).
   bool has(const std::string& name) const;

@@ -1,0 +1,105 @@
+// util::Json — a minimal, strict, deterministic JSON value.
+//
+// The canonical SweepSpec documents (pas/analysis/sweep_spec.hpp) and
+// the pasim_serve wire protocol (pas/serve/protocol.hpp) both need a
+// JSON round-trip the repo controls end to end, so this is a small
+// first-principles implementation rather than a dependency:
+//
+//   * parse() is strict RFC 8259: no comments, no trailing commas, no
+//     unquoted keys, duplicate object keys rejected (a spec with two
+//     "nodes" keys is a user error, not a last-one-wins surprise), a
+//     nesting-depth limit instead of parser recursion crashing on
+//     hostile input. Errors throw std::invalid_argument naming the
+//     byte offset and what was expected.
+//   * dump() is canonical: object keys keep insertion order, numbers
+//     print as integers when they are integral (|x| <= 2^53) and as
+//     shortest-17-significant-digit doubles otherwise, so
+//     dump(parse(dump(v))) == dump(v) — the spec round-trip tests pin
+//     this fixpoint byte for byte.
+//
+// Numbers are binary64 (like JavaScript); NaN/Inf are unrepresentable
+// in JSON and dump() throws on them rather than emitting garbage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pas::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int i) : type_(Type::kNumber), num_(i) {}
+  Json(long i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(unsigned long long i)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Checked accessors; throw std::invalid_argument on a type
+  /// mismatch (the spec validator turns these into field errors).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access. push_back() is only valid on arrays.
+  Json& push_back(Json v);
+  const std::vector<Json>& items() const;
+
+  /// Object access, insertion-ordered. set() inserts or overwrites;
+  /// find() returns null when the key is absent.
+  Json& set(const std::string& key, Json v);
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Canonical serialization. `indent` > 0 pretty-prints with that
+  /// many spaces per level; 0 emits the compact one-line form.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Throws std::invalid_argument with a byte offset.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Canonical number spelling shared by dump() and the wire protocol:
+/// integral binary64 in [-2^53, 2^53] print without a decimal point,
+/// everything else as %.17g (which round-trips binary64 exactly).
+std::string json_number_string(double v);
+
+}  // namespace pas::util

@@ -20,6 +20,13 @@ SweepOptions jobs(int n) {
   return o;
 }
 
+SweepSpec make_spec(sim::ClusterConfig cluster, SweepOptions opts) {
+  SweepSpec spec;
+  spec.cluster = std::move(cluster);
+  spec.options = std::move(opts);
+  return spec;
+}
+
 sim::ClusterConfig dying_cluster(int n = 4) {
   sim::ClusterConfig c = sim::ClusterConfig::paper_testbed(n);
   c.fault.seed = 3;
@@ -30,8 +37,9 @@ sim::ClusterConfig dying_cluster(int n = 4) {
 
 TEST(FailSoftSweep, SweepCompletesWithEveryPointFailed) {
   const auto kernel = make_kernel("EP", Scale::kSmall);
-  SweepExecutor executor(dying_cluster(), power::PowerModel(), jobs(2));
-  const MatrixResult result = executor.sweep(*kernel, {1, 2}, {600, 1400});
+  SweepExecutor executor(make_spec(dying_cluster(), jobs(2)));
+  const MatrixResult result =
+      executor.run({kernel.get(), {1, 2}, {600, 1400}});
   ASSERT_EQ(result.records.size(), 4u);
   for (const RunRecord& rec : result.records) {
     EXPECT_TRUE(rec.failed());
@@ -49,7 +57,7 @@ TEST(FailSoftSweep, PersistentFaultConsumesEveryRetry) {
   const auto kernel = make_kernel("EP", Scale::kSmall);
   SweepOptions opts = jobs(1);
   opts.run_retries = 2;
-  SweepExecutor executor(dying_cluster(2), power::PowerModel(), opts);
+  SweepExecutor executor(make_spec(dying_cluster(2), opts));
   const RunRecord rec = executor.run_one(*kernel, 2, 1000);
   EXPECT_TRUE(rec.failed());
   EXPECT_EQ(rec.attempts, 3);  // 1 initial + 2 retries, each a new plan
@@ -59,8 +67,7 @@ TEST(FailSoftSweep, CleanClusterIgnoresRetries) {
   const auto kernel = make_kernel("EP", Scale::kSmall);
   SweepOptions opts = jobs(1);
   opts.run_retries = 5;
-  SweepExecutor executor(sim::ClusterConfig::paper_testbed(2),
-                         power::PowerModel(), opts);
+  SweepExecutor executor(make_spec(sim::ClusterConfig::paper_testbed(2), opts));
   const RunRecord rec = executor.run_one(*kernel, 2, 1000);
   EXPECT_FALSE(rec.failed());
   EXPECT_EQ(rec.attempts, 1);
@@ -77,13 +84,13 @@ TEST(FailSoftSweep, FixedSeedBitIdenticalAcrossJobs) {
 
   SweepOptions serial = jobs(1);
   serial.use_cache = false;
-  SweepExecutor one(c, power::PowerModel(), serial);
-  const MatrixResult want = one.sweep(*kernel, nodes, freqs);
+  SweepExecutor one(make_spec(c, serial));
+  const MatrixResult want = one.run({kernel.get(), nodes, freqs});
 
   SweepOptions wide = jobs(8);
   wide.use_cache = false;
-  SweepExecutor eight(c, power::PowerModel(), wide);
-  const MatrixResult got = eight.sweep(*kernel, nodes, freqs);
+  SweepExecutor eight(make_spec(c, wide));
+  const MatrixResult got = eight.run({kernel.get(), nodes, freqs});
 
   ASSERT_EQ(got.records.size(), want.records.size());
   for (std::size_t i = 0; i < want.records.size(); ++i) {

@@ -225,7 +225,7 @@ TEST(ReplayFastPath, ExecutorSweepRepricesColumnTailsBitForBit) {
 
   const std::uint64_t before = repriced_count();
   SweepExecutor executor = make_observed_executor(cfg, jobs(4));
-  const MatrixResult got = executor.sweep(*kernel, nodes, freqs);
+  const MatrixResult got = executor.run({kernel.get(), nodes, freqs});
   // 3 columns x (3 frequencies - 1 recorded) = 6 repriced points.
   EXPECT_EQ(repriced_count() - before, 6u);
 
@@ -243,7 +243,7 @@ TEST(ReplayFastPath, FaultArmedSweepBypassesFastPath) {
   const std::uint64_t before = repriced_count();
   SweepExecutor executor = make_observed_executor(cfg, jobs(2));
   const MatrixResult result =
-      executor.sweep(*kernel, {1, 2, 4}, {600, 1000, 1400});
+      executor.run({kernel.get(), {1, 2, 4}, {600, 1000, 1400}});
   EXPECT_EQ(repriced_count() - before, 0u);
   EXPECT_EQ(result.records.size(), 9u);
 }
@@ -260,7 +260,7 @@ TEST(ReplayFastPath, VerifyReplayPassesOnCleanGrid) {
   const std::uint64_t verified0 = verified_count();
   SweepExecutor executor = make_observed_executor(cfg, opts);
   const MatrixResult result =
-      executor.sweep(*kernel, {2, 4}, {600, 1000, 1400});
+      executor.run({kernel.get(), {2, 4}, {600, 1000, 1400}});
   EXPECT_EQ(result.records.size(), 6u);
   const std::uint64_t repriced = repriced_count() - repriced0;
   EXPECT_EQ(repriced, 4u);  // 2 columns x 2 column-tail frequencies

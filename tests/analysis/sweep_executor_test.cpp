@@ -46,6 +46,13 @@ SweepOptions jobs(int n) {
   return o;
 }
 
+SweepSpec make_spec(sim::ClusterConfig cluster, SweepOptions opts) {
+  SweepSpec spec;
+  spec.cluster = std::move(cluster);
+  spec.options = std::move(opts);
+  return spec;
+}
+
 util::Cli make_cli(std::initializer_list<const char*> args) {
   std::vector<const char*> argv{"prog"};
   argv.insert(argv.end(), args.begin(), args.end());
@@ -84,8 +91,8 @@ TEST(SweepExecutor, ParallelSweepMatchesSerialBitForBit) {
   RunMatrix serial(cfg);
   const MatrixResult want = serial.sweep(*kernel, nodes, freqs);
 
-  SweepExecutor executor(cfg, power::PowerModel(), jobs(4));
-  const MatrixResult got = executor.sweep(*kernel, nodes, freqs);
+  SweepExecutor executor(make_spec(cfg, jobs(4)));
+  const MatrixResult got = executor.run({kernel.get(), nodes, freqs});
 
   ASSERT_EQ(got.records.size(), want.records.size());
   // Same grid order (nodes-major, frequency-minor), same bits.
@@ -108,7 +115,7 @@ TEST(BatchedSweep, JobsEightMatchesSerialBitForBit) {
     const auto kernel = make_kernel(name, Scale::kSmall);
     RunMatrix serial(cfg);
     const MatrixResult want = serial.sweep(*kernel, nodes, freqs);
-    SweepExecutor executor(cfg, power::PowerModel(), jobs(8));
+    SweepExecutor executor(make_spec(cfg, jobs(8)));
     const MatrixResult got = executor.run({kernel.get(), nodes, freqs});
     ASSERT_EQ(got.records.size(), want.records.size());
     for (std::size_t i = 0; i < want.records.size(); ++i)
@@ -123,7 +130,7 @@ TEST(BatchedSweep, CommDvfsColumnsMatchSerialAtJobsEight) {
   const std::vector<double> freqs{600, 800, 1000, 1400};
   RunMatrix serial(cfg);
   const MatrixResult want = serial.sweep(*kernel, nodes, freqs, 600);
-  SweepExecutor executor(cfg, power::PowerModel(), jobs(8));
+  SweepExecutor executor(make_spec(cfg, jobs(8)));
   const MatrixResult got = executor.run({kernel.get(), nodes, freqs, 600});
   ASSERT_EQ(got.records.size(), want.records.size());
   for (std::size_t i = 0; i < want.records.size(); ++i)
@@ -139,11 +146,11 @@ TEST(BatchedSweep, ScalarRepriceEnvMatchesBatchedEngine) {
   const std::vector<int> nodes{1, 4};
   const std::vector<double> freqs{600, 1000, 1400};
 
-  SweepExecutor batched(cfg, power::PowerModel(), jobs(8));
+  SweepExecutor batched(make_spec(cfg, jobs(8)));
   const MatrixResult want = batched.run({kernel.get(), nodes, freqs});
 
   ScopedEnv env("PASIM_SCALAR_REPRICE", "1");
-  SweepExecutor scalar(cfg, power::PowerModel(), jobs(8));
+  SweepExecutor scalar(make_spec(cfg, jobs(8)));
   const MatrixResult got = scalar.run({kernel.get(), nodes, freqs});
 
   ASSERT_EQ(got.records.size(), want.records.size());
@@ -156,14 +163,14 @@ TEST(SweepExecutor, CommDvfsSweepMatchesSerial) {
   const auto kernel = make_kernel("FT", Scale::kSmall);
   RunMatrix serial(cfg);
   const RunRecord want = serial.run_one(*kernel, 4, 1400, 600);
-  SweepExecutor executor(cfg, power::PowerModel(), jobs(2));
+  SweepExecutor executor(make_spec(cfg, jobs(2)));
   expect_identical(executor.run_one(*kernel, 4, 1400, 600), want);
 }
 
 TEST(SweepExecutor, RunPointsMatchesInputOrder) {
   const auto cfg = sim::ClusterConfig::paper_testbed(4);
   const auto kernel = make_kernel("EP", Scale::kSmall);
-  SweepExecutor executor(cfg, power::PowerModel(), jobs(3));
+  SweepExecutor executor(make_spec(cfg, jobs(3)));
   const std::vector<SweepExecutor::Point> points{
       {4, 1400}, {1, 600}, {2, 1000}};
   const std::vector<RunRecord> records = executor.run_points(*kernel, points);
@@ -177,7 +184,7 @@ TEST(SweepExecutor, RunPointsMatchesInputOrder) {
 TEST(SweepExecutor, CacheHitReturnsIdenticalRecord) {
   const auto cfg = sim::ClusterConfig::paper_testbed(2);
   const auto kernel = make_kernel("EP", Scale::kSmall);
-  SweepExecutor executor(cfg, power::PowerModel(), jobs(1));
+  SweepExecutor executor(make_spec(cfg, jobs(1)));
   const RunRecord fresh = executor.run_one(*kernel, 2, 1000);
   EXPECT_EQ(executor.cache().hits(), 0u);
   const RunRecord hit = executor.run_one(*kernel, 2, 1000);
@@ -194,14 +201,14 @@ TEST(SweepExecutor, DiskCacheRoundTripsRecordsExactly) {
 
   SweepOptions warm = jobs(1);
   warm.cache_dir = dir;
-  SweepExecutor writer(cfg, power::PowerModel(), warm);
-  const MatrixResult want = writer.sweep(*kernel, {1, 2}, {600, 1400});
+  SweepExecutor writer(make_spec(cfg, warm));
+  const MatrixResult want = writer.run({kernel.get(), {1, 2}, {600, 1400}});
   EXPECT_EQ(writer.cache().stores(), 4u);
 
   // A new executor (fresh memory) must hit the disk entries and get the
   // same bits back through the hexfloat round trip.
-  SweepExecutor reader(cfg, power::PowerModel(), warm);
-  const MatrixResult got = reader.sweep(*kernel, {1, 2}, {600, 1400});
+  SweepExecutor reader(make_spec(cfg, warm));
+  const MatrixResult got = reader.run({kernel.get(), {1, 2}, {600, 1400}});
   EXPECT_EQ(reader.cache().hits(), 4u);
   EXPECT_EQ(reader.cache().misses(), 0u);
   ASSERT_EQ(got.records.size(), want.records.size());
@@ -217,7 +224,7 @@ TEST(SweepExecutor, CorruptDiskEntryIsQuarantinedAndResimulated) {
 
   SweepOptions opts = jobs(1);
   opts.cache_dir = dir;
-  SweepExecutor writer(cfg, power::PowerModel(), opts);
+  SweepExecutor writer(make_spec(cfg, opts));
   const RunRecord want = writer.run_one(*kernel, 2, 1000);
   ASSERT_EQ(writer.cache().stores(), 1u);
 
@@ -236,7 +243,7 @@ TEST(SweepExecutor, CorruptDiskEntryIsQuarantinedAndResimulated) {
   // A fresh executor treats the corrupt entry as a miss, re-simulates
   // bit-identically, and moves the garbage aside so it can never
   // satisfy a later lookup.
-  SweepExecutor reader(cfg, power::PowerModel(), opts);
+  SweepExecutor reader(make_spec(cfg, opts));
   const RunRecord got = reader.run_one(*kernel, 2, 1000);
   EXPECT_EQ(reader.cache().hits(), 0u);
   EXPECT_EQ(reader.cache().misses(), 1u);
@@ -253,7 +260,7 @@ TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
 
   SweepOptions opts = jobs(1);
   opts.cache_dir = dir;
-  SweepExecutor executor(cfg, power::PowerModel(), opts);
+  SweepExecutor executor(make_spec(cfg, opts));
   const RunRecord fresh = executor.run_one(*kernel, 2, 1000);
   // Rewrite the entry as a *valid* current-version file holding a
   // different key: an fnv1a filename collision, not corruption. It must
@@ -271,7 +278,7 @@ TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
         out);
     std::fclose(out);
   }
-  SweepExecutor again(cfg, power::PowerModel(), opts);
+  SweepExecutor again(make_spec(cfg, opts));
   const RunRecord resim = again.run_one(*kernel, 2, 1000);
   EXPECT_EQ(again.cache().hits(), 0u);
   expect_identical(resim, fresh);
@@ -283,7 +290,7 @@ TEST(SweepExecutor, NoCacheOptionAlwaysSimulates) {
   const auto kernel = make_kernel("EP", Scale::kSmall);
   SweepOptions opts = jobs(1);
   opts.use_cache = false;
-  SweepExecutor executor(cfg, power::PowerModel(), opts);
+  SweepExecutor executor(make_spec(cfg, opts));
   const RunRecord a = executor.run_one(*kernel, 1, 600);
   const RunRecord b = executor.run_one(*kernel, 1, 600);
   EXPECT_EQ(executor.cache().hits(), 0u);
@@ -307,7 +314,7 @@ TEST(SweepExecutor, CacheKeySeparatesKernelsAndPoints) {
 TEST(SweepExecutor, BadPointExceptionPropagates) {
   const auto cfg = sim::ClusterConfig::paper_testbed(2);
   const auto kernel = make_kernel("EP", Scale::kSmall);
-  SweepExecutor executor(cfg, power::PowerModel(), jobs(2));
+  SweepExecutor executor(make_spec(cfg, jobs(2)));
   // 725 MHz is not an operating point of the paper testbed.
   EXPECT_THROW(
       executor.run_points(*kernel, {{1, 600}, {1, 725}, {2, 600}}),
@@ -363,28 +370,6 @@ TEST(SweepOptions, EnvCacheDirMustNotBeEmpty) {
   EXPECT_TRUE(off.cache_dir.empty());
 }
 
-// The deprecated positional ctor + sweep() shims must stay
-// bit-equivalent to the SweepSpec + run() surface for the one release
-// they survive.
-TEST(SweepExecutor, DeprecatedShimsMatchSpecApi) {
-  const auto cfg = sim::ClusterConfig::paper_testbed(4);
-  const auto kernel = make_kernel("EP", Scale::kSmall);
-
-  SweepSpec spec;
-  spec.cluster = cfg;
-  spec.options = jobs(2);
-  SweepExecutor spec_exec(spec);
-  const MatrixResult via_run =
-      spec_exec.run({kernel.get(), {1, 2}, {600, 1400}});
-
-  SweepExecutor legacy(cfg, power::PowerModel(), jobs(2));
-  const MatrixResult via_sweep = legacy.sweep(*kernel, {1, 2}, {600, 1400});
-
-  ASSERT_EQ(via_run.records.size(), via_sweep.records.size());
-  for (std::size_t i = 0; i < via_run.records.size(); ++i)
-    expect_identical(via_run.records[i], via_sweep.records[i]);
-}
-
 TEST(SweepExecutor, SpecFaultOverridesClusterFault) {
   auto cfg = sim::ClusterConfig::paper_testbed(2);
   cfg.fault = fault::FaultConfig::scaled(0.5, 7);
@@ -409,7 +394,7 @@ TEST(SweepExecutor, ExecutorBackedParameterizationMatchesSerial) {
   const auto kernel = make_kernel("EP", Scale::kSmall);
   const core::SimplifiedParameterization serial =
       parameterize_simplified(*kernel, env);
-  SweepExecutor executor(env.cluster, power::PowerModel(), jobs(2));
+  SweepExecutor executor(make_spec(env.cluster, jobs(2)));
   const core::SimplifiedParameterization parallel =
       parameterize_simplified(*kernel, env, executor);
   for (int n : env.nodes)
