@@ -185,6 +185,9 @@ int main(int argc, char** argv) {
   std::printf("wall time %.2fs, jobs %d, run cache: %s%s\n", wall_s,
               executor.jobs(), executor.cache().stats_string().c_str(),
               reprice.c_str());
+  if (const std::string sweep_line = obs::sweep_counters_summary();
+      !sweep_line.empty())
+    std::printf("%s\n", sweep_line.c_str());
   if (!obs::export_and_report(executor.observer())) return 1;
   return report.write_failed ? 1 : 0;
 }

@@ -21,6 +21,7 @@
 #include "pas/analysis/experiment.hpp"
 #include "pas/analysis/sweep_executor.hpp"
 #include "pas/fault/fault.hpp"
+#include "pas/obs/metrics.hpp"
 #include "pas/obs/observer.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
@@ -113,6 +114,9 @@ int main(int argc, char** argv) {
   std::printf(
       "clean sweep = the model's perfect-cluster prediction; |dT|/T over "
       "surviving points tracks Hofmann et al.'s error degradation.\n");
+  if (const std::string sweep_line = obs::sweep_counters_summary();
+      !sweep_line.empty())
+    std::printf("%s\n", sweep_line.c_str());
   if (cli.has("csv") &&
       !table.write_csv(cli.get("csv", "resilience_sweep.csv")))
     return 1;

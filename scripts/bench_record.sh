@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Records the simulator's own performance baseline: the google-benchmark
-# microbenchmarks (bench/micro_sim) and one timed end-to-end run of
-# bench/full_report. Writes BENCH_micro_sim.json and
-# BENCH_full_report.json at the repo root so a perf regression shows up
-# as a diff against the committed baseline. Record-only: nothing here
+# microbenchmarks (bench/micro_sim) and one timed end-to-end run each of
+# bench/full_report and bench/resilience_sweep (the fault-ensemble axis,
+# which bypasses every analytic fast path). Writes BENCH_micro_sim.json,
+# BENCH_full_report.json and BENCH_resilience_sweep.json at the repo
+# root so a perf regression shows up as a diff against the committed
+# baseline. Record-only: nothing here
 # fails on a slow result — scripts/check_bench_schema.py validates the
 # shape, humans judge the numbers.
 #
@@ -16,7 +18,8 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 JOBS="${PASIM_BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
-for bin in "$BUILD/bench/micro_sim" "$BUILD/bench/full_report"; do
+for bin in "$BUILD/bench/micro_sim" "$BUILD/bench/full_report" \
+           "$BUILD/bench/resilience_sweep"; do
   [ -x "$bin" ] || { echo "bench_record: missing $bin (build it first)"; exit 1; }
 done
 
@@ -51,3 +54,24 @@ cat > BENCH_full_report.json <<EOF
 }
 EOF
 echo "wrote BENCH_full_report.json (wall ${WALL_REPORTED}s at --jobs $JOBS)"
+
+echo "== bench_record: resilience_sweep (--jobs $JOBS) =="
+# The fault-ensemble axis: no repricing, no checkpoints, no sampling
+# apply (fault injection bypasses every fast path), so this wall time
+# tracks the raw simulation throughput the resilience sweeps depend on.
+START_NS="$(date +%s%N)"
+"$BUILD/bench/resilience_sweep" --jobs "$JOBS" --no-cache \
+  >"$OUT_DIR/resilience_log" 2>&1
+END_NS="$(date +%s%N)"
+WALL_RESIL="$(awk "BEGIN { printf \"%.3f\", ($END_NS - $START_NS) / 1e9 }")"
+
+cat > BENCH_resilience_sweep.json <<EOF
+{
+  "schema": "pasim-bench-resilience-sweep/1",
+  "command": "bench/resilience_sweep --jobs $JOBS --no-cache",
+  "jobs": $JOBS,
+  "wall_seconds_measured": $WALL_RESIL,
+  "recorded_at": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+echo "wrote BENCH_resilience_sweep.json (wall ${WALL_RESIL}s at --jobs $JOBS)"

@@ -8,17 +8,24 @@ Stdlib-only, used by the tier-1 perf stage. Two file kinds:
                           simulator hot-path benchmarks present.
   BENCH_full_report.json  schema pasim-bench-full-report/1: one timed
                           end-to-end run of bench/full_report.
+  BENCH_resilience_sweep.json
+                          schema pasim-bench-resilience-sweep/1: one
+                          timed run of bench/resilience_sweep (the
+                          fault-ensemble axis has no fast path, so its
+                          wall time tracks raw simulation throughput).
 
 Record-only companion: this checks shape, not speed — a slow run still
 validates. Exits nonzero with a message on the first violation.
 
 Usage: check_bench_schema.py BENCH_micro_sim.json BENCH_full_report.json
+           [BENCH_resilience_sweep.json]
 """
 import json
 import math
 import sys
 
 FULL_REPORT_SCHEMA = "pasim-bench-full-report/1"
+RESILIENCE_SCHEMA = "pasim-bench-resilience-sweep/1"
 
 # The hot paths this PR pinned down must stay covered by the recording.
 REQUIRED_BENCHMARKS = (
@@ -104,11 +111,34 @@ def check_full_report(path):
           f"(--jobs {doc['jobs']}, wall {doc['wall_seconds_reported']}s)")
 
 
+def check_resilience(path):
+    doc = load(path)
+    want(isinstance(doc, dict), f"{path}: top level must be an object")
+    want(doc.get("schema") == RESILIENCE_SCHEMA,
+         f"{path}: schema must be {RESILIENCE_SCHEMA!r}, "
+         f"got {doc.get('schema')!r}")
+    want(isinstance(doc.get("command"), str) and doc["command"],
+         f"{path}: command must be a non-empty string")
+    want(isinstance(doc.get("jobs"), int) and not
+         isinstance(doc.get("jobs"), bool) and doc["jobs"] >= 1,
+         f"{path}: jobs must be an int >= 1")
+    want(is_num(doc.get("wall_seconds_measured")) and
+         doc["wall_seconds_measured"] > 0,
+         f"{path}: wall_seconds_measured must be a finite number > 0")
+    want(isinstance(doc.get("recorded_at"), str) and
+         "T" in doc.get("recorded_at", ""),
+         f"{path}: recorded_at must be an ISO-8601 UTC string")
+    print(f"check_bench_schema: OK: {path} "
+          f"(--jobs {doc['jobs']}, wall {doc['wall_seconds_measured']}s)")
+
+
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) not in (3, 4):
         sys.exit(__doc__.strip())
     check_micro(argv[1])
     check_full_report(argv[2])
+    if len(argv) == 4:
+        check_resilience(argv[3])
 
 
 if __name__ == "__main__":

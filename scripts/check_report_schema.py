@@ -59,6 +59,25 @@ def check_point(i, p):
          f"points[{i}].energy_j.total does not equal the component sum")
     if p["status"] == "ok":
         want(p["seconds"] > 0, f"points[{i}] is ok but has seconds == 0")
+    # Sampled estimates (DESIGN.md §14) are opt-in: exact points omit
+    # the whole block, sampled points carry all of it.
+    if "sampled" in p:
+        want(p["sampled"] is True,
+             f"points[{i}].sampled must be true when present")
+        for name in ("total_iters", "sampled_iters"):
+            want(isinstance(p.get(name), int) and not
+                 isinstance(p.get(name), bool),
+                 f"points[{i}].{name} missing or not an int")
+        want(0 <= p["sampled_iters"] <= p["total_iters"],
+             f"points[{i}]: sampled_iters must be in [0, total_iters]")
+        for name in ("ci_seconds", "ci_energy_j"):
+            want(is_num(p.get(name)) and p[name] >= 0,
+                 f"points[{i}].{name} missing or not a finite number >= 0")
+    else:
+        for name in ("total_iters", "sampled_iters", "ci_seconds",
+                     "ci_energy_j"):
+            want(name not in p,
+                 f"points[{i}].{name} present without sampled:true")
 
 
 def main(path):

@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """Validate a pasim SweepSpec document (DESIGN.md §13) from first principles.
 
-Independent re-implementation of the schema-v1 rules enforced by
+Independent re-implementation of the schema rules enforced by
 SweepSpec::from_json, so C++-side bugs cannot self-certify: required
-version == 1, no unknown keys at any nesting level, strict types, and
-the same value ranges (positive axes, probabilities in [0, 1],
+version in {1, 2}, no unknown keys at any nesting level, strict types,
+and the same value ranges (positive axes, probabilities in [0, 1],
 verify_replay requires use_cache, cache_cap_bytes requires cache_dir).
+
+Schema v2 (DESIGN.md §14) adds the `iterations` override and the
+sampling/checkpoint options (sampling, sample_period, warmup_iters,
+verify_sampling, checkpoints) with their cross-rules: verify_sampling
+requires sampling, sampling is incompatible with verify_replay, and
+checkpoints require the run cache. A v1 document naming any v2 field
+is mislabeled, not forward-compatible, and fails.
 
 Usage: check_spec_schema.py <spec.json> [<spec.json> ...]
 """
@@ -20,6 +27,9 @@ TOP_KEYS = {"version", "kernel", "scale", "nodes", "freqs_mhz",
 OPTION_KEYS = {"jobs", "cache_dir", "use_cache", "run_retries",
                "verify_replay", "journal_path", "resume", "isolate",
                "isolate_timeout_s", "isolate_retries", "cache_cap_bytes"}
+TOP_KEYS_V2 = TOP_KEYS | {"iterations"}
+OPTION_KEYS_V2 = OPTION_KEYS | {"sampling", "sample_period", "warmup_iters",
+                                "verify_sampling", "checkpoints"}
 FAULT_KEYS = {"seed", "straggler_fraction", "straggler_slowdown",
               "dvfs_jitter_s", "message_delay_prob", "message_delay_s",
               "message_drop_prob", "max_send_attempts", "retry_backoff_s",
@@ -93,10 +103,11 @@ def get_string(obj, where, key):
     return v
 
 
-def check_options(opts):
+def check_options(opts, version):
     if not isinstance(opts, dict):
         fail("options", "expected an object")
-    check_keys(opts, OPTION_KEYS, "options.")
+    check_keys(opts, OPTION_KEYS_V2 if version >= 2 else OPTION_KEYS,
+               "options.")
     get_int(opts, "options.", "jobs", 0)
     cache_dir = get_string(opts, "options.", "cache_dir")
     use_cache = get_bool(opts, "options.", "use_cache")
@@ -114,6 +125,22 @@ def check_options(opts):
     if cap and not cache_dir:
         fail("options.cache_cap_bytes",
              "requires a disk cache (set options.cache_dir)")
+    if version >= 2:
+        sampling = get_bool(opts, "options.", "sampling")
+        get_int(opts, "options.", "sample_period", 2)
+        get_int(opts, "options.", "warmup_iters", 0)
+        verify_sampling = get_prob(opts, "options.", "verify_sampling")
+        if verify_sampling and not sampling:
+            fail("options.verify_sampling",
+                 "only checks sampled estimates (set options.sampling)")
+        if sampling and opts.get("verify_replay"):
+            fail("options.sampling",
+                 "incompatible with verify_replay: sampled records are "
+                 "estimates, never byte-compared (use verify_sampling)")
+        checkpoints = get_bool(opts, "options.", "checkpoints")
+        if checkpoints and opts.get("use_cache") is False:
+            fail("options.checkpoints",
+                 "requires use_cache (checkpoints are cache entries)")
 
 
 def check_fault(fault):
@@ -137,11 +164,12 @@ def check_fault(fault):
 def check_spec(doc):
     if not isinstance(doc, dict):
         fail("document", "expected a JSON object")
-    check_keys(doc, TOP_KEYS, "")
     if "version" not in doc:
         fail("version", "required field is missing")
-    if not is_int(doc["version"]) or doc["version"] != 1:
-        fail("version", "unsupported schema version (expected 1)")
+    if not is_int(doc["version"]) or doc["version"] not in (1, 2):
+        fail("version", "unsupported schema version (expected 1 or 2)")
+    version = doc["version"]
+    check_keys(doc, TOP_KEYS_V2 if version >= 2 else TOP_KEYS, "")
 
     kernel = get_string(doc, "", "kernel")
     if kernel is not None and kernel not in KERNELS:
@@ -173,8 +201,10 @@ def check_spec(doc):
                 fail("freqs_mhz", f"frequency {f} must be > 0")
 
     get_number(doc, "", "comm_dvfs_mhz", minimum=0)
+    if version >= 2:
+        get_int(doc, "", "iterations", 0)
     if "options" in doc:
-        check_options(doc["options"])
+        check_options(doc["options"], version)
     if "fault" in doc:
         check_fault(doc["fault"])
 

@@ -65,6 +65,11 @@ if have_sanitizer thread; then
   ./build-tsan/tests/obs_test --gtest_filter='MetricsRegistry.*'
   ./build-tsan/tests/analysis_test \
     --gtest_filter='SweepExecutor.*:MatrixResult.*:RunMatrix.*'
+  # Checkpoint capture/restore crosses the rank threads (truncation,
+  # state harvest, warm-started continuation) and sampled sweeps fan
+  # out estimator-backed points: both race-prone by construction.
+  ./build-tsan/tests/analysis_test \
+    --gtest_filter='CheckpointRoundTrip.*:SampledEstimator.*:SweepSampling.*:SweepCheckpoint.*'
   # The watchdog (monitor + mailbox wakeups) and the fail-soft sweep
   # are the raciest code in the tree: run every fault test under TSan.
   ./build-tsan/tests/fault_test
@@ -117,12 +122,61 @@ cmp "$BATCH_DIR/batched.out" "$BATCH_DIR/scalar.out"
 cmp "$BATCH_DIR/batched.csv" "$BATCH_DIR/scalar.csv"
 echo "batch replay OK (batched/scalar byte-identical at --jobs 8)"
 
+echo "== tier 1: sampled estimation + checkpoint warm-starts =="
+# DESIGN.md §14, on the axis the Repricer cannot collapse (node count
+# at one frequency). Three gates:
+#   1. CI coverage — a sampled sweep with --verify-sampling 1
+#      re-simulates every point exactly and aborts if any exact
+#      makespan falls outside the reported 95% interval, so the run
+#      completing IS the assertion.
+#   2. Exactness of warm-starts — a deep sweep warm-started from a
+#      shallow sweep's checkpoints must be byte-identical to the cold
+#      uninterrupted run (checkpoints are exact, unlike sampling).
+#   3. Speed — sampling + warm-starts must cut wall clock by >= 3x on
+#      a deep-iteration grid vs the exact cold run.
+SAMPLING_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$SAMPLING_DIR"' EXIT
+./build/bench/fig2_ft_surface --small --iterations 96 --nodes 1,2,4 \
+  --freqs 1000 --jobs 1 --no-cache --sampling --sample-period 8 \
+  --warmup-iters 2 --verify-sampling 1 \
+  --csv "$SAMPLING_DIR/sampled.csv" > "$SAMPLING_DIR/sampled.out"
+echo "sampling CI coverage OK (every exact point inside its interval)"
+./build/bench/fig2_ft_surface --small --iterations 24 --nodes 1,2,4 \
+  --freqs 1000 --jobs 1 --checkpoints --cache "$SAMPLING_DIR/cache" \
+  --csv "$SAMPLING_DIR/shallow.csv" >/dev/null
+./build/bench/fig2_ft_surface --small --iterations 96 --nodes 1,2,4 \
+  --freqs 1000 --jobs 1 --checkpoints --cache "$SAMPLING_DIR/cache" \
+  --csv "$SAMPLING_DIR/warm.csv" >/dev/null
+./build/bench/fig2_ft_surface --small --iterations 96 --nodes 1,2,4 \
+  --freqs 1000 --jobs 1 --no-cache \
+  --csv "$SAMPLING_DIR/cold.csv" >/dev/null
+cmp "$SAMPLING_DIR/warm.csv" "$SAMPLING_DIR/cold.csv"
+echo "checkpoint warm-start OK (warm-started sweep byte-identical to cold)"
+T0="$(date +%s%N)"
+./build/bench/fig2_ft_surface --small --iterations 384 --nodes 1,2,4 \
+  --freqs 1000 --jobs 1 --no-cache \
+  --csv "$SAMPLING_DIR/deep_exact.csv" >/dev/null
+T1="$(date +%s%N)"
+./build/bench/fig2_ft_surface --small --iterations 384 --nodes 1,2,4 \
+  --freqs 1000 --jobs 1 --sampling --sample-period 8 --warmup-iters 2 \
+  --checkpoints --cache "$SAMPLING_DIR/cache" \
+  --csv "$SAMPLING_DIR/deep_sampled.csv" >/dev/null
+T2="$(date +%s%N)"
+RATIO="$(awk "BEGIN { printf \"%.1f\", ($T1 - $T0) / ($T2 - $T1) }")"
+echo "sampled + warm-started sweep: ${RATIO}x faster than exact"
+awk "BEGIN { exit !(($T1 - $T0) >= 3 * ($T2 - $T1)) }" || {
+  echo "sampling speedup below the 3x floor"; exit 1; }
+
 echo "== tier 1: fault + error paths under ASan =="
 if have_sanitizer address; then
   cmake -B build-asan -S . -DPASIM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" \
-    --target fault_test mpi_test robustness_test serve_test
+    --target fault_test mpi_test robustness_test serve_test analysis_test
   ./build-asan/tests/fault_test
+  # Checkpoint serialization walks every byte of harvested state and
+  # the quarantine path handles truncated files — leak/overflow bait.
+  ./build-asan/tests/analysis_test \
+    --gtest_filter='CheckpointRoundTrip.*:SampledEstimator.*:SweepSampling.*:SweepCheckpoint.*'
   # Exception-heavy error paths (invalid requests, collective
   # mismatches) where leaks from unwound ranks would hide.
   ./build-asan/tests/mpi_test \
@@ -142,7 +196,7 @@ echo "== tier 1: crash-safety torture (SIGKILL / corrupt / resume) =="
 # entries corrupted, then resumed — the stable artifacts (REPORT.md +
 # CSVs) must be byte-identical to an uninterrupted --jobs 1 run.
 ROBUST_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$ROBUST_DIR"' EXIT
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$SAMPLING_DIR" "$ROBUST_DIR"' EXIT
 REF="$ROBUST_DIR/ref"
 "$ROOT/build/bench/full_report" --small --jobs 1 --no-cache \
   --out "$REF" >/dev/null
@@ -240,7 +294,7 @@ echo "injected-ENOSPC degradation OK (rc=$ENOSPC_RC)"
 
 echo "== tier 1: sweep-spec schema + --spec equivalence =="
 SERVE_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$ROBUST_DIR" "$SERVE_DIR"' EXIT
+trap 'rm -rf "$OBS_DIR" "$REPLAY_DIR" "$BASELINE_DIR" "$BATCH_DIR" "$SAMPLING_DIR" "$ROBUST_DIR" "$SERVE_DIR"' EXIT
 # The committed sample specs and a freshly printed document must both
 # satisfy the published schema, checked from first principles.
 "$ROOT/build/tools/pasim_client" --print-spec --small --kernel FT \
@@ -304,24 +358,28 @@ grep -q "serve.sweeps" "$SERVE_DIR/serve_metrics.csv"
 grep -q "serve.request_seconds" "$SERVE_DIR/serve_metrics.csv"
 echo "serve OK (cold/warm/concurrent byte-identical to offline)"
 
-echo "== tier 1: perf baseline (record-only) =="
-# Optimized tree, fresh recording of BENCH_micro_sim.json and
-# BENCH_full_report.json, then a schema check of both. Record-only:
-# nothing fails on a slow machine — regressions are judged from the
-# committed baselines' diff, not gated here.
+echo "== tier 1: perf baseline =="
+# Optimized tree, fresh recording of BENCH_micro_sim.json,
+# BENCH_full_report.json and BENCH_resilience_sweep.json, then a schema
+# check of all three. Per-benchmark slowdowns are warn-only (machines
+# differ), but a *median* slowdown above 25% across the whole suite is
+# a hard failure — individual noise cannot trip it, a genuine perf
+# regression will.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-perf -j "$JOBS" --target micro_sim full_report
+cmake --build build-perf -j "$JOBS" \
+  --target micro_sim full_report resilience_sweep
 # Keep the committed baselines aside before bench_record.sh overwrites
 # them, so the fresh recording can be compared against them.
-for f in BENCH_micro_sim.json BENCH_full_report.json; do
+for f in BENCH_micro_sim.json BENCH_full_report.json \
+         BENCH_resilience_sweep.json; do
   [ -f "$f" ] && cp "$f" "$BASELINE_DIR/"
 done
 scripts/bench_record.sh build-perf
 if command -v python3 >/dev/null; then
   python3 scripts/check_bench_schema.py \
-    BENCH_micro_sim.json BENCH_full_report.json
+    BENCH_micro_sim.json BENCH_full_report.json BENCH_resilience_sweep.json
   python3 scripts/check_bench_regression.py \
-    --baseline "$BASELINE_DIR" --fresh .
+    --baseline "$BASELINE_DIR" --fresh . --fail-on-regress 25
 else
   echo "skipped bench schema + regression checks: python3 not available"
 fi

@@ -4,6 +4,7 @@
 
 #include "pas/analysis/sweep_executor.hpp"
 #include "pas/mpi/runtime.hpp"
+#include "pas/util/format.hpp"
 
 namespace pas::analysis {
 
@@ -62,7 +63,19 @@ std::unique_ptr<npb::Kernel> make_kernel(const std::string& name,
 }
 
 std::unique_ptr<npb::Kernel> make_spec_kernel(const SweepSpec& spec) {
-  return make_kernel(spec.kernel, spec.resolved_scale());
+  std::unique_ptr<npb::Kernel> kernel =
+      make_kernel(spec.kernel, spec.resolved_scale());
+  if (spec.iterations > 0) {
+    std::unique_ptr<npb::Kernel> adjusted =
+        kernel->with_iterations(spec.iterations);
+    if (adjusted == nullptr)
+      throw std::invalid_argument(pas::util::strf(
+          "spec: iterations: kernel %s does not support an iteration "
+          "override",
+          spec.kernel.c_str()));
+    kernel = std::move(adjusted);
+  }
+  return kernel;
 }
 
 ExperimentEnv env_for_spec(const SweepSpec& spec) {

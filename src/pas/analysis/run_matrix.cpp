@@ -1,7 +1,9 @@
 #include "pas/analysis/run_matrix.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "pas/analysis/sampled_estimator.hpp"
 #include "pas/util/format.hpp"
 #include "pas/util/log.hpp"
 
@@ -72,14 +74,57 @@ RunMatrix::RunMatrix(sim::ClusterConfig cluster, power::PowerModel power)
 RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
                              double frequency_mhz, double comm_dvfs_mhz,
                              int fault_attempt) {
+  return run_segment(kernel, nodes, frequency_mhz, comm_dvfs_mhz,
+                     fault_attempt, SegmentOptions{});
+}
+
+RunRecord RunMatrix::run_segment(const npb::Kernel& kernel, int nodes,
+                                 double frequency_mhz, double comm_dvfs_mhz,
+                                 int fault_attempt,
+                                 const SegmentOptions& seg) {
   npb::KernelResult root_result;
   runtime_.set_fault_attempt(fault_attempt);
-  const mpi::RunResult run =
-      runtime_.run(nodes, frequency_mhz, [&](mpi::Comm& comm) {
+
+  npb::IterationCtl ctl;
+  npb::CheckpointBlobs load_blobs;
+  npb::CheckpointBlobs save_blobs;
+  sim::SampleProbe probe;
+  if (seg.resume != nullptr) {
+    ctl.start_iter = seg.resume->boundary;
+    load_blobs.reserve(seg.resume->ranks.size());
+    for (const sim::RankCheckpoint& r : seg.resume->ranks)
+      load_blobs.push_back(r.kernel_blob);
+    ctl.load = &load_blobs;
+  }
+  if (seg.stop_at > 0) {
+    ctl.stop_at = seg.stop_at;
+    save_blobs.resize(static_cast<std::size_t>(nodes));
+    ctl.save = &save_blobs;
+  }
+  if (seg.sample_period > 1) {
+    ctl.sample_period = seg.sample_period;
+    ctl.warmup_iters = seg.warmup_iters;
+    probe.begin(nodes);
+    ctl.probe = &probe;
+  }
+
+  const mpi::RunResult run = runtime_.run(
+      nodes, frequency_mhz,
+      [&](mpi::Comm& comm) {
         if (comm_dvfs_mhz != 0.0) comm.set_comm_dvfs_mhz(comm_dvfs_mhz);
-        npb::KernelResult r = kernel.run(comm);
+        npb::KernelResult r =
+            ctl.trivial() ? kernel.run(comm) : kernel.run_ctl(comm, ctl);
         if (comm.rank() == 0) root_result = std::move(r);
-      });
+      },
+      seg.resume, seg.capture);
+
+  if (seg.capture != nullptr) {
+    // The runtime captured the simulator state; the kernel blobs and
+    // the boundary they belong to are ours to merge.
+    seg.capture->boundary = seg.stop_at;
+    for (std::size_t r = 0; r < save_blobs.size(); ++r)
+      seg.capture->ranks[r].kernel_blob = std::move(save_blobs[r]);
+  }
 
   RunRecord rec;
   rec.nodes = nodes;
@@ -125,6 +170,41 @@ RunRecord RunMatrix::run_one(const npb::Kernel& kernel, int nodes,
 
   for (const mpi::RankReport& r : run.ranks) rec.executed_per_rank += r.executed;
   rec.executed_per_rank = rec.executed_per_rank * (1.0 / n);
+
+  if (seg.sample_period > 1) {
+    // Extrapolate the sampled run to the full iteration count. The
+    // extensive measurements (times, energy, messages, executed work)
+    // scale by the estimated/measured makespan ratio — skipped
+    // iterations would have repeated the detailed ones' behaviour,
+    // which is exactly the sampling contract. Intensive ones
+    // (doubles_per_message, verified) pass through.
+    const SampledEstimate est = estimate_sampled_run(
+        probe, kernel.iteration_count(nodes), ctl.start_iter,
+        seg.warmup_iters, seg.sample_period, run.makespan);
+    if (!est.valid)
+      throw std::runtime_error(pas::util::strf(
+          "sampled run of %s at N=%d collected no usable boundaries "
+          "(period=%d, warmup=%d)",
+          kernel.name().c_str(), nodes, seg.sample_period,
+          seg.warmup_iters));
+    const double ratio = rec.seconds > 0.0 ? est.seconds / rec.seconds : 1.0;
+    rec.seconds = est.seconds;
+    rec.mean_overhead_s *= ratio;
+    rec.mean_cpu_s *= ratio;
+    rec.mean_memory_s *= ratio;
+    rec.energy.cpu_j *= ratio;
+    rec.energy.memory_j *= ratio;
+    rec.energy.network_j *= ratio;
+    rec.energy.idle_j *= ratio;
+    rec.messages_per_rank *= ratio;
+    rec.executed_per_rank = rec.executed_per_rank * ratio;
+    rec.sampled = true;
+    rec.total_iters = est.total_iters;
+    rec.sampled_iters = est.sampled_iters;
+    rec.ci_seconds = est.ci_seconds;
+    if (rec.seconds > 0.0)
+      rec.ci_energy_j = rec.energy.total_j() * (est.ci_seconds / rec.seconds);
+  }
 
   if (runtime_.tracer().enabled()) {
     // One program span per rank, under the detail events.

@@ -46,6 +46,16 @@ struct RunRecord {
   int attempts = 1;          ///< simulation attempts (sweep retries + 1)
   double send_retries = 0.0; ///< fault-injected resends, summed over ranks
 
+  // ---- sampled estimation (DESIGN.md §14) ---------------------------
+  // Sampled records are statistical estimates, never byte-compared:
+  // `seconds`, the per-rank activity means and the energy breakdown are
+  // extrapolated from the detailed subset, with 95% half-widths below.
+  bool sampled = false;
+  int total_iters = 0;    ///< full iteration count being estimated
+  int sampled_iters = 0;  ///< post-warm-start iterations executed in detail
+  double ci_seconds = 0.0;
+  double ci_energy_j = 0.0;
+
   bool failed() const { return status != RunStatus::kOk; }
 };
 
@@ -80,6 +90,24 @@ struct MatrixResult {
 std::vector<power::ActivityProfile> activity_profiles(
     const mpi::RunResult& result);
 
+/// Iteration-level execution plan for one run segment (DESIGN.md §14).
+/// Default-constructed = the plain exact run; run_one is exactly
+/// run_segment with a default SegmentOptions.
+struct SegmentOptions {
+  /// Warm-start: continue from this mid-run state (its `boundary` is
+  /// the last completed iteration). Null = cold start.
+  const sim::Checkpoint* resume = nullptr;
+  /// Truncate after this iteration boundary (0 = run to completion),
+  /// filling `capture` with the simulator + kernel state at the cut.
+  int stop_at = 0;
+  sim::Checkpoint* capture = nullptr;
+  /// >1 enables SMARTS-style sampled estimation: only the detailed
+  /// subset of iterations executes and the record becomes a scaled
+  /// estimate carrying confidence intervals (RunRecord::sampled).
+  int sample_period = 0;
+  int warmup_iters = 0;
+};
+
 class RunMatrix {
  public:
   explicit RunMatrix(sim::ClusterConfig cluster,
@@ -109,6 +137,15 @@ class RunMatrix {
   RunRecord run_one(const npb::Kernel& kernel, int nodes,
                     double frequency_mhz, double comm_dvfs_mhz = 0.0,
                     int fault_attempt = 0);
+
+  /// run_one under a segment plan: warm-start from a checkpoint,
+  /// truncate-and-capture at a boundary, and/or execute only a sampled
+  /// subset of iterations. A default `seg` reproduces run_one exactly.
+  /// Non-trivial plans require a kernel with iteration hooks
+  /// (iteration_count(nodes) > 0).
+  RunRecord run_segment(const npb::Kernel& kernel, int nodes,
+                        double frequency_mhz, double comm_dvfs_mhz,
+                        int fault_attempt, const SegmentOptions& seg);
 
   /// The full grid.
   MatrixResult sweep(const npb::Kernel& kernel,

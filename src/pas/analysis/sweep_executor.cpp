@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <future>
 #include <stdexcept>
@@ -17,6 +18,7 @@
 #include "pas/obs/metrics.hpp"
 #include "pas/util/cli.hpp"
 #include "pas/util/format.hpp"
+#include "pas/util/fs.hpp"
 #include "pas/util/log.hpp"
 #include "pas/util/subprocess.hpp"
 
@@ -40,6 +42,11 @@ obs::ReportPoint make_report_point(const std::string& kernel,
   rp.mean_cpu_s = rec.mean_cpu_s;
   rp.mean_memory_s = rec.mean_memory_s;
   rp.send_retries = rec.send_retries;
+  rp.sampled = rec.sampled;
+  rp.total_iters = rec.total_iters;
+  rp.sampled_iters = rec.sampled_iters;
+  rp.ci_seconds = rec.ci_seconds;
+  rp.ci_energy_j = rec.ci_energy_j;
   rp.energy_cpu_j = rec.energy.cpu_j;
   rp.energy_memory_j = rec.energy.memory_j;
   rp.energy_network_j = rec.energy.network_j;
@@ -92,6 +99,11 @@ SweepExecutor::SweepExecutor(SweepSpec spec)
       use_cache_(spec_.options.use_cache),
       run_retries_(spec_.options.run_retries),
       verify_replay_(spec_.options.verify_replay),
+      sampling_(spec_.options.sampling),
+      sample_period_(spec_.options.sample_period),
+      warmup_iters_(spec_.options.warmup_iters),
+      verify_sampling_(spec_.options.verify_sampling),
+      checkpoints_(spec_.options.checkpoints),
       scalar_reprice_([] {
         const char* v = std::getenv("PASIM_SCALAR_REPRICE");
         return v != nullptr && *v != '\0' && std::string(v) != "0";
@@ -114,11 +126,37 @@ SweepExecutor::SweepExecutor(SweepSpec spec)
     throw std::invalid_argument(
         "SweepOptions.isolate requires journal_path: the journal is how "
         "isolated workers hand results back to the supervisor");
+  // SweepOptions::from_cli/from_json enforce these too, but a spec
+  // assembled in code can reach the ctor directly.
+  if (sampling_ && verify_replay_)
+    throw std::invalid_argument(
+        "SweepOptions.sampling is incompatible with verify_replay: a "
+        "sampled record is an estimate, never byte-identical to a full "
+        "simulation; use verify_sampling instead");
+  if (verify_sampling_ > 0.0 && !sampling_)
+    throw std::invalid_argument(
+        "SweepOptions.verify_sampling requires sampling: there are no "
+        "sampled estimates to verify otherwise");
+  if (checkpoints_ && !use_cache_)
+    throw std::invalid_argument(
+        "SweepOptions.checkpoints requires use_cache: checkpoints live in "
+        "the run cache");
+  if (sampling_ && sample_period_ < 2)
+    throw std::invalid_argument(
+        "SweepOptions.sample_period must be >= 2: period 1 is exact "
+        "simulation");
+  if (sampling_ && warmup_iters_ < 0)
+    throw std::invalid_argument("SweepOptions.warmup_iters must be >= 0");
 }
 
 RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
                                            const Point& p, const ObsCtx* ctx,
-                                           sim::WorkLedger* ledger_out) {
+                                           sim::WorkLedger* ledger_out,
+                                           const SegmentOptions* seg) {
+  if (ledger_out != nullptr && seg != nullptr)
+    throw std::logic_error(
+        "simulate_failsoft: a segment run cannot record a charged-work "
+        "ledger (partial or sampled work is not replayable)");
   // Retries only make sense when fault injection is on: each attempt
   // replays a differently-salted (still deterministic) FaultPlan. A
   // deadlock in a fault-free run is a bug in the kernel body and would
@@ -160,8 +198,12 @@ RunRecord SweepExecutor::simulate_failsoft(const npb::Kernel& kernel,
         (*lease).ledger_recorder().begin(p.nodes, p.comm_dvfs_mhz);
         recorder.rec = &(*lease).ledger_recorder();
       }
-      RunRecord rec = (*lease).run_one(kernel, p.nodes, p.frequency_mhz,
-                                       p.comm_dvfs_mhz, attempt);
+      RunRecord rec =
+          seg != nullptr
+              ? (*lease).run_segment(kernel, p.nodes, p.frequency_mhz,
+                                     p.comm_dvfs_mhz, attempt, *seg)
+              : (*lease).run_one(kernel, p.nodes, p.frequency_mhz,
+                                 p.comm_dvfs_mhz, attempt);
       rec.attempts = attempt + 1;
       if (recorder.rec != nullptr) {
         *ledger_out = recorder.rec->take();
@@ -218,8 +260,140 @@ bool SweepExecutor::fast_path_eligible(const npb::Kernel& kernel) const {
   // its control flow never depends on virtual time, and fault
   // injection perturbs every run per-frequency (jitter draws, drops,
   // straggler scaling), so armed faults always simulate in full.
+  // Sampled runs never record ledgers (a subset of the work is not
+  // replayable) and checkpointed runs split into segments the recorder
+  // cannot observe whole, so both features route every point through
+  // simulate_point instead.
   return kernel.frequency_invariant_control_flow() &&
-         !cluster_.fault.enabled();
+         !cluster_.fault.enabled() && !sampling_ && !checkpoints_;
+}
+
+std::string SweepExecutor::point_key(const npb::Kernel& kernel,
+                                     const Point& p) const {
+  std::string key = RunCache::key(kernel, cluster_, power_, p.nodes,
+                                  p.frequency_mhz, p.comm_dvfs_mhz);
+  if (sampling_)
+    key += RunCache::sampled_key_suffix(sample_period_, warmup_iters_);
+  return key;
+}
+
+RunRecord SweepExecutor::simulate_point(const npb::Kernel& kernel,
+                                        const Point& p, const ObsCtx* ctx,
+                                        const std::string& key) {
+  if (!sampling_ && !checkpoints_) return simulate_failsoft(kernel, p, ctx);
+  const int total = kernel.iteration_count(p.nodes);
+  const bool tracing_point =
+      observer_ && observer_->tracing() && ctx != nullptr;
+  // Checkpoints require the full prefix contract: an iteration-hooked
+  // kernel with a prefix identity, no fault injection (fault plans are
+  // whole-run constructs — truncating and resuming would splice two
+  // different plans), and no tracing (a resumed segment cannot re-emit
+  // its prefix's trace events). Ineligible points fall back to cold
+  // exact runs.
+  const bool can_ckpt = checkpoints_ && !cluster_.fault.enabled() &&
+                        total > 0 && !kernel.prefix_signature().empty() &&
+                        !tracing_point;
+  std::string ckpt_key;
+  std::shared_ptr<const sim::Checkpoint> warm;
+  if (can_ckpt) {
+    ckpt_key = RunCache::checkpoint_key(kernel, cluster_, p.nodes,
+                                        p.frequency_mhz, p.comm_dvfs_mhz);
+    warm = cache_.lookup_checkpoint(ckpt_key, total);
+  }
+  if (warm) {
+    // Which points warm-start is a pure function of the grid and prior
+    // cache contents — grid points never share a prefix within one
+    // sweep (the key carries N and both DVFS points), so scheduling
+    // cannot race a hit into existence. Stable at any --jobs.
+    static obs::Counter& warmstarted = obs::registry().counter(
+        "sweep.points_warmstarted", obs::Stability::kStable);
+    warmstarted.add();
+    util::log_info(util::strf(
+        "%s N=%d f=%.0fMHz: warm-starting from checkpoint at iteration "
+        "%d/%d",
+        kernel.name().c_str(), p.nodes, p.frequency_mhz, warm->boundary,
+        total));
+  }
+
+  if (sampling_) {
+    if (total <= 0)
+      throw std::invalid_argument(util::strf(
+          "--sampling: kernel %s has no iteration hooks to sample",
+          kernel.name().c_str()));
+    SegmentOptions seg;
+    seg.resume = warm.get();
+    seg.sample_period = sample_period_;
+    seg.warmup_iters = warmup_iters_;
+    RunRecord rec = simulate_failsoft(kernel, p, ctx, nullptr, &seg);
+    if (!rec.failed()) maybe_verify_sampling(kernel, p, key, rec);
+    return rec;
+  }
+
+  if (!can_ckpt) return simulate_failsoft(kernel, p, ctx);
+
+  // Exact checkpointed flow: make sure a checkpoint exists at this
+  // point's full depth — running the prefix (warm-started when a
+  // shallower checkpoint exists) and capturing at `total` — then resume
+  // from it through the epilogue. The resumed record is bit-identical
+  // to a cold run (sim::Checkpoint contract, checkpoint round-trip
+  // tests), and the stored checkpoint warm-starts any deeper run that
+  // shares the prefix.
+  std::shared_ptr<const sim::Checkpoint> at_total =
+      (warm && warm->boundary >= total) ? warm : nullptr;
+  if (!at_total) {
+    sim::Checkpoint cap;
+    SegmentOptions seg1;
+    seg1.resume = warm.get();
+    seg1.stop_at = total;
+    seg1.capture = &cap;
+    RunRecord part = simulate_failsoft(kernel, p, ctx, nullptr, &seg1);
+    if (part.failed()) return part;
+    at_total = cache_.store_checkpoint(ckpt_key, std::move(cap));
+  }
+  SegmentOptions seg2;
+  seg2.resume = at_total.get();
+  return simulate_failsoft(kernel, p, ctx, nullptr, &seg2);
+}
+
+void SweepExecutor::maybe_verify_sampling(const npb::Kernel& kernel,
+                                          const Point& p,
+                                          const std::string& key,
+                                          const RunRecord& rec) {
+  if (verify_sampling_ <= 0.0 || !rec.sampled) return;
+  const std::string k = key.empty() ? point_key(kernel, p) : key;
+  // Deterministic subset: the key hash is a pure function of the point
+  // identity, so the same points verify at any --jobs and across
+  // resumes.
+  const auto mod =
+      static_cast<std::uint64_t>(std::llround(1.0 / verify_sampling_));
+  if (mod > 1 && util::fnv1a(k) % mod != 0) return;
+  const RunRecord exact = simulate_failsoft(kernel, p, nullptr);
+  if (exact.failed()) {
+    util::log_warn(util::strf(
+        "--verify-sampling: exact re-run of %s N=%d f=%.0fMHz failed (%s); "
+        "skipping the interval check for this point",
+        kernel.name().c_str(), p.nodes, p.frequency_mhz,
+        run_status_name(exact.status)));
+    return;
+  }
+  // The epsilon absorbs float accumulation-order noise when the CI is
+  // legitimately zero (steady-state kernels sample identical deltas).
+  const double tol = rec.ci_seconds + 1e-9 * exact.seconds;
+  if (std::fabs(exact.seconds - rec.seconds) > tol)
+    throw std::runtime_error(util::strf(
+        "--verify-sampling: exact makespan %.17g s falls outside the "
+        "sampled estimate %.17g s +/- %.17g s at %s N=%d f=%.0fMHz "
+        "(sampled %d/%d iterations)",
+        exact.seconds, rec.seconds, rec.ci_seconds, kernel.name().c_str(),
+        p.nodes, p.frequency_mhz, rec.sampled_iters, rec.total_iters));
+  static obs::Counter& verified = obs::registry().counter(
+      "sampling.points_verified", obs::Stability::kStable);
+  verified.add();
+  util::log_info(util::strf(
+      "%s N=%d f=%.0fMHz: sampled estimate %.4fs +/- %.4fs covers the "
+      "exact makespan %.4fs (verified)",
+      kernel.name().c_str(), p.nodes, p.frequency_mhz, rec.seconds,
+      rec.ci_seconds, exact.seconds));
 }
 
 RunRecord SweepExecutor::reprice_point(const npb::Kernel& kernel,
@@ -307,9 +481,7 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
   bool repriced = false;
   RunRecord rec;
   std::string key;
-  if (use_cache_ || journal_ != nullptr)
-    key = RunCache::key(kernel, cluster_, power_, p.nodes, p.frequency_mhz,
-                        p.comm_dvfs_mhz);
+  if (use_cache_ || journal_ != nullptr) key = point_key(kernel, p);
   // Journaled resume: an already-completed point (successful or
   // fail-soft) is served from the journal — unless this point is being
   // traced, in which case it re-simulates (deterministically, so every
@@ -365,7 +537,7 @@ RunRecord SweepExecutor::run_point(const npb::Kernel& kernel, const Point& p,
         note_ledger_resolved(ctx, *col->ledger);
       }
     } else {
-      rec = simulate_failsoft(kernel, p, ctx);
+      rec = simulate_point(kernel, p, ctx, key);
     }
     // Failed records are never cached: a later sweep with more retries
     // (or a fixed kernel) must get a fresh chance at the point.
@@ -420,6 +592,20 @@ void SweepExecutor::note_point(const npb::Kernel& kernel, const Point& p,
     if (from_cache) cached_points.add();
     if (repriced) repriced_points.add();
     if (rec.failed()) failed_points.add();
+    if (rec.sampled) {
+      // Registered lazily — the rows only exist once a sampled record
+      // flows, so exact sweeps' metrics.csv is byte-identical to
+      // pre-sampling builds. The CI gauge is an order-independent max,
+      // stable at any --jobs like the counters.
+      static o::Counter& sampled_points = o::registry().counter(
+          "sweep.points_sampled", o::Stability::kStable);
+      sampled_points.add();
+      static o::Gauge& ci_max = o::registry().gauge(
+          "sampling.ci_halfwidth_max", o::Stability::kStable);
+      static std::mutex ci_mutex;
+      const std::lock_guard<std::mutex> ci_lock(ci_mutex);
+      if (rec.ci_seconds > ci_max.value()) ci_max.set(rec.ci_seconds);
+    }
     run_retries.add(static_cast<std::uint64_t>(rec.attempts - 1));
     send_retries.add(static_cast<std::uint64_t>(rec.send_retries));
     observer_->record_point(
@@ -457,9 +643,7 @@ void SweepExecutor::run_column(const npb::Kernel& kernel,
     const ObsCtx* ctx = ctx_of ? &ctx_of[i] : nullptr;
     const double wall_t0 = wall_seconds();
     std::string key;
-    if (use_cache_ || journal_ != nullptr)
-      key = RunCache::key(kernel, cluster_, power_, p.nodes, p.frequency_mhz,
-                          p.comm_dvfs_mhz);
+    if (use_cache_ || journal_ != nullptr) key = point_key(kernel, p);
     // Journaled resume, same contract as run_point: traced points
     // re-simulate instead of skipping.
     const bool tracing_point =
@@ -629,8 +813,7 @@ void SweepExecutor::run_points_isolated(const npb::Kernel& kernel,
   std::vector<char> resolved(points.size(), 0);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
-    keys[i] = RunCache::key(kernel, cluster_, power_, p.nodes,
-                            p.frequency_mhz, p.comm_dvfs_mhz);
+    keys[i] = point_key(kernel, p);
     if (std::optional<RunRecord> done = journal_->find(keys[i])) {
       records[i] = std::move(*done);
       resolved[i] = 1;
@@ -699,6 +882,11 @@ void SweepExecutor::run_points_isolated(const npb::Kernel& kernel,
           spec.options.use_cache = use_cache_;
           spec.options.run_retries = run_retries_;
           spec.options.verify_replay = verify_replay_;
+          spec.options.sampling = sampling_;
+          spec.options.sample_period = sample_period_;
+          spec.options.warmup_iters = warmup_iters_;
+          spec.options.verify_sampling = verify_sampling_;
+          spec.options.checkpoints = checkpoints_;
           spec.options.journal_path = journal_path;
           spec.options.resume = true;
           SweepExecutor child(std::move(spec));

@@ -24,6 +24,16 @@
 // SweepOptions::verify_replay re-simulates every repriced point and
 // hard-fails on any byte difference.
 //
+// For the axes repricing cannot collapse (node counts, iteration
+// depths), DESIGN.md §14 adds two opt-in accelerations: checkpoint
+// warm-starts (exact — points sharing an iteration-boundary prefix
+// resume from the deepest stored sim::Checkpoint instead of
+// re-simulating it) and SMARTS-style sampled estimation (approximate —
+// only a systematic subset of iterations simulates in detail and each
+// record becomes an extrapolated estimate carrying 95% confidence
+// intervals, cross-checked by SweepOptions::verify_sampling). Both off
+// by default; exact sweeps are untouched.
+//
 // The API is spec-shaped: everything that configures an executor lives
 // in SweepSpec (pas/analysis/sweep_spec.hpp — kernel/scale/grid
 // document plus process-local cluster, power model, fault override and
@@ -168,9 +178,31 @@ class SweepExecutor {
   void note_repriced_lanes(const ObsCtx* ctx, std::size_t lanes,
                            std::size_t ops);
   void note_ledger_resolved(const ObsCtx* ctx, const sim::WorkLedger& ledger);
+  /// `seg` selects RunMatrix::run_segment (checkpoint resume/capture,
+  /// sampled iteration plans, DESIGN.md §14) instead of run_one; never
+  /// combined with `ledger_out` (a partial or sampled segment must not
+  /// record a replayable ledger).
   RunRecord simulate_failsoft(const npb::Kernel& kernel, const Point& p,
                               const ObsCtx* ctx,
-                              sim::WorkLedger* ledger_out = nullptr);
+                              sim::WorkLedger* ledger_out = nullptr,
+                              const SegmentOptions* seg = nullptr);
+  /// Simulates one point with sampling / checkpoint warm-starts applied
+  /// (DESIGN.md §14); plain simulate_failsoft when neither feature
+  /// applies to this point. `key` is the point's cache key ("" when
+  /// caching and journaling are both off).
+  RunRecord simulate_point(const npb::Kernel& kernel, const Point& p,
+                           const ObsCtx* ctx, const std::string& key);
+  /// --verify-sampling: a deterministic key-hash-selected fraction of
+  /// sampled points is re-simulated exactly; the exact makespan must
+  /// fall within the estimate's 95% confidence interval or the sweep
+  /// aborts with std::runtime_error.
+  void maybe_verify_sampling(const npb::Kernel& kernel, const Point& p,
+                             const std::string& key, const RunRecord& rec);
+  /// The record cache / journal key of one point. Sampled records are
+  /// estimates and are keyed apart from exact records (a
+  /// "|sampled(p=..,w=..)" suffix), so the two populations can never
+  /// satisfy each other's lookups.
+  std::string point_key(const npb::Kernel& kernel, const Point& p) const;
   /// Replays `ledger` at p.frequency_mhz (with the trace harvest and
   /// verification pass when configured).
   RunRecord reprice_point(const npb::Kernel& kernel, const Point& p,
@@ -187,6 +219,13 @@ class SweepExecutor {
   bool use_cache_;
   int run_retries_;
   bool verify_replay_;
+  /// SMARTS-style sampled estimation + checkpoint warm-starts
+  /// (DESIGN.md §14), mirrored out of spec_.options.
+  bool sampling_;
+  int sample_period_;
+  int warmup_iters_;
+  double verify_sampling_;
+  bool checkpoints_;
   /// $PASIM_SCALAR_REPRICE: force per-point scalar repricing.
   bool scalar_reprice_;
   /// Write-ahead journal behind --resume/--isolate; null when not

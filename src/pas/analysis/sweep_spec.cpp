@@ -246,6 +246,39 @@ SweepOptions SweepOptions::apply_cli(const util::Cli& cli, SweepOptions base) {
     throw std::invalid_argument(
         "--cache-cap requires a disk cache: add --cache [dir] (and drop "
         "--no-cache)");
+  opts.sampling = cli.get_bool("sampling", opts.sampling);
+  opts.sample_period =
+      static_cast<int>(cli.get_int("sample-period", opts.sample_period));
+  if (opts.sample_period < 2)
+    throw std::invalid_argument(
+        strf("--sample-period must be >= 2 (got %d; 1 would sample every "
+             "iteration — drop --sampling for an exact run)",
+             opts.sample_period));
+  opts.warmup_iters =
+      static_cast<int>(cli.get_int("warmup-iters", opts.warmup_iters));
+  if (opts.warmup_iters < 0)
+    throw std::invalid_argument(
+        strf("--warmup-iters must be >= 0 (got %d)", opts.warmup_iters));
+  if (cli.has("verify-sampling"))
+    opts.verify_sampling =
+        cli.get_double("verify-sampling", opts.verify_sampling);
+  if (opts.verify_sampling < 0.0 || opts.verify_sampling > 1.0)
+    throw std::invalid_argument(
+        strf("--verify-sampling must be a fraction in [0, 1] (got %g)",
+             opts.verify_sampling));
+  if (opts.verify_sampling > 0.0 && !opts.sampling)
+    throw std::invalid_argument(
+        "--verify-sampling only checks sampled estimates: add --sampling");
+  if (opts.sampling && opts.verify_replay)
+    throw std::invalid_argument(
+        "--sampling cannot be combined with --verify-replay: sampled "
+        "records are estimates, never byte-compared (use "
+        "--verify-sampling to check them)");
+  opts.checkpoints = cli.get_bool("checkpoints", opts.checkpoints);
+  if (opts.checkpoints && !opts.use_cache)
+    throw std::invalid_argument(
+        "--checkpoints requires the run cache (drop --no-cache): "
+        "checkpoints are stored as cache entries");
   return opts;
 }
 
@@ -263,6 +296,11 @@ util::Json SweepOptions::to_json() const {
   j.set("isolate_retries", Json(isolate_retries));
   j.set("cache_cap_bytes", Json(static_cast<unsigned long long>(
                                cache_cap_bytes)));
+  j.set("sampling", Json(sampling));
+  j.set("sample_period", Json(sample_period));
+  j.set("warmup_iters", Json(warmup_iters));
+  j.set("verify_sampling", Json(verify_sampling));
+  j.set("checkpoints", Json(checkpoints));
   return j;
 }
 
@@ -273,7 +311,8 @@ SweepOptions SweepOptions::from_json(const util::Json& j) {
                       {"jobs", "cache_dir", "use_cache", "run_retries",
                        "verify_replay", "journal_path", "resume", "isolate",
                        "isolate_timeout_s", "isolate_retries",
-                       "cache_cap_bytes"});
+                       "cache_cap_bytes", "sampling", "sample_period",
+                       "warmup_iters", "verify_sampling", "checkpoints"});
   SweepOptions o;
   const long long jobs = get_int_field(j, where, "jobs", o.jobs);
   if (jobs < 0) field_error("options.jobs", "must be >= 0");
@@ -309,6 +348,30 @@ SweepOptions SweepOptions::from_json(const util::Json& j) {
   if (o.cache_cap_bytes > 0 && o.cache_dir.empty())
     field_error("options.cache_cap_bytes",
                 "requires a disk cache (set options.cache_dir)");
+  o.sampling = get_bool_field(j, where, "sampling", o.sampling);
+  const long long period =
+      get_int_field(j, where, "sample_period", o.sample_period);
+  if (period < 2) field_error("options.sample_period", "must be >= 2");
+  o.sample_period = static_cast<int>(period);
+  const long long warmup =
+      get_int_field(j, where, "warmup_iters", o.warmup_iters);
+  if (warmup < 0) field_error("options.warmup_iters", "must be >= 0");
+  o.warmup_iters = static_cast<int>(warmup);
+  o.verify_sampling =
+      get_number_field(j, where, "verify_sampling", o.verify_sampling);
+  if (o.verify_sampling < 0.0 || o.verify_sampling > 1.0)
+    field_error("options.verify_sampling", "must be a fraction in [0, 1]");
+  if (o.verify_sampling > 0.0 && !o.sampling)
+    field_error("options.verify_sampling",
+                "only checks sampled estimates (set options.sampling)");
+  if (o.sampling && o.verify_replay)
+    field_error("options.sampling",
+                "incompatible with verify_replay: sampled records are "
+                "estimates, never byte-compared (use verify_sampling)");
+  o.checkpoints = get_bool_field(j, where, "checkpoints", o.checkpoints);
+  if (o.checkpoints && !o.use_cache)
+    field_error("options.checkpoints",
+                "requires use_cache (checkpoints are cache entries)");
   return o;
 }
 
@@ -361,6 +424,9 @@ void SweepSpec::validate() const {
       field_error("freqs_mhz", strf("frequency %g must be > 0", f));
   if (comm_dvfs_mhz < 0.0)
     field_error("comm_dvfs_mhz", "must be >= 0 (0 disables comm DVFS)");
+  if (iterations < 0)
+    field_error("iterations",
+                "must be >= 0 (0 keeps the scale preset's count)");
 }
 
 util::Json SweepSpec::to_json() const {
@@ -374,6 +440,7 @@ util::Json SweepSpec::to_json() const {
   Json& f = j.set("freqs_mhz", Json::array());
   for (double v : freqs_mhz) f.push_back(Json(v));
   j.set("comm_dvfs_mhz", Json(comm_dvfs_mhz));
+  j.set("iterations", Json(iterations));
   j.set("options", options.to_json());
   if (fault) j.set("fault", fault_to_json(*fault));
   return j;
@@ -383,14 +450,31 @@ SweepSpec SweepSpec::from_json(const util::Json& j) {
   require_object(j, "document");
   reject_unknown_keys(j, "",
                       {"version", "kernel", "scale", "nodes", "freqs_mhz",
-                       "comm_dvfs_mhz", "options", "fault"});
+                       "comm_dvfs_mhz", "iterations", "options", "fault"});
   const Json* version = j.find("version");
   if (version == nullptr) field_error("version", "required field is missing");
-  if (!version->is_number() ||
-      version->as_number() != static_cast<double>(kSchemaVersion))
+  if (!version->is_number() || (version->as_number() != 1.0 &&
+                                version->as_number() !=
+                                    static_cast<double>(kSchemaVersion)))
     field_error("version",
-                strf("unsupported schema version (this build accepts %d)",
+                strf("unsupported schema version (this build accepts 1..%d)",
                      kSchemaVersion));
+  if (version->as_number() == 1.0) {
+    // v1 predates sampled estimation and checkpoint warm-starts: a v1
+    // document naming any v2 field is mislabeled, not forward-
+    // compatible — reject it the way an unknown key is rejected.
+    if (j.find("iterations") != nullptr)
+      field_error("iterations", "requires schema version 2");
+    if (const Json* o = j.find("options")) {
+      if (o->is_object()) {
+        for (const char* key : {"sampling", "sample_period", "warmup_iters",
+                                "verify_sampling", "checkpoints"}) {
+          if (o->find(key) != nullptr)
+            field_error(strf("options.%s", key), "requires schema version 2");
+        }
+      }
+    }
+  }
 
   SweepSpec spec;
   spec.kernel = get_string_field(j, "", "kernel", spec.kernel);
@@ -412,6 +496,8 @@ SweepSpec SweepSpec::from_json(const util::Json& j) {
   }
   spec.comm_dvfs_mhz =
       get_number_field(j, "", "comm_dvfs_mhz", spec.comm_dvfs_mhz);
+  spec.iterations = static_cast<int>(
+      get_int_field(j, "", "iterations", spec.iterations));
   if (const Json* o = j.find("options"))
     spec.options = SweepOptions::from_json(*o);
   if (const Json* f = j.find("fault")) spec.fault = fault_from_json(*f);
@@ -462,6 +548,9 @@ SweepSpec SweepSpec::from_cli(const util::Cli& cli) {
   }
   if (cli.has("comm-dvfs"))
     spec.comm_dvfs_mhz = cli.get_double("comm-dvfs", spec.comm_dvfs_mhz);
+  if (cli.has("iterations"))
+    spec.iterations =
+        static_cast<int>(cli.get_int("iterations", spec.iterations));
   if (cli.has("faults")) {
     // --faults 0 explicitly clears a fault block inherited from --spec.
     const double rate = cli.get_double("faults", 0.0);
@@ -480,12 +569,13 @@ SweepSpec SweepSpec::from_cli(const util::Cli& cli) {
 
 std::vector<std::string> SweepSpec::cli_option_names() {
   return {// the spec document and its axis overrides
-          "spec", "small", "kernel", "nodes", "freqs", "comm-dvfs", "faults",
-          "fault-seed",
+          "spec", "small", "kernel", "nodes", "freqs", "comm-dvfs",
+          "iterations", "faults", "fault-seed",
           // SweepOptions::apply_cli
           "jobs", "cache", "no-cache", "retries", "verify-replay", "journal",
           "resume", "isolate", "isolate-timeout", "isolate-retries",
-          "cache-cap",
+          "cache-cap", "sampling", "sample-period", "warmup-iters",
+          "verify-sampling", "checkpoints",
           // obs::Observer::from_cli
           "trace", "metrics"};
 }

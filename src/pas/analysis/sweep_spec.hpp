@@ -84,13 +84,39 @@ struct SweepOptions {
   /// Disk-cache size cap in bytes; > 0 enables LRU eviction after
   /// stores (see RunCache). 0 = unbounded.
   std::uint64_t cache_cap_bytes = 0;
+  /// SMARTS-style sampled estimation (DESIGN.md §14, schema v2): only
+  /// a systematic subset of kernel iterations simulates in detail and
+  /// each point's record becomes an extrapolated estimate carrying
+  /// 95% confidence intervals. Opt-in; exact simulation is the
+  /// default. Incompatible with verify_replay (a sampled record is an
+  /// estimate — byte-comparing it against a full simulation is a
+  /// category error; sampled accuracy is checked by verify_sampling).
+  bool sampling = false;
+  /// Every `sample_period`-th iteration simulates in detail after a
+  /// window of `warmup_iters` detailed iterations. Only consulted when
+  /// `sampling` is on.
+  int sample_period = 10;
+  int warmup_iters = 2;
+  /// Re-simulates this fraction of sampled points exactly (selected by
+  /// key hash, so deterministic) and requires each exact makespan to
+  /// fall within the sampled estimate's confidence interval; any
+  /// violation aborts the sweep. 0 disables; > 0 requires sampling.
+  double verify_sampling = 0.0;
+  /// Checkpoint warm-starts (schema v2): store mid-run simulator state
+  /// in the run cache at iteration boundaries and warm-start points
+  /// that share a prefix (same kernel prefix identity, deeper
+  /// iteration count) from the deepest stored checkpoint. Requires
+  /// use_cache (checkpoints live in the run cache).
+  bool checkpoints = false;
 
   /// Bench/example configuration: `--jobs N` (default: $PASIM_JOBS,
   /// then hardware concurrency), `--cache [dir]` (default dir
   /// `.pasim_cache`; or $PASIM_CACHE_DIR), `--no-cache`,
   /// `--retries N`, `--verify-replay`, `--journal [file]` (default
   /// `pasim_sweep.journal`), `--resume`, `--isolate`,
-  /// `--isolate-timeout S`, `--isolate-retries N`, `--cache-cap MB`.
+  /// `--isolate-timeout S`, `--isolate-retries N`, `--cache-cap MB`,
+  /// `--sampling`, `--sample-period N`, `--warmup-iters N`,
+  /// `--verify-sampling FRAC`, `--checkpoints`.
   /// `--resume`/`--isolate` imply the default journal path when
   /// `--journal` is absent. Throws std::invalid_argument for
   /// `--jobs < 1`, `--retries < 0`, a $PASIM_JOBS that is not a
@@ -99,7 +125,10 @@ struct SweepOptions {
   /// for — `--verify-replay` combined with `--no-cache` (disabling
   /// the cache would silently drop the verification pass's record
   /// comparison baseline), `--isolate-timeout <= 0`,
-  /// `--isolate-retries < 0`, or `--cache-cap` without a disk cache.
+  /// `--isolate-retries < 0`, `--cache-cap` without a disk cache,
+  /// `--sample-period < 2`, `--warmup-iters < 0`, `--verify-sampling`
+  /// outside (0, 1] or without `--sampling`, `--sampling` combined
+  /// with `--verify-replay`, or `--checkpoints` with `--no-cache`.
   static SweepOptions from_cli(const util::Cli& cli);
 
   /// from_cli layered over `base` (typically options loaded from a
@@ -118,10 +147,14 @@ struct SweepOptions {
 
 /// Everything that configures a SweepExecutor.
 struct SweepSpec {
-  /// JSON document schema version accepted by from_json.
-  static constexpr int kSchemaVersion = 1;
+  /// JSON document schema version emitted by to_json. from_json also
+  /// accepts version 1 documents — v1 predates sampled estimation and
+  /// checkpoint warm-starts, so a v1 document using any v2 field
+  /// (iterations; options.sampling, sample_period, warmup_iters,
+  /// verify_sampling, checkpoints) is rejected.
+  static constexpr int kSchemaVersion = 2;
 
-  // --- The serializable document (schema v1) -------------------------
+  // --- The serializable document (schema v2) -------------------------
   /// "EP", "FT", "LU", "CG" or "MG".
   std::string kernel = "EP";
   /// Problem-size preset: "paper" (16 nodes, full grid) or "small".
@@ -132,6 +165,10 @@ struct SweepSpec {
   std::vector<double> freqs_mhz;
   /// != 0 enables communication-phase DVFS at that operating point.
   double comm_dvfs_mhz = 0.0;
+  /// Overrides the kernel's top-level iteration count (schema v2);
+  /// 0 keeps the scale preset's count. Rejected for kernels without
+  /// iteration hooks (resolved at kernel construction).
+  int iterations = 0;
   SweepOptions options;
   /// When set, replaces cluster.fault (convenient for fault-rate
   /// sweeps that share one base cluster).
@@ -165,8 +202,9 @@ struct SweepSpec {
   /// when set), keys in schema order, so to_json(from_json(d)).dump()
   /// is a byte-stable fixpoint.
   util::Json to_json() const;
-  /// Strict parse: requires "version" == 1, rejects unknown keys at
-  /// every nesting level, type-checks every field.
+  /// Strict parse: requires "version" 1 or 2, rejects unknown keys at
+  /// every nesting level (v2 fields count as unknown in a v1
+  /// document), type-checks every field.
   static SweepSpec from_json(const util::Json& j);
   /// from_json over Json::parse.
   static SweepSpec parse(const std::string& text);
@@ -176,7 +214,8 @@ struct SweepSpec {
   /// The bench/example entry point: starts from `--spec FILE` when
   /// given (else an all-defaults spec), then lets flags override the
   /// document — `--small`, `--kernel K`, `--nodes LIST`,
-  /// `--freqs LIST`, `--comm-dvfs MHZ`, `--faults RATE`,
+  /// `--freqs LIST`, `--comm-dvfs MHZ`, `--iterations N`,
+  /// `--faults RATE`,
   /// `--fault-seed N` (`--faults 0` clears an inherited fault block),
   /// and every SweepOptions flag via apply_cli. The observer is also
   /// wired from the CLI (`--trace`/`--metrics`).

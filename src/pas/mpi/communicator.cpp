@@ -338,4 +338,21 @@ std::string Comm::describe() const {
       static_cast<unsigned long long>(stats_.collective_calls));
 }
 
+void Comm::sample_boundary(sim::SampleProbe& probe, int iter) const {
+  const sim::NodeState& node = runtime_.cluster().node(rank_);
+  sim::RankSample s;
+  s.iter = iter;
+  s.now = node.clock.now();
+  s.by_activity = node.clock.by_activity();
+  s.executed = node.executed;
+  s.activity_by_fkey = node.activity_by_fkey;
+  s.messages_sent = stats_.messages_sent;
+  s.bytes_sent = stats_.bytes_sent;
+  s.messages_received = stats_.messages_received;
+  s.bytes_received = stats_.bytes_received;
+  s.collective_calls = stats_.collective_calls;
+  s.sends_retried = stats_.sends_retried;
+  probe.record(rank_, std::move(s));
+}
+
 }  // namespace pas::mpi

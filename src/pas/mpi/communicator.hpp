@@ -19,6 +19,7 @@
 #include "pas/mpi/mailbox.hpp"
 #include "pas/mpi/message.hpp"
 #include "pas/sim/cluster.hpp"
+#include "pas/sim/sampling.hpp"
 
 namespace pas::mpi {
 
@@ -172,6 +173,12 @@ class Comm {
   // ---- introspection --------------------------------------------------
   const CommStats& stats() const { return stats_; }
   std::string describe() const;
+
+  /// Snapshots this rank's cumulative state (clock, activity split,
+  /// executed work, comm stats) into `probe` as the boundary of
+  /// iteration `iter`. Called by sampled kernel runs at detailed
+  /// iteration boundaries; advances no virtual time (DESIGN.md §14).
+  void sample_boundary(sim::SampleProbe& probe, int iter) const;
 
  private:
   friend class Runtime;

@@ -42,6 +42,15 @@ class CgKernel final : public Kernel {
   /// solution). Verification: substantial residual reduction.
   KernelResult run(mpi::Comm& comm) const override;
 
+  int iteration_count(int nranks) const override {
+    (void)nranks;
+    return cfg_.iterations;
+  }
+  std::string prefix_signature() const override;
+  std::unique_ptr<Kernel> with_iterations(int iterations) const override;
+  KernelResult run_ctl(mpi::Comm& comm,
+                       const IterationCtl& ctl) const override;
+
   const CgConfig& config() const { return cfg_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <mutex>
 #include <tuple>
 #include <vector>
@@ -136,7 +137,22 @@ EpKernel::Reference EpKernel::reference(const EpConfig& cfg) {
   return ref;
 }
 
+int EpKernel::iteration_count(int nranks) const {
+  const std::uint64_t total = cfg_.pairs();
+  const auto n = static_cast<std::uint64_t>(nranks);
+  // Rank 0 always holds a remainder trial when one exists, so its
+  // slice — ceil(total / nranks) — is the widest.
+  const std::uint64_t widest = total / n + (total % n != 0 ? 1 : 0);
+  const auto batch = static_cast<std::uint64_t>(cfg_.batch_pairs);
+  return static_cast<int>((widest + batch - 1) / batch);
+}
+
 KernelResult EpKernel::run(mpi::Comm& comm) const {
+  return run_ctl(comm, IterationCtl{});
+}
+
+KernelResult EpKernel::run_ctl(mpi::Comm& comm,
+                               const IterationCtl& ctl) const {
   const std::uint64_t total = cfg_.pairs();
   const auto nranks = static_cast<std::uint64_t>(comm.size());
   const auto rank = static_cast<std::uint64_t>(comm.rank());
@@ -146,21 +162,51 @@ KernelResult EpKernel::run(mpi::Comm& comm) const {
   const std::uint64_t mine = base + (rank < extra ? 1 : 0);
   const std::uint64_t first = rank * base + std::min<std::uint64_t>(rank, extra);
 
-  // Whole-slice accumulation in one pass is bit-identical to the old
-  // per-batch accumulation (same trial order, same running sums), and
-  // the slice cache collapses repeat grid points to a map lookup.
-  const Accumulator& acc = cached_slice(cfg_.seed, first, mine);
+  if (ctl.load != nullptr) {
+    // The accumulator is a pure function of (seed, first, count): the
+    // blob only carries the batch index, everything else is recomputed.
+    sim::BlobReader r((*ctl.load)[static_cast<std::size_t>(rank)]);
+    long long it = 0;
+    if (!r.get_int(&it) || it != ctl.start_iter)
+      throw std::runtime_error("EP: checkpoint blob mismatch");
+  }
+
   const auto batch = static_cast<std::uint64_t>(cfg_.batch_pairs);
+  const int total_batches = iteration_count(comm.size());
+  if (ctl.probe != nullptr) comm.sample_boundary(*ctl.probe, ctl.start_iter);
   // Scratch stays within a couple of KB: L1-resident, high reuse.
   const sim::AccessPattern pattern{
       .working_set_bytes = static_cast<std::size_t>(cfg_.batch_pairs) * 16,
       .stride_bytes = 8,
       .temporal_reuse = 3.0};
-  for (std::uint64_t done = 0; done < mine; done += batch) {
-    const std::uint64_t n = std::min(batch, mine - done);
-    charged_compute(comm, kDataRefsPerTrial * static_cast<double>(n), pattern,
-                    kRegOpsPerTrial * static_cast<double>(n));
+  for (int it = ctl.start_iter + 1; it <= total_batches; ++it) {
+    if (!ctl.detailed(it)) continue;
+    const std::uint64_t done = static_cast<std::uint64_t>(it - 1) * batch;
+    if (done < mine) {
+      const std::uint64_t n = std::min(batch, mine - done);
+      charged_compute(comm, kDataRefsPerTrial * static_cast<double>(n),
+                      pattern, kRegOpsPerTrial * static_cast<double>(n));
+    }
+    if (ctl.probe != nullptr) comm.sample_boundary(*ctl.probe, it);
+    if (it == ctl.stop_at) {
+      if (ctl.save != nullptr) {
+        sim::BlobWriter w;
+        w.put_int(it);
+        (*ctl.save)[static_cast<std::size_t>(rank)] = w.take();
+      }
+      KernelResult partial;
+      partial.name = name();
+      partial.note = pas::util::strf("EP truncated at batch %d", it);
+      return partial;
+    }
   }
+
+  // Whole-slice accumulation in one pass is bit-identical to the old
+  // per-batch accumulation (same trial order, same running sums), and
+  // the slice cache collapses repeat grid points to a map lookup.
+  // Skipped batches in sampled mode change the charges, never the
+  // values: EP's results stay exact under sampling.
+  const Accumulator& acc = cached_slice(cfg_.seed, first, mine);
 
   // One small allreduce: sums, counts, acceptance — 13 doubles.
   std::vector<double> packed{acc.sx, acc.sy, acc.accepted};

@@ -255,9 +255,26 @@ FtKernel::FtKernel(FtConfig cfg) : cfg_(cfg) {
       !is_pow2(static_cast<std::size_t>(cfg_.ny)) ||
       !is_pow2(static_cast<std::size_t>(cfg_.nz)))
     throw std::invalid_argument("FT: grid dims must be powers of two");
+  if (cfg_.niter < 1) throw std::invalid_argument("FT: niter >= 1");
 }
 
-KernelResult FtKernel::run(mpi::Comm& comm) const {
+std::string FtKernel::prefix_signature() const {
+  return pas::util::strf("FT(nx=%d,ny=%d,nz=%d,seed=%llu,alpha=%.17g,rt=%d)",
+                         cfg_.nx, cfg_.ny, cfg_.nz,
+                         static_cast<unsigned long long>(cfg_.seed),
+                         cfg_.alpha, cfg_.roundtrip_check ? 1 : 0);
+}
+
+std::unique_ptr<Kernel> FtKernel::with_iterations(int iterations) const {
+  FtConfig cfg = cfg_;
+  cfg.niter = iterations;
+  return std::make_unique<FtKernel>(cfg);
+}
+
+KernelResult FtKernel::run(mpi::Comm& comm) const { return run_ctl(comm, {}); }
+
+KernelResult FtKernel::run_ctl(mpi::Comm& comm,
+                               const IterationCtl& ctl) const {
   Slabs s;
   s.nx = cfg_.nx;
   s.ny = cfg_.ny;
@@ -274,54 +291,96 @@ KernelResult FtKernel::run(mpi::Comm& comm) const {
   const FftPlan py(static_cast<std::size_t>(s.ny));
   const FftPlan pz(static_cast<std::size_t>(s.nz));
 
-  // --- initialize u0 with the NPB stream, by global row ---------------
-  std::vector<Complex> u0(s.a_size());
-  for (int z = 0; z < s.lz; ++z) {
-    const int gz = s.rank * s.lz + z;
-    for (int y = 0; y < s.ny; ++y) {
-      const std::uint64_t row_start =
-          (static_cast<std::uint64_t>(gz) * s.ny + static_cast<std::uint64_t>(y)) *
-          static_cast<std::uint64_t>(s.nx);
-      NpbRng rng = NpbRng::at(cfg_.seed, 2 * row_start);
-      for (int x = 0; x < s.nx; ++x) {
-        const double re = rng.next();
-        const double im = rng.next();
-        u0[s.a_index(z, y, x)] = Complex(re, im);
-      }
-    }
-  }
-  charge_stream(comm, 2.0 * static_cast<double>(u0.size()),
-                u0.size() * sizeof(Complex),
-                10.0 * static_cast<double>(u0.size()));
-
-  // --- forward 3-D FFT --------------------------------------------------
-  std::vector<Complex> u1 =
-      forward3d(comm, s, px, py, pz, std::vector<Complex>(u0));
-
   KernelResult result;
   result.name = name();
+  std::vector<Complex> u1;
+  std::vector<double> checksums;  ///< (re, im) pairs, iteration order
 
-  // --- distributed round-trip check ------------------------------------
-  if (cfg_.roundtrip_check) {
-    std::vector<Complex> back =
-        inverse3d(comm, s, px, py, pz, std::vector<Complex>(u1));
-    double local_err = 0.0;
-    for (std::size_t i = 0; i < u0.size(); ++i)
-      local_err = std::fmax(local_err, std::abs(back[i] - u0[i]));
-    const double err = comm.allreduce_max(local_err);
-    result.values["roundtrip_err"] = err;
-    result.verified = err < 1e-9;
-    result.note = result.verified
-                      ? "inverse(forward(u0)) == u0"
-                      : pas::util::strf("roundtrip error %.3g", err);
+  if (ctl.start_iter == 0) {
+    // --- initialize u0 with the NPB stream, by global row -------------
+    std::vector<Complex> u0(s.a_size());
+    for (int z = 0; z < s.lz; ++z) {
+      const int gz = s.rank * s.lz + z;
+      for (int y = 0; y < s.ny; ++y) {
+        const std::uint64_t row_start =
+            (static_cast<std::uint64_t>(gz) * s.ny + static_cast<std::uint64_t>(y)) *
+            static_cast<std::uint64_t>(s.nx);
+        NpbRng rng = NpbRng::at(cfg_.seed, 2 * row_start);
+        for (int x = 0; x < s.nx; ++x) {
+          const double re = rng.next();
+          const double im = rng.next();
+          u0[s.a_index(z, y, x)] = Complex(re, im);
+        }
+      }
+    }
+    charge_stream(comm, 2.0 * static_cast<double>(u0.size()),
+                  u0.size() * sizeof(Complex),
+                  10.0 * static_cast<double>(u0.size()));
+
+    // --- forward 3-D FFT ----------------------------------------------
+    u1 = forward3d(comm, s, px, py, pz, std::vector<Complex>(u0));
+
+    // --- distributed round-trip check ---------------------------------
+    if (cfg_.roundtrip_check) {
+      std::vector<Complex> back =
+          inverse3d(comm, s, px, py, pz, std::vector<Complex>(u1));
+      double local_err = 0.0;
+      for (std::size_t i = 0; i < u0.size(); ++i)
+        local_err = std::fmax(local_err, std::abs(back[i] - u0[i]));
+      const double err = comm.allreduce_max(local_err);
+      result.values["roundtrip_err"] = err;
+      result.verified = err < 1e-9;
+      result.note = result.verified
+                        ? "inverse(forward(u0)) == u0"
+                        : pas::util::strf("roundtrip error %.3g", err);
+    } else {
+      result.verified = true;
+      result.note = "roundtrip check disabled";
+    }
   } else {
-    result.verified = true;
-    result.note = "roundtrip check disabled";
+    if (ctl.load == nullptr)
+      throw std::logic_error("FT: resume requires checkpoint blobs");
+    sim::BlobReader in(
+        (*ctl.load)[static_cast<std::size_t>(comm.rank())]);
+    long long iter = 0, verified = 0, nchecks = 0;
+    if (!in.get_int(&iter) || iter != ctl.start_iter)
+      throw std::runtime_error("FT: checkpoint boundary mismatch");
+    if (!in.get_int(&verified))
+      throw std::runtime_error("FT: malformed checkpoint blob");
+    result.verified = verified != 0;
+    if (cfg_.roundtrip_check) {
+      double err = 0.0;
+      if (!in.get_double(&err))
+        throw std::runtime_error("FT: malformed checkpoint blob");
+      result.values["roundtrip_err"] = err;
+      result.note = result.verified
+                        ? "inverse(forward(u0)) == u0"
+                        : pas::util::strf("roundtrip error %.3g", err);
+    } else {
+      result.note = "roundtrip check disabled";
+    }
+    if (!in.get_int(&nchecks) || nchecks != 2 * ctl.start_iter)
+      throw std::runtime_error("FT: malformed checkpoint blob");
+    checksums.assign(static_cast<std::size_t>(nchecks), 0.0);
+    u1.assign(s.b_size(), Complex(0.0, 0.0));
+    if (!in.get_doubles(checksums.data(), checksums.size()) ||
+        !in.get_doubles(reinterpret_cast<double*>(u1.data()),
+                        2 * u1.size()))
+      throw std::runtime_error("FT: truncated checkpoint blob");
   }
+
+  for (std::size_t i = 0; i + 1 < checksums.size(); i += 2) {
+    const int t = static_cast<int>(i / 2) + 1;
+    result.values[pas::util::strf("checksum_re_%d", t)] = checksums[i];
+    result.values[pas::util::strf("checksum_im_%d", t)] = checksums[i + 1];
+  }
+
+  if (ctl.probe != nullptr) comm.sample_boundary(*ctl.probe, ctl.start_iter);
 
   // --- time stepping ----------------------------------------------------
   const double pi2 = std::numbers::pi * std::numbers::pi;
-  for (int t = 1; t <= cfg_.niter; ++t) {
+  for (int t = ctl.start_iter + 1; t <= cfg_.niter; ++t) {
+    if (!ctl.detailed(t)) continue;
     // Evolve in Fourier space (layout B).
     std::vector<Complex> w(u1.size());
     for (int xl = 0; xl < s.lx; ++xl) {
@@ -356,6 +415,23 @@ KernelResult FtKernel::run(mpi::Comm& comm) const {
         comm.allreduce_sum(std::vector<double>{local_sum.real(), local_sum.imag()});
     result.values[pas::util::strf("checksum_re_%d", t)] = sum[0];
     result.values[pas::util::strf("checksum_im_%d", t)] = sum[1];
+    checksums.push_back(sum[0]);
+    checksums.push_back(sum[1]);
+
+    if (ctl.probe != nullptr) comm.sample_boundary(*ctl.probe, t);
+    if (t == ctl.stop_at) {
+      sim::BlobWriter out;
+      out.put_int(t);
+      out.put_int(result.verified ? 1 : 0);
+      if (cfg_.roundtrip_check) out.put_double(result.values["roundtrip_err"]);
+      out.put_int(static_cast<long long>(checksums.size()));
+      out.put_doubles(checksums.data(), checksums.size());
+      out.put_doubles(reinterpret_cast<const double*>(u1.data()),
+                      2 * u1.size());
+      (*ctl.save)[static_cast<std::size_t>(comm.rank())] = out.take();
+      result.note = pas::util::strf("FT truncated at step %d", t);
+      return result;
+    }
   }
 
   return result;

@@ -55,6 +55,15 @@ class FtKernel final : public Kernel {
   /// Requires comm.size() to divide both nz and nx.
   KernelResult run(mpi::Comm& comm) const override;
 
+  int iteration_count(int nranks) const override {
+    (void)nranks;
+    return cfg_.niter;
+  }
+  std::string prefix_signature() const override;
+  std::unique_ptr<Kernel> with_iterations(int iterations) const override;
+  KernelResult run_ctl(mpi::Comm& comm,
+                       const IterationCtl& ctl) const override;
+
   const FtConfig& config() const { return cfg_; }
 
  private:

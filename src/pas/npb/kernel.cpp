@@ -4,6 +4,12 @@
 
 namespace pas::npb {
 
+KernelResult Kernel::run_ctl(mpi::Comm& comm, const IterationCtl& ctl) const {
+  if (!ctl.trivial())
+    throw std::logic_error(name() + ": kernel has no iteration hooks");
+  return run(comm);
+}
+
 double KernelResult::value(const std::string& key) const {
   auto it = values.find(key);
   if (it == values.end())

@@ -61,6 +61,15 @@ class LuKernel final : public Kernel {
   /// decreases monotonically and substantially.
   KernelResult run(mpi::Comm& comm) const override;
 
+  int iteration_count(int nranks) const override {
+    (void)nranks;
+    return cfg_.iterations;
+  }
+  std::string prefix_signature() const override;
+  std::unique_ptr<Kernel> with_iterations(int iterations) const override;
+  KernelResult run_ctl(mpi::Comm& comm,
+                       const IterationCtl& ctl) const override;
+
   const LuConfig& config() const { return cfg_; }
 
  private:

@@ -52,6 +52,15 @@ class MgKernel final : public Kernel {
   /// Verification: substantial, monotone residual reduction.
   KernelResult run(mpi::Comm& comm) const override;
 
+  int iteration_count(int nranks) const override {
+    (void)nranks;
+    return cfg_.cycles;
+  }
+  std::string prefix_signature() const override;
+  std::unique_ptr<Kernel> with_iterations(int iterations) const override;
+  KernelResult run_ctl(mpi::Comm& comm,
+                       const IterationCtl& ctl) const override;
+
   const MgConfig& config() const { return cfg_; }
 
  private:

@@ -125,4 +125,32 @@ Registry& registry() {
   return instance;
 }
 
+std::string sweep_counters_summary() {
+  std::string out, ci;
+  const auto append = [&out](const char* label, const std::string& value) {
+    if (value == "0") return;
+    if (!out.empty()) out += ", ";
+    out += label;
+    out += ' ';
+    out += value;
+  };
+  bool sampled = false;
+  for (const MetricRow& r : registry().rows(Stability::kStable)) {
+    if (r.name == "sweep.points_repriced") {
+      append("repriced", r.value);
+    } else if (r.name == "sweep.points_sampled") {
+      sampled = r.value != "0";
+      append("sampled", r.value);
+    } else if (r.name == "sweep.points_warmstarted") {
+      append("warm-started", r.value);
+    } else if (r.name == "sampling.ci_halfwidth_max") {
+      ci = r.value;
+    }
+  }
+  if (sampled && !ci.empty())
+    out += util::strf(", max CI half-width %ss", ci.c_str());
+  if (!out.empty()) out = "sweep points: " + out;
+  return out;
+}
+
 }  // namespace pas::obs

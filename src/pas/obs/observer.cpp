@@ -216,6 +216,16 @@ std::string Observer::run_report_json() const {
       points += "\"mean_cpu_s\":" + jnum(p.mean_cpu_s) + ",";
       points += "\"mean_memory_s\":" + jnum(p.mean_memory_s) + ",";
       points += "\"send_retries\":" + jnum(p.send_retries) + ",";
+      // Sampled rows only: estimates declare themselves and carry their
+      // confidence intervals; exact rows stay byte-identical to
+      // pre-sampling reports.
+      if (p.sampled) {
+        points += "\"sampled\":true,";
+        points += util::strf("\"total_iters\":%d,", p.total_iters);
+        points += util::strf("\"sampled_iters\":%d,", p.sampled_iters);
+        points += "\"ci_seconds\":" + jnum(p.ci_seconds) + ",";
+        points += "\"ci_energy_j\":" + jnum(p.ci_energy_j) + ",";
+      }
       points += "\"energy_j\":{";
       points += "\"cpu\":" + jnum(p.energy_cpu_j) + ",";
       points += "\"memory\":" + jnum(p.energy_memory_j) + ",";

@@ -77,6 +77,15 @@ struct ReportPoint {
   double mean_cpu_s = 0.0;
   double mean_memory_s = 0.0;
   double send_retries = 0.0;
+  /// Sampled estimation (DESIGN.md §14): set when the record is an
+  /// extrapolated estimate. Sampled rows carry their 95% confidence
+  /// intervals in the export; exact rows omit the fields entirely, so
+  /// exact-mode artifacts are byte-identical to pre-sampling builds.
+  bool sampled = false;
+  int total_iters = 0;
+  int sampled_iters = 0;
+  double ci_seconds = 0.0;
+  double ci_energy_j = 0.0;
   double energy_cpu_j = 0.0;
   double energy_memory_j = 0.0;
   double energy_network_j = 0.0;

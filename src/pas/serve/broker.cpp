@@ -117,10 +117,19 @@ Broker::SweepResult Broker::run(const analysis::SweepSpec& spec) {
   out.from_cache.assign(points.size(), 0);
   std::vector<std::string> keys(points.size());
   std::vector<char> resolved(points.size(), 0);
+  // Sampled specs key apart from exact ones (the same suffix
+  // SweepExecutor::point_key applies), so a sampled submission can
+  // never be answered with an exact record or vice versa.
+  const std::string sampled_suffix =
+      spec.options.sampling
+          ? analysis::RunCache::sampled_key_suffix(spec.options.sample_period,
+                                                   spec.options.warmup_iters)
+          : std::string();
   for (std::size_t i = 0; i < points.size(); ++i)
     keys[i] = analysis::RunCache::key(*kernel, cluster, spec.power,
                                       points[i].nodes, points[i].frequency_mhz,
-                                      points[i].comm_dvfs_mhz);
+                                      points[i].comm_dvfs_mhz) +
+              sampled_suffix;
 
   // Answer from the service's memory first: the journal (this server's
   // and its workers' completed points, including deterministic
@@ -173,6 +182,7 @@ Broker::SweepResult Broker::run(const analysis::SweepSpec& spec) {
       col->spec.kernel = spec.kernel;
       col->spec.scale = spec.scale;
       col->spec.comm_dvfs_mhz = spec.comm_dvfs_mhz;
+      col->spec.iterations = spec.iterations;
       col->spec.fault = spec.fault;
       col->spec.cluster = spec.cluster;
       col->spec.power = spec.power;
@@ -180,6 +190,11 @@ Broker::SweepResult Broker::run(const analysis::SweepSpec& spec) {
       col->spec.options.cache_dir = opts_.cache_dir;
       col->spec.options.cache_cap_bytes = opts_.cache_cap_bytes;
       col->spec.options.run_retries = spec.options.run_retries;
+      col->spec.options.sampling = spec.options.sampling;
+      col->spec.options.sample_period = spec.options.sample_period;
+      col->spec.options.warmup_iters = spec.options.warmup_iters;
+      col->spec.options.verify_sampling = spec.options.verify_sampling;
+      col->spec.options.checkpoints = spec.options.checkpoints;
       col->spec.options.journal_path = opts_.journal_path;
       col->spec.options.resume = true;
       for (const std::size_t i : members) {

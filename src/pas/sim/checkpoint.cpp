@@ -1,0 +1,314 @@
+#include "pas/sim/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace pas::sim {
+namespace {
+
+// Same conventions as the run-cache ledger payloads: one field per
+// line, %a hexfloat doubles so a restored checkpoint continues with
+// bit-identical arithmetic inputs.
+void put_d(std::ostream& out, const char* field, double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", x);
+  out << field << ' ' << buf << '\n';
+}
+
+void put_u(std::ostream& out, const char* field, std::uint64_t x) {
+  out << field << ' ' << x << '\n';
+}
+
+void put_i(std::ostream& out, const char* field, long long x) {
+  out << field << ' ' << x << '\n';
+}
+
+bool get_hexdouble(std::istream& in, double* x) {
+  std::string value;
+  if (!(in >> value)) return false;
+  char* end = nullptr;
+  *x = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool get_d(std::istream& in, const char* field, double* x) {
+  std::string name;
+  if (!(in >> name) || name != field) return false;
+  return get_hexdouble(in, x);
+}
+
+bool get_u(std::istream& in, const char* field, std::uint64_t* x) {
+  std::string name;
+  return (in >> name >> *x) && name == field;
+}
+
+bool get_i(std::istream& in, const char* field, long long* x) {
+  std::string name;
+  return (in >> name >> *x) && name == field;
+}
+
+void put_mix(std::ostream& out, const char* field,
+             const InstructionMix& mix) {
+  char a[64], b[64], c[64], d[64];
+  std::snprintf(a, sizeof a, "%a", mix.reg_ops);
+  std::snprintf(b, sizeof b, "%a", mix.l1_ops);
+  std::snprintf(c, sizeof c, "%a", mix.l2_ops);
+  std::snprintf(d, sizeof d, "%a", mix.mem_ops);
+  out << field << ' ' << a << ' ' << b << ' ' << c << ' ' << d << '\n';
+}
+
+bool get_mix(std::istream& in, const char* field, InstructionMix* mix) {
+  std::string name;
+  if (!(in >> name) || name != field) return false;
+  return get_hexdouble(in, &mix->reg_ops) && get_hexdouble(in, &mix->l1_ops) &&
+         get_hexdouble(in, &mix->l2_ops) && get_hexdouble(in, &mix->mem_ops);
+}
+
+void put_activities(std::ostream& out, const char* field,
+                    const std::array<double, kNumActivities>& a) {
+  out << field;
+  char buf[64];
+  for (double x : a) {
+    std::snprintf(buf, sizeof buf, "%a", x);
+    out << ' ' << buf;
+  }
+  out << '\n';
+}
+
+bool get_activities(std::istream& in, const char* field,
+                    std::array<double, kNumActivities>* a) {
+  std::string name;
+  if (!(in >> name) || name != field) return false;
+  for (double& x : *a) {
+    if (!get_hexdouble(in, &x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Checkpoint::encode() const {
+  std::ostringstream out;
+  put_i(out, "nranks", nranks);
+  put_i(out, "boundary", boundary);
+  put_d(out, "freq", frequency_mhz);
+  put_d(out, "comm_dvfs", comm_dvfs_mhz);
+  out << "fabric_tx " << fabric_tx_busy.size();
+  {
+    char buf[64];
+    for (double x : fabric_tx_busy) {
+      std::snprintf(buf, sizeof buf, "%a", x);
+      out << ' ' << buf;
+    }
+    out << '\n';
+  }
+  put_u(out, "fabric_bytes", fabric_bytes);
+  put_u(out, "fabric_messages", fabric_messages);
+  for (int r = 0; r < nranks; ++r) {
+    const RankCheckpoint& rc = ranks[static_cast<std::size_t>(r)];
+    out << "rank " << r << '\n';
+    put_d(out, "now", rc.now);
+    put_activities(out, "act", rc.by_activity);
+    put_mix(out, "exec", rc.executed);
+    out << "fkeys " << rc.activity_by_fkey.size() << '\n';
+    for (const auto& [fkey, secs] : rc.activity_by_fkey) {
+      out << "fkey " << fkey;
+      char buf[64];
+      for (double x : secs) {
+        std::snprintf(buf, sizeof buf, "%a", x);
+        out << ' ' << buf;
+      }
+      out << '\n';
+    }
+    put_d(out, "cpu_mhz", rc.cpu_mhz);
+    put_i(out, "collective_seq", rc.collective_seq);
+    put_i(out, "isend_seq", rc.isend_seq);
+    put_d(out, "rx_busy", rc.rx_busy);
+    put_d(out, "rank_comm_dvfs", rc.comm_dvfs_mhz);
+    put_i(out, "in_comm_phase", rc.in_comm_phase ? 1 : 0);
+    put_d(out, "app_mhz", rc.app_mhz);
+    put_u(out, "msgs_sent", rc.messages_sent);
+    put_u(out, "bytes_sent", rc.bytes_sent);
+    put_u(out, "msgs_recv", rc.messages_received);
+    put_u(out, "bytes_recv", rc.bytes_received);
+    put_u(out, "collectives", rc.collective_calls);
+    put_u(out, "retries", rc.sends_retried);
+    out << "fault_rng " << rc.fault_rng[0] << ' ' << rc.fault_rng[1] << ' '
+        << rc.fault_rng[2] << ' ' << rc.fault_rng[3] << '\n';
+    put_u(out, "ledger_ops", rc.ledger_ops);
+    out << "mailbox " << rc.mailbox.size() << '\n';
+    for (const CheckpointMessage& m : rc.mailbox) {
+      char a[64], b[64];
+      std::snprintf(a, sizeof a, "%a", m.at_switch);
+      std::snprintf(b, sizeof b, "%a", m.rx_ser_s);
+      out << "msg " << m.src << ' ' << m.tag << ' ' << m.bytes << ' ' << a
+          << ' ' << b << ' ' << m.data.size();
+      char buf[64];
+      for (double x : m.data) {
+        std::snprintf(buf, sizeof buf, "%a", x);
+        out << ' ' << buf;
+      }
+      out << '\n';
+    }
+    // Kernel blobs are token streams themselves; frame with a byte
+    // count so the reader never scans past a malformed blob.
+    out << "blob " << rc.kernel_blob.size() << '\n'
+        << rc.kernel_blob << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool Checkpoint::decode(const std::string& payload, Checkpoint* out) {
+  std::istringstream in(payload);
+  std::string name;
+  long long v = 0;
+  if (!get_i(in, "nranks", &v) || v < 1 || v > 0xffff) return false;
+  out->nranks = static_cast<int>(v);
+  if (!get_i(in, "boundary", &v) || v < 0) return false;
+  out->boundary = static_cast<int>(v);
+  if (!get_d(in, "freq", &out->frequency_mhz)) return false;
+  if (!get_d(in, "comm_dvfs", &out->comm_dvfs_mhz)) return false;
+  std::size_t ntx = 0;
+  if (!(in >> name >> ntx) || name != "fabric_tx" || ntx > 0xffff)
+    return false;
+  out->fabric_tx_busy.assign(ntx, 0.0);
+  for (double& x : out->fabric_tx_busy) {
+    if (!get_hexdouble(in, &x)) return false;
+  }
+  if (!get_u(in, "fabric_bytes", &out->fabric_bytes)) return false;
+  if (!get_u(in, "fabric_messages", &out->fabric_messages)) return false;
+  out->ranks.assign(static_cast<std::size_t>(out->nranks), {});
+  for (int r = 0; r < out->nranks; ++r) {
+    RankCheckpoint& rc = out->ranks[static_cast<std::size_t>(r)];
+    int rank = -1;
+    if (!(in >> name >> rank) || name != "rank" || rank != r) return false;
+    if (!get_d(in, "now", &rc.now)) return false;
+    if (!get_activities(in, "act", &rc.by_activity)) return false;
+    if (!get_mix(in, "exec", &rc.executed)) return false;
+    std::size_t nfkeys = 0;
+    if (!(in >> name >> nfkeys) || name != "fkeys" || nfkeys > 0xffff)
+      return false;
+    long prev_fkey = 0;
+    for (std::size_t i = 0; i < nfkeys; ++i) {
+      long fkey = 0;
+      if (!(in >> name >> fkey) || name != "fkey") return false;
+      if (i > 0 && fkey <= prev_fkey) return false;  // sorted + unique
+      prev_fkey = fkey;
+      ActivitySeconds secs{};
+      for (double& x : secs) {
+        if (!get_hexdouble(in, &x)) return false;
+      }
+      rc.activity_by_fkey.emplace(fkey, secs);
+    }
+    if (!get_d(in, "cpu_mhz", &rc.cpu_mhz)) return false;
+    if (!get_i(in, "collective_seq", &v) || v < 0) return false;
+    rc.collective_seq = static_cast<int>(v);
+    if (!get_i(in, "isend_seq", &v) || v < 0) return false;
+    rc.isend_seq = static_cast<int>(v);
+    if (!get_d(in, "rx_busy", &rc.rx_busy)) return false;
+    if (!get_d(in, "rank_comm_dvfs", &rc.comm_dvfs_mhz)) return false;
+    if (!get_i(in, "in_comm_phase", &v) || (v != 0 && v != 1)) return false;
+    rc.in_comm_phase = v != 0;
+    if (!get_d(in, "app_mhz", &rc.app_mhz)) return false;
+    if (!get_u(in, "msgs_sent", &rc.messages_sent)) return false;
+    if (!get_u(in, "bytes_sent", &rc.bytes_sent)) return false;
+    if (!get_u(in, "msgs_recv", &rc.messages_received)) return false;
+    if (!get_u(in, "bytes_recv", &rc.bytes_received)) return false;
+    if (!get_u(in, "collectives", &rc.collective_calls)) return false;
+    if (!get_u(in, "retries", &rc.sends_retried)) return false;
+    if (!(in >> name >> rc.fault_rng[0] >> rc.fault_rng[1] >>
+          rc.fault_rng[2] >> rc.fault_rng[3]) ||
+        name != "fault_rng")
+      return false;
+    if (!get_u(in, "ledger_ops", &rc.ledger_ops)) return false;
+    std::size_t nmsgs = 0;
+    if (!(in >> name >> nmsgs) || name != "mailbox" || nmsgs > 1u << 20)
+      return false;
+    rc.mailbox.assign(nmsgs, {});
+    for (CheckpointMessage& m : rc.mailbox) {
+      std::size_t nd = 0;
+      if (!(in >> name >> m.src >> m.tag >> m.bytes) || name != "msg")
+        return false;
+      if (!get_hexdouble(in, &m.at_switch) || !get_hexdouble(in, &m.rx_ser_s))
+        return false;
+      if (!(in >> nd) || nd > 1u << 26) return false;
+      m.data.assign(nd, 0.0);
+      for (double& x : m.data) {
+        if (!get_hexdouble(in, &x)) return false;
+      }
+    }
+    std::size_t blob_len = 0;
+    if (!(in >> name >> blob_len) || name != "blob" || blob_len > 1u << 30)
+      return false;
+    if (in.get() != '\n') return false;  // exactly one separator
+    rc.kernel_blob.resize(blob_len);
+    if (blob_len > 0 &&
+        !in.read(rc.kernel_blob.data(),
+                 static_cast<std::streamsize>(blob_len)))
+      return false;
+    if (in.get() != '\n') return false;
+  }
+  if (!(in >> name) || name != "end") return false;
+  return true;
+}
+
+void BlobWriter::put_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  if (!out_.empty()) out_ += ' ';
+  out_ += buf;
+}
+
+void BlobWriter::put_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  if (!out_.empty()) out_ += ' ';
+  out_ += buf;
+}
+
+void BlobWriter::put_doubles(const double* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) put_double(v[i]);
+}
+
+bool BlobReader::next_token(std::string* tok) {
+  if (!ok_) return false;
+  while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n')) ++pos_;
+  if (pos_ >= s_.size()) {
+    ok_ = false;
+    return false;
+  }
+  const std::size_t start = pos_;
+  while (pos_ < s_.size() && s_[pos_] != ' ' && s_[pos_] != '\n') ++pos_;
+  tok->assign(s_, start, pos_ - start);
+  return true;
+}
+
+bool BlobReader::get_int(long long* v) {
+  std::string tok;
+  if (!next_token(&tok)) return false;
+  char* end = nullptr;
+  *v = std::strtoll(tok.c_str(), &end, 10);
+  ok_ = end != nullptr && *end == '\0';
+  return ok_;
+}
+
+bool BlobReader::get_double(double* v) {
+  std::string tok;
+  if (!next_token(&tok)) return false;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  ok_ = end != nullptr && *end == '\0';
+  return ok_;
+}
+
+bool BlobReader::get_doubles(double* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!get_double(&v[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace pas::sim

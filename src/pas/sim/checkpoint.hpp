@@ -1,0 +1,124 @@
+// sim::Checkpoint — full mid-run simulator state at a kernel iteration
+// boundary, for bit-identical warm-started continuation (DESIGN.md §14).
+//
+// Capture protocol: a run is *truncated* at boundary B (every rank
+// returns from the kernel body after completing iteration B), the pool
+// joins, and the runtime then harvests global state with no rank
+// in flight — per-node virtual clocks and executed-work accounting,
+// CPU operating points, per-rank Comm internals (collective/isend
+// sequence numbers, receiver-port occupancy, comm-DVFS phase state,
+// stats), fault-stream RNG positions, undelivered mailbox messages,
+// network-fabric port occupancy, the WorkLedgerRecorder position, and
+// one opaque per-rank kernel-state blob written by the kernel itself.
+// Restoring a checkpoint into a fresh run and continuing produces
+// records and trace events bit-identical to the uninterrupted run:
+// every input of the virtual-time arithmetic is part of the state.
+//
+// Serialization uses the run-cache text conventions (hex-float doubles,
+// one field per line) so round-trips are bit-exact; RunCache stores
+// checkpoints as content-hash-keyed `.ckpt` entries (cache v5) with the
+// same checksum + quarantine discipline as runs and ledgers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pas/sim/cluster.hpp"
+
+namespace pas::sim {
+
+/// One queued (delivered but not yet received) message; mirrors
+/// mpi::Message without depending on the mpi layer.
+struct CheckpointMessage {
+  int src = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  double at_switch = 0.0;
+  double rx_ser_s = 0.0;
+  std::vector<double> data;
+};
+
+/// Everything one rank carries across a boundary.
+struct RankCheckpoint {
+  // Virtual clock.
+  double now = 0.0;
+  std::array<double, kNumActivities> by_activity{};
+  // Node accounting.
+  InstructionMix executed;
+  std::map<long, ActivitySeconds> activity_by_fkey;
+  double cpu_mhz = 0.0;  ///< current operating point (comm-DVFS may differ
+                         ///< from the run frequency at a boundary)
+  // Comm internals.
+  int collective_seq = 0;
+  int isend_seq = 0;
+  double rx_busy = 0.0;
+  double comm_dvfs_mhz = 0.0;
+  bool in_comm_phase = false;
+  double app_mhz = 0.0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t collective_calls = 0;
+  std::uint64_t sends_retried = 0;
+  // Fault stream position (all-zero when fault injection is off).
+  std::array<std::uint64_t, 4> fault_rng{};
+  // WorkLedgerRecorder position (ops recorded so far; checkpointed runs
+  // normally decline recording, so this is a restore-time invariant
+  // check rather than replayed state).
+  std::uint64_t ledger_ops = 0;
+  // In-flight messages addressed to this rank.
+  std::vector<CheckpointMessage> mailbox;
+  // Opaque kernel state (npb::Kernel::run_ctl save/load).
+  std::string kernel_blob;
+};
+
+struct Checkpoint {
+  int nranks = 0;
+  int boundary = 0;  ///< iterations [1, boundary] are complete
+  double frequency_mhz = 0.0;
+  double comm_dvfs_mhz = 0.0;
+  // Fabric state.
+  std::vector<double> fabric_tx_busy;
+  std::uint64_t fabric_bytes = 0;
+  std::uint64_t fabric_messages = 0;
+  std::vector<RankCheckpoint> ranks;
+
+  /// Canonical serialized form (hex-float text); decode() parses
+  /// exactly these bytes. Returns false on any malformed field.
+  std::string encode() const;
+  static bool decode(const std::string& payload, Checkpoint* out);
+};
+
+/// Text-token writer/reader for kernel state blobs: doubles round-trip
+/// bit-exactly (%a), and a short-read is always detectable.
+class BlobWriter {
+ public:
+  void put_int(long long v);
+  void put_double(double v);
+  void put_doubles(const double* v, std::size_t n);
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class BlobReader {
+ public:
+  explicit BlobReader(const std::string& blob) : s_(blob) {}
+  bool get_int(long long* v);
+  bool get_double(double* v);
+  bool get_doubles(double* v, std::size_t n);
+  bool ok() const { return ok_; }
+
+ private:
+  bool next_token(std::string* tok);
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pas::sim

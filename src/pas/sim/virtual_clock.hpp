@@ -43,6 +43,17 @@ class VirtualClock {
 
   void reset();
 
+  /// Per-activity totals, for checkpoint capture.
+  const std::array<double, kNumActivities>& by_activity() const {
+    return by_activity_;
+  }
+
+  /// Overwrites the full clock state (checkpoint restore).
+  void restore(double now, const std::array<double, kNumActivities>& by) {
+    now_ = now;
+    by_activity_ = by;
+  }
+
   std::string to_string() const;
 
  private:

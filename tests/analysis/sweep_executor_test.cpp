@@ -273,7 +273,7 @@ TEST(SweepExecutor, FilenameCollisionMissesWithoutQuarantine) {
     std::FILE* out = std::fopen(entry.c_str(), "w");
     ASSERT_NE(out, nullptr);
     std::fputs(
-        "pasim-run-cache v4\nkey v3|someone-elses-point\n"
+        "pasim-run-cache v5\nkey v5|someone-elses-point\n"
         "sum 0000000000000000\n",
         out);
     std::fclose(out);

@@ -118,9 +118,44 @@ TEST(SpecJson, RandomizedDocumentsAreFixpoints) {
 
 TEST(SpecJson, RejectsMissingOrWrongVersion) {
   EXPECT_THROW(SweepSpec::parse(R"({"kernel": "EP"})"), std::invalid_argument);
-  EXPECT_THROW(SweepSpec::parse(R"({"version": 2})"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse(R"({"version": 3})"), std::invalid_argument);
   EXPECT_THROW(SweepSpec::parse(R"({"version": "1"})"),
                std::invalid_argument);
+  // Both live schema versions parse.
+  EXPECT_EQ(SweepSpec::parse(R"({"version": 1})").kernel, "EP");
+  EXPECT_EQ(SweepSpec::parse(R"({"version": 2})").kernel, "EP");
+}
+
+TEST(SpecJson, RejectsV2FieldsInV1Documents) {
+  // v1 predates sampled estimation and checkpoint warm-starts: a v1
+  // document using any v2 field is rejected, not silently accepted.
+  EXPECT_THROW(SweepSpec::parse(R"({"version": 1, "iterations": 8})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SweepSpec::parse(R"({"version": 1, "options": {"sampling": true}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SweepSpec::parse(R"({"version": 1, "options": {"sample_period": 5}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SweepSpec::parse(R"({"version": 1, "options": {"warmup_iters": 1}})"),
+      std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse(
+                   R"({"version": 1, "options": {"verify_sampling": 0.5}})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SweepSpec::parse(R"({"version": 1, "options": {"checkpoints": true}})"),
+      std::invalid_argument);
+  // The same fields parse in a v2 document.
+  const SweepSpec v2 = SweepSpec::parse(
+      R"({"version": 2, "iterations": 8,
+          "options": {"sampling": true, "sample_period": 5,
+                      "warmup_iters": 1, "verify_sampling": 0.5}})");
+  EXPECT_EQ(v2.iterations, 8);
+  EXPECT_TRUE(v2.options.sampling);
+  EXPECT_EQ(v2.options.sample_period, 5);
+  EXPECT_EQ(v2.options.warmup_iters, 1);
+  EXPECT_DOUBLE_EQ(v2.options.verify_sampling, 0.5);
 }
 
 TEST(SpecJson, RejectsUnknownKeysAtEveryLevel) {
