@@ -1,0 +1,188 @@
+// serve_throughput — cold-column serving throughput of a pasim_serve
+// fleet (DESIGN.md §15).
+//
+// Starts B in-process brokers (peered into one fabric when B > 1,
+// exactly as `pasim_serve --peer` wires them), then hammers the fleet
+// with C client threads × Q sweep queries each, clients round-robined
+// across the brokers. Every query carries a distinct comm-DVFS point,
+// so every query is one cold (kernel, N, comm-DVFS) column the fleet
+// must actually execute — rendezvous-sharded, forwarded, and
+// work-stolen across the brokers. Each broker runs ONE execution
+// slot (workers=1), so fleet capacity is exactly the broker count and
+// throughput scales with it on multi-core hosts. On a single-core
+// machine the brokers time-share one CPU and the speedup line honestly
+// reports ~1.0x — the regression gate therefore tracks per-fleet-size
+// seconds/query against its own baseline, not the 1 -> N ratio.
+// Reports aggregate qps and client-side p50/p99 latency per fleet
+// size:
+//
+//   serve_throughput brokers=1 clients=4 queries=200 wall_s=... \
+//       qps=... p50_ms=... p99_ms=...
+//
+// (one line per --brokers entry — scripts/bench_record.sh parses
+// them), plus the 1 -> N broker speedup when both ends were measured.
+//
+//   ./bench/serve_throughput [--brokers LIST] [--clients C]
+//                            [--queries Q] [--kernel K] [--cache DIR]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pas/analysis/sweep_spec.hpp"
+#include "pas/fault/fault.hpp"
+#include "pas/serve/client.hpp"
+#include "pas/serve/server.hpp"
+#include "pas/util/cli.hpp"
+
+namespace {
+
+using namespace pas;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double percentile_ms(std::vector<double>& sorted_s, double q) {
+  if (sorted_s.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_s.size() - 1) + 0.5);
+  return sorted_s[std::min(idx, sorted_s.size() - 1)] * 1e3;
+}
+
+struct Measurement {
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+Measurement run_fleet(int brokers, int clients, int queries,
+                      const analysis::SweepSpec& spec,
+                      const std::string& cache_root) {
+  std::vector<std::unique_ptr<serve::Server>> fleet;
+  for (int b = 0; b < brokers; ++b) {
+    serve::ServerOptions opts;
+    opts.unix_socket.clear();
+    opts.tcp_port = 0;
+    opts.broker.cache_dir =
+        cache_root + "/b" + std::to_string(brokers) + "_" + std::to_string(b);
+    opts.broker.workers = 1;  // one slot per broker: capacity == fleet size
+    fleet.push_back(std::make_unique<serve::Server>(opts));
+  }
+  std::vector<std::string> addrs;
+  for (const auto& s : fleet)
+    addrs.push_back("127.0.0.1:" + std::to_string(s->tcp_port()));
+  if (brokers > 1) {
+    for (int b = 0; b < brokers; ++b) {
+      std::vector<std::string> peers;
+      for (int p = 0; p < brokers; ++p)
+        if (p != b) peers.push_back(addrs[p]);
+      fleet[static_cast<std::size_t>(b)]->broker().configure_peering(
+          addrs[static_cast<std::size_t>(b)], peers);
+    }
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ClientOptions copts;
+      copts.tcp_port = fleet[static_cast<std::size_t>(c % brokers)]
+                           ->tcp_port();
+      copts.connect_retries = 5;
+      serve::Client client(copts);
+      std::vector<double>& lat = latencies[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(queries));
+      for (int q = 0; q < queries; ++q) {
+        // A unique (all-zero-rate) fault seed per query: identical
+        // simulated work, but its own cache keys and its own shard
+        // basis — one genuinely cold column for the fleet.
+        analysis::SweepSpec cold = spec;
+        cold.fault = fault::FaultConfig{};
+        cold.fault->seed = static_cast<std::uint64_t>(c * queries + q + 1);
+        const auto q0 = std::chrono::steady_clock::now();
+        const serve::SweepReply reply = client.sweep(cold);
+        lat.push_back(seconds_since(q0));
+        if (reply.records.empty()) std::exit(2);  // served nothing: broken
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Measurement m;
+  m.wall_s = seconds_since(t0);
+
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies)
+    all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  m.qps = static_cast<double>(all.size()) / m.wall_s;
+  m.p50_ms = percentile_ms(all, 0.50);
+  m.p99_ms = percentile_ms(all, 0.99);
+  for (const auto& s : fleet) s->stop();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.check_usage({"brokers", "clients", "queries", "kernel", "cache"});
+  std::vector<int> broker_counts;
+  for (const std::string& b : cli.has("brokers")
+                                  ? cli.get_list("brokers")
+                                  : std::vector<std::string>{"1", "2"})
+    broker_counts.push_back(std::atoi(b.c_str()));
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int queries = static_cast<int>(cli.get_int("queries", 8));
+
+  // One node count per query keeps a query = one column; the DVFS axis
+  // still exercises the frequency-collapse replay inside each worker.
+  analysis::SweepSpec spec;
+  spec.kernel = cli.get("kernel", "EP");
+  spec.scale = "small";
+  spec.nodes = {1};
+  spec.freqs_mhz = {600.0, 800.0, 1000.0};
+
+  const std::string cache_root =
+      cli.get("cache", (std::filesystem::temp_directory_path() /
+                        "pasim_serve_throughput")
+                           .string());
+  std::filesystem::remove_all(cache_root);
+  std::filesystem::create_directories(cache_root);
+
+  std::printf("serve_throughput: %s small, %zu point(s)/query, %d client "
+              "thread(s) x %d cold queries\n",
+              spec.kernel.c_str(), spec.nodes.size() * spec.freqs_mhz.size(),
+              clients, queries);
+  // Workers fork: flush before the first broker starts or the children
+  // replay this buffer into the output.
+  std::fflush(stdout);
+  std::map<int, Measurement> results;
+  for (const int brokers : broker_counts) {
+    if (brokers < 1) continue;
+    const Measurement m =
+        run_fleet(brokers, clients, queries, spec, cache_root);
+    results[brokers] = m;
+    std::printf("serve_throughput brokers=%d clients=%d queries=%d "
+                "wall_s=%.4f qps=%.1f p50_ms=%.3f p99_ms=%.3f\n",
+                brokers, clients, clients * queries, m.wall_s, m.qps,
+                m.p50_ms, m.p99_ms);
+    std::fflush(stdout);
+  }
+  if (results.count(1) != 0u && results.size() > 1) {
+    const auto& widest = *results.rbegin();
+    std::printf("serve_throughput: 1 -> %d broker speedup %.2fx\n",
+                widest.first, widest.second.qps / results[1].qps);
+  }
+  std::filesystem::remove_all(cache_root);
+  return 0;
+}

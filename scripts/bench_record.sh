@@ -2,16 +2,20 @@
 # Records the simulator's own performance baseline: the google-benchmark
 # microbenchmarks (bench/micro_sim) and one timed end-to-end run each of
 # bench/full_report and bench/resilience_sweep (the fault-ensemble axis,
-# which bypasses every analytic fast path). Writes BENCH_micro_sim.json,
-# BENCH_full_report.json and BENCH_resilience_sweep.json at the repo
-# root so a perf regression shows up as a diff against the committed
-# baseline. Record-only: nothing here
+# which bypasses every analytic fast path), plus the serving-fabric
+# throughput of bench/serve_throughput at fleet sizes 1 and 2. Writes
+# BENCH_micro_sim.json, BENCH_full_report.json,
+# BENCH_resilience_sweep.json and BENCH_serve_throughput.json at the
+# repo root so a perf regression shows up as a diff against the
+# committed baseline. Record-only: nothing here
 # fails on a slow result — scripts/check_bench_schema.py validates the
 # shape, humans judge the numbers.
 #
 # Usage: scripts/bench_record.sh [build_dir]
 #   build_dir   tree with micro_sim and full_report built (default: build)
 #   PASIM_BENCH_JOBS  --jobs for the full_report run (default: nproc)
+#   PASIM_BENCH_SERVE_CLIENTS / PASIM_BENCH_SERVE_QUERIES
+#               load shape for serve_throughput (default: 8 x 6)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,7 +23,7 @@ BUILD="${1:-build}"
 JOBS="${PASIM_BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 for bin in "$BUILD/bench/micro_sim" "$BUILD/bench/full_report" \
-           "$BUILD/bench/resilience_sweep"; do
+           "$BUILD/bench/resilience_sweep" "$BUILD/bench/serve_throughput"; do
   [ -x "$bin" ] || { echo "bench_record: missing $bin (build it first)"; exit 1; }
 done
 
@@ -75,3 +79,41 @@ cat > BENCH_resilience_sweep.json <<EOF
 }
 EOF
 echo "wrote BENCH_resilience_sweep.json (wall ${WALL_RESIL}s at --jobs $JOBS)"
+
+echo "== bench_record: serve_throughput =="
+# Fleet sizes 1 and 2: the 1-broker line is the serving-stack baseline
+# the regression gate tracks; the 2-broker line records how the fabric
+# behaves on this machine (it only beats 1 broker when there is more
+# than one core to run on, so the ratio is informational).
+SERVE_CLIENTS="${PASIM_BENCH_SERVE_CLIENTS:-8}"
+SERVE_QUERIES="${PASIM_BENCH_SERVE_QUERIES:-6}"
+"$BUILD/bench/serve_throughput" --brokers 1,2 --clients "$SERVE_CLIENTS" \
+  --queries "$SERVE_QUERIES" --cache "$OUT_DIR/serve_bench_cache" \
+  > "$OUT_DIR/serve_log" 2>&1
+FLEETS="$(awk '/^serve_throughput brokers=/ {
+  for (i = 1; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+  printf "%s    {\"brokers\": %s, \"queries\": %s, \"wall_seconds\": %s, \
+\"qps\": %s, \"seconds_per_query\": %.6f, \"p50_ms\": %s, \"p99_ms\": %s}",
+         sep, v["brokers"], v["queries"], v["wall_s"], v["qps"],
+         v["wall_s"] / v["queries"], v["p50_ms"], v["p99_ms"]
+  sep = ",\n"
+}' "$OUT_DIR/serve_log")"
+if [ -z "$FLEETS" ]; then
+  echo "bench_record: serve_throughput printed no fleet lines:"
+  cat "$OUT_DIR/serve_log"
+  exit 1
+fi
+
+cat > BENCH_serve_throughput.json <<EOF
+{
+  "schema": "pasim-bench-serve-throughput/1",
+  "command": "bench/serve_throughput --brokers 1,2 --clients $SERVE_CLIENTS --queries $SERVE_QUERIES",
+  "clients": $SERVE_CLIENTS,
+  "queries_per_client": $SERVE_QUERIES,
+  "fleets": [
+$FLEETS
+  ],
+  "recorded_at": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+echo "wrote BENCH_serve_throughput.json ($SERVE_CLIENTS clients x $SERVE_QUERIES queries)"

@@ -12,7 +12,7 @@ with each payload:
     key <cache key>\n
     status <int in 0..5>\n
     error <len>\n<raw len bytes>\n
-    <RunCache record lines: "<field> <value>\n" x 19>
+    <RunCache record lines: "<field> <value>\n" x 24>
     end\n
 
 A torn tail (truncated final frame — the signature of a killed writer)
@@ -36,7 +36,8 @@ RECORD_FIELDS = [
     "mean_memory_s", "verified", "energy_cpu_j", "energy_memory_j",
     "energy_network_j", "energy_idle_j", "messages_per_rank",
     "doubles_per_message", "exec_reg", "exec_l1", "exec_l2", "exec_mem",
-    "attempts", "send_retries",
+    "attempts", "send_retries", "sampled", "total_iters", "sampled_iters",
+    "ci_seconds", "ci_energy_j",
 ]
 MAX_STATUS = 5  # RunStatus::kCrashed
 

@@ -578,6 +578,14 @@ std::string encode_ledger_payload(const sim::WorkLedger& ledger) {
 
 }  // namespace
 
+std::string RunCache::encode_ledger(const sim::WorkLedger& ledger) {
+  return encode_ledger_payload(ledger);
+}
+
+bool RunCache::decode_ledger(std::istream& in, sim::WorkLedger* ledger) {
+  return decode_ledger_payload(in, ledger);
+}
+
 std::shared_ptr<const sim::WorkLedger> RunCache::lookup_ledger(
     const std::string& key) {
   {

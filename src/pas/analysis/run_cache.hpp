@@ -127,6 +127,15 @@ class RunCache {
   std::shared_ptr<const sim::WorkLedger> store_ledger(
       const std::string& key, sim::WorkLedger ledger);
 
+  /// The canonical serialized ledger payload — the exact bytes
+  /// store_ledger persists after the entry header. The serve CAS tier
+  /// (DESIGN.md §15) ships ledgers between brokers in this encoding.
+  static std::string encode_ledger(const sim::WorkLedger& ledger);
+
+  /// Parses exactly what encode_ledger produced. False on any
+  /// malformed or truncated field; `ledger` is unspecified then.
+  static bool decode_ledger(std::istream& in, sim::WorkLedger* ledger);
+
   /// Checkpoint key: the iteration-boundary prefix identity. Uses the
   /// kernel's prefix_signature() (empty = the kernel opted out of
   /// prefix sharing; callers must not store checkpoints then) and the

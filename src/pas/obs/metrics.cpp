@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <stdexcept>
 
 #include "pas/util/format.hpp"
@@ -11,6 +12,22 @@ namespace pas::obs {
 const char* stability_name(Stability s) {
   return s == Stability::kStable ? "stable" : "volatile";
 }
+
+namespace {
+
+// 20 geometric buckets per decade starting at 1e-6: index i covers
+// [1e-6 * 10^(i/20), 1e-6 * 10^((i+1)/20)).
+int bucket_index(double x) {
+  if (!(x > 1e-6)) return 0;
+  const int i = static_cast<int>(20.0 * (std::log10(x) + 6.0));
+  return std::clamp(i, 0, Histogram::kBuckets - 1);
+}
+
+double bucket_upper_bound(int i) {
+  return 1e-6 * std::pow(10.0, (i + 1) / 20.0);
+}
+
+}  // namespace
 
 void Histogram::observe(double x) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -23,16 +40,36 @@ void Histogram::observe(double x) {
   }
   ++snap_.count;
   snap_.sum += x;
+  ++buckets_[bucket_index(x)];
+}
+
+double Histogram::percentile_locked(double p) const {
+  if (snap_.count == 0) return 0.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(snap_.count))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank)
+      return std::clamp(bucket_upper_bound(i), snap_.min, snap_.max);
+  }
+  return snap_.max;
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return snap_;
+  Snapshot s = snap_;
+  s.p50 = percentile_locked(0.50);
+  s.p90 = percentile_locked(0.90);
+  s.p99 = percentile_locked(0.99);
+  return s;
 }
 
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   snap_ = Snapshot{};
+  for (std::uint64_t& b : buckets_) b = 0;
 }
 
 Registry::Entry& Registry::entry(const std::string& name, const char* kind,
@@ -91,6 +128,9 @@ std::vector<MetricRow> Registry::rows(Stability max_stability) const {
       row(name + ".sum", util::strf("%.17g", s.sum));
       row(name + ".min", util::strf("%.17g", s.min));
       row(name + ".max", util::strf("%.17g", s.max));
+      row(name + ".p50", util::strf("%.17g", s.p50));
+      row(name + ".p90", util::strf("%.17g", s.p90));
+      row(name + ".p99", util::strf("%.17g", s.p99));
     }
   }
   return out;

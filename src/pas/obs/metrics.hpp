@@ -63,11 +63,20 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Count / sum / min / max of observed samples (per-point wall times,
-/// artifact sizes). observe() takes a short histogram-local lock — it
-/// is meant for per-run events, not per-message hot paths.
+/// Count / sum / min / max of observed samples plus a fixed geometric
+/// bucket array for percentile estimates (per-point wall times,
+/// request latencies). observe() takes a short histogram-local lock —
+/// it is meant for per-run events, not per-message hot paths.
+///
+/// Buckets: 20 per decade over [1e-6, 1e3) (sub-microsecond samples
+/// land in the first bucket, anything above 1000 in the last), so a
+/// percentile estimate carries at most one bucket (~12% relative)
+/// of error — plenty for latency reporting, constant memory.
 class Histogram {
  public:
+  // 9 decades x 20 buckets per decade.
+  static constexpr int kBuckets = 180;
+
   void observe(double x);
 
   struct Snapshot {
@@ -75,6 +84,9 @@ class Histogram {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
     double mean() const {
       return count ? sum / static_cast<double>(count) : 0.0;
     }
@@ -84,12 +96,15 @@ class Histogram {
  private:
   friend class Registry;
   void reset();
+  /// Rank-based estimate from the bucket array; caller holds mutex_.
+  double percentile_locked(double p) const;
   mutable std::mutex mutex_;
   Snapshot snap_;
+  std::uint64_t buckets_[kBuckets] = {};
 };
 
-/// One exported row of the registry (histograms expand to four rows:
-/// .count/.sum/.min/.max).
+/// One exported row of the registry (histograms expand to seven rows:
+/// .count/.sum/.min/.max/.p50/.p90/.p99).
 struct MetricRow {
   std::string name;
   std::string kind;  ///< "counter", "gauge" or "histogram"

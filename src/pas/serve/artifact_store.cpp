@@ -1,0 +1,307 @@
+#include "pas/serve/artifact_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "pas/serve/protocol.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/fs.hpp"
+#include "pas/util/log.hpp"
+
+namespace pas::serve {
+namespace {
+
+/// How long a failed peer stays "down" before the next attempt. Long
+/// enough that a dead broker costs one connect timeout per window,
+/// short enough that a restarted one rejoins the fabric promptly.
+constexpr double kCooldownSeconds = 2.0;
+
+/// Per-request recv bound on a peer link. CAS answers are cache reads
+/// — milliseconds on a healthy peer; a hung one must not wedge the
+/// scheduler.
+constexpr double kPeerRecvTimeoutSeconds = 10.0;
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void split_host_port(const std::string& addr, std::string* host, int* port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+    throw std::invalid_argument("serve: peer address \"" + addr +
+                                "\" is not host:port");
+  *host = addr.substr(0, colon);
+  const std::string port_str = addr.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || p < 1 || p > 65535)
+    throw std::invalid_argument("serve: peer address \"" + addr +
+                                "\" has an invalid port");
+  *port = static_cast<int>(p);
+}
+
+bool reply_ok(const util::Json& reply) {
+  const util::Json* ok = reply.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(analysis::RunCache* cache, std::string self,
+                             std::vector<std::string> peers)
+    : cache_(cache),
+      self_(std::move(self)),
+      cas_hits_(obs::registry().counter("cas.hit")),
+      cas_misses_(obs::registry().counter("cas.miss")),
+      cas_bytes_(obs::registry().counter("cas.bytes")),
+      cas_quarantined_(obs::registry().counter("cas.quarantined")),
+      peer_failures_(obs::registry().counter("serve.peer_failures")) {
+  for (std::string& addr : peers) {
+    auto link = std::make_unique<Link>();
+    link->addr = std::move(addr);
+    split_host_port(link->addr, &link->host, &link->port);
+    links_.push_back(std::move(link));
+  }
+}
+
+const std::string& ArtifactStore::peer_addr(std::size_t i) const {
+  return links_.at(i)->addr;
+}
+
+int ArtifactStore::owner_of(const std::string& basis) const {
+  // Highest-random-weight: every broker scores (identity, basis) with
+  // the same seeded hash, so all hosts agree on the winner without
+  // talking. Ties (identical identity strings — a misconfiguration)
+  // resolve to self for safety.
+  const std::uint64_t h = util::fnv1a(basis);
+  std::uint64_t best = util::fnv1a(self_, h);
+  int owner = -1;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const std::uint64_t score = util::fnv1a(links_[i]->addr, h);
+    if (score > best) {
+      best = score;
+      owner = static_cast<int>(i);
+    }
+  }
+  return owner;
+}
+
+bool ArtifactStore::peer_alive(int peer) const {
+  if (peer < 0 || peer >= static_cast<int>(links_.size())) return false;
+  Link& link = *links_[peer];
+  std::lock_guard<std::mutex> lock(link.mutex);
+  return link.down_until <= mono_seconds();
+}
+
+std::optional<util::Json> ArtifactStore::request(int peer,
+                                                 const util::Json& body) {
+  if (peer < 0 || peer >= static_cast<int>(links_.size())) return std::nullopt;
+  Link& link = *links_[peer];
+  std::lock_guard<std::mutex> lock(link.mutex);
+  if (stopping_.load(std::memory_order_relaxed)) return std::nullopt;
+  const double now = mono_seconds();
+  if (link.down_until > now) return std::nullopt;
+  const auto fail = [&](const char* what) -> std::optional<util::Json> {
+    link.fd.reset();
+    link.reader.reset();
+    link.down_until = mono_seconds() + kCooldownSeconds;
+    peer_failures_.add();
+    util::log_warn(util::strf("serve: peer %s %s; cooling down %.0f ms",
+                              link.addr.c_str(), what,
+                              kCooldownSeconds * 1e3));
+    return std::nullopt;
+  };
+  if (!link.fd.valid()) {
+    try {
+      link.fd = connect_tcp(link.host, link.port);
+    } catch (const std::exception&) {
+      return fail("is unreachable");
+    }
+    set_recv_timeout(link.fd, kPeerRecvTimeoutSeconds);
+    link.reader = std::make_unique<LineReader>(link.fd);
+  }
+  if (!send_all(link.fd, body.dump() + "\n")) return fail("dropped a send");
+  std::string line;
+  if (!link.reader->next(&line)) return fail("dropped a reply");
+  try {
+    return util::Json::parse(line);
+  } catch (const std::exception&) {
+    return fail("sent unparseable bytes");
+  }
+}
+
+void ArtifactStore::quarantine_payload(const std::string& payload) {
+  cas_quarantined_.add();
+  if (cache_->dir().empty()) return;
+  // Same .bad suffix as the run cache's own quarantine, so the LRU
+  // eviction pass reclaims these files too.
+  const std::string path =
+      cache_->dir() + "/cas_" + cas_checksum(payload) + ".bad";
+  util::atomic_write_file(path, payload);
+}
+
+std::optional<analysis::RunRecord> ArtifactStore::fetch_record(
+    int peer, const std::string& key) {
+  util::Json body = util::Json::object();
+  body.set("op", util::Json("cas.get"));
+  body.set("kind", util::Json("record"));
+  body.set("key", util::Json(key));
+  const std::optional<util::Json> reply = request(peer, body);
+  if (!reply || !reply_ok(*reply)) {
+    cas_misses_.add();
+    return std::nullopt;
+  }
+  const util::Json* hit = reply->find("hit");
+  if (hit == nullptr || !hit->is_bool() || !hit->as_bool()) {
+    cas_misses_.add();
+    return std::nullopt;
+  }
+  std::string payload;
+  bool verified = false;
+  if (!decode_cas_payload(*reply, &payload, &verified)) {
+    cas_misses_.add();
+    return std::nullopt;
+  }
+  cas_bytes_.add(payload.size());
+  analysis::RunRecord rec;
+  if (verified) verified = cas_decode_record(payload, &rec);
+  if (!verified) {
+    quarantine_payload(payload);
+    cas_misses_.add();
+    return std::nullopt;
+  }
+  // Mirror locally: the record lands on disk under this broker's own
+  // --cache-cap eviction, and the next lookup never crosses the wire.
+  // (store() drops failed records by design — a deterministic failure
+  // record still answers this submission, it just stays remote.)
+  cache_->store(key, rec);
+  cas_hits_.add();
+  return rec;
+}
+
+bool ArtifactStore::fetch_ledger(int peer, const std::string& key) {
+  util::Json body = util::Json::object();
+  body.set("op", util::Json("cas.get"));
+  body.set("kind", util::Json("ledger"));
+  body.set("key", util::Json(key));
+  const std::optional<util::Json> reply = request(peer, body);
+  if (!reply || !reply_ok(*reply)) {
+    cas_misses_.add();
+    return false;
+  }
+  const util::Json* hit = reply->find("hit");
+  if (hit == nullptr || !hit->is_bool() || !hit->as_bool()) {
+    cas_misses_.add();
+    return false;
+  }
+  std::string payload;
+  bool verified = false;
+  if (!decode_cas_payload(*reply, &payload, &verified)) {
+    cas_misses_.add();
+    return false;
+  }
+  cas_bytes_.add(payload.size());
+  sim::WorkLedger ledger;
+  if (verified) {
+    std::istringstream in(payload);
+    verified = analysis::RunCache::decode_ledger(in, &ledger);
+  }
+  if (!verified) {
+    quarantine_payload(payload);
+    cas_misses_.add();
+    return false;
+  }
+  cache_->store_ledger(key, std::move(ledger));
+  cas_hits_.add();
+  return true;
+}
+
+bool ArtifactStore::push_record(int peer, const std::string& key,
+                                const analysis::RunRecord& record) {
+  const std::string payload = cas_encode_record(record);
+  util::Json body = util::Json::object();
+  body.set("op", util::Json("cas.put"));
+  body.set("kind", util::Json("record"));
+  body.set("key", util::Json(key));
+  body.set("payload", util::Json(payload));
+  body.set("sum", util::Json(cas_checksum(payload)));
+  const std::optional<util::Json> reply = request(peer, body);
+  if (!reply || !reply_ok(*reply)) return false;
+  cas_bytes_.add(payload.size());
+  return true;
+}
+
+std::optional<util::Json> ArtifactStore::steal_from(int peer) {
+  util::Json body = util::Json::object();
+  body.set("op", util::Json("steal"));
+  const std::optional<util::Json> reply = request(peer, body);
+  if (!reply || !reply_ok(*reply)) return std::nullopt;
+  const util::Json* column = reply->find("column");
+  if (column == nullptr || !column->is_object()) return std::nullopt;
+  return *column;
+}
+
+void ArtifactStore::mark_down(int peer, const char* what) {
+  Link& link = *links_[peer];
+  {
+    std::lock_guard<std::mutex> lock(link.mutex);
+    link.down_until = mono_seconds() + kCooldownSeconds;
+  }
+  peer_failures_.add();
+  util::log_warn(util::strf("serve: peer %s %s; cooling down %.0f ms",
+                            link.addr.c_str(), what, kCooldownSeconds * 1e3));
+}
+
+bool ArtifactStore::forward_sweep(int peer, const analysis::SweepSpec& spec,
+                                  double recv_timeout_s, SweepReply* reply) {
+  if (peer < 0 || peer >= static_cast<int>(links_.size())) return false;
+  if (stopping_.load(std::memory_order_relaxed) || !peer_alive(peer))
+    return false;
+  std::shared_ptr<Client> client;
+  try {
+    ClientOptions copts;
+    copts.host = links_[peer]->host;
+    copts.tcp_port = links_[peer]->port;
+    copts.recv_timeout_s = recv_timeout_s;
+    client = std::make_shared<Client>(copts);
+  } catch (const std::exception&) {
+    mark_down(peer, "refused a forwarded sweep");
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(forwards_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    forwards_.push_back(client);
+  }
+  bool ok = false;
+  try {
+    *reply = client->sweep(spec, /*forwarded=*/true);
+    ok = true;
+  } catch (const std::exception&) {
+    mark_down(peer, "dropped a forwarded sweep");
+  }
+  {
+    std::lock_guard<std::mutex> lock(forwards_mutex_);
+    forwards_.erase(std::remove(forwards_.begin(), forwards_.end(), client),
+                    forwards_.end());
+  }
+  return ok;
+}
+
+void ArtifactStore::shutdown_links() {
+  stopping_.store(true, std::memory_order_relaxed);
+  // shutdown (not close) from outside the link mutex: a thread parked
+  // in recv on the link wakes with an error, releases the mutex, and
+  // its fail path closes the fd.
+  for (const std::unique_ptr<Link>& link : links_) link->fd.shutdown_both();
+  std::lock_guard<std::mutex> lock(forwards_mutex_);
+  for (const std::shared_ptr<Client>& client : forwards_) client->abort();
+}
+
+}  // namespace pas::serve

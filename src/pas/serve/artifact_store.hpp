@@ -1,0 +1,148 @@
+// ArtifactStore — the networked content-addressed tier of the serve
+// fabric (DESIGN.md §15).
+//
+// RunCache keys are content hashes: they spell out every parameter
+// that shapes a record, so a record fetched from any host is the
+// record — location-independent, and verifiable byte-for-byte. The
+// ArtifactStore exploits that to make a set of cooperating brokers
+// share one logical cache:
+//
+//   * read-through — a key this broker has never resolved is asked of
+//     a peer with `cas.get`; the reply payload is checksum-verified
+//     (fnv1a over the canonical encoding, the same checksum the
+//     on-disk entries carry) before it is trusted,
+//   * write-through mirroring — every verified fetch is stored into
+//     the local RunCache, so it lands on disk under the broker's own
+//     `--cache-cap` LRU eviction and the next lookup is local,
+//   * quarantine — a payload whose checksum does not match is written
+//     to `<cache_dir>/cas_<sum>.bad` (picked up by the existing `.bad`
+//     eviction sweep), counted in `cas.quarantined`, and treated as a
+//     miss: corruption can cross the wire but never enter a cache,
+//   * rendezvous ownership — owner_of() ranks self + every configured
+//     peer by fnv1a(identity, fnv1a(basis)) and returns the winner, so
+//     all brokers whose peer sets agree assign each (kernel, N,
+//     comm-DVFS) column to the same host with no coordination,
+//   * failure cooldown — a peer that fails a request is marked down
+//     for a short window; fabric traffic degrades to local execution
+//     instead of hammering a dead host (the broker re-runs reclaimed
+//     columns under its own fail-soft supervisor).
+//
+// One persistent connection per peer, guarded by a per-link mutex
+// (requests on a link are strictly request/response). recv timeouts
+// bound every wait, and shutdown_links() unblocks parked threads on
+// stop. All metrics references are resolved at construction — the
+// broker scheduler forks, and nothing here may take the registry lock
+// afterwards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pas/analysis/run_cache.hpp"
+#include "pas/analysis/sweep_spec.hpp"
+#include "pas/obs/metrics.hpp"
+#include "pas/serve/client.hpp"
+#include "pas/serve/socket.hpp"
+#include "pas/util/json.hpp"
+
+namespace pas::serve {
+
+class ArtifactStore {
+ public:
+  /// `self` is this broker's advertised identity (host:port, spelled
+  /// exactly as the peers spell it in their --peer flags — rendezvous
+  /// hashes the string); `peers` are the other brokers' identities.
+  /// `cache` outlives the store. Throws std::invalid_argument on an
+  /// address that is not host:port.
+  ArtifactStore(analysis::RunCache* cache, std::string self,
+                std::vector<std::string> peers);
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  std::size_t peer_count() const { return links_.size(); }
+  const std::string& peer_addr(std::size_t i) const;
+  const std::string& self() const { return self_; }
+
+  /// Rendezvous (highest-random-weight) owner of `basis` among self
+  /// and every configured peer: -1 = this broker, otherwise the peer
+  /// index. Purely combinatorial — liveness is the caller's problem
+  /// (a dead owner's work falls back to local execution).
+  int owner_of(const std::string& basis) const;
+
+  /// False while the peer is inside its failure cooldown.
+  bool peer_alive(int peer) const;
+
+  /// cas.get of a RunRecord: verified, mirrored into the local cache,
+  /// counted (cas.hit/cas.miss/cas.bytes). nullopt on miss, link
+  /// failure, or a quarantined (checksum-mismatched) payload.
+  std::optional<analysis::RunRecord> fetch_record(int peer,
+                                                  const std::string& key);
+
+  /// cas.get of a charged-work ledger, mirrored via store_ledger so
+  /// the next column worker re-prices locally. True on a verified hit.
+  bool fetch_ledger(int peer, const std::string& key);
+
+  /// cas.put of a completed record to `peer` (work-stealing push-back).
+  /// True when the peer acknowledged the import.
+  bool push_record(int peer, const std::string& key,
+                   const analysis::RunRecord& record);
+
+  /// {"op":"steal"} against `peer`: the stolen column descriptor, or
+  /// nullopt when the peer had nothing to give (or is down).
+  std::optional<util::Json> steal_from(int peer);
+
+  /// Forwards a document-only sweep to `peer` on a dedicated
+  /// connection (the shared link stays strictly request/response) and
+  /// blocks for the full reply, every read bounded by
+  /// `recv_timeout_s`. The request is marked forwarded, so the peer
+  /// executes locally instead of re-entering the fabric. False on any
+  /// connect/protocol failure (the peer enters cooldown).
+  bool forward_sweep(int peer, const analysis::SweepSpec& spec,
+                     double recv_timeout_s, SweepReply* reply);
+
+  /// Stop path: closes every link and unblocks threads parked in a
+  /// peer recv. The store refuses to reconnect afterwards.
+  void shutdown_links();
+
+ private:
+  struct Link {
+    std::string addr;
+    std::string host;
+    int port = 0;
+    std::mutex mutex;
+    Fd fd;
+    std::unique_ptr<LineReader> reader;
+    /// Monotonic seconds until which the peer counts as down.
+    double down_until = 0.0;
+  };
+
+  /// One request/response round trip on the peer's link, connecting
+  /// lazily. nullopt (plus cooldown) on connect/send/recv/parse
+  /// failure or when the peer is cooling down.
+  std::optional<util::Json> request(int peer, const util::Json& body);
+  void quarantine_payload(const std::string& payload);
+  /// Starts the peer's failure cooldown and counts the failure.
+  void mark_down(int peer, const char* what);
+
+  analysis::RunCache* cache_;
+  std::string self_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::atomic<bool> stopping_{false};
+  /// In-flight forwarded sweeps, aborted by shutdown_links().
+  std::mutex forwards_mutex_;
+  std::vector<std::shared_ptr<Client>> forwards_;
+
+  obs::Counter& cas_hits_;
+  obs::Counter& cas_misses_;
+  obs::Counter& cas_bytes_;
+  obs::Counter& cas_quarantined_;
+  obs::Counter& peer_failures_;
+};
+
+}  // namespace pas::serve

@@ -1,20 +1,44 @@
 #include "pas/serve/client.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "pas/fault/fault.hpp"
 #include "pas/serve/protocol.hpp"
 
 namespace pas::serve {
 namespace {
 
-Fd connect(const ClientOptions& opts) {
+Fd connect_once(const ClientOptions& opts) {
   if (!opts.unix_socket.empty()) return connect_unix(opts.unix_socket);
   if (opts.tcp_port >= 0) return connect_tcp(opts.host, opts.tcp_port);
   throw std::runtime_error(
       "serve: ClientOptions needs a unix socket path or a tcp port");
+}
+
+/// The errnos worth retrying: the server is (re)starting or shed the
+/// backlog. ENOENT covers a unix socket whose file is not bound yet.
+bool transient_connect_error(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ENOENT;
+}
+
+Fd connect(const ClientOptions& opts) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Fd fd = connect_once(opts);
+      if (opts.recv_timeout_s > 0.0) set_recv_timeout(fd, opts.recv_timeout_s);
+      return fd;
+    } catch (const ConnectError& e) {
+      if (attempt >= opts.connect_retries ||
+          !transient_connect_error(e.saved_errno))
+        throw;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        fault::backoff_s(opts.connect_backoff_s, attempt)));
+  }
 }
 
 [[noreturn]] void raise_reply_error(const util::Json& reply) {
@@ -83,10 +107,11 @@ bool Client::shutdown_server() {
   return ok != nullptr && ok->is_bool() && ok->as_bool();
 }
 
-SweepReply Client::sweep(const analysis::SweepSpec& spec) {
+SweepReply Client::sweep(const analysis::SweepSpec& spec, bool forwarded) {
   util::Json body = util::Json::object();
   body.set("op", util::Json("sweep"));
   body.set("spec", spec.to_json());
+  if (forwarded) body.set("forwarded", util::Json(true));
   const util::Json header = request(body);
   const util::Json* ok = header.find("ok");
   if (ok == nullptr || !ok->is_bool() || !ok->as_bool())

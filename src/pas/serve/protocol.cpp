@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "pas/analysis/run_cache.hpp"
+#include "pas/util/format.hpp"
+#include "pas/util/fs.hpp"
 
 namespace pas::serve {
 
@@ -31,7 +33,7 @@ std::string encode_point_line(std::size_t index,
         util::Json(std::string(analysis::run_status_name(record.status))));
   j.set("from_cache", util::Json(from_cache));
   j.set("seconds", util::Json(record.seconds));
-  j.set("record", util::Json(analysis::RunCache::encode_record(record)));
+  j.set("record", util::Json(cas_encode_record(record)));
   return j.dump() + "\n";
 }
 
@@ -44,12 +46,64 @@ bool decode_point_line(const util::Json& line, PointLine* out) {
     return false;
   if (from_cache == nullptr || !from_cache->is_bool()) return false;
   if (record == nullptr || !record->is_string()) return false;
-  std::istringstream in(record->as_string());
   analysis::RunRecord rec;
-  if (!analysis::RunCache::decode_record(in, &rec)) return false;
+  if (!cas_decode_record(record->as_string(), &rec)) return false;
   out->index = static_cast<std::size_t>(point->as_number());
   out->from_cache = from_cache->as_bool();
   out->record = std::move(rec);
+  return true;
+}
+
+std::string cas_checksum(const std::string& payload) {
+  return util::strf("%016llx", static_cast<unsigned long long>(
+                                   util::fnv1a(payload)));
+}
+
+bool decode_cas_payload(const util::Json& msg, std::string* payload,
+                        bool* verified) {
+  *verified = false;
+  if (!msg.is_object()) return false;
+  const util::Json* p = msg.find("payload");
+  const util::Json* sum = msg.find("sum");
+  if (p == nullptr || !p->is_string()) return false;
+  if (sum == nullptr || !sum->is_string()) return false;
+  *payload = p->as_string();
+  *verified = sum->as_string() == cas_checksum(*payload);
+  return true;
+}
+
+std::string cas_encode_record(const analysis::RunRecord& record) {
+  std::ostringstream out;
+  out << "status " << static_cast<int>(record.status) << '\n';
+  // Length-prefixed raw bytes, exactly like the journal frame: the
+  // error text of a failed run is free-form.
+  out << "error " << record.error.size() << '\n' << record.error << '\n';
+  out << analysis::RunCache::encode_record(record);
+  return out.str();
+}
+
+bool cas_decode_record(const std::string& payload,
+                       analysis::RunRecord* record) {
+  std::istringstream in(payload);
+  std::string word;
+  long status = 0;
+  if (!(in >> word >> status) || word != "status" || status < 0 ||
+      status > static_cast<long>(analysis::RunStatus::kCrashed))
+    return false;
+  if (in.get() != '\n') return false;
+  std::size_t err_len = 0;
+  if (!(in >> word >> err_len) || word != "error" ||
+      err_len > payload.size())
+    return false;
+  if (in.get() != '\n') return false;
+  std::string error(err_len, '\0');
+  if (err_len > 0 &&
+      !in.read(error.data(), static_cast<std::streamsize>(err_len)))
+    return false;
+  if (in.get() != '\n') return false;
+  if (!analysis::RunCache::decode_record(in, record)) return false;
+  record->status = static_cast<analysis::RunStatus>(status);
+  record->error = std::move(error);
   return true;
 }
 

@@ -33,6 +33,14 @@ struct ServerOptions {
   /// When set, the full metrics registry (volatile rows included —
   /// serving traffic is wall-clock shaped) is written here on stop().
   std::string metrics_csv;
+  /// Other brokers' advertised identities (host:port). Non-empty
+  /// joins the shard fabric (DESIGN.md §15) — requires the TCP
+  /// listener (peers dial back on it).
+  std::vector<std::string> peers;
+  /// The identity this broker is reachable at, spelled exactly as the
+  /// peers spell it in their --peer flags. Empty derives
+  /// 127.0.0.1:<bound tcp port> — right for single-host fabrics.
+  std::string advertise;
 };
 
 class Server {
@@ -88,6 +96,8 @@ class Server {
   obs::Counter& requests_;
   obs::Counter& connections_;
   obs::Counter& protocol_errors_;
+  obs::Counter& cas_served_;
+  obs::Counter& cas_rejected_;
   obs::Histogram& request_seconds_;
 };
 

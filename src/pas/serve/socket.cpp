@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <stdexcept>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -111,8 +112,11 @@ Fd connect_unix(const std::string& path) {
   Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) raise_errno("socket(AF_UNIX)");
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0)
-    raise_errno(util::strf("connect(%s)", path.c_str()));
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    throw ConnectError(
+        util::strf("connect(%s): %s", path.c_str(), std::strerror(err)), err);
+  }
   return fd;
 }
 
@@ -121,11 +125,24 @@ Fd connect_tcp(const std::string& host, int port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) raise_errno("socket(AF_INET)");
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0)
-    raise_errno(util::strf("connect(%s:%d)", host.c_str(), port));
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    throw ConnectError(util::strf("connect(%s:%d): %s", host.c_str(), port,
+                                  std::strerror(err)),
+                       err);
+  }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+void set_recv_timeout(const Fd& fd, double timeout_s) {
+  timeval tv{};
+  if (timeout_s > 0.0) {
+    tv.tv_sec = static_cast<time_t>(timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_s - tv.tv_sec) * 1e6);
+  }
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 Fd accept_with_timeout(const Fd& listener, double timeout_s) {

@@ -9,9 +9,21 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 
 namespace pas::serve {
+
+/// Thrown by the connect_* factories. Carries the failing connect(2)
+/// errno so callers can tell a cold-start race (ECONNREFUSED — the
+/// listener is not up yet; ECONNRESET — it dropped the backlog while
+/// starting) from a permanent failure, and retry only the former.
+class ConnectError : public std::runtime_error {
+ public:
+  ConnectError(const std::string& what, int err)
+      : std::runtime_error(what), saved_errno(err) {}
+  int saved_errno = 0;
+};
 
 /// Hard cap on one protocol line. A full-grid sweep response line
 /// carries one encoded RunRecord (~1 KiB); 8 MiB is three orders of
@@ -54,8 +66,15 @@ Fd listen_unix(const std::string& path);
 /// the actually bound port is stored in *bound_port.
 Fd listen_tcp(int port, int* bound_port);
 
+// The connect factories throw ConnectError (errno preserved) when the
+// connect(2) itself fails.
 Fd connect_unix(const std::string& path);
 Fd connect_tcp(const std::string& host, int port);
+
+/// SO_RCVTIMEO: a recv() parked on this fd returns after `timeout_s`
+/// instead of blocking forever. Peer links use this so a hung broker
+/// costs a bounded wait, never a wedged scheduler. <= 0 clears it.
+void set_recv_timeout(const Fd& fd, double timeout_s);
 
 /// Waits up to `timeout_s` for a connection; returns an invalid Fd on
 /// timeout (the accept loop's stop-flag poll point).

@@ -9,6 +9,17 @@ namespace pas::util {
 
 Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
+  // A repeated option accumulates comma-joined, so list-valued flags
+  // (--peer host:port, once per peer) compose with get_list(); for
+  // scalar getters the joined value simply fails to parse past the
+  // first element, which repeated scalar flags never relied on.
+  const auto put = [this](const std::string& name, const std::string& value) {
+    auto [it, inserted] = options_.try_emplace(name, value);
+    if (!inserted && !value.empty()) {
+      if (!it->second.empty()) it->second += ',';
+      it->second += value;
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -18,15 +29,15 @@ Cli::Cli(int argc, const char* const* argv) {
     arg.erase(0, 2);
     const std::size_t eq = arg.find('=');
     if (eq != std::string::npos) {
-      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      put(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
     // "--name value" when the next token is not itself an option;
     // otherwise a boolean flag.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      options_[arg] = argv[++i];
+      put(arg, argv[++i]);
     } else {
-      options_[arg] = "";
+      put(arg, "");
     }
   }
 }
@@ -83,6 +94,21 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
       it->second == "yes" || it->second == "on")
     return true;
   return false;
+}
+
+std::vector<std::string> Cli::get_list(const std::string& name) const {
+  std::vector<std::string> out;
+  auto it = options_.find(name);
+  if (it == options_.end()) return out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > pos) out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
 }
 
 std::vector<long> Cli::get_int_list(const std::string& name,

@@ -66,7 +66,11 @@ std::string dir_of(const std::string& path) {
 }  // namespace
 
 std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 14695981039346656037ULL;
+  return fnv1a(s, 14695981039346656037ULL);
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t seed) {
+  std::uint64_t h = seed;
   for (const char c : s) {
     h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
     h *= 1099511628211ULL;

@@ -32,6 +32,12 @@ namespace pas::util {
 /// scripts/check_journal_schema.py, so do not change the constants.
 std::uint64_t fnv1a(std::string_view s);
 
+/// FNV-1a continued from an arbitrary starting hash. Folding a second
+/// string into an existing digest gives the combined hash the
+/// rendezvous assignment in pas::serve uses to score (column, broker)
+/// pairs without concatenating strings on the hot path.
+std::uint64_t fnv1a(std::string_view s, std::uint64_t seed);
+
 /// Writes `content` to `path` atomically and durably: a private temp
 /// file in the same directory, fsync, rename over `path`, fsync of the
 /// directory. Returns 0 or the errno of the failing step (the temp

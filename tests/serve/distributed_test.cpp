@@ -1,0 +1,328 @@
+// Multi-broker fabric tests (DESIGN.md §15): CAS read-through with
+// local mirroring, rendezvous-sharded two-broker sweeps that stay
+// byte-identical to the offline oracle, work-stealing from a frozen
+// victim, reclaim of a column lent to a thief that never answers, and
+// the dead-peer fallback. Forks worker processes on purpose — excluded
+// from TSan with the rest of the serve binary.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pas/analysis/experiment.hpp"
+#include "pas/analysis/run_cache.hpp"
+#include "pas/analysis/sweep_executor.hpp"
+#include "pas/obs/metrics.hpp"
+#include "pas/serve/artifact_store.hpp"
+#include "pas/serve/client.hpp"
+#include "pas/serve/server.hpp"
+#include "pas/serve/socket.hpp"
+#include "pas/util/json.hpp"
+
+namespace pas::serve {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pasim_dist_test/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+analysis::SweepSpec small_spec(const std::string& kernel = "EP") {
+  analysis::SweepSpec spec;
+  spec.kernel = kernel;
+  spec.scale = "small";
+  spec.nodes = {1, 2};
+  spec.freqs_mhz = {600.0, 1000.0};
+  return spec;
+}
+
+std::vector<analysis::RunRecord> offline_records(
+    const analysis::SweepSpec& document) {
+  analysis::SweepSpec spec = document;
+  spec.options.jobs = 1;
+  spec.options.cache_dir.clear();
+  spec.options.journal_path.clear();
+  spec.options.resume = false;
+  analysis::SweepExecutor exec(spec);
+  return exec.run().records;
+}
+
+void expect_byte_identical(const std::vector<analysis::RunRecord>& got,
+                           const std::vector<analysis::RunRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(analysis::RunCache::encode_record(got[i]),
+              analysis::RunCache::encode_record(want[i]))
+        << "record " << i;
+  }
+}
+
+/// The grid's cache keys, exactly as the broker computes them
+/// (nodes-major, frequency-minor — record order).
+std::vector<std::string> grid_keys(const analysis::SweepSpec& spec) {
+  const std::unique_ptr<npb::Kernel> kernel = analysis::make_spec_kernel(spec);
+  sim::ClusterConfig cluster =
+      spec.cluster ? *spec.cluster : spec.resolved_cluster();
+  if (spec.fault) cluster.fault = *spec.fault;
+  std::vector<std::string> keys;
+  for (const int n : spec.resolved_nodes())
+    for (const double f : spec.resolved_freqs())
+      keys.push_back(analysis::RunCache::key(*kernel, cluster, spec.power, n,
+                                             f, spec.comm_dvfs_mhz));
+  return keys;
+}
+
+/// The per-node shard bases (frequency-independent ledger keys).
+std::vector<std::string> grid_bases(const analysis::SweepSpec& spec) {
+  const std::unique_ptr<npb::Kernel> kernel = analysis::make_spec_kernel(spec);
+  sim::ClusterConfig cluster =
+      spec.cluster ? *spec.cluster : spec.resolved_cluster();
+  if (spec.fault) cluster.fault = *spec.fault;
+  std::vector<std::string> bases;
+  for (const int n : spec.resolved_nodes())
+    bases.push_back(analysis::RunCache::ledger_key(*kernel, cluster, n,
+                                                   spec.comm_dvfs_mhz));
+  return bases;
+}
+
+std::string addr_of(const Server& server) {
+  return "127.0.0.1:" + std::to_string(server.tcp_port());
+}
+
+ServerOptions tcp_server_opts(const std::string& dir) {
+  ServerOptions opts;
+  opts.unix_socket.clear();
+  opts.tcp_port = 0;
+  opts.broker.cache_dir = dir + "/cache";
+  opts.broker.workers = 2;
+  return opts;
+}
+
+Client tcp_client(const Server& server) {
+  ClientOptions copts;
+  copts.tcp_port = server.tcp_port();
+  EXPECT_TRUE(Client::wait_ready(copts, 10.0));
+  return Client(copts);
+}
+
+std::uint64_t counter(const char* name) {
+  return obs::registry().counter(name).value();
+}
+
+TEST(ServeFabric, CasFetchVerifiesMirrorsAndMissesCleanly) {
+  const std::string dir = temp_dir("cas_fetch");
+  Server server(tcp_server_opts(dir));
+  const analysis::SweepSpec spec = small_spec();
+  Client client = tcp_client(server);
+  const SweepReply served = client.sweep(spec);
+  ASSERT_EQ(served.records.size(), 4u);
+
+  // A second host's view: an empty cache fronted by an ArtifactStore
+  // whose only peer is the populated server.
+  analysis::RunCache mirror(dir + "/mirror");
+  ArtifactStore store(&mirror, "127.0.0.1:1", {addr_of(server)});
+  ASSERT_EQ(store.peer_count(), 1u);
+
+  const std::uint64_t hits0 = counter("cas.hit");
+  const std::vector<std::string> keys = grid_keys(spec);
+  const std::vector<analysis::RunRecord> offline = offline_records(spec);
+  ASSERT_EQ(keys.size(), offline.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::optional<analysis::RunRecord> rec =
+        store.fetch_record(0, keys[i]);
+    ASSERT_TRUE(rec.has_value()) << "key " << i;
+    EXPECT_EQ(analysis::RunCache::encode_record(*rec),
+              analysis::RunCache::encode_record(offline[i]));
+    // Write-through mirroring: the next lookup never leaves this host.
+    EXPECT_TRUE(mirror.lookup(keys[i]).has_value());
+  }
+  EXPECT_EQ(counter("cas.hit") - hits0, keys.size());
+
+  const std::uint64_t misses0 = counter("cas.miss");
+  EXPECT_FALSE(store.fetch_record(0, "no-such-key").has_value());
+  EXPECT_EQ(counter("cas.miss") - misses0, 1u);
+  EXPECT_TRUE(store.peer_alive(0));  // a miss is an answer, not a failure
+
+  store.shutdown_links();
+  server.stop();
+}
+
+TEST(ServeFabric, TwoBrokerSweepIsByteIdenticalAndReadsThrough) {
+  const std::string dir = temp_dir("two_broker");
+  Server a(tcp_server_opts(dir + "/a"));
+  Server b(tcp_server_opts(dir + "/b"));
+  // Symmetric peering, wired after both listeners know their ports.
+  a.broker().configure_peering(addr_of(a), {addr_of(b)});
+  b.broker().configure_peering(addr_of(b), {addr_of(a)});
+
+  analysis::SweepSpec spec = small_spec();
+  spec.nodes = {1, 2, 3, 4};  // 4 columns, 8 points — room to shard
+  const std::vector<analysis::RunRecord> offline = offline_records(spec);
+
+  // Ownership is decided by rendezvous over the advertised identities
+  // (ephemeral ports — data, not assumption). Count what A must ship.
+  std::size_t remote_columns = 0;
+  for (const std::string& basis : grid_bases(spec))
+    if (a.broker().artifact_store()->owner_of(basis) >= 0) ++remote_columns;
+
+  const std::uint64_t forwarded0 = counter("serve.forwarded_columns");
+  Client ca = tcp_client(a);
+  const SweepReply cold = ca.sweep(spec);
+  ASSERT_EQ(cold.records.size(), 8u);
+  for (const analysis::RunRecord& rec : cold.records)
+    EXPECT_FALSE(rec.failed()) << rec.error;
+  expect_byte_identical(cold.records, offline);
+  EXPECT_EQ(counter("serve.forwarded_columns") - forwarded0, remote_columns);
+
+  // The same sweep against B settles without executing anything: B
+  // journaled the columns it ran for A, and CAS read-through pulls the
+  // rest from A's journal before any column is enqueued.
+  const std::uint64_t cas_hits0 = counter("cas.hit");
+  Client cb = tcp_client(b);
+  const SweepReply warm = cb.sweep(spec);
+  ASSERT_EQ(warm.records.size(), 8u);
+  EXPECT_EQ(warm.cache_hits, 8u);
+  for (char hit : warm.from_cache) EXPECT_TRUE(hit);
+  expect_byte_identical(warm.records, offline);
+  // B executed `remote_columns` of the 4 columns itself; the other
+  // (4 - remote_columns) columns' records arrived over cas.get now.
+  EXPECT_EQ(counter("cas.hit") - cas_hits0, (4u - remote_columns) * 2u);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(ServeFabric, IdleThiefDrainsAFrozenVictim) {
+  const std::string dir = temp_dir("steal");
+  Server victim(tcp_server_opts(dir + "/victim"));
+  // The victim never dispatches locally: anything that completes was
+  // stolen, executed by the thief, and pushed back over cas.put.
+  victim.broker().set_hold(true);
+  Server thief(tcp_server_opts(dir + "/thief"));
+  // One-sided peering: only the thief knows about the victim, so every
+  // steal/give counter below is attributable to one broker each.
+  thief.broker().configure_peering(addr_of(thief), {addr_of(victim)});
+
+  const analysis::SweepSpec spec = small_spec();
+  const std::uint64_t stolen0 = counter("serve.steal_columns");
+  const std::uint64_t given0 = counter("serve.steal_given");
+
+  Client client = tcp_client(victim);
+  const SweepReply reply = client.sweep(spec);
+  ASSERT_EQ(reply.records.size(), 4u);
+  for (const analysis::RunRecord& rec : reply.records)
+    EXPECT_FALSE(rec.failed()) << rec.error;
+  expect_byte_identical(reply.records, offline_records(spec));
+
+  // Both node columns crossed the fabric.
+  EXPECT_EQ(counter("serve.steal_columns") - stolen0, 2u);
+  EXPECT_EQ(counter("serve.steal_given") - given0, 2u);
+  // The push-backs landed in the victim's own journal.
+  EXPECT_GE(victim.broker().journal_entries(), 4u);
+
+  victim.broker().set_hold(false);
+  thief.stop();
+  victim.stop();
+}
+
+TEST(ServeFabric, LentColumnIsReclaimedFromASilentThief) {
+  const std::string dir = temp_dir("reclaim");
+  ServerOptions opts = tcp_server_opts(dir);
+  opts.broker.steal_timeout_s = 0.5;
+  Server server(opts);
+  server.broker().set_hold(true);
+
+  analysis::SweepSpec spec = small_spec();
+  spec.nodes = {2};  // one column
+  const std::uint64_t reclaimed0 = counter("serve.steal_reclaimed");
+
+  SweepReply reply;
+  std::thread submit([&] {
+    Client client = tcp_client(server);
+    reply = client.sweep(spec);
+  });
+
+  // Pose as a thief over the raw protocol: take the column and vanish.
+  Fd raw = connect_tcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(raw.valid());
+  LineReader reader(raw);
+  bool took = false;
+  for (int i = 0; i < 200 && !took; ++i) {
+    ASSERT_TRUE(send_all(raw, "{\"op\":\"steal\"}\n"));
+    std::string line;
+    ASSERT_TRUE(reader.next(&line));
+    const util::Json parsed = util::Json::parse(line);
+    took = !parsed.find("column")->is_null();
+    if (!took) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(took);
+
+  // Past the lent deadline the broker takes the column back.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter("serve.steal_reclaimed") == reclaimed0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GT(counter("serve.steal_reclaimed"), reclaimed0);
+
+  // ... and runs it itself once dispatch thaws, bit-exact as ever.
+  server.broker().set_hold(false);
+  submit.join();
+  ASSERT_EQ(reply.records.size(), 2u);
+  expect_byte_identical(reply.records, offline_records(spec));
+  server.stop();
+}
+
+TEST(ServeFabric, DeadPeerCostsLatencyNeverAnAnswer) {
+  const std::string dir = temp_dir("dead_peer");
+  analysis::SweepSpec spec = small_spec();
+  spec.nodes = {1, 2, 3, 4};
+  spec.freqs_mhz = {600.0};
+
+  // A closed ephemeral port: bind, learn the number, release it. Then
+  // keep drawing candidates until rendezvous assigns the dead peer at
+  // least one column (identity strings hash differently per port, so a
+  // couple of draws always suffice).
+  const std::string self = "127.0.0.1:65001";
+  std::string dead;
+  analysis::RunCache probe_cache;
+  for (int i = 0; i < 32 && dead.empty(); ++i) {
+    int port = -1;
+    { const Fd closed = listen_tcp(0, &port); }
+    const std::string candidate = "127.0.0.1:" + std::to_string(port);
+    ArtifactStore probe(&probe_cache, self, {candidate});
+    for (const std::string& basis : grid_bases(spec))
+      if (probe.owner_of(basis) == 0) {
+        dead = candidate;
+        break;
+      }
+  }
+  ASSERT_FALSE(dead.empty());
+
+  ServerOptions opts = tcp_server_opts(dir);
+  opts.peers = {dead};
+  opts.advertise = self;  // the hashed identity, not the bound port
+  Server server(opts);
+  ASSERT_NE(server.broker().artifact_store(), nullptr);
+
+  const std::uint64_t failures0 = counter("serve.peer_failures");
+  Client client = tcp_client(server);
+  const SweepReply reply = client.sweep(spec);
+  ASSERT_EQ(reply.records.size(), 4u);
+  for (const analysis::RunRecord& rec : reply.records)
+    EXPECT_FALSE(rec.failed()) << rec.error;
+  expect_byte_identical(reply.records, offline_records(spec));
+  // The fabric noticed the dead owner (read-through and/or forward
+  // attempts failed) and fell back to local execution.
+  EXPECT_GT(counter("serve.peer_failures"), failures0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pas::serve

@@ -5,8 +5,12 @@
 //                        [--spec FILE] [--kernel K] [--small]
 //                        [--nodes LIST] [--freqs LIST] [--comm-dvfs MHZ]
 //                        [--faults RATE] [--fault-seed N] [--retries N]
-//                        [--out DIR] [--wait S]
+//                        [--out DIR] [--wait S] [--connect-retries N]
 //                        [--ping | --stats | --shutdown | --print-spec]
+//
+// --connect-retries N retries a refused/reset connect with bounded
+// exponential backoff before giving up — the polite way to race a
+// broker that is still binding its sockets.
 //
 // The spec is built exactly like every bench builds one: `--spec FILE`
 // first, flags override (SweepSpec::from_cli). --print-spec dumps the
@@ -68,8 +72,8 @@ int write_artifacts(const std::string& dir, const analysis::SweepSpec& spec,
 int main(int argc, char** argv) {
   using namespace pas;
   const util::Cli cli(argc, argv);
-  cli.check_usage({"socket", "tcp", "host", "wait", "ping", "stats",
-                   "shutdown", "print-spec", "out",
+  cli.check_usage({"socket", "tcp", "host", "wait", "connect-retries", "ping",
+                   "stats", "shutdown", "print-spec", "out",
                    // SweepSpec::from_cli surface:
                    "spec", "small", "kernel", "nodes", "freqs", "comm-dvfs",
                    "faults", "fault-seed", "jobs", "cache", "no-cache",
@@ -89,6 +93,8 @@ int main(int argc, char** argv) {
     opts.tcp_port = cli.has("tcp") ? static_cast<int>(cli.get_int("tcp", -1))
                                    : -1;
     opts.host = cli.get("host", "127.0.0.1");
+    opts.connect_retries =
+        static_cast<int>(cli.get_int("connect-retries", 0));
     if (const double wait_s = cli.get_double("wait", 0.0); wait_s > 0.0) {
       if (!serve::Client::wait_ready(opts, wait_s)) {
         std::fprintf(stderr, "pasim_client: server not ready after %.1fs\n",

@@ -13,10 +13,17 @@
 //                       [--worker-retries N] [--inline]
 //                       [--journal FILE] [--cache-cap MB]
 //                       [--metrics-csv FILE]
+//                       [--peer HOST:PORT]... [--advertise HOST:PORT]
+//                       [--steal-timeout S]
 //
 // --tcp 0 picks an ephemeral port (printed on stdout — scripts parse
 // the "listening" line). --inline runs columns on the scheduler thread
-// instead of forking (sanitizer-friendly).
+// instead of forking (sanitizer-friendly). --peer (repeatable) joins
+// the multi-broker shard fabric of DESIGN.md §15: columns are
+// rendezvous-assigned across the fleet, records travel through the
+// cas.get/cas.put content store, and idle brokers steal queued
+// columns. Requires --tcp; --advertise overrides the derived
+// 127.0.0.1:<port> identity when peers dial a different address.
 #include <csignal>
 #include <cstdio>
 #include <stdexcept>
@@ -36,17 +43,20 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   cli.check_usage({"socket", "tcp", "cache", "workers", "worker-timeout",
                    "worker-retries", "inline", "journal", "cache-cap",
-                   "metrics-csv"});
+                   "metrics-csv", "peer", "advertise", "steal-timeout"});
   serve::ServerOptions opts;
   opts.unix_socket = cli.get("socket", cli.has("tcp") ? "" : "pasim_serve.sock");
   opts.tcp_port = cli.has("tcp") ? static_cast<int>(cli.get_int("tcp", 0)) : -1;
   opts.metrics_csv = cli.get("metrics-csv", "");
+  opts.peers = cli.get_list("peer");
+  opts.advertise = cli.get("advertise", "");
   opts.broker.cache_dir = cli.get("cache", ".pasim_cache");
   opts.broker.workers = static_cast<int>(cli.get_int("workers", 2));
   opts.broker.worker_timeout_s = cli.get_double("worker-timeout", 300.0);
   opts.broker.worker_retries =
       static_cast<int>(cli.get_int("worker-retries", 1));
   opts.broker.inline_exec = cli.get_bool("inline", false);
+  opts.broker.steal_timeout_s = cli.get_double("steal-timeout", 0.0);
   opts.broker.journal_path = cli.get("journal", "");
   opts.broker.cache_cap_bytes =
       static_cast<std::uint64_t>(cli.get_int("cache-cap", 0)) * 1024u * 1024u;
@@ -64,6 +74,8 @@ int main(int argc, char** argv) {
     std::printf("pasim_serve: cache %s, %d worker(s)%s\n",
                 opts.broker.cache_dir.c_str(), opts.broker.workers,
                 opts.broker.inline_exec ? " (inline)" : "");
+    if (!opts.peers.empty())
+      std::printf("pasim_serve: fabric of %zu peer(s)\n", opts.peers.size());
     std::fflush(stdout);
     while (g_signal == 0 && !server.wait_for(0.2)) {
     }
